@@ -1,0 +1,172 @@
+//! Elementwise arithmetic with NumPy broadcasting.
+
+use crate::error::{ArrError, ArrResult};
+use crate::ndarray::NdArray;
+
+/// Elementwise binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `max(a, b)`
+    Max,
+    /// `min(a, b)`
+    Min,
+    /// `a^b`
+    Pow,
+}
+
+impl ElemOp {
+    #[inline]
+    fn apply(self, a: f64, b: f64) -> f64 {
+        match self {
+            ElemOp::Add => a + b,
+            ElemOp::Sub => a - b,
+            ElemOp::Mul => a * b,
+            ElemOp::Div => a / b,
+            ElemOp::Max => a.max(b),
+            ElemOp::Min => a.min(b),
+            ElemOp::Pow => a.powf(b),
+        }
+    }
+}
+
+/// Computes the broadcast shape of two shapes (NumPy rules: align from the
+/// right; each dimension must match or be 1).
+pub fn broadcast_shape(a: &[usize], b: &[usize]) -> ArrResult<Vec<usize>> {
+    let ndim = a.len().max(b.len());
+    let mut out = vec![0; ndim];
+    for i in 0..ndim {
+        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
+        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        out[i] = if da == db || db == 1 {
+            da
+        } else if da == 1 {
+            db
+        } else {
+            return Err(ArrError::ShapeMismatch {
+                expected: a.to_vec(),
+                found: b.to_vec(),
+            });
+        };
+    }
+    Ok(out)
+}
+
+/// Elementwise binary op with broadcasting.
+pub fn binary(op: ElemOp, a: &NdArray, b: &NdArray) -> ArrResult<NdArray> {
+    // Fast path: identical shapes.
+    if a.shape() == b.shape() {
+        let data: Vec<f64> = a
+            .data()
+            .iter()
+            .zip(b.data())
+            .map(|(&x, &y)| op.apply(x, y))
+            .collect();
+        return NdArray::from_vec(data, a.shape().to_vec());
+    }
+    let out_shape = broadcast_shape(a.shape(), b.shape())?;
+    let total: usize = out_shape.iter().product();
+    let mut data = Vec::with_capacity(total);
+    let mut index = vec![0usize; out_shape.len()];
+    for _ in 0..total {
+        let av = read_broadcast(a, &index, &out_shape);
+        let bv = read_broadcast(b, &index, &out_shape);
+        data.push(op.apply(av, bv));
+        // increment multi-index
+        for d in (0..out_shape.len()).rev() {
+            index[d] += 1;
+            if index[d] < out_shape[d] {
+                break;
+            }
+            index[d] = 0;
+        }
+    }
+    NdArray::from_vec(data, out_shape)
+}
+
+fn read_broadcast(a: &NdArray, index: &[usize], out_shape: &[usize]) -> f64 {
+    let offset_dims = out_shape.len() - a.ndim();
+    let mut off = 0;
+    let mut stride = 1;
+    for d in (0..a.ndim()).rev() {
+        let dim = a.shape()[d];
+        let idx = if dim == 1 { 0 } else { index[d + offset_dims] };
+        off += idx * stride;
+        stride *= dim;
+    }
+    a.data()[off]
+}
+
+/// Elementwise op against a scalar.
+pub fn scalar(op: ElemOp, a: &NdArray, s: f64) -> NdArray {
+    let mut out = a.clone();
+    for v in out.data_mut() {
+        *v = op.apply(*v, s);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_shape_ops() {
+        let a = NdArray::from_vec(vec![1., 2., 3., 4.], vec![2, 2]).unwrap();
+        let b = NdArray::full(&[2, 2], 2.0);
+        assert_eq!(binary(ElemOp::Add, &a, &b).unwrap().at(1, 1), 6.0);
+        assert_eq!(binary(ElemOp::Mul, &a, &b).unwrap().at(0, 1), 4.0);
+        assert_eq!(binary(ElemOp::Div, &a, &b).unwrap().at(0, 0), 0.5);
+        assert_eq!(binary(ElemOp::Pow, &a, &b).unwrap().at(1, 0), 9.0);
+    }
+
+    #[test]
+    fn broadcast_row_vector() {
+        // (2,3) + (3,) broadcasts the row
+        let a = NdArray::from_vec(vec![0., 0., 0., 10., 10., 10.], vec![2, 3]).unwrap();
+        let b = NdArray::from_iter([1., 2., 3.]);
+        let c = binary(ElemOp::Add, &a, &b).unwrap();
+        assert_eq!(c.shape(), &[2, 3]);
+        assert_eq!(c.at(0, 2), 3.0);
+        assert_eq!(c.at(1, 0), 11.0);
+    }
+
+    #[test]
+    fn broadcast_column_vector() {
+        // (2,3) * (2,1)
+        let a = NdArray::ones(&[2, 3]);
+        let b = NdArray::from_vec(vec![2., 3.], vec![2, 1]).unwrap();
+        let c = binary(ElemOp::Mul, &a, &b).unwrap();
+        assert_eq!(c.at(0, 0), 2.0);
+        assert_eq!(c.at(1, 2), 3.0);
+    }
+
+    #[test]
+    fn incompatible_shapes_error() {
+        let a = NdArray::ones(&[2, 3]);
+        let b = NdArray::ones(&[2, 2]);
+        assert!(binary(ElemOp::Add, &a, &b).is_err());
+    }
+
+    #[test]
+    fn broadcast_shape_rules() {
+        assert_eq!(broadcast_shape(&[2, 3], &[3]).unwrap(), vec![2, 3]);
+        assert_eq!(broadcast_shape(&[2, 1], &[1, 4]).unwrap(), vec![2, 4]);
+        assert_eq!(broadcast_shape(&[5], &[5]).unwrap(), vec![5]);
+        assert!(broadcast_shape(&[2, 3], &[4]).is_err());
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let a = NdArray::arange(3);
+        assert_eq!(scalar(ElemOp::Mul, &a, 2.0).data(), &[0., 2., 4.]);
+        assert_eq!(scalar(ElemOp::Max, &a, 1.0).data(), &[1., 1., 2.]);
+    }
+}

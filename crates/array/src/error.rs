@@ -1,0 +1,46 @@
+//! Error type for the array kernel.
+
+use std::fmt;
+
+/// Errors raised by array operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArrError {
+    /// Shapes are incompatible for the requested operation.
+    ShapeMismatch {
+        /// Required shape.
+        expected: Vec<usize>,
+        /// Actual shape.
+        found: Vec<usize>,
+    },
+    /// Index out of bounds.
+    OutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Dimension length.
+        len: usize,
+    },
+    /// Operation undefined for this input.
+    Unsupported(String),
+    /// Numerical failure (singular matrix, non-PD Cholesky input, …).
+    Numerical(String),
+}
+
+impl fmt::Display for ArrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArrError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected:?}, found {found:?}")
+            }
+            ArrError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for dimension of length {len}")
+            }
+            ArrError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            ArrError::Numerical(s) => write!(f, "numerical error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ArrError {}
+
+/// Result alias for array operations.
+pub type ArrResult<T> = Result<T, ArrError>;

@@ -1,0 +1,27 @@
+//! # xorbits-array
+//!
+//! A from-scratch dense `f64` n-dimensional array kernel — the NumPy
+//! stand-in for the Xorbits reproduction. The distributed Tensor layer in
+//! `xorbits-core` tiles logical arrays into chunks and executes each chunk
+//! with the kernels here, exactly as Xorbits uses NumPy as the per-chunk
+//! backend.
+//!
+//! Covered surface (what the paper's array workloads use): construction,
+//! slicing/concatenation, elementwise arithmetic with broadcasting,
+//! reductions (with combinable partial states), matrix multiplication,
+//! Householder QR (the TSQR building block), Cholesky and least squares
+//! (the linear-regression workload), and seeded random generation.
+
+#![warn(missing_docs)]
+
+pub mod elementwise;
+pub mod error;
+pub mod linalg;
+pub mod ndarray;
+pub mod random;
+pub mod reduce;
+
+pub use elementwise::{binary, broadcast_shape, scalar, ElemOp};
+pub use error::{ArrError, ArrResult};
+pub use ndarray::NdArray;
+pub use reduce::{reduce_all, reduce_axis, MeanState, Reduction};

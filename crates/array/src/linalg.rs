@@ -1,0 +1,373 @@
+//! Dense linear algebra: matmul, Householder QR, Cholesky, triangular
+//! solves, and least squares — the NumPy `linalg` subset that the paper's
+//! array workloads (QR decomposition, linear regression) require.
+//!
+//! The distributed TSQR operator in `xorbits-core` calls [`qr`] on each
+//! tall-and-skinny chunk exactly as Xorbits calls `numpy.linalg.qr`
+//! ("Both Xorbits and Dask employ NumPy's qr as the backend").
+
+use crate::error::{ArrError, ArrResult};
+use crate::ndarray::NdArray;
+
+/// Matrix multiplication `a @ b` with a cache-friendly i-k-j loop order.
+pub fn matmul(a: &NdArray, b: &NdArray) -> ArrResult<NdArray> {
+    if a.ndim() != 2 || b.ndim() != 2 || a.shape()[1] != b.shape()[0] {
+        return Err(ArrError::ShapeMismatch {
+            expected: a.shape().to_vec(),
+            found: b.shape().to_vec(),
+        });
+    }
+    let (m, k, n) = (a.shape()[0], a.shape()[1], b.shape()[1]);
+    let mut out = vec![0.0; m * n];
+    let ad = a.data();
+    let bd = b.data();
+    for i in 0..m {
+        for kk in 0..k {
+            let aik = ad[i * k + kk];
+            if aik == 0.0 {
+                continue;
+            }
+            let brow = &bd[kk * n..(kk + 1) * n];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for j in 0..n {
+                orow[j] += aik * brow[j];
+            }
+        }
+    }
+    NdArray::from_vec(out, vec![m, n])
+}
+
+/// Matrix-vector product `a @ x` for 1-D `x`.
+pub fn matvec(a: &NdArray, x: &NdArray) -> ArrResult<NdArray> {
+    let xm = x.reshape(&[x.len(), 1])?;
+    let y = matmul(a, &xm)?;
+    y.reshape(&[a.shape()[0]])
+}
+
+/// Reduced Householder QR of an `m × n` matrix with `m ≥ n`:
+/// returns `(Q, R)` with `Q: m × n` (orthonormal columns), `R: n × n`
+/// upper triangular, `A = Q R`.
+pub fn qr(a: &NdArray) -> ArrResult<(NdArray, NdArray)> {
+    if a.ndim() != 2 {
+        return Err(ArrError::Unsupported("qr of non-2D array".into()));
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    if m < n {
+        return Err(ArrError::Unsupported(format!(
+            "reduced qr requires m >= n, got {m} x {n}"
+        )));
+    }
+    // Work on a copy of A; accumulate Householder vectors.
+    let mut r = a.clone();
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut norm = 0.0;
+        for i in k..m {
+            let v = r.at(i, k);
+            norm += v * v;
+        }
+        let norm = norm.sqrt();
+        let akk = r.at(k, k);
+        let alpha = if akk >= 0.0 { -norm } else { norm };
+        let mut v = vec![0.0; m];
+        for i in k..m {
+            v[i] = r.at(i, k);
+        }
+        v[k] -= alpha;
+        let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vnorm2 > f64::EPSILON {
+            // Apply H = I - 2 v v^T / (v^T v) to R (columns k..n), in two
+            // row-major passes so tall blocks stay cache-friendly.
+            let mut dots = vec![0.0; n - k];
+            {
+                let rd = r.data();
+                for i in k..m {
+                    let vi = v[i];
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    let row = &rd[i * n + k..i * n + n];
+                    for (d, &x) in dots.iter_mut().zip(row) {
+                        *d += vi * x;
+                    }
+                }
+            }
+            for d in &mut dots {
+                *d *= 2.0 / vnorm2;
+            }
+            {
+                let rd = r.data_mut();
+                for i in k..m {
+                    let vi = v[i];
+                    if vi == 0.0 {
+                        continue;
+                    }
+                    let row = &mut rd[i * n + k..i * n + n];
+                    for (x, &d) in row.iter_mut().zip(&dots) {
+                        *x -= d * vi;
+                    }
+                }
+            }
+        }
+        vs.push(v);
+    }
+
+    // Extract upper-triangular R (n x n).
+    let mut rr = NdArray::zeros(&[n, n]);
+    for i in 0..n {
+        for j in i..n {
+            rr.set_at(i, j, r.at(i, j));
+        }
+    }
+
+    // Form Q (m x n) by applying the Householder reflections to the first
+    // n columns of I, in reverse order.
+    let mut q = NdArray::zeros(&[m, n]);
+    for j in 0..n {
+        q.set_at(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v[k..].iter().map(|x| x * x).sum();
+        if vnorm2 <= f64::EPSILON {
+            continue;
+        }
+        let mut dots = vec![0.0; n];
+        {
+            let qd = q.data();
+            for i in k..m {
+                let vi = v[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                let row = &qd[i * n..(i + 1) * n];
+                for (d, &x) in dots.iter_mut().zip(row) {
+                    *d += vi * x;
+                }
+            }
+        }
+        for d in &mut dots {
+            *d *= 2.0 / vnorm2;
+        }
+        {
+            let qd = q.data_mut();
+            for i in k..m {
+                let vi = v[i];
+                if vi == 0.0 {
+                    continue;
+                }
+                let row = &mut qd[i * n..(i + 1) * n];
+                for (x, &d) in row.iter_mut().zip(&dots) {
+                    *x -= d * vi;
+                }
+            }
+        }
+    }
+    Ok((q, rr))
+}
+
+/// Cholesky factorisation of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` with `A = L L^T`.
+pub fn cholesky(a: &NdArray) -> ArrResult<NdArray> {
+    if a.ndim() != 2 || a.shape()[0] != a.shape()[1] {
+        return Err(ArrError::Unsupported("cholesky of non-square".into()));
+    }
+    let n = a.shape()[0];
+    let mut l = NdArray::zeros(&[n, n]);
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = a.at(i, j);
+            for k in 0..j {
+                sum -= l.at(i, k) * l.at(j, k);
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return Err(ArrError::Numerical(
+                        "matrix not positive definite".into(),
+                    ));
+                }
+                l.set_at(i, j, sum.sqrt());
+            } else {
+                l.set_at(i, j, sum / l.at(j, j));
+            }
+        }
+    }
+    Ok(l)
+}
+
+/// Solves `L y = b` for lower-triangular `L` (forward substitution).
+pub fn solve_lower(l: &NdArray, b: &NdArray) -> ArrResult<NdArray> {
+    let n = l.shape()[0];
+    if b.len() != n {
+        return Err(ArrError::ShapeMismatch {
+            expected: vec![n],
+            found: b.shape().to_vec(),
+        });
+    }
+    let mut y = vec![0.0; n];
+    for i in 0..n {
+        let mut sum = b.data()[i];
+        for j in 0..i {
+            sum -= l.at(i, j) * y[j];
+        }
+        let d = l.at(i, i);
+        if d == 0.0 {
+            return Err(ArrError::Numerical("singular triangular matrix".into()));
+        }
+        y[i] = sum / d;
+    }
+    NdArray::from_vec(y, vec![n])
+}
+
+/// Solves `U x = y` for upper-triangular `U` (back substitution).
+pub fn solve_upper(u: &NdArray, y: &NdArray) -> ArrResult<NdArray> {
+    let n = u.shape()[0];
+    if y.len() != n {
+        return Err(ArrError::ShapeMismatch {
+            expected: vec![n],
+            found: y.shape().to_vec(),
+        });
+    }
+    let mut x = vec![0.0; n];
+    for i in (0..n).rev() {
+        let mut sum = y.data()[i];
+        for j in i + 1..n {
+            sum -= u.at(i, j) * x[j];
+        }
+        let d = u.at(i, i);
+        if d == 0.0 {
+            return Err(ArrError::Numerical("singular triangular matrix".into()));
+        }
+        x[i] = sum / d;
+    }
+    NdArray::from_vec(x, vec![n])
+}
+
+/// Least squares `argmin_w ||X w - y||²` via the normal equations
+/// `(XᵀX) w = Xᵀy`, solved with Cholesky. This is the single-node kernel
+/// under the distributed linear-regression workload.
+pub fn lstsq(x: &NdArray, y: &NdArray) -> ArrResult<NdArray> {
+    let xt = x.transpose()?;
+    let xtx = matmul(&xt, x)?;
+    let xty = matvec(&xt, y)?;
+    solve_normal_equations(&xtx, &xty)
+}
+
+/// Solves `A w = b` for symmetric positive-definite `A` via Cholesky —
+/// the final reduce step of the distributed linear regression, which
+/// receives pre-aggregated `XᵀX` and `Xᵀy`.
+pub fn solve_normal_equations(xtx: &NdArray, xty: &NdArray) -> ArrResult<NdArray> {
+    let l = cholesky(xtx)?;
+    let z = solve_lower(&l, xty)?;
+    solve_upper(&l.transpose()?, &z)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_small() {
+        let a = NdArray::from_vec(vec![1., 2., 3., 4.], vec![2, 2]).unwrap();
+        let b = NdArray::from_vec(vec![5., 6., 7., 8.], vec![2, 2]).unwrap();
+        let c = matmul(&a, &b).unwrap();
+        assert_eq!(c.data(), &[19., 22., 43., 50.]);
+        assert!(matmul(&a, &NdArray::ones(&[3, 2])).is_err());
+    }
+
+    #[test]
+    fn matmul_identity() {
+        let a = NdArray::from_vec((0..6).map(|v| v as f64).collect(), vec![2, 3]).unwrap();
+        let i = NdArray::eye(3);
+        assert_eq!(matmul(&a, &i).unwrap(), a);
+    }
+
+    fn check_qr(a: &NdArray) {
+        let (q, r) = qr(a).unwrap();
+        let (m, n) = (a.shape()[0], a.shape()[1]);
+        assert_eq!(q.shape(), &[m, n]);
+        assert_eq!(r.shape(), &[n, n]);
+        // A = QR
+        let qr_prod = matmul(&q, &r).unwrap();
+        assert!(qr_prod.max_abs_diff(a) < 1e-9, "A != QR");
+        // Q^T Q = I
+        let qtq = matmul(&q.transpose().unwrap(), &q).unwrap();
+        assert!(qtq.max_abs_diff(&NdArray::eye(n)) < 1e-9, "Q not orthonormal");
+        // R upper triangular
+        for i in 0..n {
+            for j in 0..i {
+                assert!(r.at(i, j).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_square_and_tall() {
+        let a = NdArray::from_vec(
+            vec![12., -51., 4., 6., 167., -68., -4., 24., -41.],
+            vec![3, 3],
+        )
+        .unwrap();
+        check_qr(&a);
+        // tall-and-skinny with deterministic pseudo-random data
+        let data: Vec<f64> = (0..40)
+            .map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 31.0 - 16.0)
+            .collect();
+        let t = NdArray::from_vec(data, vec![10, 4]).unwrap();
+        check_qr(&t);
+    }
+
+    #[test]
+    fn qr_wide_rejected() {
+        assert!(qr(&NdArray::ones(&[2, 5])).is_err());
+    }
+
+    #[test]
+    fn cholesky_spd() {
+        let a = NdArray::from_vec(vec![4., 2., 2., 3.], vec![2, 2]).unwrap();
+        let l = cholesky(&a).unwrap();
+        let back = matmul(&l, &l.transpose().unwrap()).unwrap();
+        assert!(back.max_abs_diff(&a) < 1e-12);
+        // non-PD rejected
+        let bad = NdArray::from_vec(vec![1., 2., 2., 1.], vec![2, 2]).unwrap();
+        assert!(cholesky(&bad).is_err());
+    }
+
+    #[test]
+    fn triangular_solves() {
+        let l = NdArray::from_vec(vec![2., 0., 1., 3.], vec![2, 2]).unwrap();
+        let b = NdArray::from_iter([4., 11.]);
+        let y = solve_lower(&l, &b).unwrap();
+        assert!((y.data()[0] - 2.0).abs() < 1e-12);
+        assert!((y.data()[1] - 3.0).abs() < 1e-12);
+        let u = l.transpose().unwrap();
+        let x = solve_upper(&u, &y).unwrap();
+        // check U x = y
+        let ux = matvec(&u, &x).unwrap();
+        assert!(ux.max_abs_diff(&y) < 1e-12);
+    }
+
+    #[test]
+    fn lstsq_recovers_weights() {
+        // y = 2*x0 - 3*x1 + 0.5*x2, exactly determined
+        let rows = 50;
+        let mut xd = Vec::with_capacity(rows * 3);
+        let mut yd = Vec::with_capacity(rows);
+        for i in 0..rows {
+            let f = i as f64;
+            let x0 = (f * 0.37).sin() + 1.5;
+            let x1 = (f * 0.11).cos() * 2.0;
+            let x2 = f * 0.05 + 0.3;
+            xd.extend_from_slice(&[x0, x1, x2]);
+            yd.push(2.0 * x0 - 3.0 * x1 + 0.5 * x2);
+        }
+        let x = NdArray::from_vec(xd, vec![rows, 3]).unwrap();
+        let y = NdArray::from_vec(yd, vec![rows]).unwrap();
+        let w = lstsq(&x, &y).unwrap();
+        assert!((w.data()[0] - 2.0).abs() < 1e-8);
+        assert!((w.data()[1] + 3.0).abs() < 1e-8);
+        assert!((w.data()[2] - 0.5).abs() < 1e-8);
+    }
+}

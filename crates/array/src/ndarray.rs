@@ -1,0 +1,346 @@
+//! The dense n-dimensional array type.
+
+use crate::error::{ArrError, ArrResult};
+
+/// A dense, row-major, contiguous `f64` n-dimensional array — the NumPy
+/// `ndarray` stand-in. The distributed Tensor in `xorbits-core` holds one of
+/// these per chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NdArray {
+    data: Vec<f64>,
+    shape: Vec<usize>,
+}
+
+impl NdArray {
+    /// Builds from raw data and shape; the product of `shape` must equal
+    /// `data.len()`.
+    pub fn from_vec(data: Vec<f64>, shape: Vec<usize>) -> ArrResult<NdArray> {
+        let expected: usize = shape.iter().product();
+        if expected != data.len() {
+            return Err(ArrError::ShapeMismatch {
+                expected: shape.clone(),
+                found: vec![data.len()],
+            });
+        }
+        Ok(NdArray { data, shape })
+    }
+
+    /// All-zero array.
+    pub fn zeros(shape: &[usize]) -> NdArray {
+        NdArray {
+            data: vec![0.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// All-one array.
+    pub fn ones(shape: &[usize]) -> NdArray {
+        NdArray {
+            data: vec![1.0; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Constant array.
+    pub fn full(shape: &[usize], value: f64) -> NdArray {
+        NdArray {
+            data: vec![value; shape.iter().product()],
+            shape: shape.to_vec(),
+        }
+    }
+
+    /// Identity matrix.
+    pub fn eye(n: usize) -> NdArray {
+        let mut a = NdArray::zeros(&[n, n]);
+        for i in 0..n {
+            a.data[i * n + i] = 1.0;
+        }
+        a
+    }
+
+    /// 1-D array from an iterator.
+    pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> NdArray {
+        let data: Vec<f64> = iter.into_iter().collect();
+        let shape = vec![data.len()];
+        NdArray { data, shape }
+    }
+
+    /// `arange(n)` as f64.
+    pub fn arange(n: usize) -> NdArray {
+        NdArray::from_iter((0..n).map(|i| i as f64))
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the array has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Heap bytes (memory-ledger unit for the runtime).
+    pub fn nbytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// Raw data slice (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data slice.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Element at a multi-index.
+    pub fn get(&self, index: &[usize]) -> f64 {
+        self.data[self.offset(index)]
+    }
+
+    /// Sets element at a multi-index.
+    pub fn set(&mut self, index: &[usize], value: f64) {
+        let off = self.offset(index);
+        self.data[off] = value;
+    }
+
+    /// 2-D element accessor.
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        debug_assert_eq!(self.ndim(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// 2-D element setter.
+    #[inline]
+    pub fn set_at(&mut self, i: usize, j: usize, value: f64) {
+        debug_assert_eq!(self.ndim(), 2);
+        let cols = self.shape[1];
+        self.data[i * cols + j] = value;
+    }
+
+    fn offset(&self, index: &[usize]) -> usize {
+        debug_assert_eq!(index.len(), self.shape.len());
+        let mut off = 0;
+        let mut stride = 1;
+        for d in (0..self.shape.len()).rev() {
+            debug_assert!(index[d] < self.shape[d], "index out of bounds");
+            off += index[d] * stride;
+            stride *= self.shape[d];
+        }
+        off
+    }
+
+    /// Reshapes without copying semantics constraints (same element count).
+    pub fn reshape(&self, shape: &[usize]) -> ArrResult<NdArray> {
+        let expected: usize = shape.iter().product();
+        if expected != self.data.len() {
+            return Err(ArrError::ShapeMismatch {
+                expected: shape.to_vec(),
+                found: self.shape.clone(),
+            });
+        }
+        Ok(NdArray {
+            data: self.data.clone(),
+            shape: shape.to_vec(),
+        })
+    }
+
+    /// 2-D transpose.
+    pub fn transpose(&self) -> ArrResult<NdArray> {
+        if self.ndim() != 2 {
+            return Err(ArrError::Unsupported("transpose of non-2D array".into()));
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = NdArray::zeros(&[n, m]);
+        for i in 0..m {
+            for j in 0..n {
+                out.data[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Rows `[start, end)` of a 2-D array (or elements of a 1-D array).
+    pub fn slice_rows(&self, start: usize, end: usize) -> ArrResult<NdArray> {
+        let end = end.min(self.shape[0]);
+        if start > end {
+            return Err(ArrError::OutOfBounds {
+                index: start,
+                len: self.shape[0],
+            });
+        }
+        let row: usize = self.shape[1..].iter().product::<usize>().max(1);
+        let mut shape = self.shape.clone();
+        shape[0] = end - start;
+        Ok(NdArray {
+            data: self.data[start * row..end * row].to_vec(),
+            shape,
+        })
+    }
+
+    /// Columns `[start, end)` of a 2-D array.
+    pub fn slice_cols(&self, start: usize, end: usize) -> ArrResult<NdArray> {
+        if self.ndim() != 2 {
+            return Err(ArrError::Unsupported("slice_cols of non-2D array".into()));
+        }
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let end = end.min(n);
+        if start > end {
+            return Err(ArrError::OutOfBounds { index: start, len: n });
+        }
+        let w = end - start;
+        let mut data = Vec::with_capacity(m * w);
+        for i in 0..m {
+            data.extend_from_slice(&self.data[i * n + start..i * n + end]);
+        }
+        NdArray::from_vec(data, vec![m, w])
+    }
+
+    /// Vertical concatenation (axis 0). Trailing dimensions must agree.
+    pub fn concat_rows(parts: &[&NdArray]) -> ArrResult<NdArray> {
+        let first = parts
+            .first()
+            .ok_or_else(|| ArrError::Unsupported("concat of zero arrays".into()))?;
+        let tail = &first.shape[1..];
+        let mut rows = 0;
+        for p in parts {
+            if &p.shape[1..] != tail {
+                return Err(ArrError::ShapeMismatch {
+                    expected: first.shape.clone(),
+                    found: p.shape.clone(),
+                });
+            }
+            rows += p.shape[0];
+        }
+        let mut data = Vec::with_capacity(rows * tail.iter().product::<usize>().max(1));
+        for p in parts {
+            data.extend_from_slice(&p.data);
+        }
+        let mut shape = first.shape.clone();
+        shape[0] = rows;
+        Ok(NdArray { data, shape })
+    }
+
+    /// Horizontal concatenation (axis 1) of 2-D arrays.
+    pub fn concat_cols(parts: &[&NdArray]) -> ArrResult<NdArray> {
+        let first = parts
+            .first()
+            .ok_or_else(|| ArrError::Unsupported("concat of zero arrays".into()))?;
+        let m = first.shape[0];
+        let mut total_cols = 0;
+        for p in parts {
+            if p.ndim() != 2 || p.shape[0] != m {
+                return Err(ArrError::ShapeMismatch {
+                    expected: first.shape.clone(),
+                    found: p.shape.clone(),
+                });
+            }
+            total_cols += p.shape[1];
+        }
+        let mut data = Vec::with_capacity(m * total_cols);
+        for i in 0..m {
+            for p in parts {
+                let n = p.shape[1];
+                data.extend_from_slice(&p.data[i * n..(i + 1) * n]);
+            }
+        }
+        NdArray::from_vec(data, vec![m, total_cols])
+    }
+
+    /// Applies a function elementwise.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> NdArray {
+        NdArray {
+            data: self.data.iter().map(|&v| f(v)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Maximum absolute elementwise difference against another array
+    /// (test/verification helper).
+    pub fn max_abs_diff(&self, other: &NdArray) -> f64 {
+        assert_eq!(self.shape, other.shape);
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let a = NdArray::from_vec(vec![1., 2., 3., 4., 5., 6.], vec![2, 3]).unwrap();
+        assert_eq!(a.shape(), &[2, 3]);
+        assert_eq!(a.at(1, 2), 6.0);
+        assert_eq!(a.get(&[0, 1]), 2.0);
+        assert!(NdArray::from_vec(vec![1.0], vec![2, 3]).is_err());
+    }
+
+    #[test]
+    fn eye_and_full() {
+        let i = NdArray::eye(3);
+        assert_eq!(i.at(1, 1), 1.0);
+        assert_eq!(i.at(0, 1), 0.0);
+        assert_eq!(NdArray::full(&[2, 2], 7.0).at(1, 1), 7.0);
+    }
+
+    #[test]
+    fn transpose_2d() {
+        let a = NdArray::from_vec(vec![1., 2., 3., 4., 5., 6.], vec![2, 3]).unwrap();
+        let t = a.transpose().unwrap();
+        assert_eq!(t.shape(), &[3, 2]);
+        assert_eq!(t.at(2, 1), 6.0);
+    }
+
+    #[test]
+    fn slicing() {
+        let a = NdArray::from_vec((0..12).map(|x| x as f64).collect(), vec![4, 3]).unwrap();
+        let r = a.slice_rows(1, 3).unwrap();
+        assert_eq!(r.shape(), &[2, 3]);
+        assert_eq!(r.at(0, 0), 3.0);
+        let c = a.slice_cols(1, 3).unwrap();
+        assert_eq!(c.shape(), &[4, 2]);
+        assert_eq!(c.at(0, 0), 1.0);
+    }
+
+    #[test]
+    fn concat() {
+        let a = NdArray::ones(&[2, 3]);
+        let b = NdArray::zeros(&[1, 3]);
+        let v = NdArray::concat_rows(&[&a, &b]).unwrap();
+        assert_eq!(v.shape(), &[3, 3]);
+        assert_eq!(v.at(2, 0), 0.0);
+        let h = NdArray::concat_cols(&[&a, &NdArray::zeros(&[2, 1])]).unwrap();
+        assert_eq!(h.shape(), &[2, 4]);
+        assert_eq!(h.at(0, 3), 0.0);
+        // shape mismatch
+        assert!(NdArray::concat_rows(&[&a, &NdArray::zeros(&[1, 2])]).is_err());
+    }
+
+    #[test]
+    fn reshape_and_map() {
+        let a = NdArray::arange(6);
+        let m = a.reshape(&[2, 3]).unwrap();
+        assert_eq!(m.at(1, 0), 3.0);
+        assert!(a.reshape(&[4, 2]).is_err());
+        let sq = a.map(|v| v * v);
+        assert_eq!(sq.data()[3], 9.0);
+    }
+}

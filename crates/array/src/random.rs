@@ -1,0 +1,84 @@
+//! Seeded random array generation (`numpy.random` stand-in).
+//!
+//! Every generator takes an explicit seed so distributed chunk generation is
+//! reproducible: the tiled `TensorRandom` operator derives one seed per chunk
+//! from the tensor seed and the chunk index.
+
+use crate::ndarray::NdArray;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Uniform values in `[0, 1)` — `numpy.random.rand`.
+pub fn rand_uniform(shape: &[usize], seed: u64) -> NdArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    NdArray::from_vec(data, shape.to_vec()).expect("shape/product invariant")
+}
+
+/// Standard normal values (Box–Muller) — `numpy.random.randn`.
+pub fn rand_normal(shape: &[usize], seed: u64) -> NdArray {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n: usize = shape.iter().product();
+    let mut data = Vec::with_capacity(n);
+    while data.len() < n {
+        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        data.push(r * theta.cos());
+        if data.len() < n {
+            data.push(r * theta.sin());
+        }
+    }
+    NdArray::from_vec(data, shape.to_vec()).expect("shape/product invariant")
+}
+
+/// Derives the per-chunk seed for chunk `index` of a tensor seeded with
+/// `tensor_seed` (splitmix-style mixing; avoids correlated streams).
+pub fn chunk_seed(tensor_seed: u64, index: u64) -> u64 {
+    let mut z = tensor_seed
+        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(index.wrapping_add(1)));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reduce::{reduce_all, Reduction};
+
+    #[test]
+    fn deterministic() {
+        let a = rand_uniform(&[10, 10], 42);
+        let b = rand_uniform(&[10, 10], 42);
+        assert_eq!(a, b);
+        let c = rand_uniform(&[10, 10], 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn uniform_range_and_mean() {
+        let a = rand_uniform(&[100, 100], 7);
+        assert!(a.data().iter().all(|&v| (0.0..1.0).contains(&v)));
+        let mean = reduce_all(Reduction::Mean, &a);
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let a = rand_normal(&[200, 200], 11);
+        let mean = reduce_all(Reduction::Mean, &a);
+        assert!(mean.abs() < 0.02, "mean {mean} far from 0");
+        let var = reduce_all(Reduction::Mean, &a.map(|v| v * v)) - mean * mean;
+        assert!((var - 1.0).abs() < 0.05, "variance {var} far from 1");
+    }
+
+    #[test]
+    fn chunk_seeds_distinct() {
+        let seeds: Vec<u64> = (0..100).map(|i| chunk_seed(42, i)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Reductions: full-array and along an axis.
+
+use crate::error::{ArrError, ArrResult};
+use crate::ndarray::NdArray;
+
+/// Reduction kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Sum of all/axis elements.
+    Sum,
+    /// Arithmetic mean.
+    Mean,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Reduces the whole array to one value.
+pub fn reduce_all(kind: Reduction, a: &NdArray) -> f64 {
+    let d = a.data();
+    match kind {
+        Reduction::Sum => d.iter().sum(),
+        Reduction::Mean => {
+            if d.is_empty() {
+                f64::NAN
+            } else {
+                d.iter().sum::<f64>() / d.len() as f64
+            }
+        }
+        Reduction::Min => d.iter().copied().fold(f64::INFINITY, f64::min),
+        Reduction::Max => d.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+    }
+}
+
+/// Reduces a 2-D array along `axis` (0 ⇒ down columns, 1 ⇒ across rows),
+/// returning a 1-D array.
+pub fn reduce_axis(kind: Reduction, a: &NdArray, axis: usize) -> ArrResult<NdArray> {
+    if a.ndim() != 2 {
+        return Err(ArrError::Unsupported("axis reduction of non-2D array".into()));
+    }
+    if axis > 1 {
+        return Err(ArrError::OutOfBounds { index: axis, len: 2 });
+    }
+    let (m, n) = (a.shape()[0], a.shape()[1]);
+    let (out_len, inner) = if axis == 0 { (n, m) } else { (m, n) };
+    let mut out = Vec::with_capacity(out_len);
+    for o in 0..out_len {
+        let mut acc = match kind {
+            Reduction::Sum | Reduction::Mean => 0.0,
+            Reduction::Min => f64::INFINITY,
+            Reduction::Max => f64::NEG_INFINITY,
+        };
+        for i in 0..inner {
+            let v = if axis == 0 { a.at(i, o) } else { a.at(o, i) };
+            acc = match kind {
+                Reduction::Sum | Reduction::Mean => acc + v,
+                Reduction::Min => acc.min(v),
+                Reduction::Max => acc.max(v),
+            };
+        }
+        if kind == Reduction::Mean {
+            acc /= inner as f64;
+        }
+        out.push(acc);
+    }
+    NdArray::from_vec(out, vec![out_len])
+}
+
+/// Partial sum state for tree/combine reductions of `mean`: `(sum, count)`
+/// pairs combine associatively, mirroring the groupby decomposition.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MeanState {
+    /// Running sum.
+    pub sum: f64,
+    /// Running element count.
+    pub count: u64,
+}
+
+impl MeanState {
+    /// State of one chunk.
+    pub fn of(a: &NdArray) -> MeanState {
+        MeanState {
+            sum: a.data().iter().sum(),
+            count: a.len() as u64,
+        }
+    }
+
+    /// Combines two partial states.
+    pub fn merge(self, other: MeanState) -> MeanState {
+        MeanState {
+            sum: self.sum + other.sum,
+            count: self.count + other.count,
+        }
+    }
+
+    /// Final mean.
+    pub fn finish(self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_reductions() {
+        let a = NdArray::from_vec(vec![1., 2., 3., 4.], vec![2, 2]).unwrap();
+        assert_eq!(reduce_all(Reduction::Sum, &a), 10.0);
+        assert_eq!(reduce_all(Reduction::Mean, &a), 2.5);
+        assert_eq!(reduce_all(Reduction::Min, &a), 1.0);
+        assert_eq!(reduce_all(Reduction::Max, &a), 4.0);
+    }
+
+    #[test]
+    fn axis_reductions() {
+        let a = NdArray::from_vec(vec![1., 2., 3., 4., 5., 6.], vec![2, 3]).unwrap();
+        assert_eq!(
+            reduce_axis(Reduction::Sum, &a, 0).unwrap().data(),
+            &[5., 7., 9.]
+        );
+        assert_eq!(
+            reduce_axis(Reduction::Sum, &a, 1).unwrap().data(),
+            &[6., 15.]
+        );
+        assert_eq!(
+            reduce_axis(Reduction::Mean, &a, 1).unwrap().data(),
+            &[2., 5.]
+        );
+        assert_eq!(
+            reduce_axis(Reduction::Max, &a, 0).unwrap().data(),
+            &[4., 5., 6.]
+        );
+        assert!(reduce_axis(Reduction::Sum, &a, 2).is_err());
+    }
+
+    #[test]
+    fn mean_state_tree_equals_direct() {
+        let a = NdArray::arange(10);
+        let direct = reduce_all(Reduction::Mean, &a);
+        let c1 = a.slice_rows(0, 3).unwrap();
+        let c2 = a.slice_rows(3, 7).unwrap();
+        let c3 = a.slice_rows(7, 10).unwrap();
+        let tree = MeanState::of(&c1)
+            .merge(MeanState::of(&c2).merge(MeanState::of(&c3)))
+            .finish();
+        assert!((direct - tree).abs() < 1e-12);
+    }
+}

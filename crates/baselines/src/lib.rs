@@ -1,0 +1,15 @@
+//! # xorbits-baselines
+//!
+//! Re-implementations of the planning layers of the systems the paper
+//! compares against (pandas API on Spark, Dask, Modin on Ray, single-node
+//! pandas), expressed as personalities over the shared kernels and virtual
+//! cluster. See `profile` for the mapping from each system's documented
+//! behaviour to configuration.
+
+#![warn(missing_docs)]
+
+pub mod engine;
+pub mod profile;
+
+pub use engine::Engine;
+pub use profile::{Capabilities, EngineKind, EngineProfile};

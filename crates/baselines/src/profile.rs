@@ -1,0 +1,291 @@
+//! Engine profiles: the planning personalities of the paper's baselines.
+//!
+//! The paper attributes baseline failures to *planning* decisions — static
+//! up-front partitioning, no runtime metadata, missing pandas APIs, no
+//! combine stage, no (reliable) spilling — not to kernel quality. Each
+//! profile therefore reuses the same kernels and the same virtual cluster
+//! but with that system's planning behaviour and API surface:
+//!
+//! * **Xorbits** — dynamic tiling, coloring fusion, operator fusion, column
+//!   pruning, spill-capable storage service; full API.
+//! * **PySpark** (pandas API on Spark) — static tiling but broadcast
+//!   decisions from *source-size estimates* (Catalyst knows file sizes),
+//!   whole-stage-codegen-style fusion, column pruning, robust spilling;
+//!   the narrowest pandas API surface (the paper measures 36.7% coverage).
+//! * **Dask** — static tiling with fixed shuffle partitions, linear task
+//!   fusion, spilling; rows-only partitioning (no `iloc`), arrays require
+//!   manual chunking (Listing 1), merge does not sort keys.
+//! * **Modin** (on Ray) — eager execution (every operator materialises, so
+//!   no fusion), static row partitioning, no combine stage, object-store
+//!   pressure modelled as spill-free memory; nearly full pandas API.
+//! * **pandas** — single node, single band, whole-frame chunks; full API.
+
+use xorbits_core::config::XorbitsConfig;
+use xorbits_runtime::ClusterSpec;
+
+/// Which system a profile models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EngineKind {
+    /// This paper's system.
+    Xorbits,
+    /// pandas API on Spark.
+    PySpark,
+    /// Dask DataFrame / Dask Array.
+    Dask,
+    /// Modin on Ray.
+    Modin,
+    /// Single-node pandas.
+    Pandas,
+}
+
+impl EngineKind {
+    /// Display name used in benchmark tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Xorbits => "Xorbits",
+            EngineKind::PySpark => "PySpark",
+            EngineKind::Dask => "Dask",
+            EngineKind::Modin => "Modin",
+            EngineKind::Pandas => "pandas",
+        }
+    }
+
+    /// All engines the paper compares on dataframes.
+    pub fn all() -> [EngineKind; 5] {
+        [
+            EngineKind::Xorbits,
+            EngineKind::PySpark,
+            EngineKind::Dask,
+            EngineKind::Modin,
+            EngineKind::Pandas,
+        ]
+    }
+}
+
+/// API-surface switches (drive `Unsupported` failures, exactly the paper's
+/// "API Compatibility" failure class).
+#[derive(Debug, Clone, Copy)]
+pub struct Capabilities {
+    /// Positional row lookup (`iloc`). Dask and pandas-on-Spark partition
+    /// by rows without global positions and reject it (Listing 1).
+    pub iloc: bool,
+    /// `nunique` inside `groupby.agg`.
+    pub nunique_agg: bool,
+    /// `NamedAgg` — column-specific aggregation with output names. The
+    /// paper calls out PySpark's lack of it.
+    pub named_agg: bool,
+    /// Merge sorts/preserves key order like pandas (Dask/PySpark do not).
+    pub merge_sorted: bool,
+    /// `pivot_table`.
+    pub pivot_table: bool,
+    /// Distributed arrays at all (only Xorbits and Dask).
+    pub arrays: bool,
+    /// Arrays chunk themselves (auto rechunk); off ⇒ the user must pass
+    /// explicit chunk sizes and tall-and-skinny rules (Dask, Listing 1).
+    pub array_auto_chunk: bool,
+    /// TPC-H queries that fail to port to this API at any scale factor.
+    /// The paper reports per-system counts (Table I/II) without naming the
+    /// queries; the assignment here is fixed so runs are reproducible.
+    pub tpch_api_failures: &'static [u32],
+}
+
+/// A complete engine personality.
+#[derive(Debug, Clone)]
+pub struct EngineProfile {
+    /// Which system this models.
+    pub kind: EngineKind,
+    /// Planner configuration.
+    pub cfg: XorbitsConfig,
+    /// API surface.
+    pub caps: Capabilities,
+    /// Whether the storage service may spill.
+    pub spill: bool,
+    /// Whether this engine runs on one node regardless of the cluster.
+    pub single_node: bool,
+}
+
+impl EngineKind {
+    /// Builds the profile for this engine.
+    pub fn profile(self) -> EngineProfile {
+        match self {
+            EngineKind::Xorbits => EngineProfile {
+                kind: self,
+                cfg: XorbitsConfig::default(),
+                caps: Capabilities {
+                    iloc: true,
+                    nunique_agg: true,
+                    named_agg: true,
+                    merge_sorted: true,
+                    pivot_table: true,
+                    arrays: true,
+                    array_auto_chunk: true,
+                    tpch_api_failures: &[],
+                },
+                spill: true,
+                single_node: false,
+            },
+            EngineKind::PySpark => EngineProfile {
+                kind: self,
+                cfg: XorbitsConfig {
+                    dynamic_tiling: false,
+                    broadcast_from_estimates: true,
+                    graph_fusion: true, // whole-stage codegen analogue
+                    op_fusion: true,
+                    column_pruning: true, // Catalyst pushdown
+                    ..Default::default()
+                },
+                caps: Capabilities {
+                    iloc: false,
+                    nunique_agg: false,
+                    named_agg: false,
+                    merge_sorted: false,
+                    pivot_table: true,
+                    arrays: false,
+                    array_auto_chunk: false,
+                    tpch_api_failures: &[2, 16, 21],
+                },
+                spill: true,
+                single_node: false,
+            },
+            EngineKind::Dask => EngineProfile {
+                kind: self,
+                cfg: XorbitsConfig {
+                    dynamic_tiling: false,
+                    graph_fusion: true, // dask.optimize linear fusion
+                    op_fusion: false,
+                    column_pruning: false,
+                    ..Default::default()
+                },
+                caps: Capabilities {
+                    iloc: false,
+                    nunique_agg: true,
+                    named_agg: true,
+                    merge_sorted: false,
+                    pivot_table: false,
+                    arrays: true,
+                    array_auto_chunk: false,
+                    tpch_api_failures: &[],
+                },
+                spill: true,
+                single_node: false,
+            },
+            EngineKind::Modin => EngineProfile {
+                kind: self,
+                cfg: XorbitsConfig {
+                    dynamic_tiling: false,
+                    graph_fusion: false, // eager: every op materialises
+                    op_fusion: false,
+                    column_pruning: false,
+                    // every eager result is a driver-held Ray object:
+                    // nothing is reclaimed until the query finishes
+                    eager_memory: true,
+                    ..Default::default()
+                },
+                caps: Capabilities {
+                    iloc: true,
+                    nunique_agg: true,
+                    named_agg: true,
+                    merge_sorted: true,
+                    pivot_table: true,
+                    arrays: false,
+                    array_auto_chunk: false,
+                    tpch_api_failures: &[],
+                },
+                spill: false, // Ray object-store pressure kills workers
+                single_node: false,
+            },
+            EngineKind::Pandas => EngineProfile {
+                kind: self,
+                cfg: XorbitsConfig {
+                    dynamic_tiling: false,
+                    graph_fusion: true,
+                    op_fusion: true,
+                    column_pruning: false,
+                    // pandas has no chunking: one chunk per frame
+                    chunk_limit_bytes: usize::MAX / 4,
+                    ..Default::default()
+                },
+                caps: Capabilities {
+                    iloc: true,
+                    nunique_agg: true,
+                    named_agg: true,
+                    merge_sorted: true,
+                    pivot_table: true,
+                    arrays: false, // NumPy exists but is not distributed
+                    array_auto_chunk: false,
+                    tpch_api_failures: &[],
+                },
+                spill: false,
+                single_node: true,
+            },
+        }
+    }
+
+    /// Adapts a cluster spec to this engine: pandas collapses to one band
+    /// on one worker; spill-capable engines keep the disk tier; Dask,
+    /// Spark and Modin dispatch through a central driver, Xorbits' actor
+    /// supervisor does not.
+    pub fn cluster(self, base: &ClusterSpec) -> ClusterSpec {
+        let p = self.profile();
+        let mut spec = base.clone();
+        if p.single_node {
+            spec.workers = 1;
+            spec.bands_per_worker = 1;
+        }
+        spec.spill_enabled = p.spill;
+        // every system dispatches through one supervisor/driver process;
+        // what differs is how many subtasks their plans generate — the
+        // overhead fusion and auto merge exist to amortise (§V-A, Fig 6b)
+        spec.central_scheduler = true;
+        // Intermediate-storage bandwidth per system (§V-C): Xorbits uses
+        // pickle5 zero-copy shared memory; Dask/Modin pay a pickle copy;
+        // pandas-on-Spark additionally crosses the JVM↔Python boundary
+        // with row conversions each stage. pandas keeps everything in
+        // process (no storage tier traffic to speak of).
+        spec.storage_bandwidth = match self {
+            EngineKind::Xorbits => 1.0e9,
+            EngineKind::Dask | EngineKind::Modin => 300.0e6,
+            EngineKind::PySpark => 150.0e6,
+            EngineKind::Pandas => 4.0e9,
+        };
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_match_paper_characteristics() {
+        let x = EngineKind::Xorbits.profile();
+        assert!(x.cfg.dynamic_tiling && x.spill && x.caps.iloc);
+
+        let d = EngineKind::Dask.profile();
+        assert!(!d.cfg.dynamic_tiling);
+        assert!(!d.caps.iloc, "Listing 1: Dask rejects iloc");
+        assert!(d.caps.arrays && !d.caps.array_auto_chunk);
+
+        let m = EngineKind::Modin.profile();
+        assert!(m.caps.iloc && !m.spill && !m.cfg.graph_fusion);
+        assert!(!m.caps.arrays, "paper: Modin lacks NumPy-like APIs");
+
+        let s = EngineKind::PySpark.profile();
+        assert!(s.cfg.broadcast_from_estimates && s.spill);
+        assert_eq!(s.caps.tpch_api_failures.len(), 3, "Table II: 3 API failures");
+
+        let p = EngineKind::Pandas.profile();
+        assert!(p.single_node);
+    }
+
+    #[test]
+    fn cluster_adaptation() {
+        let base = ClusterSpec::new(16, 1 << 30);
+        let p = EngineKind::Pandas.cluster(&base);
+        assert_eq!(p.workers, 1);
+        assert_eq!(p.bands_per_worker, 1);
+        let m = EngineKind::Modin.cluster(&base);
+        assert_eq!(m.workers, 16);
+        assert!(!m.spill_enabled);
+    }
+}

@@ -1,0 +1,105 @@
+//! Extension ablations beyond the paper's Fig 9 (the design choices
+//! DESIGN.md §7 flags):
+//!
+//! * tree-reduce threshold sweep — where the tree vs shuffle crossover
+//!   falls (the Fig 6a trade-off made quantitative);
+//! * combine-stage fan-in sweep — the auto-merge batching width;
+//! * locality-aware vs round-robin successor placement (§V-B).
+//!
+//! Run: `cargo bench --bench ablation_extras`
+
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_bench::{bench_scale, paper_cluster, print_table};
+use xorbits_core::config::XorbitsConfig;
+use xorbits_core::session::Session;
+use xorbits_runtime::SimExecutor;
+use xorbits_workloads::tpch::{run_query, TpchData};
+
+fn main() {
+    let data = TpchData::new(100.0 * bench_scale());
+
+    // 1. tree-reduce threshold sweep on Q1 (heavy aggregation)
+    let mut rows = Vec::new();
+    for threshold in [0usize, 1 << 16, 1 << 20, 16 << 20, 1 << 30] {
+        let cfg = XorbitsConfig {
+            tree_reduce_threshold_bytes: threshold,
+            ..Default::default()
+        };
+        let engine = Engine::with_cfg(EngineKind::Xorbits, &paper_cluster(16), cfg);
+        let t = match run_query(&engine, &data, 1) {
+            Ok(_) => engine.session.total_stats().makespan,
+            Err(_) => f64::NAN,
+        };
+        let decision = engine
+            .session
+            .last_report()
+            .map(|r| {
+                r.tiling
+                    .decisions
+                    .iter()
+                    .find(|d| d.starts_with("groupby"))
+                    .cloned()
+                    .unwrap_or_default()
+            })
+            .unwrap_or_default();
+        rows.push(vec![
+            format!("{threshold}"),
+            format!("{t:.4}s"),
+            decision,
+        ]);
+    }
+    print_table(
+        "Auto reduce selection: tree threshold sweep (TPC-H Q1)",
+        &["threshold (B)", "makespan", "decision"],
+        &rows,
+    );
+
+    // 2. combine fan-in sweep on Q1
+    let mut rows = Vec::new();
+    for fanin in [2usize, 4, 8, 16, 64] {
+        let cfg = XorbitsConfig {
+            combine_fanin: fanin,
+            ..Default::default()
+        };
+        let engine = Engine::with_cfg(EngineKind::Xorbits, &paper_cluster(16), cfg);
+        let t = match run_query(&engine, &data, 1) {
+            Ok(_) => engine.session.total_stats().makespan,
+            Err(_) => f64::NAN,
+        };
+        rows.push(vec![format!("{fanin}"), format!("{t:.4}s")]);
+    }
+    print_table(
+        "Combine-stage fan-in sweep (TPC-H Q1)",
+        &["fan-in", "makespan"],
+        &rows,
+    );
+
+    // 3. locality-aware vs round-robin placement on Q3 (join-heavy)
+    let mut rows = Vec::new();
+    for locality in [true, false] {
+        let mut cluster = paper_cluster(16);
+        cluster.locality_aware = locality;
+        let session = Session::new(XorbitsConfig::default(), SimExecutor::new(cluster));
+        let engine = Engine {
+            profile: EngineKind::Xorbits.profile(),
+            session,
+        };
+        let (t, net) = match run_query(&engine, &data, 3) {
+            Ok(_) => {
+                let s = engine.session.total_stats();
+                (s.makespan, s.net_bytes)
+            }
+            Err(_) => (f64::NAN, 0),
+        };
+        rows.push(vec![
+            if locality { "locality-aware" } else { "round-robin" }.to_string(),
+            format!("{t:.4}s"),
+            format!("{} MB", net / (1 << 20)),
+        ]);
+    }
+    print_table(
+        "Scheduling ablation (TPC-H Q3): locality vs round-robin",
+        &["placement", "makespan", "network traffic"],
+        &rows,
+    );
+}

@@ -1,0 +1,64 @@
+//! Regenerates **paper Fig 8b**: TPC-H total time relative to Xorbits at
+//! SF100 and SF1000 ("we exclude the unsuccessful ones and calculate the
+//! overall relative time compared to Xorbits").
+//!
+//! Paper shape: Xorbits fastest (1.0×); PySpark competitive; Dask and
+//! Modin substantially slower; pandas only comparable at small scale.
+//!
+//! Run: `cargo bench --bench fig8b_tpch_time`
+
+use xorbits_baselines::EngineKind;
+use xorbits_bench::{fmt_rel, paper_cluster, print_table, sf};
+use xorbits_core::error::FailureKind;
+use xorbits_workloads::harness::{mean_speedup, run_tpch_suite};
+use xorbits_workloads::tpch::TpchData;
+
+fn main() {
+    let engines = [
+        EngineKind::Xorbits,
+        EngineKind::PySpark,
+        EngineKind::Dask,
+        EngineKind::Modin,
+        EngineKind::Pandas,
+    ];
+    let mut rows = Vec::new();
+    for &label in &[100u32, 1000] {
+        let data = TpchData::new(sf(label));
+        let cluster = paper_cluster(16);
+        let xorbits_recs = run_tpch_suite(EngineKind::Xorbits, &cluster, &data);
+        let mut row = vec![format!("SF{label}")];
+        for kind in engines {
+            let recs = if kind == EngineKind::Xorbits {
+                xorbits_recs.clone()
+            } else {
+                run_tpch_suite(kind, &cluster, &data)
+            };
+            // total time over queries both systems completed, relative
+            let mut ours = 0.0;
+            let mut theirs = 0.0;
+            let mut completed = 0;
+            for (x, r) in xorbits_recs.iter().zip(&recs) {
+                if x.kind == FailureKind::Success && r.kind == FailureKind::Success {
+                    ours += x.makespan;
+                    theirs += r.makespan;
+                    completed += 1;
+                }
+            }
+            let rel = theirs / ours;
+            let geo = mean_speedup(&xorbits_recs, &recs).unwrap_or(f64::NAN);
+            row.push(format!("{} ({completed}q, geo {})", fmt_rel(rel), fmt_rel(geo)));
+            eprintln!(
+                "  SF{label} {:8}: rel total {} over {completed} common queries",
+                kind.name(),
+                fmt_rel(rel)
+            );
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig 8b — TPC-H total time relative to Xorbits (successful queries)",
+        &["SF", "Xorbits", "PySpark", "Dask", "Modin", "pandas"],
+        &rows,
+    );
+    println!("paper shape: Xorbits 1.0x and fastest; PySpark closest; Dask/Modin far slower");
+}

@@ -1,0 +1,47 @@
+//! Regenerates **paper Fig 8c**: weak-scaling throughput of distributed
+//! linear regression, 1–4 workers, Xorbits vs Dask.
+//!
+//! Paper shape: Xorbits outperforms Dask by ~5.88× on average; throughput
+//! increases with compute resources for Xorbits.
+//!
+//! Run: `cargo bench --bench fig8c_linreg_scaling`
+
+use xorbits_baselines::EngineKind;
+use xorbits_bench::{bench_scale, print_table};
+use xorbits_workloads::arrays::{run_linreg, weak_scaling};
+
+fn main() {
+    let rows_per_band = (150_000.0 * bench_scale()) as usize;
+    let cols = 8;
+    let workers = [1usize, 2, 3, 4];
+    let mem = 1usize << 30;
+
+    let xorbits =
+        weak_scaling(EngineKind::Xorbits, &workers, rows_per_band, cols, mem, run_linreg)
+            .expect("xorbits linreg");
+    let dask = weak_scaling(EngineKind::Dask, &workers, rows_per_band, cols, mem, run_linreg)
+        .expect("dask linreg");
+
+    let mut rows = Vec::new();
+    let mut ratios = Vec::new();
+    for ((w, x), (_, d)) in xorbits.iter().zip(&dask) {
+        let ratio = x.throughput / d.throughput;
+        ratios.push(ratio);
+        rows.push(vec![
+            w.to_string(),
+            format!("{}", x.problem_size),
+            format!("{:.1}", x.throughput / 1e6),
+            format!("{:.1}", d.throughput / 1e6),
+            format!("{ratio:.2}x"),
+        ]);
+    }
+    print_table(
+        "Fig 8c — linear regression weak scaling (throughput, Melem/s)",
+        &["workers", "problem size", "Xorbits", "Dask", "Xorbits/Dask"],
+        &rows,
+    );
+    let avg = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    println!("average Xorbits/Dask throughput ratio: {avg:.2}x (paper: 5.88x)");
+    let growing = xorbits.windows(2).all(|w| w[1].1.throughput >= w[0].1.throughput * 0.8);
+    println!("Xorbits throughput grows with workers: {growing} (paper: yes)");
+}

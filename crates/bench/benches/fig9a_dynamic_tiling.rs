@@ -1,0 +1,48 @@
+//! Regenerates **paper Fig 9a**: the dynamic-tiling ablation on TPC-H Q2
+//! (four merges) and Q7 (nine merges).
+//!
+//! Paper values: enabling dynamic tiling speeds Q2 by 7.08× and Q7 by
+//! 10.59× versus the same engine with dynamic tiling disabled.
+//!
+//! Run: `cargo bench --bench fig9a_dynamic_tiling`
+
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_bench::{paper_cluster, print_table, sf};
+use xorbits_core::config::XorbitsConfig;
+use xorbits_workloads::tpch::{run_query, TpchData};
+
+fn run_with(cfg: XorbitsConfig, data: &TpchData, q: u32) -> f64 {
+    let cluster = paper_cluster(16);
+    let engine = Engine::with_cfg(EngineKind::Xorbits, &cluster, cfg);
+    match run_query(&engine, data, q) {
+        Ok(_) => engine.session.total_stats().makespan,
+        Err(e) => {
+            eprintln!("  Q{q} failed: {e}");
+            f64::NAN
+        }
+    }
+}
+
+fn main() {
+    let data = TpchData::new(sf(1000));
+    let paper = [(2u32, 7.08), (7u32, 10.59)];
+    let mut rows = Vec::new();
+    for (q, paper_speedup) in paper {
+        let on = run_with(XorbitsConfig::default(), &data, q);
+        let off = run_with(XorbitsConfig::default().without_dynamic_tiling(), &data, q);
+        let speedup = off / on;
+        eprintln!("  Q{q}: dy-on {on:.4}s, dy-off {off:.4}s, speedup {speedup:.2}x");
+        rows.push(vec![
+            format!("Q{q}"),
+            format!("{on:.4}s"),
+            format!("{off:.4}s"),
+            format!("{speedup:.2}x"),
+            format!("{paper_speedup:.2}x"),
+        ]);
+    }
+    print_table(
+        "Fig 9a — dynamic tiling ablation (TPC-H, 16 workers)",
+        &["query", "dy on", "dy off", "speedup", "paper speedup"],
+        &rows,
+    );
+}

@@ -1,0 +1,69 @@
+//! Regenerates **paper Fig 9b**: graph-level ("g") and operator-level
+//! ("o") fusion ablation on TPC-H Q7 and Q8.
+//!
+//! Paper values: coloring-based graph-level fusion gives 3.80× (Q7) and
+//! 2.04× (Q8); operator-level fusion adds ~16%.
+//!
+//! Run: `cargo bench --bench fig9b_fusion`
+
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_bench::{paper_cluster, print_table, sf};
+use xorbits_core::config::XorbitsConfig;
+use xorbits_workloads::tpch::{run_query, TpchData};
+
+fn run_with(cfg: XorbitsConfig, data: &TpchData, q: u32) -> f64 {
+    let cluster = paper_cluster(16);
+    let engine = Engine::with_cfg(EngineKind::Xorbits, &cluster, cfg);
+    match run_query(&engine, data, q) {
+        Ok(_) => engine.session.total_stats().makespan,
+        Err(e) => {
+            eprintln!("  Q{q} failed: {e}");
+            f64::NAN
+        }
+    }
+}
+
+fn main() {
+    let data = TpchData::new(sf(1000));
+    let paper_g = [(7u32, 3.80), (8u32, 2.04)];
+    let mut rows = Vec::new();
+    for (q, paper_speedup) in paper_g {
+        let both = run_with(XorbitsConfig::default(), &data, q);
+        let no_g = run_with(XorbitsConfig::default().without_graph_fusion(), &data, q);
+        let no_o = run_with(XorbitsConfig::default().without_op_fusion(), &data, q);
+        let neither = run_with(
+            XorbitsConfig::default()
+                .without_graph_fusion()
+                .without_op_fusion(),
+            &data,
+            q,
+        );
+        let g_speedup = no_g / both;
+        let o_gain = (no_o / both - 1.0) * 100.0;
+        eprintln!(
+            "  Q{q}: g+o {both:.4}s | no-g {no_g:.4}s | no-o {no_o:.4}s | none {neither:.4}s"
+        );
+        rows.push(vec![
+            format!("Q{q}"),
+            format!("{both:.4}s"),
+            format!("{no_g:.4}s"),
+            format!("{no_o:.4}s"),
+            format!("{neither:.4}s"),
+            format!("{g_speedup:.2}x (paper {paper_speedup:.2}x)"),
+            format!("{o_gain:.0}% (paper ~16%)"),
+        ]);
+    }
+    print_table(
+        "Fig 9b — fusion ablation (TPC-H, 16 workers)",
+        &[
+            "query",
+            "g+o on",
+            "g off",
+            "o off",
+            "both off",
+            "graph-fusion speedup",
+            "op-fusion gain",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks of the single-node kernels (the pandas/NumPy
+//! substrates every chunk task bottoms out in). Not a paper figure; used to
+//! track kernel regressions that would distort the simulator's measured
+//! subtask costs.
+//!
+//! Run: `cargo bench --bench kernels`
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use xorbits_array::{linalg, random, NdArray};
+use xorbits_dataframe::{
+    col, groupby, join, lit, partition, sort, AggFunc, AggSpec, Column, DataFrame,
+};
+
+fn frame(n: usize) -> DataFrame {
+    DataFrame::new(vec![
+        (
+            "k",
+            Column::from_i64((0..n as i64).map(|i| i % 100).collect()),
+        ),
+        ("v", Column::from_f64((0..n).map(|i| i as f64).collect())),
+        (
+            "s",
+            Column::from_str((0..n).map(|i| format!("val{}", i % 37))),
+        ),
+    ])
+    .unwrap()
+}
+
+fn bench_dataframe(c: &mut Criterion) {
+    let df = frame(100_000);
+    c.bench_function("filter_100k", |b| {
+        b.iter(|| {
+            let mask =
+                xorbits_dataframe::eval::eval_mask(&df, &col("v").lt(lit(5000.0))).unwrap();
+            std::hint::black_box(df.filter(&mask).unwrap())
+        })
+    });
+    c.bench_function("groupby_sum_100k", |b| {
+        b.iter(|| {
+            std::hint::black_box(
+                groupby::groupby_agg(
+                    &df,
+                    &["k"],
+                    &[AggSpec::new("v", AggFunc::Sum, "s")],
+                )
+                .unwrap(),
+            )
+        })
+    });
+    let small = frame(1000);
+    c.bench_function("hash_join_100k_x_1k", |b| {
+        b.iter(|| std::hint::black_box(join::merge_on(&df, &small, &["k"]).unwrap()))
+    });
+    c.bench_function("sort_100k", |b| {
+        b.iter_batched(
+            || df.clone(),
+            |d| std::hint::black_box(sort::sort_by(&d, &[("v", false)]).unwrap()),
+            BatchSize::LargeInput,
+        )
+    });
+    c.bench_function("hash_partition_100k_into_16", |b| {
+        b.iter(|| {
+            std::hint::black_box(partition::hash_partition(&df, &["k"], 16).unwrap())
+        })
+    });
+}
+
+fn bench_array(c: &mut Criterion) {
+    let a = random::rand_uniform(&[256, 256], 1);
+    let b2 = random::rand_uniform(&[256, 256], 2);
+    c.bench_function("matmul_256", |b| {
+        b.iter(|| std::hint::black_box(linalg::matmul(&a, &b2).unwrap()))
+    });
+    let tall = random::rand_uniform(&[4096, 16], 3);
+    c.bench_function("qr_4096x16", |b| {
+        b.iter(|| std::hint::black_box(linalg::qr(&tall).unwrap()))
+    });
+    let x = random::rand_uniform(&[8192, 8], 4);
+    let y = NdArray::from_iter((0..8192).map(|i| i as f64));
+    c.bench_function("lstsq_8192x8", |b| {
+        b.iter(|| std::hint::black_box(linalg::lstsq(&x, &y).unwrap()))
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dataframe, bench_array
+);
+criterion_main!(benches);

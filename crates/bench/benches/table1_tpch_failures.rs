@@ -1,0 +1,49 @@
+//! Regenerates **paper Table I**: number of failed TPC-H queries per
+//! system at SF 10 / 100 / 1000.
+//!
+//! Paper values:  SF10 → pandas 0, PySpark 3, Dask 1, Modin 0;
+//!                SF100 → pandas 17, PySpark 3, Dask 1, Modin 1;
+//!                SF1000 → pandas 22, PySpark 4, Dask 5, Modin 22.
+//!
+//! Run: `cargo bench --bench table1_tpch_failures`
+//! (scale down with `XORBITS_BENCH_SCALE=0.1` for a smoke run)
+
+use xorbits_baselines::EngineKind;
+use xorbits_bench::{paper_cluster, print_table, sf};
+use xorbits_workloads::harness::{failed_count, run_tpch_suite};
+use xorbits_workloads::tpch::TpchData;
+
+fn main() {
+    let engines = [
+        EngineKind::Pandas,
+        EngineKind::PySpark,
+        EngineKind::Dask,
+        EngineKind::Modin,
+        EngineKind::Xorbits,
+    ];
+    let paper: &[(&str, [&str; 5])] = &[
+        ("10", ["0", "3", "1", "0", "—"]),
+        ("100", ["17", "3", "1", "1", "—"]),
+        ("1000", ["22", "4", "5", "22", "—"]),
+    ];
+
+    let mut rows = Vec::new();
+    for (si, &label) in [10u32, 100, 1000].iter().enumerate() {
+        let data = TpchData::new(sf(label));
+        let cluster = paper_cluster(16);
+        let mut row = vec![format!("SF{label}")];
+        for (ei, kind) in engines.iter().enumerate() {
+            let recs = run_tpch_suite(*kind, &cluster, &data);
+            let fails = failed_count(&recs);
+            let paper_val = paper[si].1[ei];
+            row.push(format!("{fails} (paper {paper_val})"));
+            eprintln!("  SF{label} {:8}: {fails} failed", kind.name());
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table I — failed TPC-H queries (measured vs paper)",
+        &["SF", "pandas", "PySpark", "Dask", "Modin", "Xorbits"],
+        &rows,
+    );
+}

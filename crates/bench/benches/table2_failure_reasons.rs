@@ -1,0 +1,49 @@
+//! Regenerates **paper Table II**: reasons frameworks fail on TPC-H
+//! SF1000, classified as API Compatibility / Hang / OOM-or-Killed.
+//!
+//! Paper values: PySpark 3/0/1, Dask 0/2/3, Modin 0/0/22.
+//!
+//! Run: `cargo bench --bench table2_failure_reasons`
+
+use xorbits_baselines::EngineKind;
+use xorbits_bench::{env_f64, paper_cluster, print_table, sf};
+use xorbits_workloads::harness::{failure_histogram, run_tpch_suite};
+use xorbits_workloads::tpch::TpchData;
+
+fn main() {
+    let data = TpchData::new(sf(1000));
+    // the hang deadline (virtual seconds per query suite member) models
+    // the paper's queries that never finished
+    let deadline = env_f64("XORBITS_HANG_DEADLINE", 2.5);
+
+    let engines = [EngineKind::PySpark, EngineKind::Dask, EngineKind::Modin];
+    let paper = [("PySpark", (3, 0, 1)), ("Dask", (0, 2, 3)), ("Modin", (0, 0, 22))];
+
+    let mut api_row = vec!["API Compatibility".to_string()];
+    let mut hang_row = vec!["Hang".to_string()];
+    let mut oom_row = vec!["OOM or Killed".to_string()];
+    let mut total_row = vec!["Total".to_string()];
+    for (ei, kind) in engines.iter().enumerate() {
+        let cluster = paper_cluster(16).with_deadline(deadline);
+        let recs = run_tpch_suite(*kind, &cluster, &data);
+        let (api, hang, oom, other) = failure_histogram(&recs);
+        let (p_api, p_hang, p_oom) = paper[ei].1;
+        api_row.push(format!("{api} (paper {p_api})"));
+        hang_row.push(format!("{hang} (paper {p_hang})"));
+        oom_row.push(format!("{} (paper {p_oom})", oom + other));
+        total_row.push(format!(
+            "{} (paper {})",
+            api + hang + oom + other,
+            p_api + p_hang + p_oom
+        ));
+        eprintln!(
+            "  {:8}: api={api} hang={hang} oom={oom} other={other}",
+            kind.name()
+        );
+    }
+    print_table(
+        "Table II — failure reasons on TPC-H SF1000 (measured vs paper)",
+        &["Reason", "PySpark", "Dask", "Modin"],
+        &[api_row, hang_row, oom_row, total_row],
+    );
+}

@@ -1,0 +1,32 @@
+//! Calibration scratch: TPC-H failure counts + times per engine and SF.
+use xorbits_baselines::EngineKind;
+use xorbits_workloads::harness::*;
+use xorbits_workloads::tpch::TpchData;
+use xorbits_bench::paper_cluster;
+
+fn main() {
+    let sf_label: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
+    let workers: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let data = TpchData::new(sf_label);
+    let cluster = paper_cluster(workers);
+    for kind in EngineKind::all() {
+        let t0 = std::time::Instant::now();
+        let recs = run_tpch_suite(kind, &cluster, &data);
+        let fails = failed_count(&recs);
+        let (api, hang, oom, other) = failure_histogram(&recs);
+        let total = total_success_makespan(&recs);
+        println!(
+            "{:8} SF{:>4}: fails={fails:2} (api={api} hang={hang} oom={oom} other={other}) vtime={total:8.3}s real={:6.1}s",
+            kind.name(), sf_label, t0.elapsed().as_secs_f64()
+        );
+        for r in &recs {
+            if r.kind != xorbits_core::error::FailureKind::Success {
+                println!("    {} {}: {:?} {}", kind.name(), r.label, r.kind, r.error);
+            }
+        }
+        let mut sorted: Vec<_> = recs.iter().filter(|r| !r.makespan.is_nan()).collect();
+        sorted.sort_by(|a, b| b.makespan.total_cmp(&a.makespan));
+        let tops: Vec<String> = sorted.iter().take(4).map(|r| format!("{}={:.2}s", r.label, r.makespan)).collect();
+        println!("    slowest: {}", tops.join(" "));
+    }
+}

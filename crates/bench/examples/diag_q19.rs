@@ -1,0 +1,21 @@
+//! Planner diagnostic: memory behaviour of TPC-H Q19 and Q9 on Xorbits.
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_bench::{paper_cluster, sf};
+use xorbits_workloads::tpch::{run_query, TpchData};
+
+fn main() {
+    let data = TpchData::new(sf(1000));
+    for q in [19u32, 9] {
+        let engine = Engine::new(EngineKind::Xorbits, &paper_cluster(16));
+        match run_query(&engine, &data, q) {
+            Ok(_) => {
+                let s = engine.session.total_stats();
+                println!("Q{q} OK makespan={:.3} peak={}MB spill={}MB", s.makespan, s.peak_worker_bytes>>20, s.spilled_bytes>>20);
+            }
+            Err(e) => println!("Q{q} FAILED {e}"),
+        }
+        if let Some(r) = engine.session.last_report() {
+            for d in &r.tiling.decisions { println!("    {d}"); }
+        }
+    }
+}

@@ -1,0 +1,22 @@
+//! Planner diagnostic: TPC-H Q19 broadcast-vs-shuffle economics across
+//! engines.
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_bench::{paper_cluster, sf};
+use xorbits_workloads::tpch::{run_query, TpchData};
+fn main() {
+    let data = TpchData::new(sf(1000));
+    for kind in [EngineKind::Xorbits, EngineKind::PySpark, EngineKind::Dask] {
+        let e = Engine::new(kind, &paper_cluster(16));
+        match run_query(&e, &data, 19) {
+            Ok(_) => {
+                let s = e.session.total_stats();
+                println!("{:8} Q19 makespan={:.3} net={}MB storagecpu subtasks={} cpu={:.2}",
+                    e.name(), s.makespan, s.net_bytes>>20, s.subtasks, s.real_cpu_seconds);
+                if let Some(r) = e.session.last_report() {
+                    for d in r.tiling.decisions { println!("    {d}"); }
+                }
+            }
+            Err(err) => println!("{:8} Q19 FAILED {err}", e.name()),
+        }
+    }
+}

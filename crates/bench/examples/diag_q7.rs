@@ -1,0 +1,31 @@
+//! Planner diagnostic: TPC-H Q2/Q7 with dynamic tiling on and off,
+//! printing makespans, traffic, spill and the tiler decision log.
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_bench::{paper_cluster, sf};
+use xorbits_core::config::XorbitsConfig;
+use xorbits_workloads::tpch::{run_query, TpchData};
+
+fn main() {
+    let data = TpchData::new(sf(1000));
+    for (name, cfg) in [
+        ("dy-on ", XorbitsConfig::default()),
+        ("dy-off", XorbitsConfig::default().without_dynamic_tiling()),
+    ] {
+        for q in [2u32, 7] {
+            let engine = Engine::with_cfg(EngineKind::Xorbits, &paper_cluster(16), cfg.clone());
+            match run_query(&engine, &data, q) {
+                Ok(_) => {
+                    let s = engine.session.total_stats();
+                    let r = engine.session.last_report().unwrap();
+                    println!(
+                        "Q{q} {name}: makespan={:.4}s subtasks={} net={}MB spill={}MB peak={}MB cpu={:.2}s yields={}",
+                        s.makespan, s.subtasks, s.net_bytes >> 20, s.spilled_bytes >> 20,
+                        s.peak_worker_bytes >> 20, s.real_cpu_seconds, r.tiling.yields
+                    );
+                    for d in &r.tiling.decisions { println!("    {d}"); }
+                }
+                Err(e) => println!("Q{q} {name}: FAILED {e}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Shared helpers for the benchmark targets: paper-style table printing
+//! and environment-variable scale overrides.
+//!
+//! Every bench target regenerates one table or figure of the paper's
+//! evaluation; see DESIGN.md §3 for the full index. Bench output pairs the
+//! paper's reported values with the measured ones so EXPERIMENTS.md can be
+//! filled mechanically.
+
+#![warn(missing_docs)]
+
+use xorbits_runtime::ClusterSpec;
+
+/// Reads an `f64` env override (e.g. `XORBITS_BENCH_SCALE`).
+pub fn env_f64(name: &str, default: f64) -> f64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Global scale multiplier for bench datasets (default 1.0; lower it for
+/// quick smoke runs: `XORBITS_BENCH_SCALE=0.1 cargo bench`).
+pub fn bench_scale() -> f64 {
+    env_f64("XORBITS_BENCH_SCALE", 1.0)
+}
+
+/// The paper's "SF" labels mapped to generator scale factors, multiplied
+/// by the bench scale.
+pub fn sf(label: u32) -> f64 {
+    label as f64 * bench_scale()
+}
+
+/// The paper's TPC-H cluster: 16 workers. The per-worker memory budget is
+/// fixed (machines don't grow with data): calibrated so one node fits
+/// "SF10", struggles at "SF100" and cannot hold "SF1000" — the same
+/// head-room ratios as the paper's 256 GB nodes.
+pub fn paper_cluster(workers: usize) -> ClusterSpec {
+    ClusterSpec::new(workers, (36. * bench_scale() * (1 << 20) as f64) as usize)
+}
+
+/// Prints a markdown-style table.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}\n");
+    println!("| {} |", header.join(" | "));
+    println!(
+        "|{}|",
+        header.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        println!("| {} |", row.join(" | "));
+    }
+    println!();
+}
+
+/// Formats a makespan or NaN as a failure marker.
+pub fn fmt_time(t: f64) -> String {
+    if t.is_nan() {
+        "fail".to_string()
+    } else {
+        format!("{t:.4}s")
+    }
+}
+
+/// Formats a relative value ×.
+pub fn fmt_rel(v: f64) -> String {
+    if v.is_nan() {
+        "—".to_string()
+    } else {
+        format!("{v:.2}x")
+    }
+}

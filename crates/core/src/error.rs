@@ -1,0 +1,139 @@
+//! Error taxonomy for graph construction and execution.
+//!
+//! The benchmark harness classifies workload failures with exactly the
+//! paper's Table II categories: *API Compatibility* ([`XbError::Unsupported`]),
+//! *Hang* ([`XbError::Hang`]) and *OOM or Killed* ([`XbError::Oom`]).
+
+use std::fmt;
+
+/// Errors raised anywhere in the Xorbits stack.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XbError {
+    /// The engine cannot express this operation (API-compatibility failure).
+    Unsupported(String),
+    /// A virtual worker exceeded its memory budget with spilling disabled
+    /// (or spilling also exhausted) — the paper's "OOM or Killed".
+    Oom {
+        /// Worker that overflowed.
+        worker: usize,
+        /// Bytes the worker needed live at peak.
+        needed: usize,
+        /// The worker's budget.
+        budget: usize,
+    },
+    /// Virtual makespan exceeded the workload deadline — models the paper's
+    /// "Hang" failures (stragglers that never finish in time).
+    Hang {
+        /// Virtual seconds the run would have taken.
+        makespan: f64,
+        /// The deadline that was exceeded.
+        deadline: f64,
+    },
+    /// A kernel operation failed (type error, missing column, …).
+    Kernel(String),
+    /// Graph-construction invariant violated (internal error).
+    Plan(String),
+}
+
+impl fmt::Display for XbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XbError::Unsupported(s) => write!(f, "unsupported: {s}"),
+            XbError::Oom {
+                worker,
+                needed,
+                budget,
+            } => write!(
+                f,
+                "worker {worker} out of memory: needed {needed} bytes, budget {budget}"
+            ),
+            XbError::Hang { makespan, deadline } => write!(
+                f,
+                "hang: virtual makespan {makespan:.1}s exceeded deadline {deadline:.1}s"
+            ),
+            XbError::Kernel(s) => write!(f, "kernel error: {s}"),
+            XbError::Plan(s) => write!(f, "planning error: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for XbError {}
+
+impl From<xorbits_dataframe::DfError> for XbError {
+    fn from(e: xorbits_dataframe::DfError) -> Self {
+        XbError::Kernel(e.to_string())
+    }
+}
+
+impl From<xorbits_array::ArrError> for XbError {
+    fn from(e: xorbits_array::ArrError) -> Self {
+        XbError::Kernel(e.to_string())
+    }
+}
+
+/// Result alias.
+pub type XbResult<T> = Result<T, XbError>;
+
+/// The paper's Table II failure categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FailureKind {
+    /// Ran to completion.
+    Success,
+    /// API compatibility failure.
+    ApiCompatibility,
+    /// Hang (deadline exceeded).
+    Hang,
+    /// Out of memory / killed.
+    OomOrKilled,
+    /// Other error (kernel/planning bug).
+    Other,
+}
+
+impl FailureKind {
+    /// Classifies an execution result the way the paper's Table II does.
+    pub fn classify<T>(result: &XbResult<T>) -> FailureKind {
+        match result {
+            Ok(_) => FailureKind::Success,
+            Err(XbError::Unsupported(_)) => FailureKind::ApiCompatibility,
+            Err(XbError::Hang { .. }) => FailureKind::Hang,
+            Err(XbError::Oom { .. }) => FailureKind::OomOrKilled,
+            Err(_) => FailureKind::Other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_table2_taxonomy() {
+        assert_eq!(
+            FailureKind::classify(&Ok::<(), _>(())),
+            FailureKind::Success
+        );
+        assert_eq!(
+            FailureKind::classify::<()>(&Err(XbError::Unsupported("iloc".into()))),
+            FailureKind::ApiCompatibility
+        );
+        assert_eq!(
+            FailureKind::classify::<()>(&Err(XbError::Oom {
+                worker: 0,
+                needed: 10,
+                budget: 5
+            })),
+            FailureKind::OomOrKilled
+        );
+        assert_eq!(
+            FailureKind::classify::<()>(&Err(XbError::Hang {
+                makespan: 100.0,
+                deadline: 10.0
+            })),
+            FailureKind::Hang
+        );
+        assert_eq!(
+            FailureKind::classify::<()>(&Err(XbError::Kernel("x".into()))),
+            FailureKind::Other
+        );
+    }
+}

@@ -1,0 +1,517 @@
+//! Chunk-operator execution — the `execute` methods of §III-C.
+//!
+//! Every [`ChunkOp`] variant is executed here against its input payloads,
+//! bottoming out in the single-node kernels (`xorbits-dataframe` standing in
+//! for pandas, `xorbits-array` for NumPy), exactly as the paper's workers
+//! call the single-node packages on split chunks.
+
+use crate::chunk::{ArrStep, ChunkOp, DfStep, Payload};
+use crate::error::{XbError, XbResult};
+use std::sync::Arc;
+use xorbits_array::{linalg, random, NdArray, Reduction};
+use xorbits_dataframe::{
+    eval, groupby, join, partition, pivot, sort, DataFrame, JoinOptions,
+};
+
+/// Executes one chunk operator. Returns one payload per declared output.
+pub fn execute_chunk(op: &ChunkOp, inputs: &[Arc<Payload>]) -> XbResult<Vec<Payload>> {
+    match op {
+        // ---- sources -------------------------------------------------------
+        ChunkOp::DfLiteral(df) => Ok(vec![Payload::Df(df.as_ref().clone())]),
+        ChunkOp::DfGen { gen, .. } => Ok(vec![Payload::Df(gen()?.clone())]),
+        ChunkOp::ArrLiteral(a) => Ok(vec![Payload::Arr(a.as_ref().clone())]),
+        ChunkOp::ArrRandom {
+            shape,
+            seed,
+            normal,
+        } => {
+            let a = if *normal {
+                random::rand_normal(shape, *seed)
+            } else {
+                random::rand_uniform(shape, *seed)
+            };
+            Ok(vec![Payload::Arr(a)])
+        }
+
+        // ---- dataframe elementwise ------------------------------------------
+        ChunkOp::DfMap(steps) => {
+            // apply steps without copying the input chunk up front: each
+            // step reads the previous frame by reference
+            let input = inputs[0].as_df()?;
+            let mut owned: Option<DataFrame> = None;
+            for step in steps {
+                let src = owned.as_ref().unwrap_or(input);
+                owned = Some(apply_df_step(src, step)?);
+            }
+            let out = match owned {
+                Some(df) => df,
+                None => input.clone(),
+            };
+            Ok(vec![Payload::Df(out)])
+        }
+
+        // ---- groupby stages ---------------------------------------------------
+        ChunkOp::GroupbyMap { keys, specs } => {
+            let df = inputs[0].as_df()?;
+            let keys: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+            Ok(vec![Payload::Df(groupby::groupby_map(df, &keys, specs)?)])
+        }
+        ChunkOp::GroupbyCombine { keys, specs } => {
+            let df = concat_df_inputs(inputs)?;
+            let keys: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+            Ok(vec![Payload::Df(groupby::groupby_combine(
+                &df, &keys, specs,
+            )?)])
+        }
+        ChunkOp::GroupbyFinalize { keys, specs } => {
+            let df = concat_df_inputs(inputs)?;
+            let keys: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+            Ok(vec![Payload::Df(groupby::groupby_finalize(
+                &df, &keys, specs,
+            )?)])
+        }
+        ChunkOp::GroupbyDirect { keys, specs } => {
+            let df = concat_df_inputs(inputs)?;
+            let keys: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+            Ok(vec![Payload::Df(groupby::groupby_agg(&df, &keys, specs)?)])
+        }
+        ChunkOp::DistinctLocal { subset } => {
+            let df = concat_df_inputs(inputs)?;
+            let subset: Option<Vec<&str>> = subset
+                .as_ref()
+                .map(|s| s.iter().map(|x| x.as_str()).collect());
+            Ok(vec![Payload::Df(df.drop_duplicates(subset.as_deref())?)])
+        }
+
+        // ---- shuffle ---------------------------------------------------------
+        ChunkOp::ShuffleSplit { keys, n } => {
+            let df = inputs[0].as_df()?;
+            let keys: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+            let parts = partition::hash_partition(df, &keys, *n)?;
+            Ok(parts.into_iter().map(Payload::Df).collect())
+        }
+
+        // ---- reshaping ---------------------------------------------------------
+        ChunkOp::Concat => match inputs[0].as_ref() {
+            Payload::Df(_) => Ok(vec![Payload::Df(concat_df_inputs(inputs)?)]),
+            Payload::Arr(_) => {
+                let arrs: Vec<&NdArray> = inputs
+                    .iter()
+                    .map(|p| p.as_arr())
+                    .collect::<XbResult<Vec<_>>>()?;
+                Ok(vec![Payload::Arr(NdArray::concat_rows(&arrs)?)])
+            }
+        },
+        ChunkOp::HeadLocal { n } => {
+            let df = inputs[0].as_df()?;
+            Ok(vec![Payload::Df(df.head(*n))])
+        }
+        ChunkOp::SliceLocal { offset, len } => {
+            let df = inputs[0].as_df()?;
+            Ok(vec![Payload::Df(df.slice(*offset, *len))])
+        }
+        ChunkOp::SortLocal { keys } => {
+            let df = inputs[0].as_df()?;
+            let keys: Vec<(&str, bool)> =
+                keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            Ok(vec![Payload::Df(sort::sort_by(df, &keys)?)])
+        }
+        ChunkOp::TopKLocal { keys, n } => {
+            let df = concat_df_inputs(inputs)?;
+            let keys: Vec<(&str, bool)> =
+                keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            Ok(vec![Payload::Df(sort::top_k(&df, &keys, *n)?)])
+        }
+
+        // ---- join ------------------------------------------------------------
+        ChunkOp::Join {
+            left_on,
+            right_on,
+            how,
+            suffixes,
+        } => {
+            let l = inputs[0].as_df()?;
+            let r = inputs[1].as_df()?;
+            let lo: Vec<&str> = left_on.iter().map(|s| s.as_str()).collect();
+            let ro: Vec<&str> = right_on.iter().map(|s| s.as_str()).collect();
+            let opts = JoinOptions {
+                how: *how,
+                suffixes: suffixes.clone(),
+            };
+            Ok(vec![Payload::Df(join::merge(l, r, &lo, &ro, &opts)?)])
+        }
+        ChunkOp::PivotLocal {
+            index,
+            columns,
+            values,
+            agg,
+        } => {
+            let df = concat_df_inputs(inputs)?;
+            Ok(vec![Payload::Df(pivot::pivot_table(
+                &df, index, columns, values, *agg,
+            )?)])
+        }
+
+        // ---- array ops -----------------------------------------------------------
+        ChunkOp::ArrMap(steps) => {
+            let a = inputs[0].as_arr()?;
+            Ok(vec![Payload::Arr(apply_arr_chain(a, steps))])
+        }
+        ChunkOp::ArrBinary(op) => {
+            let a = inputs[0].as_arr()?;
+            let b = inputs[1].as_arr()?;
+            Ok(vec![Payload::Arr(xorbits_array::binary(*op, a, b)?)])
+        }
+        ChunkOp::MatMul => {
+            let a = inputs[0].as_arr()?;
+            let b = inputs[1].as_arr()?;
+            Ok(vec![Payload::Arr(linalg::matmul(a, b)?)])
+        }
+        ChunkOp::Transpose => {
+            let a = inputs[0].as_arr()?;
+            Ok(vec![Payload::Arr(a.transpose()?)])
+        }
+        ChunkOp::QrLocal => {
+            let a = inputs[0].as_arr()?;
+            let (q, r) = linalg::qr(a)?;
+            Ok(vec![Payload::Arr(q), Payload::Arr(r)])
+        }
+        ChunkOp::ArrSliceRows { start, end } => {
+            let a = inputs[0].as_arr()?;
+            Ok(vec![Payload::Arr(a.slice_rows(*start, *end)?)])
+        }
+        ChunkOp::ArrSliceBlock { block, nblocks } => {
+            let a = inputs[0].as_arr()?;
+            let rows = a.shape()[0];
+            if rows % nblocks != 0 {
+                return Err(XbError::Kernel(format!(
+                    "block slice: {rows} rows not divisible into {nblocks} blocks"
+                )));
+            }
+            let h = rows / nblocks;
+            Ok(vec![Payload::Arr(a.slice_rows(block * h, (block + 1) * h)?)])
+        }
+        ChunkOp::XtX => {
+            let x = inputs[0].as_arr()?;
+            let xt = x.transpose()?;
+            Ok(vec![Payload::Arr(linalg::matmul(&xt, x)?)])
+        }
+        ChunkOp::XtY => {
+            let x = inputs[0].as_arr()?;
+            let y = inputs[1].as_arr()?;
+            let xt = x.transpose()?;
+            Ok(vec![Payload::Arr(linalg::matvec(&xt, y)?)])
+        }
+        ChunkOp::AddN => {
+            let mut acc = inputs[0].as_arr()?.clone();
+            for p in &inputs[1..] {
+                acc = xorbits_array::binary(xorbits_array::ElemOp::Add, &acc, p.as_arr()?)?;
+            }
+            Ok(vec![Payload::Arr(acc)])
+        }
+        ChunkOp::SolveNe => {
+            let xtx = inputs[0].as_arr()?;
+            let xty = inputs[1].as_arr()?;
+            Ok(vec![Payload::Arr(linalg::solve_normal_equations(
+                xtx, xty,
+            )?)])
+        }
+        ChunkOp::ReducePartial { kind } => {
+            let a = inputs[0].as_arr()?;
+            Ok(vec![Payload::Arr(reduce_state(*kind, a))])
+        }
+        ChunkOp::ReduceCombine { kind } => {
+            let states: Vec<&NdArray> = inputs
+                .iter()
+                .map(|p| p.as_arr())
+                .collect::<XbResult<Vec<_>>>()?;
+            Ok(vec![Payload::Arr(combine_states(*kind, &states)?)])
+        }
+        ChunkOp::ReduceFinal { kind } => {
+            let states: Vec<&NdArray> = inputs
+                .iter()
+                .map(|p| p.as_arr())
+                .collect::<XbResult<Vec<_>>>()?;
+            let combined = combine_states(*kind, &states)?;
+            let value = match kind {
+                Reduction::Mean => {
+                    let d = combined.data();
+                    if d[1] == 0.0 {
+                        f64::NAN
+                    } else {
+                        d[0] / d[1]
+                    }
+                }
+                _ => combined.data()[0],
+            };
+            Ok(vec![Payload::Arr(NdArray::from_iter([value]))])
+        }
+    }
+}
+
+fn apply_df_step(df: &DataFrame, step: &DfStep) -> XbResult<DataFrame> {
+    Ok(match step {
+        DfStep::Filter(expr) => {
+            let mask = eval::eval_mask(df, expr)?;
+            df.filter(&mask)?
+        }
+        DfStep::Project(cols) => {
+            let names: Vec<&str> = cols.iter().map(|s| s.as_str()).collect();
+            df.select(&names)?
+        }
+        DfStep::PruneTo(cols) => {
+            let names: Vec<&str> = cols
+                .iter()
+                .map(|s| s.as_str())
+                .filter(|n| df.schema().contains(n))
+                .collect();
+            df.select(&names)?
+        }
+        DfStep::Assign(exprs) => {
+            let mut out = df.clone();
+            for (name, expr) in exprs {
+                // evaluate against the running frame so later assigns can
+                // reference earlier ones, like chained pandas assigns
+                let col = eval::eval(&out, expr)?;
+                out = out.with_column_in_place(name, col)?;
+            }
+            out
+        }
+        DfStep::Fillna(col, value) => df.fillna(col, value)?,
+        DfStep::Dropna(subset) => {
+            let subset: Option<Vec<&str>> = subset
+                .as_ref()
+                .map(|s| s.iter().map(|x| x.as_str()).collect());
+            df.dropna(subset.as_deref())?
+        }
+        DfStep::Rename(pairs) => {
+            let pairs: Vec<(&str, &str)> = pairs
+                .iter()
+                .map(|(a, b)| (a.as_str(), b.as_str()))
+                .collect();
+            df.rename(&pairs)?
+        }
+    })
+}
+
+/// Fused single-pass evaluation of a scalar-operand chain — the real
+/// mechanism of operator-level fusion for arrays: one traversal, no
+/// intermediate arrays.
+fn apply_arr_chain(a: &NdArray, steps: &[ArrStep]) -> NdArray {
+    a.map(|mut v| {
+        for s in steps {
+            v = match s.op {
+                xorbits_array::ElemOp::Add => v + s.operand,
+                xorbits_array::ElemOp::Sub => v - s.operand,
+                xorbits_array::ElemOp::Mul => v * s.operand,
+                xorbits_array::ElemOp::Div => v / s.operand,
+                xorbits_array::ElemOp::Max => v.max(s.operand),
+                xorbits_array::ElemOp::Min => v.min(s.operand),
+                xorbits_array::ElemOp::Pow => v.powf(s.operand),
+            };
+        }
+        v
+    })
+}
+
+fn concat_df_inputs(inputs: &[Arc<Payload>]) -> XbResult<DataFrame> {
+    if inputs.len() == 1 {
+        return Ok(inputs[0].as_df()?.clone());
+    }
+    let dfs: Vec<&DataFrame> = inputs
+        .iter()
+        .map(|p| p.as_df())
+        .collect::<XbResult<Vec<_>>>()?;
+    // Tolerate empty chunks with divergent inferred schemas: drop zero-row
+    // frames when at least one non-empty frame exists.
+    let non_empty: Vec<&DataFrame> = dfs.iter().copied().filter(|d| d.num_rows() > 0).collect();
+    let parts = if non_empty.is_empty() { &dfs } else { &non_empty };
+    Ok(DataFrame::concat(parts)?)
+}
+
+/// `[sum]` / `[sum, count]` / `[min]` / `[max]` partial state of one chunk.
+fn reduce_state(kind: Reduction, a: &NdArray) -> NdArray {
+    match kind {
+        Reduction::Sum => NdArray::from_iter([xorbits_array::reduce_all(Reduction::Sum, a)]),
+        Reduction::Mean => NdArray::from_iter([
+            xorbits_array::reduce_all(Reduction::Sum, a),
+            a.len() as f64,
+        ]),
+        Reduction::Min => NdArray::from_iter([xorbits_array::reduce_all(Reduction::Min, a)]),
+        Reduction::Max => NdArray::from_iter([xorbits_array::reduce_all(Reduction::Max, a)]),
+    }
+}
+
+fn combine_states(kind: Reduction, states: &[&NdArray]) -> XbResult<NdArray> {
+    let width = states
+        .first()
+        .map(|s| s.len())
+        .ok_or_else(|| XbError::Kernel("combine of zero states".into()))?;
+    let mut acc = states[0].data().to_vec();
+    for s in &states[1..] {
+        if s.len() != width {
+            return Err(XbError::Kernel("reduce state width mismatch".into()));
+        }
+        for (i, v) in s.data().iter().enumerate() {
+            acc[i] = match kind {
+                Reduction::Sum | Reduction::Mean => acc[i] + v,
+                Reduction::Min => acc[i].min(*v),
+                Reduction::Max => acc[i].max(*v),
+            };
+        }
+    }
+    Ok(NdArray::from_vec(acc, vec![width])?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbits_dataframe::{col, lit, AggFunc, AggSpec, Column};
+
+    fn df_payload() -> Arc<Payload> {
+        Arc::new(Payload::Df(
+            DataFrame::new(vec![
+                ("k", Column::from_str(["a", "b", "a"])),
+                ("v", Column::from_i64(vec![1, 2, 3])),
+            ])
+            .unwrap(),
+        ))
+    }
+
+    #[test]
+    fn fused_df_steps_apply_in_order() {
+        let op = ChunkOp::DfMap(vec![
+            DfStep::Assign(vec![("w".into(), col("v").mul(lit(10i64)))]),
+            DfStep::Filter(col("w").gt(lit(10i64))),
+            DfStep::Project(vec!["k".into(), "w".into()]),
+        ]);
+        let out = execute_chunk(&op, &[df_payload()]).unwrap();
+        let df = out[0].as_df().unwrap();
+        assert_eq!(df.num_rows(), 2);
+        assert_eq!(df.schema().names(), vec!["k", "w"]);
+    }
+
+    #[test]
+    fn groupby_stage_pipeline() {
+        let specs = vec![AggSpec::new("v", AggFunc::Sum, "s")];
+        let keys = vec!["k".to_string()];
+        let mapped = execute_chunk(
+            &ChunkOp::GroupbyMap {
+                keys: keys.clone(),
+                specs: specs.clone(),
+            },
+            &[df_payload()],
+        )
+        .unwrap();
+        let finalized = execute_chunk(
+            &ChunkOp::GroupbyFinalize {
+                keys: keys.clone(),
+                specs,
+            },
+            &[Arc::new(mapped.into_iter().next().unwrap())],
+        )
+        .unwrap();
+        let df = finalized[0].as_df().unwrap();
+        assert_eq!(df.num_rows(), 2);
+    }
+
+    #[test]
+    fn shuffle_split_covers_rows() {
+        let out = execute_chunk(
+            &ChunkOp::ShuffleSplit {
+                keys: vec!["k".into()],
+                n: 3,
+            },
+            &[df_payload()],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 3);
+        let total: usize = out.iter().map(|p| p.rows()).sum();
+        assert_eq!(total, 3);
+    }
+
+    #[test]
+    fn qr_local_outputs_q_and_r() {
+        let a = Arc::new(Payload::Arr(xorbits_array::random::rand_uniform(
+            &[8, 3],
+            5,
+        )));
+        let out = execute_chunk(&ChunkOp::QrLocal, &[a.clone()]).unwrap();
+        assert_eq!(out.len(), 2);
+        let q = out[0].as_arr().unwrap();
+        let r = out[1].as_arr().unwrap();
+        let prod = linalg::matmul(q, r).unwrap();
+        assert!(prod.max_abs_diff(a.as_arr().unwrap()) < 1e-9);
+    }
+
+    #[test]
+    fn reduce_tree_mean() {
+        let a = Arc::new(Payload::Arr(NdArray::from_iter([1.0, 2.0, 3.0])));
+        let b = Arc::new(Payload::Arr(NdArray::from_iter([4.0, 5.0])));
+        let kind = Reduction::Mean;
+        let pa = execute_chunk(&ChunkOp::ReducePartial { kind }, &[a]).unwrap();
+        let pb = execute_chunk(&ChunkOp::ReducePartial { kind }, &[b]).unwrap();
+        let f = execute_chunk(
+            &ChunkOp::ReduceFinal { kind },
+            &[
+                Arc::new(pa.into_iter().next().unwrap()),
+                Arc::new(pb.into_iter().next().unwrap()),
+            ],
+        )
+        .unwrap();
+        assert!((f[0].as_arr().unwrap().data()[0] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arr_chain_fused_single_pass() {
+        let a = Arc::new(Payload::Arr(NdArray::from_iter([1.0, 2.0])));
+        let op = ChunkOp::ArrMap(vec![
+            ArrStep {
+                op: xorbits_array::ElemOp::Mul,
+                operand: 3.0,
+            },
+            ArrStep {
+                op: xorbits_array::ElemOp::Add,
+                operand: 1.0,
+            },
+        ]);
+        let out = execute_chunk(&op, &[a]).unwrap();
+        assert_eq!(out[0].as_arr().unwrap().data(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn concat_skips_empty_chunks() {
+        let empty = Arc::new(Payload::Df(
+            DataFrame::new(vec![("k", Column::from_str(Vec::<&str>::new()))]).unwrap(),
+        ));
+        let out = execute_chunk(&ChunkOp::Concat, &[df_payload(), empty]).unwrap();
+        assert_eq!(out[0].rows(), 3);
+    }
+
+    #[test]
+    fn solve_ne_linear_regression_reduce() {
+        // two chunks of X, y; partial XtX/Xty summed then solved
+        let x1 = NdArray::from_vec(vec![1., 0., 0., 1., 1., 1.], vec![3, 2]).unwrap();
+        let y1 = NdArray::from_iter([2., 3., 5.]);
+        let xtx = execute_chunk(&ChunkOp::XtX, &[Arc::new(Payload::Arr(x1.clone()))]).unwrap();
+        let xty = execute_chunk(
+            &ChunkOp::XtY,
+            &[
+                Arc::new(Payload::Arr(x1)),
+                Arc::new(Payload::Arr(y1)),
+            ],
+        )
+        .unwrap();
+        let w = execute_chunk(
+            &ChunkOp::SolveNe,
+            &[
+                Arc::new(xtx.into_iter().next().unwrap()),
+                Arc::new(xty.into_iter().next().unwrap()),
+            ],
+        )
+        .unwrap();
+        let w = w[0].as_arr().unwrap();
+        assert!((w.data()[0] - 2.0).abs() < 1e-10);
+        assert!((w.data()[1] - 3.0).abs() < 1e-10);
+    }
+}

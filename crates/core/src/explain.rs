@@ -1,0 +1,170 @@
+//! Plan rendering — `EXPLAIN` for the three computation graphs.
+//!
+//! Renders the logical (tileable) plan and, after tiling, the chunk/subtask
+//! structure summary, so examples and users can see what dynamic tiling and
+//! the optimizer decided.
+
+use crate::chunk::ChunkGraph;
+use crate::subtask::SubtaskGraph;
+use crate::tileable::{TileableGraph, TileableOp};
+
+/// Renders the logical plan, one line per tileable.
+pub fn explain_tileable(graph: &TileableGraph) -> String {
+    let mut out = String::from("TileableGraph (logical plan)\n");
+    for (id, op) in graph.nodes.iter().enumerate() {
+        let inputs = op.inputs();
+        let deps = if inputs.is_empty() {
+            String::new()
+        } else {
+            format!(
+                " <- {}",
+                inputs
+                    .iter()
+                    .map(|i| format!("#{i}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
+        let shape = if op.is_static_shape() {
+            "static"
+        } else {
+            "non-static" // the §IV-A unknown-shape operators
+        };
+        out.push_str(&format!("  #{id} {}{deps}  [{shape}]\n", op_name(op)));
+    }
+    out
+}
+
+fn op_name(op: &TileableOp) -> String {
+    match op {
+        TileableOp::DfSource(s) => format!("DfSource({})", s.label()),
+        TileableOp::Filter { .. } => "Filter".into(),
+        TileableOp::Project { columns, .. } => format!("Project{columns:?}"),
+        TileableOp::PruneColumns { columns, .. } => format!("PruneColumns{columns:?}"),
+        TileableOp::Assign { exprs, .. } => format!(
+            "Assign[{}]",
+            exprs.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+        ),
+        TileableOp::Fillna { column, .. } => format!("Fillna({column})"),
+        TileableOp::Dropna { .. } => "Dropna".into(),
+        TileableOp::Rename { .. } => "Rename".into(),
+        TileableOp::GroupbyAgg { keys, specs, .. } => format!(
+            "GroupbyAgg(keys={keys:?}, aggs=[{}])",
+            specs
+                .iter()
+                .map(|s| format!("{}({})", s.func.name(), s.column))
+                .collect::<Vec<_>>()
+                .join(", ")
+        ),
+        TileableOp::Merge {
+            left_on, right_on, how, ..
+        } => format!("Merge({left_on:?}={right_on:?}, {how:?})"),
+        TileableOp::SortValues { keys, .. } => format!("SortValues{keys:?}"),
+        TileableOp::Head { n, .. } => format!("Head({n})"),
+        TileableOp::ILocRow { row, .. } => format!("ILoc[{row}]"),
+        TileableOp::DropDuplicates { .. } => "DropDuplicates".into(),
+        TileableOp::ConcatDf { .. } => "Concat".into(),
+        TileableOp::PivotTable { index, columns, values, .. } => {
+            format!("PivotTable(index={index}, columns={columns}, values={values})")
+        }
+        TileableOp::TensorRandom { shape, .. } => format!("TensorRandom{shape:?}"),
+        TileableOp::TensorFromArr(_) => "TensorLiteral".into(),
+        TileableOp::TensorMapChain { steps, .. } => format!("TensorMap[{} steps]", steps.len()),
+        TileableOp::TensorBinary { op, .. } => format!("TensorBinary({op:?})"),
+        TileableOp::TensorMatMul { .. } => "TensorMatMul".into(),
+        TileableOp::TensorQr { .. } => "TensorQR".into(),
+        TileableOp::TensorReduce { kind, .. } => format!("TensorReduce({kind:?})"),
+        TileableOp::TensorLstsq { .. } => "TensorLstsq".into(),
+    }
+}
+
+/// Summarises a chunk graph: operator histogram and edge count.
+pub fn explain_chunks(graph: &ChunkGraph) -> String {
+    let mut counts: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
+    for n in &graph.nodes {
+        *counts.entry(n.op.name()).or_default() += 1;
+    }
+    let mut out = format!(
+        "ChunkGraph: {} operators, {} edges\n",
+        graph.len(),
+        graph.edges().len()
+    );
+    for (name, c) in counts {
+        out.push_str(&format!("  {c:5} x {name}\n"));
+    }
+    out
+}
+
+/// Summarises a subtask graph: fusion ratio and internal-traffic savings.
+pub fn explain_subtasks(graph: &SubtaskGraph) -> String {
+    let internal: usize = graph.subtasks.iter().map(|s| s.internal_keys.len()).sum();
+    let published: usize = graph
+        .subtasks
+        .iter()
+        .map(|s| s.published_outputs.len())
+        .sum();
+    format!(
+        "SubtaskGraph: {} chunk ops fused into {} subtasks \
+         ({} chunks internalised, {} published)\n",
+        graph.chunks.len(),
+        graph.len(),
+        internal,
+        published
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tileable::DfSource;
+    use xorbits_dataframe::{col, lit, AggFunc, AggSpec, Column, DataFrame};
+
+    #[test]
+    fn logical_plan_render() {
+        let mut g = TileableGraph::new();
+        let df = DataFrame::new(vec![("a", Column::from_i64(vec![1]))]).unwrap();
+        let s = g
+            .push(TileableOp::DfSource(DfSource::materialized(df)))
+            .unwrap();
+        let f = g
+            .push(TileableOp::Filter {
+                input: s,
+                predicate: col("a").gt(lit(0i64)),
+            })
+            .unwrap();
+        g.push(TileableOp::GroupbyAgg {
+            input: f,
+            keys: vec!["a".into()],
+            specs: vec![AggSpec::new("a", AggFunc::Count, "c")],
+        })
+        .unwrap();
+        let text = explain_tileable(&g);
+        assert!(text.contains("#1 Filter <- #0  [non-static]"), "{text}");
+        assert!(text.contains("GroupbyAgg"), "{text}");
+    }
+
+    #[test]
+    fn chunk_and_subtask_render() {
+        use crate::chunk::{ChunkGraph, ChunkNode, ChunkOp, KeyGen};
+        use crate::subtask::SubtaskGraph;
+        let mut kg = KeyGen::new();
+        let (a, b) = (kg.next_key(), kg.next_key());
+        let mut g = ChunkGraph::new();
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![],
+            outputs: vec![a],
+        });
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![a],
+            outputs: vec![b],
+        });
+        let text = explain_chunks(&g);
+        assert!(text.contains("2 operators"));
+        let sg = SubtaskGraph::from_groups(g, &[0, 0], &[b].into_iter().collect()).unwrap();
+        let text = explain_subtasks(&sg);
+        assert!(text.contains("2 chunk ops fused into 1 subtasks"), "{text}");
+    }
+}

@@ -1,0 +1,34 @@
+//! # xorbits-core
+//!
+//! The heart of the Xorbits reproduction: the three computation graphs of
+//! §III-C (tileable → chunk → subtask), the dynamic-tiling engine of §IV,
+//! the graph optimizer of §V-A (coloring-based graph-level fusion,
+//! operator-level fusion, column pruning), the auto-rechunk algorithm of
+//! §V-D (paper Algorithm 1), and the deferred-evaluation session API.
+//!
+//! Execution is abstracted behind [`session::Executor`]; the
+//! `xorbits-runtime` crate provides the virtual-time cluster simulator that
+//! implements it.
+
+#![warn(missing_docs)]
+
+pub mod chunk;
+pub mod config;
+pub mod error;
+pub mod explain;
+pub mod exec;
+pub mod local;
+pub mod optimizer;
+pub mod rechunk;
+pub mod session;
+pub mod subtask;
+pub mod tileable;
+pub mod tiling;
+
+pub use chunk::{ChunkGraph, ChunkKey, ChunkMeta, ChunkNode, ChunkOp, KeyGen, Payload};
+pub use config::XorbitsConfig;
+pub use error::{FailureKind, XbError, XbResult};
+pub use session::{DfHandle, ExecStats, Executor, RunReport, Session, TensorHandle};
+pub use subtask::{Subtask, SubtaskGraph};
+pub use tileable::{DfSource, TileableGraph, TileableId, TileableOp};
+pub use tiling::{MetaView, TileStep, Tiler, TilingStats};

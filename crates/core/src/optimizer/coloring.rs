@@ -1,0 +1,194 @@
+//! Coloring-based graph-level fusion — the paper's §V-A algorithm (Fig 7).
+//!
+//! Three passes assign every chunk node a color; same-colored neighbours
+//! fuse into one subtask:
+//!
+//! 1. **Initial coloring** — nodes without predecessors each get a fresh
+//!    color.
+//! 2. **Forward propagation** — in topological order, a node whose
+//!    predecessors all share one color inherits it; otherwise it gets a
+//!    fresh color.
+//! 3. **Separation** — for each node whose successors *mix* its own color
+//!    with different colors, the same-colored successors are recolored
+//!    fresh (and the new color propagates down the chain). This splits
+//!    nodes whose output is also needed elsewhere out of the straight-line
+//!    chain — e.g. Fig 7's Operator ① must not fuse with ③ or ⑤.
+
+use crate::chunk::ChunkGraph;
+
+/// Computes the color (= fusion group id) of every node.
+pub fn color_graph(graph: &ChunkGraph) -> Vec<usize> {
+    let n = graph.nodes.len();
+    let producers = graph.producers();
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    // nodes also reading chunks produced by *earlier executions* (dynamic
+    // tiling fragments): their data does not flow from their in-graph
+    // predecessor, so they must not inherit its color — otherwise e.g.
+    // every broadcast join hanging off one Concat would fuse into a single
+    // serial subtask
+    let mut has_external = vec![false; n];
+    for (ci, node) in graph.nodes.iter().enumerate() {
+        for k in &node.inputs {
+            if let Some(&pi) = producers.get(k) {
+                if !preds[ci].contains(&pi) {
+                    preds[ci].push(pi);
+                    succs[pi].push(ci);
+                }
+            } else {
+                has_external[ci] = true;
+            }
+        }
+    }
+
+    let mut colors = vec![usize::MAX; n];
+    let mut next_color = 0usize;
+    let mut fresh = || {
+        let c = next_color;
+        next_color += 1;
+        c
+    };
+
+    // Steps 1 + 2: initial colors, then forward inheritance.
+    // (insertion order is topological)
+    for i in 0..n {
+        if preds[i].is_empty() {
+            colors[i] = fresh();
+        } else {
+            let first = colors[preds[i][0]];
+            if !has_external[i] && preds[i].iter().all(|&p| colors[p] == first) {
+                colors[i] = first;
+            } else {
+                colors[i] = fresh();
+            }
+        }
+    }
+
+    // Step 3: separation. For each node in topological order, if its
+    // successors mix same-color and different-color, give the same-colored
+    // successors a fresh color and propagate it along their inheritance
+    // chains.
+    for i in 0..n {
+        let c = colors[i];
+        let same: Vec<usize> = succs[i].iter().copied().filter(|&s| colors[s] == c).collect();
+        let diff_exists = succs[i].iter().any(|&s| colors[s] != c);
+        if same.is_empty() || !diff_exists {
+            continue;
+        }
+        for s in same {
+            let new_c = fresh();
+            recolor_chain(s, c, new_c, &mut colors, &succs, &preds);
+        }
+    }
+    colors
+}
+
+/// Recolors `start` from `old` to `new`, then follows descendants that had
+/// inherited `old` (all of whose predecessors now carry `new`).
+fn recolor_chain(
+    start: usize,
+    old: usize,
+    new: usize,
+    colors: &mut [usize],
+    succs: &[Vec<usize>],
+    preds: &[Vec<usize>],
+) {
+    colors[start] = new;
+    let mut stack = vec![start];
+    while let Some(u) = stack.pop() {
+        for &v in &succs[u] {
+            if colors[v] == old && preds[v].iter().all(|&p| colors[p] == new) {
+                colors[v] = new;
+                stack.push(v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{ChunkNode, ChunkOp, KeyGen};
+
+    /// Builds a graph from an adjacency description: `edges[i]` lists the
+    /// predecessors of node `i`.
+    fn graph_from_preds(edges: &[&[usize]]) -> ChunkGraph {
+        let mut kg = KeyGen::new();
+        let keys: Vec<_> = (0..edges.len()).map(|_| kg.next_key()).collect();
+        let mut g = ChunkGraph::new();
+        for (i, preds) in edges.iter().enumerate() {
+            g.push(ChunkNode {
+                op: ChunkOp::Concat,
+                inputs: preds.iter().map(|&p| keys[p]).collect(),
+                outputs: vec![keys[i]],
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn straight_chain_single_color() {
+        let g = graph_from_preds(&[&[], &[0], &[1], &[2]]);
+        let c = color_graph(&g);
+        assert!(c.iter().all(|&x| x == c[0]), "chain should fully fuse: {c:?}");
+    }
+
+    #[test]
+    fn independent_sources_distinct_colors() {
+        let g = graph_from_preds(&[&[], &[]]);
+        let c = color_graph(&g);
+        assert_ne!(c[0], c[1]);
+    }
+
+    #[test]
+    fn join_node_gets_new_color() {
+        // 0 -> 2 <- 1 : node 2 has mixed-color predecessors
+        let g = graph_from_preds(&[&[], &[], &[0, 1]]);
+        let c = color_graph(&g);
+        assert_ne!(c[2], c[0]);
+        assert_ne!(c[2], c[1]);
+    }
+
+    /// The paper's Figure 7 topology:
+    /// ① → ③ → ④, ① → ⑤, ② → ⑤ (wait: ⑤ has preds ①②), ② → ⑦ → …
+    /// Operator ① must NOT fuse with ③ (its output also feeds ⑤), and
+    /// ③④ fuse together.
+    #[test]
+    fn figure7_separation() {
+        // nodes: 0=①, 1=②, 2=③, 3=④, 4=⑤, 5=⑦, 6=⑥(succ of 5 and 4?)
+        // Simplified faithful core: ① feeds ③ and ⑤; ② feeds ⑤ and ⑦;
+        // ③ feeds ④; ⑦ feeds ⑥.
+        let g = graph_from_preds(&[
+            &[],     // 0 = ①
+            &[],     // 1 = ②
+            &[0],    // 2 = ③ inherits C1 in step 2
+            &[2],    // 3 = ④ inherits
+            &[0, 1], // 4 = ⑤ mixed preds -> new color
+            &[1],    // 5 = ⑦ inherits C2 in step 2
+            &[5, 4], // 6 = ⑥ mixed -> new color
+        ]);
+        let c = color_graph(&g);
+        // separation: ① not fused with ③
+        assert_ne!(c[0], c[2], "① must be split from ③: {c:?}");
+        // ③ and ④ stay fused (the new color propagated to ④)
+        assert_eq!(c[2], c[3], "③ and ④ should fuse: {c:?}");
+        // ② split from ⑦ likewise
+        assert_ne!(c[1], c[5], "② must be split from ⑦: {c:?}");
+        // ⑤ is its own color
+        assert_ne!(c[4], c[0]);
+        assert_ne!(c[4], c[1]);
+    }
+
+    #[test]
+    fn multi_output_diamond_not_fused_through() {
+        // 0 feeds 1 and 2; both feed 3. Step 2: 1 and 2 inherit C0; 3's
+        // preds share C0 so 3 inherits too. Step 3: node 0's successors all
+        // share its color (no "different" successor) so per the paper the
+        // whole diamond may fuse — verify it stays consistent (all same).
+        let g = graph_from_preds(&[&[], &[0], &[0], &[1, 2]]);
+        let c = color_graph(&g);
+        assert_eq!(c[0], c[1]);
+        assert_eq!(c[0], c[2]);
+        assert_eq!(c[0], c[3]);
+    }
+}

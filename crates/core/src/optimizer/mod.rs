@@ -1,0 +1,91 @@
+//! Graph optimization passes (§V-A): column pruning on the tileable graph,
+//! operator-level fusion and coloring-based graph-level fusion on the chunk
+//! graph.
+
+pub mod coloring;
+pub mod op_fusion;
+pub mod pruning;
+
+use crate::chunk::{ChunkGraph, ChunkKey};
+use crate::config::XorbitsConfig;
+use crate::subtask::SubtaskGraph;
+use std::collections::HashSet;
+
+/// Lowers an (already tiled) chunk graph to a subtask graph, applying
+/// operator-level fusion and coloring-based graph-level fusion according to
+/// the configuration.
+pub fn build_subtask_graph(
+    mut chunks: ChunkGraph,
+    cfg: &XorbitsConfig,
+    protected: &HashSet<ChunkKey>,
+) -> SubtaskGraph {
+    if cfg.op_fusion {
+        op_fusion::fuse_elementwise(&mut chunks, protected);
+    }
+    if cfg.graph_fusion {
+        let colors = coloring::color_graph(&chunks);
+        match SubtaskGraph::from_groups(chunks.clone(), &colors, protected) {
+            Ok(sg) => return sg,
+            Err(_) => return SubtaskGraph::singletons(chunks, protected),
+        }
+    }
+    SubtaskGraph::singletons(chunks, protected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{ChunkNode, ChunkOp, DfStep, KeyGen};
+    use xorbits_dataframe::{col, lit};
+
+    fn chain() -> (ChunkGraph, Vec<ChunkKey>) {
+        let mut kg = KeyGen::new();
+        let keys: Vec<_> = (0..4).map(|_| kg.next_key()).collect();
+        let mut g = ChunkGraph::new();
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![],
+            outputs: vec![keys[0]],
+        });
+        for i in 1..4 {
+            g.push(ChunkNode {
+                op: ChunkOp::DfMap(vec![DfStep::Filter(col("a").gt(lit(0i64)))]),
+                inputs: vec![keys[i - 1]],
+                outputs: vec![keys[i]],
+            });
+        }
+        (g, keys)
+    }
+
+    #[test]
+    fn full_optimization_collapses_chain() {
+        let (g, keys) = chain();
+        let protected: HashSet<_> = [keys[3]].into_iter().collect();
+        let sg = build_subtask_graph(g, &XorbitsConfig::default(), &protected);
+        // op fusion merges the three maps; coloring fuses source+map
+        assert_eq!(sg.len(), 1);
+        assert_eq!(sg.chunks.nodes.len(), 2);
+    }
+
+    #[test]
+    fn fusion_disabled_yields_singletons() {
+        let (g, keys) = chain();
+        let protected: HashSet<_> = [keys[3]].into_iter().collect();
+        let cfg = XorbitsConfig::default()
+            .without_graph_fusion()
+            .without_op_fusion();
+        let sg = build_subtask_graph(g, &cfg, &protected);
+        assert_eq!(sg.len(), 4);
+    }
+
+    #[test]
+    fn op_fusion_only_keeps_separate_subtasks() {
+        let (g, keys) = chain();
+        let protected: HashSet<_> = [keys[3]].into_iter().collect();
+        let cfg = XorbitsConfig::default().without_graph_fusion();
+        let sg = build_subtask_graph(g, &cfg, &protected);
+        // maps fused into one op, but source and map stay separate subtasks
+        assert_eq!(sg.chunks.nodes.len(), 2);
+        assert_eq!(sg.len(), 2);
+    }
+}

@@ -1,0 +1,203 @@
+//! Operator-level fusion — the numexpr/JAX stand-in of §V-A.
+//!
+//! Chains of elementwise chunk operators (`DfMap` / `ArrMap`) whose
+//! intermediate output has exactly one consumer and is not a protected
+//! result are collapsed into a single operator that evaluates all steps in
+//! one task: intermediates never get materialised into the storage service,
+//! and for arrays the scalar chain is evaluated in a single pass over the
+//! buffer.
+
+use crate::chunk::{ChunkGraph, ChunkKey, ChunkOp};
+use std::collections::{HashMap, HashSet};
+
+/// Fuses elementwise chains in place; returns the number of operators
+/// eliminated.
+pub fn fuse_elementwise(graph: &mut ChunkGraph, protected: &HashSet<ChunkKey>) -> usize {
+    let mut eliminated = 0;
+    loop {
+        let producers = graph.producers();
+        let mut consumers: HashMap<ChunkKey, Vec<usize>> = HashMap::new();
+        for (ci, node) in graph.nodes.iter().enumerate() {
+            for k in &node.inputs {
+                consumers.entry(*k).or_default().push(ci);
+            }
+        }
+        // find one fusable edge u -> v
+        let mut fuse_pair: Option<(usize, usize)> = None;
+        'search: for (vi, v) in graph.nodes.iter().enumerate() {
+            if !v.op.is_elementwise() || v.inputs.len() != 1 {
+                continue;
+            }
+            let k = v.inputs[0];
+            if protected.contains(&k) {
+                continue;
+            }
+            let Some(&ui) = producers.get(&k) else {
+                continue;
+            };
+            let u = &graph.nodes[ui];
+            if !u.op.is_elementwise() || u.outputs.len() != 1 {
+                continue;
+            }
+            // u's sole consumer must be v
+            if consumers.get(&k).map(|c| c.len()) != Some(1) {
+                continue;
+            }
+            // same family (df with df, arr with arr)
+            match (&u.op, &v.op) {
+                (ChunkOp::DfMap(_), ChunkOp::DfMap(_))
+                | (ChunkOp::ArrMap(_), ChunkOp::ArrMap(_)) => {
+                    fuse_pair = Some((ui, vi));
+                    break 'search;
+                }
+                _ => {}
+            }
+        }
+        let Some((ui, vi)) = fuse_pair else {
+            return eliminated;
+        };
+        // merge u into v
+        let u = graph.nodes[ui].clone();
+        let v = &mut graph.nodes[vi];
+        v.inputs = u.inputs.clone();
+        v.op = match (&u.op, &v.op) {
+            (ChunkOp::DfMap(a), ChunkOp::DfMap(b)) => {
+                let mut steps = a.clone();
+                steps.extend(b.clone());
+                ChunkOp::DfMap(steps)
+            }
+            (ChunkOp::ArrMap(a), ChunkOp::ArrMap(b)) => {
+                let mut steps = a.clone();
+                steps.extend(b.clone());
+                ChunkOp::ArrMap(steps)
+            }
+            _ => unreachable!("checked in search"),
+        };
+        graph.nodes.remove(ui);
+        eliminated += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{ChunkNode, DfStep, KeyGen};
+    use xorbits_dataframe::{col, lit};
+
+    fn map_node(inputs: Vec<ChunkKey>, out: ChunkKey) -> ChunkNode {
+        ChunkNode {
+            op: ChunkOp::DfMap(vec![DfStep::Filter(col("a").gt(lit(0i64)))]),
+            inputs,
+            outputs: vec![out],
+        }
+    }
+
+    #[test]
+    fn chain_of_three_fuses_to_one() {
+        let mut kg = KeyGen::new();
+        let (a, b, c, d) = (
+            kg.next_key(),
+            kg.next_key(),
+            kg.next_key(),
+            kg.next_key(),
+        );
+        let mut g = ChunkGraph::new();
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![],
+            outputs: vec![a],
+        });
+        g.push(map_node(vec![a], b));
+        g.push(map_node(vec![b], c));
+        g.push(map_node(vec![c], d));
+        let protected: HashSet<_> = [d].into_iter().collect();
+        let n = fuse_elementwise(&mut g, &protected);
+        assert_eq!(n, 2);
+        assert_eq!(g.nodes.len(), 2);
+        // the surviving map holds all three steps
+        let fused = &g.nodes[1];
+        match &fused.op {
+            ChunkOp::DfMap(steps) => assert_eq!(steps.len(), 3),
+            other => panic!("expected DfMap, got {other:?}"),
+        }
+        assert_eq!(fused.inputs, vec![a]);
+        assert_eq!(fused.outputs, vec![d]);
+        assert!(g.validate_topological().is_ok());
+    }
+
+    #[test]
+    fn shared_intermediate_not_fused() {
+        let mut kg = KeyGen::new();
+        let (a, b, c, d) = (
+            kg.next_key(),
+            kg.next_key(),
+            kg.next_key(),
+            kg.next_key(),
+        );
+        let mut g = ChunkGraph::new();
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![],
+            outputs: vec![a],
+        });
+        g.push(map_node(vec![a], b));
+        // b consumed twice: fusion across it must not happen
+        g.push(map_node(vec![b], c));
+        g.push(map_node(vec![b], d));
+        let protected: HashSet<_> = [c, d].into_iter().collect();
+        let n = fuse_elementwise(&mut g, &protected);
+        assert_eq!(n, 0);
+        assert_eq!(g.nodes.len(), 4);
+    }
+
+    #[test]
+    fn protected_intermediate_not_fused() {
+        let mut kg = KeyGen::new();
+        let (a, b, c) = (kg.next_key(), kg.next_key(), kg.next_key());
+        let mut g = ChunkGraph::new();
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![],
+            outputs: vec![a],
+        });
+        g.push(map_node(vec![a], b));
+        g.push(map_node(vec![b], c));
+        // b is itself a fetched result: must stay materialised
+        let protected: HashSet<_> = [b, c].into_iter().collect();
+        let n = fuse_elementwise(&mut g, &protected);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn arr_chains_fuse_too() {
+        use crate::chunk::ArrStep;
+        use xorbits_array::ElemOp;
+        let mut kg = KeyGen::new();
+        let (a, b, c) = (kg.next_key(), kg.next_key(), kg.next_key());
+        let mut g = ChunkGraph::new();
+        g.push(ChunkNode {
+            op: ChunkOp::Concat,
+            inputs: vec![],
+            outputs: vec![a],
+        });
+        let step = |op| ChunkNode {
+            op: ChunkOp::ArrMap(vec![ArrStep { op, operand: 2.0 }]),
+            inputs: vec![],
+            outputs: vec![],
+        };
+        let mut n1 = step(ElemOp::Mul);
+        n1.inputs = vec![a];
+        n1.outputs = vec![b];
+        g.push(n1);
+        let mut n2 = step(ElemOp::Add);
+        n2.inputs = vec![b];
+        n2.outputs = vec![c];
+        g.push(n2);
+        let protected: HashSet<_> = [c].into_iter().collect();
+        assert_eq!(fuse_elementwise(&mut g, &protected), 1);
+        match &g.nodes[1].op {
+            ChunkOp::ArrMap(steps) => assert_eq!(steps.len(), 2),
+            other => panic!("expected ArrMap, got {other:?}"),
+        }
+    }
+}

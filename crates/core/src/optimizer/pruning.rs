@@ -1,0 +1,358 @@
+//! Column pruning — §V-A.
+//!
+//! "Xorbits traverses backward from the data sink, recording the columns
+//! needed for each operator": this pass computes, per tileable, the set of
+//! columns any downstream consumer can observe, then inserts a `Project`
+//! immediately after every dataframe source that produces more. Graph-level
+//! fusion later glues the projection into the scan subtask, so unpruned
+//! data never reaches the storage service or the network.
+
+use crate::tileable::{TileableGraph, TileableId, TileableOp};
+use std::collections::BTreeSet;
+
+/// Required-column set: `None` means "all columns" (unprunable).
+type Req = Option<BTreeSet<String>>;
+
+fn union(a: &mut Req, names: impl IntoIterator<Item = String>) {
+    if let Some(set) = a {
+        set.extend(names);
+    }
+}
+
+fn mark_all(a: &mut Req) {
+    *a = None;
+}
+
+/// Computes the columns each tileable must expose, walking backward from
+/// sinks. Conservative: suffix-renamed join columns fall back to "all".
+pub fn required_columns(graph: &TileableGraph) -> Vec<Req> {
+    let n = graph.len();
+    let consumer_counts = graph.consumer_counts();
+    let mut req: Vec<Req> = vec![Some(BTreeSet::new()); n];
+    // sinks (fetched results) must keep everything
+    for (i, r) in req.iter_mut().enumerate() {
+        if consumer_counts[i] == 0 {
+            *r = None;
+        }
+    }
+
+    for id in (0..n).rev() {
+        let out_req = req[id].clone();
+        match graph.op(id) {
+            TileableOp::DfSource(_) => {}
+            TileableOp::Filter { input, predicate } => {
+                let mut cols = BTreeSet::new();
+                predicate.required_columns(&mut cols);
+                propagate(&mut req, *input, &out_req, cols);
+            }
+            TileableOp::PruneColumns { input, columns }
+            | TileableOp::Project { input, columns } => {
+                // projection caps what upstream needs regardless of out_req
+                let need: BTreeSet<String> = match &out_req {
+                    None => columns.iter().cloned().collect(),
+                    Some(set) => columns
+                        .iter()
+                        .filter(|c| set.contains(*c))
+                        .cloned()
+                        .collect(),
+                };
+                propagate(&mut req, *input, &Some(BTreeSet::new()), need);
+            }
+            TileableOp::Assign { input, exprs } => {
+                let mut extra = BTreeSet::new();
+                for (name, e) in exprs {
+                    let needed = match &out_req {
+                        None => true,
+                        Some(set) => set.contains(name),
+                    };
+                    if needed {
+                        e.required_columns(&mut extra);
+                    }
+                }
+                // pass through out_req minus assigned names
+                let passthrough = out_req.clone().map(|mut set| {
+                    for (name, _) in exprs {
+                        set.remove(name);
+                    }
+                    set
+                });
+                propagate(&mut req, *input, &passthrough, extra);
+            }
+            TileableOp::Fillna { input, column, .. } => {
+                propagate(&mut req, *input, &out_req, [column.clone()]);
+            }
+            TileableOp::Dropna { input, subset } => match subset {
+                Some(cols) => propagate(&mut req, *input, &out_req, cols.clone()),
+                None => mark_all(&mut req[*input]),
+            },
+            TileableOp::Rename { input, pairs } => {
+                // map required new names back to old names
+                let mapped = out_req.clone().map(|set| {
+                    set.into_iter()
+                        .map(|name| {
+                            pairs
+                                .iter()
+                                .find(|(_, new)| *new == name)
+                                .map(|(old, _)| old.clone())
+                                .unwrap_or(name)
+                        })
+                        .collect()
+                });
+                propagate(&mut req, *input, &mapped, []);
+            }
+            TileableOp::GroupbyAgg { input, keys, specs } => {
+                let mut cols: BTreeSet<String> = keys.iter().cloned().collect();
+                cols.extend(specs.iter().map(|s| s.column.clone()));
+                propagate(&mut req, *input, &Some(BTreeSet::new()), cols);
+            }
+            TileableOp::Merge {
+                left,
+                right,
+                left_on,
+                right_on,
+                ..
+            } => {
+                // conservative: suffixing makes precise back-mapping fiddly,
+                // so require out_req columns on both sides plus keys; "all"
+                // propagates as "all".
+                match &out_req {
+                    None => {
+                        mark_all(&mut req[*left]);
+                        mark_all(&mut req[*right]);
+                    }
+                    Some(set) => {
+                        propagate(
+                            &mut req,
+                            *left,
+                            &Some(set.clone()),
+                            left_on.iter().cloned(),
+                        );
+                        propagate(
+                            &mut req,
+                            *right,
+                            &Some(set.clone()),
+                            right_on.iter().cloned(),
+                        );
+                    }
+                }
+            }
+            TileableOp::SortValues { input, keys } => {
+                propagate(
+                    &mut req,
+                    *input,
+                    &out_req,
+                    keys.iter().map(|(k, _)| k.clone()),
+                );
+            }
+            TileableOp::Head { input, .. } | TileableOp::ILocRow { input, .. } => {
+                propagate(&mut req, *input, &out_req, []);
+            }
+            TileableOp::DropDuplicates { input, subset } => match subset {
+                Some(cols) => propagate(&mut req, *input, &out_req, cols.clone()),
+                None => mark_all(&mut req[*input]),
+            },
+            TileableOp::ConcatDf { inputs } => {
+                for i in inputs {
+                    propagate(&mut req, *i, &out_req, []);
+                }
+            }
+            TileableOp::PivotTable {
+                input,
+                index,
+                columns,
+                values,
+                ..
+            } => {
+                propagate(
+                    &mut req,
+                    *input,
+                    &Some(BTreeSet::new()),
+                    [index.clone(), columns.clone(), values.clone()],
+                );
+            }
+            // tensor ops carry no column structure
+            _ => {}
+        }
+    }
+    req
+}
+
+fn propagate(
+    req: &mut [Req],
+    input: TileableId,
+    carried: &Req,
+    extra: impl IntoIterator<Item = String>,
+) {
+    match carried {
+        None => mark_all(&mut req[input]),
+        Some(set) => {
+            if req[input].is_some() {
+                union(&mut req[input], set.iter().cloned());
+                union(&mut req[input], extra);
+            }
+        }
+    }
+}
+
+/// Rewrites the graph, inserting a projection after each dataframe source
+/// whose required set is known. Returns the rewritten graph and a map from
+/// old tileable ids to new ids.
+pub fn prune_columns(graph: &TileableGraph) -> (TileableGraph, Vec<TileableId>) {
+    let req = required_columns(graph);
+    let mut out = TileableGraph::new();
+    let mut remap: Vec<TileableId> = Vec::with_capacity(graph.len());
+    for (id, op) in graph.nodes.iter().enumerate() {
+        // rewrite input references
+        let mut op = op.clone();
+        rewrite_inputs(&mut op, &remap);
+        let new_id = out.push(op).expect("remapped inputs are valid");
+        // insert projection after prunable sources
+        let final_id = match (&graph.nodes[id], &req[id]) {
+            (TileableOp::DfSource(_), Some(cols)) if !cols.is_empty() => out
+                .push(TileableOp::PruneColumns {
+                    input: new_id,
+                    columns: cols.iter().cloned().collect(),
+                })
+                .expect("projection input valid"),
+            _ => new_id,
+        };
+        remap.push(final_id);
+    }
+    (out, remap)
+}
+
+fn rewrite_inputs(op: &mut TileableOp, remap: &[TileableId]) {
+    let r = |i: &mut TileableId| *i = remap[*i];
+    match op {
+        TileableOp::DfSource(_)
+        | TileableOp::TensorRandom { .. }
+        | TileableOp::TensorFromArr(_) => {}
+        TileableOp::Filter { input, .. }
+        | TileableOp::Project { input, .. }
+        | TileableOp::PruneColumns { input, .. }
+        | TileableOp::Assign { input, .. }
+        | TileableOp::Fillna { input, .. }
+        | TileableOp::Dropna { input, .. }
+        | TileableOp::Rename { input, .. }
+        | TileableOp::GroupbyAgg { input, .. }
+        | TileableOp::SortValues { input, .. }
+        | TileableOp::Head { input, .. }
+        | TileableOp::ILocRow { input, .. }
+        | TileableOp::DropDuplicates { input, .. }
+        | TileableOp::PivotTable { input, .. }
+        | TileableOp::TensorMapChain { input, .. }
+        | TileableOp::TensorQr { input }
+        | TileableOp::TensorReduce { input, .. } => r(input),
+        TileableOp::Merge { left, right, .. } => {
+            r(left);
+            r(right);
+        }
+        TileableOp::ConcatDf { inputs } => inputs.iter_mut().for_each(r),
+        TileableOp::TensorBinary { a, b, .. } => {
+            r(a);
+            r(b);
+        }
+        TileableOp::TensorMatMul { a, b } => {
+            r(a);
+            r(b);
+        }
+        TileableOp::TensorLstsq { x, y } => {
+            r(x);
+            r(y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tileable::DfSource;
+    use xorbits_dataframe::{col, lit, AggFunc, AggSpec, Column, DataFrame};
+
+    fn source() -> TileableOp {
+        let df = DataFrame::new(vec![
+            ("a", Column::from_i64(vec![1])),
+            ("b", Column::from_i64(vec![2])),
+            ("c", Column::from_i64(vec![3])),
+        ])
+        .unwrap();
+        TileableOp::DfSource(DfSource::materialized(df))
+    }
+
+    #[test]
+    fn groupby_prunes_to_keys_and_aggs() {
+        let mut g = TileableGraph::new();
+        let s = g.push(source()).unwrap();
+        let _agg = g
+            .push(TileableOp::GroupbyAgg {
+                input: s,
+                keys: vec!["a".into()],
+                specs: vec![AggSpec::new("b", AggFunc::Sum, "s")],
+            })
+            .unwrap();
+        let req = required_columns(&g);
+        assert_eq!(
+            req[s].as_ref().unwrap().iter().cloned().collect::<Vec<_>>(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        // rewrite inserts a projection after the source
+        let (pruned, remap) = prune_columns(&g);
+        assert_eq!(pruned.len(), 3);
+        assert!(matches!(
+            pruned.op(remap[s]),
+            TileableOp::PruneColumns { columns, .. } if columns == &vec!["a".to_string(), "b".to_string()]
+        ));
+    }
+
+    #[test]
+    fn filter_adds_predicate_columns() {
+        let mut g = TileableGraph::new();
+        let s = g.push(source()).unwrap();
+        let f = g
+            .push(TileableOp::Filter {
+                input: s,
+                predicate: col("c").gt(lit(0i64)),
+            })
+            .unwrap();
+        let _p = g
+            .push(TileableOp::Project {
+                input: f,
+                columns: vec!["a".into()],
+            })
+            .unwrap();
+        let req = required_columns(&g);
+        let cols: Vec<_> = req[s].as_ref().unwrap().iter().cloned().collect();
+        assert_eq!(cols, vec!["a".to_string(), "c".to_string()]);
+    }
+
+    #[test]
+    fn sink_requires_all() {
+        let mut g = TileableGraph::new();
+        let s = g.push(source()).unwrap();
+        let req = required_columns(&g);
+        assert!(req[s].is_none());
+        // no projection inserted when everything is needed
+        let (pruned, _) = prune_columns(&g);
+        assert_eq!(pruned.len(), 1);
+    }
+
+    #[test]
+    fn dropna_all_blocks_pruning() {
+        let mut g = TileableGraph::new();
+        let s = g.push(source()).unwrap();
+        let d = g
+            .push(TileableOp::Dropna {
+                input: s,
+                subset: None,
+            })
+            .unwrap();
+        let _p = g
+            .push(TileableOp::Project {
+                input: d,
+                columns: vec!["a".into()],
+            })
+            .unwrap();
+        let req = required_columns(&g);
+        assert!(req[s].is_none());
+    }
+}

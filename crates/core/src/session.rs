@@ -1,0 +1,579 @@
+//! Session: the user-facing deferred-evaluation API (§IV-C) and the
+//! tiling↔execution loop of Fig 5a.
+//!
+//! Users build lazy [`DfHandle`]/[`TensorHandle`] graphs with pandas/NumPy
+//! style methods; nothing executes until a result is needed. `fetch()` (or
+//! simply `Display`-ing a handle, mirroring the paper's `__repr__` hook)
+//! drives the loop: prune → tile (possibly yielding into execution for
+//! metadata) → optimize → execute → gather.
+
+use crate::chunk::{ChunkKey, KeyGen, Payload};
+use crate::config::XorbitsConfig;
+use crate::error::{XbError, XbResult};
+use crate::optimizer;
+use crate::subtask::SubtaskGraph;
+use crate::tileable::{DfSource, TileableGraph, TileableId, TileableOp};
+use crate::tiling::{MetaView, TileStep, Tiler, TilingStats};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::Arc;
+use xorbits_array::{NdArray, Reduction};
+use xorbits_dataframe::{AggSpec, DataFrame, Expr, JoinType, Scalar};
+
+/// Aggregate statistics of one or more executed subtask graphs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ExecStats {
+    /// Virtual makespan in seconds (the number benchmarks report).
+    pub makespan: f64,
+    /// Subtasks executed.
+    pub subtasks: usize,
+    /// Bytes moved across virtual workers.
+    pub net_bytes: usize,
+    /// Bytes spilled to the virtual disk tier.
+    pub spilled_bytes: usize,
+    /// Peak live bytes on the most loaded worker.
+    pub peak_worker_bytes: usize,
+    /// Real CPU seconds spent in kernels (host measurement).
+    pub real_cpu_seconds: f64,
+}
+
+impl ExecStats {
+    /// Accumulates another run (sequential composition: makespans add).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.makespan += other.makespan;
+        self.subtasks += other.subtasks;
+        self.net_bytes += other.net_bytes;
+        self.spilled_bytes += other.spilled_bytes;
+        self.peak_worker_bytes = self.peak_worker_bytes.max(other.peak_worker_bytes);
+        self.real_cpu_seconds += other.real_cpu_seconds;
+    }
+}
+
+/// Report of one `fetch`.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Execution statistics summed over all partial executions.
+    pub stats: ExecStats,
+    /// Tiling statistics (yields, probes, decisions).
+    pub tiling: TilingStats,
+}
+
+/// A runtime capable of executing subtask graphs — implemented by the
+/// virtual-cluster simulator in `xorbits-runtime`, and by anything else
+/// that wants to plug in (tests use a trivial in-process executor).
+pub trait Executor: MetaView {
+    /// Executes a subtask graph; chunk outputs become readable via
+    /// [`MetaView`] and [`Executor::payload`].
+    fn execute(&mut self, graph: &SubtaskGraph) -> XbResult<ExecStats>;
+    /// Payload of an executed chunk.
+    fn payload(&self, key: ChunkKey) -> Option<Arc<Payload>>;
+    /// Drops all stored chunks (end of a fetch).
+    fn clear(&mut self);
+    /// Informs the runtime that these chunks have no remaining consumers
+    /// and their memory can be reclaimed (refcount-style lifecycle; the
+    /// tiler derives this from tileable consumer counts). Default: no-op.
+    fn release(&mut self, _keys: &[ChunkKey]) {}
+}
+
+struct SessInner<E: Executor> {
+    graph: TileableGraph,
+    cfg: XorbitsConfig,
+    executor: E,
+    keygen: KeyGen,
+    last_report: Option<RunReport>,
+    cumulative: ExecStats,
+}
+
+/// A Xorbits session: owns the tileable graph, the configuration and the
+/// executor. Cheap to clone (shared interior).
+pub struct Session<E: Executor> {
+    inner: Arc<Mutex<SessInner<E>>>,
+}
+
+impl<E: Executor> Clone for Session<E> {
+    fn clone(&self) -> Self {
+        Session {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<E: Executor> Session<E> {
+    /// Creates a session — the `xorbits.init()` of Listing 2.
+    pub fn new(cfg: XorbitsConfig, executor: E) -> Session<E> {
+        Session {
+            inner: Arc::new(Mutex::new(SessInner {
+                graph: TileableGraph::new(),
+                cfg,
+                executor,
+                keygen: KeyGen::new(),
+                last_report: None,
+                cumulative: ExecStats::default(),
+            })),
+        }
+    }
+
+    fn push(&self, op: TileableOp) -> XbResult<TileableId> {
+        self.inner.lock().graph.push(op)
+    }
+
+    /// Registers a dataframe source — `xorbits.pandas.read_*`.
+    pub fn read_df(&self, src: DfSource) -> XbResult<DfHandle<E>> {
+        Ok(DfHandle {
+            sess: self.clone(),
+            id: self.push(TileableOp::DfSource(src))?,
+        })
+    }
+
+    /// Wraps a client-side dataframe.
+    pub fn from_df(&self, df: DataFrame) -> XbResult<DfHandle<E>> {
+        self.read_df(DfSource::materialized(df))
+    }
+
+    /// `xorbits.numpy.random.rand(shape)` (seeded).
+    pub fn random(&self, shape: &[usize], seed: u64) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.clone(),
+            id: self.push(TileableOp::TensorRandom {
+                shape: shape.to_vec(),
+                seed,
+                normal: false,
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// `xorbits.numpy.random.randn(shape)` (seeded).
+    pub fn randn(&self, shape: &[usize], seed: u64) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.clone(),
+            id: self.push(TileableOp::TensorRandom {
+                shape: shape.to_vec(),
+                seed,
+                normal: true,
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// Wraps a client-side array (single chunk).
+    pub fn tensor(&self, arr: NdArray) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.clone(),
+            id: self.push(TileableOp::TensorFromArr(Arc::new(arr)))?,
+            slot: 0,
+        })
+    }
+
+    /// Report of the most recent fetch.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.inner.lock().last_report.clone()
+    }
+
+    /// Statistics accumulated over every fetch of this session (multi-phase
+    /// queries that fetch an intermediate scalar pay for both phases, as
+    /// real lazy engines do).
+    pub fn total_stats(&self) -> ExecStats {
+        self.inner.lock().cumulative
+    }
+
+    /// Resets the accumulated statistics.
+    pub fn reset_stats(&self) {
+        self.inner.lock().cumulative = ExecStats::default();
+    }
+
+    /// The Fig 5a loop: prune → tile (yielding into execution as needed) →
+    /// optimize → execute → gather payloads of the target's chunks.
+    fn fetch_payloads(&self, id: TileableId, slot: usize) -> XbResult<Vec<Arc<Payload>>> {
+        let mut inner = self.inner.lock();
+        let inner = &mut *inner;
+        let cfg = inner.cfg.clone();
+
+        // column pruning rewrites the logical plan (§V-A)
+        let (pgraph, target) = if cfg.column_pruning {
+            let (g, remap) = optimizer::pruning::prune_columns(&inner.graph);
+            (g, remap[id])
+        } else {
+            (inner.graph.clone(), id)
+        };
+
+        let mut tiler = Tiler::with_targets(&pgraph, cfg.clone(), &[target]);
+        let mut stats = ExecStats::default();
+        let final_keys: Vec<ChunkKey>;
+        loop {
+            match tiler.step(&mut inner.keygen, &inner.executor)? {
+                TileStep::Execute(g) => {
+                    // every layout key may be consumed by later tiling:
+                    // protect them all from fusion elimination
+                    let protected = tiler.live_keys();
+                    let sg = optimizer::build_subtask_graph(g, &cfg, &protected);
+                    let s = inner.executor.execute(&sg)?;
+                    stats.merge(&s);
+                    inner.executor.release(&tiler.take_releasable());
+                }
+                TileStep::Done(g) => {
+                    final_keys = tiler.layout(target, slot)?.keys();
+                    if !g.is_empty() {
+                        // after the final fragment only the gathered result
+                        // must survive; everything else is reclaimable as
+                        // its last consumer finishes — unless the engine is
+                        // eager, in which case every intermediate stays
+                        // referenced until the query completes
+                        let protected: HashSet<ChunkKey> = if cfg.eager_memory {
+                            g.nodes
+                                .iter()
+                                .flat_map(|n| n.outputs.iter().copied())
+                                .chain(final_keys.iter().copied())
+                                .collect()
+                        } else {
+                            final_keys.iter().copied().collect()
+                        };
+                        let sg = optimizer::build_subtask_graph(g, &cfg, &protected);
+                        let s = inner.executor.execute(&sg)?;
+                        stats.merge(&s);
+                        inner.executor.release(&tiler.take_releasable());
+                    }
+                    break;
+                }
+            }
+        }
+
+        let payloads = final_keys
+            .iter()
+            .map(|k| {
+                inner.executor.payload(*k).ok_or_else(|| {
+                    XbError::Plan(format!("result chunk {k} missing from storage"))
+                })
+            })
+            .collect::<XbResult<Vec<_>>>()?;
+        inner.cumulative.merge(&stats);
+        inner.last_report = Some(RunReport {
+            stats,
+            tiling: tiler.stats.clone(),
+        });
+        inner.executor.clear();
+        Ok(payloads)
+    }
+}
+
+/// A lazy distributed dataframe — the `xorbits.pandas.DataFrame` analogue.
+pub struct DfHandle<E: Executor> {
+    sess: Session<E>,
+    id: TileableId,
+}
+
+impl<E: Executor> Clone for DfHandle<E> {
+    fn clone(&self) -> Self {
+        DfHandle {
+            sess: self.sess.clone(),
+            id: self.id,
+        }
+    }
+}
+
+macro_rules! df_unary {
+    ($(#[$doc:meta])* $name:ident ( $($arg:ident : $ty:ty),* ) => $op:expr) => {
+        $(#[$doc])*
+        pub fn $name(&self, $($arg: $ty),*) -> XbResult<DfHandle<E>> {
+            let input = self.id;
+            Ok(DfHandle {
+                sess: self.sess.clone(),
+                id: self.sess.push($op(input))?,
+            })
+        }
+    };
+}
+
+impl<E: Executor> DfHandle<E> {
+    /// Tileable id (for inspection/tests).
+    pub fn id(&self) -> TileableId {
+        self.id
+    }
+
+    df_unary!(
+        /// `df[mask]` — boolean filtering.
+        filter(predicate: Expr) => |input| TileableOp::Filter { input, predicate }
+    );
+    df_unary!(
+        /// `df[[cols]]` — projection.
+        select(columns: Vec<String>) => |input| TileableOp::Project { input, columns }
+    );
+    df_unary!(
+        /// `df.assign(...)` — derived columns.
+        assign(exprs: Vec<(String, Expr)>) => |input| TileableOp::Assign { input, exprs }
+    );
+    df_unary!(
+        /// `df[col].fillna(value)`.
+        fillna(column: String, value: Scalar) => |input| TileableOp::Fillna { input, column, value }
+    );
+    df_unary!(
+        /// `df.dropna(subset=...)`.
+        dropna(subset: Option<Vec<String>>) => |input| TileableOp::Dropna { input, subset }
+    );
+    df_unary!(
+        /// `df.rename(columns=...)`.
+        rename(pairs: Vec<(String, String)>) => |input| TileableOp::Rename { input, pairs }
+    );
+    df_unary!(
+        /// `df.groupby(keys).agg(...)` (empty keys ⇒ whole-frame agg).
+        groupby_agg(keys: Vec<String>, specs: Vec<AggSpec>) =>
+            |input| TileableOp::GroupbyAgg { input, keys, specs }
+    );
+    df_unary!(
+        /// `df.sort_values(keys)`.
+        sort_values(keys: Vec<(String, bool)>) => |input| TileableOp::SortValues { input, keys }
+    );
+    df_unary!(
+        /// `df.head(n)`.
+        head(n: usize) => |input| TileableOp::Head { input, n }
+    );
+    df_unary!(
+        /// `df.iloc[row]` (kept as a 1-row frame).
+        iloc_row(row: usize) => |input| TileableOp::ILocRow { input, row }
+    );
+    df_unary!(
+        /// `df.drop_duplicates(subset=...)`.
+        drop_duplicates(subset: Option<Vec<String>>) =>
+            |input| TileableOp::DropDuplicates { input, subset }
+    );
+
+    /// `df[col].value_counts()` — distinct values of `column` with their
+    /// occurrence counts, sorted descending (sugar over groupby + sort).
+    pub fn value_counts(&self, column: &str) -> XbResult<DfHandle<E>> {
+        self.groupby_agg(
+            vec![column.to_string()],
+            vec![AggSpec::new(column, xorbits_dataframe::AggFunc::Count, "count")],
+        )?
+        .sort_values(vec![("count".into(), false)])
+    }
+
+    /// `df.merge(other, ...)`.
+    pub fn merge(
+        &self,
+        other: &DfHandle<E>,
+        left_on: Vec<String>,
+        right_on: Vec<String>,
+        how: JoinType,
+    ) -> XbResult<DfHandle<E>> {
+        Ok(DfHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::Merge {
+                left: self.id,
+                right: other.id,
+                left_on,
+                right_on,
+                how,
+                suffixes: ("_x".into(), "_y".into()),
+            })?,
+        })
+    }
+
+    /// Inner merge on same-named keys.
+    pub fn merge_on(&self, other: &DfHandle<E>, on: &[&str]) -> XbResult<DfHandle<E>> {
+        let keys: Vec<String> = on.iter().map(|s| s.to_string()).collect();
+        self.merge(other, keys.clone(), keys, JoinType::Inner)
+    }
+
+    /// `pd.concat([self, others...])`.
+    pub fn concat(&self, others: &[&DfHandle<E>]) -> XbResult<DfHandle<E>> {
+        let mut inputs = vec![self.id];
+        inputs.extend(others.iter().map(|h| h.id));
+        Ok(DfHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::ConcatDf { inputs })?,
+        })
+    }
+
+    /// `df.pivot_table(...)`.
+    pub fn pivot_table(
+        &self,
+        index: &str,
+        columns: &str,
+        values: &str,
+        agg: xorbits_dataframe::AggFunc,
+    ) -> XbResult<DfHandle<E>> {
+        Ok(DfHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::PivotTable {
+                input: self.id,
+                index: index.into(),
+                columns: columns.into(),
+                values: values.into(),
+                agg,
+            })?,
+        })
+    }
+
+    /// Materialises the result — triggers the tiling/execution loop.
+    pub fn fetch(&self) -> XbResult<DataFrame> {
+        let payloads = self.sess.fetch_payloads(self.id, 0)?;
+        let dfs: Vec<&DataFrame> = payloads
+            .iter()
+            .map(|p| p.as_df())
+            .collect::<XbResult<Vec<_>>>()?;
+        if dfs.is_empty() {
+            return Err(XbError::Plan("result has no chunks".into()));
+        }
+        let non_empty: Vec<&DataFrame> =
+            dfs.iter().copied().filter(|d| d.num_rows() > 0).collect();
+        let parts = if non_empty.is_empty() { &dfs } else { &non_empty };
+        Ok(DataFrame::concat(parts)?)
+    }
+
+    /// Report of the fetch that produced this handle's last result.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.sess.last_report()
+    }
+}
+
+/// Deferred evaluation (§IV-C): displaying a handle triggers execution,
+/// like the paper's customised `__repr__`.
+impl<E: Executor> std::fmt::Display for DfHandle<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.fetch() {
+            Ok(df) => write!(f, "{df}"),
+            Err(e) => write!(f, "<error: {e}>"),
+        }
+    }
+}
+
+/// A lazy distributed tensor — the `xorbits.numpy.ndarray` analogue.
+pub struct TensorHandle<E: Executor> {
+    sess: Session<E>,
+    id: TileableId,
+    slot: usize,
+}
+
+impl<E: Executor> Clone for TensorHandle<E> {
+    fn clone(&self) -> Self {
+        TensorHandle {
+            sess: self.sess.clone(),
+            id: self.id,
+            slot: self.slot,
+        }
+    }
+}
+
+impl<E: Executor> TensorHandle<E> {
+    /// Applies `x ↦ op(x, operand)` elementwise.
+    pub fn map_scalar(
+        &self,
+        op: xorbits_array::ElemOp,
+        operand: f64,
+    ) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::TensorMapChain {
+                input: self.id,
+                steps: vec![crate::chunk::ArrStep { op, operand }],
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// Elementwise binary op with another tensor.
+    pub fn binary(
+        &self,
+        other: &TensorHandle<E>,
+        op: xorbits_array::ElemOp,
+    ) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::TensorBinary {
+                a: self.id,
+                b: other.id,
+                op,
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// `a @ b` (b must be a small single-chunk matrix).
+    pub fn matmul(&self, other: &TensorHandle<E>) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::TensorMatMul {
+                a: self.id,
+                b: other.id,
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// `np.linalg.qr(a)` — returns `(Q, R)` handles (Fig 3a).
+    pub fn qr(&self) -> XbResult<(TensorHandle<E>, TensorHandle<E>)> {
+        let id = self.sess.push(TileableOp::TensorQr { input: self.id })?;
+        Ok((
+            TensorHandle {
+                sess: self.sess.clone(),
+                id,
+                slot: 0,
+            },
+            TensorHandle {
+                sess: self.sess.clone(),
+                id,
+                slot: 1,
+            },
+        ))
+    }
+
+    /// Full reduction to one element.
+    pub fn reduce(&self, kind: Reduction) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::TensorReduce {
+                input: self.id,
+                kind,
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// Distributed least squares against targets `y`.
+    pub fn lstsq(&self, y: &TensorHandle<E>) -> XbResult<TensorHandle<E>> {
+        Ok(TensorHandle {
+            sess: self.sess.clone(),
+            id: self.sess.push(TileableOp::TensorLstsq {
+                x: self.id,
+                y: y.id,
+            })?,
+            slot: 0,
+        })
+    }
+
+    /// Materialises the tensor.
+    pub fn fetch(&self) -> XbResult<NdArray> {
+        let payloads = self.sess.fetch_payloads(self.id, self.slot)?;
+        let arrs: Vec<&NdArray> = payloads
+            .iter()
+            .map(|p| p.as_arr())
+            .collect::<XbResult<Vec<_>>>()?;
+        if arrs.len() == 1 {
+            return Ok(arrs[0].clone());
+        }
+        Ok(NdArray::concat_rows(&arrs)?)
+    }
+
+    /// Materialises a 1-element tensor as a scalar.
+    pub fn fetch_scalar(&self) -> XbResult<f64> {
+        let a = self.fetch()?;
+        a.data()
+            .first()
+            .copied()
+            .ok_or_else(|| XbError::Kernel("empty tensor has no scalar".into()))
+    }
+
+    /// Report of the fetch that produced this handle's last result.
+    pub fn last_report(&self) -> Option<RunReport> {
+        self.sess.last_report()
+    }
+}
+
+impl<E: Executor> std::fmt::Display for TensorHandle<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.fetch() {
+            Ok(a) => write!(f, "{:?}", a.data()),
+            Err(e) => write!(f, "<error: {e}>"),
+        }
+    }
+}

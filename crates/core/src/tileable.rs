@@ -1,0 +1,461 @@
+//! The tileable graph — the paper's logical plan.
+//!
+//! Each user-facing API call becomes one [`TileableOp`] node (the `__call__`
+//! method of §III-C). Tileables are not yet partitioned; the
+//! [`crate::tiling::Tiler`] lowers them to chunk graphs, consulting runtime
+//! metadata where needed (dynamic tiling, §IV).
+
+use crate::chunk::ArrStep;
+use crate::error::{XbError, XbResult};
+use std::sync::Arc;
+use xorbits_array::{ElemOp, NdArray, Reduction};
+use xorbits_dataframe::{AggSpec, DataFrame, Expr, JoinType, Scalar};
+
+/// Identifier of a tileable node within its graph.
+pub type TileableId = usize;
+
+/// A data source for a distributed dataframe.
+#[derive(Clone)]
+pub enum DfSource {
+    /// An already-materialized frame (client-side data, probe fixtures).
+    Materialized(Arc<DataFrame>),
+    /// A partitioned generator: `gen(start_row, len)` produces one
+    /// partition. Used for synthetic workload data and range CSV scans.
+    Generator {
+        /// Total rows in the source.
+        rows: usize,
+        /// Estimated bytes per row (drives source chunking).
+        bytes_per_row: usize,
+        /// The partition generator.
+        gen: Arc<dyn Fn(usize, usize) -> XbResult<DataFrame> + Send + Sync>,
+        /// Display label.
+        label: String,
+    },
+}
+
+impl DfSource {
+    /// Wraps a materialized frame.
+    pub fn materialized(df: DataFrame) -> DfSource {
+        DfSource::Materialized(Arc::new(df))
+    }
+
+    /// A lazily-read CSV source: the file is parsed once on first access
+    /// and partitions are row slices of it.
+    pub fn csv(path: std::path::PathBuf, rows: usize, bytes_per_row: usize) -> DfSource {
+        let cell: Arc<std::sync::OnceLock<XbResult<Arc<DataFrame>>>> =
+            Arc::new(std::sync::OnceLock::new());
+        let label = format!("read_csv({})", path.display());
+        DfSource::Generator {
+            rows,
+            bytes_per_row,
+            gen: Arc::new(move |start, len| {
+                let parsed = cell.get_or_init(|| {
+                    xorbits_dataframe::csv::read_csv_path(
+                        &path,
+                        &xorbits_dataframe::csv::CsvOptions::default(),
+                    )
+                    .map(Arc::new)
+                    .map_err(XbError::from)
+                });
+                match parsed {
+                    Ok(df) => Ok(df.slice(start, len)),
+                    Err(e) => Err(e.clone()),
+                }
+            }),
+            label,
+        }
+    }
+
+    /// Total rows.
+    pub fn rows(&self) -> usize {
+        match self {
+            DfSource::Materialized(df) => df.num_rows(),
+            DfSource::Generator { rows, .. } => *rows,
+        }
+    }
+
+    /// Estimated total bytes.
+    pub fn est_bytes(&self) -> usize {
+        match self {
+            DfSource::Materialized(df) => df.nbytes(),
+            DfSource::Generator {
+                rows,
+                bytes_per_row,
+                ..
+            } => rows * bytes_per_row,
+        }
+    }
+
+    /// Display label.
+    pub fn label(&self) -> String {
+        match self {
+            DfSource::Materialized(_) => "read_dataframe".to_string(),
+            DfSource::Generator { label, .. } => label.clone(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DfSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}[{} rows]", self.label(), self.rows())
+    }
+}
+
+/// A logical operator — one node of the tileable graph.
+#[derive(Debug, Clone)]
+pub enum TileableOp {
+    // ---- dataframe --------------------------------------------------------
+    /// Data source.
+    DfSource(DfSource),
+    /// Row filter by predicate (output shape unknown until execution — a
+    /// *non-static* operator in the paper's terms).
+    Filter {
+        /// Input tileable.
+        input: TileableId,
+        /// Predicate.
+        predicate: Expr,
+    },
+    /// Column projection.
+    Project {
+        /// Input tileable.
+        input: TileableId,
+        /// Columns to keep.
+        columns: Vec<String>,
+    },
+    /// Tolerant projection inserted by column pruning: keeps the requested
+    /// columns that exist, silently dropping absent names.
+    PruneColumns {
+        /// Input tileable.
+        input: TileableId,
+        /// Columns to keep where present.
+        columns: Vec<String>,
+    },
+    /// Derived-column assignment.
+    Assign {
+        /// Input tileable.
+        input: TileableId,
+        /// `(name, expression)` pairs evaluated in order.
+        exprs: Vec<(String, Expr)>,
+    },
+    /// Null replacement in one column.
+    Fillna {
+        /// Input tileable.
+        input: TileableId,
+        /// Target column.
+        column: String,
+        /// Replacement value.
+        value: Scalar,
+    },
+    /// Null-row removal.
+    Dropna {
+        /// Input tileable.
+        input: TileableId,
+        /// Columns to inspect (`None` ⇒ all).
+        subset: Option<Vec<String>>,
+    },
+    /// Column renaming.
+    Rename {
+        /// Input tileable.
+        input: TileableId,
+        /// `(old, new)` pairs.
+        pairs: Vec<(String, String)>,
+    },
+    /// Group-by aggregation (non-static; the flagship dynamic-tiling op).
+    GroupbyAgg {
+        /// Input tileable.
+        input: TileableId,
+        /// Group keys (empty ⇒ whole-frame aggregation).
+        keys: Vec<String>,
+        /// Aggregations.
+        specs: Vec<AggSpec>,
+    },
+    /// Join (non-static).
+    Merge {
+        /// Left input.
+        left: TileableId,
+        /// Right input.
+        right: TileableId,
+        /// Left key columns.
+        left_on: Vec<String>,
+        /// Right key columns.
+        right_on: Vec<String>,
+        /// Join type.
+        how: JoinType,
+        /// Suffixes for overlapping columns.
+        suffixes: (String, String),
+    },
+    /// Global sort.
+    SortValues {
+        /// Input tileable.
+        input: TileableId,
+        /// `(column, ascending)` keys.
+        keys: Vec<(String, bool)>,
+    },
+    /// First `n` rows of the global order.
+    Head {
+        /// Input tileable.
+        input: TileableId,
+        /// Row count.
+        n: usize,
+    },
+    /// Positional single-row lookup (Listing 2's `iloc[10]`; requires
+    /// iterative tiling when upstream shapes are unknown).
+    ILocRow {
+        /// Input tileable.
+        input: TileableId,
+        /// Global row position.
+        row: usize,
+    },
+    /// Global deduplication.
+    DropDuplicates {
+        /// Input tileable.
+        input: TileableId,
+        /// Key subset (`None` ⇒ all columns).
+        subset: Option<Vec<String>>,
+    },
+    /// Vertical concatenation.
+    ConcatDf {
+        /// Input tileables (same schema).
+        inputs: Vec<TileableId>,
+    },
+    /// Pivot table.
+    PivotTable {
+        /// Input tileable.
+        input: TileableId,
+        /// Row index column.
+        index: String,
+        /// Header column.
+        columns: String,
+        /// Value column.
+        values: String,
+        /// Aggregation.
+        agg: xorbits_dataframe::AggFunc,
+    },
+
+    // ---- tensor -----------------------------------------------------------
+    /// Random tensor (uniform or normal).
+    TensorRandom {
+        /// Shape.
+        shape: Vec<usize>,
+        /// Seed.
+        seed: u64,
+        /// Standard normal instead of uniform.
+        normal: bool,
+    },
+    /// Client-provided tensor (single chunk).
+    TensorFromArr(Arc<NdArray>),
+    /// Fused scalar-operand chain.
+    TensorMapChain {
+        /// Input tensor.
+        input: TileableId,
+        /// Steps applied in order.
+        steps: Vec<ArrStep>,
+    },
+    /// Elementwise binary op (broadcast when `b` is a single chunk).
+    TensorBinary {
+        /// Left tensor.
+        a: TileableId,
+        /// Right tensor.
+        b: TileableId,
+        /// Operator.
+        op: ElemOp,
+    },
+    /// Matrix product (`a` row-chunked, `b` single chunk).
+    TensorMatMul {
+        /// Left tensor.
+        a: TileableId,
+        /// Right tensor.
+        b: TileableId,
+    },
+    /// Reduced QR; output slot 0 = Q (row-chunked), slot 1 = R.
+    TensorQr {
+        /// Input tensor (tall-and-skinny after auto rechunk).
+        input: TileableId,
+    },
+    /// Full reduction to a 1-element tensor.
+    TensorReduce {
+        /// Input tensor.
+        input: TileableId,
+        /// Reduction kind.
+        kind: Reduction,
+    },
+    /// Distributed least squares via partial normal equations.
+    TensorLstsq {
+        /// Design matrix (row-chunked `m × n`).
+        x: TileableId,
+        /// Targets (row-chunked `m`, same splits as `x`).
+        y: TileableId,
+    },
+}
+
+impl TileableOp {
+    /// Ids of input tileables.
+    pub fn inputs(&self) -> Vec<TileableId> {
+        match self {
+            TileableOp::DfSource(_)
+            | TileableOp::TensorRandom { .. }
+            | TileableOp::TensorFromArr(_) => vec![],
+            TileableOp::Filter { input, .. }
+            | TileableOp::Project { input, .. }
+            | TileableOp::PruneColumns { input, .. }
+            | TileableOp::Assign { input, .. }
+            | TileableOp::Fillna { input, .. }
+            | TileableOp::Dropna { input, .. }
+            | TileableOp::Rename { input, .. }
+            | TileableOp::GroupbyAgg { input, .. }
+            | TileableOp::SortValues { input, .. }
+            | TileableOp::Head { input, .. }
+            | TileableOp::ILocRow { input, .. }
+            | TileableOp::DropDuplicates { input, .. }
+            | TileableOp::PivotTable { input, .. }
+            | TileableOp::TensorMapChain { input, .. }
+            | TileableOp::TensorQr { input }
+            | TileableOp::TensorReduce { input, .. } => vec![*input],
+            TileableOp::Merge { left, right, .. } => vec![*left, *right],
+            TileableOp::ConcatDf { inputs } => inputs.clone(),
+            TileableOp::TensorBinary { a, b, .. } => vec![*a, *b],
+            TileableOp::TensorMatMul { a, b } => vec![*a, *b],
+            TileableOp::TensorLstsq { x, y } => vec![*x, *y],
+        }
+    }
+
+    /// Number of output slots (only QR has two: Q and R).
+    pub fn n_outputs(&self) -> usize {
+        match self {
+            TileableOp::TensorQr { .. } => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the output shape can be computed from input shapes alone —
+    /// the paper's static/non-static operator distinction (§IV-A).
+    pub fn is_static_shape(&self) -> bool {
+        !matches!(
+            self,
+            TileableOp::Filter { .. }
+                | TileableOp::Dropna { .. }
+                | TileableOp::GroupbyAgg { .. }
+                | TileableOp::Merge { .. }
+                | TileableOp::DropDuplicates { .. }
+        )
+    }
+}
+
+/// The logical plan: tileables in construction (= topological) order.
+#[derive(Debug, Clone, Default)]
+pub struct TileableGraph {
+    /// Nodes; a node's inputs always have smaller ids.
+    pub nodes: Vec<TileableOp>,
+}
+
+impl TileableGraph {
+    /// Empty graph.
+    pub fn new() -> TileableGraph {
+        TileableGraph::default()
+    }
+
+    /// Adds a node; returns its id. Inputs must already exist.
+    pub fn push(&mut self, op: TileableOp) -> XbResult<TileableId> {
+        for i in op.inputs() {
+            if i >= self.nodes.len() {
+                return Err(XbError::Plan(format!(
+                    "tileable references unknown input {i}"
+                )));
+            }
+        }
+        self.nodes.push(op);
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Node accessor.
+    pub fn op(&self, id: TileableId) -> &TileableOp {
+        &self.nodes[id]
+    }
+
+    /// Node count.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// For each tileable, how many later tileables consume it (used by
+    /// peepholes like sort+head → top-k).
+    pub fn consumer_counts(&self) -> Vec<usize> {
+        let mut counts = vec![0usize; self.nodes.len()];
+        for op in &self.nodes {
+            for i in op.inputs() {
+                counts[i] += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbits_dataframe::{col, lit, Column};
+
+    #[test]
+    fn graph_construction_and_inputs() {
+        let mut g = TileableGraph::new();
+        let df = DataFrame::new(vec![("a", Column::from_i64(vec![1]))]).unwrap();
+        let src = g
+            .push(TileableOp::DfSource(DfSource::materialized(df)))
+            .unwrap();
+        let filt = g
+            .push(TileableOp::Filter {
+                input: src,
+                predicate: col("a").gt(lit(0i64)),
+            })
+            .unwrap();
+        assert_eq!(g.op(filt).inputs(), vec![src]);
+        assert_eq!(g.consumer_counts(), vec![1, 0]);
+        // forward reference rejected
+        assert!(g
+            .push(TileableOp::Filter {
+                input: 99,
+                predicate: col("a").gt(lit(0i64)),
+            })
+            .is_err());
+    }
+
+    #[test]
+    fn static_vs_nonstatic_classification() {
+        let src = TileableOp::TensorRandom {
+            shape: vec![4, 4],
+            seed: 0,
+            normal: false,
+        };
+        assert!(src.is_static_shape());
+        let f = TileableOp::Filter {
+            input: 0,
+            predicate: col("a").gt(lit(0i64)),
+        };
+        assert!(!f.is_static_shape());
+        let g = TileableOp::GroupbyAgg {
+            input: 0,
+            keys: vec![],
+            specs: vec![],
+        };
+        assert!(!g.is_static_shape());
+    }
+
+    #[test]
+    fn qr_has_two_outputs() {
+        assert_eq!(TileableOp::TensorQr { input: 0 }.n_outputs(), 2);
+        assert_eq!(
+            TileableOp::TensorRandom {
+                shape: vec![2],
+                seed: 0,
+                normal: false
+            }
+            .n_outputs(),
+            1
+        );
+    }
+}

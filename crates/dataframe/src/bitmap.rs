@@ -1,0 +1,261 @@
+//! A packed validity/selection bitmap.
+//!
+//! Columns use a [`Bitmap`] both as a null mask (bit set ⇒ value is valid)
+//! and as a filter selection vector (bit set ⇒ row is kept). Bits are stored
+//! LSB-first in `u64` words, matching the Arrow convention.
+
+/// A fixed-length packed bitmap.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates a bitmap of `len` bits, all set to `value`.
+    pub fn new_set(len: usize, value: bool) -> Self {
+        let nwords = len.div_ceil(64);
+        let fill = if value { u64::MAX } else { 0 };
+        let mut bm = Bitmap {
+            words: vec![fill; nwords],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Builds a bitmap from an iterator of booleans.
+    pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
+        let mut words = Vec::new();
+        let mut len = 0usize;
+        let mut cur = 0u64;
+        for b in iter {
+            if b {
+                cur |= 1u64 << (len % 64);
+            }
+            len += 1;
+            if len % 64 == 0 {
+                words.push(cur);
+                cur = 0;
+            }
+        }
+        if len % 64 != 0 {
+            words.push(cur);
+        }
+        Bitmap { words, len }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the bitmap holds no bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Returns bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Sets bit `i` to `value`.
+    #[inline]
+    pub fn set(&mut self, i: usize, value: bool) {
+        debug_assert!(i < self.len);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        if value {
+            *w |= mask;
+        } else {
+            *w &= !mask;
+        }
+    }
+
+    /// Appends a bit.
+    pub fn push(&mut self, value: bool) {
+        if self.len % 64 == 0 {
+            self.words.push(0);
+        }
+        let i = self.len;
+        self.len += 1;
+        self.set(i, value);
+    }
+
+    /// Number of set bits.
+    pub fn count_set(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterator over all bits.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        (0..self.len).map(move |i| self.get(i))
+    }
+
+    /// Iterator over the indices of set bits.
+    pub fn set_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.iter()
+            .enumerate()
+            .filter_map(|(i, b)| if b { Some(i) } else { None })
+    }
+
+    /// Bitwise AND of two equal-length bitmaps.
+    pub fn and(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a & b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Bitwise OR of two equal-length bitmaps.
+    pub fn or(&self, other: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, other.len, "bitmap length mismatch");
+        let words = self
+            .words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| a | b)
+            .collect();
+        Bitmap {
+            words,
+            len: self.len,
+        }
+    }
+
+    /// Bitwise NOT.
+    pub fn not(&self) -> Bitmap {
+        let mut bm = Bitmap {
+            words: self.words.iter().map(|w| !w).collect(),
+            len: self.len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// New bitmap keeping only positions in `indices`.
+    pub fn take(&self, indices: &[usize]) -> Bitmap {
+        Bitmap::from_iter(indices.iter().map(|&i| self.get(i)))
+    }
+
+    /// New bitmap keeping only positions where `mask` is set.
+    pub fn filter(&self, mask: &Bitmap) -> Bitmap {
+        assert_eq!(self.len, mask.len, "bitmap length mismatch");
+        Bitmap::from_iter(mask.set_indices().map(|i| self.get(i)))
+    }
+
+    /// Contiguous sub-bitmap `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
+        assert!(offset + len <= self.len, "slice out of bounds");
+        Bitmap::from_iter((offset..offset + len).map(|i| self.get(i)))
+    }
+
+    /// Concatenates several bitmaps.
+    pub fn concat(parts: &[&Bitmap]) -> Bitmap {
+        let mut out = Bitmap::new_set(0, false);
+        for p in parts {
+            for b in p.iter() {
+                out.push(b);
+            }
+        }
+        out
+    }
+
+    /// Heap bytes used.
+    pub fn nbytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// Clears any bits beyond `len` in the last word so that
+    /// `count_set` and equality stay correct.
+    fn mask_tail(&mut self) {
+        let rem = self.len % 64;
+        if rem != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << rem) - 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bitmap[")?;
+        for b in self.iter() {
+            write!(f, "{}", if b { '1' } else { '0' })?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_set_and_get() {
+        let bm = Bitmap::new_set(70, true);
+        assert_eq!(bm.len(), 70);
+        assert_eq!(bm.count_set(), 70);
+        assert!(bm.get(0) && bm.get(69));
+        let bm = Bitmap::new_set(70, false);
+        assert_eq!(bm.count_set(), 0);
+    }
+
+    #[test]
+    fn set_and_push() {
+        let mut bm = Bitmap::new_set(3, false);
+        bm.set(1, true);
+        assert!(!bm.get(0) && bm.get(1) && !bm.get(2));
+        bm.push(true);
+        assert_eq!(bm.len(), 4);
+        assert!(bm.get(3));
+    }
+
+    #[test]
+    fn logical_ops() {
+        let a = Bitmap::from_iter([true, true, false, false]);
+        let b = Bitmap::from_iter([true, false, true, false]);
+        assert_eq!(
+            a.and(&b),
+            Bitmap::from_iter([true, false, false, false])
+        );
+        assert_eq!(a.or(&b), Bitmap::from_iter([true, true, true, false]));
+        assert_eq!(a.not(), Bitmap::from_iter([false, false, true, true]));
+        // NOT must not set bits past `len` (would corrupt count_set).
+        assert_eq!(a.not().count_set(), 2);
+    }
+
+    #[test]
+    fn take_filter_slice_concat() {
+        let a = Bitmap::from_iter([true, false, true, false, true]);
+        assert_eq!(a.take(&[4, 0, 1]), Bitmap::from_iter([true, true, false]));
+        let mask = Bitmap::from_iter([true, true, false, false, true]);
+        assert_eq!(a.filter(&mask), Bitmap::from_iter([true, false, true]));
+        assert_eq!(a.slice(1, 3), Bitmap::from_iter([false, true, false]));
+        let c = Bitmap::concat(&[&a, &a]);
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.count_set(), 6);
+    }
+
+    #[test]
+    fn set_indices_spans_words() {
+        let mut bm = Bitmap::new_set(130, false);
+        bm.set(0, true);
+        bm.set(64, true);
+        bm.set(129, true);
+        let idx: Vec<_> = bm.set_indices().collect();
+        assert_eq!(idx, vec![0, 64, 129]);
+    }
+}

@@ -1,0 +1,862 @@
+//! Columnar storage: typed arrays with optional validity bitmaps.
+
+use crate::bitmap::Bitmap;
+use crate::error::{DfError, DfResult};
+use crate::hash::combine;
+use crate::scalar::{DataType, Scalar};
+
+/// A primitive array: contiguous values plus an optional null bitmap
+/// (absent bitmap ⇒ all values valid).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrimArr<T> {
+    /// The value buffer. Slots for null rows hold an unspecified value.
+    pub values: Vec<T>,
+    /// Validity bitmap; `None` means no nulls.
+    pub validity: Option<Bitmap>,
+}
+
+impl<T: Copy + Default> PrimArr<T> {
+    /// All-valid array from values.
+    pub fn new(values: Vec<T>) -> Self {
+        PrimArr {
+            values,
+            validity: None,
+        }
+    }
+
+    /// Array from optional values; `None` becomes null.
+    pub fn from_options(values: Vec<Option<T>>) -> Self {
+        let validity = Bitmap::from_iter(values.iter().map(|v| v.is_some()));
+        let values = values.into_iter().map(|v| v.unwrap_or_default()).collect();
+        if validity.count_set() == validity.len() {
+            PrimArr {
+                values,
+                validity: None,
+            }
+        } else {
+            PrimArr {
+                values,
+                validity: Some(validity),
+            }
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Validity of row `i`.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v.get(i))
+    }
+
+    /// Value at row `i` (`None` when null).
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<T> {
+        if self.is_valid(i) {
+            Some(self.values[i])
+        } else {
+            None
+        }
+    }
+
+    fn take(&self, indices: &[usize]) -> Self {
+        let values = indices.iter().map(|&i| self.values[i]).collect();
+        let validity = self.validity.as_ref().map(|v| v.take(indices));
+        PrimArr { values, validity }
+    }
+
+    fn filter(&self, mask: &Bitmap) -> Self {
+        let values = mask.set_indices().map(|i| self.values[i]).collect();
+        let validity = self.validity.as_ref().map(|v| v.filter(mask));
+        PrimArr { values, validity }
+    }
+
+    fn slice(&self, offset: usize, len: usize) -> Self {
+        PrimArr {
+            values: self.values[offset..offset + len].to_vec(),
+            validity: self.validity.as_ref().map(|v| v.slice(offset, len)),
+        }
+    }
+}
+
+/// A UTF-8 string array with contiguous byte storage (Arrow-style offsets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StrArr {
+    data: String,
+    /// `len + 1` offsets into `data`.
+    offsets: Vec<u32>,
+    validity: Option<Bitmap>,
+}
+
+impl StrArr {
+    /// Builds from string slices, all valid.
+    pub fn from_iter<S: AsRef<str>, I: IntoIterator<Item = S>>(iter: I) -> Self {
+        let mut data = String::new();
+        let mut offsets = vec![0u32];
+        for s in iter {
+            data.push_str(s.as_ref());
+            offsets.push(data.len() as u32);
+        }
+        StrArr {
+            data,
+            offsets,
+            validity: None,
+        }
+    }
+
+    /// Builds from optional string slices.
+    pub fn from_options<S: AsRef<str>, I: IntoIterator<Item = Option<S>>>(iter: I) -> Self {
+        let mut data = String::new();
+        let mut offsets = vec![0u32];
+        let mut validity = Bitmap::new_set(0, false);
+        for s in iter {
+            match s {
+                Some(s) => {
+                    data.push_str(s.as_ref());
+                    validity.push(true);
+                }
+                None => validity.push(false),
+            }
+            offsets.push(data.len() as u32);
+        }
+        let validity = if validity.count_set() == validity.len() {
+            None
+        } else {
+            Some(validity)
+        };
+        StrArr {
+            data,
+            offsets,
+            validity,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Validity of row `i`.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v.get(i))
+    }
+
+    /// String at row `i` ignoring validity (null rows yield `""`).
+    #[inline]
+    pub fn value(&self, i: usize) -> &str {
+        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+
+    /// String at row `i`, `None` when null.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<&str> {
+        if self.is_valid(i) {
+            Some(self.value(i))
+        } else {
+            None
+        }
+    }
+
+    /// Iterator over all values (null ⇒ `None`).
+    pub fn iter(&self) -> impl Iterator<Item = Option<&str>> + '_ {
+        (0..self.len()).map(move |i| self.get(i))
+    }
+
+    fn take(&self, indices: &[usize]) -> Self {
+        StrArr::from_options(indices.iter().map(|&i| self.get(i)))
+    }
+
+    fn filter(&self, mask: &Bitmap) -> Self {
+        StrArr::from_options(mask.set_indices().map(|i| self.get(i)))
+    }
+
+    fn slice(&self, offset: usize, len: usize) -> Self {
+        StrArr::from_options((offset..offset + len).map(|i| self.get(i)))
+    }
+
+    fn nbytes(&self) -> usize {
+        self.data.len()
+            + self.offsets.len() * 4
+            + self.validity.as_ref().map_or(0, |v| v.nbytes())
+    }
+
+    /// Bulk concatenation: byte buffers appended, offsets rebased.
+    pub fn concat(parts: &[&StrArr]) -> StrArr {
+        let total_rows: usize = parts.iter().map(|p| p.len()).sum();
+        let total_bytes: usize = parts.iter().map(|p| p.data.len()).sum();
+        let mut data = String::with_capacity(total_bytes);
+        let mut offsets = Vec::with_capacity(total_rows + 1);
+        offsets.push(0u32);
+        let any_null = parts.iter().any(|p| p.validity.is_some());
+        let mut validity = if any_null {
+            Some(Bitmap::new_set(0, false))
+        } else {
+            None
+        };
+        for p in parts {
+            let base = data.len() as u32;
+            data.push_str(&p.data);
+            offsets.extend(p.offsets[1..].iter().map(|o| o + base));
+            if let Some(v) = &mut validity {
+                for i in 0..p.len() {
+                    v.push(p.is_valid(i));
+                }
+            }
+        }
+        StrArr {
+            data,
+            offsets,
+            validity,
+        }
+    }
+}
+
+/// A boolean array backed by two bitmaps (values + validity).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoolArr {
+    /// Packed boolean values.
+    pub values: Bitmap,
+    /// Validity bitmap; `None` means no nulls.
+    pub validity: Option<Bitmap>,
+}
+
+impl BoolArr {
+    /// All-valid boolean array.
+    pub fn new(values: Bitmap) -> Self {
+        BoolArr {
+            values,
+            validity: None,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Validity of row `i`.
+    #[inline]
+    pub fn is_valid(&self, i: usize) -> bool {
+        self.validity.as_ref().map_or(true, |v| v.get(i))
+    }
+
+    /// Value at row `i`, `None` when null.
+    #[inline]
+    pub fn get(&self, i: usize) -> Option<bool> {
+        if self.is_valid(i) {
+            Some(self.values.get(i))
+        } else {
+            None
+        }
+    }
+
+    /// Collapses to a selection mask: null counts as `false`
+    /// (pandas boolean-indexing semantics).
+    pub fn to_mask(&self) -> Bitmap {
+        match &self.validity {
+            None => self.values.clone(),
+            Some(v) => self.values.and(v),
+        }
+    }
+}
+
+/// A typed column of a dataframe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Column {
+    /// 64-bit integers.
+    Int64(PrimArr<i64>),
+    /// 64-bit floats.
+    Float64(PrimArr<f64>),
+    /// Booleans.
+    Bool(BoolArr),
+    /// UTF-8 strings.
+    Utf8(StrArr),
+    /// Dates (days since epoch).
+    Date(PrimArr<i32>),
+}
+
+impl Column {
+    // ---- constructors -----------------------------------------------------
+
+    /// All-valid Int64 column.
+    pub fn from_i64(values: Vec<i64>) -> Self {
+        Column::Int64(PrimArr::new(values))
+    }
+
+    /// Int64 column with nulls.
+    pub fn from_opt_i64(values: Vec<Option<i64>>) -> Self {
+        Column::Int64(PrimArr::from_options(values))
+    }
+
+    /// All-valid Float64 column.
+    pub fn from_f64(values: Vec<f64>) -> Self {
+        Column::Float64(PrimArr::new(values))
+    }
+
+    /// Float64 column with nulls.
+    pub fn from_opt_f64(values: Vec<Option<f64>>) -> Self {
+        Column::Float64(PrimArr::from_options(values))
+    }
+
+    /// All-valid Bool column.
+    pub fn from_bool(values: Vec<bool>) -> Self {
+        Column::Bool(BoolArr::new(Bitmap::from_iter(values)))
+    }
+
+    /// All-valid Utf8 column.
+    pub fn from_str<S: AsRef<str>, I: IntoIterator<Item = S>>(values: I) -> Self {
+        Column::Utf8(StrArr::from_iter(values))
+    }
+
+    /// Utf8 column with nulls.
+    pub fn from_opt_str<S: AsRef<str>, I: IntoIterator<Item = Option<S>>>(values: I) -> Self {
+        Column::Utf8(StrArr::from_options(values))
+    }
+
+    /// All-valid Date column (days since epoch).
+    pub fn from_date(values: Vec<i32>) -> Self {
+        Column::Date(PrimArr::new(values))
+    }
+
+    /// Column of `len` copies of `scalar`, with the given type when null.
+    pub fn full(len: usize, scalar: &Scalar, dtype: DataType) -> Self {
+        match (scalar, dtype) {
+            (Scalar::Null, DataType::Int64) => Column::from_opt_i64(vec![None; len]),
+            (Scalar::Null, DataType::Float64) => Column::from_opt_f64(vec![None; len]),
+            (Scalar::Null, DataType::Utf8) => {
+                Column::from_opt_str::<&str, _>((0..len).map(|_| None))
+            }
+            (Scalar::Null, DataType::Date) => {
+                Column::Date(PrimArr::from_options(vec![None; len]))
+            }
+            (Scalar::Null, DataType::Bool) => Column::Bool(BoolArr {
+                values: Bitmap::new_set(len, false),
+                validity: Some(Bitmap::new_set(len, false)),
+            }),
+            (Scalar::Int(v), _) => Column::from_i64(vec![*v; len]),
+            (Scalar::Float(v), _) => Column::from_f64(vec![*v; len]),
+            (Scalar::Bool(v), _) => Column::from_bool(vec![*v; len]),
+            (Scalar::Str(v), _) => Column::from_str((0..len).map(|_| v.as_str())),
+            (Scalar::Date(v), _) => Column::from_date(vec![*v; len]),
+        }
+    }
+
+    /// Builds a column of the given type from scalars.
+    pub fn from_scalars(scalars: &[Scalar], dtype: DataType) -> DfResult<Self> {
+        Ok(match dtype {
+            DataType::Int64 => {
+                Column::from_opt_i64(scalars.iter().map(|s| s.as_i64()).collect())
+            }
+            DataType::Float64 => {
+                Column::from_opt_f64(scalars.iter().map(|s| s.as_f64()).collect())
+            }
+            DataType::Date => Column::Date(PrimArr::from_options(
+                scalars.iter().map(|s| s.as_i64().map(|v| v as i32)).collect(),
+            )),
+            DataType::Utf8 => Column::from_opt_str(scalars.iter().map(|s| s.as_str())),
+            DataType::Bool => {
+                let values = Bitmap::from_iter(
+                    scalars.iter().map(|s| matches!(s, Scalar::Bool(true))),
+                );
+                let validity = Bitmap::from_iter(scalars.iter().map(|s| !s.is_null()));
+                Column::Bool(BoolArr {
+                    values,
+                    validity: if validity.count_set() == validity.len() {
+                        None
+                    } else {
+                        Some(validity)
+                    },
+                })
+            }
+        })
+    }
+
+    // ---- inspection -------------------------------------------------------
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        match self {
+            Column::Int64(a) => a.len(),
+            Column::Float64(a) => a.len(),
+            Column::Bool(a) => a.len(),
+            Column::Utf8(a) => a.len(),
+            Column::Date(a) => a.len(),
+        }
+    }
+
+    /// True if no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Logical type.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Column::Int64(_) => DataType::Int64,
+            Column::Float64(_) => DataType::Float64,
+            Column::Bool(_) => DataType::Bool,
+            Column::Utf8(_) => DataType::Utf8,
+            Column::Date(_) => DataType::Date,
+        }
+    }
+
+    /// Value at row `i` as a scalar.
+    pub fn get(&self, i: usize) -> Scalar {
+        match self {
+            Column::Int64(a) => a.get(i).map_or(Scalar::Null, Scalar::Int),
+            Column::Float64(a) => a.get(i).map_or(Scalar::Null, Scalar::Float),
+            Column::Bool(a) => a.get(i).map_or(Scalar::Null, Scalar::Bool),
+            Column::Utf8(a) => a.get(i).map_or(Scalar::Null, |s| Scalar::Str(s.to_string())),
+            Column::Date(a) => a.get(i).map_or(Scalar::Null, Scalar::Date),
+        }
+    }
+
+    /// Validity of row `i`.
+    pub fn is_valid(&self, i: usize) -> bool {
+        match self {
+            Column::Int64(a) => a.is_valid(i),
+            Column::Float64(a) => a.is_valid(i),
+            Column::Bool(a) => a.is_valid(i),
+            Column::Utf8(a) => a.is_valid(i),
+            Column::Date(a) => a.is_valid(i),
+        }
+    }
+
+    /// Number of null rows.
+    pub fn null_count(&self) -> usize {
+        let validity = match self {
+            Column::Int64(a) => &a.validity,
+            Column::Float64(a) => &a.validity,
+            Column::Bool(a) => &a.validity,
+            Column::Utf8(a) => &a.validity,
+            Column::Date(a) => &a.validity,
+        };
+        validity
+            .as_ref()
+            .map_or(0, |v| v.len() - v.count_set())
+    }
+
+    /// Approximate heap bytes (the runtime's memory ledger unit).
+    pub fn nbytes(&self) -> usize {
+        match self {
+            Column::Int64(a) => a.values.len() * 8 + a.validity.as_ref().map_or(0, |v| v.nbytes()),
+            Column::Float64(a) => {
+                a.values.len() * 8 + a.validity.as_ref().map_or(0, |v| v.nbytes())
+            }
+            Column::Bool(a) => a.values.nbytes() + a.validity.as_ref().map_or(0, |v| v.nbytes()),
+            Column::Utf8(a) => a.nbytes(),
+            Column::Date(a) => a.values.len() * 4 + a.validity.as_ref().map_or(0, |v| v.nbytes()),
+        }
+    }
+
+    // ---- reshaping --------------------------------------------------------
+
+    /// Rows at `indices`, in order (may repeat).
+    pub fn take(&self, indices: &[usize]) -> Column {
+        match self {
+            Column::Int64(a) => Column::Int64(a.take(indices)),
+            Column::Float64(a) => Column::Float64(a.take(indices)),
+            Column::Bool(a) => Column::Bool(BoolArr {
+                values: a.values.take(indices),
+                validity: a.validity.as_ref().map(|v| v.take(indices)),
+            }),
+            Column::Utf8(a) => Column::Utf8(a.take(indices)),
+            Column::Date(a) => Column::Date(a.take(indices)),
+        }
+    }
+
+    /// Rows where `mask` is set.
+    pub fn filter(&self, mask: &Bitmap) -> Column {
+        match self {
+            Column::Int64(a) => Column::Int64(a.filter(mask)),
+            Column::Float64(a) => Column::Float64(a.filter(mask)),
+            Column::Bool(a) => Column::Bool(BoolArr {
+                values: a.values.filter(mask),
+                validity: a.validity.as_ref().map(|v| v.filter(mask)),
+            }),
+            Column::Utf8(a) => Column::Utf8(a.filter(mask)),
+            Column::Date(a) => Column::Date(a.filter(mask)),
+        }
+    }
+
+    /// Contiguous rows `[offset, offset + len)`.
+    pub fn slice(&self, offset: usize, len: usize) -> Column {
+        match self {
+            Column::Int64(a) => Column::Int64(a.slice(offset, len)),
+            Column::Float64(a) => Column::Float64(a.slice(offset, len)),
+            Column::Bool(a) => Column::Bool(BoolArr {
+                values: a.values.slice(offset, len),
+                validity: a.validity.as_ref().map(|v| v.slice(offset, len)),
+            }),
+            Column::Utf8(a) => Column::Utf8(a.slice(offset, len)),
+            Column::Date(a) => Column::Date(a.slice(offset, len)),
+        }
+    }
+
+    /// Vertical concatenation. All parts must share the type.
+    pub fn concat(parts: &[&Column]) -> DfResult<Column> {
+        let first = parts.first().ok_or_else(|| {
+            DfError::Unsupported("concat of zero columns".to_string())
+        })?;
+        let dtype = first.data_type();
+        for p in parts {
+            if p.data_type() != dtype {
+                return Err(DfError::TypeMismatch {
+                    expected: dtype.to_string(),
+                    found: p.data_type().to_string(),
+                });
+            }
+        }
+        fn concat_prim<T: Copy + Default>(arrs: Vec<&PrimArr<T>>) -> PrimArr<T> {
+            let total: usize = arrs.iter().map(|a| a.len()).sum();
+            let mut values = Vec::with_capacity(total);
+            let any_null = arrs.iter().any(|a| a.validity.is_some());
+            let mut validity = if any_null {
+                Some(Bitmap::new_set(0, false))
+            } else {
+                None
+            };
+            for a in arrs {
+                values.extend_from_slice(&a.values);
+                if let Some(v) = &mut validity {
+                    match &a.validity {
+                        Some(av) => {
+                            for b in av.iter() {
+                                v.push(b);
+                            }
+                        }
+                        None => {
+                            for _ in 0..a.len() {
+                                v.push(true);
+                            }
+                        }
+                    }
+                }
+            }
+            PrimArr { values, validity }
+        }
+        Ok(match dtype {
+            DataType::Int64 => Column::Int64(concat_prim(
+                parts
+                    .iter()
+                    .map(|p| match p {
+                        Column::Int64(a) => a,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )),
+            DataType::Float64 => Column::Float64(concat_prim(
+                parts
+                    .iter()
+                    .map(|p| match p {
+                        Column::Float64(a) => a,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )),
+            DataType::Date => Column::Date(concat_prim(
+                parts
+                    .iter()
+                    .map(|p| match p {
+                        Column::Date(a) => a,
+                        _ => unreachable!(),
+                    })
+                    .collect(),
+            )),
+            DataType::Bool => {
+                let mut values = Bitmap::new_set(0, false);
+                let mut validity = Bitmap::new_set(0, false);
+                let mut has_null = false;
+                for p in parts {
+                    if let Column::Bool(a) = p {
+                        for i in 0..a.len() {
+                            values.push(a.values.get(i));
+                            let valid = a.is_valid(i);
+                            has_null |= !valid;
+                            validity.push(valid);
+                        }
+                    }
+                }
+                Column::Bool(BoolArr {
+                    values,
+                    validity: if has_null { Some(validity) } else { None },
+                })
+            }
+            DataType::Utf8 => {
+                // bulk byte-level concatenation of the string buffers
+                let arrs: Vec<&StrArr> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Column::Utf8(a) => a,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                Column::Utf8(StrArr::concat(&arrs))
+            }
+        })
+    }
+
+    // ---- casting ----------------------------------------------------------
+
+    /// Casts to another type; numeric↔numeric and anything→Utf8 supported.
+    pub fn cast(&self, to: DataType) -> DfResult<Column> {
+        if self.data_type() == to {
+            return Ok(self.clone());
+        }
+        let n = self.len();
+        Ok(match to {
+            DataType::Float64 => Column::from_opt_f64(
+                (0..n)
+                    .map(|i| self.get(i).as_f64())
+                    .collect(),
+            ),
+            DataType::Int64 => Column::from_opt_i64(
+                (0..n)
+                    .map(|i| self.get(i).as_i64())
+                    .collect(),
+            ),
+            DataType::Utf8 => Column::from_opt_str(
+                (0..n)
+                    .map(|i| {
+                        let s = self.get(i);
+                        if s.is_null() {
+                            None
+                        } else {
+                            Some(s.to_string())
+                        }
+                    })
+                    .collect::<Vec<_>>(),
+            ),
+            other => {
+                return Err(DfError::Unsupported(format!(
+                    "cast {} -> {}",
+                    self.data_type(),
+                    other
+                )))
+            }
+        })
+    }
+
+    // ---- hashing & equality (for groupby/join keys) -------------------------
+
+    /// Folds each row's value hash into `hashes[row]`. Null hashes to a
+    /// fixed sentinel so grouping can still bucket nulls together.
+    pub fn hash_combine(&self, hashes: &mut [u64]) {
+        const NULL_H: u64 = 0x9e37_79b9_7f4a_7c15;
+        assert_eq!(hashes.len(), self.len());
+        match self {
+            Column::Int64(a) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+                }
+            }
+            Column::Date(a) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+                }
+            }
+            Column::Float64(a) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v.to_bits()));
+                }
+            }
+            Column::Bool(a) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+                }
+            }
+            Column::Utf8(a) => {
+                for (i, h) in hashes.iter_mut().enumerate() {
+                    let vh = a.get(i).map_or(NULL_H, |s| {
+                        use std::hash::Hasher;
+                        let mut hasher = crate::hash::FxHasher::default();
+                        hasher.write(s.as_bytes());
+                        hasher.finish()
+                    });
+                    *h = combine(*h, vh);
+                }
+            }
+        }
+    }
+
+    /// Row-level equality between two columns (for hash-collision checks).
+    /// Nulls compare equal to nulls here; callers that need SQL semantics
+    /// filter nulls beforehand.
+    pub fn eq_at(&self, i: usize, other: &Column, j: usize) -> bool {
+        match (self, other) {
+            (Column::Int64(a), Column::Int64(b)) => a.get(i) == b.get(j),
+            (Column::Float64(a), Column::Float64(b)) => match (a.get(i), b.get(j)) {
+                (Some(x), Some(y)) => x.to_bits() == y.to_bits(),
+                (None, None) => true,
+                _ => false,
+            },
+            (Column::Date(a), Column::Date(b)) => a.get(i) == b.get(j),
+            (Column::Bool(a), Column::Bool(b)) => a.get(i) == b.get(j),
+            (Column::Utf8(a), Column::Utf8(b)) => a.get(i) == b.get(j),
+            _ => false,
+        }
+    }
+
+    // ---- typed views ------------------------------------------------------
+
+    /// Int64 view.
+    pub fn as_i64(&self) -> DfResult<&PrimArr<i64>> {
+        match self {
+            Column::Int64(a) => Ok(a),
+            other => Err(DfError::TypeMismatch {
+                expected: "int64".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Float64 view.
+    pub fn as_f64(&self) -> DfResult<&PrimArr<f64>> {
+        match self {
+            Column::Float64(a) => Ok(a),
+            other => Err(DfError::TypeMismatch {
+                expected: "float64".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Bool view.
+    pub fn as_bool(&self) -> DfResult<&BoolArr> {
+        match self {
+            Column::Bool(a) => Ok(a),
+            other => Err(DfError::TypeMismatch {
+                expected: "bool".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Utf8 view.
+    pub fn as_utf8(&self) -> DfResult<&StrArr> {
+        match self {
+            Column::Utf8(a) => Ok(a),
+            other => Err(DfError::TypeMismatch {
+                expected: "utf8".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+
+    /// Date view.
+    pub fn as_date(&self) -> DfResult<&PrimArr<i32>> {
+        match self {
+            Column::Date(a) => Ok(a),
+            other => Err(DfError::TypeMismatch {
+                expected: "date".into(),
+                found: other.data_type().to_string(),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_roundtrip() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(0), Scalar::Int(1));
+        assert_eq!(c.get(1), Scalar::Null);
+    }
+
+    #[test]
+    fn str_arr() {
+        let c = Column::from_opt_str(vec![Some("ab"), None, Some("c")]);
+        let s = c.as_utf8().unwrap();
+        assert_eq!(s.get(0), Some("ab"));
+        assert_eq!(s.get(1), None);
+        assert_eq!(s.get(2), Some("c"));
+        assert_eq!(c.null_count(), 1);
+    }
+
+    #[test]
+    fn take_filter_slice() {
+        let c = Column::from_i64(vec![10, 20, 30, 40]);
+        assert_eq!(c.take(&[3, 0]), Column::from_i64(vec![40, 10]));
+        let mask = Bitmap::from_iter([true, false, true, false]);
+        assert_eq!(c.filter(&mask), Column::from_i64(vec![10, 30]));
+        assert_eq!(c.slice(1, 2), Column::from_i64(vec![20, 30]));
+    }
+
+    #[test]
+    fn concat_mixed_nulls() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_opt_i64(vec![None, Some(2)]);
+        let c = Column::concat(&[&a, &b]).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.null_count(), 1);
+        assert_eq!(c.get(2), Scalar::Int(2));
+    }
+
+    #[test]
+    fn concat_type_mismatch() {
+        let a = Column::from_i64(vec![1]);
+        let b = Column::from_f64(vec![1.0]);
+        assert!(Column::concat(&[&a, &b]).is_err());
+    }
+
+    #[test]
+    fn cast_int_to_float() {
+        let c = Column::from_opt_i64(vec![Some(1), None]);
+        let f = c.cast(DataType::Float64).unwrap();
+        assert_eq!(f.get(0), Scalar::Float(1.0));
+        assert!(f.get(1).is_null());
+    }
+
+    #[test]
+    fn hash_same_values_same_hash() {
+        let a = Column::from_str(["x", "y", "x"]);
+        let mut h = vec![0u64; 3];
+        a.hash_combine(&mut h);
+        assert_eq!(h[0], h[2]);
+        assert_ne!(h[0], h[1]);
+    }
+
+    #[test]
+    fn eq_at_cross_rows() {
+        let a = Column::from_i64(vec![1, 2]);
+        let b = Column::from_i64(vec![2, 1]);
+        assert!(a.eq_at(0, &b, 1));
+        assert!(!a.eq_at(0, &b, 0));
+    }
+
+    #[test]
+    fn bool_to_mask_nulls_false() {
+        let b = BoolArr {
+            values: Bitmap::from_iter([true, true, false]),
+            validity: Some(Bitmap::from_iter([true, false, true])),
+        };
+        assert_eq!(b.to_mask(), Bitmap::from_iter([true, false, false]));
+    }
+
+    #[test]
+    fn full_scalar() {
+        let c = Column::full(3, &Scalar::Str("k".into()), DataType::Utf8);
+        assert_eq!(c.get(2), Scalar::Str("k".into()));
+        let n = Column::full(2, &Scalar::Null, DataType::Float64);
+        assert_eq!(n.null_count(), 2);
+    }
+}

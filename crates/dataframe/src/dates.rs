@@ -1,0 +1,104 @@
+//! Minimal proleptic-Gregorian date arithmetic.
+//!
+//! Dates are stored as `i32` days since 1970-01-01 (the Arrow `date32`
+//! convention). Only what the workloads need is implemented: conversion to
+//! and from `(year, month, day)` and field extraction.
+
+/// Days from civil date, algorithm by Howard Hinnant (public domain).
+pub fn to_days(year: i32, month: u32, day: u32) -> i32 {
+    let y = if month <= 2 { year - 1 } else { year } as i64;
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as i64; // [0, 399]
+    let mp = ((month + 9) % 12) as i64; // [0, 11], Mar=0
+    let doy = (153 * mp + 2) / 5 + day as i64 - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    (era * 146097 + doe - 719468) as i32
+}
+
+/// Civil date from days since epoch.
+pub fn from_days(days: i32) -> (i32, u32, u32) {
+    let z = days as i64 + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = z - era * 146097; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    let year = if m <= 2 { y + 1 } else { y } as i32;
+    (year, m, d)
+}
+
+/// Extracts the year.
+pub fn year(days: i32) -> i32 {
+    from_days(days).0
+}
+
+/// Extracts the month (1-12).
+pub fn month(days: i32) -> u32 {
+    from_days(days).1
+}
+
+/// Extracts the day of month (1-31).
+pub fn day(days: i32) -> u32 {
+    from_days(days).2
+}
+
+/// Parses `YYYY-MM-DD` into days since epoch.
+pub fn parse_iso(s: &str) -> Option<i32> {
+    let bytes = s.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let year: i32 = s[0..4].parse().ok()?;
+    let month: u32 = s[5..7].parse().ok()?;
+    let day: u32 = s[8..10].parse().ok()?;
+    if !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+        return None;
+    }
+    Some(to_days(year, month, day))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch() {
+        assert_eq!(to_days(1970, 1, 1), 0);
+        assert_eq!(from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn round_trip_many() {
+        for days in (-200_000..200_000).step_by(37) {
+            let (y, m, d) = from_days(days);
+            assert_eq!(to_days(y, m, d), days, "at {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn known_dates() {
+        // TPC-H date range endpoints.
+        assert_eq!(from_days(to_days(1992, 1, 1)), (1992, 1, 1));
+        assert_eq!(from_days(to_days(1998, 12, 31)), (1998, 12, 31));
+        // Leap day.
+        assert_eq!(from_days(to_days(2000, 2, 29)), (2000, 2, 29));
+    }
+
+    #[test]
+    fn parse() {
+        assert_eq!(parse_iso("1995-03-15"), Some(to_days(1995, 3, 15)));
+        assert_eq!(parse_iso("1995-3-15"), None);
+        assert_eq!(parse_iso("1995-13-15"), None);
+    }
+
+    #[test]
+    fn extractors() {
+        let d = to_days(1994, 11, 23);
+        assert_eq!(year(d), 1994);
+        assert_eq!(month(d), 11);
+        assert_eq!(day(d), 23);
+    }
+}

@@ -1,0 +1,62 @@
+//! Error type for the dataframe kernel.
+
+use std::fmt;
+
+/// Errors raised by kernel operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfError {
+    /// A referenced column does not exist.
+    ColumnNotFound(String),
+    /// Two columns (or a column and a scalar) have incompatible types.
+    TypeMismatch {
+        /// Required type.
+        expected: String,
+        /// Actual type.
+        found: String,
+    },
+    /// Lengths of columns/masks/frames disagree.
+    LengthMismatch {
+        /// Required length.
+        expected: usize,
+        /// Actual length.
+        found: usize,
+    },
+    /// Operation is not defined for this data type.
+    Unsupported(String),
+    /// Malformed input (e.g. CSV parse failure).
+    Parse(String),
+    /// Index out of bounds.
+    OutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Container length.
+        len: usize,
+    },
+    /// A duplicate column name would be produced.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for DfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfError::ColumnNotFound(name) => write!(f, "column not found: {name:?}"),
+            DfError::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            DfError::LengthMismatch { expected, found } => {
+                write!(f, "length mismatch: expected {expected}, found {found}")
+            }
+            DfError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
+            DfError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DfError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+            DfError::DuplicateColumn(name) => write!(f, "duplicate column name: {name:?}"),
+        }
+    }
+}
+
+impl std::error::Error for DfError {}
+
+/// Convenient result alias for kernel operations.
+pub type DfResult<T> = Result<T, DfError>;

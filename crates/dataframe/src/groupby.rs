@@ -1,0 +1,604 @@
+//! Hash group-by aggregation.
+//!
+//! Two entry points mirror the paper's execution modes:
+//!
+//! * [`groupby_agg`] — the whole aggregation in one pass (what a single-node
+//!   pandas backend does inside one chunk task);
+//! * [`groupby_map`] / [`groupby_combine`] / [`groupby_finalize`] — the
+//!   *map-combine-reduce* decomposition of §III-C: `map` emits per-chunk
+//!   partial states, `combine` pre-aggregates sets of partials (the stage
+//!   Xorbits adds to avoid funnelling every chunk into one reducer), and
+//!   `finalize` turns states into the user-visible result.
+//!
+//! `nunique` has non-fixed-width partial state, so the tiling layer lowers it
+//! to `distinct` + `count` instead (see `xorbits-core`); the single-pass path
+//! here supports it directly.
+
+use crate::column::Column;
+use crate::error::{DfError, DfResult};
+use crate::frame::DataFrame;
+use crate::hash::{FxHashMap, FxHashSet};
+use crate::scalar::{DataType, Scalar};
+
+/// Aggregation functions (the pandas subset the workloads need).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of non-null values.
+    Sum,
+    /// Minimum of non-null values.
+    Min,
+    /// Maximum of non-null values.
+    Max,
+    /// Count of non-null values.
+    Count,
+    /// Mean of non-null values.
+    Mean,
+    /// First value in order.
+    First,
+    /// Number of distinct non-null values.
+    Nunique,
+}
+
+impl AggFunc {
+    /// pandas spelling, used by the API-coverage benchmark.
+    pub fn name(self) -> &'static str {
+        match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+            AggFunc::Count => "count",
+            AggFunc::Mean => "mean",
+            AggFunc::First => "first",
+            AggFunc::Nunique => "nunique",
+        }
+    }
+}
+
+/// One aggregation: `output = func(column)` within each group.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Input column.
+    pub column: String,
+    /// Aggregation function.
+    pub func: AggFunc,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggSpec {
+    /// Creates a spec.
+    pub fn new(
+        column: impl Into<String>,
+        func: AggFunc,
+        output: impl Into<String>,
+    ) -> Self {
+        AggSpec {
+            column: column.into(),
+            func,
+            output: output.into(),
+        }
+    }
+}
+
+/// A hashable key for distinct-value tracking.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum ScalarKey {
+    Null,
+    Int(i64),
+    Float(u64),
+    Bool(bool),
+    Str(String),
+    Date(i32),
+}
+
+impl ScalarKey {
+    fn from_scalar(s: &Scalar) -> ScalarKey {
+        match s {
+            Scalar::Null => ScalarKey::Null,
+            Scalar::Int(v) => ScalarKey::Int(*v),
+            Scalar::Float(v) => ScalarKey::Float(v.to_bits()),
+            Scalar::Bool(v) => ScalarKey::Bool(*v),
+            Scalar::Str(v) => ScalarKey::Str(v.clone()),
+            Scalar::Date(v) => ScalarKey::Date(*v),
+        }
+    }
+}
+
+/// Group index: unique key rows plus, per input row, its group id.
+struct Groups {
+    /// Row index (into the input) of each group's representative row.
+    repr_rows: Vec<usize>,
+    /// Group id of every kept input row.
+    row_groups: Vec<(usize, usize)>, // (input row, group id)
+}
+
+/// Builds groups over `keys`, dropping rows with null keys (pandas default).
+fn build_groups(df: &DataFrame, keys: &[&str]) -> DfResult<Groups> {
+    let hashes = df.hash_rows(keys)?;
+    let key_cols: Vec<&Column> = keys
+        .iter()
+        .map(|k| df.column(k))
+        .collect::<DfResult<Vec<_>>>()?;
+    let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    let mut repr_rows = Vec::new();
+    let mut row_groups = Vec::with_capacity(df.num_rows());
+    'rows: for i in 0..df.num_rows() {
+        if key_cols.iter().any(|c| !c.is_valid(i)) {
+            continue; // pandas groupby(dropna=True)
+        }
+        let bucket = table.entry(hashes[i]).or_default();
+        for &gid in bucket.iter() {
+            let j = repr_rows[gid];
+            if key_cols.iter().all(|c| c.eq_at(i, c, j)) {
+                row_groups.push((i, gid));
+                continue 'rows;
+            }
+        }
+        let gid = repr_rows.len();
+        repr_rows.push(i);
+        bucket.push(gid);
+        row_groups.push((i, gid));
+    }
+    Ok(Groups {
+        repr_rows,
+        row_groups,
+    })
+}
+
+/// Numeric accumulator state for one (spec, group).
+#[derive(Clone)]
+enum Acc {
+    SumI(i64, bool),
+    SumF(f64, bool),
+    MinMax(Option<Scalar>),
+    Count(i64),
+    Mean { sum: f64, count: i64 },
+    First(Option<Scalar>),
+    Distinct(FxHashSet<ScalarKey>),
+}
+
+impl Acc {
+    fn new(func: AggFunc, dtype: DataType) -> Acc {
+        match func {
+            AggFunc::Sum => {
+                if dtype == DataType::Int64 {
+                    Acc::SumI(0, false)
+                } else {
+                    Acc::SumF(0.0, false)
+                }
+            }
+            AggFunc::Min | AggFunc::Max => Acc::MinMax(None),
+            AggFunc::Count => Acc::Count(0),
+            AggFunc::Mean => Acc::Mean { sum: 0.0, count: 0 },
+            AggFunc::First => Acc::First(None),
+            AggFunc::Nunique => Acc::Distinct(FxHashSet::default()),
+        }
+    }
+
+    fn update(&mut self, func: AggFunc, col: &Column, row: usize) {
+        if !col.is_valid(row) {
+            return; // pandas skips nulls
+        }
+        match self {
+            Acc::SumI(s, seen) => {
+                *s = s.wrapping_add(col.get(row).as_i64().unwrap_or(0));
+                *seen = true;
+            }
+            Acc::SumF(s, seen) => {
+                *s += col.get(row).as_f64().unwrap_or(0.0);
+                *seen = true;
+            }
+            Acc::MinMax(cur) => {
+                let v = col.get(row);
+                let replace = match cur {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.total_cmp(c);
+                        if func == AggFunc::Min {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if replace {
+                    *cur = Some(v);
+                }
+            }
+            Acc::Count(c) => *c += 1,
+            Acc::Mean { sum, count } => {
+                *sum += col.get(row).as_f64().unwrap_or(0.0);
+                *count += 1;
+            }
+            Acc::First(cur) => {
+                if cur.is_none() {
+                    *cur = Some(col.get(row));
+                }
+            }
+            Acc::Distinct(set) => {
+                set.insert(ScalarKey::from_scalar(&col.get(row)));
+            }
+        }
+    }
+
+    fn finish(&self) -> Scalar {
+        match self {
+            Acc::SumI(s, seen) => {
+                if *seen {
+                    Scalar::Int(*s)
+                } else {
+                    Scalar::Int(0) // pandas sum of empty = 0
+                }
+            }
+            Acc::SumF(s, seen) => {
+                if *seen {
+                    Scalar::Float(*s)
+                } else {
+                    Scalar::Float(0.0)
+                }
+            }
+            Acc::MinMax(v) => v.clone().unwrap_or(Scalar::Null),
+            Acc::Count(c) => Scalar::Int(*c),
+            Acc::Mean { sum, count } => {
+                if *count == 0 {
+                    Scalar::Null
+                } else {
+                    Scalar::Float(sum / *count as f64)
+                }
+            }
+            Acc::First(v) => v.clone().unwrap_or(Scalar::Null),
+            Acc::Distinct(set) => Scalar::Int(set.len() as i64),
+        }
+    }
+
+    fn out_dtype(func: AggFunc, dtype: DataType) -> DataType {
+        match func {
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max | AggFunc::First => dtype,
+            AggFunc::Count | AggFunc::Nunique => DataType::Int64,
+            AggFunc::Mean => DataType::Float64,
+        }
+    }
+}
+
+/// Single-pass group-by aggregate (pandas `df.groupby(keys).agg(...)` with
+/// `as_index=False`). Groups appear in first-occurrence order.
+pub fn groupby_agg(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult<DataFrame> {
+    let groups = build_groups(df, keys)?;
+    let ngroups = groups.repr_rows.len();
+
+    let in_cols: Vec<&Column> = specs
+        .iter()
+        .map(|s| df.column(&s.column))
+        .collect::<DfResult<Vec<_>>>()?;
+
+    let mut accs: Vec<Vec<Acc>> = specs
+        .iter()
+        .zip(&in_cols)
+        .map(|(s, c)| vec![Acc::new(s.func, c.data_type()); ngroups])
+        .collect();
+
+    for &(row, gid) in &groups.row_groups {
+        for (si, spec) in specs.iter().enumerate() {
+            accs[si][gid].update(spec.func, in_cols[si], row);
+        }
+    }
+
+    let mut pairs: Vec<(String, Column)> = Vec::with_capacity(keys.len() + specs.len());
+    for k in keys {
+        pairs.push((k.to_string(), df.column(k)?.take(&groups.repr_rows)));
+    }
+    for (si, spec) in specs.iter().enumerate() {
+        let dtype = Acc::out_dtype(spec.func, in_cols[si].data_type());
+        let scalars: Vec<Scalar> = accs[si].iter().map(|a| a.finish()).collect();
+        pairs.push((spec.output.clone(), Column::from_scalars(&scalars, dtype)?));
+    }
+    DataFrame::new(pairs)
+}
+
+// ---------------------------------------------------------------------------
+// map-combine-reduce decomposition
+// ---------------------------------------------------------------------------
+
+/// State-column suffixes used by the distributed decomposition.
+const SUM_SUFFIX: &str = "__sum";
+const COUNT_SUFFIX: &str = "__cnt";
+
+/// Returns the specs whose partial state is expressible as fixed columns.
+/// `Nunique` is not; the tiling layer lowers it separately.
+pub fn is_decomposable(specs: &[AggSpec]) -> bool {
+    specs.iter().all(|s| s.func != AggFunc::Nunique)
+}
+
+/// Map stage: per-chunk partial aggregation, emitting state columns.
+pub fn groupby_map(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult<DataFrame> {
+    let mut map_specs = Vec::new();
+    for s in specs {
+        match s.func {
+            AggFunc::Sum => map_specs.push(AggSpec::new(
+                &s.column,
+                AggFunc::Sum,
+                format!("{}{SUM_SUFFIX}", s.output),
+            )),
+            AggFunc::Count => map_specs.push(AggSpec::new(
+                &s.column,
+                AggFunc::Count,
+                format!("{}{COUNT_SUFFIX}", s.output),
+            )),
+            AggFunc::Min => {
+                map_specs.push(AggSpec::new(&s.column, AggFunc::Min, s.output.clone()))
+            }
+            AggFunc::Max => {
+                map_specs.push(AggSpec::new(&s.column, AggFunc::Max, s.output.clone()))
+            }
+            AggFunc::First => {
+                map_specs.push(AggSpec::new(&s.column, AggFunc::First, s.output.clone()))
+            }
+            AggFunc::Mean => {
+                map_specs.push(AggSpec::new(
+                    &s.column,
+                    AggFunc::Sum,
+                    format!("{}{SUM_SUFFIX}", s.output),
+                ));
+                map_specs.push(AggSpec::new(
+                    &s.column,
+                    AggFunc::Count,
+                    format!("{}{COUNT_SUFFIX}", s.output),
+                ));
+            }
+            AggFunc::Nunique => {
+                return Err(DfError::Unsupported(
+                    "nunique is not column-decomposable; lower to distinct+count".into(),
+                ))
+            }
+        }
+    }
+    groupby_agg(df, keys, &map_specs)
+}
+
+/// Combine stage: merges concatenated partial states into one partial state.
+/// Idempotent — may be applied along an arbitrary tree.
+pub fn groupby_combine(
+    partials: &DataFrame,
+    keys: &[&str],
+    specs: &[AggSpec],
+) -> DfResult<DataFrame> {
+    let mut combine_specs = Vec::new();
+    for s in specs {
+        match s.func {
+            AggFunc::Sum => {
+                let c = format!("{}{SUM_SUFFIX}", s.output);
+                combine_specs.push(AggSpec::new(&c, AggFunc::Sum, c.clone()));
+            }
+            AggFunc::Count => {
+                let c = format!("{}{COUNT_SUFFIX}", s.output);
+                combine_specs.push(AggSpec::new(&c, AggFunc::Sum, c.clone()));
+            }
+            AggFunc::Min => combine_specs.push(AggSpec::new(
+                &s.output,
+                AggFunc::Min,
+                s.output.clone(),
+            )),
+            AggFunc::Max => combine_specs.push(AggSpec::new(
+                &s.output,
+                AggFunc::Max,
+                s.output.clone(),
+            )),
+            AggFunc::First => combine_specs.push(AggSpec::new(
+                &s.output,
+                AggFunc::First,
+                s.output.clone(),
+            )),
+            AggFunc::Mean => {
+                let sc = format!("{}{SUM_SUFFIX}", s.output);
+                let cc = format!("{}{COUNT_SUFFIX}", s.output);
+                combine_specs.push(AggSpec::new(&sc, AggFunc::Sum, sc.clone()));
+                combine_specs.push(AggSpec::new(&cc, AggFunc::Sum, cc.clone()));
+            }
+            AggFunc::Nunique => {
+                return Err(DfError::Unsupported("nunique in combine".into()))
+            }
+        }
+    }
+    groupby_agg(partials, keys, &combine_specs)
+}
+
+/// Reduce stage: turns combined partial state into the final result.
+pub fn groupby_finalize(
+    partials: &DataFrame,
+    keys: &[&str],
+    specs: &[AggSpec],
+) -> DfResult<DataFrame> {
+    // One more combine pass (reduces whatever partials remain), then project.
+    let combined = groupby_combine(partials, keys, specs)?;
+    let mut pairs: Vec<(String, Column)> = Vec::new();
+    for k in keys {
+        pairs.push((k.to_string(), combined.column(k)?.clone()));
+    }
+    for s in specs {
+        let out = match s.func {
+            AggFunc::Sum => combined
+                .column(&format!("{}{SUM_SUFFIX}", s.output))?
+                .clone(),
+            AggFunc::Count => combined
+                .column(&format!("{}{COUNT_SUFFIX}", s.output))?
+                .clone(),
+            AggFunc::Min | AggFunc::Max | AggFunc::First => {
+                combined.column(&s.output)?.clone()
+            }
+            AggFunc::Mean => {
+                let sums = combined
+                    .column(&format!("{}{SUM_SUFFIX}", s.output))?
+                    .cast(DataType::Float64)?;
+                let counts = combined
+                    .column(&format!("{}{COUNT_SUFFIX}", s.output))?
+                    .cast(DataType::Float64)?;
+                let sa = sums.as_f64()?;
+                let ca = counts.as_f64()?;
+                let vals: Vec<Option<f64>> = (0..sa.len())
+                    .map(|i| match (sa.get(i), ca.get(i)) {
+                        (Some(s), Some(c)) if c > 0.0 => Some(s / c),
+                        _ => None,
+                    })
+                    .collect();
+                Column::from_opt_f64(vals)
+            }
+            AggFunc::Nunique => {
+                return Err(DfError::Unsupported("nunique in finalize".into()))
+            }
+        };
+        pairs.push((s.output.clone(), out));
+    }
+    DataFrame::new(pairs)
+}
+
+/// `value_counts` over one column: result has the column plus `"count"`,
+/// sorted descending by count (pandas semantics).
+pub fn value_counts(df: &DataFrame, column: &str) -> DfResult<DataFrame> {
+    let agg = groupby_agg(
+        df,
+        &[column],
+        &[AggSpec::new(column, AggFunc::Count, "count")],
+    )?;
+    crate::sort::sort_by(&agg, &[("count", false)])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sales() -> DataFrame {
+        DataFrame::new(vec![
+            ("k", Column::from_str(["a", "b", "a", "a", "b"])),
+            ("v", Column::from_i64(vec![1, 2, 3, 4, 5])),
+            (
+                "f",
+                Column::from_opt_f64(vec![Some(1.0), None, Some(3.0), Some(5.0), Some(2.0)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    fn get_group(df: &DataFrame, key: &str, col: &str) -> Scalar {
+        let keys = df.column("k").unwrap();
+        for i in 0..df.num_rows() {
+            if keys.get(i) == Scalar::Str(key.into()) {
+                return df.column(col).unwrap().get(i);
+            }
+        }
+        panic!("group {key} not found")
+    }
+
+    #[test]
+    fn basic_aggs() {
+        let out = groupby_agg(
+            &sales(),
+            &["k"],
+            &[
+                AggSpec::new("v", AggFunc::Sum, "s"),
+                AggSpec::new("v", AggFunc::Min, "mn"),
+                AggSpec::new("v", AggFunc::Max, "mx"),
+                AggSpec::new("v", AggFunc::Count, "c"),
+                AggSpec::new("f", AggFunc::Mean, "m"),
+                AggSpec::new("v", AggFunc::First, "fst"),
+                AggSpec::new("v", AggFunc::Nunique, "nu"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 2);
+        assert_eq!(get_group(&out, "a", "s"), Scalar::Int(8));
+        assert_eq!(get_group(&out, "a", "mn"), Scalar::Int(1));
+        assert_eq!(get_group(&out, "a", "mx"), Scalar::Int(4));
+        assert_eq!(get_group(&out, "a", "c"), Scalar::Int(3));
+        assert_eq!(get_group(&out, "a", "m"), Scalar::Float(3.0));
+        assert_eq!(get_group(&out, "b", "m"), Scalar::Float(2.0)); // null skipped
+        assert_eq!(get_group(&out, "a", "fst"), Scalar::Int(1));
+        assert_eq!(get_group(&out, "a", "nu"), Scalar::Int(3));
+    }
+
+    #[test]
+    fn null_keys_dropped() {
+        let df = DataFrame::new(vec![
+            ("k", Column::from_opt_i64(vec![Some(1), None, Some(1)])),
+            ("v", Column::from_i64(vec![10, 20, 30])),
+        ])
+        .unwrap();
+        let out = groupby_agg(
+            &df,
+            &["k"],
+            &[AggSpec::new("v", AggFunc::Sum, "s")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column("s").unwrap().get(0), Scalar::Int(40));
+    }
+
+    #[test]
+    fn multi_key_groupby() {
+        let df = DataFrame::new(vec![
+            ("a", Column::from_i64(vec![1, 1, 2, 1])),
+            ("b", Column::from_str(["x", "y", "x", "x"])),
+            ("v", Column::from_i64(vec![1, 1, 1, 1])),
+        ])
+        .unwrap();
+        let out = groupby_agg(
+            &df,
+            &["a", "b"],
+            &[AggSpec::new("v", AggFunc::Count, "c")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 3);
+    }
+
+    /// The distributed decomposition must equal the single-pass result for
+    /// every decomposable function, across any chunking and tree shape.
+    #[test]
+    fn map_combine_finalize_equals_direct() {
+        let df = sales();
+        let specs = vec![
+            AggSpec::new("v", AggFunc::Sum, "s"),
+            AggSpec::new("f", AggFunc::Mean, "m"),
+            AggSpec::new("v", AggFunc::Min, "mn"),
+            AggSpec::new("v", AggFunc::Count, "c"),
+        ];
+        let direct = groupby_agg(&df, &["k"], &specs).unwrap();
+
+        // chunk into 2+3 rows, map each, combine in a tree, finalize
+        let c1 = df.slice(0, 2);
+        let c2 = df.slice(2, 3);
+        let p1 = groupby_map(&c1, &["k"], &specs).unwrap();
+        let p2 = groupby_map(&c2, &["k"], &specs).unwrap();
+        let both = DataFrame::concat(&[&p1, &p2]).unwrap();
+        let combined = groupby_combine(&both, &["k"], &specs).unwrap();
+        let out = groupby_finalize(&combined, &["k"], &specs).unwrap();
+
+        let sorted_direct = crate::sort::sort_by(&direct, &[("k", true)]).unwrap();
+        let sorted_out = crate::sort::sort_by(&out, &[("k", true)]).unwrap();
+        assert_eq!(sorted_direct, sorted_out);
+    }
+
+    #[test]
+    fn nunique_not_decomposable() {
+        let specs = vec![AggSpec::new("v", AggFunc::Nunique, "nu")];
+        assert!(!is_decomposable(&specs));
+        assert!(groupby_map(&sales(), &["k"], &specs).is_err());
+    }
+
+    #[test]
+    fn value_counts_sorted() {
+        let out = value_counts(&sales(), "k").unwrap();
+        assert_eq!(out.column("k").unwrap().get(0), Scalar::Str("a".into()));
+        assert_eq!(out.column("count").unwrap().get(0), Scalar::Int(3));
+    }
+
+    #[test]
+    fn empty_input() {
+        let df = sales().head(0);
+        let out = groupby_agg(
+            &df,
+            &["k"],
+            &[AggSpec::new("v", AggFunc::Sum, "s")],
+        )
+        .unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+}

@@ -1,0 +1,304 @@
+//! Hash joins (pandas `merge`).
+
+use crate::column::Column;
+use crate::error::{DfError, DfResult};
+use crate::frame::DataFrame;
+use crate::hash::FxHashMap;
+use crate::scalar::Scalar;
+
+/// Join type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Rows with matches on both sides (`how="inner"`).
+    Inner,
+    /// All left rows; unmatched right columns become null (`how="left"`).
+    Left,
+    /// Left rows that have at least one match (no right columns).
+    Semi,
+    /// Left rows with no match (no right columns).
+    Anti,
+}
+
+/// Options for [`merge`].
+#[derive(Debug, Clone)]
+pub struct JoinOptions {
+    /// Join type.
+    pub how: JoinType,
+    /// Suffixes for overlapping non-key columns, pandas `("_x", "_y")`.
+    pub suffixes: (String, String),
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            how: JoinType::Inner,
+            suffixes: ("_x".to_string(), "_y".to_string()),
+        }
+    }
+}
+
+/// Hash join of `left` and `right` on `left_on`/`right_on` key columns.
+///
+/// Matches pandas `merge` on the covered surface: null keys match null keys,
+/// result preserves left-row order then right match order, same-named key
+/// columns appear once, and overlapping non-key names get suffixed.
+pub fn merge(
+    left: &DataFrame,
+    right: &DataFrame,
+    left_on: &[&str],
+    right_on: &[&str],
+    opts: &JoinOptions,
+) -> DfResult<DataFrame> {
+    if left_on.len() != right_on.len() || left_on.is_empty() {
+        return Err(DfError::Unsupported(
+            "merge requires equal, non-empty key lists".into(),
+        ));
+    }
+    // Build side: right.
+    let rhashes = right.hash_rows(right_on)?;
+    let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for (j, h) in rhashes.iter().enumerate() {
+        table.entry(*h).or_default().push(j);
+    }
+
+    let lhashes = left.hash_rows(left_on)?;
+    let mut lidx: Vec<usize> = Vec::new();
+    let mut ridx: Vec<Option<usize>> = Vec::new();
+
+    for (i, h) in lhashes.iter().enumerate() {
+        let mut matched = false;
+        if let Some(bucket) = table.get(h) {
+            for &j in bucket {
+                if left.rows_eq(i, left_on, right, right_on, j)? {
+                    matched = true;
+                    match opts.how {
+                        JoinType::Inner | JoinType::Left => {
+                            lidx.push(i);
+                            ridx.push(Some(j));
+                        }
+                        JoinType::Semi => {
+                            lidx.push(i);
+                            break;
+                        }
+                        JoinType::Anti => break,
+                    }
+                }
+            }
+        }
+        if !matched {
+            match opts.how {
+                JoinType::Left => {
+                    lidx.push(i);
+                    ridx.push(None);
+                }
+                JoinType::Anti => lidx.push(i),
+                _ => {}
+            }
+        }
+    }
+
+    // Semi/anti: just select left rows.
+    if matches!(opts.how, JoinType::Semi | JoinType::Anti) {
+        return Ok(left.take(&lidx));
+    }
+
+    // Column layout.
+    let shared_keys: Vec<&str> = left_on
+        .iter()
+        .zip(right_on)
+        .filter(|(l, r)| l == r)
+        .map(|(l, _)| *l)
+        .collect();
+    let left_names = left.schema().names();
+    let right_names = right.schema().names();
+
+    let mut pairs: Vec<(String, Column)> = Vec::new();
+
+    for name in &left_names {
+        let col = left.column(name)?.take(&lidx);
+        let out_name = if right_names.contains(name) && !shared_keys.contains(name) {
+            format!("{name}{}", opts.suffixes.0)
+        } else {
+            name.to_string()
+        };
+        pairs.push((out_name, col));
+    }
+    for name in &right_names {
+        if shared_keys.contains(name) {
+            continue; // same-named key appears once (from left)
+        }
+        let src = right.column(name)?;
+        let col = take_optional(src, &ridx)?;
+        let out_name = if left_names.contains(name) {
+            format!("{name}{}", opts.suffixes.1)
+        } else {
+            name.to_string()
+        };
+        pairs.push((out_name, col));
+    }
+    DataFrame::new(pairs)
+}
+
+/// Convenience: inner merge on same-named keys.
+pub fn merge_on(left: &DataFrame, right: &DataFrame, on: &[&str]) -> DfResult<DataFrame> {
+    merge(left, right, on, on, &JoinOptions::default())
+}
+
+/// Gathers rows by optional index; `None` produces a null row.
+fn take_optional(col: &Column, idx: &[Option<usize>]) -> DfResult<Column> {
+    if idx.iter().all(|i| i.is_some()) {
+        let plain: Vec<usize> = idx.iter().map(|i| i.unwrap()).collect();
+        return Ok(col.take(&plain));
+    }
+    let scalars: Vec<Scalar> = idx
+        .iter()
+        .map(|i| match i {
+            Some(j) => col.get(*j),
+            None => Scalar::Null,
+        })
+        .collect();
+    Column::from_scalars(&scalars, col.data_type())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn left() -> DataFrame {
+        DataFrame::new(vec![
+            ("k", Column::from_i64(vec![1, 2, 3, 2])),
+            ("lv", Column::from_str(["a", "b", "c", "d"])),
+        ])
+        .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrame::new(vec![
+            ("k", Column::from_i64(vec![2, 1, 2])),
+            ("rv", Column::from_i64(vec![20, 10, 21])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join() {
+        let out = merge_on(&left(), &right(), &["k"]).unwrap();
+        // rows: k=1 ->1 match, k=2 ->2 matches, k=3 ->0, k=2 ->2
+        assert_eq!(out.num_rows(), 5);
+        assert_eq!(out.schema().names(), vec!["k", "lv", "rv"]);
+        // left order preserved
+        assert_eq!(out.column("k").unwrap().get(0), Scalar::Int(1));
+    }
+
+    #[test]
+    fn left_join_nulls() {
+        let opts = JoinOptions {
+            how: JoinType::Left,
+            ..Default::default()
+        };
+        let out = merge(&left(), &right(), &["k"], &["k"], &opts).unwrap();
+        assert_eq!(out.num_rows(), 6);
+        // k=3 row has null rv
+        let k = out.column("k").unwrap();
+        let rv = out.column("rv").unwrap();
+        let row3 = (0..6).find(|&i| k.get(i) == Scalar::Int(3)).unwrap();
+        assert!(rv.get(row3).is_null());
+    }
+
+    #[test]
+    fn semi_and_anti() {
+        let semi = merge(
+            &left(),
+            &right(),
+            &["k"],
+            &["k"],
+            &JoinOptions {
+                how: JoinType::Semi,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(semi.num_rows(), 3); // k=1,2,2
+        assert_eq!(semi.schema().names(), vec!["k", "lv"]);
+        let anti = merge(
+            &left(),
+            &right(),
+            &["k"],
+            &["k"],
+            &JoinOptions {
+                how: JoinType::Anti,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(anti.num_rows(), 1);
+        assert_eq!(anti.column("k").unwrap().get(0), Scalar::Int(3));
+    }
+
+    #[test]
+    fn suffixes_for_overlap() {
+        let l = DataFrame::new(vec![
+            ("k", Column::from_i64(vec![1])),
+            ("v", Column::from_i64(vec![100])),
+        ])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            ("k", Column::from_i64(vec![1])),
+            ("v", Column::from_i64(vec![200])),
+        ])
+        .unwrap();
+        let out = merge_on(&l, &r, &["k"]).unwrap();
+        assert_eq!(out.schema().names(), vec!["k", "v_x", "v_y"]);
+    }
+
+    #[test]
+    fn different_key_names_kept() {
+        let l = DataFrame::new(vec![("lk", Column::from_i64(vec![1, 2]))]).unwrap();
+        let r = DataFrame::new(vec![
+            ("rk", Column::from_i64(vec![2])),
+            ("rv", Column::from_i64(vec![9])),
+        ])
+        .unwrap();
+        let out = merge(&l, &r, &["lk"], &["rk"], &JoinOptions::default()).unwrap();
+        assert_eq!(out.schema().names(), vec!["lk", "rk", "rv"]);
+        assert_eq!(out.num_rows(), 1);
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let l = DataFrame::new(vec![
+            ("a", Column::from_i64(vec![1, 1, 2])),
+            ("b", Column::from_str(["x", "y", "x"])),
+        ])
+        .unwrap();
+        let r = DataFrame::new(vec![
+            ("a", Column::from_i64(vec![1, 2])),
+            ("b", Column::from_str(["y", "x"])),
+            ("v", Column::from_i64(vec![7, 8])),
+        ])
+        .unwrap();
+        let out = merge_on(&l, &r, &["a", "b"]).unwrap();
+        assert_eq!(out.num_rows(), 2);
+    }
+
+    #[test]
+    fn null_keys_match_nulls_like_pandas() {
+        let l = DataFrame::new(vec![("k", Column::from_opt_i64(vec![None, Some(1)]))]).unwrap();
+        let r = DataFrame::new(vec![
+            ("k", Column::from_opt_i64(vec![None])),
+            ("v", Column::from_i64(vec![5])),
+        ])
+        .unwrap();
+        let out = merge_on(&l, &r, &["k"]).unwrap();
+        assert_eq!(out.num_rows(), 1);
+        assert_eq!(out.column("v").unwrap().get(0), Scalar::Int(5));
+    }
+
+    #[test]
+    fn empty_sides() {
+        let out = merge_on(&left().head(0), &right(), &["k"]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+        let out = merge_on(&left(), &right().head(0), &["k"]).unwrap();
+        assert_eq!(out.num_rows(), 0);
+    }
+}

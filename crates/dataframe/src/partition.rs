@@ -1,0 +1,114 @@
+//! Partitioning primitives used by the distributed layers: hash partitioning
+//! for shuffles and size-based row splitting for tiling.
+
+use crate::error::DfResult;
+use crate::frame::DataFrame;
+
+/// Splits `df` into `n` partitions by key hash; row `i` goes to partition
+/// `hash(keys[i]) % n`. This is the kernel primitive under both Xorbits'
+/// shuffle-reduce and the static baseline's up-front shuffle.
+pub fn hash_partition(df: &DataFrame, keys: &[&str], n: usize) -> DfResult<Vec<DataFrame>> {
+    assert!(n > 0, "partition count must be positive");
+    let hashes = df.hash_rows(keys)?;
+    // single pass: bucket row indices, then gather — O(rows + output),
+    // independent of the partition count
+    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, h) in hashes.iter().enumerate() {
+        buckets[(h % n as u64) as usize].push(i);
+    }
+    Ok(buckets.iter().map(|idx| df.take(idx)).collect())
+}
+
+/// Splits rows into contiguous chunks of at most `chunk_rows` rows.
+pub fn split_rows(df: &DataFrame, chunk_rows: usize) -> Vec<DataFrame> {
+    assert!(chunk_rows > 0, "chunk size must be positive");
+    if df.num_rows() == 0 {
+        return vec![df.clone()];
+    }
+    let mut out = Vec::new();
+    let mut offset = 0;
+    while offset < df.num_rows() {
+        let len = chunk_rows.min(df.num_rows() - offset);
+        out.push(df.slice(offset, len));
+        offset += len;
+    }
+    out
+}
+
+/// Splits rows into exactly `n` near-equal contiguous chunks
+/// (the static baseline's "decide partition count up front").
+pub fn split_even(df: &DataFrame, n: usize) -> Vec<DataFrame> {
+    assert!(n > 0, "partition count must be positive");
+    let rows = df.num_rows();
+    let base = rows / n;
+    let extra = rows % n;
+    let mut out = Vec::with_capacity(n);
+    let mut offset = 0;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        out.push(df.slice(offset, len));
+        offset += len;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn df(n: usize) -> DataFrame {
+        DataFrame::new(vec![("k", Column::from_i64((0..n as i64).collect()))]).unwrap()
+    }
+
+    #[test]
+    fn hash_partition_covers_all_rows() {
+        let d = df(100);
+        let parts = hash_partition(&d, &["k"], 4).unwrap();
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts.iter().map(|p| p.num_rows()).sum::<usize>(), 100);
+        // determinism: same key always lands in same partition
+        let parts2 = hash_partition(&d, &["k"], 4).unwrap();
+        for (a, b) in parts.iter().zip(&parts2) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn hash_partition_colocates_equal_keys() {
+        let d = DataFrame::new(vec![("k", Column::from_i64(vec![7, 7, 7, 3, 3]))]).unwrap();
+        let parts = hash_partition(&d, &["k"], 3).unwrap();
+        let with_7: Vec<_> = parts
+            .iter()
+            .filter(|p| {
+                (0..p.num_rows()).any(|i| p.column("k").unwrap().get(i) == 7i64.into())
+            })
+            .collect();
+        assert_eq!(with_7.len(), 1);
+        assert_eq!(with_7[0].num_rows() >= 3, true);
+    }
+
+    #[test]
+    fn split_rows_sizes() {
+        let parts = split_rows(&df(10), 4);
+        let sizes: Vec<_> = parts.iter().map(|p| p.num_rows()).collect();
+        assert_eq!(sizes, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn split_even_sizes() {
+        let parts = split_even(&df(10), 3);
+        let sizes: Vec<_> = parts.iter().map(|p| p.num_rows()).collect();
+        assert_eq!(sizes, vec![4, 3, 3]);
+        // more partitions than rows → empty tails
+        let parts = split_even(&df(2), 4);
+        assert_eq!(parts.iter().map(|p| p.num_rows()).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn split_rows_empty_frame() {
+        let parts = split_rows(&df(0), 4);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0].num_rows(), 0);
+    }
+}

@@ -1,0 +1,106 @@
+//! `pivot_table`: long-to-wide reshaping with aggregation.
+
+use crate::column::Column;
+use crate::error::DfResult;
+use crate::frame::DataFrame;
+use crate::groupby::{groupby_agg, AggFunc, AggSpec};
+use crate::scalar::{DataType, Scalar};
+use crate::sort::sort_by;
+
+/// pandas `pivot_table(index=index, columns=columns, values=values,
+/// aggfunc=agg)`. Output has one row per distinct `index` value and one
+/// column per distinct `columns` value (named `{values}_{column_value}`),
+/// sorted by index. Missing cells are null.
+pub fn pivot_table(
+    df: &DataFrame,
+    index: &str,
+    columns: &str,
+    values: &str,
+    agg: AggFunc,
+) -> DfResult<DataFrame> {
+    // 1. aggregate to one row per (index, columns) pair
+    let grouped = groupby_agg(
+        df,
+        &[index, columns],
+        &[AggSpec::new(values, agg, "__v")],
+    )?;
+    let grouped = sort_by(&grouped, &[(index, true), (columns, true)])?;
+
+    // 2. distinct column headers, sorted for determinism
+    let col_vals = grouped.drop_duplicates(Some(&[columns]))?;
+    let col_vals = sort_by(&col_vals, &[(columns, true)])?;
+    let headers: Vec<Scalar> = (0..col_vals.num_rows())
+        .map(|i| col_vals.column(columns).unwrap().get(i))
+        .collect();
+
+    // 3. distinct index values, in sorted order
+    let idx_vals = grouped.drop_duplicates(Some(&[index]))?;
+    let idx_col = idx_vals.column(index)?.clone();
+    let nrows = idx_col.len();
+
+    // 4. fill the wide matrix
+    let mut cells: Vec<Vec<Scalar>> = vec![vec![Scalar::Null; nrows]; headers.len()];
+    let gi = grouped.column(index)?;
+    let gc = grouped.column(columns)?;
+    let gv = grouped.column("__v")?;
+    // map index value -> row and header value -> col via linear scan over the
+    // (small) distinct sets; grouped is sorted so this is effectively a merge.
+    for r in 0..grouped.num_rows() {
+        let iv = gi.get(r);
+        let cv = gc.get(r);
+        let row = (0..nrows).find(|&i| idx_col.get(i) == iv);
+        let col = headers.iter().position(|h| *h == cv);
+        if let (Some(row), Some(col)) = (row, col) {
+            cells[col][row] = gv.get(r);
+        }
+    }
+
+    let vdtype = match gv.data_type() {
+        DataType::Int64 => DataType::Int64,
+        other => other,
+    };
+    let mut pairs: Vec<(String, Column)> = vec![(index.to_string(), idx_col)];
+    for (ci, h) in headers.iter().enumerate() {
+        pairs.push((
+            format!("{values}_{h}"),
+            Column::from_scalars(&cells[ci], vdtype)?,
+        ));
+    }
+    DataFrame::new(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_pivot() {
+        let df = DataFrame::new(vec![
+            ("store", Column::from_str(["s1", "s1", "s2", "s2", "s1"])),
+            ("item", Column::from_str(["a", "b", "a", "a", "a"])),
+            ("qty", Column::from_i64(vec![1, 2, 3, 4, 5])),
+        ])
+        .unwrap();
+        let out = pivot_table(&df, "store", "item", "qty", AggFunc::Sum).unwrap();
+        assert_eq!(out.schema().names(), vec!["store", "qty_a", "qty_b"]);
+        assert_eq!(out.num_rows(), 2);
+        // s1/a = 1+5, s1/b = 2, s2/a = 3+4, s2/b = null
+        assert_eq!(out.column("qty_a").unwrap().get(0), Scalar::Int(6));
+        assert_eq!(out.column("qty_b").unwrap().get(0), Scalar::Int(2));
+        assert_eq!(out.column("qty_a").unwrap().get(1), Scalar::Int(7));
+        assert!(out.column("qty_b").unwrap().get(1).is_null());
+    }
+
+    #[test]
+    fn pivot_mean() {
+        let df = DataFrame::new(vec![
+            ("g", Column::from_i64(vec![1, 1, 2])),
+            ("c", Column::from_str(["x", "x", "x"])),
+            ("v", Column::from_f64(vec![1.0, 3.0, 10.0])),
+        ])
+        .unwrap();
+        let out = pivot_table(&df, "g", "c", "v", AggFunc::Mean).unwrap();
+        assert_eq!(out.column("v_x").unwrap().get(0), Scalar::Float(2.0));
+        assert_eq!(out.column("v_x").unwrap().get(1), Scalar::Float(10.0));
+    }
+}

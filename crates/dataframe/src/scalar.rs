@@ -1,0 +1,192 @@
+//! Data types and scalar values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Logical data type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int64,
+    /// 64-bit IEEE-754 float.
+    Float64,
+    /// Boolean.
+    Bool,
+    /// UTF-8 string.
+    Utf8,
+    /// Calendar date, stored as days since 1970-01-01.
+    Date,
+}
+
+impl DataType {
+    /// True for Int64 / Float64.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int64 | DataType::Float64)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DataType::Int64 => "int64",
+            DataType::Float64 => "float64",
+            DataType::Bool => "bool",
+            DataType::Utf8 => "utf8",
+            DataType::Date => "date",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single (possibly null) value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Scalar {
+    /// Missing value (NaN / None in pandas terms).
+    Null,
+    /// Int64 value.
+    Int(i64),
+    /// Float64 value.
+    Float(f64),
+    /// Boolean value.
+    Bool(bool),
+    /// String value.
+    Str(String),
+    /// Date value (days since epoch).
+    Date(i32),
+}
+
+impl Scalar {
+    /// The data type of this scalar, or `None` for null.
+    pub fn data_type(&self) -> Option<DataType> {
+        match self {
+            Scalar::Null => None,
+            Scalar::Int(_) => Some(DataType::Int64),
+            Scalar::Float(_) => Some(DataType::Float64),
+            Scalar::Bool(_) => Some(DataType::Bool),
+            Scalar::Str(_) => Some(DataType::Utf8),
+            Scalar::Date(_) => Some(DataType::Date),
+        }
+    }
+
+    /// True if this is `Scalar::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Scalar::Null)
+    }
+
+    /// Numeric view as f64 (ints and dates widen; others `None`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Scalar::Int(v) => Some(*v as f64),
+            Scalar::Float(v) => Some(*v),
+            Scalar::Date(v) => Some(*v as f64),
+            Scalar::Bool(b) => Some(if *b { 1.0 } else { 0.0 }),
+            _ => None,
+        }
+    }
+
+    /// Integer view (floats must be integral).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Scalar::Int(v) => Some(*v),
+            Scalar::Date(v) => Some(*v as i64),
+            Scalar::Bool(b) => Some(*b as i64),
+            Scalar::Float(v) if v.fract() == 0.0 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// String view.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Total ordering used by sorts: nulls last, numerics compared as f64
+    /// across Int/Float, NaN last among floats.
+    pub fn total_cmp(&self, other: &Scalar) -> Ordering {
+        use Scalar::*;
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Null, _) => Ordering::Greater,
+            (_, Null) => Ordering::Less,
+            (Str(a), Str(b)) => a.cmp(b),
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Date(a), Date(b)) => a.cmp(b),
+            (a, b) => match (a.as_f64(), b.as_f64()) {
+                (Some(x), Some(y)) => x.total_cmp(&y),
+                _ => Ordering::Equal,
+            },
+        }
+    }
+}
+
+impl fmt::Display for Scalar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Scalar::Null => f.write_str("null"),
+            Scalar::Int(v) => write!(f, "{v}"),
+            Scalar::Float(v) => write!(f, "{v}"),
+            Scalar::Bool(v) => write!(f, "{v}"),
+            Scalar::Str(v) => write!(f, "{v}"),
+            Scalar::Date(v) => {
+                let (y, m, d) = crate::dates::from_days(*v);
+                write!(f, "{y:04}-{m:02}-{d:02}")
+            }
+        }
+    }
+}
+
+impl From<i64> for Scalar {
+    fn from(v: i64) -> Self {
+        Scalar::Int(v)
+    }
+}
+impl From<f64> for Scalar {
+    fn from(v: f64) -> Self {
+        Scalar::Float(v)
+    }
+}
+impl From<bool> for Scalar {
+    fn from(v: bool) -> Self {
+        Scalar::Bool(v)
+    }
+}
+impl From<&str> for Scalar {
+    fn from(v: &str) -> Self {
+        Scalar::Str(v.to_string())
+    }
+}
+impl From<String> for Scalar {
+    fn from(v: String) -> Self {
+        Scalar::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Scalar::Int(3).as_f64(), Some(3.0));
+        assert_eq!(Scalar::Float(3.0).as_i64(), Some(3));
+        assert_eq!(Scalar::Float(3.5).as_i64(), None);
+        assert_eq!(Scalar::from("x").as_str(), Some("x"));
+        assert!(Scalar::Null.is_null());
+    }
+
+    #[test]
+    fn ordering_nulls_last() {
+        let mut v = vec![Scalar::Int(2), Scalar::Null, Scalar::Int(1)];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v, vec![Scalar::Int(1), Scalar::Int(2), Scalar::Null]);
+    }
+
+    #[test]
+    fn cross_numeric_ordering() {
+        assert_eq!(Scalar::Int(2).total_cmp(&Scalar::Float(2.5)), Ordering::Less);
+        assert_eq!(Scalar::Float(3.0).total_cmp(&Scalar::Int(3)), Ordering::Equal);
+    }
+}

@@ -1,0 +1,116 @@
+//! Schema: ordered, named, typed fields.
+
+use crate::error::{DfError, DfResult};
+use crate::hash::FxHashMap;
+use crate::scalar::DataType;
+use std::sync::Arc;
+
+/// A named, typed field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub dtype: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Field {
+            name: name.into(),
+            dtype,
+        }
+    }
+}
+
+/// An ordered collection of fields with O(1) name lookup.
+#[derive(Debug, Clone)]
+pub struct Schema {
+    fields: Vec<Field>,
+    by_name: FxHashMap<String, usize>,
+}
+
+impl Schema {
+    /// Builds a schema; duplicate names are rejected.
+    pub fn new(fields: Vec<Field>) -> DfResult<Arc<Schema>> {
+        let mut by_name = FxHashMap::default();
+        for (i, f) in fields.iter().enumerate() {
+            if by_name.insert(f.name.clone(), i).is_some() {
+                return Err(DfError::DuplicateColumn(f.name.clone()));
+            }
+        }
+        Ok(Arc::new(Schema { fields, by_name }))
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// All fields in order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Position of `name`.
+    pub fn index_of(&self, name: &str) -> DfResult<usize> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DfError::ColumnNotFound(name.to_string()))
+    }
+
+    /// Field for `name`.
+    pub fn field(&self, name: &str) -> DfResult<&Field> {
+        Ok(&self.fields[self.index_of(name)?])
+    }
+
+    /// True if `name` exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.by_name.contains_key(name)
+    }
+
+    /// All field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+}
+
+impl PartialEq for Schema {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup() {
+        let s = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("b", DataType::Utf8),
+        ])
+        .unwrap();
+        assert_eq!(s.index_of("b").unwrap(), 1);
+        assert!(s.index_of("z").is_err());
+        assert!(s.contains("a"));
+        assert_eq!(s.names(), vec!["a", "b"]);
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let r = Schema::new(vec![
+            Field::new("a", DataType::Int64),
+            Field::new("a", DataType::Utf8),
+        ]);
+        assert!(matches!(r, Err(DfError::DuplicateColumn(_))));
+    }
+}

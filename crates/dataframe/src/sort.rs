@@ -1,0 +1,135 @@
+//! Sorting and top-k selection.
+
+use crate::error::DfResult;
+use crate::frame::DataFrame;
+use std::cmp::Ordering;
+
+/// Stable multi-column sort; `(column, ascending)` per key. Nulls sort last
+/// regardless of direction (pandas `na_position="last"`).
+pub fn sort_by(df: &DataFrame, keys: &[(&str, bool)]) -> DfResult<DataFrame> {
+    let cols = keys
+        .iter()
+        .map(|(k, _)| df.column(k))
+        .collect::<DfResult<Vec<_>>>()?;
+    let mut idx: Vec<usize> = (0..df.num_rows()).collect();
+    idx.sort_by(|&a, &b| compare_rows(&cols, keys, a, b));
+    Ok(df.take(&idx))
+}
+
+/// `argsort`: the permutation that [`sort_by`] would apply.
+pub fn argsort(df: &DataFrame, keys: &[(&str, bool)]) -> DfResult<Vec<usize>> {
+    let cols = keys
+        .iter()
+        .map(|(k, _)| df.column(k))
+        .collect::<DfResult<Vec<_>>>()?;
+    let mut idx: Vec<usize> = (0..df.num_rows()).collect();
+    idx.sort_by(|&a, &b| compare_rows(&cols, keys, a, b));
+    Ok(idx)
+}
+
+fn compare_rows(
+    cols: &[&crate::column::Column],
+    keys: &[(&str, bool)],
+    a: usize,
+    b: usize,
+) -> Ordering {
+    for (c, (_, asc)) in cols.iter().zip(keys) {
+        let (va, vb) = (c.get(a), c.get(b));
+        // Nulls last in both directions.
+        let ord = match (va.is_null(), vb.is_null()) {
+            (true, true) => Ordering::Equal,
+            (true, false) => return Ordering::Greater,
+            (false, true) => return Ordering::Less,
+            (false, false) => va.total_cmp(&vb),
+        };
+        let ord = if *asc { ord } else { ord.reverse() };
+        if ord != Ordering::Equal {
+            return ord;
+        }
+    }
+    Ordering::Equal
+}
+
+/// Partial sort: the first `n` rows of the full sort (pandas
+/// `nsmallest`/`nlargest`/`sort_values().head(n)`), computed without
+/// sorting the rest.
+pub fn top_k(df: &DataFrame, keys: &[(&str, bool)], n: usize) -> DfResult<DataFrame> {
+    let cols = keys
+        .iter()
+        .map(|(k, _)| df.column(k))
+        .collect::<DfResult<Vec<_>>>()?;
+    let mut idx: Vec<usize> = (0..df.num_rows()).collect();
+    let n = n.min(idx.len());
+    if n < idx.len() {
+        idx.select_nth_unstable_by(n, |&a, &b| compare_rows(&cols, keys, a, b));
+        idx.truncate(n);
+    }
+    // select_nth is unstable: re-sort the prefix, tie-breaking on original
+    // position to restore stability.
+    idx.sort_by(|&a, &b| compare_rows(&cols, keys, a, b).then(a.cmp(&b)));
+    Ok(df.take(&idx))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::scalar::Scalar;
+
+    fn df() -> DataFrame {
+        DataFrame::new(vec![
+            ("g", Column::from_str(["b", "a", "b", "a"])),
+            ("v", Column::from_opt_i64(vec![Some(2), Some(9), None, Some(1)])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_asc() {
+        let s = sort_by(&df(), &[("v", true)]).unwrap();
+        assert_eq!(s.column("v").unwrap().get(0), Scalar::Int(1));
+        // null last
+        assert!(s.column("v").unwrap().get(3).is_null());
+    }
+
+    #[test]
+    fn desc_still_nulls_last() {
+        let s = sort_by(&df(), &[("v", false)]).unwrap();
+        assert_eq!(s.column("v").unwrap().get(0), Scalar::Int(9));
+        assert!(s.column("v").unwrap().get(3).is_null());
+    }
+
+    #[test]
+    fn multi_key() {
+        let s = sort_by(&df(), &[("g", true), ("v", false)]).unwrap();
+        assert_eq!(s.column("g").unwrap().get(0), Scalar::Str("a".into()));
+        assert_eq!(s.column("v").unwrap().get(0), Scalar::Int(9));
+    }
+
+    #[test]
+    fn stability() {
+        let d = DataFrame::new(vec![
+            ("k", Column::from_i64(vec![1, 1, 1])),
+            ("pos", Column::from_i64(vec![0, 1, 2])),
+        ])
+        .unwrap();
+        let s = sort_by(&d, &[("k", true)]).unwrap();
+        assert_eq!(s.column("pos").unwrap(), &Column::from_i64(vec![0, 1, 2]));
+    }
+
+    #[test]
+    fn top_k_matches_sort_head() {
+        let d = df();
+        let full = sort_by(&d, &[("v", true)]).unwrap().head(2);
+        let tk = top_k(&d, &[("v", true)], 2).unwrap();
+        assert_eq!(full, tk);
+        // n larger than frame
+        assert_eq!(top_k(&d, &[("v", true)], 100).unwrap().num_rows(), 4);
+    }
+
+    #[test]
+    fn argsort_permutation() {
+        let p = argsort(&df(), &[("v", true)]).unwrap();
+        assert_eq!(p, vec![3, 0, 1, 2]);
+    }
+}

@@ -1,0 +1,125 @@
+//! Virtual cluster description.
+//!
+//! The paper runs on AWS r6i instances; this reproduction runs on a single
+//! host, so the cluster is *virtual*: subtasks execute for real (real data,
+//! real kernels, measured CPU time) while placement, transfer, memory and
+//! spill behaviour are simulated deterministically. See DESIGN.md §1/§4 for
+//! why this substitution preserves the paper's claims.
+
+/// Specification of the simulated cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Number of worker nodes.
+    pub workers: usize,
+    /// Bands (NUMA sockets / execution slots) per worker — the paper's
+    /// scheduling unit (§V-B).
+    pub bands_per_worker: usize,
+    /// Memory budget per worker in bytes.
+    pub worker_memory_bytes: usize,
+    /// Cross-worker network bandwidth, bytes/second.
+    pub net_bandwidth: f64,
+    /// Disk bandwidth for the spill tier, bytes/second.
+    pub disk_bandwidth: f64,
+    /// Storage-service bandwidth, bytes/second: the cost of publishing a
+    /// chunk to / reading a chunk from the shared-memory storage tier
+    /// (serialisation + copies). Operator fusion exists to avoid exactly
+    /// this traffic (§V-A).
+    pub storage_bandwidth: f64,
+    /// Fixed virtual cost of dispatching one subtask, seconds — the graph
+    /// overhead that auto merge and graph fusion exist to amortise.
+    pub sched_overhead: f64,
+    /// Centralised scheduler: dispatches serialise through one
+    /// supervisor/driver thread, so a large task graph bottlenecks on
+    /// dispatch — the overhead the paper's Listing-1 discussion attributes
+    /// to small chunks and that graph fusion / auto merge amortise.
+    /// Disable for an idealised infinitely-parallel dispatcher (ablation).
+    pub central_scheduler: bool,
+    /// Whether workers may spill to the disk storage level instead of
+    /// dying (Xorbits' multi-level storage service; the eager baselines
+    /// run without it and OOM like the paper's Table II).
+    pub spill_enabled: bool,
+    /// Locality-aware successor placement (§V-B); off ⇒ round-robin
+    /// (ablation knob).
+    pub locality_aware: bool,
+    /// Virtual-makespan deadline; exceeding it fails the run with `Hang`,
+    /// modelling the paper's hung queries.
+    pub deadline_seconds: Option<f64>,
+}
+
+impl ClusterSpec {
+    /// A cluster of `workers` nodes with sensible defaults mirroring the
+    /// paper's environment, scaled to the synthetic data sizes: 2 bands
+    /// per worker (the r6i boxes have 2 NUMA sockets).
+    pub fn new(workers: usize, worker_memory_bytes: usize) -> ClusterSpec {
+        ClusterSpec {
+            workers,
+            bands_per_worker: 2,
+            worker_memory_bytes,
+            // Calibrated to the paper's hardware *ratios*, not absolute
+            // wire speeds: a 10-25 GbE NIC shared by 32 cores gives each
+            // concurrent flow a few tens of MB/s, i.e. moving a byte costs
+            // roughly 10-25x processing it. The single-host kernels here
+            // process 50-200 MB/s/band, so ~30 MB/s per flow preserves the
+            // compute:network cost ratio that makes the paper's
+            // broadcast-vs-shuffle decisions matter.
+            net_bandwidth: 30.0e6,
+            disk_bandwidth: 80.0e6,
+            storage_bandwidth: 500.0e6,
+            sched_overhead: 1.0e-3,
+            central_scheduler: true,
+            spill_enabled: true,
+            locality_aware: true,
+            deadline_seconds: None,
+        }
+    }
+
+    /// Total number of bands.
+    pub fn n_bands(&self) -> usize {
+        self.workers * self.bands_per_worker
+    }
+
+    /// Worker that owns a band.
+    pub fn worker_of(&self, band: usize) -> usize {
+        band / self.bands_per_worker
+    }
+
+    /// Disables spilling (eager baselines).
+    pub fn without_spill(mut self) -> ClusterSpec {
+        self.spill_enabled = false;
+        self
+    }
+
+    /// Disables locality-aware placement (ablation).
+    pub fn without_locality(mut self) -> ClusterSpec {
+        self.locality_aware = false;
+        self
+    }
+
+    /// Sets a hang deadline in virtual seconds.
+    pub fn with_deadline(mut self, seconds: f64) -> ClusterSpec {
+        self.deadline_seconds = Some(seconds);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn band_arithmetic() {
+        let c = ClusterSpec::new(4, 1 << 30);
+        assert_eq!(c.n_bands(), 8);
+        assert_eq!(c.worker_of(0), 0);
+        assert_eq!(c.worker_of(1), 0);
+        assert_eq!(c.worker_of(2), 1);
+        assert_eq!(c.worker_of(7), 3);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ClusterSpec::new(1, 1024).without_spill().with_deadline(5.0);
+        assert!(!c.spill_enabled);
+        assert_eq!(c.deadline_seconds, Some(5.0));
+    }
+}

@@ -1,0 +1,186 @@
+//! Benchmark harness: runs workloads per engine, classifies failures with
+//! the paper's taxonomy, and records makespans. The bench binaries in
+//! `xorbits-bench` format these records into the paper's tables/figures.
+
+use crate::tpch::{run_query, TpchData};
+use xorbits_baselines::{Engine, EngineKind};
+use xorbits_core::error::{FailureKind, XbResult};
+use xorbits_core::session::ExecStats;
+use xorbits_runtime::ClusterSpec;
+
+/// One measured run.
+#[derive(Debug, Clone)]
+pub struct RunRecord {
+    /// Engine name.
+    pub engine: &'static str,
+    /// Workload label (e.g. "Q7" or "census").
+    pub label: String,
+    /// Outcome class (paper Table II taxonomy).
+    pub kind: FailureKind,
+    /// Virtual makespan in seconds (NaN on failure).
+    pub makespan: f64,
+    /// Full stats (zeroed on failure).
+    pub stats: ExecStats,
+    /// Error display (empty on success).
+    pub error: String,
+}
+
+/// Default virtual-cluster geometry for the paper's TPC-H runs: `workers`
+/// nodes with a fixed per-worker memory budget. The budget is an absolute
+/// constant (machines don't grow with the dataset): scaled so that, like
+/// the paper's 256 GB nodes, a single node comfortably fits "SF10",
+/// struggles with "SF100", and is far too small for "SF1000".
+pub fn tpch_cluster(workers: usize) -> ClusterSpec {
+    ClusterSpec::new(workers, 32 << 20)
+}
+
+/// Runs one workload closure on a fresh engine and records the outcome.
+pub fn record<F>(kind: EngineKind, cluster: &ClusterSpec, label: &str, f: F) -> RunRecord
+where
+    F: FnOnce(&Engine) -> XbResult<()>,
+{
+    let engine = Engine::new(kind, cluster);
+    let result = f(&engine);
+    let failure = FailureKind::classify(&result);
+    let stats = engine.session.total_stats();
+    RunRecord {
+        engine: kind.name(),
+        label: label.to_string(),
+        kind: failure,
+        makespan: if result.is_ok() {
+            stats.makespan
+        } else {
+            f64::NAN
+        },
+        stats: if result.is_ok() {
+            stats
+        } else {
+            ExecStats::default()
+        },
+        error: result.err().map(|e| e.to_string()).unwrap_or_default(),
+    }
+}
+
+/// Runs TPC-H query `q` on one engine.
+pub fn run_tpch_once(
+    kind: EngineKind,
+    cluster: &ClusterSpec,
+    data: &TpchData,
+    q: u32,
+) -> RunRecord {
+    record(kind, cluster, &format!("Q{q}"), |e| {
+        run_query(e, data, q).map(|_| ())
+    })
+}
+
+/// Runs the full 22-query suite on one engine; returns one record per
+/// query.
+pub fn run_tpch_suite(
+    kind: EngineKind,
+    cluster: &ClusterSpec,
+    data: &TpchData,
+) -> Vec<RunRecord> {
+    (1..=22)
+        .map(|q| run_tpch_once(kind, cluster, data, q))
+        .collect()
+}
+
+/// Number of failed queries in a suite run (paper Table I cells).
+pub fn failed_count(records: &[RunRecord]) -> usize {
+    records
+        .iter()
+        .filter(|r| r.kind != FailureKind::Success)
+        .count()
+}
+
+/// Failure-reason histogram (paper Table II rows).
+pub fn failure_histogram(records: &[RunRecord]) -> (usize, usize, usize, usize) {
+    let count = |k: FailureKind| records.iter().filter(|r| r.kind == k).count();
+    (
+        count(FailureKind::ApiCompatibility),
+        count(FailureKind::Hang),
+        count(FailureKind::OomOrKilled),
+        count(FailureKind::Other),
+    )
+}
+
+/// Total makespan of the *successful* queries, used by Fig 8b's relative
+/// comparison ("we exclude the unsuccessful ones and calculate the overall
+/// relative time compared to Xorbits").
+pub fn total_success_makespan(records: &[RunRecord]) -> f64 {
+    records
+        .iter()
+        .filter(|r| r.kind == FailureKind::Success)
+        .map(|r| r.makespan)
+        .sum()
+}
+
+/// Geometric-mean speedup of `base` over `other` across workloads both
+/// completed (the paper's "2.66× average speedup" metric).
+pub fn mean_speedup(base: &[RunRecord], other: &[RunRecord]) -> Option<f64> {
+    let mut logs = Vec::new();
+    for (b, o) in base.iter().zip(other) {
+        debug_assert_eq!(b.label, o.label);
+        if b.kind == FailureKind::Success && o.kind == FailureKind::Success {
+            logs.push((o.makespan / b.makespan).ln());
+        }
+    }
+    if logs.is_empty() {
+        None
+    } else {
+        Some((logs.iter().sum::<f64>() / logs.len() as f64).exp())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_classifies_success_and_failure() {
+        let cluster = tpch_cluster(2);
+        let ok = record(EngineKind::Xorbits, &cluster, "noop", |_| Ok(()));
+        assert_eq!(ok.kind, FailureKind::Success);
+        let bad = record(EngineKind::Xorbits, &cluster, "bad", |_| {
+            Err(xorbits_core::error::XbError::Unsupported("x".into()))
+        });
+        assert_eq!(bad.kind, FailureKind::ApiCompatibility);
+        assert!(bad.makespan.is_nan());
+        assert!(!bad.error.is_empty());
+    }
+
+    #[test]
+    fn histogram_and_counts() {
+        let cluster = tpch_cluster(2);
+        let records = vec![
+            record(EngineKind::Xorbits, &cluster, "a", |_| Ok(())),
+            record(EngineKind::Xorbits, &cluster, "b", |_| {
+                Err(xorbits_core::error::XbError::Oom {
+                    worker: 0,
+                    needed: 1,
+                    budget: 0,
+                })
+            }),
+            record(EngineKind::Xorbits, &cluster, "c", |_| {
+                Err(xorbits_core::error::XbError::Hang {
+                    makespan: 1.0,
+                    deadline: 0.5,
+                })
+            }),
+        ];
+        assert_eq!(failed_count(&records), 2);
+        assert_eq!(failure_histogram(&records), (0, 1, 1, 0));
+    }
+
+    #[test]
+    fn tpch_suite_runs_small() {
+        let data = TpchData::new(0.3);
+        let cluster = ClusterSpec::new(2, 256 << 20);
+        let recs: Vec<_> = [1u32, 6]
+            .iter()
+            .map(|&q| run_tpch_once(EngineKind::Xorbits, &cluster, &data, q))
+            .collect();
+        assert!(recs.iter().all(|r| r.kind == FailureKind::Success));
+        assert!(total_success_makespan(&recs) > 0.0);
+    }
+}

@@ -1,0 +1,18 @@
+//! # xorbits-workloads
+//!
+//! The paper's evaluation workloads (§VI / Table III), written once against
+//! the engine-agnostic session API and run unchanged on every engine
+//! profile: TPC-H (all 22 queries + generator), the TPCx-AI UC10 skewed
+//! join, the census and plasticc preprocessing pipelines, the linear
+//! regression and QR array workloads, and the 30-case API-coverage suite.
+//! The `harness` module runs them per engine and classifies failures with
+//! the paper's Table II taxonomy.
+
+#![warn(missing_docs)]
+
+pub mod api_coverage;
+pub mod arrays;
+pub mod harness;
+pub mod pipelines;
+pub mod tpch;
+pub mod tpcxai;

@@ -1,0 +1,619 @@
+//! Synthetic TPC-H data generator.
+//!
+//! Generates the eight TPC-H tables at a configurable scale factor with the
+//! schema, key relationships, value distributions and filter selectivities
+//! the 22 queries depend on. Rows are produced *deterministically from the
+//! row index* (hash-based, not sequential RNG), so any row range can be
+//! generated independently — exactly what a chunked `read_parquet` needs.
+//!
+//! Scaling substitution (DESIGN.md §1): real SF1 is 6M lineitem rows; this
+//! generator uses `LINEITEM_PER_SF` rows per SF unit so that "SF1000" fits
+//! a single host, and the benchmark harness scales worker memory budgets by
+//! the same ratio, preserving the paper's OOM behaviour.
+
+use std::sync::Arc;
+use xorbits_core::tileable::DfSource;
+use xorbits_dataframe::{dates, Column, DataFrame};
+
+/// Lineitem rows per scale-factor unit (real TPC-H: 6,000,000).
+pub const LINEITEM_PER_SF: usize = 3000;
+
+/// Deterministic 64-bit mix of `(table, row, field)`.
+fn mix(table: u64, row: u64, field: u64) -> u64 {
+    let mut z = table
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add(row.wrapping_mul(0xbf58_476d_1ce4_e5b9))
+        .wrapping_add(field.wrapping_mul(0x94d0_49bb_1331_11eb));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn uniform(table: u64, row: u64, field: u64, lo: i64, hi: i64) -> i64 {
+    debug_assert!(hi >= lo);
+    lo + (mix(table, row, field) % (hi - lo + 1) as u64) as i64
+}
+
+fn uniform_f(table: u64, row: u64, field: u64, lo: f64, hi: f64) -> f64 {
+    let u = mix(table, row, field) as f64 / u64::MAX as f64;
+    lo + u * (hi - lo)
+}
+
+fn pick<'a>(table: u64, row: u64, field: u64, options: &[&'a str]) -> &'a str {
+    options[(mix(table, row, field) % options.len() as u64) as usize]
+}
+
+const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("ROMANIA", 3),
+    ("RUSSIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+    ("CHINA", 2),
+];
+const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+const INSTRUCTIONS: [&str; 4] =
+    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+const CONTAINER_1: [&str; 5] = ["SM", "MED", "LG", "JUMBO", "WRAP"];
+const CONTAINER_2: [&str; 8] = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"];
+const PART_WORDS: [&str; 8] = [
+    "green", "blush", "powder", "forest", "salmon", "navy", "almond", "misty",
+];
+
+/// Table row counts at a scale factor.
+#[derive(Debug, Clone, Copy)]
+pub struct TpchScale {
+    /// Scale factor (the paper uses 10/100/1000).
+    pub sf: f64,
+}
+
+impl TpchScale {
+    /// Creates a scale descriptor.
+    pub fn new(sf: f64) -> TpchScale {
+        TpchScale { sf }
+    }
+
+    /// Lineitem rows (largest table).
+    pub fn lineitem(&self) -> usize {
+        ((LINEITEM_PER_SF as f64) * self.sf).max(16.0) as usize
+    }
+
+    /// Orders rows (≈ lineitem / 4; each order has exactly 4 lines here).
+    pub fn orders(&self) -> usize {
+        self.lineitem() / 4
+    }
+
+    /// Customer rows (TPC-H ratio: orders/10).
+    pub fn customer(&self) -> usize {
+        (self.orders() / 10).max(8)
+    }
+
+    /// Part rows.
+    pub fn part(&self) -> usize {
+        (self.lineitem() / 15).max(16)
+    }
+
+    /// Partsupp rows (4 suppliers per part).
+    pub fn partsupp(&self) -> usize {
+        self.part() * 4
+    }
+
+    /// Supplier rows.
+    pub fn supplier(&self) -> usize {
+        (self.part() / 10).max(8)
+    }
+
+    /// Total estimated dataset bytes across all tables (for budget
+    /// calibration).
+    pub fn est_total_bytes(&self) -> usize {
+        // ~56 B/row lineitem-equivalent measured from the generator
+        self.lineitem() * 110
+            + self.orders() * 90
+            + self.customer() * 90
+            + self.part() * 90
+            + self.partsupp() * 48
+            + self.supplier() * 70
+    }
+}
+
+const T_LINEITEM: u64 = 1;
+const T_ORDERS: u64 = 2;
+const T_CUSTOMER: u64 = 3;
+const T_PART: u64 = 4;
+const T_PARTSUPP: u64 = 5;
+const T_SUPPLIER: u64 = 6;
+
+/// `j`-th of the four suppliers of `partkey` (TPC-H formula analogue).
+fn supp_of_part(partkey: i64, j: i64, nsupp: i64) -> i64 {
+    1 + ((partkey + j * (nsupp / 4 + 1)) % nsupp)
+}
+
+fn order_date(row: u64) -> i32 {
+    // uniform over 1992-01-01 .. 1998-08-02
+    let lo = dates::to_days(1992, 1, 1);
+    let hi = dates::to_days(1998, 8, 2);
+    lo + uniform(T_ORDERS, row, 1, 0, (hi - lo) as i64) as i32
+}
+
+/// Generates `lineitem[start..start+len)`.
+pub fn gen_lineitem(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+    let nparts = scale.part() as i64;
+    let nsupp = scale.supplier() as i64;
+    let cutoff = dates::to_days(1995, 6, 17);
+    let mut orderkey = Vec::with_capacity(len);
+    let mut partkey = Vec::with_capacity(len);
+    let mut suppkey = Vec::with_capacity(len);
+    let mut linenumber = Vec::with_capacity(len);
+    let mut quantity = Vec::with_capacity(len);
+    let mut extendedprice = Vec::with_capacity(len);
+    let mut discount = Vec::with_capacity(len);
+    let mut tax = Vec::with_capacity(len);
+    let mut returnflag = Vec::with_capacity(len);
+    let mut linestatus = Vec::with_capacity(len);
+    let mut shipdate = Vec::with_capacity(len);
+    let mut commitdate = Vec::with_capacity(len);
+    let mut receiptdate = Vec::with_capacity(len);
+    let mut shipinstruct = Vec::with_capacity(len);
+    let mut shipmode = Vec::with_capacity(len);
+    for i in start..start + len {
+        let r = i as u64;
+        let okey = (i / 4 + 1) as i64;
+        let pkey = uniform(T_LINEITEM, r, 2, 1, nparts);
+        let qty = uniform(T_LINEITEM, r, 4, 1, 50) as f64;
+        let price_per_unit = 900.0 + (pkey % 1000) as f64;
+        let odate = order_date((okey - 1) as u64);
+        let sdate = odate + uniform(T_LINEITEM, r, 8, 1, 121) as i32;
+        let cdate = odate + uniform(T_LINEITEM, r, 9, 30, 90) as i32;
+        let rdate = sdate + uniform(T_LINEITEM, r, 10, 1, 30) as i32;
+        orderkey.push(okey);
+        partkey.push(pkey);
+        suppkey.push(supp_of_part(pkey, uniform(T_LINEITEM, r, 3, 0, 3), nsupp));
+        linenumber.push((i % 4 + 1) as i64);
+        quantity.push(qty);
+        extendedprice.push(qty * price_per_unit);
+        discount.push((uniform(T_LINEITEM, r, 6, 0, 10) as f64) / 100.0);
+        tax.push((uniform(T_LINEITEM, r, 7, 0, 8) as f64) / 100.0);
+        returnflag.push(if rdate <= cutoff {
+            if mix(T_LINEITEM, r, 11) % 2 == 0 {
+                "R"
+            } else {
+                "A"
+            }
+        } else {
+            "N"
+        });
+        linestatus.push(if sdate > cutoff { "O" } else { "F" });
+        shipdate.push(sdate);
+        commitdate.push(cdate);
+        receiptdate.push(rdate);
+        shipinstruct.push(pick(T_LINEITEM, r, 12, &INSTRUCTIONS));
+        shipmode.push(pick(T_LINEITEM, r, 13, &SHIPMODES));
+    }
+    DataFrame::new(vec![
+        ("l_orderkey", Column::from_i64(orderkey)),
+        ("l_partkey", Column::from_i64(partkey)),
+        ("l_suppkey", Column::from_i64(suppkey)),
+        ("l_linenumber", Column::from_i64(linenumber)),
+        ("l_quantity", Column::from_f64(quantity)),
+        ("l_extendedprice", Column::from_f64(extendedprice)),
+        ("l_discount", Column::from_f64(discount)),
+        ("l_tax", Column::from_f64(tax)),
+        ("l_returnflag", Column::from_str(returnflag)),
+        ("l_linestatus", Column::from_str(linestatus)),
+        ("l_shipdate", Column::from_date(shipdate)),
+        ("l_commitdate", Column::from_date(commitdate)),
+        ("l_receiptdate", Column::from_date(receiptdate)),
+        ("l_shipinstruct", Column::from_str(shipinstruct)),
+        ("l_shipmode", Column::from_str(shipmode)),
+    ])
+    .expect("lineitem schema")
+}
+
+/// Generates `orders[start..start+len)`.
+pub fn gen_orders(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+    let ncust = scale.customer() as i64;
+    let mut orderkey = Vec::with_capacity(len);
+    let mut custkey = Vec::with_capacity(len);
+    let mut orderstatus = Vec::with_capacity(len);
+    let mut totalprice = Vec::with_capacity(len);
+    let mut orderdate = Vec::with_capacity(len);
+    let mut orderpriority = Vec::with_capacity(len);
+    let mut shippriority = Vec::with_capacity(len);
+    let mut comment = Vec::with_capacity(len);
+    for i in start..start + len {
+        let r = i as u64;
+        orderkey.push((i + 1) as i64);
+        // TPC-H: only two thirds of customers have orders
+        let c = uniform(T_ORDERS, r, 2, 1, ncust);
+        custkey.push(if c % 3 == 0 { (c % ncust) + 1 } else { c });
+        let odate = order_date(r);
+        orderdate.push(odate);
+        orderstatus.push(if odate > dates::to_days(1995, 6, 17) {
+            "O"
+        } else if mix(T_ORDERS, r, 3) % 20 == 0 {
+            "P"
+        } else {
+            "F"
+        });
+        totalprice.push(uniform_f(T_ORDERS, r, 4, 1000.0, 400_000.0));
+        orderpriority.push(pick(T_ORDERS, r, 5, &PRIORITIES));
+        shippriority.push(0i64);
+        comment.push(match mix(T_ORDERS, r, 6) % 100 {
+            0 => "special packages requests",
+            1 => "pending special deposits requests",
+            _ => "carefully final deposits",
+        });
+    }
+    DataFrame::new(vec![
+        ("o_orderkey", Column::from_i64(orderkey)),
+        ("o_custkey", Column::from_i64(custkey)),
+        ("o_orderstatus", Column::from_str(orderstatus)),
+        ("o_totalprice", Column::from_f64(totalprice)),
+        ("o_orderdate", Column::from_date(orderdate)),
+        ("o_orderpriority", Column::from_str(orderpriority)),
+        ("o_shippriority", Column::from_i64(shippriority)),
+        ("o_comment", Column::from_str(comment)),
+    ])
+    .expect("orders schema")
+}
+
+/// Generates `customer[start..start+len)`.
+pub fn gen_customer(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+    let _ = scale;
+    let mut custkey = Vec::with_capacity(len);
+    let mut name = Vec::with_capacity(len);
+    let mut nationkey = Vec::with_capacity(len);
+    let mut phone = Vec::with_capacity(len);
+    let mut acctbal = Vec::with_capacity(len);
+    let mut mktsegment = Vec::with_capacity(len);
+    for i in start..start + len {
+        let r = i as u64;
+        custkey.push((i + 1) as i64);
+        name.push(format!("Customer#{:09}", i + 1));
+        let nk = uniform(T_CUSTOMER, r, 2, 0, 24);
+        nationkey.push(nk);
+        phone.push(format!(
+            "{:02}-{:03}-{:03}-{:04}",
+            nk + 10,
+            mix(T_CUSTOMER, r, 3) % 1000,
+            mix(T_CUSTOMER, r, 4) % 1000,
+            mix(T_CUSTOMER, r, 5) % 10000
+        ));
+        acctbal.push(uniform_f(T_CUSTOMER, r, 6, -999.99, 9999.99));
+        mktsegment.push(pick(T_CUSTOMER, r, 7, &SEGMENTS));
+    }
+    DataFrame::new(vec![
+        ("c_custkey", Column::from_i64(custkey)),
+        ("c_name", Column::from_str(name)),
+        ("c_nationkey", Column::from_i64(nationkey)),
+        ("c_phone", Column::from_str(phone)),
+        ("c_acctbal", Column::from_f64(acctbal)),
+        ("c_mktsegment", Column::from_str(mktsegment)),
+    ])
+    .expect("customer schema")
+}
+
+/// Generates `part[start..start+len)`.
+pub fn gen_part(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+    let _ = scale;
+    let mut partkey = Vec::with_capacity(len);
+    let mut name = Vec::with_capacity(len);
+    let mut mfgr = Vec::with_capacity(len);
+    let mut brand = Vec::with_capacity(len);
+    let mut ptype = Vec::with_capacity(len);
+    let mut size = Vec::with_capacity(len);
+    let mut container = Vec::with_capacity(len);
+    let mut retailprice = Vec::with_capacity(len);
+    for i in start..start + len {
+        let r = i as u64;
+        let pkey = (i + 1) as i64;
+        partkey.push(pkey);
+        name.push(format!(
+            "{} {}",
+            pick(T_PART, r, 1, &PART_WORDS),
+            pick(T_PART, r, 2, &PART_WORDS)
+        ));
+        let m = uniform(T_PART, r, 3, 1, 5);
+        mfgr.push(format!("Manufacturer#{m}"));
+        brand.push(format!("Brand#{}{}", m, uniform(T_PART, r, 4, 1, 5)));
+        ptype.push(format!(
+            "{} {} {}",
+            pick(T_PART, r, 5, &TYPE_1),
+            pick(T_PART, r, 6, &TYPE_2),
+            pick(T_PART, r, 7, &TYPE_3)
+        ));
+        size.push(uniform(T_PART, r, 8, 1, 50));
+        container.push(format!(
+            "{} {}",
+            pick(T_PART, r, 9, &CONTAINER_1),
+            pick(T_PART, r, 10, &CONTAINER_2)
+        ));
+        retailprice.push(900.0 + (pkey % 1000) as f64);
+    }
+    DataFrame::new(vec![
+        ("p_partkey", Column::from_i64(partkey)),
+        ("p_name", Column::from_str(name)),
+        ("p_mfgr", Column::from_str(mfgr)),
+        ("p_brand", Column::from_str(brand)),
+        ("p_type", Column::from_str(ptype)),
+        ("p_size", Column::from_i64(size)),
+        ("p_container", Column::from_str(container)),
+        ("p_retailprice", Column::from_f64(retailprice)),
+    ])
+    .expect("part schema")
+}
+
+/// Generates `partsupp[start..start+len)` (4 suppliers per part).
+pub fn gen_partsupp(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+    let nsupp = scale.supplier() as i64;
+    let mut partkey = Vec::with_capacity(len);
+    let mut suppkey = Vec::with_capacity(len);
+    let mut availqty = Vec::with_capacity(len);
+    let mut supplycost = Vec::with_capacity(len);
+    for i in start..start + len {
+        let r = i as u64;
+        let pkey = (i / 4 + 1) as i64;
+        partkey.push(pkey);
+        suppkey.push(supp_of_part(pkey, (i % 4) as i64, nsupp));
+        availqty.push(uniform(T_PARTSUPP, r, 2, 1, 9999));
+        supplycost.push(uniform_f(T_PARTSUPP, r, 3, 1.0, 1000.0));
+    }
+    DataFrame::new(vec![
+        ("ps_partkey", Column::from_i64(partkey)),
+        ("ps_suppkey", Column::from_i64(suppkey)),
+        ("ps_availqty", Column::from_i64(availqty)),
+        ("ps_supplycost", Column::from_f64(supplycost)),
+    ])
+    .expect("partsupp schema")
+}
+
+/// Generates `supplier[start..start+len)`.
+pub fn gen_supplier(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+    let _ = scale;
+    let mut suppkey = Vec::with_capacity(len);
+    let mut name = Vec::with_capacity(len);
+    let mut nationkey = Vec::with_capacity(len);
+    let mut acctbal = Vec::with_capacity(len);
+    let mut comment = Vec::with_capacity(len);
+    for i in start..start + len {
+        let r = i as u64;
+        suppkey.push((i + 1) as i64);
+        name.push(format!("Supplier#{:09}", i + 1));
+        nationkey.push(uniform(T_SUPPLIER, r, 2, 0, 24));
+        acctbal.push(uniform_f(T_SUPPLIER, r, 3, -999.99, 9999.99));
+        comment.push(if mix(T_SUPPLIER, r, 4) % 50 == 0 {
+            "waits Customer slow Complaints"
+        } else {
+            "quick deliveries"
+        });
+    }
+    DataFrame::new(vec![
+        ("s_suppkey", Column::from_i64(suppkey)),
+        ("s_name", Column::from_str(name)),
+        ("s_nationkey", Column::from_i64(nationkey)),
+        ("s_acctbal", Column::from_f64(acctbal)),
+        ("s_comment", Column::from_str(comment)),
+    ])
+    .expect("supplier schema")
+}
+
+/// Generates the full `nation` table (25 rows).
+pub fn gen_nation() -> DataFrame {
+    DataFrame::new(vec![
+        (
+            "n_nationkey",
+            Column::from_i64((0..25).collect()),
+        ),
+        (
+            "n_name",
+            Column::from_str(NATIONS.iter().map(|(n, _)| *n)),
+        ),
+        (
+            "n_regionkey",
+            Column::from_i64(NATIONS.iter().map(|(_, r)| *r).collect()),
+        ),
+    ])
+    .expect("nation schema")
+}
+
+/// Generates the full `region` table (5 rows).
+pub fn gen_region() -> DataFrame {
+    DataFrame::new(vec![
+        ("r_regionkey", Column::from_i64((0..5).collect())),
+        ("r_name", Column::from_str(REGIONS)),
+    ])
+    .expect("region schema")
+}
+
+/// The eight tables as chunk-generating sources, shared across engines.
+#[derive(Clone)]
+pub struct TpchData {
+    /// Scale descriptor.
+    pub scale: TpchScale,
+    /// lineitem source.
+    pub lineitem: DfSource,
+    /// orders source.
+    pub orders: DfSource,
+    /// customer source.
+    pub customer: DfSource,
+    /// part source.
+    pub part: DfSource,
+    /// partsupp source.
+    pub partsupp: DfSource,
+    /// supplier source.
+    pub supplier: DfSource,
+    /// nation source.
+    pub nation: DfSource,
+    /// region source.
+    pub region: DfSource,
+}
+
+fn source(
+    label: &str,
+    rows: usize,
+    gen: impl Fn(usize, usize) -> DataFrame + Send + Sync + 'static,
+) -> DfSource {
+    // measure bytes/row from a small sample
+    let sample = gen(0, rows.min(256));
+    let bytes_per_row = (sample.nbytes() / sample.num_rows().max(1)).max(1);
+    DfSource::Generator {
+        rows,
+        bytes_per_row,
+        gen: Arc::new(move |start, len| Ok(gen(start, len))),
+        label: label.to_string(),
+    }
+}
+
+impl TpchData {
+    /// Builds all table sources at a scale factor.
+    pub fn new(sf: f64) -> TpchData {
+        let scale = TpchScale::new(sf);
+        TpchData {
+            scale,
+            lineitem: source("read_parquet(lineitem)", scale.lineitem(), move |s, l| {
+                gen_lineitem(scale, s, l)
+            }),
+            orders: source("read_parquet(orders)", scale.orders(), move |s, l| {
+                gen_orders(scale, s, l)
+            }),
+            customer: source("read_parquet(customer)", scale.customer(), move |s, l| {
+                gen_customer(scale, s, l)
+            }),
+            part: source("read_parquet(part)", scale.part(), move |s, l| {
+                gen_part(scale, s, l)
+            }),
+            partsupp: source("read_parquet(partsupp)", scale.partsupp(), move |s, l| {
+                gen_partsupp(scale, s, l)
+            }),
+            supplier: source("read_parquet(supplier)", scale.supplier(), move |s, l| {
+                gen_supplier(scale, s, l)
+            }),
+            nation: DfSource::materialized(gen_nation()),
+            region: DfSource::materialized(gen_region()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xorbits_dataframe::Scalar;
+
+    #[test]
+    fn deterministic_and_range_consistent() {
+        let scale = TpchScale::new(1.0);
+        let whole = gen_lineitem(scale, 0, 100);
+        let part1 = gen_lineitem(scale, 0, 60);
+        let part2 = gen_lineitem(scale, 60, 40);
+        let glued = DataFrame::concat(&[&part1, &part2]).unwrap();
+        assert_eq!(whole, glued, "range generation must compose");
+    }
+
+    #[test]
+    fn referential_integrity() {
+        let scale = TpchScale::new(1.0);
+        let li = gen_lineitem(scale, 0, scale.lineitem());
+        let ok = li.column("l_orderkey").unwrap();
+        let max_order = (0..li.num_rows())
+            .map(|i| ok.get(i).as_i64().unwrap())
+            .max()
+            .unwrap();
+        assert!(max_order as usize <= scale.orders());
+        let pk = li.column("l_partkey").unwrap();
+        for i in 0..li.num_rows() {
+            let p = pk.get(i).as_i64().unwrap();
+            assert!(p >= 1 && p as usize <= scale.part());
+        }
+        // every lineitem's (partkey, suppkey) exists in partsupp
+        let ps = gen_partsupp(scale, 0, scale.partsupp());
+        let mut pairs = std::collections::HashSet::new();
+        for i in 0..ps.num_rows() {
+            pairs.insert((
+                ps.column("ps_partkey").unwrap().get(i).as_i64().unwrap(),
+                ps.column("ps_suppkey").unwrap().get(i).as_i64().unwrap(),
+            ));
+        }
+        let sk = li.column("l_suppkey").unwrap();
+        for i in 0..li.num_rows().min(500) {
+            let pair = (
+                pk.get(i).as_i64().unwrap(),
+                sk.get(i).as_i64().unwrap(),
+            );
+            assert!(pairs.contains(&pair), "lineitem {i} pair {pair:?} not in partsupp");
+        }
+    }
+
+    #[test]
+    fn value_domains() {
+        let scale = TpchScale::new(1.0);
+        let li = gen_lineitem(scale, 0, 1000);
+        let disc = li.column("l_discount").unwrap().as_f64().unwrap();
+        assert!(disc.values.iter().all(|&d| (0.0..=0.1).contains(&d)));
+        let q = li.column("l_quantity").unwrap().as_f64().unwrap();
+        assert!(q.values.iter().all(|&v| (1.0..=50.0).contains(&v)));
+        // ship < receipt always
+        let sd = li.column("l_shipdate").unwrap().as_date().unwrap();
+        let rd = li.column("l_receiptdate").unwrap().as_date().unwrap();
+        for i in 0..1000 {
+            assert!(sd.values[i] < rd.values[i]);
+        }
+    }
+
+    #[test]
+    fn nation_region_static() {
+        let n = gen_nation();
+        assert_eq!(n.num_rows(), 25);
+        let r = gen_region();
+        assert_eq!(r.num_rows(), 5);
+        assert_eq!(
+            r.column("r_name").unwrap().get(3),
+            Scalar::Str("EUROPE".into())
+        );
+    }
+
+    #[test]
+    fn scale_ratios() {
+        let s = TpchScale::new(10.0);
+        assert_eq!(s.lineitem(), 30_000);
+        assert_eq!(s.orders(), 7_500);
+        assert_eq!(s.customer(), 750);
+        assert_eq!(s.partsupp(), s.part() * 4);
+        assert!(s.est_total_bytes() > 0);
+    }
+
+    #[test]
+    fn sources_generate_through_session_api() {
+        let d = TpchData::new(0.2);
+        if let DfSource::Generator { gen, rows, .. } = &d.lineitem {
+            let df = gen(0, (*rows).min(100)).unwrap();
+            assert!(df.schema().contains("l_shipdate"));
+        } else {
+            panic!("lineitem should be a generator");
+        }
+    }
+}

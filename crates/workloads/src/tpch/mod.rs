@@ -1,0 +1,116 @@
+//! TPC-H: the paper's ad-hoc-query benchmark (§VI-B, Tables I/II, Fig 8b).
+//!
+//! All 22 queries are written once in pandas style against the
+//! engine-agnostic session API (as the paper rewrote them with the pandas
+//! API) and run unchanged on every engine profile.
+
+pub mod gen;
+mod q01_11;
+mod q12_22;
+
+pub use gen::{TpchData, TpchScale};
+
+use xorbits_baselines::Engine;
+use xorbits_core::error::XbResult;
+use xorbits_core::session::DfHandle;
+use xorbits_dataframe::{dates, AggFunc, AggSpec, DataFrame, Scalar};
+use xorbits_runtime::SimExecutor;
+
+/// Handle alias used throughout the queries.
+pub type H = DfHandle<SimExecutor>;
+
+/// Date literal helper.
+pub(crate) fn d(y: i32, m: u32, day: u32) -> Scalar {
+    Scalar::Date(dates::to_days(y, m, day))
+}
+
+/// AggSpec shorthand.
+pub(crate) fn a(col: &str, func: AggFunc, out: &str) -> AggSpec {
+    AggSpec::new(col, func, out)
+}
+
+/// Table handles for one engine run.
+pub(crate) struct Tables<'a> {
+    pub e: &'a Engine,
+    pub d: &'a TpchData,
+}
+
+macro_rules! table {
+    ($name:ident) => {
+        pub fn $name(&self) -> XbResult<H> {
+            self.e.session.read_df(self.d.$name.clone())
+        }
+    };
+}
+
+impl<'a> Tables<'a> {
+    table!(lineitem);
+    table!(orders);
+    table!(customer);
+    table!(part);
+    table!(partsupp);
+    table!(supplier);
+    table!(nation);
+    table!(region);
+}
+
+/// Extracts a scalar from a 1-row aggregate frame (0.0 when empty, like
+/// `pandas.Series.sum()` of an empty selection).
+pub(crate) fn scalar_at(df: &DataFrame, col: &str) -> XbResult<f64> {
+    if df.num_rows() == 0 {
+        return Ok(0.0);
+    }
+    Ok(df.column(col)?.get(0).as_f64().unwrap_or(0.0))
+}
+
+/// Runs TPC-H query `q` (1–22) on `engine` over `data`.
+///
+/// Returns the result frame; errors carry the paper's failure taxonomy
+/// (`Unsupported` for API-compatibility failures, `Oom`, `Hang`).
+pub fn run_query(engine: &Engine, data: &TpchData, q: u32) -> XbResult<DataFrame> {
+    engine.supports_tpch(q)?;
+    let t = Tables { e: engine, d: data };
+    match q {
+        1 => q01_11::q1(&t),
+        2 => q01_11::q2(&t),
+        3 => q01_11::q3(&t),
+        4 => q01_11::q4(&t),
+        5 => q01_11::q5(&t),
+        6 => q01_11::q6(&t),
+        7 => q01_11::q7(&t),
+        8 => q01_11::q8(&t),
+        9 => q01_11::q9(&t),
+        10 => q01_11::q10(&t),
+        11 => q01_11::q11(&t),
+        12 => q12_22::q12(&t),
+        13 => q12_22::q13(&t),
+        14 => q12_22::q14(&t),
+        15 => q12_22::q15(&t),
+        16 => q12_22::q16(&t),
+        17 => q12_22::q17(&t),
+        18 => q12_22::q18(&t),
+        19 => q12_22::q19(&t),
+        20 => q12_22::q20(&t),
+        21 => q12_22::q21(&t),
+        22 => q12_22::q22(&t),
+        other => Err(xorbits_core::error::XbError::Plan(format!(
+            "no such TPC-H query: {other}"
+        ))),
+    }
+}
+
+/// Number of `merge` operators each query issues (the paper cites Q2 with
+/// four merges and Q7 with nine as dynamic-tiling showcases; counts here
+/// reflect this port).
+pub fn merge_count(q: u32) -> usize {
+    match q {
+        1 | 6 => 0,
+        4 | 13 | 14 | 15 | 17 | 18 | 19 => 2,
+        3 | 11 | 12 | 22 => 2,
+        10 | 16 | 20 => 4,
+        2 => 5,
+        5 | 9 => 6,
+        7 | 8 | 21 => 7,
+        _ => 0,
+    }
+}

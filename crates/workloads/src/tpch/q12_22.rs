@@ -1,0 +1,540 @@
+//! TPC-H queries 12–22 in pandas style.
+
+use super::{a, d, scalar_at, Tables};
+use xorbits_core::error::XbResult;
+use xorbits_dataframe::expr::Func;
+use xorbits_dataframe::{col, lit, AggFunc::*, DataFrame, Expr, JoinType};
+
+fn strs(names: &[&str]) -> Vec<String> {
+    names.iter().map(|s| s.to_string()).collect()
+}
+
+fn revenue() -> Expr {
+    col("l_extendedprice").mul(lit(1.0).sub(col("l_discount")))
+}
+
+/// Q12: shipping modes and order priority.
+pub fn q12(t: &Tables) -> XbResult<DataFrame> {
+    let l = t.lineitem()?.filter(
+        col("l_shipmode")
+            .is_in(["MAIL", "SHIP"])
+            .and(col("l_commitdate").lt(col("l_receiptdate")))
+            .and(col("l_shipdate").lt(col("l_commitdate")))
+            .and(col("l_receiptdate").ge(lit(d(1994, 1, 1))))
+            .and(col("l_receiptdate").lt(lit(d(1995, 1, 1)))),
+    )?;
+    l.merge(
+        &t.orders()?,
+        strs(&["l_orderkey"]),
+        strs(&["o_orderkey"]),
+        JoinType::Inner,
+    )?
+    .assign(vec![
+        (
+            "high_line".into(),
+            col("o_orderpriority")
+                .is_in(["1-URGENT", "2-HIGH"])
+                .mul(lit(1i64)),
+        ),
+        (
+            "low_line".into(),
+            col("o_orderpriority")
+                .is_in(["1-URGENT", "2-HIGH"])
+                .not()
+                .mul(lit(1i64)),
+        ),
+    ])?
+    .groupby_agg(
+        strs(&["l_shipmode"]),
+        vec![
+            a("high_line", Sum, "high_line_count"),
+            a("low_line", Sum, "low_line_count"),
+        ],
+    )?
+    .sort_values(vec![("l_shipmode".into(), true)])?
+    .fetch()
+}
+
+/// Q13: customer order-count distribution (left join keeps
+/// zero-order customers).
+pub fn q13(t: &Tables) -> XbResult<DataFrame> {
+    let o = t
+        .orders()?
+        .filter(col("o_comment").contains("special").not())?;
+    let counts = t
+        .customer()?
+        .merge(
+            &o,
+            strs(&["c_custkey"]),
+            strs(&["o_custkey"]),
+            JoinType::Left,
+        )?
+        .groupby_agg(
+            strs(&["c_custkey"]),
+            vec![a("o_orderkey", Count, "c_count")],
+        )?;
+    counts
+        .groupby_agg(strs(&["c_count"]), vec![a("c_custkey", Count, "custdist")])?
+        .sort_values(vec![("custdist".into(), false), ("c_count".into(), false)])?
+        .fetch()
+}
+
+/// Q14: promotion effect (two scalar aggregates combined client-side).
+pub fn q14(t: &Tables) -> XbResult<DataFrame> {
+    let l = t.lineitem()?.filter(
+        col("l_shipdate")
+            .ge(lit(d(1995, 9, 1)))
+            .and(col("l_shipdate").lt(lit(d(1995, 10, 1)))),
+    )?;
+    let sums = l
+        .merge(
+            &t.part()?,
+            strs(&["l_partkey"]),
+            strs(&["p_partkey"]),
+            JoinType::Inner,
+        )?
+        .assign(vec![
+            ("rev".into(), revenue()),
+            (
+                "promo_rev".into(),
+                revenue().mul(col("p_type").starts_with("PROMO")),
+            ),
+        ])?
+        .groupby_agg(
+            vec![],
+            vec![a("promo_rev", Sum, "promo"), a("rev", Sum, "total")],
+        )?
+        .fetch()?;
+    let promo = scalar_at(&sums, "promo")?;
+    let total = scalar_at(&sums, "total")?;
+    DataFrame::new(vec![(
+        "promo_revenue",
+        xorbits_dataframe::Column::from_f64(vec![if total > 0.0 {
+            100.0 * promo / total
+        } else {
+            0.0
+        }]),
+    )])
+    .map_err(Into::into)
+}
+
+/// Q15: top supplier by quarterly revenue (two-phase max).
+pub fn q15(t: &Tables) -> XbResult<DataFrame> {
+    let l = t.lineitem()?.filter(
+        col("l_shipdate")
+            .ge(lit(d(1996, 1, 1)))
+            .and(col("l_shipdate").lt(lit(d(1996, 4, 1)))),
+    )?;
+    let rev = l
+        .assign(vec![("rev".into(), revenue())])?
+        .groupby_agg(strs(&["l_suppkey"]), vec![a("rev", Sum, "total_revenue")])?;
+    let max_df = rev
+        .groupby_agg(vec![], vec![a("total_revenue", Max, "max_rev")])?
+        .fetch()?;
+    let max_rev = scalar_at(&max_df, "max_rev")?;
+    t.supplier()?
+        .merge(
+            &rev,
+            strs(&["s_suppkey"]),
+            strs(&["l_suppkey"]),
+            JoinType::Inner,
+        )?
+        .filter(col("total_revenue").ge(lit(max_rev - 1e-6)))?
+        .select(strs(&["s_suppkey", "s_name", "total_revenue"]))?
+        .sort_values(vec![("s_suppkey".into(), true)])?
+        .fetch()
+}
+
+/// Q16: parts/supplier relationship (`nunique` + anti join).
+pub fn q16(t: &Tables) -> XbResult<DataFrame> {
+    t.e.require(t.e.profile.caps.nunique_agg, "groupby.agg(nunique)")?;
+    let p = t.part()?.filter(
+        col("p_brand")
+            .eq(lit("Brand#45"))
+            .not()
+            .and(col("p_type").starts_with("MEDIUM POLISHED").not())
+            .and(col("p_size").is_in([49i64, 14, 23, 45, 19, 3, 36, 9])),
+    )?;
+    let ps = t.partsupp()?.merge(
+        &p,
+        strs(&["ps_partkey"]),
+        strs(&["p_partkey"]),
+        JoinType::Inner,
+    )?;
+    let bad = t
+        .supplier()?
+        .filter(col("s_comment").contains("Customer").and(col("s_comment").contains("Complaints")))?;
+    ps.merge(
+        &bad,
+        strs(&["ps_suppkey"]),
+        strs(&["s_suppkey"]),
+        JoinType::Anti,
+    )?
+    .groupby_agg(
+        strs(&["p_brand", "p_type", "p_size"]),
+        vec![a("ps_suppkey", Nunique, "supplier_cnt")],
+    )?
+    .sort_values(vec![
+        ("supplier_cnt".into(), false),
+        ("p_brand".into(), true),
+        ("p_type".into(), true),
+        ("p_size".into(), true),
+    ])?
+    .fetch()
+}
+
+/// Q17: small-quantity-order revenue (join back against per-part average).
+pub fn q17(t: &Tables) -> XbResult<DataFrame> {
+    let p = t.part()?.filter(
+        col("p_brand")
+            .eq(lit("Brand#23"))
+            .and(col("p_container").eq(lit("MED BOX"))),
+    )?;
+    let lp = t.lineitem()?.merge(
+        &p,
+        strs(&["l_partkey"]),
+        strs(&["p_partkey"]),
+        JoinType::Inner,
+    )?;
+    let avg = lp.groupby_agg(
+        strs(&["l_partkey"]),
+        vec![a("l_quantity", Mean, "avg_qty")],
+    )?;
+    let small = lp
+        .merge_on(&avg, &["l_partkey"])?
+        .filter(col("l_quantity").lt(lit(0.2).mul(col("avg_qty"))))?;
+    let total = small
+        .groupby_agg(vec![], vec![a("l_extendedprice", Sum, "sum_price")])?
+        .fetch()?;
+    DataFrame::new(vec![(
+        "avg_yearly",
+        xorbits_dataframe::Column::from_f64(vec![scalar_at(&total, "sum_price")? / 7.0]),
+    )])
+    .map_err(Into::into)
+}
+
+/// Q18: large-volume customers (top 100).
+pub fn q18(t: &Tables) -> XbResult<DataFrame> {
+    let big = t
+        .lineitem()?
+        .groupby_agg(strs(&["l_orderkey"]), vec![a("l_quantity", Sum, "sum_qty")])?
+        .filter(col("sum_qty").gt(lit(170.0)))?; // scaled from 300 for 4-line orders
+    let ob = t.orders()?.merge(
+        &big,
+        strs(&["o_orderkey"]),
+        strs(&["l_orderkey"]),
+        JoinType::Inner,
+    )?;
+    ob.merge(
+        &t.customer()?,
+        strs(&["o_custkey"]),
+        strs(&["c_custkey"]),
+        JoinType::Inner,
+    )?
+    .select(strs(&[
+        "c_name",
+        "c_custkey",
+        "o_orderkey",
+        "o_orderdate",
+        "o_totalprice",
+        "sum_qty",
+    ]))?
+    .sort_values(vec![
+        ("o_totalprice".into(), false),
+        ("o_orderdate".into(), true),
+    ])?
+    .head(100)?
+    .fetch()
+}
+
+/// Q19: discounted revenue over three disjunctive condition groups.
+pub fn q19(t: &Tables) -> XbResult<DataFrame> {
+    let branch = |brand: &str, containers: [&str; 4], qlo: f64, qhi: f64, smax: i64| {
+        col("p_brand")
+            .eq(lit(brand))
+            .and(col("p_container").is_in(containers))
+            .and(col("l_quantity").ge(lit(qlo)))
+            .and(col("l_quantity").le(lit(qhi)))
+            .and(col("p_size").ge(lit(1i64)))
+            .and(col("p_size").le(lit(smax)))
+    };
+    let lp = t.lineitem()?.merge(
+        &t.part()?,
+        strs(&["l_partkey"]),
+        strs(&["p_partkey"]),
+        JoinType::Inner,
+    )?;
+    lp.filter(
+        col("l_shipmode")
+            .is_in(["AIR", "REG AIR"])
+            .and(col("l_shipinstruct").eq(lit("DELIVER IN PERSON")))
+            .and(
+                branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
+                    .or(branch(
+                        "Brand#23",
+                        ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                        10.0,
+                        20.0,
+                        10,
+                    ))
+                    .or(branch(
+                        "Brand#34",
+                        ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                        20.0,
+                        30.0,
+                        15,
+                    )),
+            ),
+    )?
+    .assign(vec![("rev".into(), revenue())])?
+    .groupby_agg(vec![], vec![a("rev", Sum, "revenue")])?
+    .fetch()
+}
+
+/// Q20: potential part promotion (excess stock suppliers in CANADA).
+pub fn q20(t: &Tables) -> XbResult<DataFrame> {
+    let forest = t.part()?.filter(col("p_name").starts_with("forest"))?;
+    let ps = t.partsupp()?.merge(
+        &forest,
+        strs(&["ps_partkey"]),
+        strs(&["p_partkey"]),
+        JoinType::Semi,
+    )?;
+    let shipped = t
+        .lineitem()?
+        .filter(
+            col("l_shipdate")
+                .ge(lit(d(1994, 1, 1)))
+                .and(col("l_shipdate").lt(lit(d(1995, 1, 1)))),
+        )?
+        .groupby_agg(
+            strs(&["l_partkey", "l_suppkey"]),
+            vec![a("l_quantity", Sum, "sum_qty")],
+        )?;
+    let excess = ps
+        .merge(
+            &shipped,
+            strs(&["ps_partkey", "ps_suppkey"]),
+            strs(&["l_partkey", "l_suppkey"]),
+            JoinType::Inner,
+        )?
+        .filter(col("ps_availqty").gt(lit(0.5).mul(col("sum_qty"))))?;
+    let s = t.supplier()?.merge(
+        &excess,
+        strs(&["s_suppkey"]),
+        strs(&["ps_suppkey"]),
+        JoinType::Semi,
+    )?;
+    let canada = t.nation()?.filter(col("n_name").eq(lit("CANADA")))?;
+    s.merge(
+        &canada,
+        strs(&["s_nationkey"]),
+        strs(&["n_nationkey"]),
+        JoinType::Inner,
+    )?
+    .select(strs(&["s_name", "s_suppkey"]))?
+    .sort_values(vec![("s_name".into(), true)])?
+    .fetch()
+}
+
+/// Q21: suppliers who kept orders waiting (`nunique` + semi/anti logic).
+pub fn q21(t: &Tables) -> XbResult<DataFrame> {
+    t.e.require(t.e.profile.caps.nunique_agg, "groupby.agg(nunique)")?;
+    let li = t.lineitem()?;
+    let late = li.filter(col("l_receiptdate").gt(col("l_commitdate")))?;
+    // orders with more than one distinct supplier
+    let total_supp = li.groupby_agg(
+        strs(&["l_orderkey"]),
+        vec![a("l_suppkey", Nunique, "n_supp")],
+    )?;
+    let multi = total_supp
+        .filter(col("n_supp").gt(lit(1i64)))?
+        .rename(vec![("l_orderkey".into(), "mo_orderkey".into())])?;
+    // orders where exactly one supplier was late
+    let late_supp = late.groupby_agg(
+        strs(&["l_orderkey"]),
+        vec![a("l_suppkey", Nunique, "n_late")],
+    )?;
+    let single_late = late_supp
+        .filter(col("n_late").eq(lit(1i64)))?
+        .rename(vec![("l_orderkey".into(), "so_orderkey".into())])?;
+    let f_orders = t
+        .orders()?
+        .filter(col("o_orderstatus").eq(lit("F")))?;
+    let saudi = t.nation()?.filter(col("n_name").eq(lit("SAUDI ARABIA")))?;
+    let s = t.supplier()?.merge(
+        &saudi,
+        strs(&["s_nationkey"]),
+        strs(&["n_nationkey"]),
+        JoinType::Inner,
+    )?;
+    late.merge(
+        &f_orders,
+        strs(&["l_orderkey"]),
+        strs(&["o_orderkey"]),
+        JoinType::Inner,
+    )?
+    .merge(
+        &multi,
+        strs(&["l_orderkey"]),
+        strs(&["mo_orderkey"]),
+        JoinType::Semi,
+    )?
+    .merge(
+        &single_late,
+        strs(&["l_orderkey"]),
+        strs(&["so_orderkey"]),
+        JoinType::Semi,
+    )?
+    .merge(
+        &s,
+        strs(&["l_suppkey"]),
+        strs(&["s_suppkey"]),
+        JoinType::Inner,
+    )?
+    .groupby_agg(strs(&["s_name"]), vec![a("l_orderkey", Count, "numwait")])?
+    .sort_values(vec![("numwait".into(), false), ("s_name".into(), true)])?
+    .head(100)?
+    .fetch()
+}
+
+/// Q22: global sales opportunity (substring country codes, two-phase
+/// average, anti join against orders).
+pub fn q22(t: &Tables) -> XbResult<DataFrame> {
+    let codes = ["13", "31", "23", "29", "30", "18", "17"];
+    let c = t
+        .customer()?
+        .assign(vec![(
+            "cntrycode".into(),
+            col("c_phone").call(Func::Substr { start: 0, len: 2 }),
+        )])?
+        .filter(col("cntrycode").is_in(codes))?;
+    let avg_df = c
+        .filter(col("c_acctbal").gt(lit(0.0)))?
+        .groupby_agg(vec![], vec![a("c_acctbal", Mean, "avg_bal")])?
+        .fetch()?;
+    let avg_bal = scalar_at(&avg_df, "avg_bal")?;
+    c.filter(col("c_acctbal").gt(lit(avg_bal)))?
+        .merge(
+            &t.orders()?,
+            strs(&["c_custkey"]),
+            strs(&["o_custkey"]),
+            JoinType::Anti,
+        )?
+        .groupby_agg(
+            strs(&["cntrycode"]),
+            vec![
+                a("c_custkey", Count, "numcust"),
+                a("c_acctbal", Sum, "totacctbal"),
+            ],
+        )?
+        .sort_values(vec![("cntrycode".into(), true)])?
+        .fetch()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::tpch::{run_query, TpchData};
+    use xorbits_baselines::{Engine, EngineKind};
+    use xorbits_core::error::{FailureKind, XbError};
+    use xorbits_runtime::ClusterSpec;
+
+    fn tiny() -> TpchData {
+        TpchData::new(0.5)
+    }
+
+    fn xorbits() -> Engine {
+        Engine::new(EngineKind::Xorbits, &ClusterSpec::new(4, 256 << 20))
+    }
+
+    #[test]
+    fn q13_keeps_zero_order_customers() {
+        let out = run_query(&xorbits(), &tiny(), 13).unwrap();
+        // the distribution must include a 0-orders bucket (a third of
+        // customer keys never receive orders by construction)
+        let c_count = out.column("c_count").unwrap();
+        let has_zero = (0..out.num_rows())
+            .any(|i| c_count.get(i).as_i64() == Some(0));
+        assert!(has_zero, "{out}");
+    }
+
+    #[test]
+    fn q14_percentage_bounds() {
+        let out = run_query(&xorbits(), &tiny(), 14).unwrap();
+        let pct = out
+            .column("promo_revenue")
+            .unwrap()
+            .get(0)
+            .as_f64()
+            .unwrap();
+        assert!((0.0..=100.0).contains(&pct), "pct={pct}");
+    }
+
+    #[test]
+    fn q16_nunique_unsupported_on_pyspark() {
+        let spark = Engine::new(EngineKind::PySpark, &ClusterSpec::new(4, 256 << 20));
+        let r = run_query(&spark, &tiny(), 16);
+        assert!(matches!(r, Err(XbError::Unsupported(_))));
+        assert_eq!(
+            FailureKind::classify(&r),
+            FailureKind::ApiCompatibility
+        );
+    }
+
+    #[test]
+    fn q22_runs_two_phases() {
+        let e = xorbits();
+        let out = run_query(&e, &tiny(), 22).unwrap();
+        assert!(out.schema().contains("numcust"));
+        assert!(out.num_rows() <= 7);
+    }
+
+    #[test]
+    fn all_queries_run_on_xorbits() {
+        let data = tiny();
+        for q in 1..=22 {
+            let e = xorbits();
+            let r = run_query(&e, &data, q);
+            assert!(r.is_ok(), "Q{q} failed: {:?}", r.err());
+        }
+    }
+
+    /// Distributed Xorbits results must equal the single-node pandas
+    /// profile (same kernels, radically different plans) — the strongest
+    /// end-to-end correctness check in the repo.
+    #[test]
+    fn xorbits_matches_pandas_on_every_query() {
+        let data = tiny();
+        let cluster = ClusterSpec::new(4, 256 << 20);
+        for q in 1..=22 {
+            let xa = run_query(&Engine::new(EngineKind::Xorbits, &cluster), &data, q)
+                .unwrap_or_else(|e| panic!("xorbits Q{q}: {e}"));
+            let pd = run_query(&Engine::new(EngineKind::Pandas, &cluster), &data, q)
+                .unwrap_or_else(|e| panic!("pandas Q{q}: {e}"));
+            assert_eq!(xa.num_rows(), pd.num_rows(), "Q{q} row count differs");
+            assert_eq!(
+                xa.schema().names(),
+                pd.schema().names(),
+                "Q{q} schema differs"
+            );
+            // numeric columns agree within float tolerance on every row
+            for (ci, field) in xa.schema().fields().iter().enumerate() {
+                if !field.dtype.is_numeric() {
+                    continue;
+                }
+                for row in 0..xa.num_rows() {
+                    let x = xa.column_at(ci).get(row).as_f64().unwrap_or(f64::NAN);
+                    let y = pd.column_at(ci).get(row).as_f64().unwrap_or(f64::NAN);
+                    if x.is_nan() && y.is_nan() {
+                        continue;
+                    }
+                    assert!(
+                        (x - y).abs() <= 1e-6 * x.abs().max(1.0),
+                        "Q{q} {}[{row}]: {x} vs {y}",
+                        field.name
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # xorbits (Rust reproduction)
+//!
+//! A from-scratch Rust implementation of *Xorbits: Automating Operator
+//! Tiling for Distributed Data Science* (ICDE 2024): pandas/NumPy-style
+//! dataframe and tensor APIs over a three-graph compiler (tileable → chunk
+//! → subtask) with **dynamic tiling** — the ability to pause graph
+//! construction, execute a prefix, harvest runtime metadata, and resume
+//! tiling with measured sizes.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use xorbits::prelude::*;
+//!
+//! // xorbits.init(): a session over a simulated 4-worker cluster
+//! let session = xorbits::init(4);
+//!
+//! // dataframe example: groupby with automatic reduce selection
+//! let df = session
+//!     .from_df(DataFrame::new(vec![
+//!         ("a", Column::from_i64(vec![1, 2, 1, 2, 1])),
+//!         ("v", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0])),
+//!     ]).unwrap())
+//!     .unwrap();
+//! let out = df
+//!     .groupby_agg(vec!["a".into()], vec![AggSpec::new("v", AggFunc::Min, "min_v")])
+//!     .unwrap()
+//!     .fetch()
+//!     .unwrap();
+//! assert_eq!(out.num_rows(), 2);
+//!
+//! // array example: distributed QR (Listing 2 of the paper)
+//! let a = session.random(&[200, 4], 42).unwrap();
+//! let (q, _r) = a.qr().unwrap();
+//! assert_eq!(q.fetch().unwrap().shape(), &[200, 4]);
+//! ```
+//!
+//! See `DESIGN.md` for the architecture and `EXPERIMENTS.md` for the
+//! paper-vs-measured record of every table and figure.
+
+pub use xorbits_array as array;
+pub use xorbits_baselines as baselines;
+pub use xorbits_core as core;
+pub use xorbits_dataframe as dataframe;
+pub use xorbits_runtime as runtime;
+pub use xorbits_workloads as workloads;
+
+use xorbits_core::config::XorbitsConfig;
+use xorbits_runtime::{ClusterSpec, SimExecutor, SimSession};
+
+/// `xorbits.init()`: a session over a simulated cluster of `workers`
+/// nodes (2 bands each, 1 GiB budget per worker, spill enabled).
+pub fn init(workers: usize) -> SimSession {
+    init_with(
+        XorbitsConfig::default(),
+        ClusterSpec::new(workers, 1 << 30),
+    )
+}
+
+/// `xorbits.init()` with explicit engine configuration and cluster spec.
+pub fn init_with(cfg: XorbitsConfig, spec: ClusterSpec) -> SimSession {
+    xorbits_core::session::Session::new(cfg, SimExecutor::new(spec))
+}
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use xorbits_core::config::XorbitsConfig;
+    pub use xorbits_core::error::{FailureKind, XbError, XbResult};
+    pub use xorbits_core::session::{DfHandle, RunReport, Session, TensorHandle};
+    pub use xorbits_core::tileable::DfSource;
+    pub use xorbits_dataframe::{
+        col, lit, AggFunc, AggSpec, Column, DataFrame, JoinType, Scalar,
+    };
+    pub use xorbits_runtime::{ClusterSpec, SimExecutor, SimSession};
+}

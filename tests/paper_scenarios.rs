@@ -1,0 +1,239 @@
+//! Integration tests reproducing the specific scenarios the paper narrates:
+//! Listing 1 (Dask's chunking friction), Listing 2 (drop-in usage),
+//! Fig 3c (iterative tiling for iloc), Fig 6a (auto reduce selection),
+//! Fig 6b (auto merge), §V-D (Algorithm 1), and the Table II failure
+//! taxonomy end to end.
+
+use std::collections::BTreeMap;
+use xorbits::baselines::{Engine, EngineKind};
+use xorbits::core::config::XorbitsConfig;
+use xorbits::core::error::FailureKind;
+use xorbits::core::rechunk::auto_rechunk;
+use xorbits::prelude::*;
+use xorbits::workloads::arrays::array_engine;
+use xorbits::workloads::tpch::{run_query, TpchData};
+
+fn frame(n: usize, keys: i64) -> DataFrame {
+    DataFrame::new(vec![
+        (
+            "k",
+            Column::from_i64((0..n as i64).map(|i| i % keys).collect()),
+        ),
+        ("v", Column::from_f64((0..n).map(|i| i as f64).collect())),
+    ])
+    .unwrap()
+}
+
+/// Listing 2: drop-in usage — no chunk sizes, no partition counts, no
+/// repartition calls anywhere in user code.
+#[test]
+fn listing2_drop_in_replacement() {
+    let session = xorbits::init(2);
+    // array example
+    let a = session.random(&[500, 4], 1).unwrap();
+    let (q, r) = a.qr().unwrap();
+    assert_eq!(q.fetch().unwrap().shape(), &[500, 4]);
+    assert_eq!(r.fetch().unwrap().shape(), &[4, 4]);
+    // dataframe example 1
+    let df = session.from_df(frame(10_000, 13)).unwrap();
+    let agg = df
+        .groupby_agg(
+            vec!["k".into()],
+            vec![AggSpec::new("v", AggFunc::Min, "min_v")],
+        )
+        .unwrap()
+        .fetch()
+        .unwrap();
+    assert_eq!(agg.num_rows(), 13);
+    // dataframe example 2: filter + iloc
+    let row = df
+        .filter(col("v").lt(lit(100.0)))
+        .unwrap()
+        .iloc_row(10)
+        .unwrap()
+        .fetch()
+        .unwrap();
+    assert_eq!(row.column("v").unwrap().get(0), Scalar::Float(10.0));
+}
+
+/// Listing 1: the Dask profile rejects `iloc` (API failure) and its array
+/// API requires manual chunking, while Xorbits auto-rechunks.
+#[test]
+fn listing1_dask_friction() {
+    let cluster = ClusterSpec::new(2, 256 << 20);
+    let dask = Engine::new(EngineKind::Dask, &cluster);
+    let err = dask.require(dask.profile.caps.iloc, "iloc").unwrap_err();
+    assert_eq!(
+        FailureKind::classify::<()>(&Err(err)),
+        FailureKind::ApiCompatibility
+    );
+    assert!(!dask.profile.caps.array_auto_chunk);
+    let xorbits = array_engine(EngineKind::Xorbits, &cluster, 0).unwrap();
+    assert!(xorbits.profile.caps.array_auto_chunk);
+}
+
+/// Fig 3c: the filtered chunks have lengths 4, 8, 5 and iloc[10] must land
+/// in the *second* chunk at offset 6.
+#[test]
+fn fig3c_iterative_tiling_exact_scenario() {
+    // build 3 chunks of 10 rows; filter keeps 4, 8 and 5 rows respectively
+    let mut keep = Vec::new();
+    keep.extend(std::iter::repeat(1.0).take(4).chain(std::iter::repeat(-1.0).take(6)));
+    keep.extend(std::iter::repeat(1.0).take(8).chain(std::iter::repeat(-1.0).take(2)));
+    keep.extend(std::iter::repeat(1.0).take(5).chain(std::iter::repeat(-1.0).take(5)));
+    let df = DataFrame::new(vec![
+        ("flag", Column::from_f64(keep)),
+        ("pos", Column::from_i64((0..30).collect())),
+    ])
+    .unwrap();
+    // chunk size = 10 rows ⇒ chunk_limit = bytes of 10 rows
+    let bytes_per_row = df.nbytes() / 30;
+    let session = xorbits::init_with(
+        XorbitsConfig {
+            chunk_limit_bytes: bytes_per_row * 10,
+            ..Default::default()
+        },
+        ClusterSpec::new(2, 256 << 20),
+    );
+    let filtered = session
+        .from_df(df)
+        .unwrap()
+        .filter(col("flag").gt(lit(0.0)))
+        .unwrap();
+    let row = filtered.iloc_row(10).unwrap().fetch().unwrap();
+    // 11th kept row: chunk0 keeps pos 0..3 (4), chunk1 keeps pos 10..17 (8)
+    // -> index 10 is the 7th kept row of chunk 1 = pos 16
+    assert_eq!(row.column("pos").unwrap().get(0), Scalar::Int(16));
+    let report = session.last_report().unwrap();
+    assert!(report
+        .tiling
+        .decisions
+        .iter()
+        .any(|d| d.contains("iloc[10] -> chunk 1 offset 6")), "{:?}", report.tiling.decisions);
+}
+
+/// Fig 6a: low-cardinality keys (small aggregate) pick tree-reduce;
+/// high-cardinality keys (aggregate ≈ input) pick shuffle-reduce.
+#[test]
+fn fig6a_auto_reduce_selection() {
+    let session = xorbits::init_with(
+        XorbitsConfig {
+            chunk_limit_bytes: 4 << 10,
+            tree_reduce_threshold_bytes: 8 << 10,
+            ..Default::default()
+        },
+        ClusterSpec::new(2, 256 << 20),
+    );
+    // few groups: aggregated size tiny -> tree
+    let small = session.from_df(frame(20_000, 5)).unwrap();
+    small
+        .groupby_agg(
+            vec!["k".into()],
+            vec![AggSpec::new("v", AggFunc::Sum, "s")],
+        )
+        .unwrap()
+        .fetch()
+        .unwrap();
+    let d1 = session.last_report().unwrap().tiling.decisions;
+    assert!(
+        d1.iter().any(|d| d.contains("tree-reduce")),
+        "expected tree-reduce: {d1:?}"
+    );
+    // nearly-unique groups: aggregated size ≈ input -> shuffle
+    let big = session.from_df(frame(20_000, 20_000)).unwrap();
+    big.groupby_agg(
+        vec!["k".into()],
+        vec![AggSpec::new("v", AggFunc::Sum, "s")],
+    )
+    .unwrap()
+    .fetch()
+    .unwrap();
+    let d2 = session.last_report().unwrap().tiling.decisions;
+    assert!(
+        d2.iter().any(|d| d.contains("shuffle-reduce")),
+        "expected shuffle-reduce: {d2:?}"
+    );
+}
+
+/// Fig 6b: a selective filter shrinks chunks far below the limit; the
+/// next shuffle-bound operator concatenates them back up (auto merge).
+#[test]
+fn fig6b_auto_merge() {
+    let session = xorbits::init_with(
+        XorbitsConfig {
+            chunk_limit_bytes: 16 << 10,
+            ..Default::default()
+        },
+        ClusterSpec::new(2, 256 << 20),
+    );
+    let df = session.from_df(frame(100_000, 7)).unwrap();
+    // keep 2% of rows: chunks shrink ~50x
+    let filtered = df.filter(col("v").lt(lit(2_000.0))).unwrap();
+    filtered
+        .drop_duplicates(Some(vec!["k".into()]))
+        .unwrap()
+        .fetch()
+        .unwrap();
+    let report = session.last_report().unwrap();
+    assert!(
+        report
+            .tiling
+            .decisions
+            .iter()
+            .any(|d| d.starts_with("auto-merge")),
+        "expected auto-merge: {:?}",
+        report.tiling.decisions
+    );
+}
+
+/// §V-D worked example, end to end through the public algorithm.
+#[test]
+fn algorithm1_worked_example() {
+    let mut c = BTreeMap::new();
+    c.insert(1usize, 10_000);
+    let dims = auto_rechunk(&[10_000, 10_000], &c, 8, 128 << 20);
+    assert_eq!(dims[0], vec![1677, 1677, 1677, 1677, 1677, 1615]);
+    assert_eq!(dims[1], vec![10_000]);
+}
+
+/// Table II taxonomy end to end: the same query yields Success on Xorbits,
+/// API failure on PySpark, and OOM on a memory-starved Modin.
+#[test]
+fn table2_taxonomy_end_to_end() {
+    let data = TpchData::new(2.0);
+    let roomy = ClusterSpec::new(4, 256 << 20);
+    let r = run_query(&Engine::new(EngineKind::Xorbits, &roomy), &data, 16);
+    assert_eq!(FailureKind::classify(&r), FailureKind::Success);
+
+    let r = run_query(&Engine::new(EngineKind::PySpark, &roomy), &data, 16);
+    assert_eq!(FailureKind::classify(&r), FailureKind::ApiCompatibility);
+
+    let starved = ClusterSpec::new(4, 64 << 10);
+    let r = run_query(&Engine::new(EngineKind::Modin, &starved), &data, 1);
+    assert_eq!(FailureKind::classify(&r), FailureKind::OomOrKilled);
+
+    // and a hang from an impossible deadline
+    let impossible = ClusterSpec::new(4, 256 << 20).with_deadline(1e-9);
+    let r = run_query(&Engine::new(EngineKind::Xorbits, &impossible), &data, 1);
+    assert_eq!(FailureKind::classify(&r), FailureKind::Hang);
+}
+
+/// Deferred evaluation (§IV-C): building a pipeline executes nothing; the
+/// first Display/fetch triggers it.
+#[test]
+fn deferred_evaluation() {
+    let session = xorbits::init(2);
+    let df = session.from_df(frame(1000, 3)).unwrap();
+    let pipeline = df
+        .filter(col("v").gt(lit(10.0)))
+        .unwrap()
+        .groupby_agg(
+            vec!["k".into()],
+            vec![AggSpec::new("v", AggFunc::Mean, "m")],
+        )
+        .unwrap();
+    assert!(session.last_report().is_none(), "nothing should have run yet");
+    let shown = format!("{pipeline}");
+    assert!(shown.contains('k'));
+    assert!(session.last_report().is_some(), "display must trigger execution");
+}

@@ -1,0 +1,111 @@
+//! Property-based tests of the array kernel and auto-rechunk invariants.
+
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use xorbits::array::{linalg, random, reduce_all, NdArray, Reduction};
+use xorbits::core::rechunk::auto_rechunk;
+
+proptest! {
+    /// QR reconstructs A with orthonormal Q for any tall matrix.
+    #[test]
+    fn qr_reconstructs(m in 4usize..40, n in 1usize..4, seed in 0u64..1000) {
+        let n = n.min(m);
+        let a = random::rand_normal(&[m, n], seed);
+        let (q, r) = linalg::qr(&a).unwrap();
+        let prod = linalg::matmul(&q, &r).unwrap();
+        prop_assert!(prod.max_abs_diff(&a) < 1e-8);
+        let qtq = linalg::matmul(&q.transpose().unwrap(), &q).unwrap();
+        prop_assert!(qtq.max_abs_diff(&NdArray::eye(n)) < 1e-8);
+    }
+
+    /// Matmul distributes over row-block splits: concat(A1·B, A2·B) = A·B.
+    #[test]
+    fn matmul_distributes_over_row_splits(
+        m in 2usize..30,
+        k in 1usize..8,
+        n in 1usize..8,
+        split in 1usize..29,
+        seed in 0u64..1000,
+    ) {
+        let split = split.min(m - 1).max(1);
+        let a = random::rand_uniform(&[m, k], seed);
+        let b = random::rand_uniform(&[k, n], seed + 1);
+        let whole = linalg::matmul(&a, &b).unwrap();
+        let top = linalg::matmul(&a.slice_rows(0, split).unwrap(), &b).unwrap();
+        let bot = linalg::matmul(&a.slice_rows(split, m).unwrap(), &b).unwrap();
+        let glued = NdArray::concat_rows(&[&top, &bot]).unwrap();
+        prop_assert!(glued.max_abs_diff(&whole) < 1e-12);
+    }
+
+    /// Tree-combined reductions equal direct reductions for any split.
+    #[test]
+    fn reduce_tree_equals_direct(len in 1usize..500, split in 0usize..500, seed in 0u64..1000) {
+        let split = split.min(len);
+        let a = random::rand_uniform(&[len], seed);
+        for kind in [Reduction::Sum, Reduction::Min, Reduction::Max] {
+            let direct = reduce_all(kind, &a);
+            let l = a.slice_rows(0, split).unwrap();
+            let r = a.slice_rows(split, len).unwrap();
+            let merged = match kind {
+                Reduction::Sum => reduce_all(kind, &l) + reduce_all(kind, &r),
+                Reduction::Min => reduce_all(kind, &l).min(reduce_all(kind, &r)),
+                Reduction::Max => reduce_all(kind, &l).max(reduce_all(kind, &r)),
+                Reduction::Mean => unreachable!(),
+            };
+            // empty slices produce inf/-inf identities which min/max absorb
+            prop_assert!((direct - merged).abs() < 1e-9 * direct.abs().max(1.0));
+        }
+    }
+
+    /// lstsq recovers exact weights for consistent systems.
+    #[test]
+    fn lstsq_recovers_consistent_system(
+        rows in 8usize..60,
+        cols in 1usize..5,
+        seed in 0u64..1000,
+    ) {
+        let x = random::rand_normal(&[rows, cols], seed);
+        let w_true = random::rand_uniform(&[cols, 1], seed + 7);
+        let y = linalg::matmul(&x, &w_true).unwrap().reshape(&[rows]).unwrap();
+        let w = linalg::lstsq(&x, &y).unwrap();
+        for (a, b) in w.data().iter().zip(w_true.data()) {
+            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+        }
+    }
+
+    /// Algorithm 1 always covers the shape and respects the byte limit.
+    #[test]
+    fn auto_rechunk_covers_and_bounds(
+        rows in 1usize..100_000,
+        cols in 1usize..2_000,
+        limit_kb in 1usize..10_000,
+    ) {
+        let mut constraint = BTreeMap::new();
+        constraint.insert(1usize, cols);
+        let dims = auto_rechunk(&[rows, cols], &constraint, 8, limit_kb << 10);
+        prop_assert_eq!(dims[0].iter().sum::<usize>(), rows);
+        prop_assert_eq!(dims[1].iter().sum::<usize>(), cols);
+        // each chunk under the limit unless a single row already exceeds it
+        let row_bytes = cols * 8;
+        if row_bytes <= limit_kb << 10 {
+            for &r in &dims[0] {
+                prop_assert!(r * row_bytes <= (limit_kb << 10) * 2,
+                    "chunk of {} rows x {} B exceeds 2x limit", r, row_bytes);
+            }
+        }
+    }
+
+    /// Broadcasting matches explicit expansion on vectors.
+    #[test]
+    fn broadcast_row_vector_matches_manual(m in 1usize..20, n in 1usize..20, seed in 0u64..100) {
+        let a = random::rand_uniform(&[m, n], seed);
+        let v = random::rand_uniform(&[n], seed + 1);
+        let out = xorbits::array::binary(xorbits::array::ElemOp::Add, &a, &v).unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                let expect = a.at(i, j) + v.data()[j];
+                prop_assert!((out.at(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+}
