@@ -43,8 +43,16 @@ pub fn broadcast_shape(a: &[usize], b: &[usize]) -> ArrResult<Vec<usize>> {
     let ndim = a.len().max(b.len());
     let mut out = vec![0; ndim];
     for i in 0..ndim {
-        let da = if i < ndim - a.len() { 1 } else { a[i - (ndim - a.len())] };
-        let db = if i < ndim - b.len() { 1 } else { b[i - (ndim - b.len())] };
+        let da = if i < ndim - a.len() {
+            1
+        } else {
+            a[i - (ndim - a.len())]
+        };
+        let db = if i < ndim - b.len() {
+            1
+        } else {
+            b[i - (ndim - b.len())]
+        };
         out[i] = if da == db || db == 1 {
             da
         } else if da == 1 {

@@ -32,7 +32,10 @@ impl fmt::Display for ArrError {
                 write!(f, "shape mismatch: expected {expected:?}, found {found:?}")
             }
             ArrError::OutOfBounds { index, len } => {
-                write!(f, "index {index} out of bounds for dimension of length {len}")
+                write!(
+                    f,
+                    "index {index} out of bounds for dimension of length {len}"
+                )
             }
             ArrError::Unsupported(s) => write!(f, "unsupported: {s}"),
             ArrError::Numerical(s) => write!(f, "numerical error: {s}"),

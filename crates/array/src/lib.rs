@@ -18,6 +18,7 @@ pub mod elementwise;
 pub mod error;
 pub mod linalg;
 pub mod ndarray;
+pub mod prng;
 pub mod random;
 pub mod reduce;
 

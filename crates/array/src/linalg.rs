@@ -6,6 +6,10 @@
 //! tall-and-skinny chunk exactly as Xorbits calls `numpy.linalg.qr`
 //! ("Both Xorbits and Dask employ NumPy's qr as the backend").
 
+// Index-driven loops mirror the textbook algorithms (Householder, back
+// substitution); iterator rewrites would obscure them.
+#![allow(clippy::needless_range_loop)]
+
 use crate::error::{ArrError, ArrResult};
 use crate::ndarray::NdArray;
 
@@ -184,9 +188,7 @@ pub fn cholesky(a: &NdArray) -> ArrResult<NdArray> {
             }
             if i == j {
                 if sum <= 0.0 {
-                    return Err(ArrError::Numerical(
-                        "matrix not positive definite".into(),
-                    ));
+                    return Err(ArrError::Numerical("matrix not positive definite".into()));
                 }
                 l.set_at(i, j, sum.sqrt());
             } else {
@@ -294,7 +296,10 @@ mod tests {
         assert!(qr_prod.max_abs_diff(a) < 1e-9, "A != QR");
         // Q^T Q = I
         let qtq = matmul(&q.transpose().unwrap(), &q).unwrap();
-        assert!(qtq.max_abs_diff(&NdArray::eye(n)) < 1e-9, "Q not orthonormal");
+        assert!(
+            qtq.max_abs_diff(&NdArray::eye(n)) < 1e-9,
+            "Q not orthonormal"
+        );
         // R upper triangular
         for i in 0..n {
             for j in 0..i {

@@ -1,17 +1,36 @@
 //! The dense n-dimensional array type.
 
 use crate::error::{ArrError, ArrResult};
+use std::sync::Arc;
 
 /// A dense, row-major, contiguous `f64` n-dimensional array — the NumPy
 /// `ndarray` stand-in. The distributed Tensor in `xorbits-core` holds one of
 /// these per chunk.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Storage is a shared immutable buffer (`Arc<Vec<f64>>` plus a window):
+/// `clone`, `reshape`, and `slice_rows` are O(1) views; mutation goes
+/// through copy-on-write in [`NdArray::data_mut`].
+#[derive(Clone)]
 pub struct NdArray {
-    data: Vec<f64>,
+    data: Arc<Vec<f64>>,
+    /// Element offset of the view start within `data`.
+    start: usize,
+    /// Number of viewed elements (`shape.iter().product()`).
+    len: usize,
     shape: Vec<usize>,
 }
 
 impl NdArray {
+    fn from_owned(data: Vec<f64>, shape: Vec<usize>) -> NdArray {
+        let len = data.len();
+        NdArray {
+            data: Arc::new(data),
+            start: 0,
+            len,
+            shape,
+        }
+    }
+
     /// Builds from raw data and shape; the product of `shape` must equal
     /// `data.len()`.
     pub fn from_vec(data: Vec<f64>, shape: Vec<usize>) -> ArrResult<NdArray> {
@@ -22,47 +41,39 @@ impl NdArray {
                 found: vec![data.len()],
             });
         }
-        Ok(NdArray { data, shape })
+        Ok(NdArray::from_owned(data, shape))
     }
 
     /// All-zero array.
     pub fn zeros(shape: &[usize]) -> NdArray {
-        NdArray {
-            data: vec![0.0; shape.iter().product()],
-            shape: shape.to_vec(),
-        }
+        NdArray::from_owned(vec![0.0; shape.iter().product()], shape.to_vec())
     }
 
     /// All-one array.
     pub fn ones(shape: &[usize]) -> NdArray {
-        NdArray {
-            data: vec![1.0; shape.iter().product()],
-            shape: shape.to_vec(),
-        }
+        NdArray::from_owned(vec![1.0; shape.iter().product()], shape.to_vec())
     }
 
     /// Constant array.
     pub fn full(shape: &[usize], value: f64) -> NdArray {
-        NdArray {
-            data: vec![value; shape.iter().product()],
-            shape: shape.to_vec(),
-        }
+        NdArray::from_owned(vec![value; shape.iter().product()], shape.to_vec())
     }
 
     /// Identity matrix.
     pub fn eye(n: usize) -> NdArray {
-        let mut a = NdArray::zeros(&[n, n]);
+        let mut data = vec![0.0; n * n];
         for i in 0..n {
-            a.data[i * n + i] = 1.0;
+            data[i * n + i] = 1.0;
         }
-        a
+        NdArray::from_owned(data, vec![n, n])
     }
 
     /// 1-D array from an iterator.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> NdArray {
         let data: Vec<f64> = iter.into_iter().collect();
         let shape = vec![data.len()];
-        NdArray { data, shape }
+        NdArray::from_owned(data, shape)
     }
 
     /// `arange(n)` as f64.
@@ -82,45 +93,81 @@ impl NdArray {
 
     /// Total number of elements.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True when the array has no elements.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Heap bytes (memory-ledger unit for the runtime).
+    /// Logical heap bytes of the viewed elements (the runtime's
+    /// transfer-cost unit).
     pub fn nbytes(&self) -> usize {
+        self.len * 8
+    }
+
+    /// Bytes of the whole allocation this view keeps alive.
+    pub fn retained_nbytes(&self) -> usize {
         self.data.len() * 8
+    }
+
+    /// Identity of the underlying allocation — stable across clones and
+    /// views; the storage service dedups on it to charge shared buffers
+    /// once.
+    pub fn alloc_id(&self) -> usize {
+        Arc::as_ptr(&self.data) as usize
+    }
+
+    /// Materializes the view when the retained allocation exceeds
+    /// `slack ×` the logical size. Returns true if a copy happened.
+    pub fn compact(&mut self, slack: f64) -> bool {
+        if self.start == 0 && self.len == self.data.len() {
+            return false;
+        }
+        if (self.data.len() as f64) <= (self.len.max(1) as f64) * slack.max(1.0) {
+            return false;
+        }
+        let owned = self.data().to_vec();
+        self.data = Arc::new(owned);
+        self.start = 0;
+        true
     }
 
     /// Raw data slice (row-major).
     pub fn data(&self) -> &[f64] {
-        &self.data
+        &self.data[self.start..self.start + self.len]
     }
 
-    /// Mutable raw data slice.
+    /// Mutable raw data slice (copy-on-write: a shared or partial view is
+    /// materialized into a fresh owned allocation first).
     pub fn data_mut(&mut self) -> &mut [f64] {
-        &mut self.data
+        if self.start != 0 || self.len != self.data.len() || Arc::strong_count(&self.data) != 1 {
+            let owned = self.data().to_vec();
+            self.data = Arc::new(owned);
+            self.start = 0;
+        }
+        Arc::get_mut(&mut self.data)
+            .expect("array uniquely owned after materialize")
+            .as_mut_slice()
     }
 
     /// Element at a multi-index.
     pub fn get(&self, index: &[usize]) -> f64 {
-        self.data[self.offset(index)]
+        self.data()[self.flat_offset(index)]
     }
 
     /// Sets element at a multi-index.
     pub fn set(&mut self, index: &[usize], value: f64) {
-        let off = self.offset(index);
-        self.data[off] = value;
+        let off = self.flat_offset(index);
+        self.data_mut()[off] = value;
     }
 
     /// 2-D element accessor.
     #[inline]
     pub fn at(&self, i: usize, j: usize) -> f64 {
         debug_assert_eq!(self.ndim(), 2);
-        self.data[i * self.shape[1] + j]
+        self.data()[i * self.shape[1] + j]
     }
 
     /// 2-D element setter.
@@ -128,10 +175,10 @@ impl NdArray {
     pub fn set_at(&mut self, i: usize, j: usize, value: f64) {
         debug_assert_eq!(self.ndim(), 2);
         let cols = self.shape[1];
-        self.data[i * cols + j] = value;
+        self.data_mut()[i * cols + j] = value;
     }
 
-    fn offset(&self, index: &[usize]) -> usize {
+    fn flat_offset(&self, index: &[usize]) -> usize {
         debug_assert_eq!(index.len(), self.shape.len());
         let mut off = 0;
         let mut stride = 1;
@@ -143,17 +190,20 @@ impl NdArray {
         off
     }
 
-    /// Reshapes without copying semantics constraints (same element count).
+    /// Reshapes to another shape with the same element count — O(1), the
+    /// buffer is shared.
     pub fn reshape(&self, shape: &[usize]) -> ArrResult<NdArray> {
         let expected: usize = shape.iter().product();
-        if expected != self.data.len() {
+        if expected != self.len {
             return Err(ArrError::ShapeMismatch {
                 expected: shape.to_vec(),
                 found: self.shape.clone(),
             });
         }
         Ok(NdArray {
-            data: self.data.clone(),
+            data: Arc::clone(&self.data),
+            start: self.start,
+            len: self.len,
             shape: shape.to_vec(),
         })
     }
@@ -164,16 +214,18 @@ impl NdArray {
             return Err(ArrError::Unsupported("transpose of non-2D array".into()));
         }
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = NdArray::zeros(&[n, m]);
+        let d = self.data();
+        let mut out = vec![0.0; m * n];
         for i in 0..m {
             for j in 0..n {
-                out.data[j * m + i] = self.data[i * n + j];
+                out[j * m + i] = d[i * n + j];
             }
         }
-        Ok(out)
+        NdArray::from_vec(out, vec![n, m])
     }
 
-    /// Rows `[start, end)` of a 2-D array (or elements of a 1-D array).
+    /// Rows `[start, end)` of a 2-D array (or elements of a 1-D array) —
+    /// O(1), shares the buffer (rows are contiguous in row-major layout).
     pub fn slice_rows(&self, start: usize, end: usize) -> ArrResult<NdArray> {
         let end = end.min(self.shape[0]);
         if start > end {
@@ -186,7 +238,9 @@ impl NdArray {
         let mut shape = self.shape.clone();
         shape[0] = end - start;
         Ok(NdArray {
-            data: self.data[start * row..end * row].to_vec(),
+            data: Arc::clone(&self.data),
+            start: self.start + start * row,
+            len: (end - start) * row,
             shape,
         })
     }
@@ -199,12 +253,16 @@ impl NdArray {
         let (m, n) = (self.shape[0], self.shape[1]);
         let end = end.min(n);
         if start > end {
-            return Err(ArrError::OutOfBounds { index: start, len: n });
+            return Err(ArrError::OutOfBounds {
+                index: start,
+                len: n,
+            });
         }
         let w = end - start;
+        let d = self.data();
         let mut data = Vec::with_capacity(m * w);
         for i in 0..m {
-            data.extend_from_slice(&self.data[i * n + start..i * n + end]);
+            data.extend_from_slice(&d[i * n + start..i * n + end]);
         }
         NdArray::from_vec(data, vec![m, w])
     }
@@ -227,11 +285,11 @@ impl NdArray {
         }
         let mut data = Vec::with_capacity(rows * tail.iter().product::<usize>().max(1));
         for p in parts {
-            data.extend_from_slice(&p.data);
+            data.extend_from_slice(p.data());
         }
         let mut shape = first.shape.clone();
         shape[0] = rows;
-        Ok(NdArray { data, shape })
+        Ok(NdArray::from_owned(data, shape))
     }
 
     /// Horizontal concatenation (axis 1) of 2-D arrays.
@@ -254,7 +312,7 @@ impl NdArray {
         for i in 0..m {
             for p in parts {
                 let n = p.shape[1];
-                data.extend_from_slice(&p.data[i * n..(i + 1) * n]);
+                data.extend_from_slice(&p.data()[i * n..(i + 1) * n]);
             }
         }
         NdArray::from_vec(data, vec![m, total_cols])
@@ -262,21 +320,37 @@ impl NdArray {
 
     /// Applies a function elementwise.
     pub fn map(&self, f: impl Fn(f64) -> f64) -> NdArray {
-        NdArray {
-            data: self.data.iter().map(|&v| f(v)).collect(),
-            shape: self.shape.clone(),
-        }
+        NdArray::from_owned(
+            self.data().iter().map(|&v| f(v)).collect(),
+            self.shape.clone(),
+        )
     }
 
     /// Maximum absolute elementwise difference against another array
     /// (test/verification helper).
     pub fn max_abs_diff(&self, other: &NdArray) -> f64 {
         assert_eq!(self.shape, other.shape);
-        self.data
+        self.data()
             .iter()
-            .zip(&other.data)
+            .zip(other.data())
             .map(|(a, b)| (a - b).abs())
             .fold(0.0, f64::max)
+    }
+}
+
+/// Logical equality: views with different base offsets compare by content.
+impl PartialEq for NdArray {
+    fn eq(&self, other: &NdArray) -> bool {
+        self.shape == other.shape && self.data() == other.data()
+    }
+}
+
+impl std::fmt::Debug for NdArray {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NdArray")
+            .field("shape", &self.shape)
+            .field("data", &self.data())
+            .finish()
     }
 }
 
@@ -318,6 +392,28 @@ mod tests {
         let c = a.slice_cols(1, 3).unwrap();
         assert_eq!(c.shape(), &[4, 2]);
         assert_eq!(c.at(0, 0), 1.0);
+    }
+
+    #[test]
+    fn slice_rows_is_zero_copy_and_cow() {
+        let a = NdArray::from_vec((0..12).map(|x| x as f64).collect(), vec![4, 3]).unwrap();
+        let mut r = a.slice_rows(1, 3).unwrap();
+        assert_eq!(
+            r.alloc_id(),
+            a.alloc_id(),
+            "row slice must share the buffer"
+        );
+        assert_eq!(r.retained_nbytes(), 12 * 8);
+        assert_eq!(r.nbytes(), 6 * 8);
+        // write triggers copy-on-write; parent untouched
+        r.set_at(0, 0, 99.0);
+        assert_ne!(r.alloc_id(), a.alloc_id());
+        assert_eq!(a.at(1, 0), 3.0);
+        // compact frees the parent allocation
+        let mut s = a.slice_rows(0, 1).unwrap();
+        assert!(s.compact(2.0));
+        assert_eq!(s.retained_nbytes(), 3 * 8);
+        assert_eq!(s.data(), &[0.0, 1.0, 2.0]);
     }
 
     #[test]

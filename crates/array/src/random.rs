@@ -5,25 +5,24 @@
 //! from the tensor seed and the chunk index.
 
 use crate::ndarray::NdArray;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::prng::Xoshiro256;
 
 /// Uniform values in `[0, 1)` — `numpy.random.rand`.
 pub fn rand_uniform(shape: &[usize], seed: u64) -> NdArray {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let n: usize = shape.iter().product();
-    let data: Vec<f64> = (0..n).map(|_| rng.gen::<f64>()).collect();
+    let data: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
     NdArray::from_vec(data, shape.to_vec()).expect("shape/product invariant")
 }
 
 /// Standard normal values (Box–Muller) — `numpy.random.randn`.
 pub fn rand_normal(shape: &[usize], seed: u64) -> NdArray {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Xoshiro256::seed_from_u64(seed);
     let n: usize = shape.iter().product();
     let mut data = Vec::with_capacity(n);
     while data.len() < n {
-        let u1: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-        let u2: f64 = rng.gen();
+        let u1: f64 = rng.next_f64().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.next_f64();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f64::consts::PI * u2;
         data.push(r * theta.cos());
@@ -37,8 +36,8 @@ pub fn rand_normal(shape: &[usize], seed: u64) -> NdArray {
 /// Derives the per-chunk seed for chunk `index` of a tensor seeded with
 /// `tensor_seed` (splitmix-style mixing; avoids correlated streams).
 pub fn chunk_seed(tensor_seed: u64, index: u64) -> u64 {
-    let mut z = tensor_seed
-        .wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(index.wrapping_add(1)));
+    let mut z =
+        tensor_seed.wrapping_add(0x9e37_79b9_7f4a_7c15_u64.wrapping_mul(index.wrapping_add(1)));
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     z ^ (z >> 31)

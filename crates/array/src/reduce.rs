@@ -37,10 +37,15 @@ pub fn reduce_all(kind: Reduction, a: &NdArray) -> f64 {
 /// returning a 1-D array.
 pub fn reduce_axis(kind: Reduction, a: &NdArray, axis: usize) -> ArrResult<NdArray> {
     if a.ndim() != 2 {
-        return Err(ArrError::Unsupported("axis reduction of non-2D array".into()));
+        return Err(ArrError::Unsupported(
+            "axis reduction of non-2D array".into(),
+        ));
     }
     if axis > 1 {
-        return Err(ArrError::OutOfBounds { index: axis, len: 2 });
+        return Err(ArrError::OutOfBounds {
+            index: axis,
+            len: 2,
+        });
     }
     let (m, n) = (a.shape()[0], a.shape()[1]);
     let (out_len, inner) = if axis == 0 { (n, m) } else { (m, n) };

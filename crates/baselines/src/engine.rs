@@ -99,10 +99,7 @@ mod tests {
         let cluster = ClusterSpec::new(2, 64 << 20);
         let dask = Engine::new(EngineKind::Dask, &cluster);
         let r: XbResult<()> = dask.require(dask.profile.caps.iloc, "iloc");
-        assert_eq!(
-            FailureKind::classify(&r),
-            FailureKind::ApiCompatibility
-        );
+        assert_eq!(FailureKind::classify(&r), FailureKind::ApiCompatibility);
         let spark = Engine::new(EngineKind::PySpark, &cluster);
         assert!(spark.supports_tpch(16).is_err());
         assert!(spark.supports_tpch(1).is_ok());

@@ -272,7 +272,11 @@ mod tests {
 
         let s = EngineKind::PySpark.profile();
         assert!(s.cfg.broadcast_from_estimates && s.spill);
-        assert_eq!(s.caps.tpch_api_failures.len(), 3, "Table II: 3 API failures");
+        assert_eq!(
+            s.caps.tpch_api_failures.len(),
+            3,
+            "Table II: 3 API failures"
+        );
 
         let p = EngineKind::Pandas.profile();
         assert!(p.single_node);

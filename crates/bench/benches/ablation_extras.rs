@@ -42,11 +42,7 @@ fn main() {
                     .unwrap_or_default()
             })
             .unwrap_or_default();
-        rows.push(vec![
-            format!("{threshold}"),
-            format!("{t:.4}s"),
-            decision,
-        ]);
+        rows.push(vec![format!("{threshold}"), format!("{t:.4}s"), decision]);
     }
     print_table(
         "Auto reduce selection: tree threshold sweep (TPC-H Q1)",
@@ -92,7 +88,12 @@ fn main() {
             Err(_) => (f64::NAN, 0),
         };
         rows.push(vec![
-            if locality { "locality-aware" } else { "round-robin" }.to_string(),
+            if locality {
+                "locality-aware"
+            } else {
+                "round-robin"
+            }
+            .to_string(),
             format!("{t:.4}s"),
             format!("{} MB", net / (1 << 20)),
         ]);

@@ -46,7 +46,11 @@ fn main() {
             }
             let rel = theirs / ours;
             let geo = mean_speedup(&xorbits_recs, &recs).unwrap_or(f64::NAN);
-            row.push(format!("{} ({completed}q, geo {})", fmt_rel(rel), fmt_rel(geo)));
+            row.push(format!(
+                "{} ({completed}q, geo {})",
+                fmt_rel(rel),
+                fmt_rel(geo)
+            ));
             eprintln!(
                 "  SF{label} {:8}: rel total {} over {completed} common queries",
                 kind.name(),

@@ -16,11 +16,24 @@ fn main() {
     let workers = [1usize, 2, 3, 4];
     let mem = 1usize << 30;
 
-    let xorbits =
-        weak_scaling(EngineKind::Xorbits, &workers, rows_per_band, cols, mem, run_linreg)
-            .expect("xorbits linreg");
-    let dask = weak_scaling(EngineKind::Dask, &workers, rows_per_band, cols, mem, run_linreg)
-        .expect("dask linreg");
+    let xorbits = weak_scaling(
+        EngineKind::Xorbits,
+        &workers,
+        rows_per_band,
+        cols,
+        mem,
+        run_linreg,
+    )
+    .expect("xorbits linreg");
+    let dask = weak_scaling(
+        EngineKind::Dask,
+        &workers,
+        rows_per_band,
+        cols,
+        mem,
+        run_linreg,
+    )
+    .expect("dask linreg");
 
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
@@ -40,8 +53,13 @@ fn main() {
         &["workers", "problem size", "Xorbits", "Dask", "Xorbits/Dask"],
         &rows,
     );
-    let avg = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    let avg = ratios
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / ratios.len() as f64);
     println!("average Xorbits/Dask throughput ratio: {avg:.2}x (paper: 5.88x)");
-    let growing = xorbits.windows(2).all(|w| w[1].1.throughput >= w[0].1.throughput * 0.8);
+    let growing = xorbits
+        .windows(2)
+        .all(|w| w[1].1.throughput >= w[0].1.throughput * 0.8);
     println!("Xorbits throughput grows with workers: {growing} (paper: yes)");
 }

@@ -17,8 +17,15 @@ fn main() {
     let workers = [1usize, 2, 3, 4];
     let mem = 1usize << 30;
 
-    let xorbits = weak_scaling(EngineKind::Xorbits, &workers, rows_per_band, cols, mem, run_qr)
-        .expect("xorbits qr");
+    let xorbits = weak_scaling(
+        EngineKind::Xorbits,
+        &workers,
+        rows_per_band,
+        cols,
+        mem,
+        run_qr,
+    )
+    .expect("xorbits qr");
     let dask = weak_scaling(EngineKind::Dask, &workers, rows_per_band, cols, mem, run_qr)
         .expect("dask qr");
 
@@ -40,6 +47,9 @@ fn main() {
         &["workers", "problem size", "Xorbits", "Dask", "Xorbits/Dask"],
         &rows,
     );
-    let avg = ratios.iter().product::<f64>().powf(1.0 / ratios.len() as f64);
+    let avg = ratios
+        .iter()
+        .product::<f64>()
+        .powf(1.0 / ratios.len() as f64);
     println!("average Xorbits/Dask throughput ratio: {avg:.2}x (paper: 1.74x)");
 }

@@ -1,15 +1,40 @@
-//! Criterion micro-benchmarks of the single-node kernels (the pandas/NumPy
+//! Micro-benchmarks of the single-node kernels (the pandas/NumPy
 //! substrates every chunk task bottoms out in). Not a paper figure; used to
 //! track kernel regressions that would distort the simulator's measured
 //! subtask costs.
 //!
-//! Run: `cargo bench --bench kernels`
+//! Uses a plain `std::time::Instant` harness (the workspace builds with
+//! zero external crates; every `[[bench]]` sets `harness = false`).
+//!
+//! Run: `cargo bench -p xorbits-bench --bench kernels`
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::time::Instant;
 use xorbits_array::{linalg, random, NdArray};
 use xorbits_dataframe::{
     col, groupby, join, lit, partition, sort, AggFunc, AggSpec, Column, DataFrame,
 };
+
+const WARMUP: usize = 2;
+const SAMPLES: usize = 10;
+
+/// Times `f` over [`SAMPLES`] runs (after warmup) and prints the median.
+fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
+    for _ in 0..WARMUP {
+        std::hint::black_box(f());
+    }
+    let mut times: Vec<f64> = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        std::hint::black_box(f());
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    let median = times[times.len() / 2];
+    println!(
+        "{name:<32} median {:>10.3} ms over {SAMPLES} runs",
+        median * 1e3
+    );
+}
 
 fn frame(n: usize) -> DataFrame {
     DataFrame::new(vec![
@@ -26,65 +51,37 @@ fn frame(n: usize) -> DataFrame {
     .unwrap()
 }
 
-fn bench_dataframe(c: &mut Criterion) {
+fn bench_dataframe() {
     let df = frame(100_000);
-    c.bench_function("filter_100k", |b| {
-        b.iter(|| {
-            let mask =
-                xorbits_dataframe::eval::eval_mask(&df, &col("v").lt(lit(5000.0))).unwrap();
-            std::hint::black_box(df.filter(&mask).unwrap())
-        })
+    bench("filter_100k", || {
+        let mask = xorbits_dataframe::eval::eval_mask(&df, &col("v").lt(lit(5000.0))).unwrap();
+        df.filter(&mask).unwrap()
     });
-    c.bench_function("groupby_sum_100k", |b| {
-        b.iter(|| {
-            std::hint::black_box(
-                groupby::groupby_agg(
-                    &df,
-                    &["k"],
-                    &[AggSpec::new("v", AggFunc::Sum, "s")],
-                )
-                .unwrap(),
-            )
-        })
+    bench("groupby_sum_100k", || {
+        groupby::groupby_agg(&df, &["k"], &[AggSpec::new("v", AggFunc::Sum, "s")]).unwrap()
     });
     let small = frame(1000);
-    c.bench_function("hash_join_100k_x_1k", |b| {
-        b.iter(|| std::hint::black_box(join::merge_on(&df, &small, &["k"]).unwrap()))
+    bench("hash_join_100k_x_1k", || {
+        join::merge_on(&df, &small, &["k"]).unwrap()
     });
-    c.bench_function("sort_100k", |b| {
-        b.iter_batched(
-            || df.clone(),
-            |d| std::hint::black_box(sort::sort_by(&d, &[("v", false)]).unwrap()),
-            BatchSize::LargeInput,
-        )
-    });
-    c.bench_function("hash_partition_100k_into_16", |b| {
-        b.iter(|| {
-            std::hint::black_box(partition::hash_partition(&df, &["k"], 16).unwrap())
-        })
+    bench("sort_100k", || sort::sort_by(&df, &[("v", false)]).unwrap());
+    bench("hash_partition_100k_into_16", || {
+        partition::hash_partition(&df, &["k"], 16).unwrap()
     });
 }
 
-fn bench_array(c: &mut Criterion) {
+fn bench_array() {
     let a = random::rand_uniform(&[256, 256], 1);
     let b2 = random::rand_uniform(&[256, 256], 2);
-    c.bench_function("matmul_256", |b| {
-        b.iter(|| std::hint::black_box(linalg::matmul(&a, &b2).unwrap()))
-    });
+    bench("matmul_256", || linalg::matmul(&a, &b2).unwrap());
     let tall = random::rand_uniform(&[4096, 16], 3);
-    c.bench_function("qr_4096x16", |b| {
-        b.iter(|| std::hint::black_box(linalg::qr(&tall).unwrap()))
-    });
+    bench("qr_4096x16", || linalg::qr(&tall).unwrap());
     let x = random::rand_uniform(&[8192, 8], 4);
     let y = NdArray::from_iter((0..8192).map(|i| i as f64));
-    c.bench_function("lstsq_8192x8", |b| {
-        b.iter(|| std::hint::black_box(linalg::lstsq(&x, &y).unwrap()))
-    });
+    bench("lstsq_8192x8", || linalg::lstsq(&x, &y).unwrap());
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_dataframe, bench_array
-);
-criterion_main!(benches);
+fn main() {
+    bench_dataframe();
+    bench_array();
+}

@@ -17,7 +17,11 @@ fn main() {
     let deadline = env_f64("XORBITS_HANG_DEADLINE", 2.5);
 
     let engines = [EngineKind::PySpark, EngineKind::Dask, EngineKind::Modin];
-    let paper = [("PySpark", (3, 0, 1)), ("Dask", (0, 2, 3)), ("Modin", (0, 0, 22))];
+    let paper = [
+        ("PySpark", (3, 0, 1)),
+        ("Dask", (0, 2, 3)),
+        ("Modin", (0, 0, 22)),
+    ];
 
     let mut api_row = vec!["API Compatibility".to_string()];
     let mut hang_row = vec!["Hang".to_string()];

@@ -1,12 +1,18 @@
 //! Calibration scratch: TPC-H failure counts + times per engine and SF.
 use xorbits_baselines::EngineKind;
+use xorbits_bench::paper_cluster;
 use xorbits_workloads::harness::*;
 use xorbits_workloads::tpch::TpchData;
-use xorbits_bench::paper_cluster;
 
 fn main() {
-    let sf_label: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10.0);
-    let workers: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let sf_label: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10.0);
+    let workers: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(16);
     let data = TpchData::new(sf_label);
     let cluster = paper_cluster(workers);
     for kind in EngineKind::all() {
@@ -26,7 +32,11 @@ fn main() {
         }
         let mut sorted: Vec<_> = recs.iter().filter(|r| !r.makespan.is_nan()).collect();
         sorted.sort_by(|a, b| b.makespan.total_cmp(&a.makespan));
-        let tops: Vec<String> = sorted.iter().take(4).map(|r| format!("{}={:.2}s", r.label, r.makespan)).collect();
+        let tops: Vec<String> = sorted
+            .iter()
+            .take(4)
+            .map(|r| format!("{}={:.2}s", r.label, r.makespan))
+            .collect();
         println!("    slowest: {}", tops.join(" "));
     }
 }

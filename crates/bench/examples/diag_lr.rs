@@ -16,9 +16,12 @@ fn main() {
         let rep = e.session.last_report().unwrap();
         println!(
             "w={w} rows={rows} makespan={:.4} thr={:.1}M subtasks={} cpu={:.3} net={}KB yields={}",
-            r.makespan, r.throughput / 1e6,
-            rep.stats.subtasks, rep.stats.real_cpu_seconds,
-            rep.stats.net_bytes >> 10, rep.tiling.yields
+            r.makespan,
+            r.throughput / 1e6,
+            rep.stats.subtasks,
+            rep.stats.real_cpu_seconds,
+            rep.stats.net_bytes >> 10,
+            rep.tiling.yields
         );
     }
 }

@@ -10,12 +10,19 @@ fn main() {
         match run_query(&engine, &data, q) {
             Ok(_) => {
                 let s = engine.session.total_stats();
-                println!("Q{q} OK makespan={:.3} peak={}MB spill={}MB", s.makespan, s.peak_worker_bytes>>20, s.spilled_bytes>>20);
+                println!(
+                    "Q{q} OK makespan={:.3} peak={}MB spill={}MB",
+                    s.makespan,
+                    s.peak_worker_bytes >> 20,
+                    s.spilled_bytes >> 20
+                );
             }
             Err(e) => println!("Q{q} FAILED {e}"),
         }
         if let Some(r) = engine.session.last_report() {
-            for d in &r.tiling.decisions { println!("    {d}"); }
+            for d in &r.tiling.decisions {
+                println!("    {d}");
+            }
         }
     }
 }

@@ -10,10 +10,18 @@ fn main() {
         match run_query(&e, &data, 19) {
             Ok(_) => {
                 let s = e.session.total_stats();
-                println!("{:8} Q19 makespan={:.3} net={}MB storagecpu subtasks={} cpu={:.2}",
-                    e.name(), s.makespan, s.net_bytes>>20, s.subtasks, s.real_cpu_seconds);
+                println!(
+                    "{:8} Q19 makespan={:.3} net={}MB storagecpu subtasks={} cpu={:.2}",
+                    e.name(),
+                    s.makespan,
+                    s.net_bytes >> 20,
+                    s.subtasks,
+                    s.real_cpu_seconds
+                );
                 if let Some(r) = e.session.last_report() {
-                    for d in r.tiling.decisions { println!("    {d}"); }
+                    for d in r.tiling.decisions {
+                        println!("    {d}");
+                    }
                 }
             }
             Err(err) => println!("{:8} Q19 FAILED {err}", e.name()),

@@ -22,7 +22,9 @@ fn main() {
                         s.makespan, s.subtasks, s.net_bytes >> 20, s.spilled_bytes >> 20,
                         s.peak_worker_bytes >> 20, s.real_cpu_seconds, r.tiling.yields
                     );
-                    for d in &r.tiling.decisions { println!("    {d}"); }
+                    for d in &r.tiling.decisions {
+                        println!("    {d}");
+                    }
                 }
                 Err(e) => println!("Q{q} {name}: FAILED {e}"),
             }

@@ -24,11 +24,42 @@ pub enum Payload {
 }
 
 impl Payload {
-    /// Approximate heap bytes (memory-ledger unit).
+    /// Approximate *logical* heap bytes of the viewed data (the unit for
+    /// transfer costs and chunk metadata).
     pub fn nbytes(&self) -> usize {
         match self {
             Payload::Df(df) => df.nbytes(),
             Payload::Arr(a) => a.nbytes(),
+        }
+    }
+
+    /// Bytes of all distinct allocations this payload keeps alive (what the
+    /// storage service actually charges). Allocations shared *within* the
+    /// payload are counted once; sharing *across* payloads is deduplicated
+    /// by the storage service via [`Payload::push_allocs`].
+    pub fn retained_nbytes(&self) -> usize {
+        match self {
+            Payload::Df(df) => df.retained_nbytes(),
+            Payload::Arr(a) => a.retained_nbytes(),
+        }
+    }
+
+    /// Appends `(alloc_id, retained_bytes)` for every buffer backing this
+    /// payload.
+    pub fn push_allocs(&self, out: &mut Vec<(usize, usize)>) {
+        match self {
+            Payload::Df(df) => df.push_allocs(out),
+            Payload::Arr(a) => out.push((a.alloc_id(), a.retained_nbytes())),
+        }
+    }
+
+    /// Materializes any backing buffer whose retained allocation exceeds
+    /// `slack ×` its logical size (a small view pinning a large parent).
+    /// Returns true if a copy happened.
+    pub fn compact(&mut self, slack: f64) -> bool {
+        match self {
+            Payload::Df(df) => df.compact(slack),
+            Payload::Arr(a) => a.compact(slack),
         }
     }
 

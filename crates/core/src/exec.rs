@@ -9,16 +9,16 @@ use crate::chunk::{ArrStep, ChunkOp, DfStep, Payload};
 use crate::error::{XbError, XbResult};
 use std::sync::Arc;
 use xorbits_array::{linalg, random, NdArray, Reduction};
-use xorbits_dataframe::{
-    eval, groupby, join, partition, pivot, sort, DataFrame, JoinOptions,
-};
+use xorbits_dataframe::{eval, groupby, join, partition, pivot, sort, DataFrame, JoinOptions};
 
 /// Executes one chunk operator. Returns one payload per declared output.
 pub fn execute_chunk(op: &ChunkOp, inputs: &[Arc<Payload>]) -> XbResult<Vec<Payload>> {
     match op {
         // ---- sources -------------------------------------------------------
+        // literal clones are O(1): frames/arrays share their buffers
         ChunkOp::DfLiteral(df) => Ok(vec![Payload::Df(df.as_ref().clone())]),
-        ChunkOp::DfGen { gen, .. } => Ok(vec![Payload::Df(gen()?.clone())]),
+        // the generator already returns an owned frame — no extra clone
+        ChunkOp::DfGen { gen, .. } => Ok(vec![Payload::Df(gen()?)]),
         ChunkOp::ArrLiteral(a) => Ok(vec![Payload::Arr(a.as_ref().clone())]),
         ChunkOp::ArrRandom {
             shape,
@@ -112,14 +112,12 @@ pub fn execute_chunk(op: &ChunkOp, inputs: &[Arc<Payload>]) -> XbResult<Vec<Payl
         }
         ChunkOp::SortLocal { keys } => {
             let df = inputs[0].as_df()?;
-            let keys: Vec<(&str, bool)> =
-                keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            let keys: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
             Ok(vec![Payload::Df(sort::sort_by(df, &keys)?)])
         }
         ChunkOp::TopKLocal { keys, n } => {
             let df = concat_df_inputs(inputs)?;
-            let keys: Vec<(&str, bool)> =
-                keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
+            let keys: Vec<(&str, bool)> = keys.iter().map(|(k, a)| (k.as_str(), *a)).collect();
             Ok(vec![Payload::Df(sort::top_k(&df, &keys, *n)?)])
         }
 
@@ -189,7 +187,9 @@ pub fn execute_chunk(op: &ChunkOp, inputs: &[Arc<Payload>]) -> XbResult<Vec<Payl
                 )));
             }
             let h = rows / nblocks;
-            Ok(vec![Payload::Arr(a.slice_rows(block * h, (block + 1) * h)?)])
+            Ok(vec![Payload::Arr(
+                a.slice_rows(block * h, (block + 1) * h)?,
+            )])
         }
         ChunkOp::XtX => {
             let x = inputs[0].as_arr()?;
@@ -325,7 +325,11 @@ fn concat_df_inputs(inputs: &[Arc<Payload>]) -> XbResult<DataFrame> {
     // Tolerate empty chunks with divergent inferred schemas: drop zero-row
     // frames when at least one non-empty frame exists.
     let non_empty: Vec<&DataFrame> = dfs.iter().copied().filter(|d| d.num_rows() > 0).collect();
-    let parts = if non_empty.is_empty() { &dfs } else { &non_empty };
+    let parts = if non_empty.is_empty() {
+        &dfs
+    } else {
+        &non_empty
+    };
     Ok(DataFrame::concat(parts)?)
 }
 
@@ -333,10 +337,9 @@ fn concat_df_inputs(inputs: &[Arc<Payload>]) -> XbResult<DataFrame> {
 fn reduce_state(kind: Reduction, a: &NdArray) -> NdArray {
     match kind {
         Reduction::Sum => NdArray::from_iter([xorbits_array::reduce_all(Reduction::Sum, a)]),
-        Reduction::Mean => NdArray::from_iter([
-            xorbits_array::reduce_all(Reduction::Sum, a),
-            a.len() as f64,
-        ]),
+        Reduction::Mean => {
+            NdArray::from_iter([xorbits_array::reduce_all(Reduction::Sum, a), a.len() as f64])
+        }
         Reduction::Min => NdArray::from_iter([xorbits_array::reduce_all(Reduction::Min, a)]),
         Reduction::Max => NdArray::from_iter([xorbits_array::reduce_all(Reduction::Max, a)]),
     }
@@ -496,10 +499,7 @@ mod tests {
         let xtx = execute_chunk(&ChunkOp::XtX, &[Arc::new(Payload::Arr(x1.clone()))]).unwrap();
         let xty = execute_chunk(
             &ChunkOp::XtY,
-            &[
-                Arc::new(Payload::Arr(x1)),
-                Arc::new(Payload::Arr(y1)),
-            ],
+            &[Arc::new(Payload::Arr(x1)), Arc::new(Payload::Arr(y1))],
         )
         .unwrap();
         let w = execute_chunk(

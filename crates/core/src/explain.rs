@@ -43,7 +43,11 @@ fn op_name(op: &TileableOp) -> String {
         TileableOp::PruneColumns { columns, .. } => format!("PruneColumns{columns:?}"),
         TileableOp::Assign { exprs, .. } => format!(
             "Assign[{}]",
-            exprs.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>().join(", ")
+            exprs
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
         ),
         TileableOp::Fillna { column, .. } => format!("Fillna({column})"),
         TileableOp::Dropna { .. } => "Dropna".into(),
@@ -57,14 +61,22 @@ fn op_name(op: &TileableOp) -> String {
                 .join(", ")
         ),
         TileableOp::Merge {
-            left_on, right_on, how, ..
+            left_on,
+            right_on,
+            how,
+            ..
         } => format!("Merge({left_on:?}={right_on:?}, {how:?})"),
         TileableOp::SortValues { keys, .. } => format!("SortValues{keys:?}"),
         TileableOp::Head { n, .. } => format!("Head({n})"),
         TileableOp::ILocRow { row, .. } => format!("ILoc[{row}]"),
         TileableOp::DropDuplicates { .. } => "DropDuplicates".into(),
         TileableOp::ConcatDf { .. } => "Concat".into(),
-        TileableOp::PivotTable { index, columns, values, .. } => {
+        TileableOp::PivotTable {
+            index,
+            columns,
+            values,
+            ..
+        } => {
             format!("PivotTable(index={index}, columns={columns}, values={values})")
         }
         TileableOp::TensorRandom { shape, .. } => format!("TensorRandom{shape:?}"),

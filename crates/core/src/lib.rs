@@ -15,8 +15,8 @@
 pub mod chunk;
 pub mod config;
 pub mod error;
-pub mod explain;
 pub mod exec;
+pub mod explain;
 pub mod local;
 pub mod optimizer;
 pub mod rechunk;

@@ -94,15 +94,11 @@ impl Executor for LocalExecutor {
                             .get(k)
                             .cloned()
                             .or_else(|| self.storage.get(k).cloned())
-                            .ok_or_else(|| {
-                                XbError::Plan(format!("input chunk {k} not found"))
-                            })
+                            .ok_or_else(|| XbError::Plan(format!("input chunk {k} not found")))
                     })
                     .collect::<XbResult<Vec<_>>>()?;
                 let outputs = crate::exec::execute_chunk(&node.op, &inputs)?;
-                for (slot, (key, payload)) in
-                    node.outputs.iter().zip(outputs).enumerate()
-                {
+                for (slot, (key, payload)) in node.outputs.iter().zip(outputs).enumerate() {
                     if st.published_outputs.contains(key) {
                         self.store(*key, payload, (ni, slot))?;
                     } else {
@@ -169,11 +165,7 @@ mod tests {
     fn filter_and_fetch_round_trip() {
         let s = sess();
         let df = s.from_df(sample_df(100)).unwrap();
-        let out = df
-            .filter(col("v").lt(lit(10i64)))
-            .unwrap()
-            .fetch()
-            .unwrap();
+        let out = df.filter(col("v").lt(lit(10i64))).unwrap().fetch().unwrap();
         assert_eq!(out.num_rows(), 10);
     }
 
@@ -187,15 +179,11 @@ mod tests {
             &[AggSpec::new("v", AggFunc::Sum, "s")],
         )
         .unwrap();
-        let expected =
-            xorbits_dataframe::sort::sort_by(&expected, &[("k", true)]).unwrap();
+        let expected = xorbits_dataframe::sort::sort_by(&expected, &[("k", true)]).unwrap();
 
         let df = s.from_df(raw).unwrap();
         let out = df
-            .groupby_agg(
-                vec!["k".into()],
-                vec![AggSpec::new("v", AggFunc::Sum, "s")],
-            )
+            .groupby_agg(vec!["k".into()], vec![AggSpec::new("v", AggFunc::Sum, "s")])
             .unwrap()
             .fetch()
             .unwrap();
@@ -271,11 +259,7 @@ mod tests {
         assert_eq!(top.num_rows(), 5);
         assert_eq!(top.column("v").unwrap().get(0), Scalar::Int(299));
         let report = s.last_report().unwrap();
-        assert!(report
-            .tiling
-            .decisions
-            .iter()
-            .any(|d| d.contains("top-5")));
+        assert!(report.tiling.decisions.iter().any(|d| d.contains("top-5")));
     }
 
     #[test]
@@ -313,8 +297,7 @@ mod tests {
             LocalExecutor::new(),
         );
         let x = s.random(&[300, 3], 7).unwrap();
-        let w_true =
-            xorbits_array::NdArray::from_vec(vec![2.0, -1.0, 0.5], vec![3, 1]).unwrap();
+        let w_true = xorbits_array::NdArray::from_vec(vec![2.0, -1.0, 0.5], vec![3, 1]).unwrap();
         let w_handle = s.tensor(w_true.clone()).unwrap();
         let y = x.matmul(&w_handle).unwrap();
         let w = x.lstsq(&y).unwrap().fetch().unwrap();

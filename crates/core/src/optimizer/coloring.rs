@@ -70,7 +70,11 @@ pub fn color_graph(graph: &ChunkGraph) -> Vec<usize> {
     // chains.
     for i in 0..n {
         let c = colors[i];
-        let same: Vec<usize> = succs[i].iter().copied().filter(|&s| colors[s] == c).collect();
+        let same: Vec<usize> = succs[i]
+            .iter()
+            .copied()
+            .filter(|&s| colors[s] == c)
+            .collect();
         let diff_exists = succs[i].iter().any(|&s| colors[s] != c);
         if same.is_empty() || !diff_exists {
             continue;
@@ -130,7 +134,10 @@ mod tests {
     fn straight_chain_single_color() {
         let g = graph_from_preds(&[&[], &[0], &[1], &[2]]);
         let c = color_graph(&g);
-        assert!(c.iter().all(|&x| x == c[0]), "chain should fully fuse: {c:?}");
+        assert!(
+            c.iter().all(|&x| x == c[0]),
+            "chain should fully fuse: {c:?}"
+        );
     }
 
     #[test]

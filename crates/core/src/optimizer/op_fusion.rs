@@ -95,12 +95,7 @@ mod tests {
     #[test]
     fn chain_of_three_fuses_to_one() {
         let mut kg = KeyGen::new();
-        let (a, b, c, d) = (
-            kg.next_key(),
-            kg.next_key(),
-            kg.next_key(),
-            kg.next_key(),
-        );
+        let (a, b, c, d) = (kg.next_key(), kg.next_key(), kg.next_key(), kg.next_key());
         let mut g = ChunkGraph::new();
         g.push(ChunkNode {
             op: ChunkOp::Concat,
@@ -128,12 +123,7 @@ mod tests {
     #[test]
     fn shared_intermediate_not_fused() {
         let mut kg = KeyGen::new();
-        let (a, b, c, d) = (
-            kg.next_key(),
-            kg.next_key(),
-            kg.next_key(),
-            kg.next_key(),
-        );
+        let (a, b, c, d) = (kg.next_key(), kg.next_key(), kg.next_key(), kg.next_key());
         let mut g = ChunkGraph::new();
         g.push(ChunkNode {
             op: ChunkOp::Concat,

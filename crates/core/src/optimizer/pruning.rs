@@ -121,12 +121,7 @@ pub fn required_columns(graph: &TileableGraph) -> Vec<Req> {
                         mark_all(&mut req[*right]);
                     }
                     Some(set) => {
-                        propagate(
-                            &mut req,
-                            *left,
-                            &Some(set.clone()),
-                            left_on.iter().cloned(),
-                        );
+                        propagate(&mut req, *left, &Some(set.clone()), left_on.iter().cloned());
                         propagate(
                             &mut req,
                             *right,

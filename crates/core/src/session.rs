@@ -14,9 +14,8 @@ use crate::optimizer;
 use crate::subtask::SubtaskGraph;
 use crate::tileable::{DfSource, TileableGraph, TileableId, TileableOp};
 use crate::tiling::{MetaView, TileStep, Tiler, TilingStats};
-use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use xorbits_array::{NdArray, Reduction};
 use xorbits_dataframe::{AggSpec, DataFrame, Expr, JoinType, Scalar};
 
@@ -114,7 +113,7 @@ impl<E: Executor> Session<E> {
     }
 
     fn push(&self, op: TileableOp) -> XbResult<TileableId> {
-        self.inner.lock().graph.push(op)
+        self.inner.lock().unwrap().graph.push(op)
     }
 
     /// Registers a dataframe source — `xorbits.pandas.read_*`.
@@ -167,25 +166,25 @@ impl<E: Executor> Session<E> {
 
     /// Report of the most recent fetch.
     pub fn last_report(&self) -> Option<RunReport> {
-        self.inner.lock().last_report.clone()
+        self.inner.lock().unwrap().last_report.clone()
     }
 
     /// Statistics accumulated over every fetch of this session (multi-phase
     /// queries that fetch an intermediate scalar pay for both phases, as
     /// real lazy engines do).
     pub fn total_stats(&self) -> ExecStats {
-        self.inner.lock().cumulative
+        self.inner.lock().unwrap().cumulative
     }
 
     /// Resets the accumulated statistics.
     pub fn reset_stats(&self) {
-        self.inner.lock().cumulative = ExecStats::default();
+        self.inner.lock().unwrap().cumulative = ExecStats::default();
     }
 
     /// The Fig 5a loop: prune → tile (yielding into execution as needed) →
     /// optimize → execute → gather payloads of the target's chunks.
     fn fetch_payloads(&self, id: TileableId, slot: usize) -> XbResult<Vec<Arc<Payload>>> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().unwrap();
         let inner = &mut *inner;
         let cfg = inner.cfg.clone();
 
@@ -241,9 +240,10 @@ impl<E: Executor> Session<E> {
         let payloads = final_keys
             .iter()
             .map(|k| {
-                inner.executor.payload(*k).ok_or_else(|| {
-                    XbError::Plan(format!("result chunk {k} missing from storage"))
-                })
+                inner
+                    .executor
+                    .payload(*k)
+                    .ok_or_else(|| XbError::Plan(format!("result chunk {k} missing from storage")))
             })
             .collect::<XbResult<Vec<_>>>()?;
         inner.cumulative.merge(&stats);
@@ -342,7 +342,11 @@ impl<E: Executor> DfHandle<E> {
     pub fn value_counts(&self, column: &str) -> XbResult<DfHandle<E>> {
         self.groupby_agg(
             vec![column.to_string()],
-            vec![AggSpec::new(column, xorbits_dataframe::AggFunc::Count, "count")],
+            vec![AggSpec::new(
+                column,
+                xorbits_dataframe::AggFunc::Count,
+                "count",
+            )],
         )?
         .sort_values(vec![("count".into(), false)])
     }
@@ -414,9 +418,12 @@ impl<E: Executor> DfHandle<E> {
         if dfs.is_empty() {
             return Err(XbError::Plan("result has no chunks".into()));
         }
-        let non_empty: Vec<&DataFrame> =
-            dfs.iter().copied().filter(|d| d.num_rows() > 0).collect();
-        let parts = if non_empty.is_empty() { &dfs } else { &non_empty };
+        let non_empty: Vec<&DataFrame> = dfs.iter().copied().filter(|d| d.num_rows() > 0).collect();
+        let parts = if non_empty.is_empty() {
+            &dfs
+        } else {
+            &non_empty
+        };
         Ok(DataFrame::concat(parts)?)
     }
 
@@ -456,11 +463,7 @@ impl<E: Executor> Clone for TensorHandle<E> {
 
 impl<E: Executor> TensorHandle<E> {
     /// Applies `x ↦ op(x, operand)` elementwise.
-    pub fn map_scalar(
-        &self,
-        op: xorbits_array::ElemOp,
-        operand: f64,
-    ) -> XbResult<TensorHandle<E>> {
+    pub fn map_scalar(&self, op: xorbits_array::ElemOp, operand: f64) -> XbResult<TensorHandle<E>> {
         Ok(TensorHandle {
             sess: self.sess.clone(),
             id: self.sess.push(TileableOp::TensorMapChain {

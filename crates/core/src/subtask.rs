@@ -59,11 +59,8 @@ impl SubtaskGraph {
         // quotient edges for ordering/cycle detection
         let mut group_ids: Vec<usize> = members.keys().copied().collect();
         group_ids.sort_by_key(|g| members[g][0]);
-        let gindex: HashMap<usize, usize> = group_ids
-            .iter()
-            .enumerate()
-            .map(|(i, &g)| (g, i))
-            .collect();
+        let gindex: HashMap<usize, usize> =
+            group_ids.iter().enumerate().map(|(i, &g)| (g, i)).collect();
         let n = group_ids.len();
         let mut succs: Vec<HashSet<usize>> = vec![HashSet::new(); n];
         let mut indeg = vec![0usize; n];
@@ -119,9 +116,8 @@ impl SubtaskGraph {
             let mut seen_inputs = HashSet::new();
             for &ni in &nodes {
                 for k in &chunks.nodes[ni].inputs {
-                    let internal_producer = producers
-                        .get(k)
-                        .is_some_and(|pi| node_set.contains(pi));
+                    let internal_producer =
+                        producers.get(k).is_some_and(|pi| node_set.contains(pi));
                     if !internal_producer && seen_inputs.insert(*k) {
                         external_inputs.push(*k);
                     }

@@ -27,9 +27,7 @@
 //! behaviour the paper criticises: estimates from the initial source size,
 //! fixed shuffle partition counts, no combine-stage merging.
 
-use crate::chunk::{
-    ChunkGraph, ChunkKey, ChunkMeta, ChunkNode, ChunkOp, DfStep, KeyGen,
-};
+use crate::chunk::{ChunkGraph, ChunkKey, ChunkMeta, ChunkNode, ChunkOp, DfStep, KeyGen};
 use crate::config::XorbitsConfig;
 use crate::error::{XbError, XbResult};
 use crate::rechunk;
@@ -343,12 +341,7 @@ impl<'g> Tiler<'g> {
     }
 
     /// Concatenates a group of chunks into one; passthrough for singletons.
-    fn concat_group(
-        &mut self,
-        keygen: &mut KeyGen,
-        group: &[ChunkRef],
-        index: usize,
-    ) -> ChunkRef {
+    fn concat_group(&mut self, keygen: &mut KeyGen, group: &[ChunkRef], index: usize) -> ChunkRef {
         if group.len() == 1 {
             let mut c = group[0].clone();
             c.index = (index, 0);
@@ -373,12 +366,7 @@ impl<'g> Tiler<'g> {
 
     /// Auto merge (Fig 6b): when measured chunks shrank far below the chunk
     /// limit, concatenate consecutive chunks back up to it.
-    fn auto_merge(
-        &mut self,
-        keygen: &mut KeyGen,
-        meta: &dyn MetaView,
-        layout: &Layout,
-    ) -> Layout {
+    fn auto_merge(&mut self, keygen: &mut KeyGen, meta: &dyn MetaView, layout: &Layout) -> Layout {
         if !self.cfg.dynamic_tiling || layout.chunks.len() <= 1 {
             return layout.clone();
         }
@@ -519,7 +507,9 @@ impl<'g> Tiler<'g> {
                 right_on,
                 how,
                 suffixes,
-            } => self.tile_merge(id, keygen, meta, left, right, left_on, right_on, how, suffixes),
+            } => self.tile_merge(
+                id, keygen, meta, left, right, left_on, right_on, how, suffixes,
+            ),
             TileableOp::SortValues { input, keys } => {
                 self.tile_sort(id, input, keygen, keys);
                 Ok(true)
@@ -560,10 +550,8 @@ impl<'g> Tiler<'g> {
                     inputs: keys,
                     outputs: vec![out],
                 });
-                self.layouts.insert(
-                    (id, 0),
-                    single_chunk_layout(out, est / 2, 0, false),
-                );
+                self.layouts
+                    .insert((id, 0), single_chunk_layout(out, est / 2, 0, false));
                 Ok(true)
             }
             TileableOp::TensorRandom {
@@ -646,8 +634,7 @@ impl<'g> Tiler<'g> {
                     }
                 } else {
                     return Err(XbError::Unsupported(
-                        "tensor binary op on incompatible chunkings (rechunk required)"
-                            .into(),
+                        "tensor binary op on incompatible chunkings (rechunk required)".into(),
                     ));
                 }
                 self.layouts.insert((id, 0), Layout { chunks });
@@ -658,8 +645,7 @@ impl<'g> Tiler<'g> {
                 let lb = self.layout(b, 0)?.clone();
                 if lb.chunks.len() != 1 {
                     return Err(XbError::Unsupported(
-                        "matmul requires a single-chunk right operand (rechunk required)"
-                            .into(),
+                        "matmul requires a single-chunk right operand (rechunk required)".into(),
                     ));
                 }
                 let mut chunks = Vec::new();
@@ -868,9 +854,9 @@ impl<'g> Tiler<'g> {
             } else {
                 self.cfg.shuffle_partitions.max(1)
             };
-            self.stats
-                .decisions
-                .push(format!("groupby: nunique -> shuffle+direct ({p} partitions)"));
+            self.stats.decisions.push(format!(
+                "groupby: nunique -> shuffle+direct ({p} partitions)"
+            ));
             let mut part_inputs: Vec<Vec<ChunkKey>> = vec![Vec::new(); p];
             for c in &layout.chunks {
                 let outs = keygen.next_keys(p);
@@ -972,8 +958,7 @@ impl<'g> Tiler<'g> {
                     let probe_in = self.actual(meta, p.in_key).ok_or_else(|| {
                         XbError::Plan("probe input missing from meta service".into())
                     })?;
-                    let ratio =
-                        probe_out.nbytes as f64 / probe_in.nbytes.max(1) as f64;
+                    let ratio = probe_out.nbytes as f64 / probe_in.nbytes.max(1) as f64;
                     let total_in = self.best_bytes(meta, &layout) as f64;
                     ((ratio * total_in) as usize, Some(p.out_key))
                 }
@@ -1140,15 +1125,16 @@ impl<'g> Tiler<'g> {
         if dynamic || self.cfg.broadcast_from_estimates {
             // a broadcast keeps only the big side's chunks as parallel
             // units: don't trade a shuffle for a serial tail
-            let min_big_chunks = self.cfg.cluster_parallelism.min(4).max(1);
+            let min_big_chunks = self.cfg.cluster_parallelism.clamp(1, 4);
             // tiny joins (everything fits one chunk) gain nothing from a
             // shuffle either — join directly
             let tiny = lbytes + rbytes <= self.cfg.chunk_limit_bytes;
             // a broadcast join rebuilds the small side's hash table once
             // per big chunk; it only beats a shuffle when that total work
             // stays below the bytes a shuffle would move
-            let cheap =
-                |small: usize, big_chunks: usize| small.saturating_mul(big_chunks) <= lbytes + rbytes;
+            let cheap = |small: usize, big_chunks: usize| {
+                small.saturating_mul(big_chunks) <= lbytes + rbytes
+            };
             let broadcast_right = rbytes <= self.cfg.broadcast_threshold_bytes
                 && cheap(rbytes, llayout.chunks.len())
                 && (tiny || llayout.chunks.len() >= min_big_chunks);
@@ -1157,12 +1143,12 @@ impl<'g> Tiler<'g> {
                 && cheap(lbytes, rlayout.chunks.len())
                 && (tiny || rlayout.chunks.len() >= min_big_chunks);
             if broadcast_right || broadcast_left {
-                let (small, big, small_is_right) = if broadcast_right && (rbytes <= lbytes || !broadcast_left)
-                {
-                    (&rlayout, &llayout, true)
-                } else {
-                    (&llayout, &rlayout, false)
-                };
+                let (small, big, small_is_right) =
+                    if broadcast_right && (rbytes <= lbytes || !broadcast_left) {
+                        (&rlayout, &llayout, true)
+                    } else {
+                        (&llayout, &rlayout, false)
+                    };
                 self.stats.decisions.push(format!(
                     "merge: broadcast {} side ({} B) against {} chunks",
                     if small_is_right { "right" } else { "left" },
@@ -1226,25 +1212,24 @@ impl<'g> Tiler<'g> {
         self.stats
             .decisions
             .push(format!("merge: shuffle join with {p} partitions"));
-        let split =
-            |tiler: &mut Self, keygen: &mut KeyGen, layout: &Layout, on: &[String]| {
-                let mut parts: Vec<Vec<ChunkKey>> = vec![Vec::new(); p];
-                for c in &layout.chunks {
-                    let outs = keygen.next_keys(p);
-                    tiler.push_node(ChunkNode {
-                        op: ChunkOp::ShuffleSplit {
-                            keys: on.to_vec(),
-                            n: p,
-                        },
-                        inputs: vec![c.key],
-                        outputs: outs.clone(),
-                    });
-                    for (pi, o) in outs.into_iter().enumerate() {
-                        parts[pi].push(o);
-                    }
+        let split = |tiler: &mut Self, keygen: &mut KeyGen, layout: &Layout, on: &[String]| {
+            let mut parts: Vec<Vec<ChunkKey>> = vec![Vec::new(); p];
+            for c in &layout.chunks {
+                let outs = keygen.next_keys(p);
+                tiler.push_node(ChunkNode {
+                    op: ChunkOp::ShuffleSplit {
+                        keys: on.to_vec(),
+                        n: p,
+                    },
+                    inputs: vec![c.key],
+                    outputs: outs.clone(),
+                });
+                for (pi, o) in outs.into_iter().enumerate() {
+                    parts[pi].push(o);
                 }
-                parts
-            };
+            }
+            parts
+        };
         let lparts = split(self, keygen, &llayout, &left_on);
         let rparts = split(self, keygen, &rlayout, &right_on);
         let mut chunks = Vec::with_capacity(p);
@@ -1534,8 +1519,7 @@ impl<'g> Tiler<'g> {
         normal: bool,
     ) {
         let total_bytes = shape.iter().product::<usize>() * 8;
-        let splits =
-            rechunk::row_splits(shape, 8, self.effective_chunk_limit(total_bytes));
+        let splits = rechunk::row_splits(shape, 8, self.effective_chunk_limit(total_bytes));
         let row_bytes: usize = shape[1..].iter().product::<usize>().max(1) * 8;
         let mut chunks = Vec::with_capacity(splits.len());
         let mut _start = 0usize;
@@ -1582,7 +1566,11 @@ impl<'g> Tiler<'g> {
         let cols = layout
             .chunks
             .first()
-            .map(|c| (c.est.bytes / 8).checked_div(c.est.rows.max(1)).unwrap_or(1))
+            .map(|c| {
+                (c.est.bytes / 8)
+                    .checked_div(c.est.rows.max(1))
+                    .unwrap_or(1)
+            })
             .unwrap_or(1)
             .max(1);
         if layout.chunks.iter().any(|c| c.est.rows < cols) {
@@ -1593,7 +1581,9 @@ impl<'g> Tiler<'g> {
                 group_rows += c.est.rows;
                 group.push(c.clone());
                 if group_rows >= cols {
-                    merged.chunks.push(self.concat_group(keygen, &group, merged.chunks.len()));
+                    merged
+                        .chunks
+                        .push(self.concat_group(keygen, &group, merged.chunks.len()));
                     group.clear();
                     group_rows = 0;
                 }
@@ -1606,9 +1596,7 @@ impl<'g> Tiler<'g> {
                     let idx = merged.chunks.len();
                     merged.chunks.push(self.concat_group(keygen, &all, idx));
                 } else {
-                    merged
-                        .chunks
-                        .push(self.concat_group(keygen, &group, 0));
+                    merged.chunks.push(self.concat_group(keygen, &group, 0));
                 }
             }
             self.stats.decisions.push(format!(
@@ -1758,4 +1746,3 @@ fn single_chunk_layout(key: ChunkKey, bytes: usize, rows: usize, exact: bool) ->
 pub fn has_nunique(specs: &[xorbits_dataframe::AggSpec]) -> bool {
     specs.iter().any(|s| s.func == AggFunc::Nunique)
 }
-

@@ -20,10 +20,7 @@ fn sess(chunk: usize) -> Session<LocalExecutor> {
 
 fn frame(n: usize) -> DataFrame {
     DataFrame::new(vec![
-        (
-            "k",
-            Column::from_str((0..n).map(|i| format!("g{}", i % 4))),
-        ),
+        ("k", Column::from_str((0..n).map(|i| format!("g{}", i % 4)))),
         (
             "v",
             Column::from_opt_f64(
@@ -49,7 +46,13 @@ fn head_spans_multiple_chunks() {
 #[test]
 fn head_larger_than_frame() {
     let s = sess(256);
-    let out = s.from_df(frame(10)).unwrap().head(1000).unwrap().fetch().unwrap();
+    let out = s
+        .from_df(frame(10))
+        .unwrap()
+        .head(1000)
+        .unwrap()
+        .fetch()
+        .unwrap();
     assert_eq!(out.num_rows(), 10);
 }
 

@@ -1,13 +1,22 @@
-//! A packed validity/selection bitmap.
+//! A packed validity/selection bitmap over a shared word buffer.
 //!
 //! Columns use a [`Bitmap`] both as a null mask (bit set ⇒ value is valid)
 //! and as a filter selection vector (bit set ⇒ row is kept). Bits are stored
 //! LSB-first in `u64` words, matching the Arrow convention.
+//!
+//! Like [`crate::buffer::Buffer`], a bitmap is a *view*: an `Arc`'d word
+//! vector plus a bit offset and length, so [`Bitmap::slice`] is O(1) and
+//! clones share the allocation. Mutation (`set`/`push`) is copy-on-write:
+//! a shared or offset view is first normalized into a fresh owned buffer.
 
-/// A fixed-length packed bitmap.
-#[derive(Clone, PartialEq, Eq)]
+use std::sync::Arc;
+
+/// A fixed-length packed bitmap view.
+#[derive(Clone)]
 pub struct Bitmap {
-    words: Vec<u64>,
+    words: Arc<Vec<u64>>,
+    /// Bit offset of the view start within `words`.
+    offset: usize,
     len: usize,
 }
 
@@ -16,15 +25,17 @@ impl Bitmap {
     pub fn new_set(len: usize, value: bool) -> Self {
         let nwords = len.div_ceil(64);
         let fill = if value { u64::MAX } else { 0 };
-        let mut bm = Bitmap {
-            words: vec![fill; nwords],
+        let mut words = vec![fill; nwords];
+        mask_tail(&mut words, len);
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
             len,
-        };
-        bm.mask_tail();
-        bm
+        }
     }
 
     /// Builds a bitmap from an iterator of booleans.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<I: IntoIterator<Item = bool>>(iter: I) -> Self {
         let mut words = Vec::new();
         let mut len = 0usize;
@@ -34,15 +45,19 @@ impl Bitmap {
                 cur |= 1u64 << (len % 64);
             }
             len += 1;
-            if len % 64 == 0 {
+            if len.is_multiple_of(64) {
                 words.push(cur);
                 cur = 0;
             }
         }
-        if len % 64 != 0 {
+        if !len.is_multiple_of(64) {
             words.push(cur);
         }
-        Bitmap { words, len }
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
+            len,
+        }
     }
 
     /// Number of bits.
@@ -61,14 +76,54 @@ impl Bitmap {
     #[inline]
     pub fn get(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
-        (self.words[i / 64] >> (i % 64)) & 1 == 1
+        let bit = self.offset + i;
+        (self.words[bit / 64] >> (bit % 64)) & 1 == 1
+    }
+
+    /// Number of 64-bit windows covering the view.
+    #[inline]
+    fn num_words(&self) -> usize {
+        self.len.div_ceil(64)
+    }
+
+    /// Bits `[wi*64, wi*64+64)` of the view, packed LSB-first with any bits
+    /// past `len` zeroed — the uniform unit all word-level ops run on.
+    #[inline]
+    fn word(&self, wi: usize) -> u64 {
+        let start = self.offset + wi * 64;
+        let base = start / 64;
+        let shift = start % 64;
+        let mut w = self.words[base] >> shift;
+        if shift != 0 && base + 1 < self.words.len() {
+            w |= self.words[base + 1] << (64 - shift);
+        }
+        let remaining = self.len - wi * 64;
+        if remaining < 64 {
+            w &= (1u64 << remaining) - 1;
+        }
+        w
+    }
+
+    /// Copy-on-write access to the backing words, normalized to offset 0
+    /// with all bits past `len` zeroed.
+    fn make_mut_words(&mut self) -> &mut Vec<u64> {
+        if self.offset != 0
+            || Arc::strong_count(&self.words) != 1
+            || self.words.len() != self.num_words()
+        {
+            let owned: Vec<u64> = (0..self.num_words()).map(|wi| self.word(wi)).collect();
+            self.words = Arc::new(owned);
+            self.offset = 0;
+        }
+        Arc::get_mut(&mut self.words).expect("bitmap uniquely owned after normalize")
     }
 
     /// Sets bit `i` to `value`.
     #[inline]
     pub fn set(&mut self, i: usize, value: bool) {
         debug_assert!(i < self.len);
-        let w = &mut self.words[i / 64];
+        let words = self.make_mut_words();
+        let w = &mut words[i / 64];
         let mask = 1u64 << (i % 64);
         if value {
             *w |= mask;
@@ -79,17 +134,22 @@ impl Bitmap {
 
     /// Appends a bit.
     pub fn push(&mut self, value: bool) {
-        if self.len % 64 == 0 {
-            self.words.push(0);
-        }
         let i = self.len;
-        self.len += 1;
-        self.set(i, value);
+        let words = self.make_mut_words();
+        if i.is_multiple_of(64) {
+            words.push(0);
+        }
+        if value {
+            words[i / 64] |= 1u64 << (i % 64);
+        }
+        self.len = i + 1;
     }
 
     /// Number of set bits.
     pub fn count_set(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        (0..self.num_words())
+            .map(|wi| self.word(wi).count_ones() as usize)
+            .sum()
     }
 
     /// Iterator over all bits.
@@ -97,24 +157,31 @@ impl Bitmap {
         (0..self.len).map(move |i| self.get(i))
     }
 
-    /// Iterator over the indices of set bits.
+    /// Iterator over the indices of set bits (word-at-a-time).
     pub fn set_indices(&self) -> impl Iterator<Item = usize> + '_ {
-        self.iter()
-            .enumerate()
-            .filter_map(|(i, b)| if b { Some(i) } else { None })
+        (0..self.num_words()).flat_map(move |wi| {
+            let mut w = self.word(wi);
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
     }
 
     /// Bitwise AND of two equal-length bitmaps.
     pub fn and(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| a & b)
+        let words: Vec<u64> = (0..self.num_words())
+            .map(|wi| self.word(wi) & other.word(wi))
             .collect();
         Bitmap {
-            words,
+            words: Arc::new(words),
+            offset: 0,
             len: self.len,
         }
     }
@@ -122,26 +189,25 @@ impl Bitmap {
     /// Bitwise OR of two equal-length bitmaps.
     pub fn or(&self, other: &Bitmap) -> Bitmap {
         assert_eq!(self.len, other.len, "bitmap length mismatch");
-        let words = self
-            .words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| a | b)
+        let words: Vec<u64> = (0..self.num_words())
+            .map(|wi| self.word(wi) | other.word(wi))
             .collect();
         Bitmap {
-            words,
+            words: Arc::new(words),
+            offset: 0,
             len: self.len,
         }
     }
 
     /// Bitwise NOT.
     pub fn not(&self) -> Bitmap {
-        let mut bm = Bitmap {
-            words: self.words.iter().map(|w| !w).collect(),
+        let mut words: Vec<u64> = (0..self.num_words()).map(|wi| !self.word(wi)).collect();
+        mask_tail(&mut words, self.len);
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
             len: self.len,
-        };
-        bm.mask_tail();
-        bm
+        }
     }
 
     /// New bitmap keeping only positions in `indices`.
@@ -155,39 +221,87 @@ impl Bitmap {
         Bitmap::from_iter(mask.set_indices().map(|i| self.get(i)))
     }
 
-    /// Contiguous sub-bitmap `[offset, offset + len)`.
+    /// Contiguous sub-bitmap `[offset, offset + len)` — O(1), shares the
+    /// word buffer.
     pub fn slice(&self, offset: usize, len: usize) -> Bitmap {
         assert!(offset + len <= self.len, "slice out of bounds");
-        Bitmap::from_iter((offset..offset + len).map(|i| self.get(i)))
+        Bitmap {
+            words: Arc::clone(&self.words),
+            offset: self.offset + offset,
+            len,
+        }
     }
 
-    /// Concatenates several bitmaps.
+    /// Concatenates several bitmaps (word-at-a-time).
     pub fn concat(parts: &[&Bitmap]) -> Bitmap {
-        let mut out = Bitmap::new_set(0, false);
+        let total: usize = parts.iter().map(|p| p.len).sum();
+        let mut words = vec![0u64; total.div_ceil(64)];
+        let mut pos = 0usize;
         for p in parts {
-            for b in p.iter() {
-                out.push(b);
+            for wi in 0..p.num_words() {
+                let nbits = (p.len - wi * 64).min(64);
+                let w = p.word(wi);
+                let slot = pos / 64;
+                let sh = pos % 64;
+                words[slot] |= w << sh;
+                if sh != 0 && sh + nbits > 64 {
+                    words[slot + 1] |= w >> (64 - sh);
+                }
+                pos += nbits;
             }
         }
-        out
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
+            len: total,
+        }
     }
 
-    /// Heap bytes used.
+    /// Logical heap bytes of the viewed bits.
     pub fn nbytes(&self) -> usize {
+        self.num_words() * 8
+    }
+
+    /// Bytes of the whole word allocation this view keeps alive.
+    pub fn retained_nbytes(&self) -> usize {
         self.words.len() * 8
     }
 
-    /// Clears any bits beyond `len` in the last word so that
-    /// `count_set` and equality stay correct.
-    fn mask_tail(&mut self) {
-        let rem = self.len % 64;
-        if rem != 0 {
-            if let Some(last) = self.words.last_mut() {
-                *last &= (1u64 << rem) - 1;
-            }
+    /// Identity of the underlying allocation (see `Buffer::alloc_id`).
+    pub fn alloc_id(&self) -> usize {
+        Arc::as_ptr(&self.words) as usize
+    }
+
+    /// Materializes the view when the retained allocation exceeds
+    /// `slack ×` the logical size. Returns true if a copy happened.
+    pub fn compact(&mut self, slack: f64) -> bool {
+        if (self.words.len() as f64) <= (self.num_words().max(1) as f64) * slack.max(1.0) {
+            return false;
+        }
+        let owned: Vec<u64> = (0..self.num_words()).map(|wi| self.word(wi)).collect();
+        self.words = Arc::new(owned);
+        self.offset = 0;
+        true
+    }
+}
+
+/// Clears any bits beyond `len` in the last word.
+fn mask_tail(words: &mut [u64], len: usize) {
+    let rem = len % 64;
+    if rem != 0 {
+        if let Some(last) = words.last_mut() {
+            *last &= (1u64 << rem) - 1;
         }
     }
 }
+
+impl PartialEq for Bitmap {
+    fn eq(&self, other: &Bitmap) -> bool {
+        self.len == other.len && (0..self.num_words()).all(|wi| self.word(wi) == other.word(wi))
+    }
+}
+
+impl Eq for Bitmap {}
 
 impl std::fmt::Debug for Bitmap {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -227,10 +341,7 @@ mod tests {
     fn logical_ops() {
         let a = Bitmap::from_iter([true, true, false, false]);
         let b = Bitmap::from_iter([true, false, true, false]);
-        assert_eq!(
-            a.and(&b),
-            Bitmap::from_iter([true, false, false, false])
-        );
+        assert_eq!(a.and(&b), Bitmap::from_iter([true, false, false, false]));
         assert_eq!(a.or(&b), Bitmap::from_iter([true, true, true, false]));
         assert_eq!(a.not(), Bitmap::from_iter([false, false, true, true]));
         // NOT must not set bits past `len` (would corrupt count_set).
@@ -257,5 +368,56 @@ mod tests {
         bm.set(129, true);
         let idx: Vec<_> = bm.set_indices().collect();
         assert_eq!(idx, vec![0, 64, 129]);
+    }
+
+    #[test]
+    fn slice_is_zero_copy_view() {
+        let mut bm = Bitmap::new_set(200, false);
+        for i in (0..200).step_by(3) {
+            bm.set(i, true);
+        }
+        let s = bm.slice(65, 70);
+        assert_eq!(s.alloc_id(), bm.alloc_id(), "slice must share words");
+        for i in 0..70 {
+            assert_eq!(s.get(i), bm.get(65 + i));
+        }
+        assert_eq!(s.count_set(), (65..135).filter(|i| i % 3 == 0).count());
+        // ops on offset views still match eager reconstruction
+        let eager = Bitmap::from_iter(s.iter());
+        assert_eq!(s, eager);
+        assert_eq!(s.not(), eager.not());
+        let idx_view: Vec<_> = s.set_indices().collect();
+        let idx_eager: Vec<_> = eager.set_indices().collect();
+        assert_eq!(idx_view, idx_eager);
+    }
+
+    #[test]
+    fn cow_set_leaves_parent_untouched() {
+        let parent = Bitmap::new_set(100, false);
+        let mut child = parent.slice(10, 50);
+        child.set(0, true);
+        assert!(child.get(0));
+        assert!(!parent.get(10), "copy-on-write must not touch the parent");
+        assert_ne!(child.alloc_id(), parent.alloc_id());
+    }
+
+    #[test]
+    fn concat_offset_views() {
+        let a = Bitmap::from_iter((0..150).map(|i| i % 2 == 0));
+        let s1 = a.slice(3, 70);
+        let s2 = a.slice(90, 45);
+        let c = Bitmap::concat(&[&s1, &s2]);
+        let eager = Bitmap::from_iter(s1.iter().chain(s2.iter()));
+        assert_eq!(c, eager);
+    }
+
+    #[test]
+    fn compact_materializes_small_view() {
+        let a = Bitmap::new_set(64 * 100, true);
+        let mut s = a.slice(64, 64);
+        assert!(s.retained_nbytes() > s.nbytes());
+        assert!(s.compact(2.0));
+        assert_eq!(s.retained_nbytes(), 8);
+        assert_eq!(s.count_set(), 64);
     }
 }

@@ -1,6 +1,12 @@
 //! Columnar storage: typed arrays with optional validity bitmaps.
+//!
+//! All arrays sit on shared immutable [`Buffer`]s, so `slice` is an O(1)
+//! view and `clone` is a pointer bump. Mutation goes through copy-on-write
+//! (`Buffer::make_mut`); see the crate-level "Memory model" notes in
+//! DESIGN.md for the sharing/accounting rules.
 
 use crate::bitmap::Bitmap;
+use crate::buffer::Buffer;
 use crate::error::{DfError, DfResult};
 use crate::hash::combine;
 use crate::scalar::{DataType, Scalar};
@@ -10,7 +16,7 @@ use crate::scalar::{DataType, Scalar};
 #[derive(Debug, Clone, PartialEq)]
 pub struct PrimArr<T> {
     /// The value buffer. Slots for null rows hold an unspecified value.
-    pub values: Vec<T>,
+    pub values: Buffer<T>,
     /// Validity bitmap; `None` means no nulls.
     pub validity: Option<Bitmap>,
 }
@@ -19,7 +25,7 @@ impl<T: Copy + Default> PrimArr<T> {
     /// All-valid array from values.
     pub fn new(values: Vec<T>) -> Self {
         PrimArr {
-            values,
+            values: Buffer::from_vec(values),
             validity: None,
         }
     }
@@ -54,7 +60,7 @@ impl<T: Copy + Default> PrimArr<T> {
     /// Validity of row `i`.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v.get(i))
+        self.validity.as_ref().is_none_or(|v| v.get(i))
     }
 
     /// Value at row `i` (`None` when null).
@@ -79,48 +85,73 @@ impl<T: Copy + Default> PrimArr<T> {
         PrimArr { values, validity }
     }
 
+    /// O(1): both the value buffer and the validity bitmap are views.
     fn slice(&self, offset: usize, len: usize) -> Self {
         PrimArr {
-            values: self.values[offset..offset + len].to_vec(),
+            values: self.values.slice(offset, len),
             validity: self.validity.as_ref().map(|v| v.slice(offset, len)),
+        }
+    }
+
+    /// Replaces null slots with `fill`, dropping the validity bitmap.
+    /// Copy-on-write: an all-valid array is returned as a cheap clone.
+    fn fillna(&self, fill: T) -> Self {
+        match &self.validity {
+            None => self.clone(),
+            Some(validity) => {
+                let mut values = self.values.clone();
+                let vs = values.make_mut();
+                for i in validity.not().set_indices() {
+                    vs[i] = fill;
+                }
+                PrimArr {
+                    values,
+                    validity: None,
+                }
+            }
         }
     }
 }
 
 /// A UTF-8 string array with contiguous byte storage (Arrow-style offsets).
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Offsets are *absolute* positions into the (always full-view) byte
+/// buffer, so slicing only narrows the offsets view — both buffers stay
+/// shared and the slice is O(1).
+#[derive(Debug, Clone)]
 pub struct StrArr {
-    data: String,
-    /// `len + 1` offsets into `data`.
-    offsets: Vec<u32>,
+    data: Buffer<u8>,
+    /// `len + 1` absolute offsets into `data`.
+    offsets: Buffer<u32>,
     validity: Option<Bitmap>,
 }
 
 impl StrArr {
     /// Builds from string slices, all valid.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_iter<S: AsRef<str>, I: IntoIterator<Item = S>>(iter: I) -> Self {
-        let mut data = String::new();
+        let mut data = Vec::new();
         let mut offsets = vec![0u32];
         for s in iter {
-            data.push_str(s.as_ref());
+            data.extend_from_slice(s.as_ref().as_bytes());
             offsets.push(data.len() as u32);
         }
         StrArr {
-            data,
-            offsets,
+            data: Buffer::from_vec(data),
+            offsets: Buffer::from_vec(offsets),
             validity: None,
         }
     }
 
     /// Builds from optional string slices.
     pub fn from_options<S: AsRef<str>, I: IntoIterator<Item = Option<S>>>(iter: I) -> Self {
-        let mut data = String::new();
+        let mut data = Vec::new();
         let mut offsets = vec![0u32];
         let mut validity = Bitmap::new_set(0, false);
         for s in iter {
             match s {
                 Some(s) => {
-                    data.push_str(s.as_ref());
+                    data.extend_from_slice(s.as_ref().as_bytes());
                     validity.push(true);
                 }
                 None => validity.push(false),
@@ -133,8 +164,8 @@ impl StrArr {
             Some(validity)
         };
         StrArr {
-            data,
-            offsets,
+            data: Buffer::from_vec(data),
+            offsets: Buffer::from_vec(offsets),
             validity,
         }
     }
@@ -152,13 +183,17 @@ impl StrArr {
     /// Validity of row `i`.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v.get(i))
+        self.validity.as_ref().is_none_or(|v| v.get(i))
     }
 
     /// String at row `i` ignoring validity (null rows yield `""`).
     #[inline]
     pub fn value(&self, i: usize) -> &str {
-        &self.data[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+        let start = self.offsets[i] as usize;
+        let end = self.offsets[i + 1] as usize;
+        // SAFETY: `data` only ever holds concatenated UTF-8 strings and
+        // `offsets` only ever points at their boundaries.
+        unsafe { std::str::from_utf8_unchecked(&self.data.as_slice()[start..end]) }
     }
 
     /// String at row `i`, `None` when null.
@@ -184,21 +219,68 @@ impl StrArr {
         StrArr::from_options(mask.set_indices().map(|i| self.get(i)))
     }
 
+    /// O(1): narrows the offsets view; the byte buffer stays shared.
     fn slice(&self, offset: usize, len: usize) -> Self {
-        StrArr::from_options((offset..offset + len).map(|i| self.get(i)))
+        StrArr {
+            data: self.data.clone(),
+            offsets: self.offsets.slice(offset, len + 1),
+            validity: self.validity.as_ref().map(|v| v.slice(offset, len)),
+        }
+    }
+
+    /// Bytes referenced by the viewed rows (excludes unreferenced parts
+    /// of a shared byte buffer).
+    fn viewed_bytes(&self) -> usize {
+        (self.offsets[self.len()] - self.offsets[0]) as usize
     }
 
     fn nbytes(&self) -> usize {
-        self.data.len()
+        self.viewed_bytes()
             + self.offsets.len() * 4
             + self.validity.as_ref().map_or(0, |v| v.nbytes())
     }
 
-    /// Bulk concatenation: byte buffers appended, offsets rebased.
+    fn retained_nbytes(&self) -> usize {
+        self.data.retained_nbytes()
+            + self.offsets.retained_nbytes()
+            + self.validity.as_ref().map_or(0, |v| v.retained_nbytes())
+    }
+
+    fn push_allocs(&self, out: &mut Vec<(usize, usize)>) {
+        out.push((self.data.alloc_id(), self.data.retained_nbytes()));
+        out.push((self.offsets.alloc_id(), self.offsets.retained_nbytes()));
+        if let Some(v) = &self.validity {
+            out.push((v.alloc_id(), v.retained_nbytes()));
+        }
+    }
+
+    fn compact(&mut self, slack: f64) -> bool {
+        let slack = slack.max(1.0);
+        let mut changed = self.offsets.compact(slack);
+        if let Some(v) = &mut self.validity {
+            changed |= v.compact(slack);
+        }
+        let first = self.offsets[0] as usize;
+        let last = self.offsets[self.len()] as usize;
+        let viewed = last - first;
+        if (self.data.retained_nbytes() as f64) > (viewed.max(1) as f64) * slack {
+            let bytes = self.data.as_slice()[first..last].to_vec();
+            self.data = Buffer::from_vec(bytes);
+            if first != 0 {
+                let rebased: Vec<u32> = self.offsets.iter().map(|&o| o - first as u32).collect();
+                self.offsets = Buffer::from_vec(rebased);
+            }
+            changed = true;
+        }
+        changed
+    }
+
+    /// Bulk concatenation: referenced byte ranges appended, offsets rebased
+    /// (parts may be views with non-zero base offsets).
     pub fn concat(parts: &[&StrArr]) -> StrArr {
         let total_rows: usize = parts.iter().map(|p| p.len()).sum();
-        let total_bytes: usize = parts.iter().map(|p| p.data.len()).sum();
-        let mut data = String::with_capacity(total_bytes);
+        let total_bytes: usize = parts.iter().map(|p| p.viewed_bytes()).sum();
+        let mut data = Vec::with_capacity(total_bytes);
         let mut offsets = Vec::with_capacity(total_rows + 1);
         offsets.push(0u32);
         let any_null = parts.iter().any(|p| p.validity.is_some());
@@ -208,9 +290,11 @@ impl StrArr {
             None
         };
         for p in parts {
+            let first = p.offsets[0];
+            let last = p.offsets[p.len()];
             let base = data.len() as u32;
-            data.push_str(&p.data);
-            offsets.extend(p.offsets[1..].iter().map(|o| o + base));
+            data.extend_from_slice(&p.data.as_slice()[first as usize..last as usize]);
+            offsets.extend(p.offsets[1..].iter().map(|o| o - first + base));
             if let Some(v) = &mut validity {
                 for i in 0..p.len() {
                     v.push(p.is_valid(i));
@@ -218,10 +302,17 @@ impl StrArr {
             }
         }
         StrArr {
-            data,
-            offsets,
+            data: Buffer::from_vec(data),
+            offsets: Buffer::from_vec(offsets),
             validity,
         }
+    }
+}
+
+/// Logical equality: views with different base offsets compare by content.
+impl PartialEq for StrArr {
+    fn eq(&self, other: &StrArr) -> bool {
+        self.len() == other.len() && (0..self.len()).all(|i| self.get(i) == other.get(i))
     }
 }
 
@@ -248,10 +339,15 @@ impl BoolArr {
         self.values.len()
     }
 
+    /// Whether the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
     /// Validity of row `i`.
     #[inline]
     pub fn is_valid(&self, i: usize) -> bool {
-        self.validity.as_ref().map_or(true, |v| v.get(i))
+        self.validity.as_ref().is_none_or(|v| v.get(i))
     }
 
     /// Value at row `i`, `None` when null.
@@ -318,6 +414,7 @@ impl Column {
     }
 
     /// All-valid Utf8 column.
+    #[allow(clippy::should_implement_trait)]
     pub fn from_str<S: AsRef<str>, I: IntoIterator<Item = S>>(values: I) -> Self {
         Column::Utf8(StrArr::from_iter(values))
     }
@@ -340,9 +437,7 @@ impl Column {
             (Scalar::Null, DataType::Utf8) => {
                 Column::from_opt_str::<&str, _>((0..len).map(|_| None))
             }
-            (Scalar::Null, DataType::Date) => {
-                Column::Date(PrimArr::from_options(vec![None; len]))
-            }
+            (Scalar::Null, DataType::Date) => Column::Date(PrimArr::from_options(vec![None; len])),
             (Scalar::Null, DataType::Bool) => Column::Bool(BoolArr {
                 values: Bitmap::new_set(len, false),
                 validity: Some(Bitmap::new_set(len, false)),
@@ -358,20 +453,18 @@ impl Column {
     /// Builds a column of the given type from scalars.
     pub fn from_scalars(scalars: &[Scalar], dtype: DataType) -> DfResult<Self> {
         Ok(match dtype {
-            DataType::Int64 => {
-                Column::from_opt_i64(scalars.iter().map(|s| s.as_i64()).collect())
-            }
-            DataType::Float64 => {
-                Column::from_opt_f64(scalars.iter().map(|s| s.as_f64()).collect())
-            }
+            DataType::Int64 => Column::from_opt_i64(scalars.iter().map(|s| s.as_i64()).collect()),
+            DataType::Float64 => Column::from_opt_f64(scalars.iter().map(|s| s.as_f64()).collect()),
             DataType::Date => Column::Date(PrimArr::from_options(
-                scalars.iter().map(|s| s.as_i64().map(|v| v as i32)).collect(),
+                scalars
+                    .iter()
+                    .map(|s| s.as_i64().map(|v| v as i32))
+                    .collect(),
             )),
             DataType::Utf8 => Column::from_opt_str(scalars.iter().map(|s| s.as_str())),
             DataType::Bool => {
-                let values = Bitmap::from_iter(
-                    scalars.iter().map(|s| matches!(s, Scalar::Bool(true))),
-                );
+                let values =
+                    Bitmap::from_iter(scalars.iter().map(|s| matches!(s, Scalar::Bool(true))));
                 let validity = Bitmap::from_iter(scalars.iter().map(|s| !s.is_null()));
                 Column::Bool(BoolArr {
                     values,
@@ -420,7 +513,9 @@ impl Column {
             Column::Int64(a) => a.get(i).map_or(Scalar::Null, Scalar::Int),
             Column::Float64(a) => a.get(i).map_or(Scalar::Null, Scalar::Float),
             Column::Bool(a) => a.get(i).map_or(Scalar::Null, Scalar::Bool),
-            Column::Utf8(a) => a.get(i).map_or(Scalar::Null, |s| Scalar::Str(s.to_string())),
+            Column::Utf8(a) => a
+                .get(i)
+                .map_or(Scalar::Null, |s| Scalar::Str(s.to_string())),
             Column::Date(a) => a.get(i).map_or(Scalar::Null, Scalar::Date),
         }
     }
@@ -445,21 +540,100 @@ impl Column {
             Column::Utf8(a) => &a.validity,
             Column::Date(a) => &a.validity,
         };
-        validity
-            .as_ref()
-            .map_or(0, |v| v.len() - v.count_set())
+        validity.as_ref().map_or(0, |v| v.len() - v.count_set())
     }
 
-    /// Approximate heap bytes (the runtime's memory ledger unit).
+    /// Approximate *logical* heap bytes of the viewed rows (the runtime's
+    /// transfer-cost unit; see [`Column::retained_nbytes`] for what a
+    /// column actually pins in memory).
     pub fn nbytes(&self) -> usize {
         match self {
-            Column::Int64(a) => a.values.len() * 8 + a.validity.as_ref().map_or(0, |v| v.nbytes()),
-            Column::Float64(a) => {
-                a.values.len() * 8 + a.validity.as_ref().map_or(0, |v| v.nbytes())
-            }
+            Column::Int64(a) => a.values.nbytes() + a.validity.as_ref().map_or(0, |v| v.nbytes()),
+            Column::Float64(a) => a.values.nbytes() + a.validity.as_ref().map_or(0, |v| v.nbytes()),
             Column::Bool(a) => a.values.nbytes() + a.validity.as_ref().map_or(0, |v| v.nbytes()),
             Column::Utf8(a) => a.nbytes(),
-            Column::Date(a) => a.values.len() * 4 + a.validity.as_ref().map_or(0, |v| v.nbytes()),
+            Column::Date(a) => a.values.nbytes() + a.validity.as_ref().map_or(0, |v| v.nbytes()),
+        }
+    }
+
+    /// Bytes of all allocations this column keeps alive. For a sliced view
+    /// this can far exceed [`Column::nbytes`]; shared allocations are
+    /// counted once per column (deduplication across columns is the
+    /// storage service's job, via [`Column::push_allocs`]).
+    pub fn retained_nbytes(&self) -> usize {
+        match self {
+            Column::Int64(a) => {
+                a.values.retained_nbytes() + a.validity.as_ref().map_or(0, |v| v.retained_nbytes())
+            }
+            Column::Float64(a) => {
+                a.values.retained_nbytes() + a.validity.as_ref().map_or(0, |v| v.retained_nbytes())
+            }
+            Column::Bool(a) => {
+                a.values.retained_nbytes() + a.validity.as_ref().map_or(0, |v| v.retained_nbytes())
+            }
+            Column::Utf8(a) => a.retained_nbytes(),
+            Column::Date(a) => {
+                a.values.retained_nbytes() + a.validity.as_ref().map_or(0, |v| v.retained_nbytes())
+            }
+        }
+    }
+
+    /// Appends `(alloc_id, retained_bytes)` for every buffer backing this
+    /// column. The storage service dedups by id to charge each shared
+    /// allocation once.
+    pub fn push_allocs(&self, out: &mut Vec<(usize, usize)>) {
+        match self {
+            Column::Int64(a) => {
+                out.push((a.values.alloc_id(), a.values.retained_nbytes()));
+                if let Some(v) = &a.validity {
+                    out.push((v.alloc_id(), v.retained_nbytes()));
+                }
+            }
+            Column::Float64(a) => {
+                out.push((a.values.alloc_id(), a.values.retained_nbytes()));
+                if let Some(v) = &a.validity {
+                    out.push((v.alloc_id(), v.retained_nbytes()));
+                }
+            }
+            Column::Bool(a) => {
+                out.push((a.values.alloc_id(), a.values.retained_nbytes()));
+                if let Some(v) = &a.validity {
+                    out.push((v.alloc_id(), v.retained_nbytes()));
+                }
+            }
+            Column::Utf8(a) => a.push_allocs(out),
+            Column::Date(a) => {
+                out.push((a.values.alloc_id(), a.values.retained_nbytes()));
+                if let Some(v) = &a.validity {
+                    out.push((v.alloc_id(), v.retained_nbytes()));
+                }
+            }
+        }
+    }
+
+    /// Materializes any buffer whose retained allocation exceeds `slack ×`
+    /// its logical size, so a small view stops pinning a large parent.
+    /// Returns true if any buffer was copied.
+    pub fn compact(&mut self, slack: f64) -> bool {
+        fn prim<T: Clone>(a: &mut PrimArr<T>, slack: f64) -> bool {
+            let mut changed = a.values.compact(slack);
+            if let Some(v) = &mut a.validity {
+                changed |= v.compact(slack);
+            }
+            changed
+        }
+        match self {
+            Column::Int64(a) => prim(a, slack),
+            Column::Float64(a) => prim(a, slack),
+            Column::Date(a) => prim(a, slack),
+            Column::Bool(a) => {
+                let mut changed = a.values.compact(slack);
+                if let Some(v) = &mut a.validity {
+                    changed |= v.compact(slack);
+                }
+                changed
+            }
+            Column::Utf8(a) => a.compact(slack),
         }
     }
 
@@ -493,7 +667,8 @@ impl Column {
         }
     }
 
-    /// Contiguous rows `[offset, offset + len)`.
+    /// Contiguous rows `[offset, offset + len)` — O(1), shares buffers
+    /// with `self`.
     pub fn slice(&self, offset: usize, len: usize) -> Column {
         match self {
             Column::Int64(a) => Column::Int64(a.slice(offset, len)),
@@ -507,11 +682,60 @@ impl Column {
         }
     }
 
+    /// Replaces nulls with `value` (coerced to the column's type; a value
+    /// that doesn't coerce leaves nulls in place, matching
+    /// [`Column::from_scalars`] semantics). Copy-on-write: an all-valid
+    /// column comes back as a cheap clone.
+    pub fn fillna(&self, value: &Scalar) -> Column {
+        match self {
+            Column::Int64(a) => match value.as_i64() {
+                Some(v) => Column::Int64(a.fillna(v)),
+                None => self.clone(),
+            },
+            Column::Float64(a) => match value.as_f64() {
+                Some(v) => Column::Float64(a.fillna(v)),
+                None => self.clone(),
+            },
+            Column::Date(a) => match value.as_i64() {
+                Some(v) => Column::Date(a.fillna(v as i32)),
+                None => self.clone(),
+            },
+            Column::Bool(a) => match &a.validity {
+                None => self.clone(),
+                Some(validity) => {
+                    if value.is_null() {
+                        return self.clone();
+                    }
+                    let fill = matches!(value, Scalar::Bool(true));
+                    let mut values = a.values.clone();
+                    for i in validity.not().set_indices() {
+                        values.set(i, fill);
+                    }
+                    Column::Bool(BoolArr {
+                        values,
+                        validity: None,
+                    })
+                }
+            },
+            Column::Utf8(a) => match value.as_str() {
+                Some(s) => {
+                    if a.validity.is_none() {
+                        return self.clone();
+                    }
+                    Column::Utf8(StrArr::from_iter(
+                        (0..a.len()).map(|i| a.get(i).unwrap_or(s)),
+                    ))
+                }
+                None => self.clone(),
+            },
+        }
+    }
+
     /// Vertical concatenation. All parts must share the type.
     pub fn concat(parts: &[&Column]) -> DfResult<Column> {
-        let first = parts.first().ok_or_else(|| {
-            DfError::Unsupported("concat of zero columns".to_string())
-        })?;
+        let first = parts
+            .first()
+            .ok_or_else(|| DfError::Unsupported("concat of zero columns".to_string()))?;
         let dtype = first.data_type();
         for p in parts {
             if p.data_type() != dtype {
@@ -525,29 +749,26 @@ impl Column {
             let total: usize = arrs.iter().map(|a| a.len()).sum();
             let mut values = Vec::with_capacity(total);
             let any_null = arrs.iter().any(|a| a.validity.is_some());
-            let mut validity = if any_null {
-                Some(Bitmap::new_set(0, false))
+            for a in &arrs {
+                values.extend_from_slice(&a.values);
+            }
+            let validity = if any_null {
+                let mut parts: Vec<Bitmap> = Vec::with_capacity(arrs.len());
+                for a in &arrs {
+                    match &a.validity {
+                        Some(v) => parts.push(v.clone()),
+                        None => parts.push(Bitmap::new_set(a.len(), true)),
+                    }
+                }
+                let refs: Vec<&Bitmap> = parts.iter().collect();
+                Some(Bitmap::concat(&refs))
             } else {
                 None
             };
-            for a in arrs {
-                values.extend_from_slice(&a.values);
-                if let Some(v) = &mut validity {
-                    match &a.validity {
-                        Some(av) => {
-                            for b in av.iter() {
-                                v.push(b);
-                            }
-                        }
-                        None => {
-                            for _ in 0..a.len() {
-                                v.push(true);
-                            }
-                        }
-                    }
-                }
+            PrimArr {
+                values: Buffer::from_vec(values),
+                validity,
             }
-            PrimArr { values, validity }
         }
         Ok(match dtype {
             DataType::Int64 => Column::Int64(concat_prim(
@@ -578,23 +799,30 @@ impl Column {
                     .collect(),
             )),
             DataType::Bool => {
-                let mut values = Bitmap::new_set(0, false);
-                let mut validity = Bitmap::new_set(0, false);
-                let mut has_null = false;
-                for p in parts {
-                    if let Column::Bool(a) = p {
-                        for i in 0..a.len() {
-                            values.push(a.values.get(i));
-                            let valid = a.is_valid(i);
-                            has_null |= !valid;
-                            validity.push(valid);
-                        }
-                    }
-                }
-                Column::Bool(BoolArr {
-                    values,
-                    validity: if has_null { Some(validity) } else { None },
-                })
+                let arrs: Vec<&BoolArr> = parts
+                    .iter()
+                    .map(|p| match p {
+                        Column::Bool(a) => a,
+                        _ => unreachable!(),
+                    })
+                    .collect();
+                let value_parts: Vec<&Bitmap> = arrs.iter().map(|a| &a.values).collect();
+                let values = Bitmap::concat(&value_parts);
+                let has_null = arrs.iter().any(|a| a.validity.is_some());
+                let validity = if has_null {
+                    let parts: Vec<Bitmap> = arrs
+                        .iter()
+                        .map(|a| match &a.validity {
+                            Some(v) => v.clone(),
+                            None => Bitmap::new_set(a.len(), true),
+                        })
+                        .collect();
+                    let refs: Vec<&Bitmap> = parts.iter().collect();
+                    Some(Bitmap::concat(&refs))
+                } else {
+                    None
+                };
+                Column::Bool(BoolArr { values, validity })
             }
             DataType::Utf8 => {
                 // bulk byte-level concatenation of the string buffers
@@ -619,16 +847,10 @@ impl Column {
         }
         let n = self.len();
         Ok(match to {
-            DataType::Float64 => Column::from_opt_f64(
-                (0..n)
-                    .map(|i| self.get(i).as_f64())
-                    .collect(),
-            ),
-            DataType::Int64 => Column::from_opt_i64(
-                (0..n)
-                    .map(|i| self.get(i).as_i64())
-                    .collect(),
-            ),
+            DataType::Float64 => {
+                Column::from_opt_f64((0..n).map(|i| self.get(i).as_f64()).collect())
+            }
+            DataType::Int64 => Column::from_opt_i64((0..n).map(|i| self.get(i).as_i64()).collect()),
             DataType::Utf8 => Column::from_opt_str(
                 (0..n)
                     .map(|i| {
@@ -799,6 +1021,63 @@ mod tests {
         let mask = Bitmap::from_iter([true, false, true, false]);
         assert_eq!(c.filter(&mask), Column::from_i64(vec![10, 30]));
         assert_eq!(c.slice(1, 2), Column::from_i64(vec![20, 30]));
+    }
+
+    #[test]
+    fn slice_is_zero_copy() {
+        let c = Column::from_i64((0..1000).collect());
+        let s = c.slice(100, 200);
+        let (a, b) = match (&c, &s) {
+            (Column::Int64(a), Column::Int64(b)) => (a, b),
+            _ => unreachable!(),
+        };
+        assert_eq!(b.values.alloc_id(), a.values.alloc_id());
+        assert_eq!(s.nbytes(), 200 * 8);
+        assert_eq!(s.retained_nbytes(), 1000 * 8);
+    }
+
+    #[test]
+    fn str_slice_is_zero_copy_and_concats() {
+        let c = Column::from_str((0..100).map(|i| format!("s{i}")));
+        let s = c.slice(10, 5);
+        let sa = s.as_utf8().unwrap();
+        assert_eq!(sa.get(0), Some("s10"));
+        assert_eq!(sa.get(4), Some("s14"));
+        assert!(s.retained_nbytes() > s.nbytes());
+        // concat of offset views rebases correctly
+        let t = c.slice(50, 3);
+        let joined = Column::concat(&[&s, &t]).unwrap();
+        let ja = joined.as_utf8().unwrap();
+        assert_eq!(ja.get(4), Some("s14"));
+        assert_eq!(ja.get(5), Some("s50"));
+        assert_eq!(ja.len(), 8);
+    }
+
+    #[test]
+    fn compact_releases_parent() {
+        let c = Column::from_i64((0..10_000).collect());
+        let mut s = c.slice(0, 10);
+        assert!(s.compact(2.0));
+        assert_eq!(s.retained_nbytes(), 10 * 8);
+        assert_eq!(s, Column::from_i64((0..10).collect()));
+    }
+
+    #[test]
+    fn fillna_typed() {
+        let c = Column::from_opt_i64(vec![Some(1), None, Some(3)]);
+        assert_eq!(c.fillna(&Scalar::Int(9)), Column::from_i64(vec![1, 9, 3]));
+        // non-coercible fill value leaves nulls in place
+        assert_eq!(c.fillna(&Scalar::Float(2.5)).null_count(), 1);
+        let s = Column::from_opt_str(vec![Some("a"), None]);
+        assert_eq!(
+            s.fillna(&Scalar::Str("x".into())),
+            Column::from_str(["a", "x"])
+        );
+        // fillna on a shared slice must not corrupt the parent
+        let parent = Column::from_opt_f64(vec![Some(1.0), None, Some(3.0), None]);
+        let child = parent.slice(1, 2).fillna(&Scalar::Float(0.0));
+        assert_eq!(child, Column::from_f64(vec![0.0, 3.0]));
+        assert_eq!(parent.null_count(), 2);
     }
 
     #[test]

@@ -93,7 +93,10 @@ fn eval_arith(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
                 })
                 .collect();
             let validity = merge_validity(&a.validity, &b.validity);
-            return Ok(Column::Int64(PrimArr { values, validity }));
+            return Ok(Column::Int64(PrimArr {
+                values: values.into(),
+                validity,
+            }));
         }
     }
     // General numeric path via f64.
@@ -112,7 +115,10 @@ fn eval_arith(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
         })
         .collect();
     let validity = merge_validity(&a.validity, &b.validity);
-    Ok(Column::Float64(PrimArr { values, validity }))
+    Ok(Column::Float64(PrimArr {
+        values: values.into(),
+        validity,
+    }))
 }
 
 fn eval_compare(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
@@ -204,9 +210,7 @@ fn eval_unary(op: UnOp, c: &Column) -> DfResult<Column> {
                 other.data_type()
             ))),
         },
-        UnOp::IsNull => Ok(Column::from_bool(
-            (0..n).map(|i| !c.is_valid(i)).collect(),
-        )),
+        UnOp::IsNull => Ok(Column::from_bool((0..n).map(|i| !c.is_valid(i)).collect())),
         UnOp::NotNull => Ok(Column::from_bool((0..n).map(|i| c.is_valid(i)).collect())),
     }
 }
@@ -233,28 +237,32 @@ fn eval_func(func: &Func, c: &Column) -> DfResult<Column> {
             let a = c.as_utf8()?;
             let out: Vec<Option<String>> = a
                 .iter()
-                .map(|s| {
-                    s.map(|s| s.chars().skip(*start).take(*len).collect::<String>())
-                })
+                .map(|s| s.map(|s| s.chars().skip(*start).take(*len).collect::<String>()))
                 .collect();
             Ok(Column::from_opt_str(out))
         }
         Func::StrLen => {
             let a = c.as_utf8()?;
             Ok(Column::from_opt_i64(
-                a.iter().map(|s| s.map(|s| s.chars().count() as i64)).collect(),
+                a.iter()
+                    .map(|s| s.map(|s| s.chars().count() as i64))
+                    .collect(),
             ))
         }
         Func::Lower => {
             let a = c.as_utf8()?;
             Ok(Column::from_opt_str(
-                a.iter().map(|s| s.map(str::to_lowercase)).collect::<Vec<_>>(),
+                a.iter()
+                    .map(|s| s.map(str::to_lowercase))
+                    .collect::<Vec<_>>(),
             ))
         }
         Func::Upper => {
             let a = c.as_utf8()?;
             Ok(Column::from_opt_str(
-                a.iter().map(|s| s.map(str::to_uppercase)).collect::<Vec<_>>(),
+                a.iter()
+                    .map(|s| s.map(str::to_uppercase))
+                    .collect::<Vec<_>>(),
             ))
         }
         Func::Trim => {
@@ -283,7 +291,11 @@ fn eval_func(func: &Func, c: &Column) -> DfResult<Column> {
             let a = to_f64(c)?;
             let factor = 10f64.powi(*nd as i32);
             Ok(Column::Float64(PrimArr {
-                values: a.values.iter().map(|v| (v * factor).round() / factor).collect(),
+                values: a
+                    .values
+                    .iter()
+                    .map(|v| (v * factor).round() / factor)
+                    .collect(),
                 validity: a.validity,
             }))
         }
@@ -388,7 +400,10 @@ mod tests {
         DataFrame::new(vec![
             ("a", Column::from_i64(vec![1, 2, 3, 4])),
             ("b", Column::from_f64(vec![0.5, 1.5, 2.5, 3.5])),
-            ("s", Column::from_str(["PROMO X", "STD Y", "PROMO Z", "ECO"])),
+            (
+                "s",
+                Column::from_str(["PROMO X", "STD Y", "PROMO Z", "ECO"]),
+            ),
             (
                 "d",
                 Column::from_date(vec![
@@ -454,11 +469,7 @@ mod tests {
         assert_eq!(m.count_set(), 2);
         let m = eval_mask(&df(), &col("s").contains("Y")).unwrap();
         assert_eq!(m.count_set(), 1);
-        let c = eval(
-            &df(),
-            &col("s").call(Func::Substr { start: 0, len: 3 }),
-        )
-        .unwrap();
+        let c = eval(&df(), &col("s").call(Func::Substr { start: 0, len: 3 })).unwrap();
         assert_eq!(c.get(3), Scalar::Str("ECO".into()));
     }
 
@@ -485,11 +496,7 @@ mod tests {
 
     #[test]
     fn is_null_not_null() {
-        let d = DataFrame::new(vec![(
-            "x",
-            Column::from_opt_f64(vec![Some(1.0), None]),
-        )])
-        .unwrap();
+        let d = DataFrame::new(vec![("x", Column::from_opt_f64(vec![Some(1.0), None]))]).unwrap();
         let m = eval_mask(&d, &col("x").is_null()).unwrap();
         assert_eq!(m, Bitmap::from_iter([false, true]));
         let m = eval_mask(&d, &col("x").not_null()).unwrap();

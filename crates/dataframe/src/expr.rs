@@ -4,6 +4,10 @@
 //! pruning collects [`Expr::required_columns`], and operator-level fusion
 //! (the paper's numexpr/JAX stand-in) evaluates a whole tree in one pass.
 
+// pandas-style builder names (`add`, `mul`, `not`, …) are the API surface
+// this crate reproduces; they intentionally shadow the operator traits.
+#![allow(clippy::should_implement_trait)]
+
 use crate::scalar::Scalar;
 use std::collections::BTreeSet;
 

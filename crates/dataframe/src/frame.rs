@@ -8,8 +8,10 @@ use crate::schema::{Field, Schema};
 use std::sync::Arc;
 
 /// An immutable, columnar dataframe. All mutating operations return a new
-/// frame; column buffers are not shared (simple and predictable for the
-/// memory-accounting runtime above).
+/// frame; column buffers are *shared* between frames (clone/slice are O(1)
+/// views), with copy-on-write on mutation. The memory-accounting runtime
+/// above charges [`DataFrame::retained_nbytes`], deduplicated by allocation
+/// via [`DataFrame::push_allocs`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct DataFrame {
     schema: Arc<Schema>,
@@ -70,9 +72,39 @@ impl DataFrame {
         &self.schema
     }
 
-    /// Approximate heap bytes of all columns.
+    /// Approximate *logical* heap bytes of all columns (viewed rows only).
     pub fn nbytes(&self) -> usize {
         self.columns.iter().map(|c| c.nbytes()).sum()
+    }
+
+    /// Bytes of all distinct allocations this frame keeps alive. Each
+    /// shared allocation is counted once, even when several columns (or a
+    /// column and its validity bitmap) view it.
+    pub fn retained_nbytes(&self) -> usize {
+        let mut allocs = Vec::new();
+        self.push_allocs(&mut allocs);
+        allocs.sort_unstable();
+        allocs.dedup();
+        allocs.iter().map(|(_, bytes)| bytes).sum()
+    }
+
+    /// Appends `(alloc_id, retained_bytes)` for every buffer backing this
+    /// frame, so the storage service can charge shared allocations once.
+    pub fn push_allocs(&self, out: &mut Vec<(usize, usize)>) {
+        for c in &self.columns {
+            c.push_allocs(out);
+        }
+    }
+
+    /// Materializes any column buffer whose retained allocation exceeds
+    /// `slack ×` its logical size (a small view pinning a large parent).
+    /// Returns true if any buffer was copied.
+    pub fn compact(&mut self, slack: f64) -> bool {
+        let mut changed = false;
+        for c in &mut self.columns {
+            changed |= c.compact(slack);
+        }
+        changed
     }
 
     /// Column by name.
@@ -263,23 +295,10 @@ impl DataFrame {
 
     // ---- misc row ops ----------------------------------------------------------
 
-    /// Replaces nulls in `name` with `value`.
+    /// Replaces nulls in `name` with `value` (typed copy-on-write path;
+    /// an all-valid column is shared, not copied).
     pub fn fillna(&self, name: &str, value: &Scalar) -> DfResult<DataFrame> {
-        let col = self.column(name)?;
-        let dtype = col.data_type();
-        let filled = Column::from_scalars(
-            &(0..col.len())
-                .map(|i| {
-                    let v = col.get(i);
-                    if v.is_null() {
-                        value.clone()
-                    } else {
-                        v
-                    }
-                })
-                .collect::<Vec<_>>(),
-            dtype,
-        )?;
+        let filled = self.column(name)?.fillna(value);
         self.with_column_in_place(name, filled)
     }
 
@@ -334,11 +353,10 @@ impl DataFrame {
             None => self.schema.names(),
         };
         let hashes = self.hash_rows(&keys)?;
-        let mut seen: crate::hash::FxHashMap<u64, Vec<usize>> =
-            crate::hash::FxHashMap::default();
+        let mut seen: crate::hash::FxHashMap<u64, Vec<usize>> = crate::hash::FxHashMap::default();
         let mut keep = Vec::new();
-        'rows: for i in 0..self.num_rows {
-            let bucket = seen.entry(hashes[i]).or_default();
+        'rows: for (i, &h) in hashes.iter().enumerate() {
+            let bucket = seen.entry(h).or_default();
             for &j in bucket.iter() {
                 if self.rows_eq(i, &keys, self, &keys, j)? {
                     continue 'rows;
@@ -468,11 +486,7 @@ mod tests {
 
     #[test]
     fn display_truncates() {
-        let d = DataFrame::new(vec![(
-            "a",
-            Column::from_i64((0..20).collect()),
-        )])
-        .unwrap();
+        let d = DataFrame::new(vec![("a", Column::from_i64((0..20).collect()))]).unwrap();
         let s = d.to_string();
         assert!(s.contains("(20 rows total)"));
     }

@@ -67,11 +67,7 @@ pub struct AggSpec {
 
 impl AggSpec {
     /// Creates a spec.
-    pub fn new(
-        column: impl Into<String>,
-        func: AggFunc,
-        output: impl Into<String>,
-    ) -> Self {
+    pub fn new(column: impl Into<String>, func: AggFunc, output: impl Into<String>) -> Self {
         AggSpec {
             column: column.into(),
             func,
@@ -122,11 +118,11 @@ fn build_groups(df: &DataFrame, keys: &[&str]) -> DfResult<Groups> {
     let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
     let mut repr_rows = Vec::new();
     let mut row_groups = Vec::with_capacity(df.num_rows());
-    'rows: for i in 0..df.num_rows() {
+    'rows: for (i, &h) in hashes.iter().enumerate() {
         if key_cols.iter().any(|c| !c.is_valid(i)) {
             continue; // pandas groupby(dropna=True)
         }
-        let bucket = table.entry(hashes[i]).or_default();
+        let bucket = table.entry(h).or_default();
         for &gid in bucket.iter() {
             let j = repr_rows[gid];
             if key_cols.iter().all(|c| c.eq_at(i, c, j)) {
@@ -324,12 +320,8 @@ pub fn groupby_map(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult
                 AggFunc::Count,
                 format!("{}{COUNT_SUFFIX}", s.output),
             )),
-            AggFunc::Min => {
-                map_specs.push(AggSpec::new(&s.column, AggFunc::Min, s.output.clone()))
-            }
-            AggFunc::Max => {
-                map_specs.push(AggSpec::new(&s.column, AggFunc::Max, s.output.clone()))
-            }
+            AggFunc::Min => map_specs.push(AggSpec::new(&s.column, AggFunc::Min, s.output.clone())),
+            AggFunc::Max => map_specs.push(AggSpec::new(&s.column, AggFunc::Max, s.output.clone())),
             AggFunc::First => {
                 map_specs.push(AggSpec::new(&s.column, AggFunc::First, s.output.clone()))
             }
@@ -373,30 +365,22 @@ pub fn groupby_combine(
                 let c = format!("{}{COUNT_SUFFIX}", s.output);
                 combine_specs.push(AggSpec::new(&c, AggFunc::Sum, c.clone()));
             }
-            AggFunc::Min => combine_specs.push(AggSpec::new(
-                &s.output,
-                AggFunc::Min,
-                s.output.clone(),
-            )),
-            AggFunc::Max => combine_specs.push(AggSpec::new(
-                &s.output,
-                AggFunc::Max,
-                s.output.clone(),
-            )),
-            AggFunc::First => combine_specs.push(AggSpec::new(
-                &s.output,
-                AggFunc::First,
-                s.output.clone(),
-            )),
+            AggFunc::Min => {
+                combine_specs.push(AggSpec::new(&s.output, AggFunc::Min, s.output.clone()))
+            }
+            AggFunc::Max => {
+                combine_specs.push(AggSpec::new(&s.output, AggFunc::Max, s.output.clone()))
+            }
+            AggFunc::First => {
+                combine_specs.push(AggSpec::new(&s.output, AggFunc::First, s.output.clone()))
+            }
             AggFunc::Mean => {
                 let sc = format!("{}{SUM_SUFFIX}", s.output);
                 let cc = format!("{}{COUNT_SUFFIX}", s.output);
                 combine_specs.push(AggSpec::new(&sc, AggFunc::Sum, sc.clone()));
                 combine_specs.push(AggSpec::new(&cc, AggFunc::Sum, cc.clone()));
             }
-            AggFunc::Nunique => {
-                return Err(DfError::Unsupported("nunique in combine".into()))
-            }
+            AggFunc::Nunique => return Err(DfError::Unsupported("nunique in combine".into())),
         }
     }
     groupby_agg(partials, keys, &combine_specs)
@@ -422,9 +406,7 @@ pub fn groupby_finalize(
             AggFunc::Count => combined
                 .column(&format!("{}{COUNT_SUFFIX}", s.output))?
                 .clone(),
-            AggFunc::Min | AggFunc::Max | AggFunc::First => {
-                combined.column(&s.output)?.clone()
-            }
+            AggFunc::Min | AggFunc::Max | AggFunc::First => combined.column(&s.output)?.clone(),
             AggFunc::Mean => {
                 let sums = combined
                     .column(&format!("{}{SUM_SUFFIX}", s.output))?
@@ -442,9 +424,7 @@ pub fn groupby_finalize(
                     .collect();
                 Column::from_opt_f64(vals)
             }
-            AggFunc::Nunique => {
-                return Err(DfError::Unsupported("nunique in finalize".into()))
-            }
+            AggFunc::Nunique => return Err(DfError::Unsupported("nunique in finalize".into())),
         };
         pairs.push((s.output.clone(), out));
     }
@@ -522,12 +502,7 @@ mod tests {
             ("v", Column::from_i64(vec![10, 20, 30])),
         ])
         .unwrap();
-        let out = groupby_agg(
-            &df,
-            &["k"],
-            &[AggSpec::new("v", AggFunc::Sum, "s")],
-        )
-        .unwrap();
+        let out = groupby_agg(&df, &["k"], &[AggSpec::new("v", AggFunc::Sum, "s")]).unwrap();
         assert_eq!(out.num_rows(), 1);
         assert_eq!(out.column("s").unwrap().get(0), Scalar::Int(40));
     }
@@ -540,12 +515,7 @@ mod tests {
             ("v", Column::from_i64(vec![1, 1, 1, 1])),
         ])
         .unwrap();
-        let out = groupby_agg(
-            &df,
-            &["a", "b"],
-            &[AggSpec::new("v", AggFunc::Count, "c")],
-        )
-        .unwrap();
+        let out = groupby_agg(&df, &["a", "b"], &[AggSpec::new("v", AggFunc::Count, "c")]).unwrap();
         assert_eq!(out.num_rows(), 3);
     }
 
@@ -593,12 +563,7 @@ mod tests {
     #[test]
     fn empty_input() {
         let df = sales().head(0);
-        let out = groupby_agg(
-            &df,
-            &["k"],
-            &[AggSpec::new("v", AggFunc::Sum, "s")],
-        )
-        .unwrap();
+        let out = groupby_agg(&df, &["k"], &[AggSpec::new("v", AggFunc::Sum, "s")]).unwrap();
         assert_eq!(out.num_rows(), 0);
     }
 }

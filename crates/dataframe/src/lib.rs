@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 pub mod bitmap;
+pub mod buffer;
 pub mod column;
 pub mod csv;
 pub mod dates;
@@ -36,6 +37,7 @@ pub mod sort;
 pub mod stats;
 
 pub use bitmap::Bitmap;
+pub use buffer::Buffer;
 pub use column::Column;
 pub use error::{DfError, DfResult};
 pub use expr::{col, lit, Expr};

@@ -80,9 +80,7 @@ mod tests {
         let parts = hash_partition(&d, &["k"], 3).unwrap();
         let with_7: Vec<_> = parts
             .iter()
-            .filter(|p| {
-                (0..p.num_rows()).any(|i| p.column("k").unwrap().get(i) == 7i64.into())
-            })
+            .filter(|p| (0..p.num_rows()).any(|i| p.column("k").unwrap().get(i) == 7i64.into()))
             .collect();
         assert_eq!(with_7.len(), 1);
         assert_eq!(with_7[0].num_rows() >= 3, true);

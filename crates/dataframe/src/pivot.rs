@@ -4,7 +4,7 @@ use crate::column::Column;
 use crate::error::DfResult;
 use crate::frame::DataFrame;
 use crate::groupby::{groupby_agg, AggFunc, AggSpec};
-use crate::scalar::{DataType, Scalar};
+use crate::scalar::Scalar;
 use crate::sort::sort_by;
 
 /// pandas `pivot_table(index=index, columns=columns, values=values,
@@ -19,11 +19,7 @@ pub fn pivot_table(
     agg: AggFunc,
 ) -> DfResult<DataFrame> {
     // 1. aggregate to one row per (index, columns) pair
-    let grouped = groupby_agg(
-        df,
-        &[index, columns],
-        &[AggSpec::new(values, agg, "__v")],
-    )?;
+    let grouped = groupby_agg(df, &[index, columns], &[AggSpec::new(values, agg, "__v")])?;
     let grouped = sort_by(&grouped, &[(index, true), (columns, true)])?;
 
     // 2. distinct column headers, sorted for determinism
@@ -55,10 +51,7 @@ pub fn pivot_table(
         }
     }
 
-    let vdtype = match gv.data_type() {
-        DataType::Int64 => DataType::Int64,
-        other => other,
-    };
+    let vdtype = gv.data_type();
     let mut pairs: Vec<(String, Column)> = vec![(index.to_string(), idx_col)];
     for (ci, h) in headers.iter().enumerate() {
         pairs.push((

@@ -186,7 +186,13 @@ mod tests {
 
     #[test]
     fn cross_numeric_ordering() {
-        assert_eq!(Scalar::Int(2).total_cmp(&Scalar::Float(2.5)), Ordering::Less);
-        assert_eq!(Scalar::Float(3.0).total_cmp(&Scalar::Int(3)), Ordering::Equal);
+        assert_eq!(
+            Scalar::Int(2).total_cmp(&Scalar::Float(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Scalar::Float(3.0).total_cmp(&Scalar::Int(3)),
+            Ordering::Equal
+        );
     }
 }

@@ -79,7 +79,10 @@ mod tests {
     fn df() -> DataFrame {
         DataFrame::new(vec![
             ("g", Column::from_str(["b", "a", "b", "a"])),
-            ("v", Column::from_opt_i64(vec![Some(2), Some(9), None, Some(1)])),
+            (
+                "v",
+                Column::from_opt_i64(vec![Some(2), Some(9), None, Some(1)]),
+            ),
         ])
         .unwrap()
     }

@@ -34,16 +34,18 @@ pub fn describe(df: &DataFrame) -> DfResult<Vec<ColumnSummary>> {
         let mut sum = 0.0;
         let mut min = f64::INFINITY;
         let mut max = f64::NEG_INFINITY;
-        let values: Vec<f64> = (0..col.len())
-            .filter_map(|i| col.get(i).as_f64())
-            .collect();
+        let values: Vec<f64> = (0..col.len()).filter_map(|i| col.get(i).as_f64()).collect();
         for &v in &values {
             count += 1;
             sum += v;
             min = min.min(v);
             max = max.max(v);
         }
-        let mean = if count == 0 { f64::NAN } else { sum / count as f64 };
+        let mean = if count == 0 {
+            f64::NAN
+        } else {
+            sum / count as f64
+        };
         let std = if count < 2 {
             f64::NAN
         } else {
@@ -142,7 +144,10 @@ mod tests {
     fn df() -> DataFrame {
         DataFrame::new(vec![
             ("x", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0])),
-            ("y", Column::from_opt_i64(vec![Some(2), None, Some(6), Some(8)])),
+            (
+                "y",
+                Column::from_opt_i64(vec![Some(2), None, Some(6), Some(8)]),
+            ),
             ("s", Column::from_str(["a", "b", "c", "d"])),
         ])
         .unwrap()
@@ -177,7 +182,12 @@ mod tests {
             assert_eq!(merged.count, w.count);
             assert!((merged.mean - w.mean).abs() < 1e-12);
             if !w.std.is_nan() {
-                assert!((merged.std - w.std).abs() < 1e-9, "{} vs {}", merged.std, w.std);
+                assert!(
+                    (merged.std - w.std).abs() < 1e-9,
+                    "{} vs {}",
+                    merged.std,
+                    w.std
+                );
             }
             assert_eq!(merged.min, w.min);
             assert_eq!(merged.max, w.max);

@@ -44,6 +44,13 @@ pub struct ClusterSpec {
     /// Virtual-makespan deadline; exceeding it fails the run with `Hang`,
     /// modelling the paper's hung queries.
     pub deadline_seconds: Option<f64>,
+    /// Retained-vs-logical slack tolerated for published chunks. A chunk
+    /// whose payload is a zero-copy view may pin its parent allocation in
+    /// the storage service; when `retained > logical * compact_slack` the
+    /// payload is materialised (`Payload::compact`) at publish time so a
+    /// thin slice cannot hold a huge buffer hostage. `<= 1.0` compacts
+    /// every partial view; large values never compact.
+    pub compact_slack: f64,
 }
 
 impl ClusterSpec {
@@ -70,6 +77,7 @@ impl ClusterSpec {
             spill_enabled: true,
             locality_aware: true,
             deadline_seconds: None,
+            compact_slack: 2.0,
         }
     }
 
@@ -98,6 +106,12 @@ impl ClusterSpec {
     /// Sets a hang deadline in virtual seconds.
     pub fn with_deadline(mut self, seconds: f64) -> ClusterSpec {
         self.deadline_seconds = Some(seconds);
+        self
+    }
+
+    /// Sets the retained-size slack before publish-time compaction.
+    pub fn with_compact_slack(mut self, slack: f64) -> ClusterSpec {
+        self.compact_slack = slack;
         self
     }
 }

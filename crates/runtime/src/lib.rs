@@ -22,9 +22,6 @@ pub use sim::SimExecutor;
 pub type SimSession = xorbits_core::session::Session<SimExecutor>;
 
 /// Convenience constructor: a session over a fresh simulated cluster.
-pub fn sim_session(
-    cfg: xorbits_core::config::XorbitsConfig,
-    spec: ClusterSpec,
-) -> SimSession {
+pub fn sim_session(cfg: xorbits_core::config::XorbitsConfig, spec: ClusterSpec) -> SimSession {
     xorbits_core::session::Session::new(cfg, SimExecutor::new(spec))
 }

@@ -14,12 +14,18 @@
 //! Memory follows §V-C with a refcount lifecycle: every published chunk
 //! charges its worker's ledger and is reclaimed once its last consumer has
 //! run (unless the plan retains it for future tiling or the final gather).
-//! A fused subtask additionally charges its *transient working set* — the
-//! peak of its internal intermediates — because fusion saves storage
-//! traffic, not the memory the computation itself needs. Over budget,
-//! spill-capable engines move the coldest chunks to the virtual disk tier
-//! (readers pay `bytes / disk_bw`); engines without spill die with the
-//! paper's OOM.
+//! The ledger accounts *retained* bytes, not logical bytes: payloads are
+//! zero-copy views over shared buffers, so each distinct allocation is
+//! charged once per worker no matter how many resident chunks reference
+//! it, and freed only when the last referencing chunk goes away. To stop a
+//! thin view from pinning a huge parent buffer, payloads are compacted
+//! ([`Payload::compact`]) at publish time when retained exceeds logical by
+//! more than [`ClusterSpec::compact_slack`]. A fused subtask additionally
+//! charges its *transient working set* — the peak of its internal
+//! intermediates — because fusion saves storage traffic, not the memory
+//! the computation itself needs. Over budget, spill-capable engines move
+//! the coldest chunks to the virtual disk tier (readers pay
+//! `bytes / disk_bw`); engines without spill die with the paper's OOM.
 
 use crate::cluster::ClusterSpec;
 use std::collections::HashMap;
@@ -35,6 +41,8 @@ use xorbits_core::tiling::MetaView;
 struct ChunkState {
     band: usize,
     finish: f64,
+    /// Logical (viewed) bytes — what network, disk and storage transfers
+    /// cost. Memory charges use the retained-allocation ledger instead.
     nbytes: usize,
     resident: bool,
     spilled: bool,
@@ -49,6 +57,12 @@ pub struct SimExecutor {
     band_free: Vec<f64>,
     worker_live: Vec<usize>,
     worker_peak: Vec<usize>,
+    /// Per-worker refcounts of distinct buffer allocations (keyed by
+    /// [`Payload::push_allocs`] id). A shared buffer is charged to
+    /// `worker_live` only on the 0→1 transition and freed on 1→0.
+    ledgers: Vec<HashMap<usize, usize>>,
+    /// Allocations `(id, retained_bytes)` each resident chunk references.
+    chunk_allocs: HashMap<ChunkKey, Vec<(usize, usize)>>,
     source_rr: usize,
     any_rr: usize,
     total_net_bytes: usize,
@@ -73,6 +87,8 @@ impl SimExecutor {
             band_free: vec![0.0; bands],
             worker_live: vec![0; workers],
             worker_peak: vec![0; workers],
+            ledgers: vec![HashMap::new(); workers],
+            chunk_allocs: HashMap::new(),
             source_rr: 0,
             any_rr: 0,
             total_net_bytes: 0,
@@ -112,7 +128,7 @@ impl SimExecutor {
             let mut best: Option<(usize, usize)> = None; // (nbytes, band)
             for k in external_inputs {
                 if let Some(st) = self.states.get(k) {
-                    if best.map_or(true, |(nb, _)| st.nbytes > nb) {
+                    if best.is_none_or(|(nb, _)| st.nbytes > nb) {
                         best = Some((st.nbytes, st.band));
                     }
                 }
@@ -142,6 +158,11 @@ impl SimExecutor {
     }
 
     /// Charges `nbytes` to `worker`; spills coldest chunks or reports OOM.
+    ///
+    /// Spilling a chunk frees only the retained bytes its departure
+    /// actually releases — a victim whose buffers are still referenced by
+    /// other resident chunks frees nothing but still drops a refcount, so
+    /// the loop makes progress until the last sharer leaves.
     fn charge(&mut self, worker: usize, nbytes: usize) -> XbResult<()> {
         self.worker_live[worker] += nbytes;
         self.worker_peak[worker] = self.worker_peak[worker].max(self.worker_live[worker]);
@@ -163,12 +184,14 @@ impl SimExecutor {
                 .min_by(|a, b| a.1.finish.total_cmp(&b.1.finish))
                 .map(|(k, st)| (*k, st.nbytes));
             match victim {
-                Some((k, nb)) => {
+                Some((k, logical)) => {
                     let st = self.states.get_mut(&k).expect("victim exists");
                     st.spilled = true;
                     st.resident = false;
-                    self.worker_live[worker] -= nb;
-                    self.total_spilled_bytes += nb;
+                    let freed = self.release_allocs(worker, k);
+                    self.worker_live[worker] = self.worker_live[worker].saturating_sub(freed);
+                    // the disk tier receives the serialised view
+                    self.total_spilled_bytes += logical;
                 }
                 None => {
                     // nothing left to spill: even the disk tier can't save us
@@ -183,13 +206,55 @@ impl SimExecutor {
         Ok(())
     }
 
+    /// Charges one published chunk's *retained* footprint: each distinct
+    /// allocation is charged only on its 0→1 refcount transition, so a
+    /// buffer shared by several resident chunks costs its bytes once.
+    fn charge_chunk(&mut self, worker: usize, key: ChunkKey, payload: &Payload) -> XbResult<()> {
+        let mut allocs = Vec::new();
+        payload.push_allocs(&mut allocs);
+        allocs.sort_unstable();
+        allocs.dedup_by_key(|&mut (id, _)| id);
+        let mut delta = 0usize;
+        for &(id, bytes) in &allocs {
+            let refs = self.ledgers[worker].entry(id).or_insert(0);
+            if *refs == 0 {
+                delta += bytes;
+            }
+            *refs += 1;
+        }
+        self.chunk_allocs.insert(key, allocs);
+        self.charge(worker, delta)
+    }
+
+    /// Drops one chunk's allocation refcounts on `worker`, returning the
+    /// retained bytes whose last reference just went away.
+    fn release_allocs(&mut self, worker: usize, key: ChunkKey) -> usize {
+        let mut freed = 0usize;
+        if let Some(allocs) = self.chunk_allocs.remove(&key) {
+            for (id, bytes) in allocs {
+                if let Some(refs) = self.ledgers[worker].get_mut(&id) {
+                    *refs -= 1;
+                    if *refs == 0 {
+                        self.ledgers[worker].remove(&id);
+                        freed += bytes;
+                    }
+                }
+            }
+        }
+        freed
+    }
+
     /// Reclaims one chunk's memory (and its real payload).
     fn free_chunk(&mut self, key: ChunkKey) {
         if let Some(st) = self.states.get_mut(&key) {
             if st.resident {
                 st.resident = false;
                 let w = self.spec.worker_of(st.band);
-                self.worker_live[w] = self.worker_live[w].saturating_sub(st.nbytes);
+                let freed = self.release_allocs(w, key);
+                self.worker_live[w] = self.worker_live[w].saturating_sub(freed);
+            } else {
+                // spilled chunks already released their ledger entries
+                self.chunk_allocs.remove(&key);
             }
         }
         self.storage.remove(&key);
@@ -241,9 +306,7 @@ impl Executor for SimExecutor {
                     )));
                 };
                 arrival = arrival.max(cs.finish);
-                if self.spec.worker_of(cs.band) != worker
-                    && self.arrived.insert((*k, worker))
-                {
+                if self.spec.worker_of(cs.band) != worker && self.arrived.insert((*k, worker)) {
                     recv_bytes += cs.nbytes;
                     self.total_net_bytes += cs.nbytes;
                 }
@@ -259,8 +322,7 @@ impl Executor for SimExecutor {
                 .iter()
                 .filter_map(|k| self.states.get(k).map(|s| s.nbytes))
                 .sum();
-            let mut storage_io =
-                ext_read_bytes as f64 / self.spec.storage_bandwidth;
+            let mut storage_io = ext_read_bytes as f64 / self.spec.storage_bandwidth;
 
             // last node (within this subtask) consuming each internal key,
             // so the transient working set shrinks as fusion progresses
@@ -289,13 +351,16 @@ impl Executor for SimExecutor {
                             .get(k)
                             .cloned()
                             .or_else(|| self.storage.get(k).cloned())
-                            .ok_or_else(|| {
-                                XbError::Plan(format!("input chunk {k} not found"))
-                            })
+                            .ok_or_else(|| XbError::Plan(format!("input chunk {k} not found")))
                     })
                     .collect::<XbResult<Vec<_>>>()?;
                 let outputs = xorbits_core::exec::execute_chunk(&node.op, &inputs)?;
-                for (key, payload) in node.outputs.iter().zip(outputs) {
+                for (key, mut payload) in node.outputs.iter().zip(outputs) {
+                    if st.published_outputs.contains(key) {
+                        // a view about to outlive its producer must not pin
+                        // a parent buffer far larger than what it shows
+                        payload.compact(self.spec.compact_slack);
+                    }
                     let payload = Arc::new(payload);
                     extra_bytes += payload.nbytes();
                     scratch.insert(*key, Arc::clone(&payload));
@@ -337,15 +402,18 @@ impl Executor for SimExecutor {
 
             // transient working-set charge (fusion saves storage traffic,
             // not the memory the computation itself needs)
-            if std::env::var("XORBITS_SIM_DEBUG").is_ok() {
-                if peak_extra > self.spec.worker_memory_bytes {
-                    eprintln!(
-                        "DEBUG transient {}MB > budget in subtask {:?} (ext inputs {})",
-                        peak_extra >> 20,
-                        st.nodes.iter().map(|&n| graph.chunks.nodes[n].op.name()).collect::<Vec<_>>(),
-                        st.external_inputs.len()
-                    );
-                }
+            if std::env::var("XORBITS_SIM_DEBUG").is_ok()
+                && peak_extra > self.spec.worker_memory_bytes
+            {
+                eprintln!(
+                    "DEBUG transient {}MB > budget in subtask {:?} (ext inputs {})",
+                    peak_extra >> 20,
+                    st.nodes
+                        .iter()
+                        .map(|&n| graph.chunks.nodes[n].op.name())
+                        .collect::<Vec<_>>(),
+                    st.external_inputs.len()
+                );
             }
             self.charge(worker, peak_extra)?;
             self.worker_live[worker] = self.worker_live[worker].saturating_sub(peak_extra);
@@ -360,7 +428,6 @@ impl Executor for SimExecutor {
                         index: (0, 0), // authoritative (r,c) lives in the plan layout
                     },
                 );
-                self.storage.insert(key, payload);
                 self.states.insert(
                     key,
                     ChunkState {
@@ -371,7 +438,8 @@ impl Executor for SimExecutor {
                         spilled: false,
                     },
                 );
-                self.charge(worker, nbytes)?;
+                self.charge_chunk(worker, key, &payload)?;
+                self.storage.insert(key, payload);
             }
 
             // refcount release: anything whose last consumer just ran and
@@ -426,6 +494,8 @@ impl Executor for SimExecutor {
         self.states.clear();
         self.band_free.iter_mut().for_each(|b| *b = 0.0);
         self.worker_live.iter_mut().for_each(|w| *w = 0);
+        self.ledgers.iter_mut().for_each(|l| l.clear());
+        self.chunk_allocs.clear();
         self.source_rr = 0;
         self.any_rr = 0;
         self.arrived.clear();
@@ -470,10 +540,7 @@ mod tests {
         let s = Session::new(cfg(), SimExecutor::new(spec));
         let df = s.from_df(sample_df(5000)).unwrap();
         let out = df
-            .groupby_agg(
-                vec!["k".into()],
-                vec![AggSpec::new("v", AggFunc::Sum, "s")],
-            )
+            .groupby_agg(vec!["k".into()], vec![AggSpec::new("v", AggFunc::Sum, "s")])
             .unwrap()
             .fetch()
             .unwrap();
@@ -539,10 +606,7 @@ mod tests {
             let out = df
                 .assign(vec![("w".into(), col("v").mul(col("v")))])
                 .unwrap()
-                .groupby_agg(
-                    vec!["k".into()],
-                    vec![AggSpec::new("w", AggFunc::Sum, "s")],
-                )
+                .groupby_agg(vec!["k".into()], vec![AggSpec::new("w", AggFunc::Sum, "s")])
                 .unwrap()
                 .fetch()
                 .unwrap();
@@ -641,6 +705,90 @@ mod tests {
         assert!(
             peak < one_chunk * 4,
             "peak {peak} should be a small multiple of one chunk ({one_chunk}), not the whole chain"
+        );
+    }
+
+    #[test]
+    fn shared_buffer_charged_once_and_freed_last() {
+        // four zero-copy views over one parent: the ledger must charge the
+        // parent's buffers once, keep them charged while any view is
+        // resident, and free them when the last view goes away
+        let spec = ClusterSpec::new(1, 1 << 30);
+        let mut ex = SimExecutor::new(spec);
+        let parent = sample_df(10_000);
+        let retained = parent.retained_nbytes();
+        let parts = xorbits_dataframe::partition::split_even(&parent, 4);
+        for (i, p) in parts.iter().enumerate() {
+            let key = i as ChunkKey + 1;
+            ex.states.insert(
+                key,
+                ChunkState {
+                    band: 0,
+                    finish: 0.0,
+                    nbytes: p.nbytes(),
+                    resident: true,
+                    spilled: false,
+                },
+            );
+            ex.charge_chunk(0, key, &Payload::Df(p.clone())).unwrap();
+        }
+        assert_eq!(ex.worker_live[0], retained, "shared parent charged once");
+        for key in 1..4 {
+            ex.free_chunk(key);
+            assert_eq!(ex.worker_live[0], retained, "parent pinned by live views");
+        }
+        ex.free_chunk(4);
+        assert_eq!(ex.worker_live[0], 0);
+        assert!(ex.ledgers[0].is_empty());
+    }
+
+    #[test]
+    fn retained_spill_frees_only_last_sharer() {
+        // two views share one parent; budget holds the parent plus half
+        // again. Publishing a fresh chunk overflows it: the coldest victim
+        // shares the parent and frees nothing, so the spill loop must keep
+        // going until the second sharer releases the whole allocation.
+        let parent = sample_df(1000);
+        let retained = parent.retained_nbytes();
+        let parts = xorbits_dataframe::partition::split_even(&parent, 2);
+        let spec = ClusterSpec::new(1, retained + retained / 2);
+        let mut ex = SimExecutor::new(spec);
+        for (i, p) in parts.iter().enumerate() {
+            let key = i as ChunkKey + 1;
+            ex.states.insert(
+                key,
+                ChunkState {
+                    band: 0,
+                    finish: i as f64,
+                    nbytes: p.nbytes(),
+                    resident: true,
+                    spilled: false,
+                },
+            );
+            ex.charge_chunk(0, key, &Payload::Df(p.clone())).unwrap();
+        }
+        assert_eq!(ex.worker_live[0], retained);
+        let fresh = sample_df(1000);
+        ex.states.insert(
+            9,
+            ChunkState {
+                band: 0,
+                finish: 9.0,
+                nbytes: fresh.nbytes(),
+                resident: true,
+                spilled: false,
+            },
+        );
+        ex.charge_chunk(0, 9, &Payload::Df(fresh.clone())).unwrap();
+        assert!(ex.states[&1].spilled, "coldest sharer spilled first");
+        assert!(
+            ex.states[&2].spilled,
+            "freeing 0 bytes must not satisfy the loop"
+        );
+        assert_eq!(ex.worker_live[0], fresh.retained_nbytes());
+        assert_eq!(
+            ex.total_spilled_bytes,
+            parts[0].nbytes() + parts[1].nbytes()
         );
     }
 

@@ -100,7 +100,10 @@ case_fn!(run_groupby_minmax, |e: &Engine| fixture(e)?
     )?
     .fetch());
 case_fn!(run_groupby_first, |e: &Engine| fixture(e)?
-    .groupby_agg(vec!["k".into()], vec![AggSpec::new("w", AggFunc::First, "f")])?
+    .groupby_agg(
+        vec!["k".into()],
+        vec![AggSpec::new("w", AggFunc::First, "f")]
+    )?
     .fetch());
 case_fn!(run_groupby_named, |e: &Engine| fixture(e)?
     .groupby_agg(
@@ -126,14 +129,20 @@ case_fn!(run_groupby_multi_fn, |e: &Engine| fixture(e)?
     .fetch());
 case_fn!(run_groupby_derived, |e: &Engine| fixture(e)?
     .assign(vec![("v2".into(), col("v").mul(lit(2.0)))])?
-    .groupby_agg(vec!["k".into()], vec![AggSpec::new("v2", AggFunc::Sum, "s")])?
+    .groupby_agg(
+        vec!["k".into()],
+        vec![AggSpec::new("v2", AggFunc::Sum, "s")]
+    )?
     .fetch());
 case_fn!(run_groupby_sorted, |e: &Engine| fixture(e)?
     .groupby_agg(vec!["k".into()], vec![AggSpec::new("v", AggFunc::Sum, "s")])?
     .sort_values(vec![("k".into(), true)])?
     .fetch());
 case_fn!(run_groupby_size, |e: &Engine| fixture(e)?
-    .groupby_agg(vec!["k".into()], vec![AggSpec::new("k", AggFunc::Count, "size")])?
+    .groupby_agg(
+        vec!["k".into()],
+        vec![AggSpec::new("k", AggFunc::Count, "size")]
+    )?
     .fetch());
 case_fn!(run_merge_inner, |e: &Engine| fixture(e)?
     .merge_on(&rhs(e)?, &["k"])?
@@ -194,7 +203,10 @@ case_fn!(run_pivot_mean, |e: &Engine| fixture(e)?
     .pivot_table("k", "g", "v", AggFunc::Mean)?
     .fetch());
 case_fn!(run_pivot_derived, |e: &Engine| fixture(e)?
-    .assign(vec![("bucket".into(), col("w").gt(lit(25i64)).mul(lit(1i64)))])?
+    .assign(vec![(
+        "bucket".into(),
+        col("w").gt(lit(25i64)).mul(lit(1i64))
+    )])?
     .pivot_table("k", "bucket", "v", AggFunc::Sum)?
     .fetch());
 
@@ -209,62 +221,210 @@ pub fn cases() -> Vec<CoverageCase> {
     };
     vec![
         // ---- groupby (12) ----------------------------------------------
-        c("groupby_sum", "groupby", [true, true, true, true, true], Some(run_groupby_sum as _)),
-        c("groupby_mean_count", "groupby", [true, true, true, true, true], Some(run_groupby_mean_count as _)),
-        c("groupby_multi_key", "groupby", [true, true, true, true, true], Some(run_groupby_multikey as _)),
-        c("groupby_min_max", "groupby", [true, true, true, true, true], Some(run_groupby_minmax as _)),
-        c("groupby_first", "groupby", [true, true, true, true, true], Some(run_groupby_first as _)),
+        c(
+            "groupby_sum",
+            "groupby",
+            [true, true, true, true, true],
+            Some(run_groupby_sum as _),
+        ),
+        c(
+            "groupby_mean_count",
+            "groupby",
+            [true, true, true, true, true],
+            Some(run_groupby_mean_count as _),
+        ),
+        c(
+            "groupby_multi_key",
+            "groupby",
+            [true, true, true, true, true],
+            Some(run_groupby_multikey as _),
+        ),
+        c(
+            "groupby_min_max",
+            "groupby",
+            [true, true, true, true, true],
+            Some(run_groupby_minmax as _),
+        ),
+        c(
+            "groupby_first",
+            "groupby",
+            [true, true, true, true, true],
+            Some(run_groupby_first as _),
+        ),
         // PySpark: no NamedAgg (called out in the paper §VI-E)
-        c("groupby_named_agg", "groupby", [true, false, true, true, true], Some(run_groupby_named as _)),
+        c(
+            "groupby_named_agg",
+            "groupby",
+            [true, false, true, true, true],
+            Some(run_groupby_named as _),
+        ),
         // PySpark: nunique inside agg unsupported
-        c("groupby_agg_nunique", "groupby", [true, false, true, true, true], Some(run_groupby_nunique as _)),
+        c(
+            "groupby_agg_nunique",
+            "groupby",
+            [true, false, true, true, true],
+            Some(run_groupby_nunique as _),
+        ),
         // PySpark: multiple funcs per column via dict agg incompatible
-        c("groupby_multiple_funcs", "groupby", [true, false, true, true, true], Some(run_groupby_multi_fn as _)),
-        c("groupby_on_derived", "groupby", [true, true, true, true, true], Some(run_groupby_derived as _)),
+        c(
+            "groupby_multiple_funcs",
+            "groupby",
+            [true, false, true, true, true],
+            Some(run_groupby_multi_fn as _),
+        ),
+        c(
+            "groupby_on_derived",
+            "groupby",
+            [true, true, true, true, true],
+            Some(run_groupby_derived as _),
+        ),
         // Dask: groupby(sort=True) unsupported; PySpark: group order differs
-        c("groupby_sorted_groups", "groupby", [true, false, false, true, true], Some(run_groupby_sorted as _)),
+        c(
+            "groupby_sorted_groups",
+            "groupby",
+            [true, false, false, true, true],
+            Some(run_groupby_sorted as _),
+        ),
         // UDF aggregation: Dask requires meta=, PySpark requires pandas_udf
-        c("groupby_udf_agg", "groupby", [true, false, false, true, true], None),
+        c(
+            "groupby_udf_agg",
+            "groupby",
+            [true, false, false, true, true],
+            None,
+        ),
         // size/count distribution: Dask's `size()` yields a Series needing
         // an explicit compute/reset_index round trip (code change)
-        c("groupby_size", "groupby", [true, false, false, true, true], Some(run_groupby_size as _)),
+        c(
+            "groupby_size",
+            "groupby",
+            [true, false, false, true, true],
+            Some(run_groupby_size as _),
+        ),
         // ---- merge (10) --------------------------------------------------
-        c("merge_inner", "merge", [true, true, true, true, true], Some(run_merge_inner as _)),
-        c("merge_left", "merge", [true, true, true, true, true], Some(run_merge_left as _)),
-        c("merge_multi_key", "merge", [true, true, true, true, true], Some(run_merge_multikey as _)),
-        c("merge_left_on_right_on", "merge", [true, true, true, true, true], Some(run_merge_lr_on as _)),
+        c(
+            "merge_inner",
+            "merge",
+            [true, true, true, true, true],
+            Some(run_merge_inner as _),
+        ),
+        c(
+            "merge_left",
+            "merge",
+            [true, true, true, true, true],
+            Some(run_merge_left as _),
+        ),
+        c(
+            "merge_multi_key",
+            "merge",
+            [true, true, true, true, true],
+            Some(run_merge_multikey as _),
+        ),
+        c(
+            "merge_left_on_right_on",
+            "merge",
+            [true, true, true, true, true],
+            Some(run_merge_lr_on as _),
+        ),
         // merge on index: Dask needs known divisions, PySpark lacks it
-        c("merge_on_index", "merge", [true, false, false, true, true], None),
+        c(
+            "merge_on_index",
+            "merge",
+            [true, false, false, true, true],
+            None,
+        ),
         // result key ordering: paper notes Dask/PySpark don't sort keys
-        c("merge_sorted_keys", "merge", [true, false, false, true, true], None),
+        c(
+            "merge_sorted_keys",
+            "merge",
+            [true, false, false, true, true],
+            None,
+        ),
         // semi-join idiom (isin against another frame)
-        c("merge_semi_isin", "merge", [true, false, false, true, true], Some(run_merge_semi as _)),
+        c(
+            "merge_semi_isin",
+            "merge",
+            [true, false, false, true, true],
+            Some(run_merge_semi as _),
+        ),
         // anti-join idiom (indicator=True + filter)
-        c("merge_anti_indicator", "merge", [true, false, false, true, true], Some(run_merge_anti as _)),
+        c(
+            "merge_anti_indicator",
+            "merge",
+            [true, false, false, true, true],
+            Some(run_merge_anti as _),
+        ),
         // positional row after merge (iloc)
-        c("merge_then_iloc", "merge", [true, false, false, true, true], Some(run_merge_iloc as _)),
+        c(
+            "merge_then_iloc",
+            "merge",
+            [true, false, false, true, true],
+            Some(run_merge_iloc as _),
+        ),
         // row-order preservation after merge
-        c("merge_preserves_order", "merge", [true, false, false, true, true], None),
+        c(
+            "merge_preserves_order",
+            "merge",
+            [true, false, false, true, true],
+            None,
+        ),
         // ---- pivot (8) -----------------------------------------------------
         // Dask has no general pivot_table (categorical-only); PySpark's
         // pivot departs from pandas defaults
-        c("pivot_table_sum", "pivot", [true, false, false, true, true], Some(run_pivot_sum as _)),
-        c("pivot_table_mean", "pivot", [true, false, false, true, true], Some(run_pivot_mean as _)),
-        c("pivot_table_multi_agg", "pivot", [true, false, false, true, true], None),
-        c("pivot_table_fill_value", "pivot", [true, false, false, true, true], None),
-        c("pivot_on_derived", "pivot", [true, false, false, true, true], Some(run_pivot_derived as _)),
+        c(
+            "pivot_table_sum",
+            "pivot",
+            [true, false, false, true, true],
+            Some(run_pivot_sum as _),
+        ),
+        c(
+            "pivot_table_mean",
+            "pivot",
+            [true, false, false, true, true],
+            Some(run_pivot_mean as _),
+        ),
+        c(
+            "pivot_table_multi_agg",
+            "pivot",
+            [true, false, false, true, true],
+            None,
+        ),
+        c(
+            "pivot_table_fill_value",
+            "pivot",
+            [true, false, false, true, true],
+            None,
+        ),
+        c(
+            "pivot_on_derived",
+            "pivot",
+            [true, false, false, true, true],
+            Some(run_pivot_derived as _),
+        ),
         // melt is broadly available
-        c("melt_wide_to_long", "pivot", [true, true, true, true, true], None),
+        c(
+            "melt_wide_to_long",
+            "pivot",
+            [true, true, true, true, true],
+            None,
+        ),
         c("transpose", "pivot", [true, false, false, true, true], None),
         // multi-level unstack: unsupported everywhere but pandas (the one
         // case Xorbits and Modin both miss — 29/30 = 96.7%)
-        c("unstack_multilevel", "pivot", [false, false, false, false, true], None),
+        c(
+            "unstack_multilevel",
+            "pivot",
+            [false, false, false, false, true],
+            None,
+        ),
     ]
 }
 
 /// Coverage score of one engine: `(passed, total)`. Runs the executable
 /// body for supported cases to keep the table honest.
-pub fn coverage(kind: EngineKind, cluster: &xorbits_runtime::ClusterSpec) -> XbResult<(usize, usize)> {
+pub fn coverage(
+    kind: EngineKind,
+    cluster: &xorbits_runtime::ClusterSpec,
+) -> XbResult<(usize, usize)> {
     let idx = engine_index(kind);
     let all = cases();
     let mut passed = 0;

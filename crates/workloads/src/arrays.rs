@@ -28,7 +28,11 @@ pub struct ArrayRun {
 /// must specify chunks manually; the conventional guess (“lots of small
 /// chunks so everything parallelises”) over-chunks by `DASK_OVERCHUNK`
 /// versus the auto-rechunk choice, and Dask has no operator-level fusion.
-pub fn array_engine(kind: EngineKind, cluster: &ClusterSpec, total_bytes: usize) -> XbResult<Engine> {
+pub fn array_engine(
+    kind: EngineKind,
+    cluster: &ClusterSpec,
+    total_bytes: usize,
+) -> XbResult<Engine> {
     let profile = kind.profile();
     if !profile.caps.arrays {
         return Err(XbError::Unsupported(format!(
@@ -53,12 +57,7 @@ pub fn array_engine(kind: EngineKind, cluster: &ClusterSpec, total_bytes: usize)
 
 /// Distributed linear regression: generate X, synthesise y = X·w, fit via
 /// the normal equations, verify the recovered weights.
-pub fn run_linreg(
-    engine: &Engine,
-    rows: usize,
-    cols: usize,
-    seed: u64,
-) -> XbResult<ArrayRun> {
+pub fn run_linreg(engine: &Engine, rows: usize, cols: usize, seed: u64) -> XbResult<ArrayRun> {
     let x = engine.session.randn(&[rows, cols], seed)?;
     let w_true = xorbits_array::NdArray::from_vec(
         (0..cols).map(|i| 1.0 + i as f64 * 0.25).collect(),
@@ -80,9 +79,8 @@ pub fn run_linreg(
         makespan,
         throughput: rows as f64 * cols as f64 / makespan.max(1e-12),
     })
-    .map(|r| {
+    .inspect(|_| {
         engine.session.reset_stats();
-        r
     })
 }
 
@@ -180,15 +178,8 @@ mod tests {
 
     #[test]
     fn weak_scaling_produces_a_series() {
-        let series = weak_scaling(
-            EngineKind::Xorbits,
-            &[1, 2],
-            400,
-            4,
-            1 << 30,
-            run_linreg,
-        )
-        .unwrap();
+        let series =
+            weak_scaling(EngineKind::Xorbits, &[1, 2], 400, 4, 1 << 30, run_linreg).unwrap();
         assert_eq!(series.len(), 2);
         assert!(series[1].1.problem_size > series[0].1.problem_size);
     }

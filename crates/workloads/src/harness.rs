@@ -75,11 +75,7 @@ pub fn run_tpch_once(
 
 /// Runs the full 22-query suite on one engine; returns one record per
 /// query.
-pub fn run_tpch_suite(
-    kind: EngineKind,
-    cluster: &ClusterSpec,
-    data: &TpchData,
-) -> Vec<RunRecord> {
+pub fn run_tpch_suite(kind: EngineKind, cluster: &ClusterSpec, data: &TpchData) -> Vec<RunRecord> {
     (1..=22)
         .map(|q| run_tpch_once(kind, cluster, data, q))
         .collect()

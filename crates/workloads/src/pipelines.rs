@@ -55,19 +55,19 @@ pub fn census_data(rows: usize) -> DfSource {
             for i in start..start + len {
                 let r = i as u64;
                 age.push(17 + (mix(1, r) % 73) as i64);
-                workclass.push(if mix(2, r) % 18 == 0 {
+                workclass.push(if mix(2, r).is_multiple_of(18) {
                     None
                 } else {
                     Some(WORKCLASS[(mix(3, r) % 6) as usize])
                 });
                 education.push(EDUCATION[(mix(4, r) % 8) as usize]);
-                hours.push(if mix(5, r) % 25 == 0 {
+                hours.push(if mix(5, r).is_multiple_of(25) {
                     None
                 } else {
                     Some(10.0 + (mix(6, r) % 70) as f64)
                 });
                 capital_gain.push((mix(7, r) % 10_000) as f64 / 10.0);
-                income_high.push((mix(8, r) % 4 == 0) as i64);
+                income_high.push(mix(8, r).is_multiple_of(4) as i64);
             }
             Ok(DataFrame::new(vec![
                 ("age", Column::from_i64(age)),
@@ -132,7 +132,7 @@ pub fn plasticc_data(rows: usize, objects: usize) -> DfSource {
                 passband.push((mix(12, r) % 6) as i64);
                 flux.push(((mix(13, r) % 40_000) as f64 - 20_000.0) / 10.0);
                 flux_err.push(1.0 + (mix(14, r) % 500) as f64 / 100.0);
-                detected.push((mix(15, r) % 3 != 0) as i64);
+                detected.push(!mix(15, r).is_multiple_of(3) as i64);
             }
             Ok(DataFrame::new(vec![
                 ("object_id", Column::from_i64(object_id)),
@@ -155,7 +155,9 @@ pub fn run_plasticc(engine: &Engine, data: &DfSource) -> XbResult<DataFrame> {
         .assign(vec![
             (
                 "flux_ratio_sq".into(),
-                col("flux").div(col("flux_err")).mul(col("flux").div(col("flux_err"))),
+                col("flux")
+                    .div(col("flux_err"))
+                    .mul(col("flux").div(col("flux_err"))),
             ),
             (
                 "flux_by_ratio_sq".into(),
@@ -210,8 +212,7 @@ mod tests {
         assert!(a.schema().contains("avg_gain_rate"));
         // the imputed Unknown bucket must exist
         let wc = a.column("workclass").unwrap();
-        assert!((0..a.num_rows())
-            .any(|i| wc.get(i).as_str() == Some("Unknown")));
+        assert!((0..a.num_rows()).any(|i| wc.get(i).as_str() == Some("Unknown")));
     }
 
     #[test]

@@ -71,11 +71,21 @@ const NATIONS: [(&str, i64); 25] = [
     ("UNITED STATES", 1),
     ("CHINA", 2),
 ];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTIONS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTIONS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 const TYPE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
@@ -199,7 +209,7 @@ pub fn gen_lineitem(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         discount.push((uniform(T_LINEITEM, r, 6, 0, 10) as f64) / 100.0);
         tax.push((uniform(T_LINEITEM, r, 7, 0, 8) as f64) / 100.0);
         returnflag.push(if rdate <= cutoff {
-            if mix(T_LINEITEM, r, 11) % 2 == 0 {
+            if mix(T_LINEITEM, r, 11).is_multiple_of(2) {
                 "R"
             } else {
                 "A"
@@ -255,7 +265,7 @@ pub fn gen_orders(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         orderdate.push(odate);
         orderstatus.push(if odate > dates::to_days(1995, 6, 17) {
             "O"
-        } else if mix(T_ORDERS, r, 3) % 20 == 0 {
+        } else if mix(T_ORDERS, r, 3).is_multiple_of(20) {
             "P"
         } else {
             "F"
@@ -406,7 +416,7 @@ pub fn gen_supplier(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         name.push(format!("Supplier#{:09}", i + 1));
         nationkey.push(uniform(T_SUPPLIER, r, 2, 0, 24));
         acctbal.push(uniform_f(T_SUPPLIER, r, 3, -999.99, 9999.99));
-        comment.push(if mix(T_SUPPLIER, r, 4) % 50 == 0 {
+        comment.push(if mix(T_SUPPLIER, r, 4).is_multiple_of(50) {
             "waits Customer slow Complaints"
         } else {
             "quick deliveries"
@@ -425,14 +435,8 @@ pub fn gen_supplier(scale: TpchScale, start: usize, len: usize) -> DataFrame {
 /// Generates the full `nation` table (25 rows).
 pub fn gen_nation() -> DataFrame {
     DataFrame::new(vec![
-        (
-            "n_nationkey",
-            Column::from_i64((0..25).collect()),
-        ),
-        (
-            "n_name",
-            Column::from_str(NATIONS.iter().map(|(n, _)| *n)),
-        ),
+        ("n_nationkey", Column::from_i64((0..25).collect())),
+        ("n_name", Column::from_str(NATIONS.iter().map(|(n, _)| *n))),
         (
             "n_regionkey",
             Column::from_i64(NATIONS.iter().map(|(_, r)| *r).collect()),
@@ -560,11 +564,11 @@ mod tests {
         }
         let sk = li.column("l_suppkey").unwrap();
         for i in 0..li.num_rows().min(500) {
-            let pair = (
-                pk.get(i).as_i64().unwrap(),
-                sk.get(i).as_i64().unwrap(),
+            let pair = (pk.get(i).as_i64().unwrap(), sk.get(i).as_i64().unwrap());
+            assert!(
+                pairs.contains(&pair),
+                "lineitem {i} pair {pair:?} not in partsupp"
             );
-            assert!(pairs.contains(&pair), "lineitem {i} pair {pair:?} not in partsupp");
         }
     }
 

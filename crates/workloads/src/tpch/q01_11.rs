@@ -24,10 +24,7 @@ pub fn q1(t: &Tables) -> XbResult<DataFrame> {
         .filter(col("l_shipdate").le(lit(d(1998, 9, 2))))?
         .assign(vec![
             ("disc_price".into(), revenue()),
-            (
-                "charge".into(),
-                revenue().mul(lit(1.0).add(col("l_tax"))),
-            ),
+            ("charge".into(), revenue().mul(lit(1.0).add(col("l_tax")))),
         ])?
         .groupby_agg(
             strs(&["l_returnflag", "l_linestatus"]),
@@ -374,15 +371,9 @@ pub fn q8(t: &Tables) -> XbResult<DataFrame> {
         ])?
         .groupby_agg(
             strs(&["o_year"]),
-            vec![
-                a("brazil_volume", Sum, "brazil"),
-                a("volume", Sum, "total"),
-            ],
+            vec![a("brazil_volume", Sum, "brazil"), a("volume", Sum, "total")],
         )?
-        .assign(vec![(
-            "mkt_share".into(),
-            col("brazil").div(col("total")),
-        )])?
+        .assign(vec![("mkt_share".into(), col("brazil").div(col("total")))])?
         .select(strs(&["o_year", "mkt_share"]))?
         .sort_values(vec![("o_year".into(), true)])?
         .fetch()
@@ -444,9 +435,7 @@ pub fn q10(t: &Tables) -> XbResult<DataFrame> {
             .ge(lit(d(1993, 10, 1)))
             .and(col("o_orderdate").lt(lit(d(1994, 1, 1)))),
     )?;
-    let l = t
-        .lineitem()?
-        .filter(col("l_returnflag").eq(lit("R")))?;
+    let l = t.lineitem()?.filter(col("l_returnflag").eq(lit("R")))?;
     let co = t.customer()?.merge(
         &o,
         strs(&["c_custkey"]),
@@ -545,10 +534,7 @@ mod tests {
         for col in ["sum_qty", "sum_base_price", "count_order"] {
             let x = a.column(col).unwrap().get(0).as_f64().unwrap();
             let y = b.column(col).unwrap().get(0).as_f64().unwrap();
-            assert!(
-                (x - y).abs() < 1e-6 * x.abs().max(1.0),
-                "{col}: {x} vs {y}"
-            );
+            assert!((x - y).abs() < 1e-6 * x.abs().max(1.0), "{col}: {x} vs {y}");
         }
     }
 

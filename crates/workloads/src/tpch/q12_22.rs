@@ -161,9 +161,11 @@ pub fn q16(t: &Tables) -> XbResult<DataFrame> {
         strs(&["p_partkey"]),
         JoinType::Inner,
     )?;
-    let bad = t
-        .supplier()?
-        .filter(col("s_comment").contains("Customer").and(col("s_comment").contains("Complaints")))?;
+    let bad = t.supplier()?.filter(
+        col("s_comment")
+            .contains("Customer")
+            .and(col("s_comment").contains("Complaints")),
+    )?;
     ps.merge(
         &bad,
         strs(&["ps_suppkey"]),
@@ -196,10 +198,7 @@ pub fn q17(t: &Tables) -> XbResult<DataFrame> {
         strs(&["p_partkey"]),
         JoinType::Inner,
     )?;
-    let avg = lp.groupby_agg(
-        strs(&["l_partkey"]),
-        vec![a("l_quantity", Mean, "avg_qty")],
-    )?;
+    let avg = lp.groupby_agg(strs(&["l_partkey"]), vec![a("l_quantity", Mean, "avg_qty")])?;
     let small = lp
         .merge_on(&avg, &["l_partkey"])?
         .filter(col("l_quantity").lt(lit(0.2).mul(col("avg_qty"))))?;
@@ -269,21 +268,27 @@ pub fn q19(t: &Tables) -> XbResult<DataFrame> {
             .is_in(["AIR", "REG AIR"])
             .and(col("l_shipinstruct").eq(lit("DELIVER IN PERSON")))
             .and(
-                branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1.0, 11.0, 5)
-                    .or(branch(
-                        "Brand#23",
-                        ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
-                        10.0,
-                        20.0,
-                        10,
-                    ))
-                    .or(branch(
-                        "Brand#34",
-                        ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
-                        20.0,
-                        30.0,
-                        15,
-                    )),
+                branch(
+                    "Brand#12",
+                    ["SM CASE", "SM BOX", "SM PACK", "SM PKG"],
+                    1.0,
+                    11.0,
+                    5,
+                )
+                .or(branch(
+                    "Brand#23",
+                    ["MED BAG", "MED BOX", "MED PKG", "MED PACK"],
+                    10.0,
+                    20.0,
+                    10,
+                ))
+                .or(branch(
+                    "Brand#34",
+                    ["LG CASE", "LG BOX", "LG PACK", "LG PKG"],
+                    20.0,
+                    30.0,
+                    15,
+                )),
             ),
     )?
     .assign(vec![("rev".into(), revenue())])?
@@ -358,9 +363,7 @@ pub fn q21(t: &Tables) -> XbResult<DataFrame> {
     let single_late = late_supp
         .filter(col("n_late").eq(lit(1i64)))?
         .rename(vec![("l_orderkey".into(), "so_orderkey".into())])?;
-    let f_orders = t
-        .orders()?
-        .filter(col("o_orderstatus").eq(lit("F")))?;
+    let f_orders = t.orders()?.filter(col("o_orderstatus").eq(lit("F")))?;
     let saudi = t.nation()?.filter(col("n_name").eq(lit("SAUDI ARABIA")))?;
     let s = t.supplier()?.merge(
         &saudi,
@@ -453,8 +456,7 @@ mod tests {
         // the distribution must include a 0-orders bucket (a third of
         // customer keys never receive orders by construction)
         let c_count = out.column("c_count").unwrap();
-        let has_zero = (0..out.num_rows())
-            .any(|i| c_count.get(i).as_i64() == Some(0));
+        let has_zero = (0..out.num_rows()).any(|i| c_count.get(i).as_i64() == Some(0));
         assert!(has_zero, "{out}");
     }
 
@@ -475,10 +477,7 @@ mod tests {
         let spark = Engine::new(EngineKind::PySpark, &ClusterSpec::new(4, 256 << 20));
         let r = run_query(&spark, &tiny(), 16);
         assert!(matches!(r, Err(XbError::Unsupported(_))));
-        assert_eq!(
-            FailureKind::classify(&r),
-            FailureKind::ApiCompatibility
-        );
+        assert_eq!(FailureKind::classify(&r), FailureKind::ApiCompatibility);
     }
 
     #[test]

@@ -105,12 +105,11 @@ pub fn run_uc10(engine: &Engine, data: &Uc10Data) -> XbResult<DataFrame> {
     let featurised = joined.assign(vec![
         (
             "over_limit".into(),
-            col("t_amount").gt(col("c_limit").mul(lit(0.01))).mul(lit(1i64)),
+            col("t_amount")
+                .gt(col("c_limit").mul(lit(0.01)))
+                .mul(lit(1i64)),
         ),
-        (
-            "night".into(),
-            col("t_hour").lt(lit(6i64)).mul(lit(1i64)),
-        ),
+        ("night".into(), col("t_hour").lt(lit(6i64)).mul(lit(1i64))),
     ])?;
     featurised
         .groupby_agg(
@@ -177,8 +176,7 @@ mod tests {
             xorbits_core::tileable::DfSource::Generator { gen, .. } => gen(0, 20_000).unwrap(),
             _ => unreachable!(),
         };
-        let parts =
-            xorbits_dataframe::partition::hash_partition(&df, &["t_customer"], 8).unwrap();
+        let parts = xorbits_dataframe::partition::hash_partition(&df, &["t_customer"], 8).unwrap();
         let max = parts.iter().map(|p| p.num_rows()).max().unwrap();
         assert!(
             max > 20_000 / 8 * 2,

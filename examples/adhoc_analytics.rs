@@ -45,10 +45,7 @@ fn narrate(engine: &Engine) {
     let report = engine.session.last_report().unwrap();
     println!(
         "  [{} subtasks, {} tiling yields, {} probes, {} B shuffled]",
-        report.stats.subtasks,
-        report.tiling.yields,
-        report.tiling.probes,
-        report.stats.net_bytes
+        report.stats.subtasks, report.tiling.yields, report.tiling.probes, report.stats.net_bytes
     );
     for d in &report.tiling.decisions {
         println!("  · {d}");

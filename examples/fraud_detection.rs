@@ -14,7 +14,10 @@ use xorbits::workloads::tpcxai::{run_uc10, uc10_data};
 
 fn main() -> XbResult<()> {
     let data = uc10_data(1_000_000, 2_000, 1.5);
-    println!("transactions: {} rows (Zipf 1.5 over 2000 customers)\n", data.rows);
+    println!(
+        "transactions: {} rows (Zipf 1.5 over 2000 customers)\n",
+        data.rows
+    );
 
     let cluster = ClusterSpec::new(2, 64 << 20);
     for kind in [EngineKind::Xorbits, EngineKind::PySpark, EngineKind::Dask] {

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# The whole CI gate. Runs fully offline — the workspace has zero external
+# crate dependencies, so no network or vendored registry is needed.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "CI green."

@@ -51,10 +51,7 @@ use xorbits_runtime::{ClusterSpec, SimExecutor, SimSession};
 /// `xorbits.init()`: a session over a simulated cluster of `workers`
 /// nodes (2 bands each, 1 GiB budget per worker, spill enabled).
 pub fn init(workers: usize) -> SimSession {
-    init_with(
-        XorbitsConfig::default(),
-        ClusterSpec::new(workers, 1 << 30),
-    )
+    init_with(XorbitsConfig::default(), ClusterSpec::new(workers, 1 << 30))
 }
 
 /// `xorbits.init()` with explicit engine configuration and cluster spec.
@@ -68,8 +65,6 @@ pub mod prelude {
     pub use xorbits_core::error::{FailureKind, XbError, XbResult};
     pub use xorbits_core::session::{DfHandle, RunReport, Session, TensorHandle};
     pub use xorbits_core::tileable::DfSource;
-    pub use xorbits_dataframe::{
-        col, lit, AggFunc, AggSpec, Column, DataFrame, JoinType, Scalar,
-    };
+    pub use xorbits_dataframe::{col, lit, AggFunc, AggSpec, Column, DataFrame, JoinType, Scalar};
     pub use xorbits_runtime::{ClusterSpec, SimExecutor, SimSession};
 }

@@ -78,9 +78,21 @@ fn listing1_dask_friction() {
 fn fig3c_iterative_tiling_exact_scenario() {
     // build 3 chunks of 10 rows; filter keeps 4, 8 and 5 rows respectively
     let mut keep = Vec::new();
-    keep.extend(std::iter::repeat(1.0).take(4).chain(std::iter::repeat(-1.0).take(6)));
-    keep.extend(std::iter::repeat(1.0).take(8).chain(std::iter::repeat(-1.0).take(2)));
-    keep.extend(std::iter::repeat(1.0).take(5).chain(std::iter::repeat(-1.0).take(5)));
+    keep.extend(
+        std::iter::repeat(1.0)
+            .take(4)
+            .chain(std::iter::repeat(-1.0).take(6)),
+    );
+    keep.extend(
+        std::iter::repeat(1.0)
+            .take(8)
+            .chain(std::iter::repeat(-1.0).take(2)),
+    );
+    keep.extend(
+        std::iter::repeat(1.0)
+            .take(5)
+            .chain(std::iter::repeat(-1.0).take(5)),
+    );
     let df = DataFrame::new(vec![
         ("flag", Column::from_f64(keep)),
         ("pos", Column::from_i64((0..30).collect())),
@@ -105,11 +117,15 @@ fn fig3c_iterative_tiling_exact_scenario() {
     // -> index 10 is the 7th kept row of chunk 1 = pos 16
     assert_eq!(row.column("pos").unwrap().get(0), Scalar::Int(16));
     let report = session.last_report().unwrap();
-    assert!(report
-        .tiling
-        .decisions
-        .iter()
-        .any(|d| d.contains("iloc[10] -> chunk 1 offset 6")), "{:?}", report.tiling.decisions);
+    assert!(
+        report
+            .tiling
+            .decisions
+            .iter()
+            .any(|d| d.contains("iloc[10] -> chunk 1 offset 6")),
+        "{:?}",
+        report.tiling.decisions
+    );
 }
 
 /// Fig 6a: low-cardinality keys (small aggregate) pick tree-reduce;
@@ -127,10 +143,7 @@ fn fig6a_auto_reduce_selection() {
     // few groups: aggregated size tiny -> tree
     let small = session.from_df(frame(20_000, 5)).unwrap();
     small
-        .groupby_agg(
-            vec!["k".into()],
-            vec![AggSpec::new("v", AggFunc::Sum, "s")],
-        )
+        .groupby_agg(vec!["k".into()], vec![AggSpec::new("v", AggFunc::Sum, "s")])
         .unwrap()
         .fetch()
         .unwrap();
@@ -141,13 +154,10 @@ fn fig6a_auto_reduce_selection() {
     );
     // nearly-unique groups: aggregated size ≈ input -> shuffle
     let big = session.from_df(frame(20_000, 20_000)).unwrap();
-    big.groupby_agg(
-        vec!["k".into()],
-        vec![AggSpec::new("v", AggFunc::Sum, "s")],
-    )
-    .unwrap()
-    .fetch()
-    .unwrap();
+    big.groupby_agg(vec!["k".into()], vec![AggSpec::new("v", AggFunc::Sum, "s")])
+        .unwrap()
+        .fetch()
+        .unwrap();
     let d2 = session.last_report().unwrap().tiling.decisions;
     assert!(
         d2.iter().any(|d| d.contains("shuffle-reduce")),
@@ -232,8 +242,14 @@ fn deferred_evaluation() {
             vec![AggSpec::new("v", AggFunc::Mean, "m")],
         )
         .unwrap();
-    assert!(session.last_report().is_none(), "nothing should have run yet");
+    assert!(
+        session.last_report().is_none(),
+        "nothing should have run yet"
+    );
     let shown = format!("{pipeline}");
     assert!(shown.contains('k'));
-    assert!(session.last_report().is_some(), "display must trigger execution");
+    assert!(
+        session.last_report().is_some(),
+        "display must trigger execution"
+    );
 }

@@ -1,47 +1,57 @@
-//! Property-based tests of the array kernel and auto-rechunk invariants.
+//! Property-style tests of the array kernel and auto-rechunk invariants,
+//! driven by the in-tree seeded PRNG (no external proptest dependency).
 
-use proptest::prelude::*;
 use std::collections::BTreeMap;
+use xorbits::array::prng::Xoshiro256;
 use xorbits::array::{linalg, random, reduce_all, NdArray, Reduction};
 use xorbits::core::rechunk::auto_rechunk;
 
-proptest! {
-    /// QR reconstructs A with orthonormal Q for any tall matrix.
-    #[test]
-    fn qr_reconstructs(m in 4usize..40, n in 1usize..4, seed in 0u64..1000) {
-        let n = n.min(m);
-        let a = random::rand_normal(&[m, n], seed);
+const CASES: u64 = 24;
+
+/// QR reconstructs A with orthonormal Q for any tall matrix.
+#[test]
+fn qr_reconstructs() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x9a00 + case);
+        let m = rng.gen_range_i64(4, 40) as usize;
+        let n = (rng.gen_range_i64(1, 4) as usize).min(m);
+        let a = random::rand_normal(&[m, n], rng.next_u64() % 1000);
         let (q, r) = linalg::qr(&a).unwrap();
         let prod = linalg::matmul(&q, &r).unwrap();
-        prop_assert!(prod.max_abs_diff(&a) < 1e-8);
+        assert!(prod.max_abs_diff(&a) < 1e-8);
         let qtq = linalg::matmul(&q.transpose().unwrap(), &q).unwrap();
-        prop_assert!(qtq.max_abs_diff(&NdArray::eye(n)) < 1e-8);
+        assert!(qtq.max_abs_diff(&NdArray::eye(n)) < 1e-8);
     }
+}
 
-    /// Matmul distributes over row-block splits: concat(A1·B, A2·B) = A·B.
-    #[test]
-    fn matmul_distributes_over_row_splits(
-        m in 2usize..30,
-        k in 1usize..8,
-        n in 1usize..8,
-        split in 1usize..29,
-        seed in 0u64..1000,
-    ) {
-        let split = split.min(m - 1).max(1);
+/// Matmul distributes over row-block splits: concat(A1·B, A2·B) = A·B.
+#[test]
+fn matmul_distributes_over_row_splits() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x3a70 + case);
+        let m = rng.gen_range_i64(2, 30) as usize;
+        let k = rng.gen_range_i64(1, 8) as usize;
+        let n = rng.gen_range_i64(1, 8) as usize;
+        let split = (rng.gen_range_i64(1, 29) as usize).min(m - 1).max(1);
+        let seed = rng.next_u64() % 1000;
         let a = random::rand_uniform(&[m, k], seed);
         let b = random::rand_uniform(&[k, n], seed + 1);
         let whole = linalg::matmul(&a, &b).unwrap();
         let top = linalg::matmul(&a.slice_rows(0, split).unwrap(), &b).unwrap();
         let bot = linalg::matmul(&a.slice_rows(split, m).unwrap(), &b).unwrap();
         let glued = NdArray::concat_rows(&[&top, &bot]).unwrap();
-        prop_assert!(glued.max_abs_diff(&whole) < 1e-12);
+        assert!(glued.max_abs_diff(&whole) < 1e-12);
     }
+}
 
-    /// Tree-combined reductions equal direct reductions for any split.
-    #[test]
-    fn reduce_tree_equals_direct(len in 1usize..500, split in 0usize..500, seed in 0u64..1000) {
-        let split = split.min(len);
-        let a = random::rand_uniform(&[len], seed);
+/// Tree-combined reductions equal direct reductions for any split.
+#[test]
+fn reduce_tree_equals_direct() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x4ed0 + case);
+        let len = rng.gen_range_i64(1, 500) as usize;
+        let split = (rng.gen_range_i64(0, 500) as usize).min(len);
+        let a = random::rand_uniform(&[len], rng.next_u64() % 1000);
         for kind in [Reduction::Sum, Reduction::Min, Reduction::Max] {
             let direct = reduce_all(kind, &a);
             let l = a.slice_rows(0, split).unwrap();
@@ -53,58 +63,75 @@ proptest! {
                 Reduction::Mean => unreachable!(),
             };
             // empty slices produce inf/-inf identities which min/max absorb
-            prop_assert!((direct - merged).abs() < 1e-9 * direct.abs().max(1.0));
+            assert!((direct - merged).abs() < 1e-9 * direct.abs().max(1.0));
         }
     }
+}
 
-    /// lstsq recovers exact weights for consistent systems.
-    #[test]
-    fn lstsq_recovers_consistent_system(
-        rows in 8usize..60,
-        cols in 1usize..5,
-        seed in 0u64..1000,
-    ) {
+/// lstsq recovers exact weights for consistent systems.
+#[test]
+fn lstsq_recovers_consistent_system() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x1575 + case);
+        let rows = rng.gen_range_i64(8, 60) as usize;
+        let cols = rng.gen_range_i64(1, 5) as usize;
+        let seed = rng.next_u64() % 1000;
         let x = random::rand_normal(&[rows, cols], seed);
         let w_true = random::rand_uniform(&[cols, 1], seed + 7);
-        let y = linalg::matmul(&x, &w_true).unwrap().reshape(&[rows]).unwrap();
+        let y = linalg::matmul(&x, &w_true)
+            .unwrap()
+            .reshape(&[rows])
+            .unwrap();
         let w = linalg::lstsq(&x, &y).unwrap();
         for (a, b) in w.data().iter().zip(w_true.data()) {
-            prop_assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
+            assert!((a - b).abs() < 1e-6, "{} vs {}", a, b);
         }
     }
+}
 
-    /// Algorithm 1 always covers the shape and respects the byte limit.
-    #[test]
-    fn auto_rechunk_covers_and_bounds(
-        rows in 1usize..100_000,
-        cols in 1usize..2_000,
-        limit_kb in 1usize..10_000,
-    ) {
+/// Algorithm 1 always covers the shape and respects the byte limit.
+#[test]
+fn auto_rechunk_covers_and_bounds() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xa070 + case);
+        let rows = rng.gen_range_i64(1, 100_000) as usize;
+        let cols = rng.gen_range_i64(1, 2_000) as usize;
+        let limit_kb = rng.gen_range_i64(1, 10_000) as usize;
         let mut constraint = BTreeMap::new();
         constraint.insert(1usize, cols);
         let dims = auto_rechunk(&[rows, cols], &constraint, 8, limit_kb << 10);
-        prop_assert_eq!(dims[0].iter().sum::<usize>(), rows);
-        prop_assert_eq!(dims[1].iter().sum::<usize>(), cols);
+        assert_eq!(dims[0].iter().sum::<usize>(), rows);
+        assert_eq!(dims[1].iter().sum::<usize>(), cols);
         // each chunk under the limit unless a single row already exceeds it
         let row_bytes = cols * 8;
         if row_bytes <= limit_kb << 10 {
             for &r in &dims[0] {
-                prop_assert!(r * row_bytes <= (limit_kb << 10) * 2,
-                    "chunk of {} rows x {} B exceeds 2x limit", r, row_bytes);
+                assert!(
+                    r * row_bytes <= (limit_kb << 10) * 2,
+                    "chunk of {} rows x {} B exceeds 2x limit",
+                    r,
+                    row_bytes
+                );
             }
         }
     }
+}
 
-    /// Broadcasting matches explicit expansion on vectors.
-    #[test]
-    fn broadcast_row_vector_matches_manual(m in 1usize..20, n in 1usize..20, seed in 0u64..100) {
+/// Broadcasting matches explicit expansion on vectors.
+#[test]
+fn broadcast_row_vector_matches_manual() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xb40a + case);
+        let m = rng.gen_range_i64(1, 20) as usize;
+        let n = rng.gen_range_i64(1, 20) as usize;
+        let seed = rng.next_u64() % 100;
         let a = random::rand_uniform(&[m, n], seed);
         let v = random::rand_uniform(&[n], seed + 1);
         let out = xorbits::array::binary(xorbits::array::ElemOp::Add, &a, &v).unwrap();
         for i in 0..m {
             for j in 0..n {
                 let expect = a.at(i, j) + v.data()[j];
-                prop_assert!((out.at(i, j) - expect).abs() < 1e-12);
+                assert!((out.at(i, j) - expect).abs() < 1e-12);
             }
         }
     }

@@ -1,63 +1,84 @@
-//! Property-based tests of the dataframe kernel invariants.
+//! Property-style tests of the dataframe kernel invariants.
+//!
+//! Each test sweeps many randomised cases driven by the in-tree seeded
+//! PRNG (`xorbits::array::prng`), so the suite stays property-shaped while
+//! the workspace builds and tests with zero external crates.
 
-use proptest::prelude::*;
+use xorbits::array::prng::Xoshiro256;
 use xorbits::dataframe::{
-    groupby, join, partition, sort, AggFunc, AggSpec, Column, DataFrame, JoinType,
-    Scalar,
+    groupby, join, partition, sort, AggFunc, AggSpec, Column, DataFrame, JoinType, Scalar,
 };
 
-fn small_frame() -> impl Strategy<Value = DataFrame> {
-    (1usize..200).prop_flat_map(|n| {
-        (
-            proptest::collection::vec(0i64..20, n),
-            proptest::collection::vec(-1000.0f64..1000.0, n),
-            proptest::collection::vec(proptest::option::of(0i64..5), n),
-        )
-            .prop_map(|(keys, vals, opt)| {
-                DataFrame::new(vec![
-                    ("k", Column::from_i64(keys)),
-                    ("v", Column::from_f64(vals)),
-                    ("o", Column::from_opt_i64(opt)),
-                ])
-                .unwrap()
-            })
-    })
+const CASES: u64 = 24;
+
+fn small_frame(rng: &mut Xoshiro256) -> DataFrame {
+    let n = rng.gen_range_i64(1, 200) as usize;
+    let keys: Vec<i64> = (0..n).map(|_| rng.gen_range_i64(0, 20)).collect();
+    let vals: Vec<f64> = (0..n).map(|_| rng.gen_range_f64(-1000.0, 1000.0)).collect();
+    let opt: Vec<Option<i64>> = (0..n)
+        .map(|_| rng.gen_bool(0.5).then(|| rng.gen_range_i64(0, 5)))
+        .collect();
+    DataFrame::new(vec![
+        ("k", Column::from_i64(keys)),
+        ("v", Column::from_f64(vals)),
+        ("o", Column::from_opt_i64(opt)),
+    ])
+    .unwrap()
 }
 
-proptest! {
-    /// Sorting is a permutation (same multiset of rows) and ordered.
-    #[test]
-    fn sort_is_ordered_permutation(df in small_frame()) {
+fn key_vec(rng: &mut Xoshiro256, max_len: usize) -> Vec<i64> {
+    let n = rng.gen_range_i64(0, max_len as i64 + 1) as usize;
+    (0..n).map(|_| rng.gen_range_i64(0, 10)).collect()
+}
+
+/// Sorting is a permutation (same multiset of rows) and ordered.
+#[test]
+fn sort_is_ordered_permutation() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x5017 + case);
+        let df = small_frame(&mut rng);
         let sorted = sort::sort_by(&df, &[("v", true)]).unwrap();
-        prop_assert_eq!(sorted.num_rows(), df.num_rows());
+        assert_eq!(sorted.num_rows(), df.num_rows());
         let col = sorted.column("v").unwrap().as_f64().unwrap();
         for i in 1..col.len() {
-            prop_assert!(col.values[i - 1] <= col.values[i]);
+            assert!(col.values[i - 1] <= col.values[i]);
         }
         // multiset equality via sorted values
-        let mut a: Vec<f64> = df.column("v").unwrap().as_f64().unwrap().values.clone();
+        let mut a: Vec<f64> = df.column("v").unwrap().as_f64().unwrap().values.to_vec();
         a.sort_by(f64::total_cmp);
-        prop_assert_eq!(&a, &col.values);
+        assert_eq!(&a[..], &col.values[..]);
     }
+}
 
-    /// top_k(n) equals sort().head(n) for every n.
-    #[test]
-    fn top_k_matches_full_sort(df in small_frame(), n in 0usize..50) {
+/// top_k(n) equals sort().head(n) for every n.
+#[test]
+fn top_k_matches_full_sort() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x70b0 + case);
+        let df = small_frame(&mut rng);
+        let n = rng.gen_range_i64(0, 50) as usize;
         let full = sort::sort_by(&df, &[("v", false)]).unwrap().head(n);
         let tk = sort::top_k(&df, &[("v", false)], n).unwrap();
-        prop_assert_eq!(full, tk);
+        assert_eq!(full, tk);
     }
+}
 
-    /// groupby sums partition the total sum.
-    #[test]
-    fn groupby_sum_partitions_total(df in small_frame()) {
-        let out = groupby::groupby_agg(
-            &df,
-            &["k"],
-            &[AggSpec::new("v", AggFunc::Sum, "s")],
-        )
-        .unwrap();
-        let total: f64 = df.column("v").unwrap().as_f64().unwrap().values.iter().sum();
+/// groupby sums partition the total sum.
+#[test]
+fn groupby_sum_partitions_total() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x6b50 + case);
+        let df = small_frame(&mut rng);
+        let out =
+            groupby::groupby_agg(&df, &["k"], &[AggSpec::new("v", AggFunc::Sum, "s")]).unwrap();
+        let total: f64 = df
+            .column("v")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .values
+            .iter()
+            .sum();
         let grouped: f64 = out
             .column("s")
             .unwrap()
@@ -66,14 +87,18 @@ proptest! {
             .values
             .iter()
             .sum();
-        prop_assert!((total - grouped).abs() < 1e-6 * total.abs().max(1.0));
+        assert!((total - grouped).abs() < 1e-6 * total.abs().max(1.0));
     }
+}
 
-    /// The map/combine/finalize decomposition equals the single pass for
-    /// any chunking point.
-    #[test]
-    fn groupby_decomposition_equivalence(df in small_frame(), split_at in 0usize..200) {
-        let split = split_at.min(df.num_rows());
+/// The map/combine/finalize decomposition equals the single pass for any
+/// chunking point.
+#[test]
+fn groupby_decomposition_equivalence() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xdec0 + case);
+        let df = small_frame(&mut rng);
+        let split = (rng.gen_range_i64(0, 200) as usize).min(df.num_rows());
         let specs = vec![
             AggSpec::new("v", AggFunc::Sum, "s"),
             AggSpec::new("v", AggFunc::Mean, "m"),
@@ -83,37 +108,38 @@ proptest! {
         ];
         let direct = groupby::groupby_agg(&df, &["k"], &specs).unwrap();
         let p1 = groupby::groupby_map(&df.slice(0, split), &["k"], &specs).unwrap();
-        let p2 = groupby::groupby_map(
-            &df.slice(split, df.num_rows() - split),
-            &["k"],
-            &specs,
-        )
-        .unwrap();
+        let p2 =
+            groupby::groupby_map(&df.slice(split, df.num_rows() - split), &["k"], &specs).unwrap();
         let both = DataFrame::concat(&[&p1, &p2]).unwrap();
         let combined = groupby::groupby_finalize(&both, &["k"], &specs).unwrap();
         let a = sort::sort_by(&direct, &[("k", true)]).unwrap();
         let b = sort::sort_by(&combined, &[("k", true)]).unwrap();
-        prop_assert_eq!(a.num_rows(), b.num_rows());
+        assert_eq!(a.num_rows(), b.num_rows());
         for ci in 0..a.num_columns() {
             for ri in 0..a.num_rows() {
                 let (x, y) = (a.column_at(ci).get(ri), b.column_at(ci).get(ri));
                 match (x.as_f64(), y.as_f64()) {
                     (Some(x), Some(y)) => {
-                        prop_assert!((x - y).abs() < 1e-9 * x.abs().max(1.0))
+                        assert!((x - y).abs() < 1e-9 * x.abs().max(1.0))
                     }
-                    _ => prop_assert_eq!(x, y),
+                    _ => assert_eq!(x, y),
                 }
             }
         }
     }
+}
 
-    /// Hash partitioning is a disjoint cover and co-locates equal keys.
-    #[test]
-    fn hash_partition_disjoint_cover(df in small_frame(), n in 1usize..9) {
+/// Hash partitioning is a disjoint cover and co-locates equal keys.
+#[test]
+fn hash_partition_disjoint_cover() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xa574 + case);
+        let df = small_frame(&mut rng);
+        let n = rng.gen_range_i64(1, 9) as usize;
         let parts = partition::hash_partition(&df, &["k"], n).unwrap();
-        prop_assert_eq!(parts.len(), n);
+        assert_eq!(parts.len(), n);
         let total: usize = parts.iter().map(|p| p.num_rows()).sum();
-        prop_assert_eq!(total, df.num_rows());
+        assert_eq!(total, df.num_rows());
         // each key value appears in exactly one partition
         for key in 0i64..20 {
             let hits = parts
@@ -123,50 +149,52 @@ proptest! {
                     (0..p.num_rows()).any(|i| c.get(i) == Scalar::Int(key))
                 })
                 .count();
-            prop_assert!(hits <= 1, "key {} in {} partitions", key, hits);
+            assert!(hits <= 1, "key {} in {} partitions", key, hits);
         }
     }
+}
 
-    /// Inner join row count equals the nested-loop reference count.
-    #[test]
-    fn join_count_matches_nested_loop(
-        l in proptest::collection::vec(0i64..10, 0..60),
-        r in proptest::collection::vec(0i64..10, 0..60),
-    ) {
+/// Inner join row count equals the nested-loop reference count.
+#[test]
+fn join_count_matches_nested_loop() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x2017 + case);
+        let l = key_vec(&mut rng, 60);
+        let r = key_vec(&mut rng, 60);
         let left = DataFrame::new(vec![("k", Column::from_i64(l.clone()))]).unwrap();
         let right = DataFrame::new(vec![("k", Column::from_i64(r.clone()))]).unwrap();
-        let joined = join::merge(
-            &left,
-            &right,
-            &["k"],
-            &["k"],
-            &join::JoinOptions::default(),
-        )
-        .unwrap();
-        let expected: usize = l
-            .iter()
-            .map(|a| r.iter().filter(|b| *b == a).count())
-            .sum();
-        prop_assert_eq!(joined.num_rows(), expected);
+        let joined =
+            join::merge(&left, &right, &["k"], &["k"], &join::JoinOptions::default()).unwrap();
+        let expected: usize = l.iter().map(|a| r.iter().filter(|b| *b == a).count()).sum();
+        assert_eq!(joined.num_rows(), expected);
     }
+}
 
-    /// Semi + anti joins partition the left side.
-    #[test]
-    fn semi_anti_partition_left(
-        l in proptest::collection::vec(0i64..10, 0..60),
-        r in proptest::collection::vec(0i64..10, 0..60),
-    ) {
+/// Semi + anti joins partition the left side.
+#[test]
+fn semi_anti_partition_left() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x5e31 + case);
+        let l = key_vec(&mut rng, 60);
+        let r = key_vec(&mut rng, 60);
         let left = DataFrame::new(vec![("k", Column::from_i64(l))]).unwrap();
         let right = DataFrame::new(vec![("k", Column::from_i64(r))]).unwrap();
-        let opts = |how| join::JoinOptions { how, ..Default::default() };
+        let opts = |how| join::JoinOptions {
+            how,
+            ..Default::default()
+        };
         let semi = join::merge(&left, &right, &["k"], &["k"], &opts(JoinType::Semi)).unwrap();
         let anti = join::merge(&left, &right, &["k"], &["k"], &opts(JoinType::Anti)).unwrap();
-        prop_assert_eq!(semi.num_rows() + anti.num_rows(), left.num_rows());
+        assert_eq!(semi.num_rows() + anti.num_rows(), left.num_rows());
     }
+}
 
-    /// CSV round trip preserves the frame (modulo float formatting).
-    #[test]
-    fn csv_round_trip(df in small_frame()) {
+/// CSV round trip preserves the frame (modulo float formatting).
+#[test]
+fn csv_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xc541 + case);
+        let df = small_frame(&mut rng);
         let mut buf = Vec::new();
         xorbits::dataframe::csv::write_csv(&df, &mut buf).unwrap();
         let back = xorbits::dataframe::csv::read_csv(
@@ -174,26 +202,30 @@ proptest! {
             &xorbits::dataframe::csv::CsvOptions::default(),
         )
         .unwrap();
-        prop_assert_eq!(back.num_rows(), df.num_rows());
+        assert_eq!(back.num_rows(), df.num_rows());
         for i in 0..df.num_rows() {
             let a = df.column("k").unwrap().get(i);
             let b = back.column("k").unwrap().get(i);
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
     }
+}
 
-    /// drop_duplicates yields unique keys covering all input keys.
-    #[test]
-    fn drop_duplicates_unique_cover(df in small_frame()) {
+/// drop_duplicates yields unique keys covering all input keys.
+#[test]
+fn drop_duplicates_unique_cover() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xd0d0 + case);
+        let df = small_frame(&mut rng);
         let out = df.drop_duplicates(Some(&["k"])).unwrap();
         let keys: Vec<i64> = (0..out.num_rows())
             .map(|i| out.column("k").unwrap().get(i).as_i64().unwrap())
             .collect();
         let set: std::collections::HashSet<_> = keys.iter().collect();
-        prop_assert_eq!(set.len(), keys.len(), "duplicate keys survived");
+        assert_eq!(set.len(), keys.len(), "duplicate keys survived");
         let input_keys: std::collections::HashSet<i64> = (0..df.num_rows())
             .map(|i| df.column("k").unwrap().get(i).as_i64().unwrap())
             .collect();
-        prop_assert_eq!(set.len(), input_keys.len());
+        assert_eq!(set.len(), input_keys.len());
     }
 }

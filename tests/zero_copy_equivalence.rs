@@ -1,0 +1,231 @@
+//! Equivalence of the zero-copy buffer layer with eager materialisation.
+//!
+//! Every operation on a sliced *view* (non-zero buffer and bitmap offsets,
+//! shared parents, empty windows) must produce results logically identical
+//! to the same operation on an eagerly deep-copied frame — the pre-buffer
+//! semantics. Cases are driven by the in-tree seeded PRNG.
+
+use xorbits::array::prng::Xoshiro256;
+use xorbits::dataframe::{Bitmap, Column, DataFrame, Scalar};
+
+const CASES: u64 = 32;
+
+fn arb_frame(rng: &mut Xoshiro256) -> DataFrame {
+    let n = rng.gen_range_i64(1, 150) as usize;
+    let ints: Vec<Option<i64>> = (0..n)
+        .map(|_| rng.gen_bool(0.8).then(|| rng.gen_range_i64(-50, 50)))
+        .collect();
+    let floats: Vec<Option<f64>> = (0..n)
+        .map(|_| rng.gen_bool(0.8).then(|| rng.gen_range_f64(-10.0, 10.0)))
+        .collect();
+    let strs: Vec<Option<String>> = (0..n)
+        .map(|_| {
+            rng.gen_bool(0.8)
+                .then(|| format!("s{}", rng.gen_range_i64(0, 30)))
+        })
+        .collect();
+    let bools: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let dates: Vec<i32> = (0..n)
+        .map(|_| rng.gen_range_i64(10_000, 20_000) as i32)
+        .collect();
+    DataFrame::new(vec![
+        ("i", Column::from_opt_i64(ints)),
+        ("f", Column::from_opt_f64(floats)),
+        ("s", Column::from_opt_str(strs)),
+        ("b", Column::from_bool(bools)),
+        ("d", Column::from_date(dates)),
+    ])
+    .unwrap()
+}
+
+/// Deep-copies a frame by round-tripping every cell through `Scalar` —
+/// the result owns fresh full-view buffers with zero offsets.
+fn eager_copy(df: &DataFrame) -> DataFrame {
+    let pairs: Vec<(&str, Column)> = df
+        .schema()
+        .names()
+        .iter()
+        .map(|n| {
+            let c = df.column(n).unwrap();
+            let scalars: Vec<Scalar> = (0..c.len()).map(|i| c.get(i)).collect();
+            (*n, Column::from_scalars(&scalars, c.data_type()).unwrap())
+        })
+        .collect();
+    DataFrame::new(pairs).unwrap()
+}
+
+/// Asserts cell-level equality (dtype-aware, nulls included).
+fn assert_same(view: &DataFrame, eager: &DataFrame) {
+    assert_eq!(view.num_rows(), eager.num_rows());
+    assert_eq!(view.schema().names(), eager.schema().names());
+    for ci in 0..view.num_columns() {
+        for ri in 0..view.num_rows() {
+            assert_eq!(
+                view.column_at(ci).get(ri),
+                eager.column_at(ci).get(ri),
+                "cell ({ci},{ri}) diverged"
+            );
+        }
+    }
+}
+
+/// Random window over `n` rows, biased to cover empty and full windows.
+fn arb_window(rng: &mut Xoshiro256, n: usize) -> (usize, usize) {
+    match rng.gen_range_i64(0, 5) {
+        0 => (rng.gen_range_i64(0, n as i64 + 1) as usize, 0), // empty
+        1 => (0, n),                                           // full
+        _ => {
+            let offset = rng.gen_range_i64(0, n as i64) as usize;
+            let len = rng.gen_range_i64(0, (n - offset) as i64 + 1) as usize;
+            (offset, len)
+        }
+    }
+}
+
+/// slice-of-view equals slice-of-copy, at non-zero bitmap offsets.
+#[test]
+fn slice_matches_eager() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x51ce + case);
+        let df = arb_frame(&mut rng);
+        let (offset, len) = arb_window(&mut rng, df.num_rows());
+        let view = df.slice(offset, len);
+        let eager = eager_copy(&df).slice(offset, len);
+        assert_same(&view, &eager);
+        // a second slice stacks offsets on the same parent buffers
+        if len > 1 {
+            let (o2, l2) = arb_window(&mut rng, len);
+            assert_same(&view.slice(o2, l2), &eager.slice(o2, l2));
+        }
+    }
+}
+
+/// take() out of an offset view gathers the same rows as from a copy.
+#[test]
+fn take_matches_eager() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0x7a4e + case);
+        let df = arb_frame(&mut rng);
+        let (offset, len) = arb_window(&mut rng, df.num_rows());
+        let view = df.slice(offset, len);
+        let eager = eager_copy(&view);
+        let n_idx = rng.gen_range_i64(0, 30) as usize;
+        let indices: Vec<usize> = if len == 0 {
+            Vec::new()
+        } else {
+            (0..n_idx)
+                .map(|_| rng.gen_range_i64(0, len as i64) as usize)
+                .collect()
+        };
+        assert_same(&view.take(&indices), &eager.take(&indices));
+    }
+}
+
+/// filter() through a view with a bitmap at non-zero offset.
+#[test]
+fn filter_matches_eager() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xf117 + case);
+        let df = arb_frame(&mut rng);
+        let (offset, len) = arb_window(&mut rng, df.num_rows());
+        let view = df.slice(offset, len);
+        let eager = eager_copy(&view);
+        // the mask itself is an offset view into a larger bitmap, so both
+        // sides of the kernel run at non-zero bit offsets
+        let pad = rng.gen_range_i64(0, 7) as usize;
+        let big = Bitmap::from_iter((0..pad + len).map(|_| rng.gen_bool(0.5)));
+        let mask = big.slice(pad, len);
+        assert_same(&view.filter(&mask).unwrap(), &eager.filter(&mask).unwrap());
+    }
+}
+
+/// concat of many views (odd offsets, shared parents, empties) equals
+/// concat of their eager copies.
+#[test]
+fn concat_matches_eager() {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xc04c + case);
+        let df = arb_frame(&mut rng);
+        let nparts = rng.gen_range_i64(2, 6) as usize;
+        let views: Vec<DataFrame> = (0..nparts)
+            .map(|_| {
+                let (o, l) = arb_window(&mut rng, df.num_rows());
+                df.slice(o, l)
+            })
+            .collect();
+        let eagers: Vec<DataFrame> = views.iter().map(eager_copy).collect();
+        let vrefs: Vec<&DataFrame> = views.iter().collect();
+        let erefs: Vec<&DataFrame> = eagers.iter().collect();
+        assert_same(
+            &DataFrame::concat(&vrefs).unwrap(),
+            &DataFrame::concat(&erefs).unwrap(),
+        );
+    }
+}
+
+/// fillna on a shared view: same results as on a copy, and copy-on-write
+/// must leave the parent frame untouched.
+#[test]
+fn fillna_round_trip_matches_eager_and_preserves_parent() {
+    let fills = [
+        ("i", Scalar::Int(7)),
+        ("f", Scalar::Float(1.25)),
+        ("s", Scalar::Str("fill".into())),
+        ("i", Scalar::Float(2.5)), // non-coercible: nulls must survive
+    ];
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(0xf111 + case);
+        let df = arb_frame(&mut rng);
+        let (offset, len) = arb_window(&mut rng, df.num_rows());
+        let view = df.slice(offset, len);
+        let eager = eager_copy(&view);
+        let before: Vec<Scalar> = (0..df.num_rows())
+            .map(|i| df.column("i").unwrap().get(i))
+            .collect();
+        for (name, fill) in &fills {
+            let a = view.fillna(name, fill).unwrap();
+            let b = eager.fillna(name, fill).unwrap();
+            assert_same(&a, &b);
+            // round trip: rows that were valid before are unchanged
+            for ri in 0..len {
+                if view.column(name).unwrap().is_valid(ri) {
+                    assert_eq!(
+                        a.column(name).unwrap().get(ri),
+                        view.column(name).unwrap().get(ri)
+                    );
+                }
+            }
+        }
+        // CoW: mutating through the view never corrupts the parent
+        let after: Vec<Scalar> = (0..df.num_rows())
+            .map(|i| df.column("i").unwrap().get(i))
+            .collect();
+        assert_eq!(before, after, "fillna on a view mutated its parent");
+    }
+}
+
+/// Slicing shares allocations with the parent (the O(1) claim), while an
+/// eager copy does not.
+#[test]
+fn slice_shares_parent_allocations() {
+    let mut rng = Xoshiro256::seed_from_u64(0xa110);
+    let df = arb_frame(&mut rng);
+    let n = df.num_rows();
+    let view = df.slice(n / 4, n / 2);
+    let mut parent_allocs = Vec::new();
+    df.push_allocs(&mut parent_allocs);
+    let mut view_allocs = Vec::new();
+    view.push_allocs(&mut view_allocs);
+    let parent_ids: std::collections::HashSet<usize> =
+        parent_allocs.iter().map(|(id, _)| *id).collect();
+    assert!(
+        view_allocs.iter().all(|(id, _)| parent_ids.contains(id)),
+        "a slice must reference only its parent's buffers"
+    );
+    let mut eager_allocs = Vec::new();
+    eager_copy(&view).push_allocs(&mut eager_allocs);
+    assert!(
+        eager_allocs.iter().all(|(id, _)| !parent_ids.contains(id)),
+        "an eager copy must own fresh buffers"
+    );
+}
