@@ -68,6 +68,30 @@ fn bench_dataframe() {
     bench("hash_partition_100k_into_16", || {
         partition::hash_partition(&df, &["k"], 16).unwrap()
     });
+    // The vectorized kernel primitives underneath shuffle/join/groupby.
+    let pids: Vec<u32> = (0..df.num_rows() as u32).map(|i| i % 16).collect();
+    let mut counts = vec![0usize; 16];
+    for &p in &pids {
+        counts[p as usize] += 1;
+    }
+    let scol = df.column("s").unwrap();
+    bench("scatter_str_100k_into_16", || scol.scatter(&pids, &counts));
+    let idx: Vec<Option<usize>> = (0..df.num_rows())
+        .map(|i| {
+            if i % 7 == 0 {
+                None
+            } else {
+                Some((i * 31) % df.num_rows())
+            }
+        })
+        .collect();
+    bench("take_opt_str_100k", || scol.take_opt(&idx));
+    bench("dict_encode_100k", || {
+        let Column::Utf8(a) = scol else {
+            unreachable!()
+        };
+        a.dict_encode_full()
+    });
 }
 
 fn bench_array() {

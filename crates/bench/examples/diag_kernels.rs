@@ -1,0 +1,346 @@
+//! Per-stage timing of the shuffle/groupby kernel pipeline, for tuning.
+//! Not part of the benchmark gate; run ad hoc when optimizing kernels.
+
+use std::time::Instant;
+use xorbits_bench::env_f64;
+use xorbits_dataframe::{partition, Column, DataFrame};
+
+fn ms<T>(label: &str, mut f: impl FnMut() -> T) -> T {
+    std::hint::black_box(f()); // warmup
+    let mut times = Vec::new();
+    let mut r = None;
+    for _ in 0..3 {
+        let t = Instant::now();
+        r = Some(std::hint::black_box(f()));
+        times.push(t.elapsed().as_secs_f64());
+    }
+    times.sort_by(f64::total_cmp);
+    println!("{label:<26} {:>9.3} ms", times[1] * 1e3);
+    r.unwrap()
+}
+
+fn main() {
+    let n = env_f64("XORBITS_BENCH_ROWS", 1e6) as usize;
+    let df = DataFrame::new(vec![
+        (
+            "k",
+            Column::from_i64((0..n as i64).map(|i| i % 100).collect()),
+        ),
+        ("v", Column::from_f64((0..n).map(|i| i as f64).collect())),
+        (
+            "s",
+            Column::from_str((0..n).map(|i| format!("val{}", i % 37))),
+        ),
+    ])
+    .unwrap();
+
+    let hashes = ms("hash_rows[k]", || df.hash_rows(&["k"]).unwrap());
+    ms("hash_rows[s]", || df.hash_rows(&["s"]).unwrap());
+    let (pids, counts) = ms("pids+counts", || {
+        let mut pids: Vec<u32> = Vec::with_capacity(hashes.len());
+        let mut counts = vec![0usize; 16];
+        for h in &hashes {
+            let p = (h % 16) as u32;
+            counts[p as usize] += 1;
+            pids.push(p);
+        }
+        (pids, counts)
+    });
+    ms("scatter k (i64)", || {
+        df.column("k").unwrap().scatter(&pids, &counts)
+    });
+    ms("scatter v (f64)", || {
+        df.column("v").unwrap().scatter(&pids, &counts)
+    });
+    ms("scatter s (str)", || {
+        df.column("s").unwrap().scatter(&pids, &counts)
+    });
+    ms("fused pids (combine+mask)", || {
+        use xorbits_dataframe::hash::combine;
+        let kc = match df.column("k").unwrap() {
+            Column::Int64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let mut pids: Vec<u32> = Vec::with_capacity(n);
+        let mut counts = vec![0usize; 16];
+        for &v in kc.values.as_slice() {
+            let p = (combine(0, v as u64) & 15) as u32;
+            counts[p as usize] += 1;
+            pids.push(p);
+        }
+        (pids, counts)
+    });
+    ms("inline pipeline (no api)", || {
+        use xorbits_dataframe::hash::combine;
+        let kc = match df.column("k").unwrap() {
+            Column::Int64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let mut pids: Vec<u32> = Vec::with_capacity(n);
+        let mut counts = vec![0usize; 16];
+        for &v in kc.values.as_slice() {
+            let p = (combine(0, v as u64) & 15) as u32;
+            counts[p as usize] += 1;
+            pids.push(p);
+        }
+        let mut cols = Vec::new();
+        for name in ["k", "v", "s"] {
+            cols.push(df.column(name).unwrap().scatter(&pids, &counts));
+        }
+        cols
+    });
+    let (src_v, soffs_v) = {
+        let sc = match df.column("s").unwrap() {
+            Column::Utf8(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let mut src: Vec<u8> = Vec::new();
+        let mut offs: Vec<u32> = Vec::with_capacity(n + 1);
+        offs.push(0);
+        for i in 0..n {
+            src.extend_from_slice(sc.value(i).as_bytes());
+            offs.push(src.len() as u32);
+        }
+        (src, offs)
+    };
+    ms("inline contiguous scatter", || {
+        use xorbits_dataframe::hash::combine;
+        let kc = match df.column("k").unwrap() {
+            Column::Int64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let vc = match df.column("v").unwrap() {
+            Column::Float64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let mut pids: Vec<u32> = Vec::with_capacity(n);
+        let mut counts = vec![0usize; 16];
+        for &v in kc.values.as_slice() {
+            let p = (combine(0, v as u64) & 15) as u32;
+            counts[p as usize] += 1;
+            pids.push(p);
+        }
+        let mut starts = vec![0usize; 17];
+        for p in 0..16 {
+            starts[p + 1] = starts[p] + counts[p];
+        }
+        // i64 into one buffer with per-partition cursors
+        let mut kout: Vec<i64> = Vec::with_capacity(n);
+        let mut vout: Vec<f64> = Vec::with_capacity(n);
+        unsafe {
+            let kbase = kout.as_mut_ptr();
+            let vbase = vout.as_mut_ptr();
+            let mut kcurs: Vec<*mut i64> = starts[..16].iter().map(|&s| kbase.add(s)).collect();
+            let mut vcurs: Vec<*mut f64> = starts[..16].iter().map(|&s| vbase.add(s)).collect();
+            for (&p, &v) in pids.iter().zip(kc.values.as_slice()) {
+                let c = kcurs.get_unchecked_mut(p as usize);
+                c.write(v);
+                *c = c.add(1);
+            }
+            for (&p, &v) in pids.iter().zip(vc.values.as_slice()) {
+                let c = vcurs.get_unchecked_mut(p as usize);
+                c.write(v);
+                *c = c.add(1);
+            }
+            kout.set_len(n);
+            vout.set_len(n);
+        }
+        // strings: shared data buffer, absolute offsets, per-partition slices
+        let src = src_v.as_slice();
+        let soffs = soffs_v.as_slice();
+        let mut sbytes = vec![0usize; 16];
+        for (w, &p) in soffs.windows(2).zip(&pids) {
+            sbytes[p as usize] += (w[1] - w[0]) as usize;
+        }
+        let total: usize = sbytes.iter().sum();
+        let mut bstarts = vec![0usize; 17];
+        for p in 0..16 {
+            bstarts[p + 1] = bstarts[p] + sbytes[p];
+        }
+        let mut sdata: Vec<u8> = Vec::with_capacity(total + 8);
+        let mut soff_out: Vec<u32> = Vec::with_capacity(n + 16);
+        unsafe {
+            let sbase = sdata.as_mut_ptr();
+            let mut scurs: Vec<usize> = bstarts[..16].to_vec();
+            let obase = soff_out.as_mut_ptr();
+            let mut ocurs: Vec<*mut u32> = {
+                let mut acc = 0usize;
+                (0..16)
+                    .map(|p| {
+                        let c = obase.add(acc);
+                        c.write(bstarts[p] as u32);
+                        acc += counts[p] + 1;
+                        c.add(1)
+                    })
+                    .collect()
+            };
+            for (w, &p) in soffs.windows(2).zip(&pids) {
+                let p = p as usize;
+                let (s, e) = (w[0] as usize, w[1] as usize);
+                let len = e - s;
+                let dst = sbase.add(scurs[p]);
+                if len <= 8 && s + 8 <= src.len() {
+                    let wv = src.as_ptr().add(s).cast::<[u8; 8]>().read_unaligned();
+                    dst.cast::<[u8; 8]>().write_unaligned(wv);
+                } else {
+                    std::ptr::copy_nonoverlapping(src.as_ptr().add(s), dst, len);
+                }
+                scurs[p] += len;
+                let c = ocurs.get_unchecked_mut(p);
+                c.write(scurs[p] as u32);
+                *c = c.add(1);
+            }
+            sdata.set_len(total);
+            soff_out.set_len(n + 16);
+        }
+        (kout, vout, sdata, soff_out)
+    });
+    {
+        let kc = match df.column("k").unwrap() {
+            Column::Int64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let vc = match df.column("v").unwrap() {
+            Column::Float64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let mut kout: Vec<i64> = vec![0; n];
+        let mut vout: Vec<f64> = vec![0.0; n];
+        let mut pids: Vec<u32> = vec![0; n];
+        ms("contiguous reused bufs", || {
+            use xorbits_dataframe::hash::combine;
+            let mut counts = vec![0usize; 16];
+            for (o, &v) in pids.iter_mut().zip(kc.values.as_slice()) {
+                let p = (combine(0, v as u64) & 15) as u32;
+                counts[p as usize] += 1;
+                *o = p;
+            }
+            let mut starts = vec![0usize; 17];
+            for p in 0..16 {
+                starts[p + 1] = starts[p] + counts[p];
+            }
+            unsafe {
+                let kbase = kout.as_mut_ptr();
+                let vbase = vout.as_mut_ptr();
+                let mut kcurs: Vec<*mut i64> = starts[..16].iter().map(|&s| kbase.add(s)).collect();
+                let mut vcurs: Vec<*mut f64> = starts[..16].iter().map(|&s| vbase.add(s)).collect();
+                for (&p, &v) in pids.iter().zip(kc.values.as_slice()) {
+                    let c = kcurs.get_unchecked_mut(p as usize);
+                    c.write(v);
+                    *c = c.add(1);
+                }
+                for (&p, &v) in pids.iter().zip(vc.values.as_slice()) {
+                    let c = vcurs.get_unchecked_mut(p as usize);
+                    c.write(v);
+                    *c = c.add(1);
+                }
+            }
+            counts
+        });
+    }
+    {
+        let kc = match df.column("k").unwrap() {
+            Column::Int64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        let vc = match df.column("v").unwrap() {
+            Column::Float64(a) => a.clone(),
+            _ => unreachable!(),
+        };
+        unsafe fn advise_huge<T>(p: *const T, cap: usize) {
+            const PAGE: usize = 4096;
+            let start = p as usize;
+            let len = cap * std::mem::size_of::<T>();
+            if len < (1 << 21) {
+                return;
+            }
+            let a = (start + PAGE - 1) & !(PAGE - 1);
+            let end = (start + len) & !(PAGE - 1);
+            if end > a {
+                let ret: isize;
+                std::arch::asm!(
+                    "syscall",
+                    in("rax") 28isize, // madvise
+                    in("rdi") a,
+                    in("rsi") end - a,
+                    in("rdx") 14isize, // MADV_HUGEPAGE
+                    out("rcx") _, out("r11") _,
+                    lateout("rax") ret,
+                );
+                let _ = ret;
+            }
+        }
+        ms("contiguous + hugepage adv", || {
+            use xorbits_dataframe::hash::combine;
+            let mut pids: Vec<u32> = Vec::with_capacity(n);
+            let mut kout: Vec<i64> = Vec::with_capacity(n);
+            let mut vout: Vec<f64> = Vec::with_capacity(n);
+            unsafe {
+                advise_huge(pids.as_ptr(), n);
+                advise_huge(kout.as_ptr(), n);
+                advise_huge(vout.as_ptr(), n);
+            }
+            let mut counts = vec![0usize; 16];
+            for &v in kc.values.as_slice() {
+                let p = (combine(0, v as u64) & 15) as u32;
+                counts[p as usize] += 1;
+                pids.push(p);
+            }
+            let mut starts = vec![0usize; 17];
+            for p in 0..16 {
+                starts[p + 1] = starts[p] + counts[p];
+            }
+            unsafe {
+                let kbase = kout.as_mut_ptr();
+                let vbase = vout.as_mut_ptr();
+                let mut kcurs: Vec<*mut i64> = starts[..16].iter().map(|&s| kbase.add(s)).collect();
+                let mut vcurs: Vec<*mut f64> = starts[..16].iter().map(|&s| vbase.add(s)).collect();
+                for (&p, &v) in pids.iter().zip(kc.values.as_slice()) {
+                    let c = kcurs.get_unchecked_mut(p as usize);
+                    c.write(v);
+                    *c = c.add(1);
+                }
+                for (&p, &v) in pids.iter().zip(vc.values.as_slice()) {
+                    let c = vcurs.get_unchecked_mut(p as usize);
+                    c.write(v);
+                    *c = c.add(1);
+                }
+                kout.set_len(n);
+                vout.set_len(n);
+            }
+            (pids, kout, vout)
+        });
+    }
+    ms("hash_partition full", || {
+        partition::hash_partition(&df, &["k"], 16).unwrap()
+    });
+
+    // groupby pieces
+    let s = match df.column("s").unwrap() {
+        Column::Utf8(a) => a.clone(),
+        _ => unreachable!(),
+    };
+    ms("dict_encode s", || s.dict_encode());
+    ms("grouping loop (int key)", || {
+        use xorbits_dataframe::hash::FxHashMap;
+        let hashes = df.hash_rows(&["k"]).unwrap();
+        let kc = df.column("k").unwrap();
+        let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+        let mut repr: Vec<usize> = Vec::new();
+        let mut rg: Vec<(usize, usize)> = Vec::with_capacity(n);
+        'rows: for (i, &h) in hashes.iter().enumerate() {
+            let bucket = table.entry(h).or_default();
+            for &gid in bucket.iter() {
+                if kc.eq_at(i, kc, repr[gid]) {
+                    rg.push((i, gid));
+                    continue 'rows;
+                }
+            }
+            let gid = repr.len();
+            repr.push(i);
+            bucket.push(gid);
+            rg.push((i, gid));
+        }
+        (repr, rg)
+    });
+}

@@ -87,6 +87,9 @@ pub fn execute_chunk(op: &ChunkOp, inputs: &[Arc<Payload>]) -> XbResult<Vec<Payl
         ChunkOp::ShuffleSplit { keys, n } => {
             let df = inputs[0].as_df()?;
             let keys: Vec<&str> = keys.iter().map(|s| s.as_str()).collect();
+            // single-pass typed scatter: one partition-id pass over the
+            // rows, then every column writes straight into per-partition
+            // builders (the map side of the paper's map-combine-reduce)
             let parts = partition::hash_partition(df, &keys, *n)?;
             Ok(parts.into_iter().map(Payload::Df).collect())
         }

@@ -210,15 +210,54 @@ impl Bitmap {
         }
     }
 
-    /// New bitmap keeping only positions in `indices`.
+    /// New bitmap keeping only positions in `indices` — a bit gather that
+    /// writes words directly (no per-bit builder round-trip).
     pub fn take(&self, indices: &[usize]) -> Bitmap {
-        Bitmap::from_iter(indices.iter().map(|&i| self.get(i)))
+        let mut words = vec![0u64; indices.len().div_ceil(64)];
+        for (pos, &i) in indices.iter().enumerate() {
+            debug_assert!(i < self.len);
+            let bit = self.offset + i;
+            if (self.words[bit / 64] >> (bit % 64)) & 1 == 1 {
+                words[pos / 64] |= 1u64 << (pos % 64);
+            }
+        }
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
+            len: indices.len(),
+        }
     }
 
-    /// New bitmap keeping only positions where `mask` is set.
+    /// New bitmap keeping only positions where `mask` is set. Runs
+    /// word-at-a-time: an all-set mask word splices 64 bits in one op, a
+    /// sparse word walks only its set bits.
     pub fn filter(&self, mask: &Bitmap) -> Bitmap {
         assert_eq!(self.len, mask.len, "bitmap length mismatch");
-        Bitmap::from_iter(mask.set_indices().map(|i| self.get(i)))
+        let out_len = mask.count_set();
+        let mut words = vec![0u64; out_len.div_ceil(64)];
+        let mut pos = 0usize;
+        for wi in 0..self.num_words() {
+            let mut m = mask.word(wi);
+            let s = self.word(wi);
+            if m == u64::MAX {
+                splice_bits(&mut words, pos, s, 64);
+                pos += 64;
+            } else {
+                while m != 0 {
+                    let b = m.trailing_zeros() as usize;
+                    if (s >> b) & 1 == 1 {
+                        words[pos / 64] |= 1u64 << (pos % 64);
+                    }
+                    pos += 1;
+                    m &= m - 1;
+                }
+            }
+        }
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
+            len: out_len,
+        }
     }
 
     /// Contiguous sub-bitmap `[offset, offset + len)` — O(1), shares the
@@ -240,13 +279,7 @@ impl Bitmap {
         for p in parts {
             for wi in 0..p.num_words() {
                 let nbits = (p.len - wi * 64).min(64);
-                let w = p.word(wi);
-                let slot = pos / 64;
-                let sh = pos % 64;
-                words[slot] |= w << sh;
-                if sh != 0 && sh + nbits > 64 {
-                    words[slot + 1] |= w >> (64 - sh);
-                }
+                splice_bits(&mut words, pos, p.word(wi), nbits);
                 pos += nbits;
             }
         }
@@ -282,6 +315,82 @@ impl Bitmap {
         self.words = Arc::new(owned);
         self.offset = 0;
         true
+    }
+}
+
+/// ORs the low `nbits` of `value` into `words` starting at bit `pos`.
+/// `value` must have all bits above `nbits` zeroed (as [`Bitmap::word`]
+/// guarantees); the destination bits must still be zero.
+#[inline]
+fn splice_bits(words: &mut [u64], pos: usize, value: u64, nbits: usize) {
+    let slot = pos / 64;
+    let sh = pos % 64;
+    words[slot] |= value << sh;
+    if sh != 0 && sh + nbits > 64 {
+        words[slot + 1] |= value >> (64 - sh);
+    }
+}
+
+/// An append-only bitmap under construction: plain owned words with no
+/// copy-on-write bookkeeping, so `push` is branch + shift (unlike
+/// [`Bitmap::push`], which re-checks sharing on every call). The unit all
+/// vectorized kernels emit validity through.
+pub struct BitmapBuilder {
+    words: Vec<u64>,
+    len: usize,
+    set: usize,
+}
+
+impl BitmapBuilder {
+    /// A builder with room for `bits` bits.
+    pub fn with_capacity(bits: usize) -> Self {
+        BitmapBuilder {
+            words: Vec::with_capacity(bits.div_ceil(64)),
+            len: 0,
+            set: 0,
+        }
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push(&mut self, value: bool) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        if value {
+            self.words[self.len / 64] |= 1u64 << (self.len % 64);
+            self.set += 1;
+        }
+        self.len += 1;
+    }
+
+    /// Number of bits appended so far.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if nothing was appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Finishes into an owned bitmap.
+    pub fn finish(self) -> Bitmap {
+        Bitmap {
+            words: Arc::new(self.words),
+            offset: 0,
+            len: self.len,
+        }
+    }
+
+    /// Finishes into a *validity* bitmap: `None` when every bit is set
+    /// (the all-valid normalization every array constructor applies).
+    pub fn finish_validity(self) -> Option<Bitmap> {
+        if self.set == self.len {
+            None
+        } else {
+            Some(self.finish())
+        }
     }
 }
 
@@ -358,6 +467,44 @@ mod tests {
         let c = Bitmap::concat(&[&a, &a]);
         assert_eq!(c.len(), 10);
         assert_eq!(c.count_set(), 6);
+    }
+
+    #[test]
+    fn take_filter_word_ops_match_per_bit_reference() {
+        // dense + sparse patterns, at a non-zero bit offset, spanning words
+        let big = Bitmap::from_iter((0..300).map(|i| i % 3 != 1));
+        let view = big.slice(7, 271);
+        let indices: Vec<usize> = (0..view.len()).rev().step_by(2).collect();
+        let reference = Bitmap::from_iter(indices.iter().map(|&i| view.get(i)));
+        assert_eq!(view.take(&indices), reference);
+        let mask = Bitmap::from_iter((0..view.len()).map(|i| i % 7 != 2 || i < 80));
+        let reference = Bitmap::from_iter(mask.set_indices().map(|i| view.get(i)));
+        assert_eq!(view.filter(&mask), reference);
+        // all-set mask exercises the whole-word splice fast path
+        let all = Bitmap::new_set(view.len(), true);
+        assert_eq!(view.filter(&all), Bitmap::from_iter(view.iter()));
+    }
+
+    #[test]
+    fn builder_matches_from_iter() {
+        let bits: Vec<bool> = (0..200).map(|i| i % 5 == 0).collect();
+        let mut b = BitmapBuilder::with_capacity(bits.len());
+        for &v in &bits {
+            b.push(v);
+        }
+        assert_eq!(b.finish(), Bitmap::from_iter(bits.iter().copied()));
+        let mut all = BitmapBuilder::with_capacity(3);
+        for _ in 0..3 {
+            all.push(true);
+        }
+        assert!(
+            all.finish_validity().is_none(),
+            "all-valid normalizes to None"
+        );
+        let mut some = BitmapBuilder::with_capacity(2);
+        some.push(true);
+        some.push(false);
+        assert_eq!(some.finish_validity().unwrap().count_set(), 1);
     }
 
     #[test]

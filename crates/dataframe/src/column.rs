@@ -5,11 +5,12 @@
 //! (`Buffer::make_mut`); see the crate-level "Memory model" notes in
 //! DESIGN.md for the sharing/accounting rules.
 
-use crate::bitmap::Bitmap;
+use crate::bitmap::{Bitmap, BitmapBuilder};
 use crate::buffer::Buffer;
 use crate::error::{DfError, DfResult};
-use crate::hash::combine;
+use crate::hash::{combine, hash_bytes};
 use crate::scalar::{DataType, Scalar};
+use std::cmp::Ordering;
 
 /// A primitive array: contiguous values plus an optional null bitmap
 /// (absent bitmap ⇒ all values valid).
@@ -77,6 +78,106 @@ impl<T: Copy + Default> PrimArr<T> {
         let values = indices.iter().map(|&i| self.values[i]).collect();
         let validity = self.validity.as_ref().map(|v| v.take(indices));
         PrimArr { values, validity }
+    }
+
+    /// Gather by optional index: `None` yields a null row. The typed
+    /// left-join output kernel — no per-row scalar materialization.
+    fn take_opt(&self, indices: &[Option<usize>]) -> Self {
+        let vals = self.values.as_slice();
+        let mut values = Vec::with_capacity(indices.len());
+        let mut validity = BitmapBuilder::with_capacity(indices.len());
+        for idx in indices {
+            match idx {
+                Some(i) => {
+                    values.push(vals[*i]);
+                    validity.push(self.is_valid(*i));
+                }
+                None => {
+                    values.push(T::default());
+                    validity.push(false);
+                }
+            }
+        }
+        PrimArr {
+            values: Buffer::from_vec(values),
+            validity: validity.finish_validity(),
+        }
+    }
+
+    /// Scatter into `counts.len()` partitions: row `i` goes to partition
+    /// `pids[i]`. Single pass over the input, writing straight into one
+    /// contiguous arena laid out partition-by-partition; each output is a
+    /// zero-copy [`Buffer`] slice of it. One allocation total (instead of
+    /// one per partition) keeps first-touch fault cost and allocator
+    /// traffic proportional to data size, not partition count.
+    fn scatter(&self, pids: &[u32], counts: &[usize]) -> Vec<Self> {
+        let vals = self.values.as_slice();
+        let n = vals.len();
+        let mut starts: Vec<usize> = Vec::with_capacity(counts.len() + 1);
+        starts.push(0);
+        for &c in counts {
+            starts.push(starts.last().unwrap() + c);
+        }
+        let mut arena: Vec<T> = Vec::with_capacity(n);
+        crate::mem::advise_huge(arena.as_ptr(), n);
+        // Raw write cursors into each partition's arena region. The caller
+        // contract (`counts[p]` = number of `i` with `pids[i] == p`) means
+        // each cursor advances exactly `counts[p]` slots, so the writes
+        // stay inside the region and `set_len` exposes only initialized
+        // memory.
+        let base = arena.as_mut_ptr();
+        // SAFETY: `starts[p] <= n` by construction.
+        let mut curs: Vec<*mut T> = starts[..counts.len()]
+            .iter()
+            .map(|&s| unsafe { base.add(s) })
+            .collect();
+        let mut vbs: Option<Vec<BitmapBuilder>> = self.validity.as_ref().map(|_| {
+            counts
+                .iter()
+                .map(|&c| BitmapBuilder::with_capacity(c))
+                .collect()
+        });
+        match &self.validity {
+            None => {
+                for (&p, &v) in pids.iter().zip(vals) {
+                    // SAFETY: `p < counts.len()` and per-partition writes
+                    // are bounded by `counts[p]` (see above).
+                    unsafe {
+                        let c = curs.get_unchecked_mut(p as usize);
+                        c.write(v);
+                        *c = c.add(1);
+                    }
+                }
+            }
+            Some(valid) => {
+                let vbs = vbs.as_mut().expect("builders exist when validity does");
+                for (i, (&p, &v)) in pids.iter().zip(vals).enumerate() {
+                    // SAFETY: same bounds argument as the null-free arm.
+                    unsafe {
+                        let c = curs.get_unchecked_mut(p as usize);
+                        c.write(v);
+                        *c = c.add(1);
+                    }
+                    vbs[p as usize].push(valid.get(i));
+                }
+            }
+        }
+        // SAFETY: every row was written exactly once (counts sum to n).
+        unsafe { arena.set_len(n) };
+        let arena = Buffer::from_vec(arena);
+        let mut vbs = vbs.map(|v| v.into_iter());
+        counts
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| PrimArr {
+                values: arena.slice(starts[p], c),
+                validity: vbs.as_mut().and_then(|it| {
+                    it.next()
+                        .expect("one builder per partition")
+                        .finish_validity()
+                }),
+            })
+            .collect()
     }
 
     fn filter(&self, mask: &Bitmap) -> Self {
@@ -147,7 +248,7 @@ impl StrArr {
     pub fn from_options<S: AsRef<str>, I: IntoIterator<Item = Option<S>>>(iter: I) -> Self {
         let mut data = Vec::new();
         let mut offsets = vec![0u32];
-        let mut validity = Bitmap::new_set(0, false);
+        let mut validity = BitmapBuilder::with_capacity(0);
         for s in iter {
             match s {
                 Some(s) => {
@@ -158,15 +259,10 @@ impl StrArr {
             }
             offsets.push(data.len() as u32);
         }
-        let validity = if validity.count_set() == validity.len() {
-            None
-        } else {
-            Some(validity)
-        };
         StrArr {
             data: Buffer::from_vec(data),
             offsets: Buffer::from_vec(offsets),
-            validity,
+            validity: validity.finish_validity(),
         }
     }
 
@@ -211,12 +307,276 @@ impl StrArr {
         (0..self.len()).map(move |i| self.get(i))
     }
 
+    /// Byte range of row `i` in `data`.
+    #[inline]
+    fn byte_range(&self, i: usize) -> (usize, usize) {
+        (self.offsets[i] as usize, self.offsets[i + 1] as usize)
+    }
+
+    /// Gathers rows into a fresh array: bytes are copied range-wise out of
+    /// the shared byte buffer, never through `&str`/`String` values.
+    fn gather<I: Iterator<Item = usize>>(&self, indices: I, n_hint: usize) -> Self {
+        let mut data = Vec::new();
+        let mut offsets = Vec::with_capacity(n_hint + 1);
+        offsets.push(0u32);
+        match &self.validity {
+            None => {
+                for i in indices {
+                    let (s, e) = self.byte_range(i);
+                    data.extend_from_slice(&self.data.as_slice()[s..e]);
+                    offsets.push(data.len() as u32);
+                }
+                StrArr {
+                    data: Buffer::from_vec(data),
+                    offsets: Buffer::from_vec(offsets),
+                    validity: None,
+                }
+            }
+            Some(v) => {
+                let mut vb = BitmapBuilder::with_capacity(n_hint);
+                for i in indices {
+                    if v.get(i) {
+                        let (s, e) = self.byte_range(i);
+                        data.extend_from_slice(&self.data.as_slice()[s..e]);
+                        vb.push(true);
+                    } else {
+                        vb.push(false);
+                    }
+                    offsets.push(data.len() as u32);
+                }
+                StrArr {
+                    data: Buffer::from_vec(data),
+                    offsets: Buffer::from_vec(offsets),
+                    validity: vb.finish_validity(),
+                }
+            }
+        }
+    }
+
     fn take(&self, indices: &[usize]) -> Self {
-        StrArr::from_options(indices.iter().map(|&i| self.get(i)))
+        self.gather(indices.iter().copied(), indices.len())
     }
 
     fn filter(&self, mask: &Bitmap) -> Self {
-        StrArr::from_options(mask.set_indices().map(|i| self.get(i)))
+        self.gather(mask.set_indices(), mask.count_set())
+    }
+
+    /// Gather by optional index; `None` yields a null row.
+    fn take_opt(&self, indices: &[Option<usize>]) -> Self {
+        let mut data = Vec::new();
+        let mut offsets = Vec::with_capacity(indices.len() + 1);
+        offsets.push(0u32);
+        let mut vb = BitmapBuilder::with_capacity(indices.len());
+        for idx in indices {
+            match idx {
+                Some(i) if self.is_valid(*i) => {
+                    let (s, e) = self.byte_range(*i);
+                    data.extend_from_slice(&self.data.as_slice()[s..e]);
+                    vb.push(true);
+                }
+                _ => vb.push(false),
+            }
+            offsets.push(data.len() as u32);
+        }
+        StrArr {
+            data: Buffer::from_vec(data),
+            offsets: Buffer::from_vec(offsets),
+            validity: vb.finish_validity(),
+        }
+    }
+
+    /// Scatter into `counts.len()` partitions (see [`Column::scatter`]):
+    /// per-partition byte/offset builders filled in one input pass.
+    fn scatter(&self, pids: &[u32], counts: &[usize]) -> Vec<Self> {
+        let src = self.data.as_slice();
+        let nparts = counts.len();
+        // Pass 1: exact byte budget per partition, so pass 2 can write
+        // through raw cursors with no reallocation or capacity checks.
+        let mut nbytes = vec![0usize; nparts];
+        for (i, &p) in pids.iter().enumerate() {
+            if self.is_valid(i) {
+                let (s, e) = self.byte_range(i);
+                nbytes[p as usize] += e - s;
+            }
+        }
+        // All partitions share one byte arena (laid out partition by
+        // partition) and one offsets arena; each output is a zero-copy
+        // view, exactly like `slice`. The 8 bytes of tail slack let short
+        // strings (the common case for key-ish columns) be copied as one
+        // unaligned 8-byte store instead of a variable-length memcpy call.
+        let total: usize = nbytes.iter().sum();
+        let mut bstarts: Vec<usize> = Vec::with_capacity(nparts + 1);
+        bstarts.push(0);
+        for &b in &nbytes {
+            bstarts.push(bstarts.last().unwrap() + b);
+        }
+        let mut data: Vec<u8> = Vec::with_capacity(total + 8);
+        crate::mem::advise_huge(data.as_ptr(), total);
+        let nrows = pids.len();
+        let mut offsets: Vec<u32> = Vec::with_capacity(nrows + nparts);
+        crate::mem::advise_huge(offsets.as_ptr(), nrows + nparts);
+        let dbase = data.as_mut_ptr();
+        let obase = offsets.as_mut_ptr();
+        // Per-partition write cursors: bytes advance by row length within
+        // `[bstarts[p], bstarts[p+1])`; offsets regions hold `counts[p]+1`
+        // absolute positions into the shared arena, seeded with the
+        // region's start. The wide 8-byte store must stay inside its own
+        // partition's region (`wlims`) — partitions are written interleaved
+        // in row order, so spilling into a neighbor region would clobber
+        // bytes already written there. Only the final region may run into
+        // the arena's tail slack.
+        let mut dcurs: Vec<usize> = bstarts[..nparts].to_vec();
+        let wlims: Vec<usize> = (1..=nparts)
+            .map(|p| if p == nparts { total + 8 } else { bstarts[p] })
+            .collect();
+        let mut ocurs: Vec<*mut u32> = Vec::with_capacity(nparts);
+        let mut ostarts: Vec<usize> = Vec::with_capacity(nparts);
+        {
+            let mut acc = 0usize;
+            for p in 0..nparts {
+                ostarts.push(acc);
+                // SAFETY: offsets regions total `nrows + nparts`, the
+                // arena's capacity.
+                unsafe {
+                    let c = obase.add(acc);
+                    c.write(bstarts[p] as u32);
+                    ocurs.push(c.add(1));
+                }
+                acc += counts[p] + 1;
+            }
+        }
+        let mut vbs: Option<Vec<BitmapBuilder>> = self.validity.as_ref().map(|_| {
+            counts
+                .iter()
+                .map(|&c| BitmapBuilder::with_capacity(c))
+                .collect()
+        });
+        for (i, &p) in pids.iter().enumerate() {
+            let p = p as usize;
+            if self.is_valid(i) {
+                let (s, e) = self.byte_range(i);
+                // SAFETY: pass 1 sized partition `p`'s byte region to the
+                // total length of the valid rows routed to it (+8 arena
+                // tail slack for the wide store), so the cursor stays
+                // in-bounds; source and destination buffers are disjoint.
+                // The wide load only fires when 8 source bytes exist at
+                // `s`.
+                unsafe {
+                    let len = e - s;
+                    let dst = dbase.add(dcurs[p]);
+                    if len <= 8 && s + 8 <= src.len() && dcurs[p] + 8 <= wlims[p] {
+                        let w = src.as_ptr().add(s).cast::<[u8; 8]>().read_unaligned();
+                        dst.cast::<[u8; 8]>().write_unaligned(w);
+                    } else {
+                        std::ptr::copy_nonoverlapping(src.as_ptr().add(s), dst, len);
+                    }
+                    dcurs[p] += len;
+                }
+            }
+            // SAFETY: each offsets region takes exactly `counts[p]` pushes
+            // after its seeded start.
+            unsafe {
+                let c = ocurs.get_unchecked_mut(p);
+                c.write(dcurs[p] as u32);
+                *c = c.add(1);
+            }
+            if let Some(vbs) = &mut vbs {
+                vbs[p].push(self.is_valid(i));
+            }
+        }
+        // SAFETY: every byte region and offsets region was filled exactly.
+        unsafe {
+            data.set_len(total);
+            offsets.set_len(nrows + nparts);
+        }
+        let data = Buffer::from_vec(data);
+        let offsets = Buffer::from_vec(offsets);
+        let mut vbs = vbs.map(|v| v.into_iter());
+        counts
+            .iter()
+            .enumerate()
+            .map(|(p, &c)| StrArr {
+                data: data.clone(),
+                offsets: offsets.slice(ostarts[p], c + 1),
+                validity: vbs.as_mut().and_then(|it| {
+                    it.next()
+                        .expect("one builder per partition")
+                        .finish_validity()
+                }),
+            })
+            .collect()
+    }
+
+    /// Dictionary-encodes the array: equal strings share a dense `i64`
+    /// code (first-occurrence order), nulls stay null. Grouping and
+    /// distinct-tracking run on the codes, so strings are hashed once here
+    /// and never cloned or re-compared afterwards.
+    pub fn dict_encode(&self) -> PrimArr<i64> {
+        self.dict_encode_full().0
+    }
+
+    /// [`StrArr::dict_encode`] plus the dictionary size (number of
+    /// distinct non-null strings): codes of valid rows are exactly
+    /// `0..size`, which lets downstream kernels use dense tables instead
+    /// of hash sets.
+    pub fn dict_encode_full(&self) -> (PrimArr<i64>, usize) {
+        // Open-addressed interner over (hash, code) with the string bytes
+        // compared against each code's first-occurrence span — leaner per
+        // probe than a `HashMap<&str, _>` in this one hot loop. Slots come
+        // from the hash's high bits (that's where the multiply mixes), and
+        // load stays under 1/2 to keep probe chains short.
+        let data = self.data.as_slice();
+        let offs = self.offsets.as_slice();
+        let mut bits: u32 = 7;
+        let mut cap: usize = 1 << bits;
+        let mut slots: Vec<(u64, u32)> = vec![(0, u32::MAX); cap];
+        let mut spans: Vec<(u32, u32)> = Vec::new();
+        let mut codes: Vec<i64> = Vec::with_capacity(self.len());
+        crate::mem::advise_huge(codes.as_ptr(), self.len());
+        for (i, w) in offs.windows(2).enumerate() {
+            if !self.is_valid(i) {
+                codes.push(0);
+                continue;
+            }
+            let bytes = &data[w[0] as usize..w[1] as usize];
+            let h = hash_bytes(data, w[0] as usize, w[1] as usize);
+            let mut slot = (h >> (64 - bits)) as usize;
+            let code = loop {
+                let (eh, c) = slots[slot];
+                if c == u32::MAX {
+                    let c = spans.len() as u32;
+                    slots[slot] = (h, c);
+                    spans.push((w[0], w[1]));
+                    break c;
+                }
+                let (s, e) = spans[c as usize];
+                if eh == h && &data[s as usize..e as usize] == bytes {
+                    break c;
+                }
+                slot = (slot + 1) & (cap - 1);
+            };
+            codes.push(code as i64);
+            if spans.len() * 2 >= cap {
+                bits += 1;
+                cap <<= 1;
+                let mut grown: Vec<(u64, u32)> = vec![(0, u32::MAX); cap];
+                for &(eh, c) in slots.iter().filter(|(_, c)| *c != u32::MAX) {
+                    let mut s = (eh >> (64 - bits)) as usize;
+                    while grown[s].1 != u32::MAX {
+                        s = (s + 1) & (cap - 1);
+                    }
+                    grown[s] = (eh, c);
+                }
+                slots = grown;
+            }
+        }
+        (
+            PrimArr {
+                values: Buffer::from_vec(codes),
+                validity: self.validity.clone(),
+            },
+            spans.len(),
+        )
     }
 
     /// O(1): narrows the offsets view; the byte buffer stays shared.
@@ -283,24 +643,27 @@ impl StrArr {
         let mut data = Vec::with_capacity(total_bytes);
         let mut offsets = Vec::with_capacity(total_rows + 1);
         offsets.push(0u32);
-        let any_null = parts.iter().any(|p| p.validity.is_some());
-        let mut validity = if any_null {
-            Some(Bitmap::new_set(0, false))
-        } else {
-            None
-        };
         for p in parts {
             let first = p.offsets[0];
             let last = p.offsets[p.len()];
             let base = data.len() as u32;
             data.extend_from_slice(&p.data.as_slice()[first as usize..last as usize]);
             offsets.extend(p.offsets[1..].iter().map(|o| o - first + base));
-            if let Some(v) = &mut validity {
-                for i in 0..p.len() {
-                    v.push(p.is_valid(i));
-                }
-            }
         }
+        // validity via word-level Bitmap::concat, not a per-row push loop
+        let validity = if parts.iter().any(|p| p.validity.is_some()) {
+            let maps: Vec<Bitmap> = parts
+                .iter()
+                .map(|p| match &p.validity {
+                    Some(v) => v.clone(),
+                    None => Bitmap::new_set(p.len(), true),
+                })
+                .collect();
+            let refs: Vec<&Bitmap> = maps.iter().collect();
+            Some(Bitmap::concat(&refs))
+        } else {
+            None
+        };
         StrArr {
             data: Buffer::from_vec(data),
             offsets: Buffer::from_vec(offsets),
@@ -667,6 +1030,139 @@ impl Column {
         }
     }
 
+    /// Gather by optional index: `None` yields a null row. This is the
+    /// typed outer-join output kernel — probe misses become nulls without
+    /// any per-row [`Scalar`] round-trip.
+    pub fn take_opt(&self, indices: &[Option<usize>]) -> Column {
+        // all-Some degenerates to a plain gather (keeps the no-validity
+        // normalization of `take` for fully-matched joins)
+        if indices.iter().all(|i| i.is_some()) {
+            let idx: Vec<usize> = indices.iter().map(|i| i.unwrap()).collect();
+            return self.take(&idx);
+        }
+        match self {
+            Column::Int64(a) => Column::Int64(a.take_opt(indices)),
+            Column::Float64(a) => Column::Float64(a.take_opt(indices)),
+            Column::Date(a) => Column::Date(a.take_opt(indices)),
+            Column::Utf8(a) => Column::Utf8(a.take_opt(indices)),
+            Column::Bool(a) => {
+                let mut values = BitmapBuilder::with_capacity(indices.len());
+                let mut validity = BitmapBuilder::with_capacity(indices.len());
+                for idx in indices {
+                    match idx {
+                        Some(i) => {
+                            values.push(a.values.get(*i));
+                            validity.push(a.is_valid(*i));
+                        }
+                        None => {
+                            values.push(false);
+                            validity.push(false);
+                        }
+                    }
+                }
+                Column::Bool(BoolArr {
+                    values: values.finish(),
+                    validity: validity.finish_validity(),
+                })
+            }
+        }
+    }
+
+    /// Scatter into `counts.len()` partitions: row `i` goes to partition
+    /// `pids[i]`, where `counts[p]` rows carry partition id `p`. One pass
+    /// over the input writing into pre-sized typed builders — the shuffle
+    /// kernel behind `hash_partition` (no index buckets, no N× `take`).
+    pub fn scatter(&self, pids: &[u32], counts: &[usize]) -> Vec<Column> {
+        assert_eq!(pids.len(), self.len());
+        match self {
+            Column::Int64(a) => a
+                .scatter(pids, counts)
+                .into_iter()
+                .map(Column::Int64)
+                .collect(),
+            Column::Float64(a) => a
+                .scatter(pids, counts)
+                .into_iter()
+                .map(Column::Float64)
+                .collect(),
+            Column::Date(a) => a
+                .scatter(pids, counts)
+                .into_iter()
+                .map(Column::Date)
+                .collect(),
+            Column::Utf8(a) => a
+                .scatter(pids, counts)
+                .into_iter()
+                .map(Column::Utf8)
+                .collect(),
+            Column::Bool(a) => {
+                let mut vals: Vec<BitmapBuilder> = counts
+                    .iter()
+                    .map(|&c| BitmapBuilder::with_capacity(c))
+                    .collect();
+                let mut vbs: Option<Vec<BitmapBuilder>> = a.validity.as_ref().map(|_| {
+                    counts
+                        .iter()
+                        .map(|&c| BitmapBuilder::with_capacity(c))
+                        .collect()
+                });
+                for (i, &p) in pids.iter().enumerate() {
+                    vals[p as usize].push(a.values.get(i));
+                    if let Some(vbs) = &mut vbs {
+                        vbs[p as usize].push(a.is_valid(i));
+                    }
+                }
+                let mut vbs = vbs.map(|v| v.into_iter());
+                vals.into_iter()
+                    .map(|vb| {
+                        Column::Bool(BoolArr {
+                            values: vb.finish(),
+                            validity: vbs.as_mut().and_then(|it| {
+                                it.next()
+                                    .expect("one builder per partition")
+                                    .finish_validity()
+                            }),
+                        })
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// The validity bitmap, if the column carries nulls.
+    pub fn validity(&self) -> Option<&Bitmap> {
+        match self {
+            Column::Int64(a) => a.validity.as_ref(),
+            Column::Float64(a) => a.validity.as_ref(),
+            Column::Bool(a) => a.validity.as_ref(),
+            Column::Utf8(a) => a.validity.as_ref(),
+            Column::Date(a) => a.validity.as_ref(),
+        }
+    }
+
+    /// Typed comparison of two *valid* rows (callers handle nulls via
+    /// [`Column::is_valid`] first — the sort comparator's null-last rule
+    /// lives there). No [`Scalar`] materialization; floats use `total_cmp`.
+    ///
+    /// # Panics
+    /// Debug-asserts both rows are valid and both columns share the type.
+    pub fn cmp_valid(&self, i: usize, other: &Column, j: usize) -> Ordering {
+        debug_assert!(self.is_valid(i) && other.is_valid(j));
+        match (self, other) {
+            (Column::Int64(a), Column::Int64(b)) => a.values[i].cmp(&b.values[j]),
+            (Column::Float64(a), Column::Float64(b)) => a.values[i].total_cmp(&b.values[j]),
+            (Column::Date(a), Column::Date(b)) => a.values[i].cmp(&b.values[j]),
+            (Column::Bool(a), Column::Bool(b)) => a.values.get(i).cmp(&b.values.get(j)),
+            (Column::Utf8(a), Column::Utf8(b)) => a.value(i).cmp(b.value(j)),
+            // mixed numeric types fall back to f64 (matches Scalar::total_cmp)
+            _ => {
+                let x = self.get(i).as_f64().unwrap_or(f64::NAN);
+                let y = other.get(j).as_f64().unwrap_or(f64::NAN);
+                x.total_cmp(&y)
+            }
+        }
+    }
+
     /// Contiguous rows `[offset, offset + len)` — O(1), shares buffers
     /// with `self`.
     pub fn slice(&self, offset: usize, len: usize) -> Column {
@@ -845,6 +1341,50 @@ impl Column {
         if self.data_type() == to {
             return Ok(self.clone());
         }
+        /// Typed per-value cast; `f` returning `None` introduces a null
+        /// (e.g. fractional float → int, matching `Scalar::as_i64`).
+        fn prim_cast<T: Copy + Default, U: Copy + Default>(
+            a: &PrimArr<T>,
+            f: impl Fn(T) -> Option<U>,
+        ) -> PrimArr<U> {
+            let mut values = Vec::with_capacity(a.len());
+            let mut vb = BitmapBuilder::with_capacity(a.len());
+            for i in 0..a.len() {
+                match a.get(i).and_then(&f) {
+                    Some(u) => {
+                        values.push(u);
+                        vb.push(true);
+                    }
+                    None => {
+                        values.push(U::default());
+                        vb.push(false);
+                    }
+                }
+            }
+            PrimArr {
+                values: Buffer::from_vec(values),
+                validity: vb.finish_validity(),
+            }
+        }
+        // numeric fast paths: no per-row Scalar round-trip
+        match (self, to) {
+            (Column::Int64(a), DataType::Float64) => {
+                return Ok(Column::Float64(prim_cast(a, |v| Some(v as f64))))
+            }
+            (Column::Date(a), DataType::Float64) => {
+                return Ok(Column::Float64(prim_cast(a, |v| Some(v as f64))))
+            }
+            (Column::Float64(a), DataType::Int64) => {
+                // fractional values become null, matching `Scalar::as_i64`
+                return Ok(Column::Int64(prim_cast(a, |v| {
+                    (v.fract() == 0.0).then_some(v as i64)
+                })));
+            }
+            (Column::Date(a), DataType::Int64) => {
+                return Ok(Column::Int64(prim_cast(a, |v| Some(v as i64))))
+            }
+            _ => {}
+        }
         let n = self.len();
         Ok(match to {
             DataType::Float64 => {
@@ -880,36 +1420,69 @@ impl Column {
     pub fn hash_combine(&self, hashes: &mut [u64]) {
         const NULL_H: u64 = 0x9e37_79b9_7f4a_7c15;
         assert_eq!(hashes.len(), self.len());
+        // Null-free columns take a branchless slice walk; only columns
+        // that actually carry a validity bitmap pay the per-row check.
         match self {
-            Column::Int64(a) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+            Column::Int64(a) => match &a.validity {
+                None => {
+                    for (h, &v) in hashes.iter_mut().zip(a.values.as_slice()) {
+                        *h = combine(*h, v as u64);
+                    }
                 }
-            }
-            Column::Date(a) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+                Some(_) => {
+                    for (i, h) in hashes.iter_mut().enumerate() {
+                        *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+                    }
                 }
-            }
-            Column::Float64(a) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    *h = combine(*h, a.get(i).map_or(NULL_H, |v| v.to_bits()));
+            },
+            Column::Date(a) => match &a.validity {
+                None => {
+                    for (h, &v) in hashes.iter_mut().zip(a.values.as_slice()) {
+                        *h = combine(*h, v as u64);
+                    }
                 }
-            }
+                Some(_) => {
+                    for (i, h) in hashes.iter_mut().enumerate() {
+                        *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
+                    }
+                }
+            },
+            Column::Float64(a) => match &a.validity {
+                None => {
+                    for (h, &v) in hashes.iter_mut().zip(a.values.as_slice()) {
+                        *h = combine(*h, v.to_bits());
+                    }
+                }
+                Some(_) => {
+                    for (i, h) in hashes.iter_mut().enumerate() {
+                        *h = combine(*h, a.get(i).map_or(NULL_H, |v| v.to_bits()));
+                    }
+                }
+            },
             Column::Bool(a) => {
                 for (i, h) in hashes.iter_mut().enumerate() {
                     *h = combine(*h, a.get(i).map_or(NULL_H, |v| v as u64));
                 }
             }
             Column::Utf8(a) => {
-                for (i, h) in hashes.iter_mut().enumerate() {
-                    let vh = a.get(i).map_or(NULL_H, |s| {
-                        use std::hash::Hasher;
-                        let mut hasher = crate::hash::FxHasher::default();
-                        hasher.write(s.as_bytes());
-                        hasher.finish()
-                    });
-                    *h = combine(*h, vh);
+                let data = a.data.as_slice();
+                let offs = a.offsets.as_slice();
+                match &a.validity {
+                    None => {
+                        for (h, w) in hashes.iter_mut().zip(offs.windows(2)) {
+                            *h = combine(*h, hash_bytes(data, w[0] as usize, w[1] as usize));
+                        }
+                    }
+                    Some(_) => {
+                        for (i, h) in hashes.iter_mut().enumerate() {
+                            let vh = if a.is_valid(i) {
+                                hash_bytes(data, offs[i] as usize, offs[i + 1] as usize)
+                            } else {
+                                NULL_H
+                            };
+                            *h = combine(*h, vh);
+                        }
+                    }
                 }
             }
         }

@@ -43,6 +43,23 @@ impl DataFrame {
         })
     }
 
+    /// Assembles a frame from columns already known to match `schema`
+    /// (kernel-internal: partition/join/groupby build typed outputs and
+    /// skip the per-pair validation of [`DataFrame::new`]).
+    pub(crate) fn from_parts(
+        schema: Arc<Schema>,
+        columns: Vec<Column>,
+        num_rows: usize,
+    ) -> DataFrame {
+        debug_assert_eq!(schema.fields().len(), columns.len());
+        debug_assert!(columns.iter().all(|c| c.len() == num_rows));
+        DataFrame {
+            schema,
+            columns,
+            num_rows,
+        }
+    }
+
     /// An empty frame with the given schema.
     pub fn empty(schema: Arc<Schema>) -> DataFrame {
         let columns = schema
@@ -270,6 +287,7 @@ impl DataFrame {
     /// Row hashes over the given key columns.
     pub fn hash_rows(&self, keys: &[&str]) -> DfResult<Vec<u64>> {
         let mut hashes = vec![0u64; self.num_rows];
+        crate::mem::advise_huge(hashes.as_ptr(), hashes.len());
         for k in keys {
             self.column(k)?.hash_combine(&mut hashes);
         }
@@ -309,16 +327,21 @@ impl DataFrame {
             Some(s) => s.to_vec(),
             None => self.schema.names(),
         };
-        let mut mask = Bitmap::new_set(self.num_rows, true);
+        // word-wise AND of validity bitmaps; all-valid columns contribute
+        // nothing and columns without nulls skip the pass entirely
+        let mut mask: Option<Bitmap> = None;
         for n in names {
-            let c = self.column(n)?;
-            for i in 0..self.num_rows {
-                if !c.is_valid(i) {
-                    mask.set(i, false);
-                }
+            if let Some(v) = self.column(n)?.validity() {
+                mask = Some(match mask {
+                    None => v.clone(),
+                    Some(m) => m.and(v),
+                });
             }
         }
-        self.filter(&mask)
+        match mask {
+            None => Ok(self.clone()),
+            Some(mask) => self.filter(&mask),
+        }
     }
 
     /// Like [`with_column`](Self::with_column) but preserves the original
@@ -353,12 +376,18 @@ impl DataFrame {
             None => self.schema.names(),
         };
         let hashes = self.hash_rows(&keys)?;
+        // resolve key columns once; the collision check compares typed rows
+        // directly instead of re-resolving names per candidate pair
+        let key_cols: Vec<&Column> = keys
+            .iter()
+            .map(|k| self.column(k))
+            .collect::<DfResult<_>>()?;
         let mut seen: crate::hash::FxHashMap<u64, Vec<usize>> = crate::hash::FxHashMap::default();
         let mut keep = Vec::new();
         'rows: for (i, &h) in hashes.iter().enumerate() {
             let bucket = seen.entry(h).or_default();
             for &j in bucket.iter() {
-                if self.rows_eq(i, &keys, self, &keys, j)? {
+                if key_cols.iter().all(|c| c.eq_at(i, c, j)) {
                     continue 'rows;
                 }
             }

@@ -87,6 +87,37 @@ pub fn combine(seed: u64, v: u64) -> u64 {
     (seed.rotate_left(5) ^ v).wrapping_mul(SEED)
 }
 
+/// Hash of `data[s..e]`, bit-identical to `FxHasher::write` over the same
+/// bytes but without the per-row variable-length copy: strings of at most
+/// 8 bytes (the common case for key-ish columns) become a single masked
+/// word load. Used by the string hashing and dictionary-encoding loops.
+#[inline]
+pub fn hash_bytes(data: &[u8], s: usize, e: usize) -> u64 {
+    let len = e - s;
+    if len <= 8 {
+        let w = if s + 8 <= data.len() {
+            // SAFETY: 8 readable bytes exist at `s`; the mask drops the
+            // bytes past `e`, matching FxHasher's zero-padded tail word.
+            let raw = unsafe { data.as_ptr().add(s).cast::<u64>().read_unaligned() };
+            let raw = u64::from_le(raw);
+            if len == 8 {
+                raw
+            } else {
+                raw & ((1u64 << (8 * len)) - 1)
+            }
+        } else {
+            let mut buf = [0u8; 8];
+            buf[..len].copy_from_slice(&data[s..e]);
+            u64::from_le_bytes(buf)
+        };
+        combine(0, w)
+    } else {
+        let mut h = FxHasher::default();
+        h.write(&data[s..e]);
+        h.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,6 +145,23 @@ mod tests {
         let x = combine(combine(0, 1), 2);
         let y = combine(combine(0, 2), 1);
         assert_ne!(x, y);
+    }
+
+    #[test]
+    fn hash_bytes_matches_fx_hasher() {
+        let data = b"abcdefghij-short-and-some-longer-content".to_vec();
+        // every (start, len) combo including 0-length, word-boundary, tail
+        for s in 0..data.len() {
+            for e in s..=data.len() {
+                let mut h = FxHasher::default();
+                h.write(&data[s..e]);
+                assert_eq!(
+                    hash_bytes(&data, s, e),
+                    h.finish(),
+                    "mismatch for range {s}..{e}"
+                );
+            }
+        }
     }
 
     #[test]

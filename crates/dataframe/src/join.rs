@@ -3,8 +3,6 @@
 use crate::column::Column;
 use crate::error::{DfError, DfResult};
 use crate::frame::DataFrame;
-use crate::hash::FxHashMap;
-use crate::scalar::Scalar;
 
 /// Join type.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,34 +52,59 @@ pub fn merge(
             "merge requires equal, non-empty key lists".into(),
         ));
     }
-    // Build side: right.
+    // Resolve the typed key columns once; the probe loop compares rows
+    // through these references — no per-row name resolution or Scalar
+    // materialization in the hot path.
+    let lkeys: Vec<&Column> = left_on
+        .iter()
+        .map(|k| left.column(k))
+        .collect::<DfResult<_>>()?;
+    let rkeys: Vec<&Column> = right_on
+        .iter()
+        .map(|k| right.column(k))
+        .collect::<DfResult<_>>()?;
+    let keys_eq = |i: usize, j: usize| lkeys.iter().zip(&rkeys).all(|(l, r)| l.eq_at(i, r, j));
+
+    // Build side: right. Two flat arrays — bucket heads and per-row chain
+    // links — instead of a hash map of per-key `Vec`s: one allocation,
+    // cache-resident probes, and the stored row hash filters almost all
+    // non-matching candidates before any typed key comparison.
     let rhashes = right.hash_rows(right_on)?;
-    let mut table: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
-    for (j, h) in rhashes.iter().enumerate() {
-        table.entry(*h).or_default().push(j);
+    let nright = right.num_rows();
+    let nbuckets = (nright.max(1) * 2).next_power_of_two();
+    let mask = (nbuckets - 1) as u64;
+    let mut heads = vec![u32::MAX; nbuckets];
+    let mut next = vec![u32::MAX; nright];
+    // reverse insertion so each chain yields right rows in ascending order
+    // (pandas emits right matches in right-row order)
+    for j in (0..nright).rev() {
+        let b = (rhashes[j] & mask) as usize;
+        next[j] = heads[b];
+        heads[b] = j as u32;
     }
 
     let lhashes = left.hash_rows(left_on)?;
     let mut lidx: Vec<usize> = Vec::new();
     let mut ridx: Vec<Option<usize>> = Vec::new();
 
-    for (i, h) in lhashes.iter().enumerate() {
+    for (i, &h) in lhashes.iter().enumerate() {
         let mut matched = false;
-        if let Some(bucket) = table.get(h) {
-            for &j in bucket {
-                if left.rows_eq(i, left_on, right, right_on, j)? {
-                    matched = true;
-                    match opts.how {
-                        JoinType::Inner | JoinType::Left => {
-                            lidx.push(i);
-                            ridx.push(Some(j));
-                        }
-                        JoinType::Semi => {
-                            lidx.push(i);
-                            break;
-                        }
-                        JoinType::Anti => break,
+        let mut cursor = heads[(h & mask) as usize];
+        while cursor != u32::MAX {
+            let j = cursor as usize;
+            cursor = next[j];
+            if rhashes[j] == h && keys_eq(i, j) {
+                matched = true;
+                match opts.how {
+                    JoinType::Inner | JoinType::Left => {
+                        lidx.push(i);
+                        ridx.push(Some(j));
                     }
+                    JoinType::Semi => {
+                        lidx.push(i);
+                        break;
+                    }
+                    JoinType::Anti => break,
                 }
             }
         }
@@ -127,8 +150,9 @@ pub fn merge(
         if shared_keys.contains(name) {
             continue; // same-named key appears once (from left)
         }
-        let src = right.column(name)?;
-        let col = take_optional(src, &ridx)?;
+        // typed optional gather: probe misses become nulls directly in the
+        // output builders (no Vec<Scalar> round-trip)
+        let col = right.column(name)?.take_opt(&ridx);
         let out_name = if left_names.contains(name) {
             format!("{name}{}", opts.suffixes.1)
         } else {
@@ -144,25 +168,10 @@ pub fn merge_on(left: &DataFrame, right: &DataFrame, on: &[&str]) -> DfResult<Da
     merge(left, right, on, on, &JoinOptions::default())
 }
 
-/// Gathers rows by optional index; `None` produces a null row.
-fn take_optional(col: &Column, idx: &[Option<usize>]) -> DfResult<Column> {
-    if idx.iter().all(|i| i.is_some()) {
-        let plain: Vec<usize> = idx.iter().map(|i| i.unwrap()).collect();
-        return Ok(col.take(&plain));
-    }
-    let scalars: Vec<Scalar> = idx
-        .iter()
-        .map(|i| match i {
-            Some(j) => col.get(*j),
-            None => Scalar::Null,
-        })
-        .collect();
-    Column::from_scalars(&scalars, col.data_type())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scalar::Scalar;
 
     fn left() -> DataFrame {
         DataFrame::new(vec![

@@ -29,6 +29,7 @@ pub mod frame;
 pub mod groupby;
 pub mod hash;
 pub mod join;
+pub(crate) mod mem;
 pub mod partition;
 pub mod pivot;
 pub mod scalar;

@@ -1,0 +1,81 @@
+//! Large-allocation memory hints.
+//!
+//! Kernel outputs (scatter arenas, hash vectors, dictionary codes) are
+//! multi-megabyte buffers written once, front to back, immediately after
+//! allocation. Backing them with transparent huge pages cuts both the
+//! first-touch fault count and the TLB pressure of the scattered write
+//! streams. The hint is best-effort: it never changes semantics, and on
+//! non-Linux/non-x86_64 targets it compiles to a no-op.
+
+/// Advises the kernel to back `cap` elements at `ptr` with huge pages.
+///
+/// Call right after reserving a large buffer (before first touch) so the
+/// initial faults can map 2 MiB pages. Buffers under 2 MiB are left alone.
+pub(crate) fn advise_huge<T>(ptr: *const T, cap: usize) {
+    let bytes = cap * std::mem::size_of::<T>();
+    if bytes < (1 << 21) {
+        return;
+    }
+    advise_huge_raw(ptr as *const u8, bytes);
+}
+
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+fn advise_huge_raw(ptr: *const u8, bytes: usize) {
+    // `madvise(addr, len, MADV_HUGEPAGE)` via a raw syscall: the workspace
+    // is std-only, and std exposes no madvise. The range is clamped inward
+    // to page boundaries as madvise requires; failures are ignored (the
+    // advice is optional and the kernel may have THP disabled).
+    const PAGE: usize = 4096;
+    const SYS_MADVISE: isize = 28;
+    const MADV_HUGEPAGE: isize = 14;
+    let start = ptr as usize;
+    let a = (start + PAGE - 1) & !(PAGE - 1);
+    let end = (start + bytes) & !(PAGE - 1);
+    if end <= a {
+        return;
+    }
+    unsafe {
+        let ret: isize;
+        std::arch::asm!(
+            "syscall",
+            in("rax") SYS_MADVISE,
+            in("rdi") a,
+            in("rsi") end - a,
+            in("rdx") MADV_HUGEPAGE,
+            out("rcx") _,
+            out("r11") _,
+            lateout("rax") ret,
+            options(nostack),
+        );
+        let _ = ret;
+    }
+}
+
+#[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+fn advise_huge_raw(_ptr: *const u8, _bytes: usize) {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advise_is_harmless() {
+        // small: skipped entirely
+        let v: Vec<u64> = Vec::with_capacity(8);
+        advise_huge(v.as_ptr(), v.capacity());
+        // large: advised, then fully writable and readable
+        let mut v: Vec<u64> = Vec::with_capacity(1 << 19); // 4 MiB
+        advise_huge(v.as_ptr(), v.capacity());
+        for i in 0..(1 << 19) {
+            v.push(i as u64);
+        }
+        assert_eq!(v[123456], 123456);
+        assert_eq!(v.len(), 1 << 19);
+    }
+
+    #[test]
+    fn advise_unaligned_range() {
+        let v: Vec<u8> = Vec::with_capacity((1 << 21) + 7);
+        advise_huge(v.as_ptr().wrapping_add(3), v.capacity() - 3);
+    }
+}

@@ -1,22 +1,86 @@
 //! Partitioning primitives used by the distributed layers: hash partitioning
 //! for shuffles and size-based row splitting for tiling.
 
+use crate::column::Column;
 use crate::error::DfResult;
 use crate::frame::DataFrame;
+use crate::hash::combine;
+
+/// Fused hash → partition-id pass for a single null-free numeric key (the
+/// common shuffle shape): row hashes stay in registers instead of being
+/// materialized into a `Vec<u64>` and re-read. Produces exactly the same
+/// ids as the `hash_rows` path (`combine(0, value)` is the row hash of a
+/// single key column). Returns false when the key doesn't qualify.
+fn fused_pids(col: &Column, n: usize, pids: &mut Vec<u32>, counts: &mut [usize]) -> bool {
+    if !n.is_power_of_two() {
+        return false;
+    }
+    let mask = n as u64 - 1;
+    let mut push = |bits: u64| {
+        let p = (combine(0, bits) & mask) as u32;
+        counts[p as usize] += 1;
+        pids.push(p);
+    };
+    match col {
+        Column::Int64(a) if a.validity.is_none() => {
+            a.values.as_slice().iter().for_each(|&v| push(v as u64));
+        }
+        Column::Date(a) if a.validity.is_none() => {
+            a.values.as_slice().iter().for_each(|&v| push(v as u64));
+        }
+        Column::Float64(a) if a.validity.is_none() => {
+            a.values.as_slice().iter().for_each(|&v| push(v.to_bits()));
+        }
+        _ => return false,
+    }
+    true
+}
 
 /// Splits `df` into `n` partitions by key hash; row `i` goes to partition
 /// `hash(keys[i]) % n`. This is the kernel primitive under both Xorbits'
 /// shuffle-reduce and the static baseline's up-front shuffle.
+///
+/// Single-pass scatter: each row's partition id is computed once, partition
+/// sizes are counted, and every column writes straight into pre-sized typed
+/// per-partition builders ([`crate::column::Column::scatter`]). No
+/// `Vec<Vec<usize>>` index buckets and no per-partition `take` re-walk.
 pub fn hash_partition(df: &DataFrame, keys: &[&str], n: usize) -> DfResult<Vec<DataFrame>> {
     assert!(n > 0, "partition count must be positive");
-    let hashes = df.hash_rows(keys)?;
-    // single pass: bucket row indices, then gather — O(rows + output),
-    // independent of the partition count
-    let mut buckets: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for (i, h) in hashes.iter().enumerate() {
-        buckets[(h % n as u64) as usize].push(i);
+    let mut pids: Vec<u32> = Vec::with_capacity(df.num_rows());
+    crate::mem::advise_huge(pids.as_ptr(), df.num_rows());
+    let mut counts = vec![0usize; n];
+    let fused = keys.len() == 1 && fused_pids(df.column(keys[0])?, n, &mut pids, &mut counts);
+    if !fused {
+        let hashes = df.hash_rows(keys)?;
+        if n.is_power_of_two() {
+            // same result as `% n`, but a mask instead of a 64-bit division
+            // in the per-row loop (partition counts are almost always 2^k)
+            let mask = n as u64 - 1;
+            for h in &hashes {
+                let p = (h & mask) as u32;
+                counts[p as usize] += 1;
+                pids.push(p);
+            }
+        } else {
+            for h in &hashes {
+                let p = (h % n as u64) as u32;
+                counts[p as usize] += 1;
+                pids.push(p);
+            }
+        }
     }
-    Ok(buckets.iter().map(|idx| df.take(idx)).collect())
+    let mut part_cols: Vec<Vec<Column>> = (0..n).map(|_| Vec::new()).collect();
+    for name in df.schema().names() {
+        let col = df.column(name).expect("schema name resolves");
+        for (p, out) in col.scatter(&pids, &counts).into_iter().zip(&mut part_cols) {
+            out.push(p);
+        }
+    }
+    Ok(part_cols
+        .into_iter()
+        .enumerate()
+        .map(|(p, cols)| DataFrame::from_parts(df.schema().clone(), cols, counts[p]))
+        .collect())
 }
 
 /// Splits rows into contiguous chunks of at most `chunk_rows` rows.

@@ -27,6 +27,9 @@ pub fn argsort(df: &DataFrame, keys: &[(&str, bool)]) -> DfResult<Vec<usize>> {
     Ok(idx)
 }
 
+/// Typed row comparator: validity checked via the bitmaps, then values
+/// compared through [`Column::cmp_valid`](crate::column::Column::cmp_valid)
+/// — no per-comparison `Scalar` boxing inside the O(n log n) sort loop.
 fn compare_rows(
     cols: &[&crate::column::Column],
     keys: &[(&str, bool)],
@@ -34,13 +37,12 @@ fn compare_rows(
     b: usize,
 ) -> Ordering {
     for (c, (_, asc)) in cols.iter().zip(keys) {
-        let (va, vb) = (c.get(a), c.get(b));
-        // Nulls last in both directions.
-        let ord = match (va.is_null(), vb.is_null()) {
-            (true, true) => Ordering::Equal,
-            (true, false) => return Ordering::Greater,
-            (false, true) => return Ordering::Less,
-            (false, false) => va.total_cmp(&vb),
+        // Nulls last in both directions (pandas `na_position="last"`).
+        let ord = match (c.is_valid(a), c.is_valid(b)) {
+            (false, false) => Ordering::Equal,
+            (false, true) => return Ordering::Greater,
+            (true, false) => return Ordering::Less,
+            (true, true) => c.cmp_valid(a, c, b),
         };
         let ord = if *asc { ord } else { ord.reverse() };
         if ord != Ordering::Equal {

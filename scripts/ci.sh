@@ -16,4 +16,16 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Opt-in kernel bench smoke: 1e4-row run of the shuffle/join/groupby kernel
+# suite, failing if any kernel is >2x slower than the checked-in reference
+# (scripts/bench_reference.json). Off by default — wall-clock gates are only
+# meaningful on a quiet box.
+if [[ "${XORBITS_CI_BENCH:-0}" == "1" ]]; then
+  echo "==> kernel bench smoke (1e4 rows vs scripts/bench_reference.json)"
+  XORBITS_BENCH_ROWS=10000 \
+  XORBITS_BENCH_OUT=target/BENCH_kernels_smoke.json \
+  XORBITS_BENCH_CHECK=scripts/bench_reference.json \
+    cargo run --release -p xorbits-bench --example bench_kernels
+fi
+
 echo "CI green."

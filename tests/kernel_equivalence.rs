@@ -1,0 +1,483 @@
+//! Equivalence of the vectorized kernels (PR 2) with per-row `Scalar`
+//! semantics — the pre-vectorization implementation strategy.
+//!
+//! The shuffle/join/groupby/sort hot paths now move rows through typed
+//! word-level kernels (single-pass scatter, `take_opt` gather, columnar
+//! accumulators, dictionary-encoded string keys). Every one of them must
+//! stay cell-for-cell identical to the old boxed-`Scalar` behavior. Cases
+//! are driven by the in-tree seeded PRNG, including null keys, all-null
+//! groups, offset bitmap views, and empty frames.
+
+use xorbits::array::prng::Xoshiro256;
+use xorbits::dataframe::{groupby, partition, sort, AggFunc, AggSpec, Column, DataFrame, Scalar};
+
+const CASES: u64 = 32;
+
+fn arb_frame(rng: &mut Xoshiro256) -> DataFrame {
+    let n = rng.gen_range_i64(1, 150) as usize;
+    let keys_i: Vec<Option<i64>> = (0..n)
+        .map(|_| rng.gen_bool(0.85).then(|| rng.gen_range_i64(0, 8)))
+        .collect();
+    let keys_s: Vec<Option<String>> = (0..n)
+        .map(|_| {
+            rng.gen_bool(0.85)
+                .then(|| format!("k{}", rng.gen_range_i64(0, 6)))
+        })
+        .collect();
+    let vi: Vec<Option<i64>> = (0..n)
+        .map(|_| rng.gen_bool(0.7).then(|| rng.gen_range_i64(-40, 40)))
+        .collect();
+    let vf: Vec<Option<f64>> = (0..n)
+        .map(|_| rng.gen_bool(0.7).then(|| rng.gen_range_f64(-5.0, 5.0)))
+        .collect();
+    let vs: Vec<Option<String>> = (0..n)
+        .map(|_| {
+            rng.gen_bool(0.7)
+                .then(|| format!("v{}", rng.gen_range_i64(0, 12)))
+        })
+        .collect();
+    let vb: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let vd: Vec<i32> = (0..n)
+        .map(|_| rng.gen_range_i64(10_000, 10_100) as i32)
+        .collect();
+    DataFrame::new(vec![
+        ("ki", Column::from_opt_i64(keys_i)),
+        ("ks", Column::from_opt_str(keys_s)),
+        ("vi", Column::from_opt_i64(vi)),
+        ("vf", Column::from_opt_f64(vf)),
+        ("vs", Column::from_opt_str(vs)),
+        ("vb", Column::from_bool(vb)),
+        ("vd", Column::from_date(vd)),
+    ])
+    .unwrap()
+}
+
+/// Asserts cell-level equality (dtype-aware, nulls included).
+fn assert_same(a: &DataFrame, b: &DataFrame) {
+    assert_eq!(a.num_rows(), b.num_rows());
+    assert_eq!(a.schema().names(), b.schema().names());
+    for name in a.schema().names() {
+        let (ca, cb) = (a.column(name).unwrap(), b.column(name).unwrap());
+        assert_eq!(ca.data_type(), cb.data_type(), "column {name}");
+        for i in 0..ca.len() {
+            assert_eq!(ca.get(i), cb.get(i), "column {name} row {i}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// hash_partition: single-pass typed scatter
+// ---------------------------------------------------------------------------
+
+/// Partitioning must round-trip under concat (no row lost, duplicated, or
+/// mutated) and must colocate equal keys, for any partition count.
+#[test]
+fn hash_partition_roundtrips_under_concat() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let df = arb_frame(&mut rng);
+        let with_id = df
+            .with_column(
+                "__row",
+                Column::from_i64((0..df.num_rows() as i64).collect()),
+            )
+            .unwrap();
+        let n = rng.gen_range_i64(1, 9) as usize;
+        let parts = partition::hash_partition(&with_id, &["ki", "ks"], n).unwrap();
+        assert_eq!(parts.len(), n);
+        assert_eq!(
+            parts.iter().map(|p| p.num_rows()).sum::<usize>(),
+            with_id.num_rows()
+        );
+
+        // colocation: each (ki, ks) key tuple appears in exactly one part
+        let mut key_part: Vec<(Scalar, Scalar, usize)> = Vec::new();
+        for (pi, p) in parts.iter().enumerate() {
+            let ki = p.column("ki").unwrap();
+            let ks = p.column("ks").unwrap();
+            for i in 0..p.num_rows() {
+                let (a, b) = (ki.get(i), ks.get(i));
+                match key_part.iter().find(|(x, y, _)| *x == a && *y == b) {
+                    Some((_, _, owner)) => assert_eq!(*owner, pi, "key split across parts"),
+                    None => key_part.push((a, b, pi)),
+                }
+            }
+        }
+
+        // round-trip: concat + sort by row id restores the original frame
+        let refs: Vec<&DataFrame> = parts.iter().collect();
+        let back = DataFrame::concat(&refs).unwrap();
+        let back = sort::sort_by(&back, &[("__row", true)]).unwrap();
+        assert_same(&back, &with_id);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// take_opt: typed optional gather (the left-join output kernel)
+// ---------------------------------------------------------------------------
+
+/// `take_opt` must match the old per-row `Scalar` gather: `Some(i)` copies
+/// row `i` (nulls included), `None` produces a null row, for every dtype.
+#[test]
+fn take_opt_matches_scalar_reference() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(1000 + seed);
+        let df = arb_frame(&mut rng);
+        let n = df.num_rows();
+        let m = rng.gen_range_i64(0, 2 * n as i64 + 1) as usize;
+        let idx: Vec<Option<usize>> = (0..m)
+            .map(|_| {
+                rng.gen_bool(0.7)
+                    .then(|| rng.gen_range_i64(0, n as i64) as usize)
+            })
+            .collect();
+        for name in df.schema().names() {
+            let c = df.column(name).unwrap();
+            let got = c.take_opt(&idx);
+            let scalars: Vec<Scalar> = idx
+                .iter()
+                .map(|i| i.map_or(Scalar::Null, |j| c.get(j)))
+                .collect();
+            let want = Column::from_scalars(&scalars, c.data_type()).unwrap();
+            assert_eq!(got.len(), want.len());
+            for i in 0..got.len() {
+                assert_eq!(got.get(i), want.get(i), "column {name} row {i}");
+            }
+        }
+        // all-Some and all-None edges
+        let all_some: Vec<Option<usize>> = (0..n).map(Some).collect();
+        let all_none: Vec<Option<usize>> = vec![None; 5];
+        for name in df.schema().names() {
+            let c = df.column(name).unwrap();
+            let some = c.take_opt(&all_some);
+            for i in 0..n {
+                assert_eq!(some.get(i), c.get(i));
+            }
+            let none = c.take_opt(&all_none);
+            assert_eq!(none.null_count(), 5);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// groupby: typed columnar accumulators + dictionary-encoded string keys
+// ---------------------------------------------------------------------------
+
+/// Reference group-by over boxed scalars: linear-scan grouping (null keys
+/// dropped) and per-row `Scalar` accumulation — the old kernel's semantics.
+fn ref_groupby(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DataFrame {
+    let key_cols: Vec<&Column> = keys.iter().map(|k| df.column(k).unwrap()).collect();
+    let mut group_keys: Vec<Vec<Scalar>> = Vec::new();
+    let mut rows_of: Vec<Vec<usize>> = Vec::new();
+    'rows: for i in 0..df.num_rows() {
+        if key_cols.iter().any(|c| !c.is_valid(i)) {
+            continue; // pandas groupby(dropna=True)
+        }
+        let kt: Vec<Scalar> = key_cols.iter().map(|c| c.get(i)).collect();
+        for (g, existing) in group_keys.iter().enumerate() {
+            if *existing == kt {
+                rows_of[g].push(i);
+                continue 'rows;
+            }
+        }
+        group_keys.push(kt);
+        rows_of.push(vec![i]);
+    }
+
+    let mut pairs: Vec<(String, Column)> = Vec::new();
+    for (kidx, k) in keys.iter().enumerate() {
+        let scalars: Vec<Scalar> = group_keys.iter().map(|g| g[kidx].clone()).collect();
+        let dtype = df.column(k).unwrap().data_type();
+        pairs.push((
+            k.to_string(),
+            Column::from_scalars(&scalars, dtype).unwrap(),
+        ));
+    }
+    for spec in specs {
+        let c = df.column(&spec.column).unwrap();
+        let mut out: Vec<Scalar> = Vec::new();
+        for rows in &rows_of {
+            let valid: Vec<usize> = rows.iter().copied().filter(|&i| c.is_valid(i)).collect();
+            out.push(match spec.func {
+                AggFunc::Sum => match c.data_type() {
+                    xorbits::dataframe::DataType::Float64 => {
+                        Scalar::Float(valid.iter().map(|&i| c.get(i).as_f64().unwrap()).sum())
+                    }
+                    xorbits::dataframe::DataType::Date => Scalar::Date(
+                        valid
+                            .iter()
+                            .map(|&i| c.get(i).as_i64().unwrap())
+                            .sum::<i64>() as i32,
+                    ),
+                    _ => Scalar::Int(valid.iter().map(|&i| c.get(i).as_i64().unwrap()).sum()),
+                },
+                AggFunc::Min | AggFunc::Max => {
+                    let mut best: Option<Scalar> = None;
+                    for &i in &valid {
+                        let v = c.get(i);
+                        let replace = match &best {
+                            None => true,
+                            Some(b) => {
+                                let ord = v.total_cmp(b);
+                                if spec.func == AggFunc::Min {
+                                    ord == std::cmp::Ordering::Less
+                                } else {
+                                    ord == std::cmp::Ordering::Greater
+                                }
+                            }
+                        };
+                        if replace {
+                            best = Some(v);
+                        }
+                    }
+                    best.unwrap_or(Scalar::Null)
+                }
+                AggFunc::Count => Scalar::Int(valid.len() as i64),
+                AggFunc::Mean => {
+                    if valid.is_empty() {
+                        Scalar::Null
+                    } else {
+                        let sum: f64 = valid.iter().map(|&i| c.get(i).as_f64().unwrap()).sum();
+                        Scalar::Float(sum / valid.len() as f64)
+                    }
+                }
+                AggFunc::First => valid.first().map_or(Scalar::Null, |&i| c.get(i)),
+                AggFunc::Nunique => {
+                    let mut distinct: Vec<Scalar> = Vec::new();
+                    for &i in &valid {
+                        let v = c.get(i);
+                        let dup = distinct.iter().any(|d| match (d, &v) {
+                            (Scalar::Float(a), Scalar::Float(b)) => a.to_bits() == b.to_bits(),
+                            (a, b) => a == b,
+                        });
+                        if !dup {
+                            distinct.push(v);
+                        }
+                    }
+                    Scalar::Int(distinct.len() as i64)
+                }
+            });
+        }
+        let dtype = match spec.func {
+            AggFunc::Count | AggFunc::Nunique => xorbits::dataframe::DataType::Int64,
+            AggFunc::Mean => xorbits::dataframe::DataType::Float64,
+            AggFunc::Sum => match c.data_type() {
+                xorbits::dataframe::DataType::Float64 => xorbits::dataframe::DataType::Float64,
+                xorbits::dataframe::DataType::Date => xorbits::dataframe::DataType::Date,
+                _ => xorbits::dataframe::DataType::Int64,
+            },
+            _ => c.data_type(),
+        };
+        pairs.push((
+            spec.output.clone(),
+            Column::from_scalars(&out, dtype).unwrap(),
+        ));
+    }
+    DataFrame::new(pairs).unwrap()
+}
+
+/// The vectorized groupby (hash group ids, typed accumulators, dict-encoded
+/// string keys) must equal the scalar reference on random frames with null
+/// keys, null values, int+string multi-keys and every aggregation function.
+#[test]
+fn groupby_matches_scalar_reference() {
+    let specs = vec![
+        AggSpec::new("vi", AggFunc::Sum, "sum_i"),
+        AggSpec::new("vf", AggFunc::Sum, "sum_f"),
+        AggSpec::new("vb", AggFunc::Sum, "sum_b"),
+        AggSpec::new("vf", AggFunc::Min, "min_f"),
+        AggSpec::new("vs", AggFunc::Min, "min_s"),
+        AggSpec::new("vi", AggFunc::Max, "max_i"),
+        AggSpec::new("vs", AggFunc::Count, "cnt_s"),
+        AggSpec::new("vi", AggFunc::Mean, "mean_i"),
+        AggSpec::new("vd", AggFunc::Mean, "mean_d"),
+        AggSpec::new("vs", AggFunc::First, "fst_s"),
+        AggSpec::new("vf", AggFunc::First, "fst_f"),
+        AggSpec::new("vs", AggFunc::Nunique, "nu_s"),
+        AggSpec::new("vf", AggFunc::Nunique, "nu_f"),
+        AggSpec::new("vi", AggFunc::Nunique, "nu_i"),
+    ];
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(2000 + seed);
+        let df = arb_frame(&mut rng);
+        for keys in [&["ki"][..], &["ks"][..], &["ki", "ks"][..]] {
+            let got = groupby::groupby_agg(&df, keys, &specs).unwrap();
+            let want = ref_groupby(&df, keys, &specs);
+            let order: Vec<(&str, bool)> = keys.iter().map(|k| (*k, true)).collect();
+            assert_same(
+                &sort::sort_by(&got, &order).unwrap(),
+                &sort::sort_by(&want, &order).unwrap(),
+            );
+        }
+    }
+}
+
+/// Null keys are dropped; a group whose values are all null must produce
+/// sum=0, count=0, nunique=0 and null min/mean/first (pandas semantics).
+#[test]
+fn groupby_null_keys_and_all_null_groups() {
+    let df = DataFrame::new(vec![
+        (
+            "k",
+            Column::from_opt_i64(vec![Some(1), Some(1), None, Some(2)]),
+        ),
+        (
+            "v",
+            Column::from_opt_f64(vec![None, None, Some(9.0), Some(3.5)]),
+        ),
+    ])
+    .unwrap();
+    let out = groupby::groupby_agg(
+        &df,
+        &["k"],
+        &[
+            AggSpec::new("v", AggFunc::Sum, "s"),
+            AggSpec::new("v", AggFunc::Count, "c"),
+            AggSpec::new("v", AggFunc::Mean, "m"),
+            AggSpec::new("v", AggFunc::Min, "mn"),
+            AggSpec::new("v", AggFunc::First, "f"),
+            AggSpec::new("v", AggFunc::Nunique, "nu"),
+        ],
+    )
+    .unwrap();
+    assert_eq!(out.num_rows(), 2); // null key row dropped
+    let k = out.column("k").unwrap();
+    let g1 = (0..2).find(|&i| k.get(i) == Scalar::Int(1)).unwrap();
+    assert_eq!(out.column("s").unwrap().get(g1), Scalar::Float(0.0));
+    assert_eq!(out.column("c").unwrap().get(g1), Scalar::Int(0));
+    assert!(out.column("m").unwrap().get(g1).is_null());
+    assert!(out.column("mn").unwrap().get(g1).is_null());
+    assert!(out.column("f").unwrap().get(g1).is_null());
+    assert_eq!(out.column("nu").unwrap().get(g1), Scalar::Int(0));
+}
+
+/// Dictionary encoding must be equality-preserving: codes agree exactly
+/// when the strings agree, nulls stay null, and codes are dense
+/// first-occurrence ranks.
+#[test]
+fn dict_encode_is_equality_preserving() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(3000 + seed);
+        let df = arb_frame(&mut rng);
+        // exercise an offset view too
+        let off = rng.gen_range_i64(0, df.num_rows() as i64) as usize;
+        let view = df.slice(off, df.num_rows() - off);
+        for frame in [&df, &view] {
+            let a = frame.column("vs").unwrap().as_utf8().unwrap();
+            let codes = a.dict_encode();
+            assert_eq!(codes.len(), a.len());
+            let mut next_code = 0i64;
+            for i in 0..a.len() {
+                assert_eq!(codes.is_valid(i), a.get(i).is_some(), "validity row {i}");
+                if let Some(c) = codes.get(i) {
+                    // dense first-occurrence order
+                    assert!(c <= next_code);
+                    next_code = next_code.max(c + 1);
+                }
+                for j in 0..i {
+                    if a.get(i).is_some() && a.get(j).is_some() {
+                        assert_eq!(
+                            codes.get(i) == codes.get(j),
+                            a.get(i) == a.get(j),
+                            "rows {i},{j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// concat / dropna: word-level bitmap ops
+// ---------------------------------------------------------------------------
+
+/// String concat over offset views and `dropna` (bitmap-AND) must match
+/// per-row reference construction.
+#[test]
+fn concat_and_dropna_match_per_row_reference() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(4000 + seed);
+        let df = arb_frame(&mut rng);
+        // concat of random slices (offset validity bitmaps + offset bytes)
+        let mut views: Vec<DataFrame> = Vec::new();
+        for _ in 0..rng.gen_range_i64(1, 5) {
+            let off = rng.gen_range_i64(0, df.num_rows() as i64) as usize;
+            let len = rng.gen_range_i64(0, (df.num_rows() - off) as i64 + 1) as usize;
+            views.push(df.slice(off, len));
+        }
+        let refs: Vec<&DataFrame> = views.iter().collect();
+        let got = DataFrame::concat(&refs).unwrap();
+        // reference: per-row gather through Scalar
+        for name in df.schema().names() {
+            let want: Vec<Scalar> = views
+                .iter()
+                .flat_map(|v| {
+                    let c = v.column(name).unwrap();
+                    (0..v.num_rows()).map(move |i| c.get(i))
+                })
+                .collect();
+            let c = got.column(name).unwrap();
+            assert_eq!(c.len(), want.len());
+            for (i, w) in want.iter().enumerate() {
+                assert_eq!(c.get(i), *w, "column {name} row {i}");
+            }
+        }
+
+        // dropna on a view: rows kept iff every subset column is valid
+        let view = &views[0];
+        for subset in [None, Some(&["vi", "vs"][..]), Some(&["vf"][..])] {
+            let dropped = view.dropna(subset).unwrap();
+            let names: Vec<&str> = match subset {
+                Some(s) => s.to_vec(),
+                None => view.schema().names(),
+            };
+            let keep: Vec<usize> = (0..view.num_rows())
+                .filter(|&i| names.iter().all(|n| view.column(n).unwrap().is_valid(i)))
+                .collect();
+            assert_same(&dropped, &view.take(&keep));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sort: typed comparator
+// ---------------------------------------------------------------------------
+
+/// The typed comparator must order rows exactly as the old
+/// `Scalar::total_cmp` comparator did (nulls last in both directions,
+/// stable ties).
+#[test]
+fn sort_matches_scalar_comparator() {
+    for seed in 0..CASES {
+        let mut rng = Xoshiro256::seed_from_u64(5000 + seed);
+        let df = arb_frame(&mut rng);
+        for keys in [
+            &[("vi", true)][..],
+            &[("vf", false)][..],
+            &[("vs", true), ("vi", false)][..],
+            &[("vb", false), ("vd", true)][..],
+        ] {
+            let got = sort::argsort(&df, keys).unwrap();
+            let cols: Vec<&Column> = keys.iter().map(|(k, _)| df.column(k).unwrap()).collect();
+            let mut want: Vec<usize> = (0..df.num_rows()).collect();
+            want.sort_by(|&a, &b| {
+                for (c, (_, asc)) in cols.iter().zip(keys) {
+                    let (va, vb) = (c.get(a), c.get(b));
+                    let ord = match (va.is_null(), vb.is_null()) {
+                        (true, true) => std::cmp::Ordering::Equal,
+                        (true, false) => return std::cmp::Ordering::Greater,
+                        (false, true) => return std::cmp::Ordering::Less,
+                        (false, false) => va.total_cmp(&vb),
+                    };
+                    let ord = if *asc { ord } else { ord.reverse() };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                std::cmp::Ordering::Equal
+            });
+            assert_eq!(got, want, "keys {keys:?}");
+        }
+    }
+}
