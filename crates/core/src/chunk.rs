@@ -88,6 +88,24 @@ impl Payload {
     }
 }
 
+/// Converts a payload into the storage crate's chunk value. O(1): both
+/// sides share the same Arc'd buffers (`xorbits-storage` sits below this
+/// crate and mirrors the enum rather than depending on it).
+pub fn payload_to_value(p: &Payload) -> xorbits_storage::ChunkValue {
+    match p {
+        Payload::Df(df) => xorbits_storage::ChunkValue::Df(df.clone()),
+        Payload::Arr(a) => xorbits_storage::ChunkValue::Arr(a.clone()),
+    }
+}
+
+/// Converts a stored chunk value back into an executor payload. O(1).
+pub fn value_to_payload(v: &xorbits_storage::ChunkValue) -> Payload {
+    match v {
+        xorbits_storage::ChunkValue::Df(df) => Payload::Df(df.clone()),
+        xorbits_storage::ChunkValue::Arr(a) => Payload::Arr(a.clone()),
+    }
+}
+
 /// Metadata of an executed (or planned) chunk — what the paper's meta
 /// service stores and dynamic tiling consumes.
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -33,6 +33,8 @@ pub enum XbError {
     Kernel(String),
     /// Graph-construction invariant violated (internal error).
     Plan(String),
+    /// The chunk storage service failed (spill io error, corrupt envelope).
+    Storage(String),
 }
 
 impl fmt::Display for XbError {
@@ -53,11 +55,26 @@ impl fmt::Display for XbError {
             ),
             XbError::Kernel(s) => write!(f, "kernel error: {s}"),
             XbError::Plan(s) => write!(f, "planning error: {s}"),
+            XbError::Storage(s) => write!(f, "storage error: {s}"),
         }
     }
 }
 
 impl std::error::Error for XbError {}
+
+impl From<xorbits_storage::StorageError> for XbError {
+    fn from(e: xorbits_storage::StorageError) -> Self {
+        match e {
+            // the storage tier's OOM is the paper's "OOM or Killed"
+            xorbits_storage::StorageError::Oom { needed, budget } => XbError::Oom {
+                worker: 0,
+                needed,
+                budget,
+            },
+            other => XbError::Storage(other.to_string()),
+        }
+    }
+}
 
 impl From<xorbits_dataframe::DfError> for XbError {
     fn from(e: xorbits_dataframe::DfError) -> Self {

@@ -2,8 +2,16 @@
 //! host thread with no cluster model. Used by unit tests and by the
 //! single-node ("pandas-like") baseline engine, whose makespan is simply
 //! its single-threaded kernel time.
+//!
+//! Chunk storage is delegated to [`StorageService`]: an unbounded executor
+//! keeps everything resident; a budgeted one either OOMs past the budget
+//! (the historical pandas-process model, [`LocalExecutor::with_budget`]) or
+//! spills cold chunks to a disk tier and reads them back transparently
+//! ([`LocalExecutor::with_budget_and_spill`]). Inputs of the subtask being
+//! executed are pinned so the eviction sweep can never push the working set
+//! out from under a running kernel.
 
-use crate::chunk::{ChunkKey, ChunkMeta, Payload};
+use crate::chunk::{payload_to_value, value_to_payload, ChunkKey, ChunkMeta, Payload};
 use crate::error::{XbError, XbResult};
 use crate::session::{ExecStats, Executor};
 use crate::subtask::SubtaskGraph;
@@ -11,60 +19,80 @@ use crate::tiling::MetaView;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
+use xorbits_storage::{SpillConfig, StorageConfig, StorageMetrics, StorageService};
 
-/// Immediate single-threaded executor with optional total-memory budget
-/// (models a single pandas process: exceed the budget ⇒ OOM).
-#[derive(Default)]
+/// Immediate single-threaded executor whose chunk store is a
+/// [`StorageService`] — optionally budgeted, optionally spill-capable.
 pub struct LocalExecutor {
-    storage: HashMap<ChunkKey, Arc<Payload>>,
+    service: StorageService,
     metas: HashMap<ChunkKey, ChunkMeta>,
-    /// Optional memory budget in bytes for all live chunks.
-    pub memory_budget: Option<usize>,
-    live_bytes: usize,
-    peak_bytes: usize,
+}
+
+impl Default for LocalExecutor {
+    fn default() -> LocalExecutor {
+        LocalExecutor::new()
+    }
 }
 
 impl LocalExecutor {
     /// Unbounded executor.
     pub fn new() -> LocalExecutor {
-        LocalExecutor::default()
-    }
-
-    /// Executor with a single-node memory budget.
-    pub fn with_budget(bytes: usize) -> LocalExecutor {
         LocalExecutor {
-            memory_budget: Some(bytes),
-            ..Default::default()
+            service: StorageService::unbounded(),
+            metas: HashMap::new(),
         }
     }
 
-    /// Peak live bytes observed so far.
+    /// Executor with a single-node memory budget and **no** disk tier:
+    /// exceeding the budget is an immediate OOM (models a single pandas
+    /// process).
+    pub fn with_budget(bytes: usize) -> LocalExecutor {
+        LocalExecutor {
+            service: StorageService::new(StorageConfig {
+                memory_budget: Some(bytes),
+                spill: SpillConfig::Disabled,
+            })
+            .expect("no io in a memory-only config"),
+            metas: HashMap::new(),
+        }
+    }
+
+    /// Executor with a memory budget *and* a temp-dir disk tier: going over
+    /// budget spills cold chunks instead of failing.
+    pub fn with_budget_and_spill(bytes: usize) -> XbResult<LocalExecutor> {
+        LocalExecutor::with_storage(StorageConfig {
+            memory_budget: Some(bytes),
+            spill: SpillConfig::TempDir,
+        })
+    }
+
+    /// Executor over an arbitrary storage configuration.
+    pub fn with_storage(config: StorageConfig) -> XbResult<LocalExecutor> {
+        Ok(LocalExecutor {
+            service: StorageService::new(config)?,
+            metas: HashMap::new(),
+        })
+    }
+
+    /// Peak resident bytes observed so far.
     pub fn peak_bytes(&self) -> usize {
-        self.peak_bytes
+        self.service.metrics().peak_resident_bytes
+    }
+
+    /// Snapshot of the storage tier (evictions, spill/read-back bytes,
+    /// hit/miss counts, residency).
+    pub fn storage_metrics(&self) -> StorageMetrics {
+        self.service.metrics()
     }
 
     fn store(&mut self, key: ChunkKey, payload: Payload, index: (usize, usize)) -> XbResult<()> {
-        let nbytes = payload.nbytes();
-        self.live_bytes += nbytes;
-        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
-        if let Some(budget) = self.memory_budget {
-            if self.live_bytes > budget {
-                return Err(XbError::Oom {
-                    worker: 0,
-                    needed: self.live_bytes,
-                    budget,
-                });
-            }
-        }
-        self.metas.insert(
-            key,
-            ChunkMeta {
-                nbytes,
-                rows: payload.rows(),
-                index,
-            },
-        );
-        self.storage.insert(key, Arc::new(payload));
+        let meta = ChunkMeta {
+            nbytes: payload.nbytes(),
+            rows: payload.rows(),
+            index,
+        };
+        self.service.put(key, payload_to_value(&payload))?;
+        self.metas.insert(key, meta);
         Ok(())
     }
 }
@@ -78,6 +106,7 @@ impl MetaView for LocalExecutor {
 impl Executor for LocalExecutor {
     fn execute(&mut self, graph: &SubtaskGraph) -> XbResult<ExecStats> {
         let start = Instant::now();
+        let before = self.service.metrics();
         let mut subtasks = 0usize;
         for st in &graph.subtasks {
             subtasks += 1;
@@ -86,46 +115,66 @@ impl Executor for LocalExecutor {
             let mut scratch: HashMap<ChunkKey, Arc<Payload>> = HashMap::new();
             for &ni in &st.nodes {
                 let node = &graph.chunks.nodes[ni];
-                let inputs: Vec<Arc<Payload>> = node
-                    .inputs
-                    .iter()
-                    .map(|k| {
-                        scratch
-                            .get(k)
-                            .cloned()
-                            .or_else(|| self.storage.get(k).cloned())
-                            .ok_or_else(|| XbError::Plan(format!("input chunk {k} not found")))
-                    })
-                    .collect::<XbResult<Vec<_>>>()?;
-                let outputs = crate::exec::execute_chunk(&node.op, &inputs)?;
-                for (slot, (key, payload)) in node.outputs.iter().zip(outputs).enumerate() {
-                    if st.published_outputs.contains(key) {
-                        self.store(*key, payload, (ni, slot))?;
-                    } else {
-                        scratch.insert(*key, Arc::new(payload));
+                // pin stored inputs so storing this node's outputs cannot
+                // evict (and re-read) the chunks the kernel is consuming
+                let mut pinned: Vec<ChunkKey> = Vec::new();
+                for &k in &node.inputs {
+                    if !scratch.contains_key(&k) && self.service.pin(k).is_ok() {
+                        pinned.push(k);
                     }
                 }
+                let result = (|| -> XbResult<()> {
+                    let inputs: Vec<Arc<Payload>> = node
+                        .inputs
+                        .iter()
+                        .map(|k| {
+                            if let Some(p) = scratch.get(k) {
+                                return Ok(Arc::clone(p));
+                            }
+                            if self.service.contains(*k) {
+                                let v = self.service.get(*k)?;
+                                return Ok(Arc::new(value_to_payload(&v)));
+                            }
+                            Err(XbError::Plan(format!("input chunk {k} not found")))
+                        })
+                        .collect::<XbResult<Vec<_>>>()?;
+                    let outputs = crate::exec::execute_chunk(&node.op, &inputs)?;
+                    for (slot, (key, payload)) in node.outputs.iter().zip(outputs).enumerate() {
+                        if st.published_outputs.contains(key) {
+                            self.store(*key, payload, (ni, slot))?;
+                        } else {
+                            scratch.insert(*key, Arc::new(payload));
+                        }
+                    }
+                    Ok(())
+                })();
+                for k in pinned {
+                    self.service.unpin(k);
+                }
+                result?;
             }
         }
         let elapsed = start.elapsed().as_secs_f64();
+        let after = self.service.metrics();
         Ok(ExecStats {
             makespan: elapsed,
             subtasks,
             net_bytes: 0,
-            spilled_bytes: 0,
-            peak_worker_bytes: self.peak_bytes,
+            spilled_bytes: (after.spilled_bytes - before.spilled_bytes) as usize,
+            read_back_bytes: (after.read_back_bytes - before.read_back_bytes) as usize,
+            peak_worker_bytes: after.peak_resident_bytes,
             real_cpu_seconds: elapsed,
         })
     }
 
     fn payload(&self, key: ChunkKey) -> Option<Arc<Payload>> {
-        self.storage.get(&key).cloned()
+        let v = self.service.get(key).ok()?;
+        Some(Arc::new(value_to_payload(&v)))
     }
 
     fn clear(&mut self) {
-        self.storage.clear();
+        self.service.clear();
         self.metas.clear();
-        self.live_bytes = 0;
     }
 }
 
@@ -308,12 +357,56 @@ mod tests {
 
     #[test]
     fn single_node_budget_ooms() {
-        let mut ex = LocalExecutor::with_budget(1024);
-        ex.memory_budget = Some(1024);
+        let ex = LocalExecutor::with_budget(1024);
         let s = Session::new(XorbitsConfig::default(), ex);
         let df = s.from_df(sample_df(10_000)).unwrap();
         let err = df.fetch().unwrap_err();
         assert!(matches!(err, XbError::Oom { .. }));
+    }
+
+    #[test]
+    fn same_budget_with_spill_completes() {
+        // the exact pipeline that OOMs above, rescued by the disk tier
+        let ex = LocalExecutor::with_budget_and_spill(1024).unwrap();
+        let s = Session::new(XorbitsConfig::default(), ex);
+        let raw = sample_df(10_000);
+        let df = s.from_df(raw.clone()).unwrap();
+        let out = df.fetch().unwrap();
+        assert_eq!(out, raw);
+    }
+
+    #[test]
+    fn restore_under_same_key_releases_old_entry() {
+        // regression: re-storing a payload under a present key used to add
+        // its bytes to the ledger without releasing the old entry
+        let mut ex = LocalExecutor::new();
+        let payload = || Payload::Df(sample_df(100));
+        let one = payload().nbytes();
+        ex.store(7, payload(), (0, 0)).unwrap();
+        ex.store(7, payload(), (0, 0)).unwrap();
+        ex.store(7, payload(), (0, 0)).unwrap();
+        assert_eq!(
+            ex.storage_metrics().resident_bytes,
+            one,
+            "re-store under the same key must not inflate the ledger"
+        );
+        assert_eq!(ex.peak_bytes(), one, "peak must track real residency");
+    }
+
+    #[test]
+    fn clear_resets_ledger() {
+        let mut ex = LocalExecutor::new();
+        ex.store(1, Payload::Df(sample_df(100)), (0, 0)).unwrap();
+        ex.store(2, Payload::Df(sample_df(100)), (1, 0)).unwrap();
+        ex.clear();
+        assert_eq!(ex.storage_metrics().resident_bytes, 0);
+        assert!(ex.payload(1).is_none());
+        // the ledger restarts cleanly: a fresh store is charged from zero
+        ex.store(3, Payload::Df(sample_df(10)), (0, 0)).unwrap();
+        assert_eq!(
+            ex.storage_metrics().resident_bytes,
+            Payload::Df(sample_df(10)).nbytes()
+        );
     }
 
     #[test]

@@ -28,8 +28,11 @@ pub struct ExecStats {
     pub subtasks: usize,
     /// Bytes moved across virtual workers.
     pub net_bytes: usize,
-    /// Bytes spilled to the virtual disk tier.
+    /// Bytes spilled to the disk tier (encoded envelope bytes for real
+    /// executors; reconciled encoded sizes for the simulator).
     pub spilled_bytes: usize,
+    /// Bytes read back from the disk tier.
+    pub read_back_bytes: usize,
     /// Peak live bytes on the most loaded worker.
     pub peak_worker_bytes: usize,
     /// Real CPU seconds spent in kernels (host measurement).
@@ -43,6 +46,7 @@ impl ExecStats {
         self.subtasks += other.subtasks;
         self.net_bytes += other.net_bytes;
         self.spilled_bytes += other.spilled_bytes;
+        self.read_back_bytes += other.read_back_bytes;
         self.peak_worker_bytes = self.peak_worker_bytes.max(other.peak_worker_bytes);
         self.real_cpu_seconds += other.real_cpu_seconds;
     }

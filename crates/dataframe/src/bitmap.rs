@@ -305,6 +305,29 @@ impl Bitmap {
         Arc::as_ptr(&self.words) as usize
     }
 
+    /// The viewed bits as normalized LSB-first words (offset 0, bits past
+    /// `len` zeroed) — the serialization unit of the chunk codec.
+    pub fn to_words(&self) -> Vec<u64> {
+        (0..self.num_words()).map(|wi| self.word(wi)).collect()
+    }
+
+    /// Rebuilds a bitmap of `len` bits from LSB-first words, the inverse of
+    /// [`Bitmap::to_words`]. Bits past `len` in the last word are masked
+    /// off, so a corrupted tail cannot leak into later word-level ops.
+    ///
+    /// # Panics
+    /// If `words` is not exactly `len.div_ceil(64)` words long (callers
+    /// validate region sizes before reconstructing).
+    pub fn from_words(mut words: Vec<u64>, len: usize) -> Bitmap {
+        assert_eq!(words.len(), len.div_ceil(64), "bitmap word count mismatch");
+        mask_tail(&mut words, len);
+        Bitmap {
+            words: Arc::new(words),
+            offset: 0,
+            len,
+        }
+    }
+
     /// Materializes the view when the retained allocation exceeds
     /// `slack ×` the logical size. Returns true if a copy happened.
     pub fn compact(&mut self, slack: f64) -> bool {

@@ -43,6 +43,21 @@ impl<T> Buffer<T> {
         }
     }
 
+    /// A view `[offset, offset + len)` over an allocation that is already
+    /// shared. This is the zero-copy decode path of the chunk codec: the
+    /// whole read buffer is wrapped in one `Arc` and every variable-length
+    /// region becomes a window into it, so decoding moves no bytes.
+    ///
+    /// # Panics
+    /// If the window exceeds the allocation.
+    pub fn from_shared(data: Arc<Vec<T>>, offset: usize, len: usize) -> Buffer<T> {
+        assert!(
+            offset.checked_add(len).is_some_and(|end| end <= data.len()),
+            "shared buffer window out of bounds"
+        );
+        Buffer { data, offset, len }
+    }
+
     /// Number of viewed elements.
     #[inline]
     pub fn len(&self) -> usize {

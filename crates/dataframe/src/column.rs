@@ -579,6 +579,70 @@ impl StrArr {
         )
     }
 
+    /// The shared byte buffer (for the chunk codec's encoder).
+    pub fn data_buffer(&self) -> &Buffer<u8> {
+        &self.data
+    }
+
+    /// The offsets buffer: `len + 1` absolute positions into the byte
+    /// buffer (for the chunk codec's encoder).
+    pub fn offsets_buffer(&self) -> &Buffer<u32> {
+        &self.offsets
+    }
+
+    /// Reassembles an array from raw parts, validating every invariant the
+    /// unsafe accessors rely on: at least one offset, offsets monotonically
+    /// non-decreasing and in-bounds for `data`, and every span boundary a
+    /// UTF-8 character boundary. This is the strict decode path of the
+    /// chunk codec — `data` may be a zero-copy window into the read buffer.
+    pub fn from_raw(
+        data: Buffer<u8>,
+        offsets: Buffer<u32>,
+        validity: Option<Bitmap>,
+    ) -> DfResult<StrArr> {
+        let offs = offsets.as_slice();
+        let Some((&first, &last)) = offs.first().zip(offs.last()) else {
+            return Err(DfError::Unsupported(
+                "string array needs at least one offset".into(),
+            ));
+        };
+        if offs.windows(2).any(|w| w[0] > w[1]) {
+            return Err(DfError::Unsupported(
+                "string offsets must be non-decreasing".into(),
+            ));
+        }
+        if last as usize > data.len() {
+            return Err(DfError::Unsupported(format!(
+                "string offset {last} exceeds byte buffer of {}",
+                data.len()
+            )));
+        }
+        let region = std::str::from_utf8(&data.as_slice()[first as usize..last as usize])
+            .map_err(|e| DfError::Unsupported(format!("string bytes not UTF-8: {e}")))?;
+        if offs
+            .iter()
+            .any(|&o| !region.is_char_boundary((o - first) as usize))
+        {
+            return Err(DfError::Unsupported(
+                "string offset splits a UTF-8 character".into(),
+            ));
+        }
+        let rows = offs.len() - 1;
+        if let Some(v) = &validity {
+            if v.len() != rows {
+                return Err(DfError::LengthMismatch {
+                    expected: rows,
+                    found: v.len(),
+                });
+            }
+        }
+        Ok(StrArr {
+            data,
+            offsets,
+            validity,
+        })
+    }
+
     /// O(1): narrows the offsets view; the byte buffer stays shared.
     fn slice(&self, offset: usize, len: usize) -> Self {
         StrArr {

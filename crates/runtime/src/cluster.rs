@@ -18,7 +18,10 @@ pub struct ClusterSpec {
     pub worker_memory_bytes: usize,
     /// Cross-worker network bandwidth, bytes/second.
     pub net_bandwidth: f64,
-    /// Disk bandwidth for the spill tier, bytes/second.
+    /// Disk bandwidth for the spill tier, bytes/second. Spill and
+    /// read-back traffic is costed on the chunk's *measured* encoded
+    /// envelope (`xorbits_storage::encoded_size`) — the bytes the real
+    /// storage service writes — not its logical in-memory size.
     pub disk_bandwidth: f64,
     /// Storage-service bandwidth, bytes/second: the cost of publishing a
     /// chunk to / reading a chunk from the shared-memory storage tier

@@ -31,7 +31,7 @@ use crate::cluster::ClusterSpec;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use xorbits_core::chunk::{ChunkKey, ChunkMeta, Payload};
+use xorbits_core::chunk::{payload_to_value, ChunkKey, ChunkMeta, Payload};
 use xorbits_core::error::{XbError, XbResult};
 use xorbits_core::session::{ExecStats, Executor};
 use xorbits_core::subtask::SubtaskGraph;
@@ -41,9 +41,13 @@ use xorbits_core::tiling::MetaView;
 struct ChunkState {
     band: usize,
     finish: f64,
-    /// Logical (viewed) bytes — what network, disk and storage transfers
-    /// cost. Memory charges use the retained-allocation ledger instead.
+    /// Logical (viewed) bytes — what network and storage transfers cost.
+    /// Memory charges use the retained-allocation ledger instead.
     nbytes: usize,
+    /// *Measured* encoded envelope size ([`xorbits_storage::encoded_size`])
+    /// — what the disk tier actually writes and reads, so spill accounting
+    /// matches the real storage service byte-for-byte.
+    enc_bytes: usize,
     resident: bool,
     spilled: bool,
 }
@@ -67,6 +71,7 @@ pub struct SimExecutor {
     any_rr: usize,
     total_net_bytes: usize,
     total_spilled_bytes: usize,
+    total_read_back_bytes: usize,
     /// Chunks already fetched to a worker: remote reads are paid once per
     /// worker and cached (how a broadcast stays cheap in real clusters).
     arrived: std::collections::HashSet<(ChunkKey, usize)>,
@@ -93,6 +98,7 @@ impl SimExecutor {
             any_rr: 0,
             total_net_bytes: 0,
             total_spilled_bytes: 0,
+            total_read_back_bytes: 0,
             arrived: std::collections::HashSet::new(),
             sched_clock: 0.0,
         }
@@ -182,16 +188,18 @@ impl SimExecutor {
                     st.resident && !st.spilled && self.spec.worker_of(st.band) == worker
                 })
                 .min_by(|a, b| a.1.finish.total_cmp(&b.1.finish))
-                .map(|(k, st)| (*k, st.nbytes));
+                .map(|(k, st)| (*k, st.enc_bytes));
             match victim {
-                Some((k, logical)) => {
+                Some((k, encoded)) => {
                     let st = self.states.get_mut(&k).expect("victim exists");
                     st.spilled = true;
                     st.resident = false;
                     let freed = self.release_allocs(worker, k);
                     self.worker_live[worker] = self.worker_live[worker].saturating_sub(freed);
-                    // the disk tier receives the serialised view
-                    self.total_spilled_bytes += logical;
+                    // the disk tier receives the chunk's *encoded envelope*,
+                    // not its logical view — reconciled with the measured
+                    // sizes the real storage service writes
+                    self.total_spilled_bytes += encoded;
                 }
                 None => {
                     // nothing left to spill: even the disk tier can't save us
@@ -274,6 +282,7 @@ impl Executor for SimExecutor {
         self.sched_clock = self.sched_clock.max(t0);
         let net_before = self.total_net_bytes;
         let spill_before = self.total_spilled_bytes;
+        let read_back_before = self.total_read_back_bytes;
         let mut real_cpu = 0.0;
         let mut subtasks = 0usize;
 
@@ -311,7 +320,9 @@ impl Executor for SimExecutor {
                     self.total_net_bytes += cs.nbytes;
                 }
                 if cs.spilled {
-                    disk_io += cs.nbytes as f64 / self.spec.disk_bandwidth;
+                    // read-back pays the encoded envelope off the disk tier
+                    disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
+                    self.total_read_back_bytes += cs.enc_bytes;
                 }
             }
             let net_io = recv_bytes as f64 / self.spec.net_bandwidth;
@@ -434,6 +445,7 @@ impl Executor for SimExecutor {
                         band,
                         finish,
                         nbytes,
+                        enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&payload)),
                         resident: true,
                         spilled: false,
                     },
@@ -479,6 +491,7 @@ impl Executor for SimExecutor {
             subtasks,
             net_bytes: self.total_net_bytes - net_before,
             spilled_bytes: self.total_spilled_bytes - spill_before,
+            read_back_bytes: self.total_read_back_bytes - read_back_before,
             peak_worker_bytes: self.worker_peak.iter().copied().max().unwrap_or(0),
             real_cpu_seconds: real_cpu,
         })
@@ -726,6 +739,9 @@ mod tests {
                     band: 0,
                     finish: 0.0,
                     nbytes: p.nbytes(),
+                    enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&Payload::Df(
+                        p.clone(),
+                    ))),
                     resident: true,
                     spilled: false,
                 },
@@ -761,6 +777,9 @@ mod tests {
                     band: 0,
                     finish: i as f64,
                     nbytes: p.nbytes(),
+                    enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&Payload::Df(
+                        p.clone(),
+                    ))),
                     resident: true,
                     spilled: false,
                 },
@@ -775,6 +794,9 @@ mod tests {
                 band: 0,
                 finish: 9.0,
                 nbytes: fresh.nbytes(),
+                enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&Payload::Df(
+                    fresh.clone(),
+                ))),
                 resident: true,
                 spilled: false,
             },
@@ -786,10 +808,12 @@ mod tests {
             "freeing 0 bytes must not satisfy the loop"
         );
         assert_eq!(ex.worker_live[0], fresh.retained_nbytes());
-        assert_eq!(
-            ex.total_spilled_bytes,
-            parts[0].nbytes() + parts[1].nbytes()
-        );
+        // the disk tier is charged the *measured* encoded envelopes, which
+        // differ from the logical view bytes (header/offsets overhead)
+        let enc = |df: &DataFrame| {
+            xorbits_storage::encoded_size(&payload_to_value(&Payload::Df(df.clone())))
+        };
+        assert_eq!(ex.total_spilled_bytes, enc(&parts[0]) + enc(&parts[1]));
     }
 
     #[test]

@@ -1,0 +1,553 @@
+//! The binary chunk envelope — the serialization format of the disk tier.
+//!
+//! A chunk is framed as:
+//!
+//! ```text
+//! ┌─────────────┬─────────┬──────┬──────────┬──────────────┬──────────┐
+//! │ magic 8B    │ ver u16 │ kind │ reserved │ body         │ checksum │
+//! │ "XBCHNK01"  │   = 1   │  u8  │ u8 = 0   │ kind-specific│ u64      │
+//! └─────────────┴─────────┴──────┴──────────┴──────────────┴──────────┘
+//! ```
+//!
+//! Everything is little-endian. The checksum hashes every preceding byte
+//! (the same `hash_bytes` the kernels use), so truncation and bit flips are
+//! caught before any region is interpreted.
+//!
+//! Dataframe body (`kind = 0`): `u32` column count, `u64` row count, then
+//! per column: name (`u16` length + UTF-8 bytes), dtype id `u8`, flags `u8`
+//! (bit 0 ⇒ validity present), the validity bitmap as packed `u64` words,
+//! and the dtype-specific value region — raw fixed-width values for
+//! Int64/Float64/Date, packed words for Bool, and for Utf8 a rebased
+//! `(rows + 1) × u32` offsets region followed by a `u64`-length-prefixed
+//! byte region.
+//!
+//! Array body (`kind = 1`): `u32` ndim, `u64` per dimension, then the
+//! row-major `f64` values.
+//!
+//! Two properties matter to the storage service above:
+//!
+//! * **views encode losslessly** — the encoder walks the *viewed* slice of
+//!   every buffer (a sliced or copy-on-write view writes exactly its
+//!   window, offsets rebased), so a thin view spills thin: the disk tier
+//!   never pays for a parent allocation the chunk no longer shows;
+//! * **strict, single-pass decode** — every region is bounds-checked
+//!   before it is sliced, offsets must be monotone and in-bounds, string
+//!   bytes must be valid UTF-8 on character boundaries, and the cursor
+//!   must land exactly on the checksum. String byte regions are rebuilt
+//!   *zero-copy* as shared windows over the read buffer
+//!   ([`Buffer::from_shared`]); fixed-width regions pay one tight copy
+//!   (alignment forbids aliasing `u8` storage as `i64`/`f64`).
+
+use crate::error::{StorageError, StorageResult};
+use crate::ChunkValue;
+use std::sync::Arc;
+use xorbits_array::NdArray;
+use xorbits_dataframe::column::{BoolArr, PrimArr, StrArr};
+use xorbits_dataframe::hash::hash_bytes;
+use xorbits_dataframe::{Bitmap, Buffer, Column, DataFrame, DataType};
+
+/// Envelope magic.
+pub const MAGIC: [u8; 8] = *b"XBCHNK01";
+/// Format version.
+pub const VERSION: u16 = 1;
+
+const KIND_DF: u8 = 0;
+const KIND_ARR: u8 = 1;
+const HEADER_LEN: usize = 12;
+const CHECKSUM_LEN: usize = 8;
+
+const FLAG_VALIDITY: u8 = 1;
+
+fn dtype_id(dt: DataType) -> u8 {
+    match dt {
+        DataType::Int64 => 0,
+        DataType::Float64 => 1,
+        DataType::Bool => 2,
+        DataType::Utf8 => 3,
+        DataType::Date => 4,
+    }
+}
+
+fn dtype_from_id(id: u8) -> StorageResult<DataType> {
+    match id {
+        0 => Ok(DataType::Int64),
+        1 => Ok(DataType::Float64),
+        2 => Ok(DataType::Bool),
+        3 => Ok(DataType::Utf8),
+        4 => Ok(DataType::Date),
+        other => Err(StorageError::Corrupt(format!("unknown dtype id {other}"))),
+    }
+}
+
+// ---- fixed-width primitive regions -----------------------------------------
+
+/// Sealed helper for the fixed-width value types the format stores. All are
+/// plain-old-data numerics, which is what makes the little-endian bulk
+/// memcpy fast paths sound.
+trait Fixed: Copy {
+    const SIZE: usize;
+    fn write_le(self, out: &mut Vec<u8>);
+    fn read_le(b: &[u8]) -> Self;
+}
+
+macro_rules! impl_fixed {
+    ($($t:ty),*) => {$(
+        impl Fixed for $t {
+            const SIZE: usize = std::mem::size_of::<$t>();
+            #[inline]
+            fn write_le(self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            #[inline]
+            fn read_le(b: &[u8]) -> Self {
+                <$t>::from_le_bytes(b.try_into().expect("region sized by caller"))
+            }
+        }
+    )*};
+}
+
+impl_fixed!(i32, u16, u32, i64, u64, f64);
+
+/// Appends `vals` to `out` in little-endian order. On little-endian targets
+/// this is one `memcpy` of the viewed slice.
+fn put_fixed<T: Fixed>(out: &mut Vec<u8>, vals: &[T]) {
+    #[cfg(target_endian = "little")]
+    {
+        // SAFETY: `T` is a sealed POD numeric (see `Fixed`); on an LE
+        // target its in-memory bytes are already the wire representation.
+        let bytes = unsafe {
+            std::slice::from_raw_parts(vals.as_ptr().cast::<u8>(), std::mem::size_of_val(vals))
+        };
+        out.extend_from_slice(bytes);
+    }
+    #[cfg(not(target_endian = "little"))]
+    for &v in vals {
+        v.write_le(out);
+    }
+}
+
+/// Decodes a fixed-width region (`bytes.len()` must be `n * T::SIZE`; the
+/// caller has already bounds-checked the region).
+fn get_fixed<T: Fixed>(bytes: &[u8]) -> Vec<T> {
+    debug_assert_eq!(bytes.len() % T::SIZE, 0);
+    #[cfg(target_endian = "little")]
+    {
+        let n = bytes.len() / T::SIZE;
+        let mut vals: Vec<T> = Vec::with_capacity(n);
+        // SAFETY: `T` is POD; the source holds exactly `n` LE values and
+        // the destination has capacity for them. `set_len` exposes only
+        // bytes written by the copy.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                vals.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+            vals.set_len(n);
+        }
+        vals
+    }
+    #[cfg(not(target_endian = "little"))]
+    bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
+}
+
+// ---- size precomputation ----------------------------------------------------
+
+fn validity_region(rows: usize) -> usize {
+    rows.div_ceil(64) * 8
+}
+
+fn column_body_size(col: &Column) -> usize {
+    let rows = col.len();
+    let validity = if col.validity().is_some() {
+        validity_region(rows)
+    } else {
+        0
+    };
+    let values = match col {
+        Column::Int64(_) | Column::Float64(_) => rows * 8,
+        Column::Date(_) => rows * 4,
+        Column::Bool(_) => validity_region(rows),
+        Column::Utf8(a) => {
+            let offs = a.offsets_buffer().as_slice();
+            let data = (offs[rows] - offs[0]) as usize;
+            (rows + 1) * 4 + 8 + data
+        }
+    };
+    validity + values
+}
+
+fn df_body_size(df: &DataFrame) -> usize {
+    let mut n = 4 + 8; // ncols + nrows
+    for (field, col) in df.schema().fields().iter().zip(df.columns()) {
+        n += 2 + field.name.len() + 1 + 1 + column_body_size(col);
+    }
+    n
+}
+
+fn arr_body_size(a: &NdArray) -> usize {
+    4 + a.shape().len() * 8 + a.len() * 8
+}
+
+/// Exact encoded length of a chunk, without building the envelope. The
+/// simulator uses this to charge the disk tier the *measured* bytes the
+/// real service would write.
+pub fn encoded_size(value: &ChunkValue) -> usize {
+    let body = match value {
+        ChunkValue::Df(df) => df_body_size(df),
+        ChunkValue::Arr(a) => arr_body_size(a),
+    };
+    HEADER_LEN + body + CHECKSUM_LEN
+}
+
+// ---- encoding ----------------------------------------------------------------
+
+fn put_validity(out: &mut Vec<u8>, v: &Bitmap) {
+    put_fixed(out, &v.to_words());
+}
+
+fn encode_column(out: &mut Vec<u8>, col: &Column) {
+    if let Some(v) = col.validity() {
+        put_validity(out, v);
+    }
+    match col {
+        Column::Int64(a) => put_fixed(out, a.values.as_slice()),
+        Column::Float64(a) => put_fixed(out, a.values.as_slice()),
+        Column::Date(a) => put_fixed(out, a.values.as_slice()),
+        Column::Bool(a) => put_fixed(out, &a.values.to_words()),
+        Column::Utf8(a) => {
+            let offs = a.offsets_buffer().as_slice();
+            let first = offs[0];
+            let last = offs[offs.len() - 1];
+            if first == 0 {
+                put_fixed(out, offs);
+            } else {
+                // a sliced view: rebase the window's offsets to 0 so the
+                // envelope is self-contained
+                for &o in offs {
+                    (o - first).write_le(out);
+                }
+            }
+            let data = &a.data_buffer().as_slice()[first as usize..last as usize];
+            (data.len() as u64).write_le(out);
+            out.extend_from_slice(data);
+        }
+    }
+}
+
+/// Encodes one chunk into a fresh envelope.
+pub fn encode_chunk(value: &ChunkValue) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_size(value));
+    out.extend_from_slice(&MAGIC);
+    VERSION.write_le(&mut out);
+    match value {
+        ChunkValue::Df(df) => {
+            out.push(KIND_DF);
+            out.push(0);
+            (df.num_columns() as u32).write_le(&mut out);
+            (df.num_rows() as u64).write_le(&mut out);
+            for (field, col) in df.schema().fields().iter().zip(df.columns()) {
+                (field.name.len() as u16).write_le(&mut out);
+                out.extend_from_slice(field.name.as_bytes());
+                out.push(dtype_id(field.dtype));
+                out.push(if col.validity().is_some() {
+                    FLAG_VALIDITY
+                } else {
+                    0
+                });
+                encode_column(&mut out, col);
+            }
+        }
+        ChunkValue::Arr(a) => {
+            out.push(KIND_ARR);
+            out.push(0);
+            (a.shape().len() as u32).write_le(&mut out);
+            for &d in a.shape() {
+                (d as u64).write_le(&mut out);
+            }
+            put_fixed(&mut out, a.data());
+        }
+    }
+    let sum = hash_bytes(&out, 0, out.len());
+    sum.write_le(&mut out);
+    debug_assert_eq!(out.len(), encoded_size(value), "size precompute drifted");
+    out
+}
+
+// ---- decoding ----------------------------------------------------------------
+
+/// Strict cursor over the envelope body: every read is bounds-checked and
+/// reports the offending position.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    end: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> StorageResult<&'a [u8]> {
+        let end = self
+            .pos
+            .checked_add(n)
+            .filter(|&e| e <= self.end)
+            .ok_or_else(|| {
+                StorageError::Corrupt(format!(
+                    "region of {n} bytes at {} overruns body end {}",
+                    self.pos, self.end
+                ))
+            })?;
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> StorageResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> StorageResult<u16> {
+        Ok(u16::read_le(self.take(2)?))
+    }
+
+    fn u32(&mut self) -> StorageResult<u32> {
+        Ok(u32::read_le(self.take(4)?))
+    }
+
+    fn u64(&mut self) -> StorageResult<u64> {
+        Ok(u64::read_le(self.take(8)?))
+    }
+
+    fn usize64(&mut self, what: &str) -> StorageResult<usize> {
+        let v = self.u64()?;
+        usize::try_from(v)
+            .ok()
+            // a count can never exceed the envelope itself (every row/value
+            // occupies at least one encoded byte somewhere in the body)
+            .filter(|&v| v <= self.end)
+            .ok_or_else(|| StorageError::Corrupt(format!("{what} {v} is implausibly large")))
+    }
+}
+
+fn read_validity(r: &mut Reader<'_>, rows: usize) -> StorageResult<Bitmap> {
+    let words = get_fixed::<u64>(r.take(validity_region(rows))?);
+    Ok(Bitmap::from_words(words, rows))
+}
+
+fn decode_column(
+    r: &mut Reader<'_>,
+    shared: &Arc<Vec<u8>>,
+    dtype: DataType,
+    has_validity: bool,
+    rows: usize,
+) -> StorageResult<Column> {
+    let validity = if has_validity {
+        Some(read_validity(r, rows)?)
+    } else {
+        None
+    };
+    Ok(match dtype {
+        DataType::Int64 => Column::Int64(PrimArr {
+            values: Buffer::from_vec(get_fixed::<i64>(r.take(rows * 8)?)),
+            validity,
+        }),
+        DataType::Float64 => Column::Float64(PrimArr {
+            values: Buffer::from_vec(get_fixed::<f64>(r.take(rows * 8)?)),
+            validity,
+        }),
+        DataType::Date => Column::Date(PrimArr {
+            values: Buffer::from_vec(get_fixed::<i32>(r.take(rows * 4)?)),
+            validity,
+        }),
+        DataType::Bool => {
+            let words = get_fixed::<u64>(r.take(validity_region(rows))?);
+            Column::Bool(BoolArr {
+                values: Bitmap::from_words(words, rows),
+                validity,
+            })
+        }
+        DataType::Utf8 => {
+            let offsets = get_fixed::<u32>(r.take((rows + 1) * 4)?);
+            let data_len = r.usize64("string region length")?;
+            let data_pos = r.pos;
+            // bounds-check and advance; the column's byte storage then
+            // becomes a zero-copy window into the read buffer itself
+            r.take(data_len)?;
+            let data = Buffer::from_shared(Arc::clone(shared), data_pos, data_len);
+            let arr = StrArr::from_raw(data, Buffer::from_vec(offsets), validity)
+                .map_err(|e| StorageError::Corrupt(format!("string column: {e}")))?;
+            Column::Utf8(arr)
+        }
+    })
+}
+
+/// Decodes an envelope produced by [`encode_chunk`], consuming the read
+/// buffer (string columns keep zero-copy windows into it).
+pub fn decode_chunk(bytes: Vec<u8>) -> StorageResult<ChunkValue> {
+    let total = bytes.len();
+    if total < HEADER_LEN + CHECKSUM_LEN {
+        return Err(StorageError::Corrupt(format!(
+            "envelope of {total} bytes is shorter than header + checksum"
+        )));
+    }
+    let body_end = total - CHECKSUM_LEN;
+    let stored = u64::read_le(&bytes[body_end..]);
+    let actual = hash_bytes(&bytes, 0, body_end);
+    if stored != actual {
+        return Err(StorageError::Corrupt(format!(
+            "checksum mismatch: stored {stored:#x}, computed {actual:#x}"
+        )));
+    }
+    if bytes[..8] != MAGIC {
+        return Err(StorageError::Corrupt("bad magic".into()));
+    }
+    let version = u16::read_le(&bytes[8..10]);
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported version {version} (expected {VERSION})"
+        )));
+    }
+    let kind = bytes[10];
+    let shared = Arc::new(bytes);
+    let mut r = Reader {
+        bytes: &shared,
+        pos: HEADER_LEN,
+        end: body_end,
+    };
+    let value = match kind {
+        KIND_DF => {
+            let ncols = r.u32()? as usize;
+            let nrows = r.usize64("row count")?;
+            let mut pairs: Vec<(String, Column)> = Vec::with_capacity(ncols.min(1 << 16));
+            for _ in 0..ncols {
+                let name_len = r.u16()? as usize;
+                let name = std::str::from_utf8(r.take(name_len)?)
+                    .map_err(|e| StorageError::Corrupt(format!("column name not UTF-8: {e}")))?
+                    .to_string();
+                let dtype = dtype_from_id(r.u8()?)?;
+                let flags = r.u8()?;
+                if flags & !FLAG_VALIDITY != 0 {
+                    return Err(StorageError::Corrupt(format!(
+                        "unknown column flags {flags:#04x}"
+                    )));
+                }
+                let col = decode_column(&mut r, &shared, dtype, flags & FLAG_VALIDITY != 0, nrows)?;
+                pairs.push((name, col));
+            }
+            let df = DataFrame::new(pairs)
+                .map_err(|e| StorageError::Corrupt(format!("invalid dataframe: {e}")))?;
+            ChunkValue::Df(df)
+        }
+        KIND_ARR => {
+            let ndim = r.u32()? as usize;
+            if ndim > 8 {
+                return Err(StorageError::Corrupt(format!(
+                    "implausible array rank {ndim}"
+                )));
+            }
+            let mut shape = Vec::with_capacity(ndim);
+            let mut len = 1usize;
+            for _ in 0..ndim {
+                let d = r.usize64("array dimension")?;
+                len = len
+                    .checked_mul(d)
+                    .filter(|&l| l <= r.end)
+                    .ok_or_else(|| StorageError::Corrupt("array shape overflows".into()))?;
+                shape.push(d);
+            }
+            let data = get_fixed::<f64>(r.take(len * 8)?);
+            let arr = NdArray::from_vec(data, shape)
+                .map_err(|e| StorageError::Corrupt(format!("invalid array: {e}")))?;
+            ChunkValue::Arr(arr)
+        }
+        other => {
+            return Err(StorageError::Corrupt(format!("unknown chunk kind {other}")));
+        }
+    };
+    if r.pos != r.end {
+        return Err(StorageError::Corrupt(format!(
+            "{} trailing bytes after body",
+            r.end - r.pos
+        )));
+    }
+    Ok(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(v: ChunkValue) -> ChunkValue {
+        let enc = encode_chunk(&v);
+        assert_eq!(enc.len(), encoded_size(&v));
+        decode_chunk(enc).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn df_roundtrip_basic() {
+        let df = DataFrame::new(vec![
+            ("i", Column::from_opt_i64(vec![Some(1), None, Some(-3)])),
+            ("f", Column::from_f64(vec![0.5, -1.5, f64::NAN])),
+            (
+                "s",
+                Column::from_opt_str(vec![Some("ab"), None, Some("cé")]),
+            ),
+            ("b", Column::from_bool(vec![true, false, true])),
+            ("d", Column::from_date(vec![10, 20, 30])),
+        ])
+        .unwrap();
+        let out = match roundtrip(ChunkValue::Df(df.clone())) {
+            ChunkValue::Df(out) => out,
+            _ => panic!("kind flipped"),
+        };
+        // NaN breaks PartialEq; compare piecewise
+        assert_eq!(out.num_rows(), 3);
+        assert_eq!(out.schema(), df.schema());
+        assert_eq!(out.column("i").unwrap(), df.column("i").unwrap());
+        assert_eq!(out.column("s").unwrap(), df.column("s").unwrap());
+        assert!(out.column("f").unwrap().get(2).as_f64().unwrap().is_nan());
+    }
+
+    #[test]
+    fn sliced_view_encodes_viewed_range_only() {
+        let parent = DataFrame::new(vec![
+            ("v", Column::from_i64((0..1000).collect())),
+            ("s", Column::from_str((0..1000).map(|i| format!("row{i}")))),
+        ])
+        .unwrap();
+        let view = parent.slice(100, 10);
+        let enc = encode_chunk(&ChunkValue::Df(view.clone()));
+        // the envelope must be proportional to the view, not the parent
+        assert!(enc.len() < 1000, "envelope {} bytes", enc.len());
+        let out = match decode_chunk(enc).unwrap() {
+            ChunkValue::Df(out) => out,
+            _ => unreachable!(),
+        };
+        assert_eq!(out, view);
+    }
+
+    #[test]
+    fn arr_roundtrip() {
+        let a = NdArray::from_vec((0..24).map(|i| i as f64).collect(), vec![4, 6]).unwrap();
+        let out = match roundtrip(ChunkValue::Arr(a.clone())) {
+            ChunkValue::Arr(out) => out,
+            _ => panic!("kind flipped"),
+        };
+        assert_eq!(out.shape(), a.shape());
+        assert_eq!(out.data(), a.data());
+    }
+
+    #[test]
+    fn corrupt_envelopes_rejected() {
+        let df = DataFrame::new(vec![("x", Column::from_i64(vec![1, 2, 3]))]).unwrap();
+        let enc = encode_chunk(&ChunkValue::Df(df));
+        // truncation
+        assert!(decode_chunk(enc[..enc.len() - 1].to_vec()).is_err());
+        assert!(decode_chunk(enc[..6].to_vec()).is_err());
+        // bit flip anywhere fails the checksum
+        for pos in [0, 9, 15, enc.len() / 2] {
+            let mut bad = enc.clone();
+            bad[pos] ^= 0x40;
+            assert!(decode_chunk(bad).is_err(), "flip at {pos} accepted");
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Errors of the storage service and the chunk codec.
+
+use std::fmt;
+
+/// Errors raised by the storage service or the binary chunk codec.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StorageError {
+    /// The memory tier is over budget and nothing can be evicted (spilling
+    /// disabled, or every resident chunk is pinned).
+    Oom {
+        /// Bytes the tier would need live.
+        needed: usize,
+        /// The configured budget.
+        budget: usize,
+    },
+    /// A spill file could not be written or read.
+    Io(String),
+    /// An envelope failed strict decoding (bad magic/version, truncated or
+    /// out-of-bounds region, checksum mismatch, invalid offsets/UTF-8).
+    Corrupt(String),
+    /// A chunk key was expected in the store but is unknown.
+    Missing(u64),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Oom { needed, budget } => write!(
+                f,
+                "storage out of memory: needed {needed} bytes, budget {budget}"
+            ),
+            StorageError::Io(s) => write!(f, "spill io error: {s}"),
+            StorageError::Corrupt(s) => write!(f, "corrupt chunk envelope: {s}"),
+            StorageError::Missing(k) => write!(f, "chunk {k} not found in storage"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

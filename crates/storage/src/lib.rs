@@ -1,0 +1,67 @@
+//! # xorbits-storage
+//!
+//! The multi-level storage service of §V-C: the component that lets an
+//! executor hold a working set larger than memory by spilling chunks to a
+//! disk tier and reading them back transparently.
+//!
+//! Three pieces, bottom-up:
+//!
+//! * [`chunkfmt`] — a versioned, little-endian binary envelope for chunk
+//!   payloads (dataframes and arrays). The encoder serializes sliced /
+//!   copy-on-write buffer *views* losslessly; the decoder is strict
+//!   (bounds-checked regions, validated offsets and UTF-8, whole-envelope
+//!   checksum) and rebuilds string columns as zero-copy windows over the
+//!   read buffer.
+//! * [`service`] — [`service::StorageService`]: a memory tier governed by a
+//!   byte budget with clock (second-chance) eviction and pin/unpin
+//!   refcounts, over a disk tier of per-chunk spill files with transparent
+//!   read-back promotion. Exports a [`service::StorageMetrics`] snapshot.
+//! * the executors in `xorbits-core` / `xorbits-runtime` route their chunk
+//!   stores through the service (this crate sits *below* them, next to the
+//!   single-node kernels, so it knows nothing about graphs or sessions).
+//!
+//! Like the rest of the workspace, the crate has zero external
+//! dependencies: the format is hand-rolled (no serde) and locking is
+//! `std::sync`.
+
+#![warn(missing_docs)]
+
+pub mod chunkfmt;
+pub mod error;
+pub mod service;
+
+pub use chunkfmt::{decode_chunk, encode_chunk, encoded_size};
+pub use error::{StorageError, StorageResult};
+pub use service::{SpillConfig, StorageConfig, StorageMetrics, StorageService};
+
+use xorbits_array::NdArray;
+use xorbits_dataframe::DataFrame;
+
+/// The data held by one stored chunk — mirrors the executor-level payload
+/// without depending on it (this crate sits below `xorbits-core`).
+#[derive(Debug, Clone)]
+pub enum ChunkValue {
+    /// A dataframe chunk.
+    Df(DataFrame),
+    /// An array chunk.
+    Arr(NdArray),
+}
+
+impl ChunkValue {
+    /// Approximate logical heap bytes of the viewed data (the memory-tier
+    /// accounting unit, matching the executors' `Payload::nbytes`).
+    pub fn nbytes(&self) -> usize {
+        match self {
+            ChunkValue::Df(df) => df.nbytes(),
+            ChunkValue::Arr(a) => a.nbytes(),
+        }
+    }
+
+    /// Leading-dimension length.
+    pub fn rows(&self) -> usize {
+        match self {
+            ChunkValue::Df(df) => df.num_rows(),
+            ChunkValue::Arr(a) => a.shape().first().copied().unwrap_or(0),
+        }
+    }
+}

@@ -1,0 +1,329 @@
+//! Property tests of the binary chunk envelope: seeded-PRNG roundtrips
+//! across every dtype, null pattern and view shape, plus strict-decoder
+//! rejection of malformed envelopes.
+
+use xorbits_array::prng::Xoshiro256;
+use xorbits_array::NdArray;
+use xorbits_dataframe::hash::hash_bytes;
+use xorbits_dataframe::{Column, DataFrame};
+use xorbits_storage::{decode_chunk, encode_chunk, encoded_size, ChunkValue, StorageError};
+
+// ---- generators -------------------------------------------------------------
+
+const GLYPHS: &[&str] = &["", "a", "xy", "hello", "é", "漢字", "🦀", "line\nbreak"];
+
+fn random_string(rng: &mut Xoshiro256) -> String {
+    let pieces = rng.next_bounded(4) as usize;
+    let mut s = String::new();
+    for _ in 0..pieces {
+        s.push_str(GLYPHS[rng.next_bounded(GLYPHS.len() as u64) as usize]);
+    }
+    s
+}
+
+/// `mode` 0 = dense, 1 = random nulls, 2 = all null.
+fn random_column(rng: &mut Xoshiro256, rows: usize, dtype: u8, mode: u8) -> Column {
+    let null = |rng: &mut Xoshiro256| match mode {
+        0 => false,
+        1 => rng.gen_bool(0.3),
+        _ => true,
+    };
+    match dtype {
+        0 => {
+            if mode == 0 {
+                Column::from_i64((0..rows).map(|_| rng.next_u64() as i64).collect())
+            } else {
+                Column::from_opt_i64(
+                    (0..rows)
+                        .map(|_| {
+                            if null(rng) {
+                                None
+                            } else {
+                                Some(rng.next_u64() as i64)
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        }
+        1 => {
+            if mode == 0 {
+                Column::from_f64((0..rows).map(|_| rng.gen_range_f64(-1e9, 1e9)).collect())
+            } else {
+                Column::from_opt_f64(
+                    (0..rows)
+                        .map(|_| {
+                            if null(rng) {
+                                None
+                            } else {
+                                Some(rng.gen_range_f64(-1e9, 1e9))
+                            }
+                        })
+                        .collect(),
+                )
+            }
+        }
+        2 => Column::from_bool((0..rows).map(|_| rng.gen_bool(0.5)).collect()),
+        3 => {
+            if mode == 0 {
+                Column::from_str((0..rows).map(|_| random_string(rng)))
+            } else {
+                Column::from_opt_str(
+                    (0..rows)
+                        .map(|_| {
+                            if null(rng) {
+                                None
+                            } else {
+                                Some(random_string(rng))
+                            }
+                        })
+                        .collect::<Vec<_>>(),
+                )
+            }
+        }
+        _ => Column::from_date(
+            (0..rows)
+                .map(|_| rng.gen_range_i64(-40000, 40000) as i32)
+                .collect(),
+        ),
+    }
+}
+
+fn random_df(rng: &mut Xoshiro256, rows: usize) -> DataFrame {
+    // one column of every dtype with a random null pattern, every run
+    let pairs: Vec<(String, Column)> = (0u8..5)
+        .map(|dtype| {
+            let mode = rng.next_bounded(3) as u8;
+            (format!("col{dtype}"), random_column(rng, rows, dtype, mode))
+        })
+        .collect();
+    DataFrame::new(pairs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect()).unwrap()
+}
+
+fn roundtrip_df(df: &DataFrame) -> DataFrame {
+    let enc = encode_chunk(&ChunkValue::Df(df.clone()));
+    assert_eq!(enc.len(), encoded_size(&ChunkValue::Df(df.clone())));
+    match decode_chunk(enc).expect("decode") {
+        ChunkValue::Df(out) => out,
+        ChunkValue::Arr(_) => panic!("kind flipped"),
+    }
+}
+
+// ---- roundtrips -------------------------------------------------------------
+
+#[test]
+fn every_dtype_and_null_pattern_roundtrips() {
+    for seed in 0..20u64 {
+        let mut rng = Xoshiro256::seed_from_u64(0xC0FFEE ^ seed);
+        for &rows in &[0usize, 1, 7, 63, 64, 65, 500] {
+            let df = random_df(&mut rng, rows);
+            let out = roundtrip_df(&df);
+            assert_eq!(out, df, "seed {seed} rows {rows}");
+        }
+    }
+}
+
+#[test]
+fn sliced_views_roundtrip_losslessly() {
+    // slicing at odd offsets exercises rebased string offsets and
+    // bit-shifted validity windows
+    for seed in 0..10u64 {
+        let mut rng = Xoshiro256::seed_from_u64(0xBEEF ^ seed);
+        let parent = random_df(&mut rng, 300);
+        for _ in 0..8 {
+            let off = rng.next_bounded(290) as usize;
+            let len = rng.next_bounded((300 - off) as u64 + 1) as usize;
+            let view = parent.slice(off, len);
+            let out = roundtrip_df(&view);
+            assert_eq!(out, view, "seed {seed} slice [{off}, {off}+{len})");
+        }
+    }
+}
+
+#[test]
+fn reencode_of_decode_is_bit_exact() {
+    // decode rebuilds a canonical (zero-based, full-view) chunk, so
+    // encode ∘ decode ∘ encode must reproduce the envelope byte-for-byte —
+    // even when the first encode saw a sliced view
+    let mut rng = Xoshiro256::seed_from_u64(42);
+    let parent = random_df(&mut rng, 200);
+    for df in [parent.clone(), parent.slice(13, 77)] {
+        let first = encode_chunk(&ChunkValue::Df(df));
+        let decoded = decode_chunk(first.clone()).unwrap();
+        let second = encode_chunk(&decoded);
+        assert_eq!(first, second, "re-encode drifted");
+    }
+}
+
+#[test]
+fn float_payload_bits_survive_exactly() {
+    // NaN, infinities, signed zero, subnormals: bit-exact, not value-equal
+    let specials = vec![
+        f64::NAN,
+        -f64::NAN,
+        f64::INFINITY,
+        f64::NEG_INFINITY,
+        0.0,
+        -0.0,
+        f64::MIN_POSITIVE / 2.0,
+        f64::MAX,
+    ];
+    let df = DataFrame::new(vec![("f", Column::from_f64(specials.clone()))]).unwrap();
+    let out = roundtrip_df(&df);
+    let arr = out.column("f").unwrap().as_f64().unwrap();
+    for (i, expect) in specials.iter().enumerate() {
+        let got = arr.values.as_slice()[i];
+        assert_eq!(got.to_bits(), expect.to_bits(), "row {i}");
+    }
+}
+
+#[test]
+fn arrays_roundtrip() {
+    let mut rng = Xoshiro256::seed_from_u64(7);
+    for shape in [vec![0], vec![1], vec![17], vec![4, 5], vec![2, 3, 4]] {
+        let n: usize = shape.iter().product();
+        let a = NdArray::from_vec(
+            (0..n).map(|_| rng.gen_range_f64(-1.0, 1.0)).collect(),
+            shape.clone(),
+        )
+        .unwrap();
+        let enc = encode_chunk(&ChunkValue::Arr(a.clone()));
+        assert_eq!(enc.len(), encoded_size(&ChunkValue::Arr(a.clone())));
+        match decode_chunk(enc).unwrap() {
+            ChunkValue::Arr(out) => {
+                assert_eq!(out.shape(), a.shape());
+                assert_eq!(out.data(), a.data());
+            }
+            ChunkValue::Df(_) => panic!("kind flipped"),
+        }
+    }
+}
+
+// ---- strict decoding --------------------------------------------------------
+
+/// Rewrites the trailing checksum so structural corruptions are tested on
+/// their own merits (otherwise the checksum rejects everything first).
+fn fix_checksum(bytes: &mut [u8]) {
+    let body_end = bytes.len() - 8;
+    let sum = hash_bytes(bytes, 0, body_end);
+    bytes[body_end..].copy_from_slice(&sum.to_le_bytes());
+}
+
+fn sample_envelope() -> Vec<u8> {
+    let df = DataFrame::new(vec![
+        ("n", Column::from_i64(vec![1, 2, 3, 4])),
+        ("s", Column::from_str(["a", "bb", "ccc", ""])),
+    ])
+    .unwrap();
+    encode_chunk(&ChunkValue::Df(df))
+}
+
+#[test]
+fn truncation_at_every_length_is_rejected() {
+    let enc = sample_envelope();
+    for len in 0..enc.len() {
+        let r = decode_chunk(enc[..len].to_vec());
+        assert!(r.is_err(), "prefix of {len}/{} bytes accepted", enc.len());
+    }
+}
+
+#[test]
+fn every_single_bit_flip_is_rejected_by_the_checksum() {
+    let enc = sample_envelope();
+    let mut rng = Xoshiro256::seed_from_u64(3);
+    for _ in 0..64 {
+        let pos = rng.next_bounded(enc.len() as u64) as usize;
+        let bit = 1u8 << rng.next_bounded(8);
+        let mut bad = enc.clone();
+        bad[pos] ^= bit;
+        assert!(decode_chunk(bad).is_err(), "flip at byte {pos} accepted");
+    }
+}
+
+#[test]
+fn bad_magic_version_and_kind_are_rejected() {
+    let enc = sample_envelope();
+
+    let mut bad = enc.clone();
+    bad[0] = b'Y';
+    fix_checksum(&mut bad);
+    assert!(matches!(decode_chunk(bad), Err(StorageError::Corrupt(_))));
+
+    let mut bad = enc.clone();
+    bad[8..10].copy_from_slice(&2u16.to_le_bytes());
+    fix_checksum(&mut bad);
+    let err = decode_chunk(bad).unwrap_err();
+    assert!(err.to_string().contains("version"), "{err}");
+
+    let mut bad = enc.clone();
+    bad[10] = 9;
+    fix_checksum(&mut bad);
+    let err = decode_chunk(bad).unwrap_err();
+    assert!(err.to_string().contains("kind"), "{err}");
+}
+
+#[test]
+fn implausible_counts_are_rejected_without_allocating() {
+    let enc = sample_envelope();
+
+    // column count beyond what the body could hold
+    let mut bad = enc.clone();
+    bad[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+    fix_checksum(&mut bad);
+    assert!(matches!(decode_chunk(bad), Err(StorageError::Corrupt(_))));
+
+    // row count that cannot fit the envelope
+    let mut bad = enc.clone();
+    bad[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+    fix_checksum(&mut bad);
+    assert!(matches!(decode_chunk(bad), Err(StorageError::Corrupt(_))));
+}
+
+#[test]
+fn out_of_bounds_string_offsets_are_rejected() {
+    // single utf8 column, no validity: offsets live right after the column
+    // header, at 12 (header) + 4 (ncols) + 8 (nrows) + 2 + 1 (name "s") +
+    // 1 (dtype) + 1 (flags)
+    let df = DataFrame::new(vec![("s", Column::from_str(["ab", "cd", "ef"]))]).unwrap();
+    let enc = encode_chunk(&ChunkValue::Df(df));
+    let offsets_at = 12 + 4 + 8 + 2 + 1 + 1 + 1;
+
+    // last offset points past the byte region
+    let mut bad = enc.clone();
+    bad[offsets_at + 3 * 4..offsets_at + 4 * 4].copy_from_slice(&1000u32.to_le_bytes());
+    fix_checksum(&mut bad);
+    assert!(matches!(decode_chunk(bad), Err(StorageError::Corrupt(_))));
+
+    // non-monotonic offsets
+    let mut bad = enc.clone();
+    bad[offsets_at + 4..offsets_at + 8].copy_from_slice(&6u32.to_le_bytes());
+    bad[offsets_at + 8..offsets_at + 12].copy_from_slice(&2u32.to_le_bytes());
+    fix_checksum(&mut bad);
+    assert!(matches!(decode_chunk(bad), Err(StorageError::Corrupt(_))));
+}
+
+#[test]
+fn invalid_utf8_in_string_region_is_rejected() {
+    let df = DataFrame::new(vec![("s", Column::from_str(["abcd"]))]).unwrap();
+    let enc = encode_chunk(&ChunkValue::Df(df));
+    // the 4 string bytes sit just before the trailing checksum
+    let data_at = enc.len() - 8 - 4;
+    let mut bad = enc.clone();
+    bad[data_at] = 0xFF; // lone continuation byte — never valid UTF-8
+    fix_checksum(&mut bad);
+    let err = decode_chunk(bad).unwrap_err();
+    assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+}
+
+#[test]
+fn trailing_garbage_is_rejected() {
+    let enc = sample_envelope();
+    let body_end = enc.len() - 8;
+    let mut bad = Vec::with_capacity(enc.len() + 3);
+    bad.extend_from_slice(&enc[..body_end]);
+    bad.extend_from_slice(&[0, 0, 0]);
+    bad.extend_from_slice(&[0; 8]);
+    fix_checksum(&mut bad);
+    let err = decode_chunk(bad).unwrap_err();
+    assert!(err.to_string().contains("trailing"), "{err}");
+}

@@ -4,6 +4,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# The spill-capable tests and benches create per-process temp dirs
+# (xorbits-spill-<pid>-<seq>); the service removes them on Drop, but a
+# killed or panicking run can leave them behind — sweep on exit.
+cleanup_spill_dirs() {
+  rm -rf "${TMPDIR:-/tmp}"/xorbits-spill-* 2>/dev/null || true
+}
+trap cleanup_spill_dirs EXIT
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -15,6 +23,17 @@ cargo build --release
 
 echo "==> cargo test -q"
 cargo test -q --workspace
+
+# Storage-service gates, run explicitly even though the workspace pass
+# covers them: the chunk-format property suite (bit-exact roundtrip for
+# every dtype, corruption rejection) and the spill smoke test (a TPC-H
+# pipeline that OOMs memory-only must complete under the same budget
+# with the disk tier, matching the unbounded result).
+echo "==> chunk-format roundtrip property suite"
+cargo test -q --release -p xorbits-storage --test chunkfmt_roundtrip
+
+echo "==> spill smoke test (tight budget, disk tier, result equality)"
+cargo test -q --release -p xorbits-workloads --test spill_acceptance
 
 # Opt-in kernel bench smoke: 1e4-row run of the shuffle/join/groupby kernel
 # suite, failing if any kernel is >2x slower than the checked-in reference
