@@ -6,6 +6,17 @@
 
 use std::fmt;
 
+/// A subtask that had not run when a deadline fired, with the input
+/// chunks it was still waiting for — the information needed to debug a
+/// stuck fault-recovery schedule.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PendingSubtask {
+    /// Index of the subtask in its graph's topological order.
+    pub subtask: usize,
+    /// External input chunk keys not yet available in storage.
+    pub missing_inputs: Vec<u64>,
+}
+
 /// Errors raised anywhere in the Xorbits stack.
 #[derive(Debug, Clone, PartialEq)]
 pub enum XbError {
@@ -28,6 +39,17 @@ pub enum XbError {
         makespan: f64,
         /// The deadline that was exceeded.
         deadline: f64,
+        /// Subtasks that had not yet run when the deadline fired and the
+        /// inputs they were missing (empty when every subtask dispatched
+        /// but the last one finished late).
+        pending: Vec<PendingSubtask>,
+    },
+    /// A subtask exhausted its fault-injection retry budget.
+    Fault {
+        /// Index of the subtask whose attempts were exhausted.
+        subtask: usize,
+        /// Total attempts made (1 initial + retries).
+        attempts: usize,
     },
     /// A kernel operation failed (type error, missing column, …).
     Kernel(String),
@@ -49,9 +71,29 @@ impl fmt::Display for XbError {
                 f,
                 "worker {worker} out of memory: needed {needed} bytes, budget {budget}"
             ),
-            XbError::Hang { makespan, deadline } => write!(
+            XbError::Hang {
+                makespan,
+                deadline,
+                pending,
+            } => {
+                write!(
+                    f,
+                    "hang: virtual makespan {makespan:.1}s exceeded deadline {deadline:.1}s"
+                )?;
+                if !pending.is_empty() {
+                    write!(f, "; {} subtasks pending:", pending.len())?;
+                    for p in pending.iter().take(4) {
+                        write!(f, " #{} (missing {:?})", p.subtask, p.missing_inputs)?;
+                    }
+                    if pending.len() > 4 {
+                        write!(f, " …")?;
+                    }
+                }
+                Ok(())
+            }
+            XbError::Fault { subtask, attempts } => write!(
                 f,
-                "hang: virtual makespan {makespan:.1}s exceeded deadline {deadline:.1}s"
+                "fault: subtask {subtask} failed after {attempts} attempts (retry budget exhausted)"
             ),
             XbError::Kernel(s) => write!(f, "kernel error: {s}"),
             XbError::Plan(s) => write!(f, "planning error: {s}"),
@@ -144,7 +186,8 @@ mod tests {
         assert_eq!(
             FailureKind::classify::<()>(&Err(XbError::Hang {
                 makespan: 100.0,
-                deadline: 10.0
+                deadline: 10.0,
+                pending: Vec::new(),
             })),
             FailureKind::Hang
         );
@@ -152,5 +195,41 @@ mod tests {
             FailureKind::classify::<()>(&Err(XbError::Kernel("x".into()))),
             FailureKind::Other
         );
+        assert_eq!(
+            FailureKind::classify::<()>(&Err(XbError::Fault {
+                subtask: 3,
+                attempts: 4
+            })),
+            FailureKind::Other
+        );
+    }
+
+    #[test]
+    fn hang_reports_pending_subtasks_and_missing_inputs() {
+        let err = XbError::Hang {
+            makespan: 9.0,
+            deadline: 1.0,
+            pending: vec![
+                PendingSubtask {
+                    subtask: 5,
+                    missing_inputs: vec![17, 23],
+                },
+                PendingSubtask {
+                    subtask: 6,
+                    missing_inputs: vec![],
+                },
+            ],
+        };
+        let text = err.to_string();
+        assert!(text.contains("2 subtasks pending"), "{text}");
+        assert!(text.contains("#5"), "{text}");
+        assert!(text.contains("17"), "{text}");
+        // an all-dispatched hang renders without a pending section
+        let bare = XbError::Hang {
+            makespan: 2.0,
+            deadline: 1.0,
+            pending: Vec::new(),
+        };
+        assert!(!bare.to_string().contains("pending"));
     }
 }

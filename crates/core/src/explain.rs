@@ -5,6 +5,7 @@
 //! the optimizer decided.
 
 use crate::chunk::ChunkGraph;
+use crate::session::ExecStats;
 use crate::subtask::SubtaskGraph;
 use crate::tileable::{TileableGraph, TileableOp};
 
@@ -126,6 +127,20 @@ pub fn explain_subtasks(graph: &SubtaskGraph) -> String {
     )
 }
 
+/// Summarises the fault-recovery work a run performed: retried attempts,
+/// lineage recomputations and bytes rescued from the disk tier.
+pub fn explain_recovery(stats: &ExecStats) -> String {
+    if stats.retries == 0 && stats.recomputed_subtasks == 0 && stats.recovered_from_spill_bytes == 0
+    {
+        return "Recovery: none (fault-free run)\n".to_string();
+    }
+    format!(
+        "Recovery: {} transient retries, {} subtasks recomputed from lineage, \
+         {} bytes recovered from the spill tier\n",
+        stats.retries, stats.recomputed_subtasks, stats.recovered_from_spill_bytes
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,6 +169,22 @@ mod tests {
         let text = explain_tileable(&g);
         assert!(text.contains("#1 Filter <- #0  [non-static]"), "{text}");
         assert!(text.contains("GroupbyAgg"), "{text}");
+    }
+
+    #[test]
+    fn recovery_render() {
+        let clean = ExecStats::default();
+        assert!(explain_recovery(&clean).contains("fault-free"));
+        let stats = ExecStats {
+            retries: 3,
+            recomputed_subtasks: 7,
+            recovered_from_spill_bytes: 4096,
+            ..ExecStats::default()
+        };
+        let text = explain_recovery(&stats);
+        assert!(text.contains("3 transient retries"), "{text}");
+        assert!(text.contains("7 subtasks recomputed"), "{text}");
+        assert!(text.contains("4096 bytes recovered"), "{text}");
     }
 
     #[test]

@@ -164,6 +164,9 @@ impl Executor for LocalExecutor {
             read_back_bytes: (after.read_back_bytes - before.read_back_bytes) as usize,
             peak_worker_bytes: after.peak_resident_bytes,
             real_cpu_seconds: elapsed,
+            retries: 0,
+            recomputed_subtasks: 0,
+            recovered_from_spill_bytes: 0,
         })
     }
 
@@ -175,6 +178,16 @@ impl Executor for LocalExecutor {
     fn clear(&mut self) {
         self.service.clear();
         self.metas.clear();
+    }
+
+    fn release(&mut self, keys: &[ChunkKey]) {
+        // reclaim mid-fetch: drop the chunk from every storage tier
+        // (including its spill file) instead of letting released chunks —
+        // and their disk footprint — accumulate until the fetch ends
+        for k in keys {
+            self.service.remove(*k);
+            self.metas.remove(k);
+        }
     }
 }
 

@@ -37,6 +37,15 @@ pub struct ExecStats {
     pub peak_worker_bytes: usize,
     /// Real CPU seconds spent in kernels (host measurement).
     pub real_cpu_seconds: f64,
+    /// Subtask attempts that failed transiently and were retried
+    /// (fault-injection runs; always 0 without a fault plan).
+    pub retries: usize,
+    /// Chunk operators re-executed through lineage recovery after a
+    /// crash or chunk-loss event destroyed their outputs.
+    pub recomputed_subtasks: usize,
+    /// Bytes of lost chunks that were recovered from the disk tier
+    /// (spilled copies survive a worker crash) instead of recomputed.
+    pub recovered_from_spill_bytes: usize,
 }
 
 impl ExecStats {
@@ -49,6 +58,9 @@ impl ExecStats {
         self.read_back_bytes += other.read_back_bytes;
         self.peak_worker_bytes = self.peak_worker_bytes.max(other.peak_worker_bytes);
         self.real_cpu_seconds += other.real_cpu_seconds;
+        self.retries += other.retries;
+        self.recomputed_subtasks += other.recomputed_subtasks;
+        self.recovered_from_spill_bytes += other.recovered_from_spill_bytes;
     }
 }
 

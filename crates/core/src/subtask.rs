@@ -155,6 +155,46 @@ impl SubtaskGraph {
             .expect("singleton grouping is always acyclic")
     }
 
+    /// Minimal set of subtask indices that must re-run to rematerialize
+    /// `targets`, walking producer edges through every input `available`
+    /// does not report as present. This is the lineage-recovery closure:
+    /// a subtask joins the set only if one of its outputs is (transitively)
+    /// demanded and currently unavailable, so subtasks whose outputs
+    /// survived a fault are never re-executed. Returned sorted ascending
+    /// (topological, since subtasks are stored in topological order).
+    /// Errors if a demanded key has no producer in this graph.
+    pub fn ancestor_closure(
+        &self,
+        targets: &[ChunkKey],
+        available: &dyn Fn(ChunkKey) -> bool,
+    ) -> XbResult<Vec<usize>> {
+        // producer subtask of every key this graph can materialize
+        let mut producer: HashMap<ChunkKey, usize> = HashMap::new();
+        for (si, st) in self.subtasks.iter().enumerate() {
+            for k in st.published_outputs.iter().chain(&st.internal_keys) {
+                producer.insert(*k, si);
+            }
+        }
+        let mut need: HashSet<usize> = HashSet::new();
+        let mut stack: Vec<ChunkKey> = targets.to_vec();
+        while let Some(k) = stack.pop() {
+            if available(k) {
+                continue;
+            }
+            let Some(&si) = producer.get(&k) else {
+                return Err(XbError::Plan(format!(
+                    "chunk {k} is unavailable and has no producer in this graph"
+                )));
+            };
+            if need.insert(si) {
+                stack.extend(self.subtasks[si].external_inputs.iter().copied());
+            }
+        }
+        let mut out: Vec<usize> = need.into_iter().collect();
+        out.sort_unstable();
+        Ok(out)
+    }
+
     /// Number of subtasks.
     pub fn len(&self) -> usize {
         self.subtasks.len()
@@ -218,6 +258,33 @@ mod tests {
         let (g, _keys) = chain_graph(3);
         let r = SubtaskGraph::from_groups(g, &[0, 1, 0], &HashSet::new());
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn ancestor_closure_is_minimal() {
+        // chain k0 -> k1 -> k2 -> k3, one subtask per node
+        let (g, keys) = chain_graph(4);
+        let protected: HashSet<_> = keys.iter().copied().collect();
+        let sg = SubtaskGraph::singletons(g, &protected);
+        // everything available: nothing to recompute
+        assert_eq!(
+            sg.ancestor_closure(&[keys[3]], &|_| true).unwrap(),
+            Vec::<usize>::new()
+        );
+        // k2 lost, everything else present: only its producer re-runs
+        let lost = keys[2];
+        let avail = move |k: ChunkKey| k != lost;
+        assert_eq!(sg.ancestor_closure(&[keys[2]], &avail).unwrap(), vec![2]);
+        // k1 and k2 lost: recovering k3's input pulls in both producers,
+        // but never the surviving source
+        let (l1, l2) = (keys[1], keys[2]);
+        let avail2 = move |k: ChunkKey| k != l1 && k != l2;
+        assert_eq!(
+            sg.ancestor_closure(&[keys[2]], &avail2).unwrap(),
+            vec![1, 2]
+        );
+        // a key nobody in the graph produces is an error
+        assert!(sg.ancestor_closure(&[9999], &|_| false).is_err());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! spill behaviour are simulated deterministically. See DESIGN.md §1/§4 for
 //! why this substitution preserves the paper's claims.
 
+use crate::fault::{FaultPlan, RetryPolicy};
+
 /// Specification of the simulated cluster.
 #[derive(Debug, Clone)]
 pub struct ClusterSpec {
@@ -54,6 +56,12 @@ pub struct ClusterSpec {
     /// thin slice cannot hold a huge buffer hostage. `<= 1.0` compacts
     /// every partial view; large values never compact.
     pub compact_slack: f64,
+    /// Seeded fault schedule injected into the executor (crashes, chunk
+    /// loss, transient failures). `None` ⇒ fault-free; an empty plan
+    /// behaves identically to `None`.
+    pub fault_plan: Option<FaultPlan>,
+    /// Retry policy for transiently failing subtask attempts.
+    pub retry: RetryPolicy,
 }
 
 impl ClusterSpec {
@@ -81,6 +89,8 @@ impl ClusterSpec {
             locality_aware: true,
             deadline_seconds: None,
             compact_slack: 2.0,
+            fault_plan: None,
+            retry: RetryPolicy::default(),
         }
     }
 
@@ -117,6 +127,18 @@ impl ClusterSpec {
         self.compact_slack = slack;
         self
     }
+
+    /// Installs a seeded fault schedule.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> ClusterSpec {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Overrides the retry policy for transient failures.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> ClusterSpec {
+        self.retry = retry;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -138,5 +160,8 @@ mod tests {
         let c = ClusterSpec::new(1, 1024).without_spill().with_deadline(5.0);
         assert!(!c.spill_enabled);
         assert_eq!(c.deadline_seconds, Some(5.0));
+        assert!(c.fault_plan.is_none());
+        let c = c.with_fault_plan(FaultPlan::worker_crash_at_step(1, 0, 4));
+        assert_eq!(c.fault_plan.as_ref().unwrap().events.len(), 1);
     }
 }

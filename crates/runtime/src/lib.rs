@@ -13,9 +13,11 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
+pub mod fault;
 pub mod sim;
 
 pub use cluster::ClusterSpec;
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, RetryPolicy};
 pub use sim::SimExecutor;
 
 /// A session running on the simulator (the common type in benches/tests).

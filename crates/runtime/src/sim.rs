@@ -28,11 +28,13 @@
 //! `bytes / disk_bw`); engines without spill die with the paper's OOM.
 
 use crate::cluster::ClusterSpec;
-use std::collections::HashMap;
+use crate::fault::{FaultEvent, FaultKind, FaultTrigger};
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
-use xorbits_core::chunk::{payload_to_value, ChunkKey, ChunkMeta, Payload};
-use xorbits_core::error::{XbError, XbResult};
+use xorbits_array::prng::Xoshiro256;
+use xorbits_core::chunk::{payload_to_value, ChunkKey, ChunkMeta, ChunkOp, Payload};
+use xorbits_core::error::{PendingSubtask, XbError, XbResult};
 use xorbits_core::session::{ExecStats, Executor};
 use xorbits_core::subtask::SubtaskGraph;
 use xorbits_core::tiling::MetaView;
@@ -50,6 +52,21 @@ struct ChunkState {
     enc_bytes: usize,
     resident: bool,
     spilled: bool,
+    /// Spilled chunk whose owning worker has since crashed: the disk copy
+    /// survives, and its first read-back counts as spill-tier recovery.
+    disk_orphan: bool,
+}
+
+/// How one chunk node was produced — recorded for every node executed in
+/// the current fetch so lost chunks can be recomputed from lineage. The
+/// record is shared (`Arc`) by all of the node's output keys.
+struct LineageNode {
+    /// Global production order across all graphs in the fetch: monotone in
+    /// execution order, hence a valid topological order for replay.
+    seq: u64,
+    op: ChunkOp,
+    inputs: Vec<ChunkKey>,
+    outputs: Vec<ChunkKey>,
 }
 
 /// The simulator (implements [`Executor`]).
@@ -77,6 +94,30 @@ pub struct SimExecutor {
     arrived: std::collections::HashSet<(ChunkKey, usize)>,
     /// Virtual time of the central scheduler thread (when enabled).
     sched_clock: f64,
+    /// Bands killed by fault events this fetch (never scheduled again).
+    band_dead: Vec<bool>,
+    /// Subtasks dispatched since the last `clear()` — the deterministic
+    /// logical clock [`FaultTrigger::Step`] fires on.
+    dispatch_step: u64,
+    /// Plan RNG for this fetch (re-seeded on `clear()`), present only when
+    /// the spec carries a non-trivial fault plan.
+    fault_rng: Option<Xoshiro256>,
+    /// Which plan events already fired this fetch.
+    events_fired: Vec<bool>,
+    /// Producing record of every chunk node executed this fetch (only
+    /// recorded while a fault plan is active).
+    lineage: HashMap<ChunkKey, Arc<LineageNode>>,
+    lineage_seq: u64,
+    total_retries: usize,
+    total_recomputed: usize,
+    total_recovered_spill: usize,
+    /// First output key of every lineage node replayed this fetch, in
+    /// replay order (test introspection).
+    recovery_log: Vec<ChunkKey>,
+    /// Keys destroyed by a fault and not yet rematerialised. Distinguishes
+    /// fault loss from the session's legitimate between-graph releases —
+    /// only fault-lost retained keys are recovered at end of graph.
+    lost: HashSet<ChunkKey>,
 }
 
 impl SimExecutor {
@@ -84,7 +125,7 @@ impl SimExecutor {
     pub fn new(spec: ClusterSpec) -> SimExecutor {
         let bands = spec.n_bands();
         let workers = spec.workers;
-        SimExecutor {
+        let mut ex = SimExecutor {
             spec,
             storage: HashMap::new(),
             metas: HashMap::new(),
@@ -101,7 +142,47 @@ impl SimExecutor {
             total_read_back_bytes: 0,
             arrived: std::collections::HashSet::new(),
             sched_clock: 0.0,
+            band_dead: vec![false; bands],
+            dispatch_step: 0,
+            fault_rng: None,
+            events_fired: Vec::new(),
+            lineage: HashMap::new(),
+            lineage_seq: 0,
+            total_retries: 0,
+            total_recomputed: 0,
+            total_recovered_spill: 0,
+            recovery_log: Vec::new(),
+            lost: HashSet::new(),
+        };
+        ex.arm_faults();
+        ex
+    }
+
+    /// Re-arms the fault schedule for a fresh fetch: resets the dispatch
+    /// clock, revives every band, re-seeds the plan RNG and marks every
+    /// event unfired, so each fetch replays the same schedule.
+    fn arm_faults(&mut self) {
+        self.band_dead.iter_mut().for_each(|d| *d = false);
+        self.dispatch_step = 0;
+        self.lineage.clear();
+        self.lineage_seq = 0;
+        self.recovery_log.clear();
+        self.lost.clear();
+        match &self.spec.fault_plan {
+            Some(plan) if !plan.is_trivial() => {
+                self.fault_rng = Some(plan.rng());
+                self.events_fired = vec![false; plan.events.len()];
+            }
+            _ => {
+                self.fault_rng = None;
+                self.events_fired = Vec::new();
+            }
         }
+    }
+
+    /// Whether a non-trivial fault plan is active.
+    fn faults_on(&self) -> bool {
+        self.fault_rng.is_some()
     }
 
     /// The cluster spec.
@@ -119,18 +200,89 @@ impl SimExecutor {
         &self.worker_peak
     }
 
+    /// Current live bytes per worker (test introspection).
+    pub fn live_worker_bytes(&self) -> &[usize] {
+        &self.worker_live
+    }
+
+    /// First output key of every lineage node replayed so far this fetch,
+    /// in replay order (test introspection).
+    pub fn recovery_log(&self) -> &[ChunkKey] {
+        &self.recovery_log
+    }
+
+    /// `(key, worker, resident, spilled)` for every chunk the simulator
+    /// tracks, sorted by key (test introspection).
+    pub fn chunk_placements(&self) -> Vec<(ChunkKey, usize, bool, bool)> {
+        let mut out: Vec<(ChunkKey, usize, bool, bool)> = self
+            .states
+            .iter()
+            .map(|(k, st)| (*k, self.spec.worker_of(st.band), st.resident, st.spilled))
+            .collect();
+        out.sort_unstable_by_key(|e| e.0);
+        out
+    }
+
+    /// Checks the memory-ledger invariant: on every worker, the refcount
+    /// of each allocation equals the number of resident chunks referencing
+    /// it, and live bytes equal the sum of distinct referenced allocation
+    /// sizes. Recovery must keep this exact even as chunks vanish and
+    /// reappear mid-flight.
+    pub fn ledger_balanced(&self) -> bool {
+        for w in 0..self.spec.workers {
+            // expected refcounts from the resident chunks on this worker
+            let mut refs: HashMap<usize, (usize, usize)> = HashMap::new(); // id -> (count, bytes)
+            for (k, st) in &self.states {
+                if st.resident && self.spec.worker_of(st.band) == w {
+                    if let Some(allocs) = self.chunk_allocs.get(k) {
+                        for &(id, bytes) in allocs {
+                            refs.entry(id).or_insert((0, bytes)).0 += 1;
+                        }
+                    }
+                }
+            }
+            if refs.len() != self.ledgers[w].len() {
+                return false;
+            }
+            let mut expected_bytes = 0usize;
+            for (id, (count, bytes)) in &refs {
+                if self.ledgers[w].get(id) != Some(count) {
+                    return false;
+                }
+                expected_bytes += bytes;
+            }
+            if self.worker_live[w] != expected_bytes {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Whether any band of `worker` is still alive.
+    fn worker_alive(&self, worker: usize) -> bool {
+        let base = worker * self.spec.bands_per_worker;
+        (base..base + self.spec.bands_per_worker).any(|b| !self.band_dead[b])
+    }
+
     fn pick_band(&mut self, external_inputs: &[ChunkKey]) -> usize {
         let nbands = self.spec.n_bands();
         if external_inputs.is_empty() {
             // breadth-first: fill worker 0's bands, then worker 1, …
-            let b = self.source_rr % nbands;
-            self.source_rr += 1;
-            return b;
+            // (skipping dead bands; with none dead this is one iteration,
+            // identical to the fault-free scheduler)
+            loop {
+                let b = self.source_rr % nbands;
+                self.source_rr += 1;
+                if !self.band_dead[b] {
+                    return b;
+                }
+            }
         }
         if self.spec.locality_aware {
             // band of the largest input (minimises transfer, §V-B) —
-            // unless that worker is close to its memory budget, in which
-            // case trade locality for the least-loaded worker
+            // unless that worker is close to its memory budget or the band
+            // is dead, in which case trade locality for the least-loaded
+            // surviving worker
             let mut best: Option<(usize, usize)> = None; // (nbytes, band)
             for k in external_inputs {
                 if let Some(st) = self.states.get(k) {
@@ -141,26 +293,39 @@ impl SimExecutor {
             }
             if let Some((_, band)) = best {
                 let w = self.spec.worker_of(band);
-                if self.worker_live[w] * 10 <= self.spec.worker_memory_bytes * 8 {
+                if !self.band_dead[band]
+                    && self.worker_live[w] * 10 <= self.spec.worker_memory_bytes * 8
+                {
                     return band;
                 }
-                // memory pressure: pick the least-loaded worker's earliest band
+                // memory pressure (or dead locality target): pick the
+                // least-loaded live worker's earliest live band
                 let coolest = (0..self.spec.workers)
-                    .min_by_key(|&w| self.worker_live[w])
+                    .filter(|&cw| self.worker_alive(cw))
+                    .min_by_key(|&cw| self.worker_live[cw])
                     .unwrap_or(w);
                 let base = coolest * self.spec.bands_per_worker;
-                let mut best_band = base;
+                let mut best_band: Option<usize> = None;
                 for b in base..base + self.spec.bands_per_worker {
-                    if self.band_free[b] < self.band_free[best_band] {
-                        best_band = b;
+                    if self.band_dead[b] {
+                        continue;
+                    }
+                    if best_band.is_none_or(|bb| self.band_free[b] < self.band_free[bb]) {
+                        best_band = Some(b);
                     }
                 }
-                return best_band;
+                if let Some(b) = best_band {
+                    return b;
+                }
             }
         }
-        let b = self.any_rr % nbands;
-        self.any_rr += 1;
-        b
+        loop {
+            let b = self.any_rr % nbands;
+            self.any_rr += 1;
+            if !self.band_dead[b] {
+                return b;
+            }
+        }
     }
 
     /// Charges `nbytes` to `worker`; spills coldest chunks or reports OOM.
@@ -267,6 +432,319 @@ impl SimExecutor {
         }
         self.storage.remove(&key);
     }
+
+    // ---- fault injection + lineage recovery --------------------------------
+
+    /// Fires every not-yet-fired plan event whose trigger is due.
+    fn fire_due_faults(&mut self, events: &[FaultEvent]) {
+        for (i, ev) in events.iter().enumerate() {
+            if self.events_fired.get(i).copied().unwrap_or(true) {
+                continue;
+            }
+            let due = match ev.at {
+                FaultTrigger::Step(s) => self.dispatch_step >= s,
+                FaultTrigger::VirtualTime(t) => self.virtual_now() >= t,
+            };
+            if due {
+                self.events_fired[i] = true;
+                self.fire_fault(ev.kind);
+            }
+        }
+    }
+
+    /// Destroys one chunk: the payload vanishes, the ledger releases its
+    /// allocations, the state records it as neither resident nor spilled.
+    /// Lineage (and any surviving spilled copy) is what recovery uses.
+    fn lose_chunk(&mut self, key: ChunkKey) {
+        let Some(st) = self.states.get(&key) else {
+            return;
+        };
+        if st.resident {
+            let w = self.spec.worker_of(st.band);
+            self.states.get_mut(&key).expect("checked").resident = false;
+            let freed = self.release_allocs(w, key);
+            self.worker_live[w] = self.worker_live[w].saturating_sub(freed);
+            self.storage.remove(&key);
+            self.lost.insert(key);
+        }
+    }
+
+    fn fire_fault(&mut self, kind: FaultKind) {
+        match kind {
+            FaultKind::WorkerCrash { worker } => {
+                if worker >= self.spec.workers {
+                    return;
+                }
+                let base = worker * self.spec.bands_per_worker;
+                for b in base..base + self.spec.bands_per_worker {
+                    self.band_dead[b] = true;
+                }
+                // resident unspilled chunks die with the worker's memory;
+                // spilled chunks survive on the disk tier and become the
+                // fast recovery path. Keys are sorted so the victim order
+                // is independent of hash-map iteration.
+                let mut victims: Vec<ChunkKey> = self
+                    .states
+                    .iter()
+                    .filter(|(_, st)| self.spec.worker_of(st.band) == worker)
+                    .map(|(k, _)| *k)
+                    .collect();
+                victims.sort_unstable();
+                for k in victims {
+                    let st = *self.states.get(&k).expect("victim exists");
+                    if st.resident {
+                        self.lose_chunk(k);
+                    } else if st.spilled {
+                        self.states.get_mut(&k).expect("victim exists").disk_orphan = true;
+                    }
+                }
+            }
+            FaultKind::BandCrash { band } => {
+                // an execution slot dies; the worker's memory survives
+                if band < self.band_dead.len() {
+                    self.band_dead[band] = true;
+                }
+            }
+            FaultKind::ChunkLoss { fraction } => {
+                let mut keys: Vec<ChunkKey> = self
+                    .states
+                    .iter()
+                    .filter(|(_, st)| st.resident && !st.spilled)
+                    .map(|(k, _)| *k)
+                    .collect();
+                keys.sort_unstable();
+                let n = ((keys.len() as f64) * fraction.clamp(0.0, 1.0)).round() as usize;
+                let n = n.min(keys.len());
+                // partial Fisher-Yates over the sorted key set with the
+                // plan RNG: a deterministic victim sample
+                if let Some(rng) = self.fault_rng.as_mut() {
+                    for i in 0..n {
+                        let j = i + rng.next_bounded((keys.len() - i) as u64) as usize;
+                        keys.swap(i, j);
+                    }
+                }
+                for &k in &keys[..n] {
+                    self.lose_chunk(k);
+                }
+            }
+        }
+    }
+
+    /// Makes every key in `needed` readable again, recomputing lost ones
+    /// from lineage. No-op when nothing is missing.
+    fn ensure_inputs(&mut self, needed: &[ChunkKey], real_cpu: &mut f64) -> XbResult<()> {
+        let mut missing: Vec<ChunkKey> = needed
+            .iter()
+            .copied()
+            .filter(|k| !self.storage.contains_key(k))
+            .collect();
+        if missing.is_empty() {
+            return Ok(());
+        }
+        missing.sort_unstable();
+        self.recover(&missing, real_cpu)
+    }
+
+    /// Least-loaded surviving worker's first live band — where lineage
+    /// recomputation runs.
+    fn recovery_band(&self) -> XbResult<usize> {
+        let mut best: Option<(usize, usize)> = None; // (live_bytes, band)
+        for w in 0..self.spec.workers {
+            let base = w * self.spec.bands_per_worker;
+            let Some(b) = (base..base + self.spec.bands_per_worker).find(|&b| !self.band_dead[b])
+            else {
+                continue;
+            };
+            if best.is_none_or(|(lv, _)| self.worker_live[w] < lv) {
+                best = Some((self.worker_live[w], b));
+            }
+        }
+        best.map(|(_, b)| b)
+            .ok_or_else(|| XbError::Plan("no surviving band to recover on".into()))
+    }
+
+    /// Lineage-based recovery: walks producer records back through every
+    /// unavailable input to find the minimal ancestor closure, then
+    /// replays it in production order on one surviving band, paying
+    /// scheduling, transfer, disk and *measured* kernel costs in virtual
+    /// time. Chunks that were published before being lost are republished
+    /// (and recharged to the ledger); purely internal ancestors stay
+    /// scratch-only.
+    fn recover(&mut self, targets: &[ChunkKey], real_cpu: &mut f64) -> XbResult<()> {
+        // 1. minimal closure over lineage
+        let mut nodes: Vec<Arc<LineageNode>> = Vec::new();
+        let mut seen_nodes: std::collections::HashSet<u64> = std::collections::HashSet::new();
+        let mut planned: std::collections::HashSet<ChunkKey> = std::collections::HashSet::new();
+        let mut stack: Vec<ChunkKey> = targets.to_vec();
+        while let Some(k) = stack.pop() {
+            if self.storage.contains_key(&k) || planned.contains(&k) {
+                continue;
+            }
+            let Some(rec) = self.lineage.get(&k) else {
+                return Err(XbError::Plan(format!(
+                    "chunk {k} was lost and has no lineage to recover from"
+                )));
+            };
+            let rec = Arc::clone(rec);
+            if seen_nodes.insert(rec.seq) {
+                planned.extend(rec.outputs.iter().copied());
+                stack.extend(rec.inputs.iter().copied());
+                nodes.push(rec);
+            }
+        }
+        nodes.sort_by_key(|n| n.seq);
+
+        let band = self.recovery_band()?;
+        let worker = self.spec.worker_of(band);
+        let mut clock = self.band_free[band];
+        let mut scratch: HashMap<ChunkKey, Arc<Payload>> = HashMap::new();
+        let mut transient_bytes = 0usize;
+        let want: HashSet<ChunkKey> = targets.iter().copied().collect();
+
+        // 2. replay in production order (seq is topological)
+        for rec in &nodes {
+            let mut arrival: f64 = 0.0;
+            let mut recv_bytes = 0usize;
+            let mut disk_io: f64 = 0.0;
+            let mut read_bytes = 0usize;
+            for k in &rec.inputs {
+                if scratch.contains_key(k) {
+                    continue;
+                }
+                let Some(&cs) = self.states.get(k) else {
+                    return Err(XbError::Plan(format!(
+                        "recovery input chunk {k} has no simulation state"
+                    )));
+                };
+                arrival = arrival.max(cs.finish);
+                if self.spec.worker_of(cs.band) != worker && self.arrived.insert((*k, worker)) {
+                    recv_bytes += cs.nbytes;
+                    self.total_net_bytes += cs.nbytes;
+                }
+                if cs.spilled {
+                    disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
+                    self.total_read_back_bytes += cs.enc_bytes;
+                    if cs.disk_orphan {
+                        // a crash-surviving spilled copy: its read-back IS
+                        // the recovery (cheaper than recomputing)
+                        self.total_recovered_spill += cs.enc_bytes;
+                        self.states.get_mut(k).expect("checked").disk_orphan = false;
+                    }
+                }
+                read_bytes += cs.nbytes;
+            }
+            let net_io = recv_bytes as f64 / self.spec.net_bandwidth;
+            let mut storage_io = read_bytes as f64 / self.spec.storage_bandwidth;
+
+            let timer = Instant::now();
+            let inputs: Vec<Arc<Payload>> = rec
+                .inputs
+                .iter()
+                .map(|k| {
+                    scratch
+                        .get(k)
+                        .cloned()
+                        .or_else(|| self.storage.get(k).cloned())
+                        .ok_or_else(|| XbError::Plan(format!("recovery input chunk {k} not found")))
+                })
+                .collect::<XbResult<Vec<_>>>()?;
+            let outputs = xorbits_core::exec::execute_chunk(&rec.op, &inputs)?;
+            let measured = timer.elapsed().as_secs_f64();
+            *real_cpu += measured;
+
+            let mut published: Vec<(ChunkKey, Arc<Payload>)> = Vec::new();
+            for (key, mut payload) in rec.outputs.iter().zip(outputs) {
+                // republish only what the fault destroyed (or what the
+                // caller demands): ancestors that already had their last
+                // read — refcount-freed or fused-internal — stay scratch,
+                // so recovery never resurrects memory nobody will read
+                let publish = self.lost.contains(key) || want.contains(key);
+                if publish {
+                    payload.compact(self.spec.compact_slack);
+                } else {
+                    transient_bytes += payload.nbytes();
+                }
+                let payload = Arc::new(payload);
+                scratch.insert(*key, Arc::clone(&payload));
+                if publish {
+                    published.push((*key, payload));
+                }
+            }
+            let published_bytes: usize = published.iter().map(|(_, p)| p.nbytes()).sum();
+            storage_io += published_bytes as f64 / self.spec.storage_bandwidth;
+
+            // recompute dispatches pay the scheduler like any other subtask
+            if self.spec.central_scheduler {
+                self.sched_clock += self.spec.sched_overhead;
+                clock = clock.max(arrival).max(self.sched_clock);
+            } else {
+                clock = clock.max(arrival) + self.spec.sched_overhead;
+            }
+            clock += net_io + storage_io + measured + disk_io;
+
+            for (key, payload) in published {
+                let nbytes = payload.nbytes();
+                self.metas.insert(
+                    key,
+                    ChunkMeta {
+                        nbytes,
+                        rows: payload.rows(),
+                        index: (0, 0),
+                    },
+                );
+                self.states.insert(
+                    key,
+                    ChunkState {
+                        band,
+                        finish: clock,
+                        nbytes,
+                        enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&payload)),
+                        resident: true,
+                        spilled: false,
+                        disk_orphan: false,
+                    },
+                );
+                self.charge_chunk(worker, key, &payload)?;
+                self.storage.insert(key, payload);
+            }
+
+            self.total_recomputed += 1;
+            for key in &rec.outputs {
+                self.lost.remove(key);
+            }
+            if let Some(first) = rec.outputs.first() {
+                self.recovery_log.push(*first);
+            }
+        }
+        self.band_free[band] = clock;
+
+        // unpublished scratch was the recompute's transient working set
+        if transient_bytes > 0 {
+            self.charge(worker, transient_bytes)?;
+            self.worker_live[worker] = self.worker_live[worker].saturating_sub(transient_bytes);
+        }
+        Ok(())
+    }
+
+    /// Subtasks after `si` that have not run, with the inputs they are
+    /// still missing — attached to [`XbError::Hang`] for debuggability.
+    fn pending_after(&self, graph: &SubtaskGraph, si: usize) -> Vec<PendingSubtask> {
+        graph
+            .subtasks
+            .iter()
+            .enumerate()
+            .skip(si + 1)
+            .map(|(i, st)| PendingSubtask {
+                subtask: i,
+                missing_inputs: st
+                    .external_inputs
+                    .iter()
+                    .copied()
+                    .filter(|k| !self.storage.contains_key(k))
+                    .collect(),
+            })
+            .collect()
+    }
 }
 
 impl MetaView for SimExecutor {
@@ -283,8 +761,37 @@ impl Executor for SimExecutor {
         let net_before = self.total_net_bytes;
         let spill_before = self.total_spilled_bytes;
         let read_back_before = self.total_read_back_bytes;
+        let retries_before = self.total_retries;
+        let recomputed_before = self.total_recomputed;
+        let recovered_before = self.total_recovered_spill;
         let mut real_cpu = 0.0;
         let mut subtasks = 0usize;
+
+        // fault schedule for this graph (armed per fetch, shared across
+        // the fetch's partial executions)
+        let faults_on = self.faults_on();
+        let (events, transient_p) = match (&self.spec.fault_plan, faults_on) {
+            (Some(plan), true) => (plan.events.clone(), plan.transient_failure_p),
+            _ => (Vec::new(), 0.0),
+        };
+        let retry = self.spec.retry;
+        if faults_on {
+            // record lineage for every node so lost chunks can be
+            // recomputed; `seq` is monotone in execution order across all
+            // graphs of the fetch, hence topological
+            for node in &graph.chunks.nodes {
+                let rec = Arc::new(LineageNode {
+                    seq: self.lineage_seq,
+                    op: node.op.clone(),
+                    inputs: node.inputs.clone(),
+                    outputs: node.outputs.clone(),
+                });
+                self.lineage_seq += 1;
+                for k in &node.outputs {
+                    self.lineage.insert(*k, Arc::clone(&rec));
+                }
+            }
+        }
 
         // refcount lifecycle: last consuming subtask per key in this graph
         let mut last_consumer: HashMap<ChunkKey, usize> = HashMap::new();
@@ -298,6 +805,18 @@ impl Executor for SimExecutor {
 
         for (si, st) in graph.subtasks.iter().enumerate() {
             subtasks += 1;
+            if faults_on {
+                self.fire_due_faults(&events);
+                if self.band_dead.iter().all(|d| *d) {
+                    return Err(XbError::Plan(format!(
+                        "fault plan killed every band; subtask {si} has no survivor to run on"
+                    )));
+                }
+                // lineage recovery: rematerialise lost inputs before
+                // placement so locality sees the recovered chunks
+                self.ensure_inputs(&st.external_inputs, &mut real_cpu)?;
+            }
+            self.dispatch_step += 1;
             let band = self.pick_band(&st.external_inputs);
             let worker = self.spec.worker_of(band);
 
@@ -309,7 +828,7 @@ impl Executor for SimExecutor {
             let mut recv_bytes = 0usize;
             let mut disk_io: f64 = 0.0;
             for k in &st.external_inputs {
-                let Some(cs) = self.states.get(k) else {
+                let Some(&cs) = self.states.get(k) else {
                     return Err(XbError::Plan(format!(
                         "input chunk {k} has no simulation state"
                     )));
@@ -323,6 +842,12 @@ impl Executor for SimExecutor {
                     // read-back pays the encoded envelope off the disk tier
                     disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
                     self.total_read_back_bytes += cs.enc_bytes;
+                    if cs.disk_orphan {
+                        // the disk copy outlived its crashed worker: this
+                        // read-back recovers the chunk without recompute
+                        self.total_recovered_spill += cs.enc_bytes;
+                        self.states.get_mut(k).expect("checked").disk_orphan = false;
+                    }
                 }
             }
             let net_io = recv_bytes as f64 / self.spec.net_bandwidth;
@@ -392,6 +917,34 @@ impl Executor for SimExecutor {
             let measured = timer.elapsed().as_secs_f64();
             real_cpu += measured;
 
+            // transient fault injection: each attempt fails independently
+            // with probability p (one seeded draw per attempt); every
+            // failed attempt burns the measured kernel time plus an
+            // exponential backoff in virtual time, and exhausting the
+            // retry budget fails the run
+            let mut attempt_overhead = 0.0;
+            if transient_p > 0.0 {
+                let mut failures = 0usize;
+                let mut backoff = retry.backoff_base;
+                while self
+                    .fault_rng
+                    .as_mut()
+                    .expect("rng armed when p > 0")
+                    .gen_bool(transient_p)
+                {
+                    failures += 1;
+                    if failures > retry.max_retries {
+                        return Err(XbError::Fault {
+                            subtask: si,
+                            attempts: failures,
+                        });
+                    }
+                    attempt_overhead += measured + backoff;
+                    backoff *= retry.backoff_factor;
+                }
+                self.total_retries += failures;
+            }
+
             // virtual bookkeeping
             // publishing outputs pays the storage tier too
             let published_bytes: usize = produced.iter().map(|(_, p)| p.nbytes()).sum();
@@ -408,7 +961,7 @@ impl Executor for SimExecutor {
             } else {
                 self.band_free[band].max(arrival) + self.spec.sched_overhead
             };
-            let finish = start + net_io + storage_io + measured + disk_io;
+            let finish = start + net_io + storage_io + measured + disk_io + attempt_overhead;
             self.band_free[band] = finish;
 
             // transient working-set charge (fusion saves storage traffic,
@@ -448,6 +1001,7 @@ impl Executor for SimExecutor {
                         enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&payload)),
                         resident: true,
                         spilled: false,
+                        disk_orphan: false,
                     },
                 );
                 self.charge_chunk(worker, key, &payload)?;
@@ -464,6 +1018,19 @@ impl Executor for SimExecutor {
             for k in released {
                 self.free_chunk(k);
             }
+
+            // a run past its deadline fails *at* the straggling subtask,
+            // carrying the not-yet-dispatched work and its missing inputs
+            if let Some(deadline) = self.spec.deadline_seconds {
+                let now = self.virtual_now();
+                if now > deadline {
+                    return Err(XbError::Hang {
+                        makespan: now,
+                        deadline,
+                        pending: self.pending_after(graph, si),
+                    });
+                }
+            }
         }
 
         // published-but-never-consumed, unretained chunks die with the graph
@@ -477,12 +1044,51 @@ impl Executor for SimExecutor {
             self.free_chunk(k);
         }
 
+        if faults_on {
+            // retained keys must outlive this graph (future tiling or the
+            // final gather reads them): rematerialise any that a fault
+            // destroyed after their producing subtask ran
+            let mut lost_retained: Vec<ChunkKey> = graph
+                .retained
+                .iter()
+                .copied()
+                .filter(|k| self.lost.contains(k))
+                .collect();
+            if !lost_retained.is_empty() {
+                lost_retained.sort_unstable();
+                self.recover(&lost_retained, &mut real_cpu)?;
+            }
+            // retained chunks whose memory copy died with a crashed worker
+            // but whose spilled copy survived: the gather reads them off
+            // the disk tier — pay the read-back now, on a surviving band
+            let mut orphan_retained: Vec<ChunkKey> = graph
+                .retained
+                .iter()
+                .copied()
+                .filter(|k| self.states.get(k).is_some_and(|st| st.disk_orphan))
+                .collect();
+            if !orphan_retained.is_empty() {
+                orphan_retained.sort_unstable();
+                let band = self.recovery_band()?;
+                let mut disk_io = 0.0;
+                for k in &orphan_retained {
+                    let st = self.states.get_mut(k).expect("filtered on state");
+                    st.disk_orphan = false;
+                    disk_io += st.enc_bytes as f64 / self.spec.disk_bandwidth;
+                    self.total_read_back_bytes += st.enc_bytes;
+                    self.total_recovered_spill += st.enc_bytes;
+                }
+                self.band_free[band] += disk_io;
+            }
+        }
+
         let makespan_total = self.virtual_now();
         if let Some(deadline) = self.spec.deadline_seconds {
             if makespan_total > deadline {
                 return Err(XbError::Hang {
                     makespan: makespan_total,
                     deadline,
+                    pending: Vec::new(),
                 });
             }
         }
@@ -494,6 +1100,9 @@ impl Executor for SimExecutor {
             read_back_bytes: self.total_read_back_bytes - read_back_before,
             peak_worker_bytes: self.worker_peak.iter().copied().max().unwrap_or(0),
             real_cpu_seconds: real_cpu,
+            retries: self.total_retries - retries_before,
+            recomputed_subtasks: self.total_recomputed - recomputed_before,
+            recovered_from_spill_bytes: self.total_recovered_spill - recovered_before,
         })
     }
 
@@ -513,6 +1122,7 @@ impl Executor for SimExecutor {
         self.any_rr = 0;
         self.arrived.clear();
         self.sched_clock = 0.0;
+        self.arm_faults();
     }
 
     fn release(&mut self, keys: &[ChunkKey]) {
@@ -744,6 +1354,7 @@ mod tests {
                     ))),
                     resident: true,
                     spilled: false,
+                    disk_orphan: false,
                 },
             );
             ex.charge_chunk(0, key, &Payload::Df(p.clone())).unwrap();
@@ -782,6 +1393,7 @@ mod tests {
                     ))),
                     resident: true,
                     spilled: false,
+                    disk_orphan: false,
                 },
             );
             ex.charge_chunk(0, key, &Payload::Df(p.clone())).unwrap();
@@ -799,6 +1411,7 @@ mod tests {
                 ))),
                 resident: true,
                 spilled: false,
+                disk_orphan: false,
             },
         );
         ex.charge_chunk(0, 9, &Payload::Df(fresh.clone())).unwrap();
@@ -835,5 +1448,157 @@ mod tests {
             .fetch()
             .unwrap_err();
         assert!(matches!(err, XbError::Oom { .. }), "got {err:?}");
+    }
+
+    // ---- fault injection + lineage recovery ----
+
+    use crate::fault::{FaultPlan, RetryPolicy};
+    use xorbits_core::session::ExecStats;
+
+    /// Runs the canonical groupby workload on `spec` and returns the
+    /// fetched result plus the session's aggregated stats.
+    fn groupby_fetch(spec: ClusterSpec) -> (DataFrame, ExecStats) {
+        let s = Session::new(cfg(), SimExecutor::new(spec));
+        let df = s.from_df(sample_df(5000)).unwrap();
+        let out = df
+            .groupby_agg(vec!["k".into()], vec![AggSpec::new("v", AggFunc::Sum, "s")])
+            .unwrap()
+            .fetch()
+            .unwrap();
+        (out, s.total_stats())
+    }
+
+    /// The stats fields that must replay bit-identically across runs of the
+    /// same seeded schedule (makespan/real_cpu incorporate *measured* host
+    /// time and are excluded).
+    fn det(stats: &ExecStats) -> (usize, usize, usize, usize, usize, usize) {
+        (
+            stats.subtasks,
+            stats.net_bytes,
+            stats.peak_worker_bytes,
+            stats.retries,
+            stats.recomputed_subtasks,
+            stats.recovered_from_spill_bytes,
+        )
+    }
+
+    #[test]
+    fn zero_fault_plan_is_inert() {
+        let (plain_out, plain) = groupby_fetch(ClusterSpec::new(2, 64 << 20));
+        let (armed_out, armed) =
+            groupby_fetch(ClusterSpec::new(2, 64 << 20).with_fault_plan(FaultPlan::none(7)));
+        assert_eq!(plain_out, armed_out);
+        assert_eq!(det(&plain), det(&armed));
+        assert_eq!(armed.retries, 0);
+        assert_eq!(armed.recomputed_subtasks, 0);
+        assert_eq!(armed.recovered_from_spill_bytes, 0);
+    }
+
+    #[test]
+    fn worker_crash_recovers_to_identical_result() {
+        let (oracle, _) = groupby_fetch(ClusterSpec::new(2, 64 << 20));
+        let plan = FaultPlan::worker_crash_at_step(11, 1, 5);
+        let (out, stats) =
+            groupby_fetch(ClusterSpec::new(2, 64 << 20).with_fault_plan(plan.clone()));
+        assert_eq!(oracle, out, "crash recovery must not change the result");
+        assert!(
+            stats.recomputed_subtasks > 0,
+            "the crash must force lineage recomputation, stats: {stats:?}"
+        );
+        // same schedule, fresh cluster: recovery replays deterministically
+        let (out2, stats2) = groupby_fetch(ClusterSpec::new(2, 64 << 20).with_fault_plan(plan));
+        assert_eq!(out, out2);
+        assert_eq!(det(&stats), det(&stats2));
+    }
+
+    #[test]
+    fn transient_storm_retries_to_success() {
+        let (oracle, _) = groupby_fetch(ClusterSpec::new(2, 64 << 20));
+        let spec = ClusterSpec::new(2, 64 << 20)
+            .with_fault_plan(FaultPlan::transient_storm(3, 0.2))
+            .with_retry(RetryPolicy {
+                max_retries: 10,
+                ..Default::default()
+            });
+        let (out, stats) = groupby_fetch(spec);
+        assert_eq!(oracle, out);
+        assert!(stats.retries > 0, "a 20% storm must trigger retries");
+        assert_eq!(stats.recomputed_subtasks, 0, "retries are not recomputes");
+    }
+
+    #[test]
+    fn retry_budget_exhaustion_fails_with_fault() {
+        let spec = ClusterSpec::new(1, 64 << 20)
+            .with_fault_plan(FaultPlan::transient_storm(3, 1.0))
+            .with_retry(RetryPolicy {
+                max_retries: 2,
+                ..Default::default()
+            });
+        let s = Session::new(cfg(), SimExecutor::new(spec));
+        let df = s.from_df(sample_df(5000)).unwrap();
+        let err = df.fetch().unwrap_err();
+        match err {
+            XbError::Fault { attempts, .. } => assert_eq!(attempts, 3),
+            other => panic!("expected Fault, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chunk_loss_recovers_to_identical_result() {
+        let (oracle, _) = groupby_fetch(ClusterSpec::new(2, 64 << 20));
+        let plan = FaultPlan::chunk_loss_at_step(9, 0.5, 6);
+        let (out, stats) = groupby_fetch(ClusterSpec::new(2, 64 << 20).with_fault_plan(plan));
+        assert_eq!(oracle, out);
+        assert!(
+            stats.recomputed_subtasks > 0,
+            "losing half the resident chunks must force recomputation, stats: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn crash_with_spilled_chunks_recovers_from_disk() {
+        // a budget small enough to force spilling: chunks a crash destroys
+        // in memory survive on the disk tier, so recovery reads them back
+        // instead of recomputing their whole lineage
+        let plan = FaultPlan::worker_crash_at_step(13, 0, 40);
+        let spec = ClusterSpec::new(2, 24 << 10).with_fault_plan(plan);
+        let s = Session::new(cfg(), SimExecutor::new(spec));
+        let df = s.from_df(sample_df(20_000)).unwrap();
+        let out = df.filter(col("v").ge(lit(0.0))).unwrap().fetch().unwrap();
+        assert_eq!(out.num_rows(), 20_000);
+        let stats = s.total_stats();
+        assert!(
+            stats.recovered_from_spill_bytes > 0,
+            "spilled survivors should be the fast recovery path, stats: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn hang_lists_pending_subtasks() {
+        let spec = ClusterSpec::new(1, 1 << 30).with_deadline(0.0);
+        let s = Session::new(cfg(), SimExecutor::new(spec));
+        let df = s.from_df(sample_df(10_000)).unwrap();
+        let err = df.fetch().unwrap_err();
+        match err {
+            XbError::Hang { pending, .. } => {
+                assert!(
+                    !pending.is_empty(),
+                    "a deadline of zero must leave undispatched subtasks pending"
+                );
+            }
+            other => panic!("expected Hang, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn killing_every_band_is_a_plan_error() {
+        let plan = FaultPlan::none(1)
+            .with_event(FaultTrigger::Step(2), FaultKind::WorkerCrash { worker: 0 })
+            .with_event(FaultTrigger::Step(2), FaultKind::WorkerCrash { worker: 1 });
+        let spec = ClusterSpec::new(2, 64 << 20).with_fault_plan(plan);
+        let s = Session::new(cfg(), SimExecutor::new(spec));
+        let df = s.from_df(sample_df(5000)).unwrap();
+        let err = df.fetch().unwrap_err();
+        assert!(matches!(err, XbError::Plan(_)), "got {err:?}");
     }
 }

@@ -161,6 +161,7 @@ mod tests {
                 Err(xorbits_core::error::XbError::Hang {
                     makespan: 1.0,
                     deadline: 0.5,
+                    pending: Vec::new(),
                 })
             }),
         ];

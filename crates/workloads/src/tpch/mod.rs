@@ -10,14 +10,10 @@ mod q12_22;
 
 pub use gen::{TpchData, TpchScale};
 
-use xorbits_baselines::Engine;
-use xorbits_core::error::XbResult;
-use xorbits_core::session::DfHandle;
+use xorbits_baselines::{Capabilities, Engine};
+use xorbits_core::error::{XbError, XbResult};
+use xorbits_core::session::{DfHandle, Executor, Session};
 use xorbits_dataframe::{dates, AggFunc, AggSpec, DataFrame, Scalar};
-use xorbits_runtime::SimExecutor;
-
-/// Handle alias used throughout the queries.
-pub type H = DfHandle<SimExecutor>;
 
 /// Date literal helper.
 pub(crate) fn d(y: i32, m: u32, day: u32) -> Scalar {
@@ -29,21 +25,26 @@ pub(crate) fn a(col: &str, func: AggFunc, out: &str) -> AggSpec {
     AggSpec::new(col, func, out)
 }
 
-/// Table handles for one engine run.
-pub(crate) struct Tables<'a> {
-    pub e: &'a Engine,
+/// Table handles for one run. Generic over the executor so the same query
+/// text runs on the virtual cluster *and* on the single-process
+/// [`LocalExecutor`](xorbits_core::local::LocalExecutor) — the fault-free
+/// oracle the fault-recovery matrix compares against.
+pub(crate) struct Tables<'a, E: Executor> {
+    pub s: &'a Session<E>,
+    pub caps: &'a Capabilities,
+    pub engine_name: &'static str,
     pub d: &'a TpchData,
 }
 
 macro_rules! table {
     ($name:ident) => {
-        pub fn $name(&self) -> XbResult<H> {
-            self.e.session.read_df(self.d.$name.clone())
+        pub fn $name(&self) -> XbResult<DfHandle<E>> {
+            self.s.read_df(self.d.$name.clone())
         }
     };
 }
 
-impl<'a> Tables<'a> {
+impl<'a, E: Executor> Tables<'a, E> {
     table!(lineitem);
     table!(orders);
     table!(customer);
@@ -52,6 +53,19 @@ impl<'a> Tables<'a> {
     table!(supplier);
     table!(nation);
     table!(region);
+
+    /// The paper-style API-compatibility error when a capability the query
+    /// needs is off in this profile.
+    pub fn require(&self, supported: bool, what: &str) -> XbResult<()> {
+        if supported {
+            Ok(())
+        } else {
+            Err(XbError::Unsupported(format!(
+                "{} does not support {what}",
+                self.engine_name
+            )))
+        }
+    }
 }
 
 /// Extracts a scalar from a 1-row aggregate frame (0.0 when empty, like
@@ -69,7 +83,33 @@ pub(crate) fn scalar_at(df: &DataFrame, col: &str) -> XbResult<f64> {
 /// (`Unsupported` for API-compatibility failures, `Oom`, `Hang`).
 pub fn run_query(engine: &Engine, data: &TpchData, q: u32) -> XbResult<DataFrame> {
     engine.supports_tpch(q)?;
-    let t = Tables { e: engine, d: data };
+    run_query_on(
+        &engine.session,
+        &engine.profile.caps,
+        engine.name(),
+        data,
+        q,
+    )
+}
+
+/// Runs TPC-H query `q` on an arbitrary executor's session — same query
+/// text as [`run_query`], minus the per-engine TPC-H porting guard (the
+/// caller picks the capability profile). This is how the fault-recovery
+/// matrix runs the suite on both the fault-injected virtual cluster and
+/// the single-process oracle.
+pub fn run_query_on<E: Executor>(
+    session: &Session<E>,
+    caps: &Capabilities,
+    engine_name: &'static str,
+    data: &TpchData,
+    q: u32,
+) -> XbResult<DataFrame> {
+    let t = Tables {
+        s: session,
+        caps,
+        engine_name,
+        d: data,
+    };
     match q {
         1 => q01_11::q1(&t),
         2 => q01_11::q2(&t),

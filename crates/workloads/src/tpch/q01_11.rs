@@ -8,6 +8,7 @@
 
 use super::{a, d, scalar_at, Tables};
 use xorbits_core::error::XbResult;
+use xorbits_core::session::Executor;
 use xorbits_dataframe::{col, lit, AggFunc::*, DataFrame, Expr, JoinType};
 
 fn strs(names: &[&str]) -> Vec<String> {
@@ -19,7 +20,7 @@ fn revenue() -> Expr {
 }
 
 /// Q1: pricing summary report.
-pub fn q1(t: &Tables) -> XbResult<DataFrame> {
+pub fn q1<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     t.lineitem()?
         .filter(col("l_shipdate").le(lit(d(1998, 9, 2))))?
         .assign(vec![
@@ -47,7 +48,7 @@ pub fn q1(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q2: minimum-cost supplier (the paper's 4-merge dynamic-tiling showcase).
-pub fn q2(t: &Tables) -> XbResult<DataFrame> {
+pub fn q2<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let part = t.part()?.filter(
         col("p_size")
             .eq(lit(15i64))
@@ -103,7 +104,7 @@ pub fn q2(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q3: shipping priority, top-10 unshipped orders by revenue.
-pub fn q3(t: &Tables) -> XbResult<DataFrame> {
+pub fn q3<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let c = t
         .customer()?
         .filter(col("c_mktsegment").eq(lit("BUILDING")))?;
@@ -139,7 +140,7 @@ pub fn q3(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q4: order-priority checking (semi join on late lineitems).
-pub fn q4(t: &Tables) -> XbResult<DataFrame> {
+pub fn q4<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let o = t.orders()?.filter(
         col("o_orderdate")
             .ge(lit(d(1993, 7, 1)))
@@ -163,7 +164,7 @@ pub fn q4(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q5: local supplier volume in ASIA.
-pub fn q5(t: &Tables) -> XbResult<DataFrame> {
+pub fn q5<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let o = t.orders()?.filter(
         col("o_orderdate")
             .ge(lit(d(1994, 1, 1)))
@@ -210,7 +211,7 @@ pub fn q5(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q6: forecasting revenue change (pure scalar aggregation).
-pub fn q6(t: &Tables) -> XbResult<DataFrame> {
+pub fn q6<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     t.lineitem()?
         .filter(
             col("l_shipdate")
@@ -230,7 +231,7 @@ pub fn q6(t: &Tables) -> XbResult<DataFrame> {
 
 /// Q7: volume shipping between FRANCE and GERMANY (the paper's 9-merge
 /// dynamic-tiling showcase).
-pub fn q7(t: &Tables) -> XbResult<DataFrame> {
+pub fn q7<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let n1 = t
         .nation()?
         .filter(col("n_name").is_in(["FRANCE", "GERMANY"]))?
@@ -303,7 +304,7 @@ pub fn q7(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q8: national market share of BRAZIL in AMERICA for a part type.
-pub fn q8(t: &Tables) -> XbResult<DataFrame> {
+pub fn q8<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let p = t
         .part()?
         .filter(col("p_type").eq(lit("ECONOMY ANODIZED STEEL")))?;
@@ -380,7 +381,7 @@ pub fn q8(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q9: product-type profit measure over all nations and years.
-pub fn q9(t: &Tables) -> XbResult<DataFrame> {
+pub fn q9<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let p = t.part()?.filter(col("p_name").contains("green"))?;
     let lp = t.lineitem()?.merge(
         &p,
@@ -429,7 +430,7 @@ pub fn q9(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q10: returned-item reporting, top 20 customers by lost revenue.
-pub fn q10(t: &Tables) -> XbResult<DataFrame> {
+pub fn q10<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let o = t.orders()?.filter(
         col("o_orderdate")
             .ge(lit(d(1993, 10, 1)))
@@ -466,7 +467,7 @@ pub fn q10(t: &Tables) -> XbResult<DataFrame> {
 
 /// Q11: important stock identification in GERMANY (two-phase: the
 /// threshold is an aggregate fetched mid-query).
-pub fn q11(t: &Tables) -> XbResult<DataFrame> {
+pub fn q11<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let germany = t.nation()?.filter(col("n_name").eq(lit("GERMANY")))?;
     let s = t.supplier()?.merge(
         &germany,

@@ -2,6 +2,7 @@
 
 use super::{a, d, scalar_at, Tables};
 use xorbits_core::error::XbResult;
+use xorbits_core::session::Executor;
 use xorbits_dataframe::expr::Func;
 use xorbits_dataframe::{col, lit, AggFunc::*, DataFrame, Expr, JoinType};
 
@@ -14,7 +15,7 @@ fn revenue() -> Expr {
 }
 
 /// Q12: shipping modes and order priority.
-pub fn q12(t: &Tables) -> XbResult<DataFrame> {
+pub fn q12<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let l = t.lineitem()?.filter(
         col("l_shipmode")
             .is_in(["MAIL", "SHIP"])
@@ -57,7 +58,7 @@ pub fn q12(t: &Tables) -> XbResult<DataFrame> {
 
 /// Q13: customer order-count distribution (left join keeps
 /// zero-order customers).
-pub fn q13(t: &Tables) -> XbResult<DataFrame> {
+pub fn q13<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let o = t
         .orders()?
         .filter(col("o_comment").contains("special").not())?;
@@ -80,7 +81,7 @@ pub fn q13(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q14: promotion effect (two scalar aggregates combined client-side).
-pub fn q14(t: &Tables) -> XbResult<DataFrame> {
+pub fn q14<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let l = t.lineitem()?.filter(
         col("l_shipdate")
             .ge(lit(d(1995, 9, 1)))
@@ -119,7 +120,7 @@ pub fn q14(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q15: top supplier by quarterly revenue (two-phase max).
-pub fn q15(t: &Tables) -> XbResult<DataFrame> {
+pub fn q15<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let l = t.lineitem()?.filter(
         col("l_shipdate")
             .ge(lit(d(1996, 1, 1)))
@@ -146,8 +147,8 @@ pub fn q15(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q16: parts/supplier relationship (`nunique` + anti join).
-pub fn q16(t: &Tables) -> XbResult<DataFrame> {
-    t.e.require(t.e.profile.caps.nunique_agg, "groupby.agg(nunique)")?;
+pub fn q16<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
+    t.require(t.caps.nunique_agg, "groupby.agg(nunique)")?;
     let p = t.part()?.filter(
         col("p_brand")
             .eq(lit("Brand#45"))
@@ -186,7 +187,7 @@ pub fn q16(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q17: small-quantity-order revenue (join back against per-part average).
-pub fn q17(t: &Tables) -> XbResult<DataFrame> {
+pub fn q17<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let p = t.part()?.filter(
         col("p_brand")
             .eq(lit("Brand#23"))
@@ -213,7 +214,7 @@ pub fn q17(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q18: large-volume customers (top 100).
-pub fn q18(t: &Tables) -> XbResult<DataFrame> {
+pub fn q18<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let big = t
         .lineitem()?
         .groupby_agg(strs(&["l_orderkey"]), vec![a("l_quantity", Sum, "sum_qty")])?
@@ -247,7 +248,7 @@ pub fn q18(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q19: discounted revenue over three disjunctive condition groups.
-pub fn q19(t: &Tables) -> XbResult<DataFrame> {
+pub fn q19<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let branch = |brand: &str, containers: [&str; 4], qlo: f64, qhi: f64, smax: i64| {
         col("p_brand")
             .eq(lit(brand))
@@ -297,7 +298,7 @@ pub fn q19(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q20: potential part promotion (excess stock suppliers in CANADA).
-pub fn q20(t: &Tables) -> XbResult<DataFrame> {
+pub fn q20<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let forest = t.part()?.filter(col("p_name").starts_with("forest"))?;
     let ps = t.partsupp()?.merge(
         &forest,
@@ -343,8 +344,8 @@ pub fn q20(t: &Tables) -> XbResult<DataFrame> {
 }
 
 /// Q21: suppliers who kept orders waiting (`nunique` + semi/anti logic).
-pub fn q21(t: &Tables) -> XbResult<DataFrame> {
-    t.e.require(t.e.profile.caps.nunique_agg, "groupby.agg(nunique)")?;
+pub fn q21<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
+    t.require(t.caps.nunique_agg, "groupby.agg(nunique)")?;
     let li = t.lineitem()?;
     let late = li.filter(col("l_receiptdate").gt(col("l_commitdate")))?;
     // orders with more than one distinct supplier
@@ -403,7 +404,7 @@ pub fn q21(t: &Tables) -> XbResult<DataFrame> {
 
 /// Q22: global sales opportunity (substring country codes, two-phase
 /// average, anti join against orders).
-pub fn q22(t: &Tables) -> XbResult<DataFrame> {
+pub fn q22<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
     let codes = ["13", "31", "23", "29", "30", "18", "17"];
     let c = t
         .customer()?

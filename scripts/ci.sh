@@ -35,6 +35,22 @@ cargo test -q --release -p xorbits-storage --test chunkfmt_roundtrip
 echo "==> spill smoke test (tight budget, disk tier, result equality)"
 cargo test -q --release -p xorbits-workloads --test spill_acceptance
 
+echo "==> spill-file retention regression (release/clear delete disk-tier files)"
+cargo test -q --release -p xorbits-storage --test spill_files
+
+# Fault-recovery gates (hard): the differential matrix runs all 22 TPC-H
+# queries under three pinned-seed fault schedules (worker kill, transient
+# storm, chunk-loss bursts) and asserts bit-identical results against the
+# fault-free LocalExecutor oracle — each schedule runs twice and any drift
+# in results or deterministic recovery stats fails the suite. The property
+# suite does the same for random subtask DAGs, checking minimal-closure
+# recomputation and ledger balance.
+echo "==> differential fault-recovery matrix (pinned seeds, run-twice determinism)"
+cargo test -q --release --test fault_recovery
+
+echo "==> recovery property suite (random DAGs, minimal recompute closure)"
+cargo test -q --release -p xorbits-runtime --test recovery_props
+
 # Opt-in kernel bench smoke: 1e4-row run of the shuffle/join/groupby kernel
 # suite, failing if any kernel is >2x slower than the checked-in reference
 # (scripts/bench_reference.json). Off by default — wall-clock gates are only

@@ -66,5 +66,8 @@ pub mod prelude {
     pub use xorbits_core::session::{DfHandle, RunReport, Session, TensorHandle};
     pub use xorbits_core::tileable::DfSource;
     pub use xorbits_dataframe::{col, lit, AggFunc, AggSpec, Column, DataFrame, JoinType, Scalar};
-    pub use xorbits_runtime::{ClusterSpec, SimExecutor, SimSession};
+    pub use xorbits_runtime::{
+        ClusterSpec, FaultEvent, FaultKind, FaultPlan, FaultTrigger, RetryPolicy, SimExecutor,
+        SimSession,
+    };
 }
