@@ -16,7 +16,7 @@ use xorbits_runtime::SimExecutor;
 use xorbits_workloads::tpch::{run_query, TpchData};
 
 fn main() {
-    let data = TpchData::new(100.0 * bench_scale());
+    let data = TpchData::new(100.0 * bench_scale()).expect("tpch data");
 
     // 1. tree-reduce threshold sweep on Q1 (heavy aggregation)
     let mut rows = Vec::new();

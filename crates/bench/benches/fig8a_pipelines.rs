@@ -33,7 +33,7 @@ where
 fn main() {
     let s = bench_scale();
     // paper: UC10 on 2 workers, census/plasticc on 1 worker (Table III)
-    let uc10 = uc10_data((1_000_000.0 * s) as usize, 2_000, 1.5);
+    let uc10 = uc10_data((1_000_000.0 * s) as usize, 2_000, 1.5).expect("uc10 data");
     let census = census_data((800_000.0 * s) as usize);
     let plasticc = plasticc_data((800_000.0 * s) as usize, 2_000);
     let two = ClusterSpec::new(2, 256 << 20);

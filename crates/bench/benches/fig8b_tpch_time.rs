@@ -23,7 +23,7 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for &label in &[100u32, 1000] {
-        let data = TpchData::new(sf(label));
+        let data = TpchData::new(sf(label)).expect("tpch data");
         let cluster = paper_cluster(16);
         let xorbits_recs = run_tpch_suite(EngineKind::Xorbits, &cluster, &data);
         let mut row = vec![format!("SF{label}")];

@@ -24,7 +24,7 @@ fn run_with(cfg: XorbitsConfig, data: &TpchData, q: u32) -> f64 {
 }
 
 fn main() {
-    let data = TpchData::new(sf(1000));
+    let data = TpchData::new(sf(1000)).expect("tpch data");
     let paper = [(2u32, 7.08), (7u32, 10.59)];
     let mut rows = Vec::new();
     for (q, paper_speedup) in paper {

@@ -29,7 +29,7 @@ fn main() {
 
     let mut rows = Vec::new();
     for (si, &label) in [10u32, 100, 1000].iter().enumerate() {
-        let data = TpchData::new(sf(label));
+        let data = TpchData::new(sf(label)).expect("tpch data");
         let cluster = paper_cluster(16);
         let mut row = vec![format!("SF{label}")];
         for (ei, kind) in engines.iter().enumerate() {

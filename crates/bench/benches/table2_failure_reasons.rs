@@ -11,7 +11,7 @@ use xorbits_workloads::harness::{failure_histogram, run_tpch_suite};
 use xorbits_workloads::tpch::TpchData;
 
 fn main() {
-    let data = TpchData::new(sf(1000));
+    let data = TpchData::new(sf(1000)).expect("tpch data");
     // the hang deadline (virtual seconds per query suite member) models
     // the paper's queries that never finished
     let deadline = env_f64("XORBITS_HANG_DEADLINE", 2.5);

@@ -66,7 +66,8 @@ fn det(stats: &ExecStats) -> (usize, usize, usize, usize, usize) {
 }
 
 fn main() {
-    let data = TpchData::new(SF);
+    xorbits_bench::trace_init_from_env();
+    let data = TpchData::new(SF).expect("tpch data");
 
     // ---- fault-free baseline + zero-fault-plan parity gate ------------------
     let (base_mk, base) = run_subset(&cluster(), &data);
@@ -165,4 +166,5 @@ fn main() {
     );
     std::fs::write("BENCH_faults.json", &json).unwrap();
     print!("{json}");
+    xorbits_bench::trace_dump_from_env();
 }

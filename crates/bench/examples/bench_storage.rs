@@ -143,6 +143,7 @@ const TPCH_SF: f64 = 0.1;
 const TIGHT_BUDGET: usize = 24 << 10;
 
 fn main() {
+    xorbits_bench::trace_init_from_env();
     // ---- codec throughput ---------------------------------------------------
     let mut codec_rows = Vec::new();
     for &rows in &[100_000usize, 1_000_000] {
@@ -177,7 +178,7 @@ fn main() {
     );
 
     // ---- tight-budget TPC-H under spill ------------------------------------
-    let data = TpchData::new(TPCH_SF);
+    let data = TpchData::new(TPCH_SF).expect("tpch data");
 
     let unbounded_s = time_it(5, || {
         let s = Session::new(tpch_cfg(), LocalExecutor::new());
@@ -246,4 +247,5 @@ fn main() {
     json.push_str("}\n");
     std::fs::write("BENCH_storage.json", &json).unwrap();
     print!("{json}");
+    xorbits_bench::trace_dump_from_env();
 }

@@ -15,8 +15,9 @@ use xorbits_workloads::harness::run_tpch_once;
 use xorbits_workloads::tpch::TpchData;
 
 fn main() {
+    xorbits_bench::trace_init_from_env();
     let sf = env_f64("XORBITS_TPCH_SF", 10.0);
-    let data = TpchData::new(sf);
+    let data = TpchData::new(sf).expect("tpch data");
     let cluster = paper_cluster(16);
     let mut total_wall = 0.0;
     let mut total_makespan = 0.0;
@@ -32,4 +33,5 @@ fn main() {
         println!("Q{q}\t{:.3}\t{:.4}", wall * 1e3, rec.makespan);
     }
     println!("TOTAL\t{:.3}\t{:.4}", total_wall * 1e3, total_makespan);
+    xorbits_bench::trace_dump_from_env();
 }

@@ -93,6 +93,7 @@ struct Row {
 }
 
 fn main() {
+    xorbits_bench::trace_init_from_env();
     let df = frame(ROWS);
     let mut rows: Vec<Row> = Vec::new();
 
@@ -177,4 +178,5 @@ fn main() {
         speedup >= 10.0,
         "zero-copy split_even must beat the deep copy by >=10x, got {speedup:.1}x"
     );
+    xorbits_bench::trace_dump_from_env();
 }

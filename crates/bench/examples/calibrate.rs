@@ -13,7 +13,7 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(16);
-    let data = TpchData::new(sf_label);
+    let data = TpchData::new(sf_label).expect("tpch data");
     let cluster = paper_cluster(workers);
     for kind in EngineKind::all() {
         let t0 = std::time::Instant::now();

@@ -114,13 +114,13 @@ fn main() {
             _ => unreachable!(),
         };
         let mut pids: Vec<u32> = Vec::with_capacity(n);
-        let mut counts = vec![0usize; 16];
+        let mut counts = [0usize; 16];
         for &v in kc.values.as_slice() {
             let p = (combine(0, v as u64) & 15) as u32;
             counts[p as usize] += 1;
             pids.push(p);
         }
-        let mut starts = vec![0usize; 17];
+        let mut starts = [0usize; 17];
         for p in 0..16 {
             starts[p + 1] = starts[p] + counts[p];
         }
@@ -148,12 +148,12 @@ fn main() {
         // strings: shared data buffer, absolute offsets, per-partition slices
         let src = src_v.as_slice();
         let soffs = soffs_v.as_slice();
-        let mut sbytes = vec![0usize; 16];
+        let mut sbytes = [0usize; 16];
         for (w, &p) in soffs.windows(2).zip(&pids) {
             sbytes[p as usize] += (w[1] - w[0]) as usize;
         }
         let total: usize = sbytes.iter().sum();
-        let mut bstarts = vec![0usize; 17];
+        let mut bstarts = [0usize; 17];
         for p in 0..16 {
             bstarts[p + 1] = bstarts[p] + sbytes[p];
         }
@@ -215,7 +215,7 @@ fn main() {
                 counts[p as usize] += 1;
                 *o = p;
             }
-            let mut starts = vec![0usize; 17];
+            let mut starts = [0usize; 17];
             for p in 0..16 {
                 starts[p + 1] = starts[p] + counts[p];
             }
@@ -280,13 +280,13 @@ fn main() {
                 advise_huge(kout.as_ptr(), n);
                 advise_huge(vout.as_ptr(), n);
             }
-            let mut counts = vec![0usize; 16];
+            let mut counts = [0usize; 16];
             for &v in kc.values.as_slice() {
                 let p = (combine(0, v as u64) & 15) as u32;
                 counts[p as usize] += 1;
                 pids.push(p);
             }
-            let mut starts = vec![0usize; 17];
+            let mut starts = [0usize; 17];
             for p in 0..16 {
                 starts[p + 1] = starts[p] + counts[p];
             }

@@ -4,7 +4,7 @@ use xorbits_bench::{paper_cluster, sf};
 use xorbits_workloads::tpch::{run_query, TpchData};
 
 fn main() {
-    let data = TpchData::new(sf(1000));
+    let data = TpchData::new(sf(1000)).expect("tpch data");
     for q in [19u32, 9] {
         let engine = Engine::new(EngineKind::Xorbits, &paper_cluster(16));
         match run_query(&engine, &data, q) {

@@ -4,7 +4,7 @@ use xorbits_baselines::{Engine, EngineKind};
 use xorbits_bench::{paper_cluster, sf};
 use xorbits_workloads::tpch::{run_query, TpchData};
 fn main() {
-    let data = TpchData::new(sf(1000));
+    let data = TpchData::new(sf(1000)).expect("tpch data");
     for kind in [EngineKind::Xorbits, EngineKind::PySpark, EngineKind::Dask] {
         let e = Engine::new(kind, &paper_cluster(16));
         match run_query(&e, &data, 19) {

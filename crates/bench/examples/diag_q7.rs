@@ -6,7 +6,7 @@ use xorbits_core::config::XorbitsConfig;
 use xorbits_workloads::tpch::{run_query, TpchData};
 
 fn main() {
-    let data = TpchData::new(sf(1000));
+    let data = TpchData::new(sf(1000)).expect("tpch data");
     for (name, cfg) in [
         ("dy-on ", XorbitsConfig::default()),
         ("dy-off", XorbitsConfig::default().without_dynamic_tiling()),

@@ -5,7 +5,7 @@ use xorbits_runtime::ClusterSpec;
 use xorbits_workloads::tpcxai::{run_uc10, uc10_data};
 
 fn main() {
-    let data = uc10_data(1_000_000, 2_000, 1.5);
+    let data = uc10_data(1_000_000, 2_000, 1.5).expect("uc10 data");
     let cluster = ClusterSpec::new(2, 256 << 20);
     for kind in [
         EngineKind::PySpark,

@@ -69,3 +69,39 @@ pub fn fmt_rel(v: f64) -> String {
         format!("{v:.2}x")
     }
 }
+
+/// Enables structured tracing when `XORBITS_TRACE_OUT` is set to a target
+/// path. Call at the top of a bench `main`; pair with [`trace_dump_from_env`]
+/// at the end. A no-op (zero overhead beyond one env lookup) when the
+/// variable is unset.
+pub fn trace_init_from_env() {
+    if std::env::var_os("XORBITS_TRACE_OUT").is_some() {
+        xorbits_core::trace::enable_default();
+    }
+}
+
+/// If `XORBITS_TRACE_OUT` is set, drains the trace recorder, writes the
+/// Chrome trace-event JSON to that path (load it in `chrome://tracing` or
+/// Perfetto) and prints the per-stage breakdown and per-band utilization.
+pub fn trace_dump_from_env() {
+    let Some(path) = std::env::var_os("XORBITS_TRACE_OUT") else {
+        return;
+    };
+    let Some(log) = xorbits_core::trace::disable() else {
+        return;
+    };
+    print!(
+        "{}",
+        xorbits_core::explain::explain_stage_breakdown(&log.metrics)
+    );
+    print!("{}", xorbits_core::explain::explain_utilization(&log));
+    match std::fs::write(&path, log.chrome_json()) {
+        Ok(()) => println!(
+            "trace: {} events ({} dropped) -> {}",
+            log.events.len(),
+            log.dropped,
+            path.to_string_lossy()
+        ),
+        Err(e) => eprintln!("trace: failed to write {}: {e}", path.to_string_lossy()),
+    }
+}

@@ -442,7 +442,7 @@ mod tests {
             &[8, 3],
             5,
         )));
-        let out = execute_chunk(&ChunkOp::QrLocal, &[a.clone()]).unwrap();
+        let out = execute_chunk(&ChunkOp::QrLocal, std::slice::from_ref(&a)).unwrap();
         assert_eq!(out.len(), 2);
         let q = out[0].as_arr().unwrap();
         let r = out[1].as_arr().unwrap();

@@ -8,6 +8,7 @@ use crate::chunk::ChunkGraph;
 use crate::session::ExecStats;
 use crate::subtask::SubtaskGraph;
 use crate::tileable::{TileableGraph, TileableOp};
+use crate::trace::{MetricsSnapshot, TraceLog};
 
 /// Renders the logical plan, one line per tileable.
 pub fn explain_tileable(graph: &TileableGraph) -> String {
@@ -141,6 +142,78 @@ pub fn explain_recovery(stats: &ExecStats) -> String {
     )
 }
 
+/// Renders the per-stage time breakdown from a metrics-registry snapshot
+/// (see [`crate::session::RunReport::metrics`]): host-clock driver stages
+/// (`stage.*`) with their share of the total, virtual-clock simulator
+/// stages (`vstage.*`), then every counter. Returns a short placeholder
+/// when tracing was disabled for the run.
+pub fn explain_stage_breakdown(metrics: &MetricsSnapshot) -> String {
+    if metrics.is_empty() {
+        return "Stage breakdown: unavailable (tracing disabled)\n".to_string();
+    }
+    let mut out = String::from("Stage breakdown (host clock)\n");
+    let host: Vec<(&String, &f64)> = metrics
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("stage.") && k.ends_with(".seconds"))
+        .collect();
+    let total: f64 = host.iter().map(|(_, v)| **v).sum();
+    for (k, v) in &host {
+        let name = &k["stage.".len()..k.len() - ".seconds".len()];
+        let pct = if total > 0.0 {
+            **v / total * 100.0
+        } else {
+            0.0
+        };
+        out.push_str(&format!("  {name:<16} {v:>10.6}s  {pct:5.1}%\n"));
+    }
+    let virt: Vec<(&String, &f64)> = metrics
+        .gauges
+        .iter()
+        .filter(|(k, _)| k.starts_with("vstage.") && k.ends_with(".seconds"))
+        .collect();
+    if !virt.is_empty() {
+        out.push_str("Stage breakdown (virtual clock)\n");
+        for (k, v) in &virt {
+            let name = &k["vstage.".len()..k.len() - ".seconds".len()];
+            out.push_str(&format!("  {name:<16} {v:>10.6}s\n"));
+        }
+    }
+    if !metrics.counters.is_empty() {
+        out.push_str("Counters\n");
+        for (k, v) in &metrics.counters {
+            out.push_str(&format!("  {k:<32} {v}\n"));
+        }
+    }
+    out
+}
+
+/// Renders per-band utilization of the virtual cluster from a trace: busy
+/// seconds (sum of span durations on each pid-1 track) over the latest
+/// span end across the cluster.
+pub fn explain_utilization(log: &TraceLog) -> String {
+    let horizon = log.span_horizon(1);
+    if horizon <= 0.0 {
+        return "Utilization: no virtual-cluster spans recorded\n".to_string();
+    }
+    let mut out = format!("Per-band utilization over {horizon:.6}s virtual\n");
+    for ((pid, tid), busy) in log.busy_seconds() {
+        if pid != 1 {
+            continue;
+        }
+        let name = log
+            .track_names
+            .get(&(pid, tid))
+            .map(String::as_str)
+            .unwrap_or("band");
+        out.push_str(&format!(
+            "  {name:<18} busy {busy:>10.6}s  ({:5.1}%)\n",
+            busy / horizon * 100.0
+        ));
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -185,6 +258,38 @@ mod tests {
         assert!(text.contains("3 transient retries"), "{text}");
         assert!(text.contains("7 subtasks recomputed"), "{text}");
         assert!(text.contains("4096 bytes recovered"), "{text}");
+    }
+
+    #[test]
+    fn stage_breakdown_render() {
+        let empty = MetricsSnapshot::default();
+        assert!(explain_stage_breakdown(&empty).contains("tracing disabled"));
+        let mut m = MetricsSnapshot::default();
+        m.gauges.insert("stage.tile_step.seconds".into(), 0.75);
+        m.gauges.insert("stage.execute.seconds".into(), 0.25);
+        m.gauges.insert("vstage.execute.seconds".into(), 3.5);
+        m.counters.insert("exec.retries".into(), 4);
+        let text = explain_stage_breakdown(&m);
+        assert!(text.contains("tile_step"), "{text}");
+        assert!(text.contains("75.0%"), "{text}");
+        assert!(text.contains("virtual clock"), "{text}");
+        assert!(text.contains("exec.retries"), "{text}");
+    }
+
+    #[test]
+    fn utilization_render() {
+        use crate::trace::{self, Stage, Track};
+        let _ = trace::disable();
+        trace::enable(64);
+        trace::name_track(Track::band(0), "worker 0 band 0");
+        trace::span_at(Stage::Execute, "a", Track::band(0), 0.0, 1.0, &[]);
+        trace::span_at(Stage::Execute, "b", Track::band(1), 0.0, 2.0, &[]);
+        let log = trace::disable().unwrap();
+        let text = explain_utilization(&log);
+        assert!(text.contains("worker 0 band 0"), "{text}");
+        assert!(text.contains("50.0%"), "{text}");
+        assert!(text.contains("100.0%"), "{text}");
+        assert!(explain_utilization(&TraceLog::default()).contains("no virtual-cluster spans"));
     }
 
     #[test]

@@ -24,6 +24,7 @@ pub mod session;
 pub mod subtask;
 pub mod tileable;
 pub mod tiling;
+pub mod trace;
 
 pub use chunk::{ChunkGraph, ChunkKey, ChunkMeta, ChunkNode, ChunkOp, KeyGen, Payload};
 pub use config::XorbitsConfig;

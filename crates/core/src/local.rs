@@ -16,6 +16,7 @@ use crate::error::{XbError, XbResult};
 use crate::session::{ExecStats, Executor};
 use crate::subtask::SubtaskGraph;
 use crate::tiling::MetaView;
+use crate::trace;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
@@ -109,6 +110,17 @@ impl Executor for LocalExecutor {
         let before = self.service.metrics();
         let mut subtasks = 0usize;
         for st in &graph.subtasks {
+            let _st_span = if trace::is_enabled() {
+                let name: String = st
+                    .nodes
+                    .iter()
+                    .map(|&ni| graph.chunks.nodes[ni].op.name())
+                    .collect::<Vec<_>>()
+                    .join("+");
+                trace::span_on(trace::Stage::Execute, name, trace::Track::LOCAL)
+            } else {
+                trace::SpanGuard::disabled()
+            };
             subtasks += 1;
             // run the subtask's nodes in order; internal intermediates live
             // only in this scratch map
@@ -156,6 +168,27 @@ impl Executor for LocalExecutor {
         }
         let elapsed = start.elapsed().as_secs_f64();
         let after = self.service.metrics();
+        if trace::is_enabled() {
+            trace::counter_add("storage.evictions", after.evictions - before.evictions);
+            trace::counter_add(
+                "storage.spilled_bytes",
+                after.spilled_bytes - before.spilled_bytes,
+            );
+            trace::counter_add(
+                "storage.read_back_bytes",
+                after.read_back_bytes - before.read_back_bytes,
+            );
+            let unbalanced = after.unbalanced_unpins - before.unbalanced_unpins;
+            if unbalanced > 0 {
+                // pin-leak signal: unpin of a never-pinned / absent chunk
+                trace::instant(
+                    trace::Stage::Storage,
+                    "unbalanced_unpins",
+                    &[("count", unbalanced)],
+                );
+                trace::counter_add("storage.unbalanced_unpins", unbalanced);
+            }
+        }
         Ok(ExecStats {
             makespan: elapsed,
             subtasks,

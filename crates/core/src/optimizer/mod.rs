@@ -9,6 +9,7 @@ pub mod pruning;
 use crate::chunk::{ChunkGraph, ChunkKey};
 use crate::config::XorbitsConfig;
 use crate::subtask::SubtaskGraph;
+use crate::trace;
 use std::collections::HashSet;
 
 /// Lowers an (already tiled) chunk graph to a subtask graph, applying
@@ -20,14 +21,28 @@ pub fn build_subtask_graph(
     protected: &HashSet<ChunkKey>,
 ) -> SubtaskGraph {
     if cfg.op_fusion {
-        op_fusion::fuse_elementwise(&mut chunks, protected);
+        let before = chunks.nodes.len();
+        trace::timed(trace::Stage::Optimize, "op_fusion", || {
+            op_fusion::fuse_elementwise(&mut chunks, protected)
+        });
+        if trace::is_enabled() {
+            trace::counter_add("optimize.ops_fused", (before - chunks.nodes.len()) as u64);
+        }
     }
     if cfg.graph_fusion {
+        let _g = trace::span(trace::Stage::Optimize, "coloring");
         let colors = coloring::color_graph(&chunks);
-        match SubtaskGraph::from_groups(chunks.clone(), &colors, protected) {
-            Ok(sg) => return sg,
-            Err(_) => return SubtaskGraph::singletons(chunks, protected),
+        let sg = match SubtaskGraph::from_groups(chunks.clone(), &colors, protected) {
+            Ok(sg) => sg,
+            Err(_) => SubtaskGraph::singletons(chunks, protected),
+        };
+        if trace::is_enabled() {
+            trace::counter_add(
+                "optimize.chunks_fused",
+                sg.chunks.nodes.len().saturating_sub(sg.len()) as u64,
+            );
         }
+        return sg;
     }
     SubtaskGraph::singletons(chunks, protected)
 }

@@ -14,6 +14,7 @@ use crate::optimizer;
 use crate::subtask::SubtaskGraph;
 use crate::tileable::{DfSource, TileableGraph, TileableId, TileableOp};
 use crate::tiling::{MetaView, TileStep, Tiler, TilingStats};
+use crate::trace;
 use std::collections::HashSet;
 use std::sync::{Arc, Mutex};
 use xorbits_array::{NdArray, Reduction};
@@ -71,6 +72,10 @@ pub struct RunReport {
     pub stats: ExecStats,
     /// Tiling statistics (yields, probes, decisions).
     pub tiling: TilingStats,
+    /// Metrics-registry snapshot taken after the fetch, when tracing was
+    /// enabled (`None` otherwise). Feeds the per-stage breakdown in
+    /// [`crate::explain::explain_stage_breakdown`].
+    pub metrics: Option<crate::trace::MetricsSnapshot>,
 }
 
 /// A runtime capable of executing subtask graphs — implemented by the
@@ -206,7 +211,9 @@ impl<E: Executor> Session<E> {
 
         // column pruning rewrites the logical plan (§V-A)
         let (pgraph, target) = if cfg.column_pruning {
-            let (g, remap) = optimizer::pruning::prune_columns(&inner.graph);
+            let (g, remap) = trace::timed(trace::Stage::Prune, "prune_columns", || {
+                optimizer::pruning::prune_columns(&inner.graph)
+            });
             (g, remap[id])
         } else {
             (inner.graph.clone(), id)
@@ -216,13 +223,20 @@ impl<E: Executor> Session<E> {
         let mut stats = ExecStats::default();
         let final_keys: Vec<ChunkKey>;
         loop {
-            match tiler.step(&mut inner.keygen, &inner.executor)? {
+            let step = trace::timed(trace::Stage::Tile, "tile_step", || {
+                tiler.step(&mut inner.keygen, &inner.executor)
+            })?;
+            match step {
                 TileStep::Execute(g) => {
                     // every layout key may be consumed by later tiling:
                     // protect them all from fusion elimination
                     let protected = tiler.live_keys();
-                    let sg = optimizer::build_subtask_graph(g, &cfg, &protected);
-                    let s = inner.executor.execute(&sg)?;
+                    let sg = trace::timed(trace::Stage::Build, "build_subtasks", || {
+                        optimizer::build_subtask_graph(g, &cfg, &protected)
+                    });
+                    let s = trace::timed(trace::Stage::Execute, "execute", || {
+                        inner.executor.execute(&sg)
+                    })?;
                     stats.merge(&s);
                     inner.executor.release(&tiler.take_releasable());
                 }
@@ -243,8 +257,12 @@ impl<E: Executor> Session<E> {
                         } else {
                             final_keys.iter().copied().collect()
                         };
-                        let sg = optimizer::build_subtask_graph(g, &cfg, &protected);
-                        let s = inner.executor.execute(&sg)?;
+                        let sg = trace::timed(trace::Stage::Build, "build_subtasks", || {
+                            optimizer::build_subtask_graph(g, &cfg, &protected)
+                        });
+                        let s = trace::timed(trace::Stage::Execute, "execute", || {
+                            inner.executor.execute(&sg)
+                        })?;
                         stats.merge(&s);
                         inner.executor.release(&tiler.take_releasable());
                     }
@@ -253,19 +271,29 @@ impl<E: Executor> Session<E> {
             }
         }
 
-        let payloads = final_keys
-            .iter()
-            .map(|k| {
-                inner
-                    .executor
-                    .payload(*k)
-                    .ok_or_else(|| XbError::Plan(format!("result chunk {k} missing from storage")))
-            })
-            .collect::<XbResult<Vec<_>>>()?;
+        let payloads = trace::timed(trace::Stage::Gather, "gather", || {
+            final_keys
+                .iter()
+                .map(|k| {
+                    inner.executor.payload(*k).ok_or_else(|| {
+                        XbError::Plan(format!("result chunk {k} missing from storage"))
+                    })
+                })
+                .collect::<XbResult<Vec<_>>>()
+        })?;
+        if trace::is_enabled() {
+            trace::counter_add("tiling.yields", tiler.stats.yields as u64);
+            trace::counter_add("tiling.probes", tiler.stats.probes as u64);
+            for d in &tiler.stats.decisions {
+                trace::instant(trace::Stage::Tile, format!("decision: {d}"), &[]);
+            }
+            trace::record_exec_stats(&stats);
+        }
         inner.cumulative.merge(&stats);
         inner.last_report = Some(RunReport {
             stats,
             tiling: tiler.stats.clone(),
+            metrics: trace::metrics_snapshot(),
         });
         inner.executor.clear();
         Ok(payloads)

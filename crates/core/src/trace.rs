@@ -1,0 +1,943 @@
+//! Structured tracing + metrics for the tiling/scheduling/storage stack.
+//!
+//! Zero-dependency observability layer answering "where does the time and
+//! memory go" across the whole pipeline: tile → optimize → subtask build →
+//! schedule/execute → spill/read-back/recovery. Two clocks coexist:
+//!
+//! * **Host time** — monotonic [`Instant`] seconds since [`enable`], used
+//!   for driver-side stages ([`span`]/[`timed`]) and the
+//!   [`local::LocalExecutor`](crate::local::LocalExecutor). Host-timed
+//!   values are *measured* and therefore never part of determinism gates.
+//! * **Virtual time** — the simulator's deterministic clock, stamped
+//!   explicitly via [`span_at`]/[`instant_at`]/[`counter_at`]. Two
+//!   same-seed fault-injection runs must emit identical virtual-time event
+//!   streams; [`TraceLog::deterministic_lines`] serializes exactly the
+//!   replayable fields (everything except timestamps and durations) so a
+//!   byte-comparison of two runs is meaningful even though host-measured
+//!   kernel durations differ.
+//!
+//! Events land in a bounded ring buffer (oldest dropped first; see
+//! [`TraceLog::dropped`]) owned by a thread-local recorder, so tracing is a
+//! single `Cell<bool>` load when disabled. [`TraceLog::chrome_json`]
+//! exports the Chrome trace-event format (`chrome://tracing` / Perfetto):
+//! pid 0 is the driver (host clock), pid 1 the virtual cluster (virtual
+//! clock), one thread per band.
+//!
+//! A metrics registry (counters / gauges / fixed-bucket histograms) rides
+//! along in the same recorder; [`record_exec_stats`] bridges
+//! [`ExecStats`] into it so new statistics no longer require hand-threaded
+//! struct fields, and [`explain`](crate::explain) renders per-stage
+//! breakdowns from the resulting [`MetricsSnapshot`].
+
+use std::borrow::Cow;
+use std::cell::{Cell, RefCell};
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::session::ExecStats;
+
+/// Default ring capacity used by [`enable_default`]: 65 536 events.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Pipeline stage an event belongs to; becomes the Chrome `cat` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Column pruning on the tileable graph.
+    Prune,
+    /// One dynamic-tiling iteration (meta propagation + chunking).
+    Tile,
+    /// Graph optimization: coloring fusion, operator fusion.
+    Optimize,
+    /// Subtask-graph construction from the chunk graph.
+    Build,
+    /// Scheduler decisions (band assignment, dispatch).
+    Schedule,
+    /// Kernel execution of a subtask.
+    Execute,
+    /// Eviction of a chunk to the disk tier.
+    Spill,
+    /// Read-back of a spilled chunk into memory.
+    ReadBack,
+    /// Lineage recompute / spill-first recovery after a fault.
+    Recovery,
+    /// A transiently failed attempt that was retried.
+    Retry,
+    /// A fault-plan event firing (crash, chunk loss).
+    Fault,
+    /// Result gathering at the end of a fetch.
+    Gather,
+    /// Storage-service bookkeeping (pin/unpin anomalies, tier moves).
+    Storage,
+}
+
+impl Stage {
+    /// Stable lowercase label, used as the Chrome `cat` and in
+    /// deterministic serialization.
+    pub fn label(self) -> &'static str {
+        match self {
+            Stage::Prune => "prune",
+            Stage::Tile => "tile",
+            Stage::Optimize => "optimize",
+            Stage::Build => "build",
+            Stage::Schedule => "schedule",
+            Stage::Execute => "execute",
+            Stage::Spill => "spill",
+            Stage::ReadBack => "readback",
+            Stage::Recovery => "recovery",
+            Stage::Retry => "retry",
+            Stage::Fault => "fault",
+            Stage::Gather => "gather",
+            Stage::Storage => "storage",
+        }
+    }
+}
+
+/// Where an event renders: Chrome `(pid, tid)` pair.
+///
+/// Process 0 is the driver (host clock): tid 0 is the session/tiler, tid 1
+/// the local executor. Process 1 is the virtual cluster (virtual clock):
+/// one thread per band, named via [`name_track`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Track {
+    /// Chrome process id.
+    pub pid: u32,
+    /// Chrome thread id.
+    pub tid: u32,
+}
+
+impl Track {
+    /// The driver/session track (host clock).
+    pub const DRIVER: Track = Track { pid: 0, tid: 0 };
+    /// The local executor's track (host clock).
+    pub const LOCAL: Track = Track { pid: 0, tid: 1 };
+
+    /// The virtual-cluster track for band `b`.
+    pub fn band(b: usize) -> Track {
+        Track {
+            pid: 1,
+            tid: b as u32,
+        }
+    }
+}
+
+/// What kind of event this is. Chrome phases: `X` (complete span), `i`
+/// (instant), `C` (counter sample).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A completed span with a duration in seconds.
+    Span {
+        /// Duration in seconds (host- or virtual-clock, matching `ts`).
+        dur: f64,
+    },
+    /// A point-in-time marker.
+    Instant,
+    /// A sampled counter value (e.g. live bytes on a worker).
+    Counter {
+        /// The sampled value.
+        value: f64,
+    },
+}
+
+/// One trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Pipeline stage (Chrome `cat`).
+    pub stage: Stage,
+    /// Event name (Chrome `name`); static for hot paths, owned when the
+    /// name is derived from graph contents.
+    pub name: Cow<'static, str>,
+    /// Destination track.
+    pub track: Track,
+    /// Timestamp in seconds on the track's clock.
+    pub ts: f64,
+    /// Span / instant / counter.
+    pub kind: EventKind,
+    /// Small structured payload (subtask / chunk / worker ids, byte
+    /// counts). Keys are static so args never allocate per event.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+/// Fixed bucket upper bounds (seconds) for latency histograms:
+/// 1µs … 1000s in decades.
+pub const SECONDS_BUCKETS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1e0, 1e1, 1e2, 1e3];
+
+/// Fixed bucket upper bounds (bytes) for size histograms:
+/// 1 KiB … 16 GiB in powers of four.
+pub const BYTES_BUCKETS: &[f64] = &[
+    1024.0,
+    4096.0,
+    16384.0,
+    65536.0,
+    262144.0,
+    1048576.0,
+    4194304.0,
+    16777216.0,
+    67108864.0,
+    268435456.0,
+    1073741824.0,
+    4294967296.0,
+    17179869184.0,
+];
+
+/// A histogram with fixed bucket boundaries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds of the buckets; an implicit `+inf` bucket follows.
+    pub bounds: &'static [f64],
+    /// Per-bucket observation counts; `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl HistogramSnapshot {
+    fn new(bounds: &'static [f64]) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds,
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Mean observed value, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// Point-in-time copy of the metrics registry. All maps are `BTreeMap`s so
+/// iteration (and therefore every rendered report) is deterministic.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Monotonic event counts (`exec.retries`, `storage.unbalanced_unpins`…).
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value / accumulated measurements (`stage.<name>.seconds`,
+    /// `vstage.<cat>.seconds`, `exec.makespan_seconds`…).
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket distributions (`sim.kernel.seconds`, `sim.chunk.bytes`…).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+/// A finished (or snapshotted) trace: the ring contents plus registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TraceLog {
+    /// Events in arrival order (oldest first). At most `capacity` long.
+    pub events: Vec<TraceEvent>,
+    /// Events discarded because the ring was full.
+    pub dropped: u64,
+    /// Ring capacity the recorder ran with.
+    pub capacity: usize,
+    /// Human names for tracks, registered via [`name_track`].
+    pub track_names: BTreeMap<(u32, u32), String>,
+    /// The metrics registry at snapshot time.
+    pub metrics: MetricsSnapshot,
+}
+
+struct Recorder {
+    ring: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+    t0: Instant,
+    track_names: BTreeMap<(u32, u32), String>,
+    metrics: MetricsSnapshot,
+}
+
+impl Recorder {
+    fn new(capacity: usize) -> Recorder {
+        Recorder {
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            dropped: 0,
+            t0: Instant::now(),
+            track_names: BTreeMap::new(),
+            metrics: MetricsSnapshot::default(),
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    fn log(&self) -> TraceLog {
+        TraceLog {
+            events: self.ring.iter().cloned().collect(),
+            dropped: self.dropped,
+            capacity: self.capacity,
+            track_names: self.track_names.clone(),
+            metrics: self.metrics.clone(),
+        }
+    }
+}
+
+thread_local! {
+    static ENABLED: Cell<bool> = const { Cell::new(false) };
+    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// Whether tracing is currently enabled on this thread. This is the only
+/// cost tracing adds to instrumented code paths when disabled.
+#[inline]
+pub fn is_enabled() -> bool {
+    ENABLED.with(|e| e.get())
+}
+
+/// Enables tracing on this thread with a ring of `capacity` events,
+/// replacing any previous recorder (its contents are discarded).
+pub fn enable(capacity: usize) {
+    RECORDER.with(|r| *r.borrow_mut() = Some(Recorder::new(capacity)));
+    ENABLED.with(|e| e.set(true));
+}
+
+/// Enables tracing with [`DEFAULT_CAPACITY`].
+pub fn enable_default() {
+    enable(DEFAULT_CAPACITY);
+}
+
+/// Disables tracing and returns the final [`TraceLog`], or `None` if
+/// tracing was not enabled.
+pub fn disable() -> Option<TraceLog> {
+    ENABLED.with(|e| e.set(false));
+    RECORDER
+        .with(|r| r.borrow_mut().take())
+        .map(|rec| rec.log())
+}
+
+/// Copies the current log without disabling tracing.
+pub fn snapshot() -> Option<TraceLog> {
+    RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.log()))
+}
+
+/// Copies the current metrics registry without disabling tracing.
+pub fn metrics_snapshot() -> Option<MetricsSnapshot> {
+    RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.metrics.clone()))
+}
+
+/// Seconds of host time since [`enable`] (0 when disabled). Use as the
+/// `ts` for host-clock events recorded via the `*_at` functions.
+pub fn host_now_s() -> f64 {
+    RECORDER.with(|r| {
+        r.borrow()
+            .as_ref()
+            .map(|rec| rec.t0.elapsed().as_secs_f64())
+            .unwrap_or(0.0)
+    })
+}
+
+fn with_recorder(f: impl FnOnce(&mut Recorder)) {
+    if !is_enabled() {
+        return;
+    }
+    RECORDER.with(|r| {
+        if let Some(rec) = r.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Registers a human-readable name for a track (Chrome thread name).
+pub fn name_track(track: Track, name: impl Into<String>) {
+    with_recorder(|rec| {
+        rec.track_names.insert((track.pid, track.tid), name.into());
+    });
+}
+
+/// Records a completed span with an explicit timestamp and duration (both
+/// in seconds on the track's clock). This is how the simulator stamps
+/// virtual-time spans; it also accumulates the `vstage.<cat>.seconds`
+/// gauge for per-stage breakdowns.
+pub fn span_at(
+    stage: Stage,
+    name: impl Into<Cow<'static, str>>,
+    track: Track,
+    ts: f64,
+    dur: f64,
+    args: &[(&'static str, u64)],
+) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|rec| {
+        *rec.metrics
+            .gauges
+            .entry(format!("vstage.{}.seconds", stage.label()))
+            .or_insert(0.0) += dur;
+        rec.push(TraceEvent {
+            stage,
+            name: name.into(),
+            track,
+            ts,
+            kind: EventKind::Span { dur },
+            args: args.to_vec(),
+        });
+    });
+}
+
+/// Records an instant event at an explicit timestamp.
+pub fn instant_at(
+    stage: Stage,
+    name: impl Into<Cow<'static, str>>,
+    track: Track,
+    ts: f64,
+    args: &[(&'static str, u64)],
+) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|rec| {
+        rec.push(TraceEvent {
+            stage,
+            name: name.into(),
+            track,
+            ts,
+            kind: EventKind::Instant,
+            args: args.to_vec(),
+        });
+    });
+}
+
+/// Records an instant event at the current host time on the given track.
+pub fn instant(stage: Stage, name: impl Into<Cow<'static, str>>, args: &[(&'static str, u64)]) {
+    if !is_enabled() {
+        return;
+    }
+    let ts = host_now_s();
+    instant_at(stage, name, Track::DRIVER, ts, args);
+}
+
+/// Records a counter sample (Chrome `C` phase) at an explicit timestamp.
+pub fn counter_at(name: impl Into<Cow<'static, str>>, track: Track, ts: f64, value: f64) {
+    if !is_enabled() {
+        return;
+    }
+    with_recorder(|rec| {
+        rec.push(TraceEvent {
+            stage: Stage::Schedule,
+            name: name.into(),
+            track,
+            ts,
+            kind: EventKind::Counter { value },
+            args: Vec::new(),
+        });
+    });
+}
+
+/// RAII guard for a host-timed span; see [`span`].
+pub struct SpanGuard {
+    start: Option<(Stage, Cow<'static, str>, Track, Instant)>,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (tracing disabled).
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { start: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some((stage, name, track, start)) = self.start.take() {
+            if !is_enabled() {
+                return;
+            }
+            let dur = start.elapsed().as_secs_f64();
+            with_recorder(|rec| {
+                let ts = start.duration_since(rec.t0).as_secs_f64();
+                *rec.metrics
+                    .gauges
+                    .entry(format!("stage.{name}.seconds"))
+                    .or_insert(0.0) += dur;
+                rec.push(TraceEvent {
+                    stage,
+                    name,
+                    track,
+                    ts,
+                    kind: EventKind::Span { dur },
+                    args: Vec::new(),
+                });
+            });
+        }
+    }
+}
+
+/// Opens a host-timed span on the driver track; the span is recorded when
+/// the returned guard drops, and `stage.<name>.seconds` accumulates its
+/// duration for the per-stage breakdown.
+pub fn span(stage: Stage, name: impl Into<Cow<'static, str>>) -> SpanGuard {
+    span_on(stage, name, Track::DRIVER)
+}
+
+/// Opens a host-timed span on an explicit track (e.g. [`Track::LOCAL`]).
+pub fn span_on(stage: Stage, name: impl Into<Cow<'static, str>>, track: Track) -> SpanGuard {
+    if !is_enabled() {
+        return SpanGuard::disabled();
+    }
+    SpanGuard {
+        start: Some((stage, name.into(), track, Instant::now())),
+    }
+}
+
+/// Runs `f` inside a host-timed span.
+pub fn timed<T>(stage: Stage, name: impl Into<Cow<'static, str>>, f: impl FnOnce() -> T) -> T {
+    let _g = span(stage, name);
+    f()
+}
+
+/// Adds `delta` to a registry counter.
+pub fn counter_add(name: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    with_recorder(|rec| {
+        *rec.metrics.counters.entry(name.to_string()).or_insert(0) += delta;
+    });
+}
+
+/// Sets a registry gauge to `value`.
+pub fn gauge_set(name: &str, value: f64) {
+    with_recorder(|rec| {
+        rec.metrics.gauges.insert(name.to_string(), value);
+    });
+}
+
+/// Adds `delta` to a registry gauge.
+pub fn gauge_add(name: &str, delta: f64) {
+    with_recorder(|rec| {
+        *rec.metrics.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    });
+}
+
+/// Raises a registry gauge to `value` if it is currently lower.
+pub fn gauge_max(name: &str, value: f64) {
+    with_recorder(|rec| {
+        let g = rec.metrics.gauges.entry(name.to_string()).or_insert(0.0);
+        if value > *g {
+            *g = value;
+        }
+    });
+}
+
+/// Observes a latency into the histogram `name` ([`SECONDS_BUCKETS`]).
+pub fn observe_seconds(name: &str, v: f64) {
+    with_recorder(|rec| {
+        rec.metrics
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramSnapshot::new(SECONDS_BUCKETS))
+            .observe(v);
+    });
+}
+
+/// Observes a size into the histogram `name` ([`BYTES_BUCKETS`]).
+pub fn observe_bytes(name: &str, v: u64) {
+    with_recorder(|rec| {
+        rec.metrics
+            .histograms
+            .entry(name.to_string())
+            .or_insert_with(|| HistogramSnapshot::new(BYTES_BUCKETS))
+            .observe(v as f64);
+    });
+}
+
+/// Folds one fetch's [`ExecStats`] into the registry: counts become
+/// counters, measured seconds accumulate into gauges, and the worker peak
+/// keeps its maximum. This is the bridge that lets `explain` and the
+/// bench harness report statistics without new struct fields.
+pub fn record_exec_stats(stats: &ExecStats) {
+    if !is_enabled() {
+        return;
+    }
+    counter_add("exec.subtasks", stats.subtasks as u64);
+    counter_add("exec.net_bytes", stats.net_bytes as u64);
+    counter_add("exec.spilled_bytes", stats.spilled_bytes as u64);
+    counter_add("exec.read_back_bytes", stats.read_back_bytes as u64);
+    counter_add("exec.retries", stats.retries as u64);
+    counter_add("exec.recomputed_subtasks", stats.recomputed_subtasks as u64);
+    counter_add(
+        "exec.recovered_from_spill_bytes",
+        stats.recovered_from_spill_bytes as u64,
+    );
+    gauge_add("exec.makespan_seconds", stats.makespan);
+    gauge_add("exec.real_cpu_seconds", stats.real_cpu_seconds);
+    gauge_max("exec.peak_worker_bytes", stats.peak_worker_bytes as f64);
+}
+
+fn escape_json_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+impl TraceLog {
+    /// Renders the log as Chrome trace-event JSON (an object with a
+    /// `traceEvents` array), loadable in `chrome://tracing` or Perfetto.
+    /// Timestamps and durations are microseconds; pid 0 is the driver
+    /// (host clock) and pid 1 the virtual cluster (virtual clock).
+    pub fn chrome_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.events.len() * 96);
+        out.push_str("{\"traceEvents\":[");
+        let mut first = true;
+        let emit = |out: &mut String, first: &mut bool, body: &str| {
+            if !*first {
+                out.push(',');
+            }
+            *first = false;
+            out.push('{');
+            out.push_str(body);
+            out.push('}');
+        };
+
+        // Process/thread metadata first so the viewer names the tracks.
+        let mut named = BTreeMap::new();
+        named.insert((0u32, 0u32), "session/tiler".to_string());
+        named.insert((0, 1), "local executor".to_string());
+        for (k, v) in &self.track_names {
+            named.insert(*k, v.clone());
+        }
+        let mut pids: Vec<u32> = named.keys().map(|k| k.0).collect();
+        pids.extend(self.events.iter().map(|e| e.track.pid));
+        pids.sort_unstable();
+        pids.dedup();
+        for pid in pids {
+            let pname = if pid == 0 {
+                "driver (host clock)"
+            } else {
+                "virtual cluster"
+            };
+            emit(
+                &mut out,
+                &mut first,
+                &format!(
+                    "\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":0,\
+                     \"args\":{{\"name\":\"{pname}\"}}"
+                ),
+            );
+        }
+        for ((pid, tid), tname) in &named {
+            let mut escaped = String::new();
+            escape_json_into(&mut escaped, tname);
+            emit(
+                &mut out,
+                &mut first,
+                &format!(
+                    "\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\
+                     \"args\":{{\"name\":\"{escaped}\"}}"
+                ),
+            );
+        }
+
+        for ev in &self.events {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("{\"name\":\"");
+            escape_json_into(&mut out, &ev.name);
+            let _ = write!(
+                out,
+                "\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{:.3}",
+                ev.stage.label(),
+                ev.track.pid,
+                ev.track.tid,
+                ev.ts * 1e6
+            );
+            match ev.kind {
+                EventKind::Span { dur } => {
+                    let _ = write!(out, ",\"ph\":\"X\",\"dur\":{:.3}", dur * 1e6);
+                }
+                EventKind::Instant => out.push_str(",\"ph\":\"i\",\"s\":\"t\""),
+                EventKind::Counter { value } => {
+                    let _ = write!(out, ",\"ph\":\"C\"");
+                    out.push_str(",\"args\":{\"value\":");
+                    let _ = write!(out, "{value}");
+                    out.push_str("}}");
+                    continue;
+                }
+            }
+            if !ev.args.is_empty() {
+                out.push_str(",\"args\":{");
+                for (i, (k, v)) in ev.args.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "\"{k}\":{v}");
+                }
+                out.push('}');
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Serializes the replayable fields of every event, one line each:
+    /// stage, kind, name, track, and args — **excluding** timestamps and
+    /// durations, which incorporate measured host time. Two same-seed
+    /// fault-injection runs must produce byte-identical output.
+    pub fn deterministic_lines(&self) -> String {
+        let mut out = String::with_capacity(self.events.len() * 48);
+        for ev in &self.events {
+            let kind = match ev.kind {
+                EventKind::Span { .. } => "span",
+                EventKind::Instant => "instant",
+                EventKind::Counter { .. } => "counter",
+            };
+            let _ = write!(
+                out,
+                "{} {} {} pid={} tid={}",
+                kind,
+                ev.stage.label(),
+                ev.name,
+                ev.track.pid,
+                ev.track.tid
+            );
+            if let EventKind::Counter { value } = ev.kind {
+                let _ = write!(out, " value={value}");
+            }
+            for (k, v) in &ev.args {
+                let _ = write!(out, " {k}={v}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Per-track busy seconds from span events, keyed by `(pid, tid)`.
+    /// Spans on a band track never overlap (bands are serial execution
+    /// slots), so summing durations gives the busy time directly.
+    pub fn busy_seconds(&self) -> BTreeMap<(u32, u32), f64> {
+        let mut busy: BTreeMap<(u32, u32), f64> = BTreeMap::new();
+        for ev in &self.events {
+            if let EventKind::Span { dur } = ev.kind {
+                *busy.entry((ev.track.pid, ev.track.tid)).or_insert(0.0) += dur;
+            }
+        }
+        busy
+    }
+
+    /// Latest span end (`ts + dur`) per process, used as the utilization
+    /// denominator for virtual-cluster tracks.
+    pub fn span_horizon(&self, pid: u32) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.track.pid == pid)
+            .filter_map(|e| match e.kind {
+                EventKind::Span { dur } => Some(e.ts + dur),
+                _ => None,
+            })
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reset() {
+        let _ = disable();
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        reset();
+        assert!(!is_enabled());
+        counter_add("x", 3);
+        instant(Stage::Fault, "nope", &[]);
+        timed(Stage::Tile, "nope", || ());
+        assert!(snapshot().is_none());
+        assert!(disable().is_none());
+    }
+
+    #[test]
+    fn ring_overflow_drops_oldest_without_corrupting_open_spans() {
+        reset();
+        enable(8);
+        // Open a host span, then flood the ring well past capacity.
+        let guard = span(Stage::Tile, "outer");
+        for i in 0..32u64 {
+            instant_at(
+                Stage::Execute,
+                "tick",
+                Track::band(0),
+                i as f64,
+                &[("i", i)],
+            );
+        }
+        drop(guard); // closes cleanly even though the ring wrapped
+        let log = disable().expect("enabled");
+        assert_eq!(log.events.len(), 8, "ring must stay bounded");
+        assert_eq!(log.dropped, 25, "32 ticks + 1 span - 8 kept");
+        // Oldest dropped first: the survivors are the newest events, and
+        // the span closed after the flood so it must be present and whole.
+        let span_ev = log
+            .events
+            .iter()
+            .find(|e| e.name == "outer")
+            .expect("open span survived overflow");
+        assert!(matches!(span_ev.kind, EventKind::Span { dur } if dur >= 0.0));
+        let ticks: Vec<u64> = log
+            .events
+            .iter()
+            .filter(|e| e.name == "tick")
+            .map(|e| e.args[0].1)
+            .collect();
+        assert_eq!(ticks, (25..32).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn chrome_json_escapes_and_structures() {
+        reset();
+        enable(64);
+        name_track(Track::band(0), "w0:b0 \"main\"");
+        span_at(
+            Stage::Execute,
+            "filter\"x\"\n",
+            Track::band(0),
+            0.5,
+            0.25,
+            &[("subtask", 7), ("worker", 0)],
+        );
+        counter_at("live_bytes", Track::band(0), 0.75, 4096.0);
+        instant_at(
+            Stage::Fault,
+            "worker_crash",
+            Track::band(0),
+            1.0,
+            &[("worker", 1)],
+        );
+        let log = disable().unwrap();
+        let js = log.chrome_json();
+        assert!(js.starts_with("{\"traceEvents\":["));
+        assert!(js.ends_with("]}"));
+        assert!(js.contains("\\\"x\\\"\\n"), "name must be escaped: {js}");
+        assert!(js.contains("\"ph\":\"X\""));
+        assert!(js.contains("\"ph\":\"C\""));
+        assert!(js.contains("\"ph\":\"i\""));
+        assert!(js.contains("\"cat\":\"fault\""));
+        assert!(js.contains("\"subtask\":7"));
+        // span_at stamped virtual seconds; exporter converts to µs
+        assert!(js.contains("\"ts\":500000.000"));
+        assert!(js.contains("\"dur\":250000.000"));
+    }
+
+    #[test]
+    fn deterministic_lines_exclude_time() {
+        reset();
+        enable(64);
+        span_at(Stage::Execute, "k", Track::band(1), 1.25, 0.5, &[("s", 3)]);
+        let a = disable().unwrap();
+        enable(64);
+        span_at(
+            Stage::Execute,
+            "k",
+            Track::band(1),
+            9.75,
+            0.125,
+            &[("s", 3)],
+        );
+        let b = disable().unwrap();
+        assert_ne!(a.events[0].ts, b.events[0].ts);
+        assert_eq!(a.deterministic_lines(), b.deterministic_lines());
+        assert_eq!(a.deterministic_lines(), "span execute k pid=1 tid=1 s=3\n");
+    }
+
+    #[test]
+    fn metrics_registry_counts_gauges_histograms() {
+        reset();
+        enable(16);
+        counter_add("exec.retries", 2);
+        counter_add("exec.retries", 3);
+        gauge_set("g", 1.5);
+        gauge_add("g", 0.5);
+        gauge_max("peak", 10.0);
+        gauge_max("peak", 4.0);
+        observe_seconds("lat", 0.5e-3);
+        observe_seconds("lat", 2.0);
+        observe_bytes("sz", 2048);
+        let m = metrics_snapshot().unwrap();
+        assert_eq!(m.counters["exec.retries"], 5);
+        assert_eq!(m.gauges["g"], 2.0);
+        assert_eq!(m.gauges["peak"], 10.0);
+        let lat = &m.histograms["lat"];
+        assert_eq!(lat.count, 2);
+        assert_eq!(lat.counts[3], 1, "0.5ms lands in the <=1e-3 bucket");
+        assert_eq!(lat.counts[7], 1, "2s lands in the <=1e1 bucket");
+        let sz = &m.histograms["sz"];
+        assert_eq!(sz.counts[1], 1, "2KiB lands in the <=4KiB bucket");
+        let _ = disable();
+    }
+
+    #[test]
+    fn exec_stats_bridge() {
+        reset();
+        enable(16);
+        let stats = ExecStats {
+            makespan: 1.0,
+            subtasks: 4,
+            retries: 2,
+            peak_worker_bytes: 100,
+            ..Default::default()
+        };
+        record_exec_stats(&stats);
+        record_exec_stats(&stats);
+        let m = metrics_snapshot().unwrap();
+        assert_eq!(m.counters["exec.subtasks"], 8);
+        assert_eq!(m.counters["exec.retries"], 4);
+        assert_eq!(m.gauges["exec.makespan_seconds"], 2.0);
+        assert_eq!(m.gauges["exec.peak_worker_bytes"], 100.0);
+        let _ = disable();
+    }
+
+    #[test]
+    fn utilization_helpers() {
+        reset();
+        enable(16);
+        span_at(Stage::Execute, "a", Track::band(0), 0.0, 1.0, &[]);
+        span_at(Stage::Execute, "b", Track::band(0), 2.0, 1.0, &[]);
+        span_at(Stage::Execute, "c", Track::band(1), 0.0, 0.5, &[]);
+        let log = disable().unwrap();
+        let busy = log.busy_seconds();
+        assert_eq!(busy[&(1, 0)], 2.0);
+        assert_eq!(busy[&(1, 1)], 0.5);
+        assert_eq!(log.span_horizon(1), 3.0);
+    }
+}

@@ -385,7 +385,7 @@ impl<'a> Accumulator<'a> {
                 Column::Float64(a) => Accumulator::SumFloat(a, vec![0.0; ngroups]),
                 Column::Date(a) => Accumulator::SumDate(a, vec![0; ngroups]),
                 Column::Int64(_) | Column::Bool(_) => Accumulator::SumInt(
-                    NumView::new(col).expect("numeric column"),
+                    NumView::new(col).ok_or_else(|| unsupported("sum"))?,
                     vec![0; ngroups],
                 ),
                 Column::Utf8(_) => return Err(unsupported("sum")),
@@ -426,7 +426,7 @@ impl<'a> Accumulator<'a> {
                     }
                 }
                 _ => Accumulator::NuniqueInt(
-                    NumView::new(col).expect("i64-exact column"),
+                    NumView::new(col).ok_or_else(|| unsupported("nunique"))?,
                     vec![FxHashSet::default(); ngroups],
                 ),
             },

@@ -147,7 +147,7 @@ mod tests {
             .filter(|p| (0..p.num_rows()).any(|i| p.column("k").unwrap().get(i) == 7i64.into()))
             .collect();
         assert_eq!(with_7.len(), 1);
-        assert_eq!(with_7[0].num_rows() >= 3, true);
+        assert!(with_7[0].num_rows() >= 3);
     }
 
     #[test]

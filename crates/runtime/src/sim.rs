@@ -38,6 +38,7 @@ use xorbits_core::error::{PendingSubtask, XbError, XbResult};
 use xorbits_core::session::{ExecStats, Executor};
 use xorbits_core::subtask::SubtaskGraph;
 use xorbits_core::tiling::MetaView;
+use xorbits_core::trace::{self, Stage, Track};
 
 #[derive(Debug, Clone, Copy)]
 struct ChunkState {
@@ -353,9 +354,9 @@ impl SimExecutor {
                     st.resident && !st.spilled && self.spec.worker_of(st.band) == worker
                 })
                 .min_by(|a, b| a.1.finish.total_cmp(&b.1.finish))
-                .map(|(k, st)| (*k, st.enc_bytes));
+                .map(|(k, st)| (*k, st.enc_bytes, st.band));
             match victim {
-                Some((k, encoded)) => {
+                Some((k, encoded, band)) => {
                     let st = self.states.get_mut(&k).expect("victim exists");
                     st.spilled = true;
                     st.resident = false;
@@ -365,6 +366,21 @@ impl SimExecutor {
                     // not its logical view — reconciled with the measured
                     // sizes the real storage service writes
                     self.total_spilled_bytes += encoded;
+                    if trace::is_enabled() {
+                        trace::instant_at(
+                            Stage::Spill,
+                            "spill",
+                            Track::band(band),
+                            self.virtual_now(),
+                            &[
+                                ("chunk", k),
+                                ("bytes", encoded as u64),
+                                ("worker", worker as u64),
+                            ],
+                        );
+                        trace::counter_add("sim.spilled_bytes", encoded as u64);
+                        trace::observe_bytes("sim.spill.bytes", encoded as u64);
+                    }
                 }
                 None => {
                     // nothing left to spill: even the disk tier can't save us
@@ -460,12 +476,23 @@ impl SimExecutor {
             return;
         };
         if st.resident {
-            let w = self.spec.worker_of(st.band);
+            let band = st.band;
+            let w = self.spec.worker_of(band);
             self.states.get_mut(&key).expect("checked").resident = false;
             let freed = self.release_allocs(w, key);
             self.worker_live[w] = self.worker_live[w].saturating_sub(freed);
             self.storage.remove(&key);
             self.lost.insert(key);
+            if trace::is_enabled() {
+                trace::instant_at(
+                    Stage::Fault,
+                    "chunk_lost",
+                    Track::band(band),
+                    self.virtual_now(),
+                    &[("chunk", key), ("worker", w as u64)],
+                );
+                trace::counter_add("fault.chunks_lost", 1);
+            }
         }
     }
 
@@ -478,6 +505,16 @@ impl SimExecutor {
                 let base = worker * self.spec.bands_per_worker;
                 for b in base..base + self.spec.bands_per_worker {
                     self.band_dead[b] = true;
+                }
+                if trace::is_enabled() {
+                    trace::instant_at(
+                        Stage::Fault,
+                        "worker_crash",
+                        Track::band(base),
+                        self.virtual_now(),
+                        &[("worker", worker as u64), ("step", self.dispatch_step)],
+                    );
+                    trace::counter_add("fault.worker_crashes", 1);
                 }
                 // resident unspilled chunks die with the worker's memory;
                 // spilled chunks survive on the disk tier and become the
@@ -503,6 +540,16 @@ impl SimExecutor {
                 // an execution slot dies; the worker's memory survives
                 if band < self.band_dead.len() {
                     self.band_dead[band] = true;
+                    if trace::is_enabled() {
+                        trace::instant_at(
+                            Stage::Fault,
+                            "band_crash",
+                            Track::band(band),
+                            self.virtual_now(),
+                            &[("band", band as u64), ("step", self.dispatch_step)],
+                        );
+                        trace::counter_add("fault.band_crashes", 1);
+                    }
                 }
             }
             FaultKind::ChunkLoss { fraction } => {
@@ -522,6 +569,15 @@ impl SimExecutor {
                         let j = i + rng.next_bounded((keys.len() - i) as u64) as usize;
                         keys.swap(i, j);
                     }
+                }
+                if trace::is_enabled() && n > 0 {
+                    trace::instant_at(
+                        Stage::Fault,
+                        "chunk_loss",
+                        Track::band(0),
+                        self.virtual_now(),
+                        &[("victims", n as u64), ("step", self.dispatch_step)],
+                    );
                 }
                 for &k in &keys[..n] {
                     self.lose_chunk(k);
@@ -624,11 +680,34 @@ impl SimExecutor {
                 if cs.spilled {
                     disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
                     self.total_read_back_bytes += cs.enc_bytes;
+                    if trace::is_enabled() {
+                        trace::instant_at(
+                            Stage::ReadBack,
+                            "read_back",
+                            Track::band(band),
+                            cs.finish,
+                            &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
+                        );
+                        trace::counter_add("sim.read_back_bytes", cs.enc_bytes as u64);
+                    }
                     if cs.disk_orphan {
                         // a crash-surviving spilled copy: its read-back IS
                         // the recovery (cheaper than recomputing)
                         self.total_recovered_spill += cs.enc_bytes;
                         self.states.get_mut(k).expect("checked").disk_orphan = false;
+                        if trace::is_enabled() {
+                            trace::instant_at(
+                                Stage::Recovery,
+                                "recovered_from_spill",
+                                Track::band(band),
+                                cs.finish,
+                                &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
+                            );
+                            trace::counter_add(
+                                "sim.recovered_from_spill_bytes",
+                                cs.enc_bytes as u64,
+                            );
+                        }
                     }
                 }
                 read_bytes += cs.nbytes;
@@ -680,7 +759,19 @@ impl SimExecutor {
             } else {
                 clock = clock.max(arrival) + self.spec.sched_overhead;
             }
+            let replay_start = clock;
             clock += net_io + storage_io + measured + disk_io;
+            if trace::is_enabled() {
+                trace::span_at(
+                    Stage::Recovery,
+                    format!("recompute {}", rec.op.name()),
+                    Track::band(band),
+                    replay_start,
+                    clock - replay_start,
+                    &[("seq", rec.seq), ("worker", worker as u64)],
+                );
+                trace::counter_add("sim.recomputed_subtasks", 1);
+            }
 
             for (key, payload) in published {
                 let nbytes = payload.nbytes();
@@ -756,6 +847,16 @@ impl MetaView for SimExecutor {
 impl Executor for SimExecutor {
     fn execute(&mut self, graph: &SubtaskGraph) -> XbResult<ExecStats> {
         let t0 = self.virtual_now();
+        if trace::is_enabled() {
+            // one Chrome thread per band under the virtual-cluster process
+            for b in 0..self.spec.n_bands() {
+                let w = self.spec.worker_of(b);
+                trace::name_track(
+                    Track::band(b),
+                    format!("worker {w} band {}", b - w * self.spec.bands_per_worker),
+                );
+            }
+        }
         // the dispatcher starts working through this graph at submission
         self.sched_clock = self.sched_clock.max(t0);
         let net_before = self.total_net_bytes;
@@ -842,11 +943,34 @@ impl Executor for SimExecutor {
                     // read-back pays the encoded envelope off the disk tier
                     disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
                     self.total_read_back_bytes += cs.enc_bytes;
+                    if trace::is_enabled() {
+                        trace::instant_at(
+                            Stage::ReadBack,
+                            "read_back",
+                            Track::band(cs.band),
+                            cs.finish,
+                            &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
+                        );
+                        trace::counter_add("sim.read_back_bytes", cs.enc_bytes as u64);
+                    }
                     if cs.disk_orphan {
                         // the disk copy outlived its crashed worker: this
                         // read-back recovers the chunk without recompute
                         self.total_recovered_spill += cs.enc_bytes;
                         self.states.get_mut(k).expect("checked").disk_orphan = false;
+                        if trace::is_enabled() {
+                            trace::instant_at(
+                                Stage::Recovery,
+                                "recovered_from_spill",
+                                Track::band(cs.band),
+                                cs.finish,
+                                &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
+                            );
+                            trace::counter_add(
+                                "sim.recovered_from_spill_bytes",
+                                cs.enc_bytes as u64,
+                            );
+                        }
                     }
                 }
             }
@@ -923,8 +1047,8 @@ impl Executor for SimExecutor {
             // exponential backoff in virtual time, and exhausting the
             // retry budget fails the run
             let mut attempt_overhead = 0.0;
+            let mut transient_failures = 0usize;
             if transient_p > 0.0 {
-                let mut failures = 0usize;
                 let mut backoff = retry.backoff_base;
                 while self
                     .fault_rng
@@ -932,17 +1056,17 @@ impl Executor for SimExecutor {
                     .expect("rng armed when p > 0")
                     .gen_bool(transient_p)
                 {
-                    failures += 1;
-                    if failures > retry.max_retries {
+                    transient_failures += 1;
+                    if transient_failures > retry.max_retries {
                         return Err(XbError::Fault {
                             subtask: si,
-                            attempts: failures,
+                            attempts: transient_failures,
                         });
                     }
                     attempt_overhead += measured + backoff;
                     backoff *= retry.backoff_factor;
                 }
-                self.total_retries += failures;
+                self.total_retries += transient_failures;
             }
 
             // virtual bookkeeping
@@ -963,6 +1087,40 @@ impl Executor for SimExecutor {
             };
             let finish = start + net_io + storage_io + measured + disk_io + attempt_overhead;
             self.band_free[band] = finish;
+            if trace::is_enabled() {
+                let name: String = st
+                    .nodes
+                    .iter()
+                    .map(|&ni| graph.chunks.nodes[ni].op.name())
+                    .collect::<Vec<_>>()
+                    .join("+");
+                trace::span_at(
+                    Stage::Execute,
+                    name,
+                    Track::band(band),
+                    start,
+                    finish - start,
+                    &[
+                        ("subtask", si as u64),
+                        ("worker", worker as u64),
+                        ("step", self.dispatch_step),
+                    ],
+                );
+                trace::observe_seconds("sim.kernel.seconds", measured);
+                if transient_failures > 0 {
+                    trace::instant_at(
+                        Stage::Retry,
+                        "transient_retries",
+                        Track::band(band),
+                        start,
+                        &[
+                            ("subtask", si as u64),
+                            ("attempts", transient_failures as u64),
+                        ],
+                    );
+                    trace::counter_add("sim.retries", transient_failures as u64);
+                }
+            }
 
             // transient working-set charge (fusion saves storage traffic,
             // not the memory the computation itself needs)
@@ -1005,7 +1163,18 @@ impl Executor for SimExecutor {
                     },
                 );
                 self.charge_chunk(worker, key, &payload)?;
+                if trace::is_enabled() {
+                    trace::observe_bytes("sim.chunk.bytes", nbytes as u64);
+                }
                 self.storage.insert(key, payload);
+            }
+            if trace::is_enabled() {
+                trace::counter_at(
+                    format!("worker {worker} live_bytes"),
+                    Track::band(band),
+                    finish,
+                    self.worker_live[worker] as f64,
+                );
             }
 
             // refcount release: anything whose last consumer just ran and
@@ -1077,6 +1246,19 @@ impl Executor for SimExecutor {
                     disk_io += st.enc_bytes as f64 / self.spec.disk_bandwidth;
                     self.total_read_back_bytes += st.enc_bytes;
                     self.total_recovered_spill += st.enc_bytes;
+                    let enc = st.enc_bytes as u64;
+                    if trace::is_enabled() {
+                        let ts = self.band_free[band];
+                        trace::instant_at(
+                            Stage::Recovery,
+                            "recovered_from_spill",
+                            Track::band(band),
+                            ts,
+                            &[("chunk", *k), ("bytes", enc)],
+                        );
+                        trace::counter_add("sim.recovered_from_spill_bytes", enc);
+                        trace::counter_add("sim.read_back_bytes", enc);
+                    }
                 }
                 self.band_free[band] += disk_io;
             }

@@ -79,6 +79,11 @@ pub struct StorageMetrics {
     pub resident_bytes: usize,
     /// Spill files currently on disk.
     pub spill_files: usize,
+    /// Unpins of a chunk that was not pinned (or not present). Always a
+    /// caller bug — a leaked pin elsewhere, or a double unpin — so debug
+    /// builds also `debug_assert!`; release builds count it here so the
+    /// trace layer can surface it.
+    pub unbalanced_unpins: u64,
 }
 
 struct Entry {
@@ -249,13 +254,31 @@ impl StorageService {
         Ok(())
     }
 
-    /// Releases one pin (missing keys and zero counts are ignored — the
-    /// unpin path runs during error unwinding).
+    /// Releases one pin. An unpin that doesn't match a live pin (missing
+    /// key, or pin count already zero) is a caller bug that used to be
+    /// silently swallowed and could mask pin leaks: it now trips a
+    /// `debug_assert!` in debug builds and is counted in
+    /// [`StorageMetrics::unbalanced_unpins`] in release builds so the
+    /// trace layer can report it.
     pub fn unpin(&self, key: u64) {
         let mut inner = self.inner.lock().unwrap();
-        if let Some(entry) = inner.entries.get_mut(&key) {
-            entry.pins = entry.pins.saturating_sub(1);
-        }
+        let balanced = match inner.entries.get_mut(&key) {
+            Some(entry) if entry.pins > 0 => {
+                entry.pins -= 1;
+                true
+            }
+            _ => {
+                inner.metrics.unbalanced_unpins += 1;
+                false
+            }
+        };
+        // release the lock before asserting so a debug-build panic can't
+        // poison the service mutex mid-unwind
+        drop(inner);
+        debug_assert!(
+            balanced,
+            "unbalanced unpin of chunk {key:#x}: not pinned or not present"
+        );
     }
 
     /// Drops a chunk from both tiers.
@@ -556,5 +579,41 @@ mod tests {
         assert!(dir.exists());
         drop(s);
         assert!(!dir.exists(), "temp spill dir survived drop");
+    }
+
+    /// Regression: `unpin` used `saturating_sub`, so an unbalanced unpin
+    /// (never-pinned or missing key) silently no-oped and could mask pin
+    /// leaks. It must now trip a `debug_assert!` in debug builds, and in
+    /// release builds count into `unbalanced_unpins` without poisoning the
+    /// service mutex or corrupting live pin counts.
+    #[test]
+    fn unbalanced_unpin_is_detected() {
+        let s = StorageService::unbounded();
+        s.put(1, df_chunk(1, 10)).unwrap();
+        s.pin(1).unwrap();
+        s.unpin(1); // balanced — never flagged
+        assert_eq!(s.metrics().unbalanced_unpins, 0);
+
+        let unbalanced = || {
+            s.unpin(1); // pin count already zero
+            s.unpin(99); // never stored
+        };
+        if cfg!(debug_assertions) {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {})); // silence expected panics
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.unpin(1)));
+            let missing = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| s.unpin(99)));
+            std::panic::set_hook(prev);
+            assert!(caught.is_err(), "zero-count unpin must debug_assert");
+            assert!(missing.is_err(), "missing-key unpin must debug_assert");
+        } else {
+            unbalanced();
+        }
+        // both paths count, the mutex stays usable, pins stay sane
+        assert_eq!(s.metrics().unbalanced_unpins, 2);
+        s.pin(1).unwrap();
+        s.unpin(1);
+        assert_eq!(s.metrics().unbalanced_unpins, 2);
+        assert_eq!(s.get(1).unwrap().rows(), 10);
     }
 }

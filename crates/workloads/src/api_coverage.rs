@@ -47,8 +47,7 @@ fn fixture(e: &Engine) -> XbResult<xorbits_core::session::DfHandle<xorbits_runti
         ("g", Column::from_i64(vec![1, 2, 1, 2, 1, 2])),
         ("v", Column::from_f64(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])),
         ("w", Column::from_i64(vec![10, 20, 30, 40, 50, 60])),
-    ])
-    .unwrap();
+    ])?;
     e.session.from_df(df)
 }
 
@@ -56,8 +55,7 @@ fn rhs(e: &Engine) -> XbResult<xorbits_core::session::DfHandle<xorbits_runtime::
     let df = DataFrame::new(vec![
         ("k", Column::from_str(["a", "b"])),
         ("label", Column::from_str(["alpha", "beta"])),
-    ])
-    .unwrap();
+    ])?;
     e.session.from_df(df)
 }
 

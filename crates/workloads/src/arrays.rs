@@ -172,7 +172,7 @@ mod tests {
         let x = array_engine(EngineKind::Xorbits, &cluster(), total).unwrap();
         let d = array_engine(EngineKind::Dask, &cluster(), total).unwrap();
         // Dask's manual chunk limit is far below Xorbits' default
-        assert!(d.profile.caps.array_auto_chunk == false);
+        assert!(!d.profile.caps.array_auto_chunk);
         let _ = x;
     }
 

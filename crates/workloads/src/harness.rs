@@ -171,7 +171,7 @@ mod tests {
 
     #[test]
     fn tpch_suite_runs_small() {
-        let data = TpchData::new(0.3);
+        let data = TpchData::new(0.3).expect("tpch data");
         let cluster = ClusterSpec::new(2, 256 << 20);
         let recs: Vec<_> = [1u32, 6]
             .iter()

@@ -12,8 +12,9 @@
 //! the same ratio, preserving the paper's OOM behaviour.
 
 use std::sync::Arc;
+use xorbits_core::error::{XbError, XbResult};
 use xorbits_core::tileable::DfSource;
-use xorbits_dataframe::{dates, Column, DataFrame};
+use xorbits_dataframe::{dates, Column, DataFrame, DfResult};
 
 /// Lineitem rows per scale-factor unit (real TPC-H: 6,000,000).
 pub const LINEITEM_PER_SF: usize = 3000;
@@ -171,7 +172,7 @@ fn order_date(row: u64) -> i32 {
 }
 
 /// Generates `lineitem[start..start+len)`.
-pub fn gen_lineitem(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+pub fn gen_lineitem(scale: TpchScale, start: usize, len: usize) -> DfResult<DataFrame> {
     let nparts = scale.part() as i64;
     let nsupp = scale.supplier() as i64;
     let cutoff = dates::to_days(1995, 6, 17);
@@ -241,11 +242,10 @@ pub fn gen_lineitem(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         ("l_shipinstruct", Column::from_str(shipinstruct)),
         ("l_shipmode", Column::from_str(shipmode)),
     ])
-    .expect("lineitem schema")
 }
 
 /// Generates `orders[start..start+len)`.
-pub fn gen_orders(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+pub fn gen_orders(scale: TpchScale, start: usize, len: usize) -> DfResult<DataFrame> {
     let ncust = scale.customer() as i64;
     let mut orderkey = Vec::with_capacity(len);
     let mut custkey = Vec::with_capacity(len);
@@ -289,11 +289,10 @@ pub fn gen_orders(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         ("o_shippriority", Column::from_i64(shippriority)),
         ("o_comment", Column::from_str(comment)),
     ])
-    .expect("orders schema")
 }
 
 /// Generates `customer[start..start+len)`.
-pub fn gen_customer(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+pub fn gen_customer(scale: TpchScale, start: usize, len: usize) -> DfResult<DataFrame> {
     let _ = scale;
     let mut custkey = Vec::with_capacity(len);
     let mut name = Vec::with_capacity(len);
@@ -325,11 +324,10 @@ pub fn gen_customer(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         ("c_acctbal", Column::from_f64(acctbal)),
         ("c_mktsegment", Column::from_str(mktsegment)),
     ])
-    .expect("customer schema")
 }
 
 /// Generates `part[start..start+len)`.
-pub fn gen_part(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+pub fn gen_part(scale: TpchScale, start: usize, len: usize) -> DfResult<DataFrame> {
     let _ = scale;
     let mut partkey = Vec::with_capacity(len);
     let mut name = Vec::with_capacity(len);
@@ -375,11 +373,10 @@ pub fn gen_part(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         ("p_container", Column::from_str(container)),
         ("p_retailprice", Column::from_f64(retailprice)),
     ])
-    .expect("part schema")
 }
 
 /// Generates `partsupp[start..start+len)` (4 suppliers per part).
-pub fn gen_partsupp(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+pub fn gen_partsupp(scale: TpchScale, start: usize, len: usize) -> DfResult<DataFrame> {
     let nsupp = scale.supplier() as i64;
     let mut partkey = Vec::with_capacity(len);
     let mut suppkey = Vec::with_capacity(len);
@@ -399,11 +396,10 @@ pub fn gen_partsupp(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         ("ps_availqty", Column::from_i64(availqty)),
         ("ps_supplycost", Column::from_f64(supplycost)),
     ])
-    .expect("partsupp schema")
 }
 
 /// Generates `supplier[start..start+len)`.
-pub fn gen_supplier(scale: TpchScale, start: usize, len: usize) -> DataFrame {
+pub fn gen_supplier(scale: TpchScale, start: usize, len: usize) -> DfResult<DataFrame> {
     let _ = scale;
     let mut suppkey = Vec::with_capacity(len);
     let mut name = Vec::with_capacity(len);
@@ -429,11 +425,10 @@ pub fn gen_supplier(scale: TpchScale, start: usize, len: usize) -> DataFrame {
         ("s_acctbal", Column::from_f64(acctbal)),
         ("s_comment", Column::from_str(comment)),
     ])
-    .expect("supplier schema")
 }
 
 /// Generates the full `nation` table (25 rows).
-pub fn gen_nation() -> DataFrame {
+pub fn gen_nation() -> DfResult<DataFrame> {
     DataFrame::new(vec![
         ("n_nationkey", Column::from_i64((0..25).collect())),
         ("n_name", Column::from_str(NATIONS.iter().map(|(n, _)| *n))),
@@ -442,16 +437,14 @@ pub fn gen_nation() -> DataFrame {
             Column::from_i64(NATIONS.iter().map(|(_, r)| *r).collect()),
         ),
     ])
-    .expect("nation schema")
 }
 
 /// Generates the full `region` table (5 rows).
-pub fn gen_region() -> DataFrame {
+pub fn gen_region() -> DfResult<DataFrame> {
     DataFrame::new(vec![
         ("r_regionkey", Column::from_i64((0..5).collect())),
         ("r_name", Column::from_str(REGIONS)),
     ])
-    .expect("region schema")
 }
 
 /// The eight tables as chunk-generating sources, shared across engines.
@@ -480,24 +473,28 @@ pub struct TpchData {
 fn source(
     label: &str,
     rows: usize,
-    gen: impl Fn(usize, usize) -> DataFrame + Send + Sync + 'static,
+    gen: impl Fn(usize, usize) -> DfResult<DataFrame> + Send + Sync + 'static,
 ) -> DfSource {
-    // measure bytes/row from a small sample
-    let sample = gen(0, rows.min(256));
-    let bytes_per_row = (sample.nbytes() / sample.num_rows().max(1)).max(1);
+    // measure bytes/row from a small sample; if the sample itself fails,
+    // fall back to a rough estimate — the error resurfaces (typed) the
+    // first time the pipeline actually materialises a chunk
+    let bytes_per_row = match gen(0, rows.min(256)) {
+        Ok(sample) => (sample.nbytes() / sample.num_rows().max(1)).max(1),
+        Err(_) => 64,
+    };
     DfSource::Generator {
         rows,
         bytes_per_row,
-        gen: Arc::new(move |start, len| Ok(gen(start, len))),
+        gen: Arc::new(move |start, len| gen(start, len).map_err(XbError::from)),
         label: label.to_string(),
     }
 }
 
 impl TpchData {
     /// Builds all table sources at a scale factor.
-    pub fn new(sf: f64) -> TpchData {
+    pub fn new(sf: f64) -> XbResult<TpchData> {
         let scale = TpchScale::new(sf);
-        TpchData {
+        Ok(TpchData {
             scale,
             lineitem: source("read_parquet(lineitem)", scale.lineitem(), move |s, l| {
                 gen_lineitem(scale, s, l)
@@ -517,9 +514,9 @@ impl TpchData {
             supplier: source("read_parquet(supplier)", scale.supplier(), move |s, l| {
                 gen_supplier(scale, s, l)
             }),
-            nation: DfSource::materialized(gen_nation()),
-            region: DfSource::materialized(gen_region()),
-        }
+            nation: DfSource::materialized(gen_nation()?),
+            region: DfSource::materialized(gen_region()?),
+        })
     }
 }
 
@@ -531,9 +528,9 @@ mod tests {
     #[test]
     fn deterministic_and_range_consistent() {
         let scale = TpchScale::new(1.0);
-        let whole = gen_lineitem(scale, 0, 100);
-        let part1 = gen_lineitem(scale, 0, 60);
-        let part2 = gen_lineitem(scale, 60, 40);
+        let whole = gen_lineitem(scale, 0, 100).unwrap();
+        let part1 = gen_lineitem(scale, 0, 60).unwrap();
+        let part2 = gen_lineitem(scale, 60, 40).unwrap();
         let glued = DataFrame::concat(&[&part1, &part2]).unwrap();
         assert_eq!(whole, glued, "range generation must compose");
     }
@@ -541,7 +538,7 @@ mod tests {
     #[test]
     fn referential_integrity() {
         let scale = TpchScale::new(1.0);
-        let li = gen_lineitem(scale, 0, scale.lineitem());
+        let li = gen_lineitem(scale, 0, scale.lineitem()).unwrap();
         let ok = li.column("l_orderkey").unwrap();
         let max_order = (0..li.num_rows())
             .map(|i| ok.get(i).as_i64().unwrap())
@@ -554,7 +551,7 @@ mod tests {
             assert!(p >= 1 && p as usize <= scale.part());
         }
         // every lineitem's (partkey, suppkey) exists in partsupp
-        let ps = gen_partsupp(scale, 0, scale.partsupp());
+        let ps = gen_partsupp(scale, 0, scale.partsupp()).unwrap();
         let mut pairs = std::collections::HashSet::new();
         for i in 0..ps.num_rows() {
             pairs.insert((
@@ -575,7 +572,7 @@ mod tests {
     #[test]
     fn value_domains() {
         let scale = TpchScale::new(1.0);
-        let li = gen_lineitem(scale, 0, 1000);
+        let li = gen_lineitem(scale, 0, 1000).unwrap();
         let disc = li.column("l_discount").unwrap().as_f64().unwrap();
         assert!(disc.values.iter().all(|&d| (0.0..=0.1).contains(&d)));
         let q = li.column("l_quantity").unwrap().as_f64().unwrap();
@@ -590,9 +587,9 @@ mod tests {
 
     #[test]
     fn nation_region_static() {
-        let n = gen_nation();
+        let n = gen_nation().unwrap();
         assert_eq!(n.num_rows(), 25);
-        let r = gen_region();
+        let r = gen_region().unwrap();
         assert_eq!(r.num_rows(), 5);
         assert_eq!(
             r.column("r_name").unwrap().get(3),
@@ -612,7 +609,7 @@ mod tests {
 
     #[test]
     fn sources_generate_through_session_api() {
-        let d = TpchData::new(0.2);
+        let d = TpchData::new(0.2).expect("tpch data");
         if let DfSource::Generator { gen, rows, .. } = &d.lineitem {
             let df = gen(0, (*rows).min(100)).unwrap();
             assert!(df.schema().contains("l_shipdate"));

@@ -500,13 +500,13 @@ pub fn q11<E: Executor>(t: &Tables<E>) -> XbResult<DataFrame> {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+
     use crate::tpch::{run_query, TpchData};
     use xorbits_baselines::{Engine, EngineKind};
     use xorbits_runtime::ClusterSpec;
 
     fn tiny() -> TpchData {
-        TpchData::new(0.5)
+        TpchData::new(0.5).expect("tpch data")
     }
 
     fn xorbits() -> Engine {

@@ -444,7 +444,7 @@ mod tests {
     use xorbits_runtime::ClusterSpec;
 
     fn tiny() -> TpchData {
-        TpchData::new(0.5)
+        TpchData::new(0.5).expect("tpch data")
     }
 
     fn xorbits() -> Engine {

@@ -44,7 +44,7 @@ pub struct Uc10Data {
 
 /// Builds the dataset with `rows` transactions over `n_customers`
 /// customers, Zipf exponent `skew` (paper-like imbalance at ~1.5).
-pub fn uc10_data(rows: usize, n_customers: usize, skew: f64) -> Uc10Data {
+pub fn uc10_data(rows: usize, n_customers: usize, skew: f64) -> XbResult<Uc10Data> {
     let mut c_key = Vec::with_capacity(n_customers);
     let mut c_limit = Vec::with_capacity(n_customers);
     let mut c_region = Vec::with_capacity(n_customers);
@@ -53,14 +53,11 @@ pub fn uc10_data(rows: usize, n_customers: usize, skew: f64) -> Uc10Data {
         c_limit.push(1000.0 + (mix(7, i as u64) % 9000) as f64);
         c_region.push(format!("R{}", mix(8, i as u64) % 8));
     }
-    let customers = DfSource::materialized(
-        DataFrame::new(vec![
-            ("c_id", Column::from_i64(c_key)),
-            ("c_limit", Column::from_f64(c_limit)),
-            ("c_region", Column::from_str(c_region)),
-        ])
-        .expect("customer schema"),
-    );
+    let customers = DfSource::materialized(DataFrame::new(vec![
+        ("c_id", Column::from_i64(c_key)),
+        ("c_limit", Column::from_f64(c_limit)),
+        ("c_region", Column::from_str(c_region)),
+    ])?);
 
     let transactions = DfSource::Generator {
         rows,
@@ -83,11 +80,11 @@ pub fn uc10_data(rows: usize, n_customers: usize, skew: f64) -> Uc10Data {
         }),
         label: "read_csv(transactions)".into(),
     };
-    Uc10Data {
+    Ok(Uc10Data {
         customers,
         transactions,
         rows,
-    }
+    })
 }
 
 /// The UC10 pipeline: clean → join (the skew cliff) → per-customer fraud
@@ -144,7 +141,7 @@ mod tests {
 
     #[test]
     fn xorbits_broadcasts_and_matches_pandas() {
-        let data = uc10_data(20_000, 200, 1.5);
+        let data = uc10_data(20_000, 200, 1.5).expect("uc10 data");
         let cluster = ClusterSpec::new(2, 256 << 20);
         let xe = Engine::new(EngineKind::Xorbits, &cluster);
         let a = run_uc10(&xe, &data).unwrap();
@@ -171,7 +168,7 @@ mod tests {
     #[test]
     fn static_shuffle_concentrates_on_one_partition() {
         // the mechanism behind the paper's "only one CPU core" observation
-        let data = uc10_data(20_000, 200, 1.5);
+        let data = uc10_data(20_000, 200, 1.5).expect("uc10 data");
         let df = match &data.transactions {
             xorbits_core::tileable::DfSource::Generator { gen, .. } => gen(0, 20_000).unwrap(),
             _ => unreachable!(),

@@ -56,7 +56,7 @@ const TIGHT_BUDGET: usize = 96 << 10;
 
 #[test]
 fn q1_ooms_without_spill_and_completes_with_it() {
-    let data = TpchData::new(1.0);
+    let data = TpchData::new(1.0).expect("tpch data");
 
     // unbounded: the reference answer
     let unbounded = Session::new(cfg(), LocalExecutor::new());

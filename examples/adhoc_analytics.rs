@@ -8,7 +8,7 @@ use xorbits::prelude::*;
 use xorbits::workloads::tpch::{run_query, TpchData};
 
 fn main() -> XbResult<()> {
-    let data = TpchData::new(20.0);
+    let data = TpchData::new(20.0)?;
     let cluster = ClusterSpec::new(4, 256 << 20);
 
     // Q1: the pricing summary report — a pure map + groupby pipeline.

@@ -13,7 +13,7 @@ use xorbits::prelude::*;
 use xorbits::workloads::tpcxai::{run_uc10, uc10_data};
 
 fn main() -> XbResult<()> {
-    let data = uc10_data(1_000_000, 2_000, 1.5);
+    let data = uc10_data(1_000_000, 2_000, 1.5)?;
     println!(
         "transactions: {} rows (Zipf 1.5 over 2000 customers)\n",
         data.rows

@@ -15,8 +15,8 @@ trap cleanup_spill_dirs EXIT
 echo "==> cargo fmt --check"
 cargo fmt --check
 
-echo "==> cargo clippy --workspace -- -D warnings"
-cargo clippy --workspace -- -D warnings
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "==> cargo build --release"
 cargo build --release
@@ -50,6 +50,13 @@ cargo test -q --release --test fault_recovery
 
 echo "==> recovery property suite (random DAGs, minimal recompute closure)"
 cargo test -q --release -p xorbits-runtime --test recovery_props
+
+# Tracing gates (hard): same-seed fault runs must replay to byte-identical
+# trace logs (virtual-clock content only — host timestamps are excluded by
+# deterministic_lines), and the Chrome trace-event export must be valid
+# JSON carrying tile/optimize/execute/spill/recovery spans.
+echo "==> trace determinism + Chrome-export validity"
+cargo test -q --release -p xorbits-workloads --test trace_determinism
 
 # Opt-in kernel bench smoke: 1e4-row run of the shuffle/join/groupby kernel
 # suite, failing if any kernel is >2x slower than the checked-in reference

@@ -108,7 +108,7 @@ fn det(stats: &ExecStats) -> (usize, usize, usize, usize, usize, usize) {
 }
 
 fn run_matrix(queries: std::ops::RangeInclusive<u32>) {
-    let data = TpchData::new(SF);
+    let data = TpchData::new(SF).expect("tpch data");
     for q in queries {
         let expect = oracle(&data, q);
         for (name, spec) in schedules() {
@@ -163,7 +163,7 @@ fn fault_matrix_q16_to_q22() {
 /// deterministic stats as a run with no plan at all (pre-PR behaviour).
 #[test]
 fn zero_fault_plan_reproduces_fault_free_runs() {
-    let data = TpchData::new(SF);
+    let data = TpchData::new(SF).expect("tpch data");
     for q in [1u32, 4, 7, 11, 15, 21] {
         let (plain_out, plain) = run_sim(cluster(), &data, q);
         let (armed_out, armed) = run_sim(cluster().with_fault_plan(FaultPlan::none(9)), &data, q);

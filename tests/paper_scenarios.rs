@@ -78,21 +78,9 @@ fn listing1_dask_friction() {
 fn fig3c_iterative_tiling_exact_scenario() {
     // build 3 chunks of 10 rows; filter keeps 4, 8 and 5 rows respectively
     let mut keep = Vec::new();
-    keep.extend(
-        std::iter::repeat(1.0)
-            .take(4)
-            .chain(std::iter::repeat(-1.0).take(6)),
-    );
-    keep.extend(
-        std::iter::repeat(1.0)
-            .take(8)
-            .chain(std::iter::repeat(-1.0).take(2)),
-    );
-    keep.extend(
-        std::iter::repeat(1.0)
-            .take(5)
-            .chain(std::iter::repeat(-1.0).take(5)),
-    );
+    keep.extend(std::iter::repeat_n(1.0, 4).chain(std::iter::repeat_n(-1.0, 6)));
+    keep.extend(std::iter::repeat_n(1.0, 8).chain(std::iter::repeat_n(-1.0, 2)));
+    keep.extend(std::iter::repeat_n(1.0, 5).chain(std::iter::repeat_n(-1.0, 5)));
     let df = DataFrame::new(vec![
         ("flag", Column::from_f64(keep)),
         ("pos", Column::from_i64((0..30).collect())),
@@ -210,7 +198,7 @@ fn algorithm1_worked_example() {
 /// API failure on PySpark, and OOM on a memory-starved Modin.
 #[test]
 fn table2_taxonomy_end_to_end() {
-    let data = TpchData::new(2.0);
+    let data = TpchData::new(2.0).expect("tpch data");
     let roomy = ClusterSpec::new(4, 256 << 20);
     let r = run_query(&Engine::new(EngineKind::Xorbits, &roomy), &data, 16);
     assert_eq!(FailureKind::classify(&r), FailureKind::Success);
