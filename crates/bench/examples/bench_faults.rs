@@ -67,6 +67,7 @@ fn det(stats: &ExecStats) -> (usize, usize, usize, usize, usize) {
 
 fn main() {
     xorbits_bench::trace_init_from_env();
+    xorbits_bench::threads_init_from_env();
     let data = TpchData::new(SF).expect("tpch data");
 
     // ---- fault-free baseline + zero-fault-plan parity gate ------------------

@@ -482,6 +482,7 @@ fn reexec_with_pooled_malloc() {}
 fn main() {
     reexec_with_pooled_malloc();
     xorbits_bench::trace_init_from_env();
+    xorbits_bench::threads_init_from_env();
     let rows = env_f64("XORBITS_BENCH_ROWS", 1e6) as usize;
     let out_path =
         std::env::var("XORBITS_BENCH_OUT").unwrap_or_else(|_| "BENCH_kernels.json".into());

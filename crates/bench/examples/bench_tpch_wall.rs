@@ -16,6 +16,7 @@ use xorbits_workloads::tpch::TpchData;
 
 fn main() {
     xorbits_bench::trace_init_from_env();
+    xorbits_bench::threads_init_from_env();
     let sf = env_f64("XORBITS_TPCH_SF", 10.0);
     let data = TpchData::new(sf).expect("tpch data");
     let cluster = paper_cluster(16);

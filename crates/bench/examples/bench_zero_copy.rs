@@ -94,6 +94,7 @@ struct Row {
 
 fn main() {
     xorbits_bench::trace_init_from_env();
+    xorbits_bench::threads_init_from_env();
     let df = frame(ROWS);
     let mut rows: Vec<Row> = Vec::new();
 

@@ -80,6 +80,18 @@ pub fn trace_init_from_env() {
     }
 }
 
+/// Applies the `XORBITS_THREADS` knob process-wide and returns the
+/// resolved worker count (default: available parallelism). Morsel kernels
+/// (`xorbits_dataframe::par`) pick it up immediately; pass the returned
+/// count to [`xorbits_core::ParallelExecutor::with_threads`] (or set
+/// `XorbitsConfig::threads`) for subtask-level parallelism. Call at the
+/// top of every bench `main`, mirroring [`trace_init_from_env`].
+pub fn threads_init_from_env() -> usize {
+    let t = xorbits_core::threads_from_env();
+    xorbits_dataframe::par::set_kernel_threads(t);
+    t
+}
+
 /// If `XORBITS_TRACE_OUT` is set, drains the trace recorder, writes the
 /// Chrome trace-event JSON to that path (load it in `chrome://tracing` or
 /// Perfetto) and prints the per-stage breakdown and per-band utilization.

@@ -50,6 +50,12 @@ pub struct XorbitsConfig {
     /// materialised frame the driver holds, as with Modin on Ray's object
     /// store), so nothing is reclaimed mid-run.
     pub eager_memory: bool,
+    /// Worker threads for host execution (the
+    /// [`ParallelExecutor`](crate::parallel::ParallelExecutor) pool and the
+    /// morsel kernels). 0 = resolve from the `XORBITS_THREADS` env knob,
+    /// falling back to the host's available parallelism
+    /// ([`crate::parallel::threads_from_env`]).
+    pub threads: usize,
 }
 
 impl Default for XorbitsConfig {
@@ -68,6 +74,7 @@ impl Default for XorbitsConfig {
             probe_chunks: 1,
             cluster_parallelism: 8,
             eager_memory: false,
+            threads: 0,
         }
     }
 }
@@ -90,6 +97,23 @@ impl XorbitsConfig {
         self.op_fusion = false;
         self
     }
+
+    /// Pins the host worker-thread count (overriding `XORBITS_THREADS`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The effective worker-thread count: the explicit [`Self::threads`]
+    /// when nonzero, otherwise the `XORBITS_THREADS` env knob / host
+    /// parallelism via [`crate::parallel::threads_from_env`].
+    pub fn effective_threads(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            crate::parallel::threads_from_env()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -106,5 +130,15 @@ mod tests {
             .without_graph_fusion()
             .without_op_fusion();
         assert!(!c.graph_fusion && !c.op_fusion && c.dynamic_tiling);
+    }
+
+    #[test]
+    fn thread_knob_resolution() {
+        assert_eq!(
+            XorbitsConfig::default().with_threads(3).effective_threads(),
+            3
+        );
+        // 0 resolves through the env/host fallback, which is always ≥ 1
+        assert!(XorbitsConfig::default().effective_threads() >= 1);
     }
 }

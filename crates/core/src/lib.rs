@@ -19,6 +19,7 @@ pub mod exec;
 pub mod explain;
 pub mod local;
 pub mod optimizer;
+pub mod parallel;
 pub mod rechunk;
 pub mod session;
 pub mod subtask;
@@ -29,6 +30,7 @@ pub mod trace;
 pub use chunk::{ChunkGraph, ChunkKey, ChunkMeta, ChunkNode, ChunkOp, KeyGen, Payload};
 pub use config::XorbitsConfig;
 pub use error::{FailureKind, XbError, XbResult};
+pub use parallel::{threads_from_env, ParallelExecutor};
 pub use session::{DfHandle, ExecStats, Executor, RunReport, Session, TensorHandle};
 pub use subtask::{Subtask, SubtaskGraph};
 pub use tileable::{DfSource, TileableGraph, TileableId, TileableOp};

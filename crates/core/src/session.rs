@@ -137,6 +137,12 @@ impl<E: Executor> Session<E> {
         self.inner.lock().unwrap().graph.push(op)
     }
 
+    /// Runs `f` against the session's executor (e.g. to read executor-side
+    /// metrics like storage accounting in tests and benches).
+    pub fn with_executor<R>(&self, f: impl FnOnce(&E) -> R) -> R {
+        f(&self.inner.lock().unwrap().executor)
+    }
+
     /// Registers a dataframe source — `xorbits.pandas.read_*`.
     pub fn read_df(&self, src: DfSource) -> XbResult<DfHandle<E>> {
         Ok(DfHandle {

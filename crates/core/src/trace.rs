@@ -16,9 +16,19 @@
 //!   byte-comparison of two runs is meaningful even though host-measured
 //!   kernel durations differ.
 //!
-//! Events land in a bounded ring buffer (oldest dropped first; see
-//! [`TraceLog::dropped`]) owned by a thread-local recorder, so tracing is a
-//! single `Cell<bool>` load when disabled. [`TraceLog::chrome_json`]
+//! Events land in bounded per-thread ring buffers (oldest dropped first;
+//! see [`TraceLog::dropped`]) hanging off an `Arc`-shared trace context.
+//! [`enable`] installs the context on the calling thread; executor pool
+//! workers join it via [`handle`]/[`adopt`] so their events land in their
+//! own rings (no contention on the hot path) and [`disable`] merges all
+//! rings in registration order — the enabling thread's ring first, so a
+//! single-threaded run produces byte-identical logs to the historical
+//! single-recorder implementation. The enabled flag lives in the shared
+//! context as an `AtomicBool`, so enabling or disabling tracing on the
+//! driver thread is immediately visible to every adopted worker; a thread
+//! that never enabled nor adopted sees only a thread-local `None` check,
+//! keeping untraced sessions (and tests running in parallel in one
+//! process) fully isolated. [`TraceLog::chrome_json`]
 //! exports the Chrome trace-event format (`chrome://tracing` / Perfetto):
 //! pid 0 is the driver (host clock), pid 1 the virtual cluster (virtual
 //! clock), one thread per band.
@@ -30,9 +40,11 @@
 //! breakdowns from the resulting [`MetricsSnapshot`].
 
 use std::borrow::Cow;
-use std::cell::{Cell, RefCell};
+use std::cell::RefCell;
 use std::collections::{BTreeMap, VecDeque};
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use crate::session::ExecStats;
@@ -259,63 +271,135 @@ pub struct TraceLog {
     pub metrics: MetricsSnapshot,
 }
 
-struct Recorder {
-    ring: VecDeque<TraceEvent>,
+/// One thread's bounded event ring.
+struct Ring {
+    events: VecDeque<TraceEvent>,
     capacity: usize,
     dropped: u64,
-    t0: Instant,
-    track_names: BTreeMap<(u32, u32), String>,
-    metrics: MetricsSnapshot,
 }
 
-impl Recorder {
-    fn new(capacity: usize) -> Recorder {
-        Recorder {
-            ring: VecDeque::with_capacity(capacity.min(4096)),
+impl Ring {
+    fn new(capacity: usize) -> Ring {
+        Ring {
+            events: VecDeque::with_capacity(capacity.min(4096)),
             capacity: capacity.max(1),
             dropped: 0,
-            t0: Instant::now(),
-            track_names: BTreeMap::new(),
-            metrics: MetricsSnapshot::default(),
         }
     }
 
     fn push(&mut self, ev: TraceEvent) {
-        if self.ring.len() == self.capacity {
-            self.ring.pop_front();
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
             self.dropped += 1;
         }
-        self.ring.push_back(ev);
+        self.events.push_back(ev);
     }
+}
 
-    fn log(&self) -> TraceLog {
+/// Shared (cross-thread) registry state: track names + metrics.
+struct Meta {
+    track_names: BTreeMap<(u32, u32), String>,
+    metrics: MetricsSnapshot,
+}
+
+/// The trace context shared by the enabling thread and every adopted
+/// worker. Hot-path event recording touches only the caller's own ring
+/// mutex (uncontended unless a snapshot is in flight); the metrics
+/// registry sits behind one mutex — metric updates are orders of magnitude
+/// rarer than events.
+struct Shared {
+    enabled: AtomicBool,
+    capacity: usize,
+    t0: Instant,
+    meta: Mutex<Meta>,
+    rings: Mutex<Vec<Arc<Mutex<Ring>>>>,
+}
+
+impl Shared {
+    /// Merges every ring (registration order: the enabling thread first,
+    /// then workers in adoption order) into one log. `drain` empties the
+    /// rings (final [`disable`]) instead of cloning ([`snapshot`]).
+    fn log(&self, drain: bool) -> TraceLog {
+        let meta = self.meta.lock().unwrap();
+        let rings = self.rings.lock().unwrap();
+        let mut events = Vec::new();
+        let mut dropped = 0;
+        for ring in rings.iter() {
+            let mut ring = ring.lock().unwrap();
+            dropped += ring.dropped;
+            if drain {
+                events.extend(ring.events.drain(..));
+            } else {
+                events.extend(ring.events.iter().cloned());
+            }
+        }
         TraceLog {
-            events: self.ring.iter().cloned().collect(),
-            dropped: self.dropped,
+            events,
+            dropped,
             capacity: self.capacity,
-            track_names: self.track_names.clone(),
-            metrics: self.metrics.clone(),
+            track_names: meta.track_names.clone(),
+            metrics: meta.metrics.clone(),
         }
     }
+}
+
+struct ThreadCtx {
+    shared: Arc<Shared>,
+    ring: Arc<Mutex<Ring>>,
 }
 
 thread_local! {
-    static ENABLED: Cell<bool> = const { Cell::new(false) };
-    static RECORDER: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+    static CTX: RefCell<Option<ThreadCtx>> = const { RefCell::new(None) };
 }
 
-/// Whether tracing is currently enabled on this thread. This is the only
-/// cost tracing adds to instrumented code paths when disabled.
+/// A cloneable, `Send` reference to a live trace context. Executor pools
+/// capture one on the driver thread ([`handle`]) and [`adopt`] it on each
+/// worker so worker-side spans/metrics land in the same trace.
+#[derive(Clone)]
+pub struct TraceHandle {
+    shared: Arc<Shared>,
+}
+
+impl std::fmt::Debug for TraceHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceHandle").finish_non_exhaustive()
+    }
+}
+
+/// Whether tracing is currently enabled for this thread: it has (or
+/// adopted) a context whose shared atomic flag is set. Threads that never
+/// touched tracing pay one thread-local `None` check.
 #[inline]
 pub fn is_enabled() -> bool {
-    ENABLED.with(|e| e.get())
+    CTX.with(|c| match c.borrow().as_ref() {
+        Some(ctx) => ctx.shared.enabled.load(Ordering::Relaxed),
+        None => false,
+    })
 }
 
-/// Enables tracing on this thread with a ring of `capacity` events,
-/// replacing any previous recorder (its contents are discarded).
+/// Enables tracing on this thread with per-thread rings of `capacity`
+/// events, replacing any previous context (its contents are discarded, and
+/// workers still adopted into it go inert via the shared atomic flag).
 pub fn enable(capacity: usize) {
-    RECORDER.with(|r| *r.borrow_mut() = Some(Recorder::new(capacity)));
-    ENABLED.with(|e| e.set(true));
+    CTX.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some(old) = c.take() {
+            old.shared.enabled.store(false, Ordering::Release);
+        }
+        let shared = Arc::new(Shared {
+            enabled: AtomicBool::new(true),
+            capacity: capacity.max(1),
+            t0: Instant::now(),
+            meta: Mutex::new(Meta {
+                track_names: BTreeMap::new(),
+                metrics: MetricsSnapshot::default(),
+            }),
+            rings: Mutex::new(Vec::new()),
+        });
+        let ring = Arc::new(Mutex::new(Ring::new(capacity)));
+        shared.rings.lock().unwrap().push(Arc::clone(&ring));
+        *c = Some(ThreadCtx { shared, ring });
+    });
 }
 
 /// Enables tracing with [`DEFAULT_CAPACITY`].
@@ -323,51 +407,102 @@ pub fn enable_default() {
     enable(DEFAULT_CAPACITY);
 }
 
-/// Disables tracing and returns the final [`TraceLog`], or `None` if
-/// tracing was not enabled.
+/// Disables tracing and returns the final merged [`TraceLog`], or `None`
+/// if this thread has no trace context. The shared flag flips first, so
+/// adopted workers stop recording immediately.
 pub fn disable() -> Option<TraceLog> {
-    ENABLED.with(|e| e.set(false));
-    RECORDER
-        .with(|r| r.borrow_mut().take())
-        .map(|rec| rec.log())
+    CTX.with(|c| c.borrow_mut().take()).map(|ctx| {
+        ctx.shared.enabled.store(false, Ordering::Release);
+        ctx.shared.log(true)
+    })
 }
 
-/// Copies the current log without disabling tracing.
+/// A handle to this thread's live trace context, for [`adopt`]ing on pool
+/// workers. `None` when tracing is disabled.
+pub fn handle() -> Option<TraceHandle> {
+    CTX.with(|c| {
+        c.borrow().as_ref().and_then(|ctx| {
+            ctx.shared
+                .enabled
+                .load(Ordering::Relaxed)
+                .then(|| TraceHandle {
+                    shared: Arc::clone(&ctx.shared),
+                })
+        })
+    })
+}
+
+/// Joins this thread to the handle's trace context with a fresh ring
+/// (registered after all earlier rings, so merge order is deterministic in
+/// adoption order). Call once per worker thread, before it records.
+pub fn adopt(handle: &TraceHandle) {
+    CTX.with(|c| {
+        let shared = Arc::clone(&handle.shared);
+        let ring = Arc::new(Mutex::new(Ring::new(shared.capacity)));
+        shared.rings.lock().unwrap().push(Arc::clone(&ring));
+        *c.borrow_mut() = Some(ThreadCtx { shared, ring });
+    });
+}
+
+/// Detaches this thread from its trace context (events it recorded stay in
+/// the shared rings for the final merge). Threads that simply exit need
+/// not call this.
+pub fn unadopt() {
+    CTX.with(|c| {
+        c.borrow_mut().take();
+    });
+}
+
+/// Copies the current merged log without disabling tracing.
 pub fn snapshot() -> Option<TraceLog> {
-    RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.log()))
+    CTX.with(|c| c.borrow().as_ref().map(|ctx| ctx.shared.log(false)))
 }
 
 /// Copies the current metrics registry without disabling tracing.
 pub fn metrics_snapshot() -> Option<MetricsSnapshot> {
-    RECORDER.with(|r| r.borrow().as_ref().map(|rec| rec.metrics.clone()))
+    CTX.with(|c| {
+        c.borrow()
+            .as_ref()
+            .map(|ctx| ctx.shared.meta.lock().unwrap().metrics.clone())
+    })
 }
 
 /// Seconds of host time since [`enable`] (0 when disabled). Use as the
 /// `ts` for host-clock events recorded via the `*_at` functions.
 pub fn host_now_s() -> f64 {
-    RECORDER.with(|r| {
-        r.borrow()
+    CTX.with(|c| {
+        c.borrow()
             .as_ref()
-            .map(|rec| rec.t0.elapsed().as_secs_f64())
+            .map(|ctx| ctx.shared.t0.elapsed().as_secs_f64())
             .unwrap_or(0.0)
     })
 }
 
-fn with_recorder(f: impl FnOnce(&mut Recorder)) {
-    if !is_enabled() {
-        return;
-    }
-    RECORDER.with(|r| {
-        if let Some(rec) = r.borrow_mut().as_mut() {
-            f(rec);
+/// Runs `f` with the thread's context when tracing is enabled.
+fn with_ctx(f: impl FnOnce(&ThreadCtx)) {
+    CTX.with(|c| {
+        if let Some(ctx) = c.borrow().as_ref() {
+            if ctx.shared.enabled.load(Ordering::Relaxed) {
+                f(ctx);
+            }
         }
     });
 }
 
+/// Pushes an event onto this thread's ring.
+fn push_event(ev: TraceEvent) {
+    with_ctx(|ctx| ctx.ring.lock().unwrap().push(ev));
+}
+
+/// Runs `f` against the shared registry state.
+fn with_meta(f: impl FnOnce(&mut Meta)) {
+    with_ctx(|ctx| f(&mut ctx.shared.meta.lock().unwrap()));
+}
+
 /// Registers a human-readable name for a track (Chrome thread name).
 pub fn name_track(track: Track, name: impl Into<String>) {
-    with_recorder(|rec| {
-        rec.track_names.insert((track.pid, track.tid), name.into());
+    with_meta(|meta| {
+        meta.track_names.insert((track.pid, track.tid), name.into());
     });
 }
 
@@ -383,15 +518,16 @@ pub fn span_at(
     dur: f64,
     args: &[(&'static str, u64)],
 ) {
-    if !is_enabled() {
-        return;
-    }
-    with_recorder(|rec| {
-        *rec.metrics
-            .gauges
-            .entry(format!("vstage.{}.seconds", stage.label()))
-            .or_insert(0.0) += dur;
-        rec.push(TraceEvent {
+    with_ctx(|ctx| {
+        {
+            let mut meta = ctx.shared.meta.lock().unwrap();
+            *meta
+                .metrics
+                .gauges
+                .entry(format!("vstage.{}.seconds", stage.label()))
+                .or_insert(0.0) += dur;
+        }
+        ctx.ring.lock().unwrap().push(TraceEvent {
             stage,
             name: name.into(),
             track,
@@ -410,18 +546,13 @@ pub fn instant_at(
     ts: f64,
     args: &[(&'static str, u64)],
 ) {
-    if !is_enabled() {
-        return;
-    }
-    with_recorder(|rec| {
-        rec.push(TraceEvent {
-            stage,
-            name: name.into(),
-            track,
-            ts,
-            kind: EventKind::Instant,
-            args: args.to_vec(),
-        });
+    push_event(TraceEvent {
+        stage,
+        name: name.into(),
+        track,
+        ts,
+        kind: EventKind::Instant,
+        args: args.to_vec(),
     });
 }
 
@@ -436,18 +567,13 @@ pub fn instant(stage: Stage, name: impl Into<Cow<'static, str>>, args: &[(&'stat
 
 /// Records a counter sample (Chrome `C` phase) at an explicit timestamp.
 pub fn counter_at(name: impl Into<Cow<'static, str>>, track: Track, ts: f64, value: f64) {
-    if !is_enabled() {
-        return;
-    }
-    with_recorder(|rec| {
-        rec.push(TraceEvent {
-            stage: Stage::Schedule,
-            name: name.into(),
-            track,
-            ts,
-            kind: EventKind::Counter { value },
-            args: Vec::new(),
-        });
+    push_event(TraceEvent {
+        stage: Stage::Schedule,
+        name: name.into(),
+        track,
+        ts,
+        kind: EventKind::Counter { value },
+        args: Vec::new(),
     });
 }
 
@@ -466,17 +592,18 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         if let Some((stage, name, track, start)) = self.start.take() {
-            if !is_enabled() {
-                return;
-            }
             let dur = start.elapsed().as_secs_f64();
-            with_recorder(|rec| {
-                let ts = start.duration_since(rec.t0).as_secs_f64();
-                *rec.metrics
-                    .gauges
-                    .entry(format!("stage.{name}.seconds"))
-                    .or_insert(0.0) += dur;
-                rec.push(TraceEvent {
+            with_ctx(|ctx| {
+                let ts = start.duration_since(ctx.shared.t0).as_secs_f64();
+                {
+                    let mut meta = ctx.shared.meta.lock().unwrap();
+                    *meta
+                        .metrics
+                        .gauges
+                        .entry(format!("stage.{name}.seconds"))
+                        .or_insert(0.0) += dur;
+                }
+                ctx.ring.lock().unwrap().push(TraceEvent {
                     stage,
                     name,
                     track,
@@ -517,29 +644,29 @@ pub fn counter_add(name: &str, delta: u64) {
     if delta == 0 {
         return;
     }
-    with_recorder(|rec| {
-        *rec.metrics.counters.entry(name.to_string()).or_insert(0) += delta;
+    with_meta(|meta| {
+        *meta.metrics.counters.entry(name.to_string()).or_insert(0) += delta;
     });
 }
 
 /// Sets a registry gauge to `value`.
 pub fn gauge_set(name: &str, value: f64) {
-    with_recorder(|rec| {
-        rec.metrics.gauges.insert(name.to_string(), value);
+    with_meta(|meta| {
+        meta.metrics.gauges.insert(name.to_string(), value);
     });
 }
 
 /// Adds `delta` to a registry gauge.
 pub fn gauge_add(name: &str, delta: f64) {
-    with_recorder(|rec| {
-        *rec.metrics.gauges.entry(name.to_string()).or_insert(0.0) += delta;
+    with_meta(|meta| {
+        *meta.metrics.gauges.entry(name.to_string()).or_insert(0.0) += delta;
     });
 }
 
 /// Raises a registry gauge to `value` if it is currently lower.
 pub fn gauge_max(name: &str, value: f64) {
-    with_recorder(|rec| {
-        let g = rec.metrics.gauges.entry(name.to_string()).or_insert(0.0);
+    with_meta(|meta| {
+        let g = meta.metrics.gauges.entry(name.to_string()).or_insert(0.0);
         if value > *g {
             *g = value;
         }
@@ -548,8 +675,8 @@ pub fn gauge_max(name: &str, value: f64) {
 
 /// Observes a latency into the histogram `name` ([`SECONDS_BUCKETS`]).
 pub fn observe_seconds(name: &str, v: f64) {
-    with_recorder(|rec| {
-        rec.metrics
+    with_meta(|meta| {
+        meta.metrics
             .histograms
             .entry(name.to_string())
             .or_insert_with(|| HistogramSnapshot::new(SECONDS_BUCKETS))
@@ -559,8 +686,8 @@ pub fn observe_seconds(name: &str, v: f64) {
 
 /// Observes a size into the histogram `name` ([`BYTES_BUCKETS`]).
 pub fn observe_bytes(name: &str, v: u64) {
-    with_recorder(|rec| {
-        rec.metrics
+    with_meta(|meta| {
+        meta.metrics
             .histograms
             .entry(name.to_string())
             .or_insert_with(|| HistogramSnapshot::new(BYTES_BUCKETS))
@@ -925,6 +1052,78 @@ mod tests {
         assert_eq!(m.gauges["exec.makespan_seconds"], 2.0);
         assert_eq!(m.gauges["exec.peak_worker_bytes"], 100.0);
         let _ = disable();
+    }
+
+    /// Pool workers must see the driver's enable/disable through the
+    /// shared atomic flag, and their events must reach the merged log —
+    /// while threads with no adopted context stay inert.
+    #[test]
+    fn adopted_workers_share_the_trace_context() {
+        reset();
+        enable(64);
+        let h = handle().expect("enabled → handle");
+        instant(Stage::Schedule, "driver_side", &[]);
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                assert!(!is_enabled(), "fresh thread has no context");
+                instant(Stage::Execute, "lost", &[]); // no context: dropped
+                adopt(&h);
+                assert!(is_enabled(), "enable is visible through the handle");
+                instant_at(
+                    Stage::Execute,
+                    "worker_side",
+                    Track::band(0),
+                    1.0,
+                    &[("w", 1)],
+                );
+            });
+        });
+        let log = disable().expect("enabled");
+        let names: Vec<&str> = log.events.iter().map(|e| e.name.as_ref()).collect();
+        // driver ring merges first, then the worker's ring
+        assert_eq!(names, vec!["driver_side", "worker_side"]);
+        assert!(!names.contains(&"lost"));
+    }
+
+    #[test]
+    fn disable_is_visible_to_adopted_workers() {
+        reset();
+        enable(64);
+        let h = handle().expect("enabled → handle");
+        let _ = disable();
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                adopt(&h);
+                assert!(!is_enabled(), "disable flips the shared atomic flag");
+                instant(Stage::Execute, "late", &[]);
+                unadopt();
+            });
+        });
+        assert!(snapshot().is_none(), "driver context is gone");
+    }
+
+    /// Worker-side metrics (counters, gauges, histograms) land in the one
+    /// shared registry, not per-thread copies.
+    #[test]
+    fn adopted_workers_merge_metrics() {
+        reset();
+        enable(16);
+        counter_add("exec.retries", 1);
+        let h = handle().unwrap();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    adopt(&h);
+                    counter_add("exec.retries", 1);
+                    gauge_max("peak", 7.0);
+                    observe_seconds("lat", 0.5);
+                });
+            }
+        });
+        let m = disable().unwrap().metrics;
+        assert_eq!(m.counters["exec.retries"], 5);
+        assert_eq!(m.gauges["peak"], 7.0);
+        assert_eq!(m.histograms["lat"].count, 4);
     }
 
     #[test]

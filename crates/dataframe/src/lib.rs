@@ -30,6 +30,7 @@ pub mod groupby;
 pub mod hash;
 pub mod join;
 pub(crate) mod mem;
+pub mod par;
 pub mod partition;
 pub mod pivot;
 pub mod scalar;

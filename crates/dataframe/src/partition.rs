@@ -11,29 +11,71 @@ use crate::hash::combine;
 /// materialized into a `Vec<u64>` and re-read. Produces exactly the same
 /// ids as the `hash_rows` path (`combine(0, value)` is the row hash of a
 /// single key column). Returns false when the key doesn't qualify.
-fn fused_pids(col: &Column, n: usize, pids: &mut Vec<u32>, counts: &mut [usize]) -> bool {
+///
+/// Writes ids for the `col`-sized window into `pids` (same length) so the
+/// pass can run per row-range under [`crate::par`]: each row's id is a pure
+/// function of its key value, so disjoint windows compose into exactly the
+/// sequential result.
+fn fused_pids(col: &Column, n: usize, pids: &mut [u32], counts: &mut [usize]) -> bool {
     if !n.is_power_of_two() {
         return false;
     }
+    debug_assert_eq!(pids.len(), col.len());
     let mask = n as u64 - 1;
-    let mut push = |bits: u64| {
-        let p = (combine(0, bits) & mask) as u32;
-        counts[p as usize] += 1;
-        pids.push(p);
-    };
+    macro_rules! fill {
+        ($values:expr, $to_bits:expr) => {
+            for (slot, &v) in pids.iter_mut().zip($values) {
+                let p = (combine(0, $to_bits(v)) & mask) as u32;
+                counts[p as usize] += 1;
+                *slot = p;
+            }
+        };
+    }
     match col {
         Column::Int64(a) if a.validity.is_none() => {
-            a.values.as_slice().iter().for_each(|&v| push(v as u64));
+            fill!(a.values.as_slice(), |v: i64| v as u64);
         }
         Column::Date(a) if a.validity.is_none() => {
-            a.values.as_slice().iter().for_each(|&v| push(v as u64));
+            fill!(a.values.as_slice(), |v: i32| v as u64);
         }
         Column::Float64(a) if a.validity.is_none() => {
-            a.values.as_slice().iter().for_each(|&v| push(v.to_bits()));
+            fill!(a.values.as_slice(), |v: f64| v.to_bits());
         }
         _ => return false,
     }
     true
+}
+
+/// Whether the single-key fused pass applies (the check is cheap and must
+/// agree between the sequential and per-range paths).
+fn fused_applies(col: &Column, n: usize) -> bool {
+    n.is_power_of_two()
+        && match col {
+            Column::Int64(a) => a.validity.is_none(),
+            Column::Date(a) => a.validity.is_none(),
+            Column::Float64(a) => a.validity.is_none(),
+            _ => false,
+        }
+}
+
+/// Maps row hashes to partition ids for one row window, counting per
+/// partition. `% n` is a mask when `n` is a power of two (it almost always
+/// is — partition counts come from doubling heuristics).
+fn pids_from_hashes(hashes: &[u64], n: usize, pids: &mut [u32], counts: &mut [usize]) {
+    if n.is_power_of_two() {
+        let mask = n as u64 - 1;
+        for (slot, h) in pids.iter_mut().zip(hashes) {
+            let p = (h & mask) as u32;
+            counts[p as usize] += 1;
+            *slot = p;
+        }
+    } else {
+        for (slot, h) in pids.iter_mut().zip(hashes) {
+            let p = (h % n as u64) as u32;
+            counts[p as usize] += 1;
+            *slot = p;
+        }
+    }
 }
 
 /// Splits `df` into `n` partitions by key hash; row `i` goes to partition
@@ -44,35 +86,69 @@ fn fused_pids(col: &Column, n: usize, pids: &mut Vec<u32>, counts: &mut [usize])
 /// sizes are counted, and every column writes straight into pre-sized typed
 /// per-partition builders ([`crate::column::Column::scatter`]). No
 /// `Vec<Vec<usize>>` index buckets and no per-partition `take` re-walk.
+///
+/// With [`crate::par::kernel_threads`] > 1 the two passes go wide without
+/// changing a single output bit: the pid pass is row-range-parallel (each
+/// row's id is a pure function of its key; per-range counts sum exactly),
+/// and the scatter is column-parallel (each column's scatter is an
+/// independent sequential kernel).
 pub fn hash_partition(df: &DataFrame, keys: &[&str], n: usize) -> DfResult<Vec<DataFrame>> {
     assert!(n > 0, "partition count must be positive");
-    let mut pids: Vec<u32> = Vec::with_capacity(df.num_rows());
-    crate::mem::advise_huge(pids.as_ptr(), df.num_rows());
+    let nrows = df.num_rows();
+    let mut pids: Vec<u32> = vec![0; nrows];
+    crate::mem::advise_huge(pids.as_ptr(), nrows);
+    let fused_key = match keys {
+        [k] => {
+            let col = df.column(k)?;
+            fused_applies(col, n).then_some(col)
+        }
+        _ => None,
+    };
+    // resolve key columns up front so the per-range closures cannot fail
+    for k in keys {
+        df.column(k)?;
+    }
+    let mut range_counts: Vec<(usize, Vec<usize>)> = Vec::new();
+    {
+        let range_counts = std::sync::Mutex::new(&mut range_counts);
+        crate::par::par_fill(&mut pids, |range, window| {
+            let mut counts = vec![0usize; n];
+            match fused_key {
+                Some(col) => {
+                    let ok =
+                        fused_pids(&col.slice(range.start, range.len()), n, window, &mut counts);
+                    debug_assert!(ok, "fused_applies pre-checked the key");
+                }
+                None => {
+                    let hashes = df
+                        .slice(range.start, range.len())
+                        .hash_rows(keys)
+                        .expect("key columns resolved above");
+                    pids_from_hashes(&hashes, n, window, &mut counts);
+                }
+            }
+            range_counts.lock().unwrap().push((range.start, counts));
+        });
+    }
+    // exact merge: per-partition counts are disjoint row tallies, and
+    // integer addition is associative — summing in any order is exact
+    // (sorting just keeps the reduction canonical).
+    range_counts.sort_unstable_by_key(|(start, _)| *start);
     let mut counts = vec![0usize; n];
-    let fused = keys.len() == 1 && fused_pids(df.column(keys[0])?, n, &mut pids, &mut counts);
-    if !fused {
-        let hashes = df.hash_rows(keys)?;
-        if n.is_power_of_two() {
-            // same result as `% n`, but a mask instead of a 64-bit division
-            // in the per-row loop (partition counts are almost always 2^k)
-            let mask = n as u64 - 1;
-            for h in &hashes {
-                let p = (h & mask) as u32;
-                counts[p as usize] += 1;
-                pids.push(p);
-            }
-        } else {
-            for h in &hashes {
-                let p = (h % n as u64) as u32;
-                counts[p as usize] += 1;
-                pids.push(p);
-            }
+    for (_, rc) in &range_counts {
+        for (total, c) in counts.iter_mut().zip(rc) {
+            *total += c;
         }
     }
-    let mut part_cols: Vec<Vec<Column>> = (0..n).map(|_| Vec::new()).collect();
-    for name in df.schema().names() {
-        let col = df.column(name).expect("schema name resolves");
-        for (p, out) in col.scatter(&pids, &counts).into_iter().zip(&mut part_cols) {
+    let names = df.schema().names();
+    let scattered: Vec<Vec<Column>> = crate::par::par_map(names.len(), |ci| {
+        df.column(names[ci])
+            .expect("schema name resolves")
+            .scatter(&pids, &counts)
+    });
+    let mut part_cols: Vec<Vec<Column>> = (0..n).map(|_| Vec::with_capacity(names.len())).collect();
+    for cols in scattered {
+        for (p, out) in cols.into_iter().zip(&mut part_cols) {
             out.push(p);
         }
     }

@@ -24,15 +24,32 @@
 //! With spilling disabled the tier degrades to the executor's historical
 //! behavior: exceeding the budget is an immediate [`StorageError::Oom`].
 //!
-//! All state lives behind one `Mutex`, so the service is `Sync` and can be
-//! shared by reference from executors whose read path takes `&self`.
+//! # Concurrency
+//!
+//! The service is `Sync` and built for many executor threads hammering it
+//! at once (the work-stealing [`ParallelExecutor`] in `xorbits-core` runs
+//! every subtask's pin → get → put → unpin cycle concurrently):
+//!
+//! * the entry map is **sharded** across [`SHARD_COUNT`] mutexes keyed by
+//!   chunk hash, so puts/gets/pins of different chunks rarely contend (and
+//!   spill-file IO for one chunk only blocks its own shard);
+//! * byte accounting (`resident_bytes`, its peak) and all cumulative
+//!   counters are lock-free atomics;
+//! * the clock ring stays **global** behind its own small mutex — the sweep
+//!   is a pure queue of keys, and one global ring preserves the exact
+//!   single-thread eviction order of the unsharded implementation.
+//!
+//! Lock order: a shard mutex may acquire the ring mutex (put/promote push,
+//! sweep re-push), never the reverse — the sweep pops a candidate from the
+//! ring and *releases it* before touching the candidate's shard. No path
+//! holds two shards.
 
 use crate::chunkfmt::{decode_chunk, encode_chunk};
 use crate::error::{StorageError, StorageResult};
 use crate::ChunkValue;
 use std::collections::{HashMap, VecDeque};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Where evicted chunks go.
@@ -100,17 +117,9 @@ struct Entry {
     ref_bit: bool,
 }
 
-struct Inner {
-    entries: HashMap<u64, Entry>,
-    /// Clock ring of candidate keys (may hold stale keys; the sweep skips
-    /// and drops them).
-    ring: VecDeque<u64>,
-    resident_bytes: usize,
-    metrics: StorageMetrics,
-    spill_dir: Option<PathBuf>,
-    /// Whether the service created `spill_dir` and must remove it on drop.
-    owns_dir: bool,
-}
+/// Number of entry-map shards. Plenty for the worker counts the parallel
+/// executor runs (≤ a few dozen) while keeping idle-shard overhead tiny.
+const SHARD_COUNT: usize = 16;
 
 /// Process-wide counter making concurrent temp spill dirs unique.
 static TEMP_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
@@ -118,7 +127,21 @@ static TEMP_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 /// The multi-level chunk store. See the module docs for the design.
 pub struct StorageService {
     config: StorageConfig,
-    inner: Mutex<Inner>,
+    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    /// Global clock ring of candidate keys (may hold stale keys; the sweep
+    /// skips and drops them).
+    ring: Mutex<VecDeque<u64>>,
+    resident_bytes: AtomicUsize,
+    peak_resident_bytes: AtomicUsize,
+    evictions: AtomicU64,
+    spilled_bytes: AtomicU64,
+    read_back_bytes: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    unbalanced_unpins: AtomicU64,
+    spill_dir: Option<PathBuf>,
+    /// Whether the service created `spill_dir` and must remove it on drop.
+    owns_dir: bool,
 }
 
 impl StorageService {
@@ -145,14 +168,20 @@ impl StorageService {
         };
         Ok(StorageService {
             config,
-            inner: Mutex::new(Inner {
-                entries: HashMap::new(),
-                ring: VecDeque::new(),
-                resident_bytes: 0,
-                metrics: StorageMetrics::default(),
-                spill_dir,
-                owns_dir,
-            }),
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(HashMap::new()))
+                .collect(),
+            ring: Mutex::new(VecDeque::new()),
+            resident_bytes: AtomicUsize::new(0),
+            peak_resident_bytes: AtomicUsize::new(0),
+            evictions: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            read_back_bytes: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            unbalanced_unpins: AtomicU64::new(0),
+            spill_dir,
+            owns_dir,
         })
     }
 
@@ -166,90 +195,101 @@ impl StorageService {
         &self.config
     }
 
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+        // multiply-shift so sequential chunk ids spread over the shards
+        let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        &self.shards[(h >> 32) as usize % SHARD_COUNT]
+    }
+
+    /// Charges `n` resident bytes and maintains the peak high-water mark.
+    fn charge(&self, n: usize) {
+        let now = self.resident_bytes.fetch_add(n, Ordering::AcqRel) + n;
+        self.peak_resident_bytes.fetch_max(now, Ordering::AcqRel);
+    }
+
     /// Stores a chunk, replacing (and releasing) any previous value under
     /// the key, then shrinks the memory tier back under budget — possibly
     /// spilling the chunk just stored.
     pub fn put(&self, key: u64, value: ChunkValue) -> StorageResult<()> {
-        let mut inner = self.inner.lock().unwrap();
         let nbytes = value.nbytes();
-        self.release_locked(&mut inner, key);
-        inner.entries.insert(
-            key,
-            Entry {
-                value: Some(Arc::new(value)),
-                nbytes,
-                file: None,
-                pins: 0,
-                ref_bit: true,
-            },
-        );
-        inner.ring.push_back(key);
-        inner.resident_bytes += nbytes;
-        inner.metrics.peak_resident_bytes =
-            inner.metrics.peak_resident_bytes.max(inner.resident_bytes);
-        self.shrink_to_budget(&mut inner)
+        {
+            let mut shard = self.shard(key).lock().unwrap();
+            Self::release_in_shard(&mut shard, key, &self.resident_bytes);
+            shard.insert(
+                key,
+                Entry {
+                    value: Some(Arc::new(value)),
+                    nbytes,
+                    file: None,
+                    pins: 0,
+                    ref_bit: true,
+                },
+            );
+            self.ring.lock().unwrap().push_back(key);
+            self.charge(nbytes);
+        }
+        self.shrink_to_budget()
     }
 
     /// Fetches a chunk: from the memory tier if resident, otherwise by
     /// reading its envelope back from the disk tier (counted as a miss and
     /// promoted best-effort).
     pub fn get(&self, key: u64) -> StorageResult<Arc<ChunkValue>> {
-        let mut inner = self.inner.lock().unwrap();
-        let entry = inner
-            .entries
-            .get_mut(&key)
-            .ok_or(StorageError::Missing(key))?;
-        entry.ref_bit = true;
-        if let Some(v) = &entry.value {
-            let v = Arc::clone(v);
-            inner.metrics.hits += 1;
-            return Ok(v);
-        }
-        let path = entry
-            .file
-            .clone()
-            .ok_or_else(|| StorageError::Io(format!("chunk {key:#x} has no value and no file")))?;
-        let bytes = std::fs::read(&path)
-            .map_err(|e| StorageError::Io(format!("read {}: {e}", path.display())))?;
-        inner.metrics.misses += 1;
-        inner.metrics.read_back_bytes += bytes.len() as u64;
-        let value = Arc::new(decode_chunk(bytes)?);
-        // Promote: make the chunk resident again, evicting colder chunks
-        // if needed. Best-effort — a failure to make room (everything else
-        // pinned) leaves the chunk non-resident but still returns it.
-        let entry = inner.entries.get_mut(&key).expect("entry checked above");
-        let nbytes = entry.nbytes;
-        entry.value = Some(Arc::clone(&value));
-        entry.pins += 1; // shield from the shrink sweep below
-        inner.ring.push_back(key);
-        inner.resident_bytes += nbytes;
-        inner.metrics.peak_resident_bytes =
-            inner.metrics.peak_resident_bytes.max(inner.resident_bytes);
-        let shrunk = self.shrink_to_budget(&mut inner);
-        let entry = inner.entries.get_mut(&key).expect("still present");
-        entry.pins -= 1;
-        if shrunk.is_err() {
-            // demote in place: the caller keeps the Arc, the tier stays
-            // under control (the file is already on disk)
-            entry.value = None;
-            inner.resident_bytes -= nbytes;
+        let (value, nbytes) = {
+            let mut shard = self.shard(key).lock().unwrap();
+            let entry = shard.get_mut(&key).ok_or(StorageError::Missing(key))?;
+            entry.ref_bit = true;
+            if let Some(v) = &entry.value {
+                let v = Arc::clone(v);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(v);
+            }
+            let path = entry.file.clone().ok_or_else(|| {
+                StorageError::Io(format!("chunk {key:#x} has no value and no file"))
+            })?;
+            // IO under the shard lock: only same-shard keys wait for it
+            let bytes = std::fs::read(&path)
+                .map_err(|e| StorageError::Io(format!("read {}: {e}", path.display())))?;
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            self.read_back_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            let value = Arc::new(decode_chunk(bytes)?);
+            // Promote: make the chunk resident again, evicting colder chunks
+            // if needed. Best-effort — a failure to make room (everything
+            // else pinned) leaves the chunk non-resident but still returns
+            // it.
+            let entry = shard.get_mut(&key).expect("entry checked above");
+            let nbytes = entry.nbytes;
+            entry.value = Some(Arc::clone(&value));
+            entry.pins += 1; // shield from the shrink sweep below
+            self.ring.lock().unwrap().push_back(key);
+            self.charge(nbytes);
+            (value, nbytes)
+        };
+        let shrunk = self.shrink_to_budget();
+        let mut shard = self.shard(key).lock().unwrap();
+        if let Some(entry) = shard.get_mut(&key) {
+            entry.pins -= 1;
+            if shrunk.is_err() && entry.value.is_some() {
+                // demote in place: the caller keeps the Arc, the tier stays
+                // under control (the file is already on disk)
+                entry.value = None;
+                self.resident_bytes.fetch_sub(nbytes, Ordering::AcqRel);
+            }
         }
         Ok(value)
     }
 
     /// True when the key is known (resident or spilled).
     pub fn contains(&self, key: u64) -> bool {
-        self.inner.lock().unwrap().entries.contains_key(&key)
+        self.shard(key).lock().unwrap().contains_key(&key)
     }
 
     /// Pins a chunk: while the pin count is nonzero the chunk is never
     /// evicted. Executors pin every input of a subtask before running it.
     pub fn pin(&self, key: u64) -> StorageResult<()> {
-        let mut inner = self.inner.lock().unwrap();
-        let entry = inner
-            .entries
-            .get_mut(&key)
-            .ok_or(StorageError::Missing(key))?;
+        let mut shard = self.shard(key).lock().unwrap();
+        let entry = shard.get_mut(&key).ok_or(StorageError::Missing(key))?;
         entry.pins += 1;
         Ok(())
     }
@@ -261,20 +301,20 @@ impl StorageService {
     /// [`StorageMetrics::unbalanced_unpins`] in release builds so the
     /// trace layer can report it.
     pub fn unpin(&self, key: u64) {
-        let mut inner = self.inner.lock().unwrap();
-        let balanced = match inner.entries.get_mut(&key) {
+        let mut shard = self.shard(key).lock().unwrap();
+        let balanced = match shard.get_mut(&key) {
             Some(entry) if entry.pins > 0 => {
                 entry.pins -= 1;
                 true
             }
             _ => {
-                inner.metrics.unbalanced_unpins += 1;
+                self.unbalanced_unpins.fetch_add(1, Ordering::Relaxed);
                 false
             }
         };
         // release the lock before asserting so a debug-build panic can't
-        // poison the service mutex mid-unwind
-        drop(inner);
+        // poison the shard mutex mid-unwind
+        drop(shard);
         debug_assert!(
             balanced,
             "unbalanced unpin of chunk {key:#x}: not pinned or not present"
@@ -283,35 +323,58 @@ impl StorageService {
 
     /// Drops a chunk from both tiers.
     pub fn remove(&self, key: u64) {
-        let mut inner = self.inner.lock().unwrap();
-        self.release_locked(&mut inner, key);
+        let mut shard = self.shard(key).lock().unwrap();
+        Self::release_in_shard(&mut shard, key, &self.resident_bytes);
     }
 
     /// Drops every chunk from both tiers. Cumulative metrics survive;
-    /// snapshot fields reset.
+    /// snapshot fields reset. Callers quiesce their workers first (the
+    /// executors call this from `&mut self` contexts).
     pub fn clear(&self) {
-        let mut inner = self.inner.lock().unwrap();
-        let keys: Vec<u64> = inner.entries.keys().copied().collect();
-        for key in keys {
-            self.release_locked(&mut inner, key);
+        for shard in &self.shards {
+            let mut shard = shard.lock().unwrap();
+            let keys: Vec<u64> = shard.keys().copied().collect();
+            for key in keys {
+                Self::release_in_shard(&mut shard, key, &self.resident_bytes);
+            }
         }
-        inner.ring.clear();
-        debug_assert_eq!(inner.resident_bytes, 0, "ledger drifted");
-        inner.resident_bytes = 0;
+        self.ring.lock().unwrap().clear();
+        debug_assert_eq!(
+            self.resident_bytes.load(Ordering::Acquire),
+            0,
+            "ledger drifted"
+        );
+        self.resident_bytes.store(0, Ordering::Release);
     }
 
     /// Resident logical bytes right now.
     pub fn resident_bytes(&self) -> usize {
-        self.inner.lock().unwrap().resident_bytes
+        self.resident_bytes.load(Ordering::Acquire)
     }
 
     /// A metrics snapshot (cumulative counters + current tier state).
     pub fn metrics(&self) -> StorageMetrics {
-        let inner = self.inner.lock().unwrap();
-        let mut m = inner.metrics;
-        m.resident_bytes = inner.resident_bytes;
-        m.spill_files = inner.entries.values().filter(|e| e.file.is_some()).count();
-        m
+        StorageMetrics {
+            evictions: self.evictions.load(Ordering::Relaxed),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            read_back_bytes: self.read_back_bytes.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            peak_resident_bytes: self.peak_resident_bytes.load(Ordering::Relaxed),
+            resident_bytes: self.resident_bytes.load(Ordering::Relaxed),
+            spill_files: self
+                .shards
+                .iter()
+                .map(|s| {
+                    s.lock()
+                        .unwrap()
+                        .values()
+                        .filter(|e| e.file.is_some())
+                        .count()
+                })
+                .sum(),
+            unbalanced_unpins: self.unbalanced_unpins.load(Ordering::Relaxed),
+        }
     }
 
     // ---- internals ---------------------------------------------------------
@@ -322,10 +385,10 @@ impl StorageService {
 
     /// Removes `key` entirely: uncharges it if resident and deletes its
     /// spill file. Stale ring slots are left behind; the sweep drops them.
-    fn release_locked(&self, inner: &mut Inner, key: u64) {
-        if let Some(entry) = inner.entries.remove(&key) {
+    fn release_in_shard(shard: &mut HashMap<u64, Entry>, key: u64, resident: &AtomicUsize) {
+        if let Some(entry) = shard.remove(&key) {
             if entry.value.is_some() {
-                inner.resident_bytes -= entry.nbytes;
+                resident.fetch_sub(entry.nbytes, Ordering::AcqRel);
             }
             if let Some(path) = entry.file {
                 let _ = std::fs::remove_file(path);
@@ -337,26 +400,30 @@ impl StorageService {
     /// back under budget. With spilling disabled any needed eviction is an
     /// [`StorageError::Oom`]; with every candidate pinned the sweep gives
     /// up (bounded by two laps) and also reports OOM.
-    fn shrink_to_budget(&self, inner: &mut Inner) -> StorageResult<()> {
+    ///
+    /// Concurrent sweeps cooperate: each pops its own candidates from the
+    /// shared ring, so two threads shrink twice as fast and the clock order
+    /// is still consumed exactly once.
+    fn shrink_to_budget(&self) -> StorageResult<()> {
         let Some(budget) = self.config.memory_budget else {
             return Ok(());
         };
         let mut scanned = 0usize;
-        while inner.resident_bytes > budget {
-            if inner.spill_dir.is_none() {
-                return Err(StorageError::Oom {
-                    needed: inner.resident_bytes,
-                    budget,
-                });
+        while self.resident_bytes.load(Ordering::Acquire) > budget {
+            let needed = self.resident_bytes.load(Ordering::Acquire);
+            if self.spill_dir.is_none() {
+                return Err(StorageError::Oom { needed, budget });
             }
-            let guard = 2 * inner.ring.len() + 1;
-            let Some(key) = inner.ring.pop_front() else {
-                return Err(StorageError::Oom {
-                    needed: inner.resident_bytes,
-                    budget,
-                });
+            let (guard, key) = {
+                let mut ring = self.ring.lock().unwrap();
+                let guard = 2 * ring.len() + 1;
+                (guard, ring.pop_front())
             };
-            let Some(entry) = inner.entries.get_mut(&key) else {
+            let Some(key) = key else {
+                return Err(StorageError::Oom { needed, budget });
+            };
+            let mut shard = self.shard(key).lock().unwrap();
+            let Some(entry) = shard.get_mut(&key) else {
                 continue; // stale slot of a removed chunk
             };
             if entry.value.is_none() {
@@ -365,16 +432,13 @@ impl StorageService {
             scanned += 1;
             if entry.pins > 0 || entry.ref_bit {
                 entry.ref_bit = false;
-                inner.ring.push_back(key);
+                self.ring.lock().unwrap().push_back(key);
                 if scanned >= guard {
-                    return Err(StorageError::Oom {
-                        needed: inner.resident_bytes,
-                        budget,
-                    });
+                    return Err(StorageError::Oom { needed, budget });
                 }
                 continue;
             }
-            self.evict_locked(inner, key)?;
+            self.evict_entry(entry, key)?;
             scanned = 0; // fresh laps for the next victim
         }
         Ok(())
@@ -382,36 +446,38 @@ impl StorageService {
 
     /// Writes the chunk's envelope to the disk tier (unless a valid spill
     /// file already exists from a previous eviction) and drops the resident
-    /// value.
-    fn evict_locked(&self, inner: &mut Inner, key: u64) -> StorageResult<()> {
-        let dir = inner.spill_dir.clone().expect("caller checked spill_dir");
-        let entry = inner.entries.get_mut(&key).expect("caller checked entry");
+    /// value. The caller holds the entry's shard lock and has checked
+    /// residency.
+    fn evict_entry(&self, entry: &mut Entry, key: u64) -> StorageResult<()> {
+        let dir = self.spill_dir.as_ref().expect("caller checked spill_dir");
         let value = entry.value.take().expect("caller checked residency");
-        let nbytes = entry.nbytes;
         if entry.file.is_none() {
-            let path = Self::spill_path(&dir, key);
+            let path = Self::spill_path(dir, key);
             let bytes = encode_chunk(&value);
             std::fs::write(&path, &bytes)
                 .map_err(|e| StorageError::Io(format!("write {}: {e}", path.display())))?;
             entry.file = Some(path);
-            inner.metrics.spilled_bytes += bytes.len() as u64;
+            self.spilled_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         }
-        inner.metrics.evictions += 1;
-        inner.resident_bytes -= nbytes;
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        self.resident_bytes
+            .fetch_sub(entry.nbytes, Ordering::AcqRel);
         Ok(())
     }
 }
 
 impl Drop for StorageService {
     fn drop(&mut self) {
-        let inner = self.inner.get_mut().unwrap();
-        for entry in inner.entries.values() {
-            if let Some(path) = &entry.file {
-                let _ = std::fs::remove_file(path);
+        for shard in &mut self.shards {
+            for entry in shard.get_mut().unwrap().values() {
+                if let Some(path) = &entry.file {
+                    let _ = std::fs::remove_file(path);
+                }
             }
         }
-        if inner.owns_dir {
-            if let Some(dir) = &inner.spill_dir {
+        if self.owns_dir {
+            if let Some(dir) = &self.spill_dir {
                 let _ = std::fs::remove_dir_all(dir);
             }
         }
@@ -574,7 +640,7 @@ mod tests {
     #[test]
     fn spill_dir_removed_on_drop() {
         let s = bounded(100);
-        let dir = s.inner.lock().unwrap().spill_dir.clone().unwrap();
+        let dir = s.spill_dir.clone().unwrap();
         s.put(1, df_chunk(1, 100)).unwrap();
         assert!(dir.exists());
         drop(s);
@@ -615,5 +681,57 @@ mod tests {
         s.unpin(1);
         assert_eq!(s.metrics().unbalanced_unpins, 2);
         assert_eq!(s.get(1).unwrap().rows(), 10);
+    }
+
+    /// Many threads hammering disjoint and overlapping keys: the ledger
+    /// must balance exactly afterwards (resident == Σ resident entry
+    /// sizes), pins must net to zero, and no unbalanced unpin may fire.
+    #[test]
+    fn concurrent_access_keeps_ledger_balanced() {
+        let s = bounded(64 << 10);
+        const THREADS: usize = 8;
+        const KEYS_PER_THREAD: u64 = 24;
+        std::thread::scope(|scope| {
+            for t in 0..THREADS as u64 {
+                let s = &s;
+                scope.spawn(move || {
+                    for i in 0..KEYS_PER_THREAD {
+                        let key = t * KEYS_PER_THREAD + i;
+                        s.put(key, df_chunk(key as i64, 64)).unwrap();
+                        s.pin(key).unwrap();
+                        let v = s.get(key).unwrap();
+                        assert_eq!(v.rows(), 64);
+                        s.unpin(key);
+                        // overlap: also read a neighbour thread's early keys
+                        let other = ((t + 1) % THREADS as u64) * KEYS_PER_THREAD;
+                        if s.contains(other) {
+                            let _ = s.get(other);
+                        }
+                        if i % 5 == 4 {
+                            s.remove(key);
+                        }
+                    }
+                });
+            }
+        });
+        let m = s.metrics();
+        assert_eq!(m.unbalanced_unpins, 0);
+        // the ledger must agree with a full walk of the shards
+        let walked: usize = s
+            .shards
+            .iter()
+            .map(|sh| {
+                sh.lock()
+                    .unwrap()
+                    .values()
+                    .filter(|e| e.value.is_some())
+                    .map(|e| e.nbytes)
+                    .sum::<usize>()
+            })
+            .sum();
+        assert_eq!(s.resident_bytes(), walked, "atomic ledger drifted");
+        assert!(m.peak_resident_bytes >= s.resident_bytes());
+        s.clear();
+        assert_eq!(s.resident_bytes(), 0);
     }
 }

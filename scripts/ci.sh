@@ -51,6 +51,14 @@ cargo test -q --release --test fault_recovery
 echo "==> recovery property suite (random DAGs, minimal recompute closure)"
 cargo test -q --release -p xorbits-runtime --test recovery_props
 
+# Parallel-executor gate (hard): all 22 TPC-H queries on the work-stealing
+# ParallelExecutor at 1/2/4/8 worker threads must be bit-identical to the
+# LocalExecutor oracle, and a randomized DAG re-runs 10x at 8 threads
+# asserting identical results plus balanced storage accounting
+# (unbalanced_unpins == 0, ledger drained after every fetch).
+echo "==> parallel-equivalence matrix (work stealing at 4 threads, 1/2/4/8-thread sweep)"
+XORBITS_THREADS=4 cargo test -q --release --test parallel_equivalence
+
 # Tracing gates (hard): same-seed fault runs must replay to byte-identical
 # trace logs (virtual-clock content only — host timestamps are excluded by
 # deterministic_lines), and the Chrome trace-event export must be valid
@@ -68,6 +76,15 @@ if [[ "${XORBITS_CI_BENCH:-0}" == "1" ]]; then
   XORBITS_BENCH_OUT=target/BENCH_kernels_smoke.json \
   XORBITS_BENCH_CHECK=scripts/bench_reference.json \
     cargo run --release -p xorbits-bench --example bench_kernels
+
+  # Parallel scaling smoke: fail unless the 4-thread TPC-H total beats the
+  # 1-thread total by the configured margin. Only meaningful on a quiet box
+  # with >= 4 cores (bench_parallel itself skips the check on smaller
+  # hosts); tune the margin with XORBITS_PARALLEL_MIN_SPEEDUP.
+  echo "==> parallel scaling smoke (4-thread TPC-H vs 1-thread)"
+  XORBITS_PARALLEL_MIN_SPEEDUP="${XORBITS_PARALLEL_MIN_SPEEDUP:-1.5}" \
+  XORBITS_BENCH_OUT=target/BENCH_parallel_smoke.json \
+    cargo run --release -p xorbits-bench --example bench_parallel
 fi
 
 echo "CI green."
