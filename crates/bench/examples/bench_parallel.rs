@@ -94,6 +94,8 @@ fn kernel_suite(threads: usize, df: &DataFrame) -> (f64, f64) {
 fn main() {
     xorbits_bench::trace_init_from_env();
     xorbits_bench::threads_init_from_env();
+    let encoding = xorbits_bench::encoding_init_from_env();
+    println!("encoding: {encoding:?}");
     let sf = env_f64("XORBITS_TPCH_SF", 1.0);
     let out_path =
         std::env::var("XORBITS_BENCH_OUT").unwrap_or_else(|_| "BENCH_parallel.json".into());

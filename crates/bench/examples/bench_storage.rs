@@ -145,6 +145,8 @@ const TIGHT_BUDGET: usize = 24 << 10;
 fn main() {
     xorbits_bench::trace_init_from_env();
     xorbits_bench::threads_init_from_env();
+    let encoding = xorbits_bench::encoding_init_from_env();
+    println!("encoding: {encoding:?}");
     // ---- codec throughput ---------------------------------------------------
     let mut codec_rows = Vec::new();
     for &rows in &[100_000usize, 1_000_000] {

@@ -92,6 +92,18 @@ pub fn threads_init_from_env() -> usize {
     t
 }
 
+/// Resolves the `XORBITS_ENCODING` knob (`plain` / `auto`, default
+/// `auto`) and returns the chunk-transport mode this process will use.
+/// [`xorbits_storage::StorageConfig`] and
+/// [`xorbits_runtime::ClusterSpec`] already read the same knob at
+/// construction time, so nothing needs the returned value to behave
+/// correctly — call this at the top of every bench `main` (mirroring
+/// [`threads_init_from_env`]) to surface the mode in the run's output so
+/// v1-vs-v2 A/B results are labelled.
+pub fn encoding_init_from_env() -> xorbits_storage::EncodingMode {
+    xorbits_storage::encoding_from_env()
+}
+
 /// If `XORBITS_TRACE_OUT` is set, drains the trace recorder, writes the
 /// Chrome trace-event JSON to that path (load it in `chrome://tracing` or
 /// Perfetto) and prints the per-stage breakdown and per-band utilization.

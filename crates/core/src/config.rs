@@ -1,5 +1,7 @@
 //! Engine configuration: tiling thresholds and optimizer switches.
 
+use xorbits_storage::EncodingMode;
+
 /// Configuration of the tiling and optimization pipeline. The boolean
 /// switches are exactly the knobs the paper's ablation study (Fig 9)
 /// toggles; the thresholds drive auto reduce selection, auto merge, and
@@ -56,6 +58,12 @@ pub struct XorbitsConfig {
     /// falling back to the host's available parallelism
     /// ([`crate::parallel::threads_from_env`]).
     pub threads: usize,
+    /// Chunk-transport encoding for spill files and the simulator's cost
+    /// model. `None` = resolve from the `XORBITS_ENCODING` env knob
+    /// (`plain` / `auto`, default `auto`), mirroring the
+    /// [`Self::threads`] / `XORBITS_THREADS` pattern so v1-vs-v2 A/B runs
+    /// need no rebuild.
+    pub encoding: Option<EncodingMode>,
 }
 
 impl Default for XorbitsConfig {
@@ -75,6 +83,7 @@ impl Default for XorbitsConfig {
             cluster_parallelism: 8,
             eager_memory: false,
             threads: 0,
+            encoding: None,
         }
     }
 }
@@ -114,6 +123,20 @@ impl XorbitsConfig {
             crate::parallel::threads_from_env()
         }
     }
+
+    /// Pins the chunk-transport encoding (overriding `XORBITS_ENCODING`).
+    pub fn with_encoding(mut self, encoding: EncodingMode) -> Self {
+        self.encoding = Some(encoding);
+        self
+    }
+
+    /// The effective transport encoding: the explicit [`Self::encoding`]
+    /// when set, otherwise the `XORBITS_ENCODING` env knob via
+    /// [`xorbits_storage::encoding_from_env`].
+    pub fn effective_encoding(&self) -> EncodingMode {
+        self.encoding
+            .unwrap_or_else(xorbits_storage::encoding_from_env)
+    }
 }
 
 #[cfg(test)]
@@ -140,5 +163,17 @@ mod tests {
         );
         // 0 resolves through the env/host fallback, which is always ≥ 1
         assert!(XorbitsConfig::default().effective_threads() >= 1);
+    }
+
+    #[test]
+    fn encoding_knob_resolution() {
+        assert_eq!(
+            XorbitsConfig::default()
+                .with_encoding(EncodingMode::Plain)
+                .effective_encoding(),
+            EncodingMode::Plain
+        );
+        // None resolves through the env fallback (plain or auto either way)
+        let _ = XorbitsConfig::default().effective_encoding();
     }
 }

@@ -142,6 +142,22 @@ pub fn explain_recovery(stats: &ExecStats) -> String {
     )
 }
 
+/// Summarises the chunk-transport compression a run achieved: plain
+/// (version-1) envelope bytes of everything that went through the encoder
+/// vs the wire bytes actually charged/written under the chosen per-column
+/// encodings (chunkfmt v2). The ratio is what `XORBITS_ENCODING=auto`
+/// bought over `plain` for this workload.
+pub fn explain_transport(stats: &ExecStats) -> String {
+    if stats.encoded_raw_bytes == 0 {
+        return "Transport: no chunks went through the encoder\n".to_string();
+    }
+    let ratio = stats.encoded_raw_bytes as f64 / stats.encoded_wire_bytes.max(1) as f64;
+    format!(
+        "Transport: {} raw bytes -> {} wire bytes ({ratio:.2}x compression)\n",
+        stats.encoded_raw_bytes, stats.encoded_wire_bytes
+    )
+}
+
 /// Renders the per-stage time breakdown from a metrics-registry snapshot
 /// (see [`crate::session::RunReport::metrics`]): host-clock driver stages
 /// (`stage.*`) with their share of the total, virtual-clock simulator
@@ -258,6 +274,21 @@ mod tests {
         assert!(text.contains("3 transient retries"), "{text}");
         assert!(text.contains("7 subtasks recomputed"), "{text}");
         assert!(text.contains("4096 bytes recovered"), "{text}");
+    }
+
+    #[test]
+    fn transport_render() {
+        let idle = ExecStats::default();
+        assert!(explain_transport(&idle).contains("no chunks"));
+        let stats = ExecStats {
+            encoded_raw_bytes: 4000,
+            encoded_wire_bytes: 1000,
+            ..ExecStats::default()
+        };
+        let text = explain_transport(&stats);
+        assert!(text.contains("4000 raw bytes"), "{text}");
+        assert!(text.contains("1000 wire bytes"), "{text}");
+        assert!(text.contains("4.00x"), "{text}");
     }
 
     #[test]

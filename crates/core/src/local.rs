@@ -20,13 +20,16 @@ use crate::trace;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
-use xorbits_storage::{SpillConfig, StorageConfig, StorageMetrics, StorageService};
+use xorbits_storage::{SpillConfig, StorageConfig, StorageMetrics, StorageService, Workspaces};
 
 /// Immediate single-threaded executor whose chunk store is a
 /// [`StorageService`] — optionally budgeted, optionally spill-capable.
 pub struct LocalExecutor {
     service: StorageService,
     metas: HashMap<ChunkKey, ChunkMeta>,
+    /// Reused encode/decode scratch: spill and read-back triggered by this
+    /// executor's stores run through warmed buffers (chunkfmt v2 workspaces).
+    ws: Workspaces,
 }
 
 impl Default for LocalExecutor {
@@ -41,6 +44,7 @@ impl LocalExecutor {
         LocalExecutor {
             service: StorageService::unbounded(),
             metas: HashMap::new(),
+            ws: Workspaces::default(),
         }
     }
 
@@ -52,9 +56,11 @@ impl LocalExecutor {
             service: StorageService::new(StorageConfig {
                 memory_budget: Some(bytes),
                 spill: SpillConfig::Disabled,
+                ..Default::default()
             })
             .expect("no io in a memory-only config"),
             metas: HashMap::new(),
+            ws: Workspaces::default(),
         }
     }
 
@@ -64,6 +70,7 @@ impl LocalExecutor {
         LocalExecutor::with_storage(StorageConfig {
             memory_budget: Some(bytes),
             spill: SpillConfig::TempDir,
+            ..Default::default()
         })
     }
 
@@ -72,6 +79,7 @@ impl LocalExecutor {
         Ok(LocalExecutor {
             service: StorageService::new(config)?,
             metas: HashMap::new(),
+            ws: Workspaces::default(),
         })
     }
 
@@ -92,7 +100,8 @@ impl LocalExecutor {
             rows: payload.rows(),
             index,
         };
-        self.service.put(key, payload_to_value(&payload))?;
+        self.service
+            .put_with(key, payload_to_value(&payload), &mut self.ws)?;
         self.metas.insert(key, meta);
         Ok(())
     }
@@ -144,7 +153,7 @@ impl Executor for LocalExecutor {
                                 return Ok(Arc::clone(p));
                             }
                             if self.service.contains(*k) {
-                                let v = self.service.get(*k)?;
+                                let v = self.service.get_with(*k, &mut self.ws)?;
                                 return Ok(Arc::new(value_to_payload(&v)));
                             }
                             Err(XbError::Plan(format!("input chunk {k} not found")))
@@ -178,6 +187,14 @@ impl Executor for LocalExecutor {
                 "storage.read_back_bytes",
                 after.read_back_bytes - before.read_back_bytes,
             );
+            trace::counter_add(
+                "storage.encoded_raw_bytes",
+                after.encoded_raw_bytes - before.encoded_raw_bytes,
+            );
+            trace::counter_add(
+                "storage.encoded_wire_bytes",
+                after.encoded_wire_bytes - before.encoded_wire_bytes,
+            );
             let unbalanced = after.unbalanced_unpins - before.unbalanced_unpins;
             if unbalanced > 0 {
                 // pin-leak signal: unpin of a never-pinned / absent chunk
@@ -200,6 +217,8 @@ impl Executor for LocalExecutor {
             retries: 0,
             recomputed_subtasks: 0,
             recovered_from_spill_bytes: 0,
+            encoded_raw_bytes: (after.encoded_raw_bytes - before.encoded_raw_bytes) as usize,
+            encoded_wire_bytes: (after.encoded_wire_bytes - before.encoded_wire_bytes) as usize,
         })
     }
 

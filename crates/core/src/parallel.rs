@@ -48,7 +48,7 @@ use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
-use xorbits_storage::{SpillConfig, StorageConfig, StorageMetrics, StorageService};
+use xorbits_storage::{SpillConfig, StorageConfig, StorageMetrics, StorageService, Workspaces};
 
 /// Reads the `XORBITS_THREADS` knob: a positive integer forces that many
 /// workers, anything else (or unset) means the host's available
@@ -72,6 +72,11 @@ pub struct ParallelExecutor {
     service: StorageService,
     metas: Mutex<HashMap<ChunkKey, ChunkMeta>>,
     threads: usize,
+    /// One reusable encode/decode workspace per pool worker (index =
+    /// worker id; the sequential fast path uses slot 0). Persisted across
+    /// `execute` calls so steady-state spill and read-back run through
+    /// warm chunkfmt-v2 buffers instead of allocating per chunk.
+    worker_ws: Vec<Mutex<Workspaces>>,
 }
 
 impl Default for ParallelExecutor {
@@ -88,25 +93,21 @@ impl ParallelExecutor {
 
     /// Unbounded executor with an explicit worker count (≥ 1).
     pub fn with_threads(threads: usize) -> ParallelExecutor {
-        ParallelExecutor {
-            service: StorageService::unbounded(),
-            metas: Mutex::new(HashMap::new()),
-            threads: threads.max(1),
-        }
+        ParallelExecutor::build(StorageService::unbounded(), threads)
     }
 
     /// Budgeted executor with **no** disk tier (over budget = OOM), with
     /// [`threads_from_env`] workers.
     pub fn with_budget(bytes: usize) -> ParallelExecutor {
-        ParallelExecutor {
-            service: StorageService::new(StorageConfig {
+        ParallelExecutor::build(
+            StorageService::new(StorageConfig {
                 memory_budget: Some(bytes),
                 spill: SpillConfig::Disabled,
+                ..Default::default()
             })
             .expect("no io in a memory-only config"),
-            metas: Mutex::new(HashMap::new()),
-            threads: threads_from_env().max(1),
-        }
+            threads_from_env(),
+        )
     }
 
     /// Budgeted executor with a temp-dir disk tier, with
@@ -115,6 +116,7 @@ impl ParallelExecutor {
         ParallelExecutor::with_storage(StorageConfig {
             memory_budget: Some(bytes),
             spill: SpillConfig::TempDir,
+            ..Default::default()
         })
     }
 
@@ -129,11 +131,22 @@ impl ParallelExecutor {
         config: StorageConfig,
         threads: usize,
     ) -> XbResult<ParallelExecutor> {
-        Ok(ParallelExecutor {
-            service: StorageService::new(config)?,
+        Ok(ParallelExecutor::build(
+            StorageService::new(config)?,
+            threads,
+        ))
+    }
+
+    fn build(service: StorageService, threads: usize) -> ParallelExecutor {
+        let threads = threads.max(1);
+        ParallelExecutor {
+            service,
             metas: Mutex::new(HashMap::new()),
-            threads: threads.max(1),
-        })
+            threads,
+            worker_ws: (0..threads)
+                .map(|_| Mutex::new(Workspaces::default()))
+                .collect(),
+        }
     }
 
     /// The worker count this executor runs with.
@@ -151,21 +164,29 @@ impl ParallelExecutor {
         self.service.metrics()
     }
 
-    fn store(&self, key: ChunkKey, payload: Payload, index: (usize, usize)) -> XbResult<()> {
+    fn store(
+        &self,
+        key: ChunkKey,
+        payload: Payload,
+        index: (usize, usize),
+        ws: &mut Workspaces,
+    ) -> XbResult<()> {
         let meta = ChunkMeta {
             nbytes: payload.nbytes(),
             rows: payload.rows(),
             index,
         };
-        self.service.put(key, payload_to_value(&payload))?;
+        self.service.put_with(key, payload_to_value(&payload), ws)?;
         self.metas.lock().unwrap().insert(key, meta);
         Ok(())
     }
 
     /// Runs one subtask: pin inputs, execute its fused nodes in order,
     /// publish outputs, unpin. Byte-for-byte the `LocalExecutor` inner
-    /// loop, shared by the sequential path and every pool worker.
-    fn run_subtask(&self, graph: &SubtaskGraph, sti: usize) -> XbResult<()> {
+    /// loop, shared by the sequential path and every pool worker — each
+    /// caller passes its own [`Workspaces`] so spill and read-back on this
+    /// worker's chunks reuse warmed encode/decode buffers.
+    fn run_subtask(&self, graph: &SubtaskGraph, sti: usize, ws: &mut Workspaces) -> XbResult<()> {
         let st = &graph.subtasks[sti];
         let _st_span = if trace::is_enabled() {
             let name: String = st
@@ -199,7 +220,7 @@ impl ParallelExecutor {
                             return Ok(Arc::clone(p));
                         }
                         if self.service.contains(*k) {
-                            let v = self.service.get(*k)?;
+                            let v = self.service.get_with(*k, ws)?;
                             return Ok(Arc::new(value_to_payload(&v)));
                         }
                         Err(XbError::Plan(format!("input chunk {k} not found")))
@@ -208,7 +229,7 @@ impl ParallelExecutor {
                 let outputs = crate::exec::execute_chunk(&node.op, &inputs)?;
                 for (slot, (key, payload)) in node.outputs.iter().zip(outputs).enumerate() {
                     if st.published_outputs.contains(key) {
-                        self.store(*key, payload, (ni, slot))?;
+                        self.store(*key, payload, (ni, slot), ws)?;
                     } else {
                         scratch.insert(*key, Arc::new(payload));
                     }
@@ -305,6 +326,14 @@ impl ParallelExecutor {
                 "storage.read_back_bytes",
                 after.read_back_bytes - before.read_back_bytes,
             );
+            trace::counter_add(
+                "storage.encoded_raw_bytes",
+                after.encoded_raw_bytes - before.encoded_raw_bytes,
+            );
+            trace::counter_add(
+                "storage.encoded_wire_bytes",
+                after.encoded_wire_bytes - before.encoded_wire_bytes,
+            );
             let unbalanced = after.unbalanced_unpins - before.unbalanced_unpins;
             if unbalanced > 0 {
                 trace::instant(
@@ -326,6 +355,8 @@ impl ParallelExecutor {
             retries: 0,
             recomputed_subtasks: 0,
             recovered_from_spill_bytes: 0,
+            encoded_raw_bytes: (after.encoded_raw_bytes - before.encoded_raw_bytes) as usize,
+            encoded_wire_bytes: (after.encoded_wire_bytes - before.encoded_wire_bytes) as usize,
         }
     }
 }
@@ -386,6 +417,9 @@ impl Pool {
         succs: &[Vec<usize>],
         indeg: &[AtomicUsize],
     ) {
+        // this worker's persistent encode/decode scratch (one lock for the
+        // whole run: worker w is the slot's only contender)
+        let mut ws = exec.worker_ws[w].lock().unwrap();
         let mut seen = *self.signal.lock().unwrap();
         while self.remaining.load(Ordering::Acquire) > 0 && !self.abort.load(Ordering::Acquire) {
             let Some(task) = self.find_task(w) else {
@@ -405,7 +439,7 @@ impl Pool {
                 continue;
             };
             let t0 = Instant::now();
-            match exec.run_subtask(graph, task) {
+            match exec.run_subtask(graph, task, &mut ws) {
                 Ok(()) => {
                     self.busy_nanos
                         .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -448,9 +482,11 @@ impl Executor for ParallelExecutor {
         let subtasks = graph.subtasks.len();
         let busy_seconds = if self.threads <= 1 || subtasks <= 1 {
             // sequential fast path: the LocalExecutor loop, no pool at all
+            let mut ws = self.worker_ws[0].lock().unwrap();
             for sti in 0..subtasks {
-                self.run_subtask(graph, sti)?;
+                self.run_subtask(graph, sti, &mut ws)?;
             }
+            drop(ws);
             start.elapsed().as_secs_f64()
         } else {
             self.execute_pool(graph)? as f64 * 1e-9
@@ -568,6 +604,7 @@ mod tests {
                 StorageConfig {
                     memory_budget: Some(2048),
                     spill: SpillConfig::TempDir,
+                    ..Default::default()
                 },
                 t,
             )

@@ -47,6 +47,13 @@ pub struct ExecStats {
     /// Bytes of lost chunks that were recovered from the disk tier
     /// (spilled copies survive a worker crash) instead of recomputed.
     pub recovered_from_spill_bytes: usize,
+    /// Plain (version-1) envelope bytes of every chunk that went through
+    /// the encoder — the *raw* side of the transport compression ratio.
+    pub encoded_raw_bytes: usize,
+    /// Bytes actually written under the chosen per-column encodings
+    /// (chunkfmt v2). `encoded_raw_bytes / encoded_wire_bytes` is the
+    /// compression ratio [`crate::explain::explain_transport`] reports.
+    pub encoded_wire_bytes: usize,
 }
 
 impl ExecStats {
@@ -62,6 +69,8 @@ impl ExecStats {
         self.retries += other.retries;
         self.recomputed_subtasks += other.recomputed_subtasks;
         self.recovered_from_spill_bytes += other.recovered_from_spill_bytes;
+        self.encoded_raw_bytes += other.encoded_raw_bytes;
+        self.encoded_wire_bytes += other.encoded_wire_bytes;
     }
 }
 

@@ -7,6 +7,7 @@
 //! why this substitution preserves the paper's claims.
 
 use crate::fault::{FaultPlan, RetryPolicy};
+use xorbits_storage::EncodingMode;
 
 /// Specification of the simulated cluster.
 #[derive(Debug, Clone)]
@@ -62,6 +63,13 @@ pub struct ClusterSpec {
     pub fault_plan: Option<FaultPlan>,
     /// Retry policy for transiently failing subtask attempts.
     pub retry: RetryPolicy,
+    /// Chunk-transport encoding the cost model charges: network and disk
+    /// traffic is costed on each chunk's *measured* wire bytes under this
+    /// mode (chunkfmt v2 per-column compression under
+    /// [`EncodingMode::Auto`], plain version-1 envelopes under
+    /// [`EncodingMode::Plain`]). Defaults to the `XORBITS_ENCODING` env
+    /// knob so v1-vs-v2 A/B runs need no rebuild.
+    pub encoding: EncodingMode,
 }
 
 impl ClusterSpec {
@@ -91,6 +99,7 @@ impl ClusterSpec {
             compact_slack: 2.0,
             fault_plan: None,
             retry: RetryPolicy::default(),
+            encoding: xorbits_storage::encoding_from_env(),
         }
     }
 
@@ -137,6 +146,12 @@ impl ClusterSpec {
     /// Overrides the retry policy for transient failures.
     pub fn with_retry(mut self, retry: RetryPolicy) -> ClusterSpec {
         self.retry = retry;
+        self
+    }
+
+    /// Pins the chunk-transport encoding (overriding `XORBITS_ENCODING`).
+    pub fn with_encoding(mut self, encoding: EncodingMode) -> ClusterSpec {
+        self.encoding = encoding;
         self
     }
 }

@@ -47,9 +47,11 @@ struct ChunkState {
     /// Logical (viewed) bytes — what network and storage transfers cost.
     /// Memory charges use the retained-allocation ledger instead.
     nbytes: usize,
-    /// *Measured* encoded envelope size ([`xorbits_storage::encoded_size`])
-    /// — what the disk tier actually writes and reads, so spill accounting
-    /// matches the real storage service byte-for-byte.
+    /// *Measured* wire bytes of the chunk's envelope under the spec's
+    /// transport encoding ([`xorbits_storage::EncodeWorkspace::measure`])
+    /// — what network transfers, spill writes and read-backs all cost, so
+    /// the cost model matches the real storage service byte-for-byte.
+    /// Measured exactly once, when the `ChunkState` is created.
     enc_bytes: usize,
     resident: bool,
     spilled: bool,
@@ -90,6 +92,14 @@ pub struct SimExecutor {
     total_net_bytes: usize,
     total_spilled_bytes: usize,
     total_read_back_bytes: usize,
+    /// Plain / wire byte totals of every chunk measured at publish — the
+    /// transport compression ratio the stats report.
+    total_encoded_raw: usize,
+    total_encoded_wire: usize,
+    /// Persistent encode workspace backing [`Self::measure_payload`]: the
+    /// per-chunk size probe runs the real chooser without re-allocating
+    /// its dictionary table and staging per chunk.
+    enc_ws: xorbits_storage::EncodeWorkspace,
     /// Chunks already fetched to a worker: remote reads are paid once per
     /// worker and cached (how a broadcast stays cheap in real clusters).
     arrived: std::collections::HashSet<(ChunkKey, usize)>,
@@ -141,6 +151,9 @@ impl SimExecutor {
             total_net_bytes: 0,
             total_spilled_bytes: 0,
             total_read_back_bytes: 0,
+            total_encoded_raw: 0,
+            total_encoded_wire: 0,
+            enc_ws: xorbits_storage::EncodeWorkspace::new(),
             arrived: std::collections::HashSet::new(),
             sched_clock: 0.0,
             band_dead: vec![false; bands],
@@ -393,6 +406,20 @@ impl SimExecutor {
             }
         }
         Ok(())
+    }
+
+    /// Measures one payload's transport sizes (plain vs wire under the
+    /// spec's encoding) through the persistent workspace, accumulating the
+    /// compression-ratio totals. Called exactly once per published chunk —
+    /// every later network/spill/read-back charge reuses the stored
+    /// `enc_bytes`.
+    fn measure_payload(&mut self, payload: &Payload) -> usize {
+        let sz = self
+            .enc_ws
+            .measure(&payload_to_value(payload), self.spec.encoding);
+        self.total_encoded_raw += sz.raw;
+        self.total_encoded_wire += sz.wire;
+        sz.wire
     }
 
     /// Charges one published chunk's *retained* footprint: each distinct
@@ -674,8 +701,9 @@ impl SimExecutor {
                 };
                 arrival = arrival.max(cs.finish);
                 if self.spec.worker_of(cs.band) != worker && self.arrived.insert((*k, worker)) {
-                    recv_bytes += cs.nbytes;
-                    self.total_net_bytes += cs.nbytes;
+                    // the wire carries the encoded envelope, not the view
+                    recv_bytes += cs.enc_bytes;
+                    self.total_net_bytes += cs.enc_bytes;
                 }
                 if cs.spilled {
                     disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
@@ -775,6 +803,12 @@ impl SimExecutor {
 
             for (key, payload) in published {
                 let nbytes = payload.nbytes();
+                // the chunk was measured when first published and its state
+                // survives loss — reuse it instead of rewalking the payload
+                let enc_bytes = match self.states.get(&key) {
+                    Some(st) => st.enc_bytes,
+                    None => self.measure_payload(&payload),
+                };
                 self.metas.insert(
                     key,
                     ChunkMeta {
@@ -789,7 +823,7 @@ impl SimExecutor {
                         band,
                         finish: clock,
                         nbytes,
-                        enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&payload)),
+                        enc_bytes,
                         resident: true,
                         spilled: false,
                         disk_orphan: false,
@@ -865,6 +899,8 @@ impl Executor for SimExecutor {
         let retries_before = self.total_retries;
         let recomputed_before = self.total_recomputed;
         let recovered_before = self.total_recovered_spill;
+        let enc_raw_before = self.total_encoded_raw;
+        let enc_wire_before = self.total_encoded_wire;
         let mut real_cpu = 0.0;
         let mut subtasks = 0usize;
 
@@ -936,8 +972,9 @@ impl Executor for SimExecutor {
                 };
                 arrival = arrival.max(cs.finish);
                 if self.spec.worker_of(cs.band) != worker && self.arrived.insert((*k, worker)) {
-                    recv_bytes += cs.nbytes;
-                    self.total_net_bytes += cs.nbytes;
+                    // the wire carries the encoded envelope, not the view
+                    recv_bytes += cs.enc_bytes;
+                    self.total_net_bytes += cs.enc_bytes;
                 }
                 if cs.spilled {
                     // read-back pays the encoded envelope off the disk tier
@@ -1142,6 +1179,7 @@ impl Executor for SimExecutor {
 
             for (key, payload) in produced {
                 let nbytes = payload.nbytes();
+                let enc_bytes = self.measure_payload(&payload);
                 self.metas.insert(
                     key,
                     ChunkMeta {
@@ -1156,7 +1194,7 @@ impl Executor for SimExecutor {
                         band,
                         finish,
                         nbytes,
-                        enc_bytes: xorbits_storage::encoded_size(&payload_to_value(&payload)),
+                        enc_bytes,
                         resident: true,
                         spilled: false,
                         disk_orphan: false,
@@ -1274,6 +1312,16 @@ impl Executor for SimExecutor {
                 });
             }
         }
+        if trace::is_enabled() {
+            trace::counter_add(
+                "sim.encoded_raw_bytes",
+                (self.total_encoded_raw - enc_raw_before) as u64,
+            );
+            trace::counter_add(
+                "sim.encoded_wire_bytes",
+                (self.total_encoded_wire - enc_wire_before) as u64,
+            );
+        }
         Ok(ExecStats {
             makespan: makespan_total - t0,
             subtasks,
@@ -1285,6 +1333,8 @@ impl Executor for SimExecutor {
             retries: self.total_retries - retries_before,
             recomputed_subtasks: self.total_recomputed - recomputed_before,
             recovered_from_spill_bytes: self.total_recovered_spill - recovered_before,
+            encoded_raw_bytes: self.total_encoded_raw - enc_raw_before,
+            encoded_wire_bytes: self.total_encoded_wire - enc_wire_before,
         })
     }
 

@@ -1,11 +1,12 @@
-//! The binary chunk envelope — the serialization format of the disk tier.
+//! The binary chunk envelope — the serialization format of the disk tier
+//! and the unit the simulator's network/disk cost model charges.
 //!
 //! A chunk is framed as:
 //!
 //! ```text
 //! ┌─────────────┬─────────┬──────┬──────────┬──────────────┬──────────┐
 //! │ magic 8B    │ ver u16 │ kind │ reserved │ body         │ checksum │
-//! │ "XBCHNK01"  │   = 1   │  u8  │ u8 = 0   │ kind-specific│ u64      │
+//! │ "XBCHNK01"  │ 1 or 2  │  u8  │ u8 = 0   │ kind-specific│ u64      │
 //! └─────────────┴─────────┴──────┴──────────┴──────────────┴──────────┘
 //! ```
 //!
@@ -15,28 +16,50 @@
 //!
 //! Dataframe body (`kind = 0`): `u32` column count, `u64` row count, then
 //! per column: name (`u16` length + UTF-8 bytes), dtype id `u8`, flags `u8`
-//! (bit 0 ⇒ validity present), the validity bitmap as packed `u64` words,
-//! and the dtype-specific value region — raw fixed-width values for
-//! Int64/Float64/Date, packed words for Bool, and for Utf8 a rebased
-//! `(rows + 1) × u32` offsets region followed by a `u64`-length-prefixed
-//! byte region.
+//! (bit 0 ⇒ validity present; bits 1–2 ⇒ value encoding, version 2 only),
+//! the validity bitmap as packed `u64` words, and the value region in the
+//! recorded encoding:
+//!
+//! * **Plain** (`enc = 0`, the only encoding of version 1) — raw
+//!   fixed-width values for Int64/Float64/Date, packed words for Bool, and
+//!   for Utf8 a rebased `(rows + 1) × u32` offsets region followed by a
+//!   `u64`-length-prefixed byte region.
+//! * **DictUtf8** (`enc = 1`, Utf8 only) — `u32` distinct-string count,
+//!   `(ndict + 1) × u32` monotone dictionary offsets starting at 0, a
+//!   `u64`-length-prefixed dictionary byte region, a `u8` code width
+//!   (1/2/4, the narrowest that fits `ndict − 1`), then `rows` codes at
+//!   that width indexing the dictionary in first-occurrence order.
+//! * **DeltaVarintI64** (`enc = 2`, Int64 only) — a `u64` byte length of
+//!   the value region, then (when `rows > 0`) the first value as a raw
+//!   `i64` followed by `rows − 1` LEB128 varints of the zigzag-encoded
+//!   wrapping delta to the previous value.
 //!
 //! Array body (`kind = 1`): `u32` ndim, `u64` per dimension, then the
-//! row-major `f64` values.
+//! row-major `f64` values (always version 1 — arrays carry no compressed
+//! encodings).
 //!
-//! Two properties matter to the storage service above:
+//! The encoder picks per column with an exact-size heuristic: a compressed
+//! encoding is used only when its wire size beats plain, and the envelope
+//! is stamped version 2 only when at least one column actually compressed
+//! — an all-plain v2 request emits bytes identical to version 1, so plain
+//! v1 chunks and v2 chunks decode through one reader.
+//!
+//! Three properties matter to the layers above:
 //!
 //! * **views encode losslessly** — the encoder walks the *viewed* slice of
 //!   every buffer (a sliced or copy-on-write view writes exactly its
-//!   window, offsets rebased), so a thin view spills thin: the disk tier
-//!   never pays for a parent allocation the chunk no longer shows;
+//!   window, offsets rebased), so a thin view spills thin;
 //! * **strict, single-pass decode** — every region is bounds-checked
-//!   before it is sliced, offsets must be monotone and in-bounds, string
-//!   bytes must be valid UTF-8 on character boundaries, and the cursor
-//!   must land exactly on the checksum. String byte regions are rebuilt
-//!   *zero-copy* as shared windows over the read buffer
-//!   ([`Buffer::from_shared`]); fixed-width regions pay one tight copy
-//!   (alignment forbids aliasing `u8` storage as `i64`/`f64`).
+//!   before it is sliced, offsets must be monotone and in-bounds, dict
+//!   codes must be in range, varints must be minimal and non-overflowing,
+//!   string bytes must be valid UTF-8 on character boundaries, and the
+//!   cursor must land exactly on the checksum. Plain string regions are
+//!   rebuilt *zero-copy* as shared windows over the read buffer
+//!   ([`Buffer::from_shared`]);
+//! * **steady-state encode allocates nothing** — [`EncodeWorkspace`] owns
+//!   the output buffer, the dictionary hash table and the varint staging,
+//!   so a warmed workspace re-encodes without touching the heap (the spill
+//!   path holds one per storage shard, the executors one per worker).
 
 use crate::error::{StorageError, StorageResult};
 use crate::ChunkValue;
@@ -48,8 +71,10 @@ use xorbits_dataframe::{Bitmap, Buffer, Column, DataFrame, DataType};
 
 /// Envelope magic.
 pub const MAGIC: [u8; 8] = *b"XBCHNK01";
-/// Format version.
+/// Format version of the plain envelope.
 pub const VERSION: u16 = 1;
+/// Format version carrying per-column compressed encodings.
+pub const VERSION_V2: u16 = 2;
 
 const KIND_DF: u8 = 0;
 const KIND_ARR: u8 = 1;
@@ -57,6 +82,34 @@ const HEADER_LEN: usize = 12;
 const CHECKSUM_LEN: usize = 8;
 
 const FLAG_VALIDITY: u8 = 1;
+/// Bits 1–2 of the column flags: the value-region encoding (version 2).
+const ENC_SHIFT: u8 = 1;
+const ENC_MASK: u8 = 0b110;
+const ENC_PLAIN: u8 = 0;
+const ENC_DICT_UTF8: u8 = 1;
+const ENC_DELTA_VARINT_I64: u8 = 2;
+
+/// Whether the encoder may choose compressed per-column encodings.
+/// Resolved once per service/executor from [`encoding_from_env`] unless
+/// pinned explicitly; `Plain` reproduces version-1 envelopes bit for bit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EncodingMode {
+    /// Always the version-1 plain layout.
+    Plain,
+    /// Per-column heuristic: DictUtf8 / DeltaVarintI64 when they win.
+    #[default]
+    Auto,
+}
+
+/// Reads the `XORBITS_ENCODING` knob: `plain` forces version-1 envelopes,
+/// anything else (or unset) means `auto`. Mirrors `XORBITS_THREADS` so
+/// v1-vs-v2 A/B runs need no rebuild.
+pub fn encoding_from_env() -> EncodingMode {
+    match std::env::var("XORBITS_ENCODING") {
+        Ok(v) if v.eq_ignore_ascii_case("plain") => EncodingMode::Plain,
+        _ => EncodingMode::Auto,
+    }
+}
 
 fn dtype_id(dt: DataType) -> u8 {
     match dt {
@@ -151,6 +204,62 @@ fn get_fixed<T: Fixed>(bytes: &[u8]) -> Vec<T> {
     bytes.chunks_exact(T::SIZE).map(T::read_le).collect()
 }
 
+/// Reads a fixed-width region into a reused vector ([`DecodeWorkspace`]
+/// scratch), avoiding the fresh `Vec` of [`get_fixed`].
+fn read_fixed_into<T: Fixed + Default>(bytes: &[u8], out: &mut Vec<T>) {
+    debug_assert_eq!(bytes.len() % T::SIZE, 0);
+    let n = bytes.len() / T::SIZE;
+    out.clear();
+    #[cfg(target_endian = "little")]
+    {
+        out.reserve(n);
+        // SAFETY: as in `get_fixed`; the destination capacity is reserved
+        // above and `set_len` exposes only bytes written by the copy.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                bytes.as_ptr(),
+                out.as_mut_ptr().cast::<u8>(),
+                bytes.len(),
+            );
+            out.set_len(n);
+        }
+    }
+    #[cfg(not(target_endian = "little"))]
+    out.extend(bytes.chunks_exact(T::SIZE).map(T::read_le));
+}
+
+// ---- varint / zigzag helpers -------------------------------------------------
+
+#[inline]
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Encoded LEB128 length of `z` in bytes (1..=10).
+#[inline]
+fn varint_len(z: u64) -> usize {
+    // 7 payload bits per byte; a zero value still takes one byte
+    (64 - (z | 1).leading_zeros() as usize).div_ceil(7)
+}
+
+#[inline]
+fn put_varint(out: &mut Vec<u8>, mut z: u64) {
+    loop {
+        let byte = (z & 0x7f) as u8;
+        z >>= 7;
+        if z == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
 // ---- size precomputation ----------------------------------------------------
 
 fn validity_region(rows: usize) -> usize {
@@ -164,7 +273,13 @@ fn column_body_size(col: &Column) -> usize {
     } else {
         0
     };
-    let values = match col {
+    validity + plain_values_size(col)
+}
+
+/// Plain (version-1) value-region size of a column.
+fn plain_values_size(col: &Column) -> usize {
+    let rows = col.len();
+    match col {
         Column::Int64(_) | Column::Float64(_) => rows * 8,
         Column::Date(_) => rows * 4,
         Column::Bool(_) => validity_region(rows),
@@ -173,8 +288,7 @@ fn column_body_size(col: &Column) -> usize {
             let data = (offs[rows] - offs[0]) as usize;
             (rows + 1) * 4 + 8 + data
         }
-    };
-    validity + values
+    }
 }
 
 fn df_body_size(df: &DataFrame) -> usize {
@@ -189,9 +303,8 @@ fn arr_body_size(a: &NdArray) -> usize {
     4 + a.shape().len() * 8 + a.len() * 8
 }
 
-/// Exact encoded length of a chunk, without building the envelope. The
-/// simulator uses this to charge the disk tier the *measured* bytes the
-/// real service would write.
+/// Exact plain (version-1) encoded length of a chunk, without building the
+/// envelope — the *raw* side of the compression ratio.
 pub fn encoded_size(value: &ChunkValue) -> usize {
     let body = match value {
         ChunkValue::Df(df) => df_body_size(df),
@@ -200,81 +313,365 @@ pub fn encoded_size(value: &ChunkValue) -> usize {
     HEADER_LEN + body + CHECKSUM_LEN
 }
 
-// ---- encoding ----------------------------------------------------------------
-
-fn put_validity(out: &mut Vec<u8>, v: &Bitmap) {
-    put_fixed(out, &v.to_words());
+/// Raw (plain) and wire (chosen-encoding) sizes of one chunk, as measured
+/// by [`EncodeWorkspace::measure`]. `wire == raw` under
+/// [`EncodingMode::Plain`]; under `Auto`, `wire ≤ raw`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EncodedSize {
+    /// Version-1 plain envelope bytes.
+    pub raw: usize,
+    /// Bytes actually written under the chosen per-column encodings.
+    pub wire: usize,
 }
 
-fn encode_column(out: &mut Vec<u8>, col: &Column) {
-    if let Some(v) = col.validity() {
-        put_validity(out, v);
+// ---- encode workspace --------------------------------------------------------
+
+/// Reusable encoder state: the output buffer, the string-dictionary hash
+/// table and the per-row code staging. A warmed workspace re-encodes
+/// same-shaped chunks with **zero heap allocation** — the property the
+/// `zero_alloc` integration test pins with a counting global allocator.
+#[derive(Default)]
+pub struct EncodeWorkspace {
+    out: Vec<u8>,
+    /// Open-addressed dictionary slots: 0 = empty, else `code + 1`.
+    slots: Vec<u32>,
+    /// Per-row dictionary code of the column being planned.
+    codes: Vec<u32>,
+    /// Representative row index of each dictionary code, in first-occurrence
+    /// (= wire) order.
+    reprs: Vec<u32>,
+}
+
+/// Per-column encoding decision, produced by planning and consumed by the
+/// writer (so choose and write agree byte for byte).
+struct ColPlan {
+    enc: u8,
+    /// Value-region size under `enc` (excludes validity).
+    wire: usize,
+    /// Dictionary byte total (DictUtf8 only).
+    dict_bytes: usize,
+}
+
+impl EncodeWorkspace {
+    /// An empty workspace; buffers grow on first use and are then reused.
+    pub fn new() -> EncodeWorkspace {
+        EncodeWorkspace::default()
     }
-    match col {
-        Column::Int64(a) => put_fixed(out, a.values.as_slice()),
-        Column::Float64(a) => put_fixed(out, a.values.as_slice()),
-        Column::Date(a) => put_fixed(out, a.values.as_slice()),
-        Column::Bool(a) => put_fixed(out, &a.values.to_words()),
-        Column::Utf8(a) => {
-            let offs = a.offsets_buffer().as_slice();
-            let first = offs[0];
-            let last = offs[offs.len() - 1];
-            if first == 0 {
-                put_fixed(out, offs);
-            } else {
-                // a sliced view: rebase the window's offsets to 0 so the
-                // envelope is self-contained
-                for &o in offs {
-                    (o - first).write_le(out);
+
+    /// Encodes one chunk under `mode`, returning the envelope as a view
+    /// into the reused output buffer. `Plain` output is bit-identical to
+    /// [`encode_chunk`]; `Auto` output is stamped version 2 only when at
+    /// least one column compressed (otherwise it, too, is a version-1
+    /// envelope byte for byte).
+    pub fn encode(&mut self, value: &ChunkValue, mode: EncodingMode) -> &[u8] {
+        self.out.clear();
+        self.out.reserve(encoded_size(value));
+        let mut out = std::mem::take(&mut self.out);
+        out.extend_from_slice(&MAGIC);
+        VERSION.write_le(&mut out);
+        let mut compressed = false;
+        match value {
+            ChunkValue::Df(df) => {
+                out.push(KIND_DF);
+                out.push(0);
+                (df.num_columns() as u32).write_le(&mut out);
+                (df.num_rows() as u64).write_le(&mut out);
+                for (field, col) in df.schema().fields().iter().zip(df.columns()) {
+                    (field.name.len() as u16).write_le(&mut out);
+                    out.extend_from_slice(field.name.as_bytes());
+                    out.push(dtype_id(field.dtype));
+                    let plan = self.plan_column(col, mode);
+                    let mut flags = plan.enc << ENC_SHIFT;
+                    if col.validity().is_some() {
+                        flags |= FLAG_VALIDITY;
+                    }
+                    out.push(flags);
+                    if let Some(v) = col.validity() {
+                        put_words(&mut out, v);
+                    }
+                    self.write_values(&mut out, col, &plan);
+                    compressed |= plan.enc != ENC_PLAIN;
                 }
             }
-            let data = &a.data_buffer().as_slice()[first as usize..last as usize];
-            (data.len() as u64).write_le(out);
-            out.extend_from_slice(data);
+            ChunkValue::Arr(a) => {
+                out.push(KIND_ARR);
+                out.push(0);
+                (a.shape().len() as u32).write_le(&mut out);
+                for &d in a.shape() {
+                    (d as u64).write_le(&mut out);
+                }
+                put_fixed(&mut out, a.data());
+            }
+        }
+        if compressed {
+            out[8..10].copy_from_slice(&VERSION_V2.to_le_bytes());
+        }
+        let sum = hash_bytes(&out, 0, out.len());
+        sum.write_le(&mut out);
+        self.out = out;
+        &self.out
+    }
+
+    /// Measures the chunk's raw (plain) and wire (chosen-encoding) sizes
+    /// without writing the envelope — the simulator's per-chunk cost probe.
+    /// Runs the same per-column chooser as [`Self::encode`], so `wire`
+    /// equals the length `encode` would produce exactly.
+    pub fn measure(&mut self, value: &ChunkValue, mode: EncodingMode) -> EncodedSize {
+        let raw = encoded_size(value);
+        if mode == EncodingMode::Plain {
+            return EncodedSize { raw, wire: raw };
+        }
+        let wire = match value {
+            ChunkValue::Arr(_) => raw,
+            ChunkValue::Df(df) => {
+                let mut saved = 0usize;
+                for col in df.columns() {
+                    let plan = self.plan_column(col, mode);
+                    if plan.enc != ENC_PLAIN {
+                        saved += plain_values_size(col) - plan.wire;
+                    }
+                }
+                raw - saved
+            }
+        };
+        EncodedSize { raw, wire }
+    }
+
+    /// Chooses the value-region encoding for one column: compressed only
+    /// when its exact wire size beats plain. Fills the dictionary staging
+    /// (`codes`/`reprs`) when DictUtf8 wins, ready for [`Self::write_values`].
+    fn plan_column(&mut self, col: &Column, mode: EncodingMode) -> ColPlan {
+        let plain = ColPlan {
+            enc: ENC_PLAIN,
+            wire: plain_values_size(col),
+            dict_bytes: 0,
+        };
+        if mode == EncodingMode::Plain {
+            return plain;
+        }
+        match col {
+            Column::Utf8(a) => {
+                let dict_bytes = self.build_dict(a);
+                let ndict = self.reprs.len();
+                let wire = 4 + (ndict + 1) * 4 + 8 + dict_bytes + 1 + a.len() * code_width(ndict);
+                if wire < plain.wire {
+                    ColPlan {
+                        enc: ENC_DICT_UTF8,
+                        wire,
+                        dict_bytes,
+                    }
+                } else {
+                    plain
+                }
+            }
+            Column::Int64(a) => {
+                let vals = a.values.as_slice();
+                let wire = delta_varint_size(vals);
+                if wire < plain.wire {
+                    ColPlan {
+                        enc: ENC_DELTA_VARINT_I64,
+                        wire,
+                        dict_bytes: 0,
+                    }
+                } else {
+                    plain
+                }
+            }
+            _ => plain,
+        }
+    }
+
+    /// Interns every row of `a` into the workspace dictionary. On return
+    /// `codes[row]` is the row's dictionary code, `reprs[code]` a
+    /// representative row, and the sum of distinct-entry lengths is the
+    /// returned dictionary byte total.
+    fn build_dict(&mut self, a: &StrArr) -> usize {
+        let rows = a.len();
+        let offs = a.offsets_buffer().as_slice();
+        let data = a.data_buffer().as_slice();
+        let cap = (rows * 2).next_power_of_two().max(16);
+        self.slots.clear();
+        self.slots.resize(cap, 0);
+        self.codes.clear();
+        self.reprs.clear();
+        let mut dict_bytes = 0usize;
+        for row in 0..rows {
+            let (s, e) = (offs[row] as usize, offs[row + 1] as usize);
+            let bytes = &data[s..e];
+            let mut slot = hash_bytes(data, s, e) as usize & (cap - 1);
+            let code = loop {
+                match self.slots[slot] {
+                    0 => {
+                        let code = self.reprs.len() as u32;
+                        self.slots[slot] = code + 1;
+                        self.reprs.push(row as u32);
+                        dict_bytes += e - s;
+                        break code;
+                    }
+                    c => {
+                        let r = self.reprs[(c - 1) as usize] as usize;
+                        let (rs, re) = (offs[r] as usize, offs[r + 1] as usize);
+                        if &data[rs..re] == bytes {
+                            break c - 1;
+                        }
+                        slot = (slot + 1) & (cap - 1);
+                    }
+                }
+            };
+            self.codes.push(code);
+        }
+        dict_bytes
+    }
+
+    /// Writes the column's value region in the planned encoding.
+    fn write_values(&mut self, out: &mut Vec<u8>, col: &Column, plan: &ColPlan) {
+        match plan.enc {
+            ENC_DICT_UTF8 => {
+                let a = match col {
+                    Column::Utf8(a) => a,
+                    _ => unreachable!("dict plan on non-string column"),
+                };
+                let offs = a.offsets_buffer().as_slice();
+                let data = a.data_buffer().as_slice();
+                let ndict = self.reprs.len();
+                (ndict as u32).write_le(out);
+                let mut acc = 0u32;
+                acc.write_le(out);
+                for &r in &self.reprs {
+                    let r = r as usize;
+                    acc += offs[r + 1] - offs[r];
+                    acc.write_le(out);
+                }
+                (plan.dict_bytes as u64).write_le(out);
+                for &r in &self.reprs {
+                    let r = r as usize;
+                    out.extend_from_slice(&data[offs[r] as usize..offs[r + 1] as usize]);
+                }
+                let width = code_width(ndict);
+                out.push(width as u8);
+                match width {
+                    1 => out.extend(self.codes.iter().map(|&c| c as u8)),
+                    2 => {
+                        for &c in &self.codes {
+                            (c as u16).write_le(out);
+                        }
+                    }
+                    _ => put_fixed(out, &self.codes),
+                }
+            }
+            ENC_DELTA_VARINT_I64 => {
+                let vals = match col {
+                    Column::Int64(a) => a.values.as_slice(),
+                    _ => unreachable!("delta plan on non-i64 column"),
+                };
+                ((plan.wire - 8) as u64).write_le(out);
+                if let Some((&first, rest)) = vals.split_first() {
+                    first.write_le(out);
+                    let mut prev = first;
+                    for &v in rest {
+                        put_varint(out, zigzag(v.wrapping_sub(prev)));
+                        prev = v;
+                    }
+                }
+            }
+            _ => match col {
+                Column::Int64(a) => put_fixed(out, a.values.as_slice()),
+                Column::Float64(a) => put_fixed(out, a.values.as_slice()),
+                Column::Date(a) => put_fixed(out, a.values.as_slice()),
+                Column::Bool(a) => put_words(out, &a.values),
+                Column::Utf8(a) => {
+                    let offs = a.offsets_buffer().as_slice();
+                    let first = offs[0];
+                    let last = offs[offs.len() - 1];
+                    if first == 0 {
+                        put_fixed(out, offs);
+                    } else {
+                        // a sliced view: rebase the window's offsets to 0 so
+                        // the envelope is self-contained
+                        for &o in offs {
+                            (o - first).write_le(out);
+                        }
+                    }
+                    let data = &a.data_buffer().as_slice()[first as usize..last as usize];
+                    (data.len() as u64).write_le(out);
+                    out.extend_from_slice(data);
+                }
+            },
         }
     }
 }
 
-/// Encodes one chunk into a fresh envelope.
-pub fn encode_chunk(value: &ChunkValue) -> Vec<u8> {
-    let mut out = Vec::with_capacity(encoded_size(value));
-    out.extend_from_slice(&MAGIC);
-    VERSION.write_le(&mut out);
-    match value {
-        ChunkValue::Df(df) => {
-            out.push(KIND_DF);
-            out.push(0);
-            (df.num_columns() as u32).write_le(&mut out);
-            (df.num_rows() as u64).write_le(&mut out);
-            for (field, col) in df.schema().fields().iter().zip(df.columns()) {
-                (field.name.len() as u16).write_le(&mut out);
-                out.extend_from_slice(field.name.as_bytes());
-                out.push(dtype_id(field.dtype));
-                out.push(if col.validity().is_some() {
-                    FLAG_VALIDITY
-                } else {
-                    0
-                });
-                encode_column(&mut out, col);
+/// Narrowest code width covering dictionary codes `0..ndict`.
+fn code_width(ndict: usize) -> usize {
+    if ndict <= 1 << 8 {
+        1
+    } else if ndict <= 1 << 16 {
+        2
+    } else {
+        4
+    }
+}
+
+/// Exact DeltaVarintI64 value-region size: length prefix plus (for any
+/// rows) the raw first value and the varint deltas.
+fn delta_varint_size(vals: &[i64]) -> usize {
+    match vals.split_first() {
+        None => 8,
+        Some((&first, rest)) => {
+            let mut n = 8 + 8;
+            let mut prev = first;
+            for &v in rest {
+                n += varint_len(zigzag(v.wrapping_sub(prev)));
+                prev = v;
             }
-        }
-        ChunkValue::Arr(a) => {
-            out.push(KIND_ARR);
-            out.push(0);
-            (a.shape().len() as u32).write_le(&mut out);
-            for &d in a.shape() {
-                (d as u64).write_le(&mut out);
-            }
-            put_fixed(&mut out, a.data());
+            n
         }
     }
-    let sum = hash_bytes(&out, 0, out.len());
-    sum.write_le(&mut out);
-    debug_assert_eq!(out.len(), encoded_size(value), "size precompute drifted");
-    out
+}
+
+/// Writes a bitmap's normalized words without the `to_words` staging `Vec`.
+fn put_words(out: &mut Vec<u8>, v: &Bitmap) {
+    for w in v.words_iter() {
+        w.write_le(out);
+    }
+}
+
+// ---- encoding entry points ---------------------------------------------------
+
+/// Encodes one chunk into a fresh plain (version-1) envelope. Hot paths
+/// hold an [`EncodeWorkspace`] instead and reuse its buffer.
+pub fn encode_chunk(value: &ChunkValue) -> Vec<u8> {
+    encode_chunk_with_mode(value, EncodingMode::Plain)
+}
+
+/// Encodes one chunk into a fresh envelope under an explicit mode.
+pub fn encode_chunk_with_mode(value: &ChunkValue, mode: EncodingMode) -> Vec<u8> {
+    let mut ws = EncodeWorkspace::new();
+    ws.encode(value, mode);
+    debug_assert!(
+        mode == EncodingMode::Auto || ws.out.len() == encoded_size(value),
+        "plain size precompute drifted"
+    );
+    ws.out
 }
 
 // ---- decoding ----------------------------------------------------------------
+
+/// Reusable decoder scratch: staging for dictionary offsets so read-back
+/// does not re-allocate it per column. Output columns themselves are fresh
+/// allocations by design (they outlive the call); plain string regions
+/// stay zero-copy windows over the read buffer.
+#[derive(Default)]
+pub struct DecodeWorkspace {
+    dict_offs: Vec<u32>,
+}
+
+impl DecodeWorkspace {
+    /// An empty workspace; scratch grows on first use and is then reused.
+    pub fn new() -> DecodeWorkspace {
+        DecodeWorkspace::default()
+    }
+}
 
 /// Strict cursor over the envelope body: every read is bounds-checked and
 /// reports the offending position.
@@ -333,18 +730,176 @@ fn read_validity(r: &mut Reader<'_>, rows: usize) -> StorageResult<Bitmap> {
     Ok(Bitmap::from_words(words, rows))
 }
 
-fn decode_column(
+/// Decodes a DictUtf8 value region into a materialized string column.
+fn decode_dict_utf8(
     r: &mut Reader<'_>,
-    shared: &Arc<Vec<u8>>,
-    dtype: DataType,
-    has_validity: bool,
+    ws: &mut DecodeWorkspace,
+    validity: Option<Bitmap>,
     rows: usize,
 ) -> StorageResult<Column> {
-    let validity = if has_validity {
+    let ndict = r.u32()? as usize;
+    let offs_bytes = (ndict + 1).checked_mul(4).ok_or_else(|| {
+        StorageError::Corrupt(format!(
+            "dictionary of {ndict} entries is implausibly large"
+        ))
+    })?;
+    read_fixed_into::<u32>(r.take(offs_bytes)?, &mut ws.dict_offs);
+    let dict_len = r.usize64("dictionary byte length")?;
+    if ws.dict_offs[0] != 0 || ws.dict_offs[ndict] as usize != dict_len {
+        return Err(StorageError::Corrupt(
+            "dictionary offsets do not span the dictionary region".into(),
+        ));
+    }
+    if ws.dict_offs.windows(2).any(|w| w[0] > w[1]) {
+        return Err(StorageError::Corrupt(
+            "dictionary offsets are not monotone".into(),
+        ));
+    }
+    let dict = r.take(dict_len)?;
+    let dict_str = std::str::from_utf8(dict)
+        .map_err(|e| StorageError::Corrupt(format!("dictionary bytes not UTF-8: {e}")))?;
+    if ws
+        .dict_offs
+        .iter()
+        .any(|&o| !dict_str.is_char_boundary(o as usize))
+    {
+        return Err(StorageError::Corrupt(
+            "dictionary offset splits a UTF-8 character".into(),
+        ));
+    }
+    let width = r.u8()? as usize;
+    if !matches!(width, 1 | 2 | 4) {
+        return Err(StorageError::Corrupt(format!(
+            "invalid dictionary code width {width}"
+        )));
+    }
+    let codes = r.take(rows * width)?;
+    let code_at = |row: usize| -> usize {
+        match width {
+            1 => codes[row] as usize,
+            2 => u16::read_le(&codes[row * 2..row * 2 + 2]) as usize,
+            _ => u32::read_le(&codes[row * 4..row * 4 + 4]) as usize,
+        }
+    };
+    // first pass: range-check every code and total the gathered bytes
+    let mut total = 0usize;
+    for row in 0..rows {
+        let c = code_at(row);
+        if c >= ndict {
+            return Err(StorageError::Corrupt(format!(
+                "dictionary code {c} out of range (ndict {ndict})"
+            )));
+        }
+        total += (ws.dict_offs[c + 1] - ws.dict_offs[c]) as usize;
+    }
+    // second pass: gather rows from the validated dictionary
+    let mut out_offs: Vec<u32> = Vec::with_capacity(rows + 1);
+    let mut out_data: Vec<u8> = Vec::with_capacity(total);
+    out_offs.push(0);
+    for row in 0..rows {
+        let c = code_at(row);
+        out_data.extend_from_slice(&dict[ws.dict_offs[c] as usize..ws.dict_offs[c + 1] as usize]);
+        out_offs.push(out_data.len() as u32);
+    }
+    let arr = StrArr::from_raw(
+        Buffer::from_vec(out_data),
+        Buffer::from_vec(out_offs),
+        validity,
+    )
+    .map_err(|e| StorageError::Corrupt(format!("dictionary string column: {e}")))?;
+    Ok(Column::Utf8(arr))
+}
+
+/// Decodes a DeltaVarintI64 value region. Every varint must be minimal
+/// LEB128 and fit in 64 bits; the region must hold exactly `rows − 1`
+/// deltas after the raw first value.
+fn decode_delta_varint(
+    r: &mut Reader<'_>,
+    validity: Option<Bitmap>,
+    rows: usize,
+) -> StorageResult<Column> {
+    let region_len = r.usize64("varint region length")?;
+    let region = r.take(region_len)?;
+    let mut vals: Vec<i64> = Vec::with_capacity(rows);
+    if rows == 0 {
+        if region_len != 0 {
+            return Err(StorageError::Corrupt(
+                "varint region for an empty column must be empty".into(),
+            ));
+        }
+    } else {
+        if region_len < 8 {
+            return Err(StorageError::Corrupt(
+                "varint region too short for the first value".into(),
+            ));
+        }
+        let mut prev = i64::read_le(&region[..8]);
+        vals.push(prev);
+        let mut pos = 8usize;
+        for _ in 1..rows {
+            let mut z = 0u64;
+            let mut shift = 0u32;
+            let start = pos;
+            loop {
+                let byte = *region.get(pos).ok_or_else(|| {
+                    StorageError::Corrupt("varint region truncated mid-value".into())
+                })?;
+                pos += 1;
+                if shift == 63 && byte > 1 {
+                    return Err(StorageError::Corrupt("varint overflows 64 bits".into()));
+                }
+                z |= u64::from(byte & 0x7f) << shift;
+                if byte & 0x80 == 0 {
+                    if byte == 0 && pos - start > 1 {
+                        return Err(StorageError::Corrupt("non-minimal varint encoding".into()));
+                    }
+                    break;
+                }
+                shift += 7;
+                if shift > 63 {
+                    return Err(StorageError::Corrupt("varint overflows 64 bits".into()));
+                }
+            }
+            prev = prev.wrapping_add(unzigzag(z));
+            vals.push(prev);
+        }
+        if pos != region_len {
+            return Err(StorageError::Corrupt(format!(
+                "{} trailing bytes in varint region",
+                region_len - pos
+            )));
+        }
+    }
+    Ok(Column::Int64(PrimArr {
+        values: Buffer::from_vec(vals),
+        validity,
+    }))
+}
+
+fn decode_column(
+    r: &mut Reader<'_>,
+    ws: &mut DecodeWorkspace,
+    shared: &Arc<Vec<u8>>,
+    dtype: DataType,
+    flags: u8,
+    rows: usize,
+) -> StorageResult<Column> {
+    let validity = if flags & FLAG_VALIDITY != 0 {
         Some(read_validity(r, rows)?)
     } else {
         None
     };
+    let enc = (flags & ENC_MASK) >> ENC_SHIFT;
+    match (enc, dtype) {
+        (ENC_PLAIN, _) => {}
+        (ENC_DICT_UTF8, DataType::Utf8) => return decode_dict_utf8(r, ws, validity, rows),
+        (ENC_DELTA_VARINT_I64, DataType::Int64) => return decode_delta_varint(r, validity, rows),
+        _ => {
+            return Err(StorageError::Corrupt(format!(
+                "encoding {enc} is invalid for dtype {dtype:?}"
+            )))
+        }
+    }
     Ok(match dtype {
         DataType::Int64 => Column::Int64(PrimArr {
             values: Buffer::from_vec(get_fixed::<i64>(r.take(rows * 8)?)),
@@ -380,9 +935,15 @@ fn decode_column(
     })
 }
 
-/// Decodes an envelope produced by [`encode_chunk`], consuming the read
-/// buffer (string columns keep zero-copy windows into it).
+/// Decodes an envelope produced by [`encode_chunk`] or
+/// [`EncodeWorkspace::encode`], consuming the read buffer (plain string
+/// columns keep zero-copy windows into it).
 pub fn decode_chunk(bytes: Vec<u8>) -> StorageResult<ChunkValue> {
+    decode_chunk_with(bytes, &mut DecodeWorkspace::new())
+}
+
+/// [`decode_chunk`] with caller-owned scratch (see [`DecodeWorkspace`]).
+pub fn decode_chunk_with(bytes: Vec<u8>, ws: &mut DecodeWorkspace) -> StorageResult<ChunkValue> {
     let total = bytes.len();
     if total < HEADER_LEN + CHECKSUM_LEN {
         return Err(StorageError::Corrupt(format!(
@@ -401,9 +962,9 @@ pub fn decode_chunk(bytes: Vec<u8>) -> StorageResult<ChunkValue> {
         return Err(StorageError::Corrupt("bad magic".into()));
     }
     let version = u16::read_le(&bytes[8..10]);
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V2 {
         return Err(StorageError::Corrupt(format!(
-            "unsupported version {version} (expected {VERSION})"
+            "unsupported version {version} (expected {VERSION} or {VERSION_V2})"
         )));
     }
     let kind = bytes[10];
@@ -425,12 +986,23 @@ pub fn decode_chunk(bytes: Vec<u8>) -> StorageResult<ChunkValue> {
                     .to_string();
                 let dtype = dtype_from_id(r.u8()?)?;
                 let flags = r.u8()?;
-                if flags & !FLAG_VALIDITY != 0 {
+                let known = if version == VERSION {
+                    // version 1 predates the encoding bits: only validity
+                    FLAG_VALIDITY
+                } else {
+                    FLAG_VALIDITY | ENC_MASK
+                };
+                if flags & !known != 0 {
                     return Err(StorageError::Corrupt(format!(
                         "unknown column flags {flags:#04x}"
                     )));
                 }
-                let col = decode_column(&mut r, &shared, dtype, flags & FLAG_VALIDITY != 0, nrows)?;
+                if (flags & ENC_MASK) >> ENC_SHIFT > ENC_DELTA_VARINT_I64 {
+                    return Err(StorageError::Corrupt(format!(
+                        "unknown column encoding in flags {flags:#04x}"
+                    )));
+                }
+                let col = decode_column(&mut r, ws, &shared, dtype, flags, nrows)?;
                 pairs.push((name, col));
             }
             let df = DataFrame::new(pairs)
@@ -548,6 +1120,129 @@ mod tests {
             let mut bad = enc.clone();
             bad[pos] ^= 0x40;
             assert!(decode_chunk(bad).is_err(), "flip at {pos} accepted");
+        }
+    }
+
+    #[test]
+    fn zigzag_varint_roundtrip() {
+        for v in [0i64, 1, -1, 63, -64, 64, i64::MAX, i64::MIN, 1 << 35] {
+            assert_eq!(unzigzag(zigzag(v)), v, "zigzag({v})");
+            let mut buf = Vec::new();
+            put_varint(&mut buf, zigzag(v));
+            assert_eq!(buf.len(), varint_len(zigzag(v)), "len({v})");
+        }
+    }
+
+    #[test]
+    fn dict_wins_on_repetitive_strings_and_roundtrips() {
+        let df = DataFrame::new(vec![(
+            "s",
+            Column::from_str((0..2000).map(|i| format!("flag{}", i % 3))),
+        )])
+        .unwrap();
+        let v = ChunkValue::Df(df.clone());
+        let plain = encode_chunk(&v);
+        let auto = encode_chunk_with_mode(&v, EncodingMode::Auto);
+        assert!(
+            auto.len() * 2 < plain.len(),
+            "dict should at least halve this column: {} vs {}",
+            auto.len(),
+            plain.len()
+        );
+        assert_eq!(u16::read_le(&auto[8..10]), VERSION_V2);
+        match decode_chunk(auto).unwrap() {
+            ChunkValue::Df(out) => assert_eq!(out, df),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn delta_varint_wins_on_sorted_keys_and_roundtrips() {
+        let df = DataFrame::new(vec![(
+            "k",
+            Column::from_i64((0..4000i64).map(|i| i * 3).collect()),
+        )])
+        .unwrap();
+        let v = ChunkValue::Df(df.clone());
+        let plain = encode_chunk(&v);
+        let auto = encode_chunk_with_mode(&v, EncodingMode::Auto);
+        assert!(
+            auto.len() * 2 < plain.len(),
+            "varints should at least halve sorted keys: {} vs {}",
+            auto.len(),
+            plain.len()
+        );
+        match decode_chunk(auto).unwrap() {
+            ChunkValue::Df(out) => assert_eq!(out, df),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn incompressible_columns_stay_plain_and_bit_identical() {
+        // high-entropy strings and i64s: the chooser must fall back to
+        // plain, and an all-plain auto envelope is byte-equal to version 1
+        let mut rng = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let df = DataFrame::new(vec![
+            (
+                "s",
+                Column::from_str((0..500).map(|_| format!("{:016x}", next()))),
+            ),
+            (
+                "k",
+                Column::from_i64((0..500).map(|_| next() as i64).collect()),
+            ),
+        ])
+        .unwrap();
+        let v = ChunkValue::Df(df);
+        assert_eq!(
+            encode_chunk_with_mode(&v, EncodingMode::Auto),
+            encode_chunk(&v)
+        );
+    }
+
+    #[test]
+    fn measure_matches_encode_exactly() {
+        let df = DataFrame::new(vec![
+            (
+                "s",
+                Column::from_str((0..1000).map(|i| format!("v{}", i % 5))),
+            ),
+            ("k", Column::from_i64((0..1000).collect())),
+            ("f", Column::from_f64((0..1000).map(|i| i as f64).collect())),
+        ])
+        .unwrap();
+        let v = ChunkValue::Df(df);
+        let mut ws = EncodeWorkspace::new();
+        for mode in [EncodingMode::Plain, EncodingMode::Auto] {
+            let size = ws.measure(&v, mode);
+            assert_eq!(size.raw, encoded_size(&v));
+            assert_eq!(size.wire, ws.encode(&v, mode).len(), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_stable() {
+        let v = ChunkValue::Df(
+            DataFrame::new(vec![
+                (
+                    "s",
+                    Column::from_str((0..300).map(|i| format!("g{}", i % 7))),
+                ),
+                ("k", Column::from_i64((0..300).collect())),
+            ])
+            .unwrap(),
+        );
+        let mut ws = EncodeWorkspace::new();
+        let first = ws.encode(&v, EncodingMode::Auto).to_vec();
+        for _ in 0..3 {
+            assert_eq!(ws.encode(&v, EncodingMode::Auto), &first[..]);
         }
     }
 }

@@ -30,9 +30,12 @@ pub mod chunkfmt;
 pub mod error;
 pub mod service;
 
-pub use chunkfmt::{decode_chunk, encode_chunk, encoded_size};
+pub use chunkfmt::{
+    decode_chunk, decode_chunk_with, encode_chunk, encode_chunk_with_mode, encoded_size,
+    encoding_from_env, DecodeWorkspace, EncodeWorkspace, EncodedSize, EncodingMode,
+};
 pub use error::{StorageError, StorageResult};
-pub use service::{SpillConfig, StorageConfig, StorageMetrics, StorageService};
+pub use service::{SpillConfig, StorageConfig, StorageMetrics, StorageService, Workspaces};
 
 use xorbits_array::NdArray;
 use xorbits_dataframe::DataFrame;

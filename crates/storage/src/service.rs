@@ -44,7 +44,10 @@
 //! ring and *releases it* before touching the candidate's shard. No path
 //! holds two shards.
 
-use crate::chunkfmt::{decode_chunk, encode_chunk};
+use crate::chunkfmt::{
+    decode_chunk_with, encoded_size, encoding_from_env, DecodeWorkspace, EncodeWorkspace,
+    EncodingMode,
+};
 use crate::error::{StorageError, StorageResult};
 use crate::ChunkValue;
 use std::collections::{HashMap, VecDeque};
@@ -68,13 +71,27 @@ pub enum SpillConfig {
 }
 
 /// Configuration of a [`StorageService`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StorageConfig {
     /// Byte budget of the memory tier (`None` = unbounded, nothing ever
     /// evicts).
     pub memory_budget: Option<usize>,
     /// Disk-tier policy.
     pub spill: SpillConfig,
+    /// Spill-file encoding: `Auto` lets the per-column chooser compress,
+    /// `Plain` pins version-1 envelopes. The default resolves the
+    /// `XORBITS_ENCODING` env knob ([`encoding_from_env`]).
+    pub encoding: EncodingMode,
+}
+
+impl Default for StorageConfig {
+    fn default() -> StorageConfig {
+        StorageConfig {
+            memory_budget: None,
+            spill: SpillConfig::default(),
+            encoding: encoding_from_env(),
+        }
+    }
 }
 
 /// Cumulative counters plus a point-in-time snapshot of the tier state.
@@ -101,6 +118,12 @@ pub struct StorageMetrics {
     /// builds also `debug_assert!`; release builds count it here so the
     /// trace layer can surface it.
     pub unbalanced_unpins: u64,
+    /// Plain (version-1) envelope bytes of every chunk the spill path
+    /// encoded — the denominator of the spill compression ratio.
+    pub encoded_raw_bytes: u64,
+    /// Bytes the spill path actually wrote under the configured encoding
+    /// (equals `encoded_raw_bytes` under [`EncodingMode::Plain`]).
+    pub encoded_wire_bytes: u64,
 }
 
 struct Entry {
@@ -124,10 +147,31 @@ const SHARD_COUNT: usize = 16;
 /// Process-wide counter making concurrent temp spill dirs unique.
 static TEMP_DIR_SEQ: AtomicU64 = AtomicU64::new(0);
 
+/// Caller-owned encode/decode scratch, threaded through
+/// [`StorageService::put_with`]/[`StorageService::get_with`] so a worker
+/// thread spills and reads back through its *own* warmed buffers instead
+/// of contending on (and cold-starting) the shard's. Each storage shard
+/// also owns one for the plain `put`/`get` paths.
+#[derive(Default)]
+pub struct Workspaces {
+    /// Encoder state (output buffer, dict table, varint staging).
+    pub enc: EncodeWorkspace,
+    /// Decoder scratch (dictionary offset staging).
+    pub dec: DecodeWorkspace,
+}
+
+/// One entry-map shard plus the shard-resident codec workspaces used when
+/// the caller did not bring its own.
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<u64, Entry>,
+    ws: Workspaces,
+}
+
 /// The multi-level chunk store. See the module docs for the design.
 pub struct StorageService {
     config: StorageConfig,
-    shards: Vec<Mutex<HashMap<u64, Entry>>>,
+    shards: Vec<Mutex<Shard>>,
     /// Global clock ring of candidate keys (may hold stale keys; the sweep
     /// skips and drops them).
     ring: Mutex<VecDeque<u64>>,
@@ -139,6 +183,8 @@ pub struct StorageService {
     hits: AtomicU64,
     misses: AtomicU64,
     unbalanced_unpins: AtomicU64,
+    encoded_raw_bytes: AtomicU64,
+    encoded_wire_bytes: AtomicU64,
     spill_dir: Option<PathBuf>,
     /// Whether the service created `spill_dir` and must remove it on drop.
     owns_dir: bool,
@@ -169,7 +215,7 @@ impl StorageService {
         Ok(StorageService {
             config,
             shards: (0..SHARD_COUNT)
-                .map(|_| Mutex::new(HashMap::new()))
+                .map(|_| Mutex::new(Shard::default()))
                 .collect(),
             ring: Mutex::new(VecDeque::new()),
             resident_bytes: AtomicUsize::new(0),
@@ -180,6 +226,8 @@ impl StorageService {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             unbalanced_unpins: AtomicU64::new(0),
+            encoded_raw_bytes: AtomicU64::new(0),
+            encoded_wire_bytes: AtomicU64::new(0),
             spill_dir,
             owns_dir,
         })
@@ -195,7 +243,7 @@ impl StorageService {
         &self.config
     }
 
-    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, Entry>> {
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
         // multiply-shift so sequential chunk ids spread over the shards
         let h = key.wrapping_mul(0x9e37_79b9_7f4a_7c15);
         &self.shards[(h >> 32) as usize % SHARD_COUNT]
@@ -211,11 +259,26 @@ impl StorageService {
     /// the key, then shrinks the memory tier back under budget — possibly
     /// spilling the chunk just stored.
     pub fn put(&self, key: u64, value: ChunkValue) -> StorageResult<()> {
+        self.put_impl(key, value, None)
+    }
+
+    /// [`Self::put`] with caller-owned codec workspaces: any spill the
+    /// insert triggers encodes through `ws` instead of the victim shard's.
+    pub fn put_with(&self, key: u64, value: ChunkValue, ws: &mut Workspaces) -> StorageResult<()> {
+        self.put_impl(key, value, Some(ws))
+    }
+
+    fn put_impl(
+        &self,
+        key: u64,
+        value: ChunkValue,
+        ws: Option<&mut Workspaces>,
+    ) -> StorageResult<()> {
         let nbytes = value.nbytes();
         {
             let mut shard = self.shard(key).lock().unwrap();
-            Self::release_in_shard(&mut shard, key, &self.resident_bytes);
-            shard.insert(
+            Self::release_in_shard(&mut shard.entries, key, &self.resident_bytes);
+            shard.entries.insert(
                 key,
                 Entry {
                     value: Some(Arc::new(value)),
@@ -228,16 +291,35 @@ impl StorageService {
             self.ring.lock().unwrap().push_back(key);
             self.charge(nbytes);
         }
-        self.shrink_to_budget()
+        self.shrink_to_budget(ws)
     }
 
     /// Fetches a chunk: from the memory tier if resident, otherwise by
     /// reading its envelope back from the disk tier (counted as a miss and
     /// promoted best-effort).
     pub fn get(&self, key: u64) -> StorageResult<Arc<ChunkValue>> {
+        self.get_impl(key, None)
+    }
+
+    /// [`Self::get`] with caller-owned codec workspaces: a disk-tier read
+    /// decodes through `ws`, and any promotion-driven spill encodes
+    /// through it too.
+    pub fn get_with(&self, key: u64, ws: &mut Workspaces) -> StorageResult<Arc<ChunkValue>> {
+        self.get_impl(key, Some(ws))
+    }
+
+    fn get_impl(
+        &self,
+        key: u64,
+        mut ws: Option<&mut Workspaces>,
+    ) -> StorageResult<Arc<ChunkValue>> {
         let (value, nbytes) = {
-            let mut shard = self.shard(key).lock().unwrap();
-            let entry = shard.get_mut(&key).ok_or(StorageError::Missing(key))?;
+            let mut guard = self.shard(key).lock().unwrap();
+            let shard = &mut *guard;
+            let entry = shard
+                .entries
+                .get_mut(&key)
+                .ok_or(StorageError::Missing(key))?;
             entry.ref_bit = true;
             if let Some(v) = &entry.value {
                 let v = Arc::clone(v);
@@ -253,12 +335,16 @@ impl StorageService {
             self.misses.fetch_add(1, Ordering::Relaxed);
             self.read_back_bytes
                 .fetch_add(bytes.len() as u64, Ordering::Relaxed);
-            let value = Arc::new(decode_chunk(bytes)?);
+            let dec = match ws.as_deref_mut() {
+                Some(w) => &mut w.dec,
+                None => &mut shard.ws.dec,
+            };
+            let value = Arc::new(decode_chunk_with(bytes, dec)?);
             // Promote: make the chunk resident again, evicting colder chunks
             // if needed. Best-effort — a failure to make room (everything
             // else pinned) leaves the chunk non-resident but still returns
             // it.
-            let entry = shard.get_mut(&key).expect("entry checked above");
+            let entry = shard.entries.get_mut(&key).expect("entry checked above");
             let nbytes = entry.nbytes;
             entry.value = Some(Arc::clone(&value));
             entry.pins += 1; // shield from the shrink sweep below
@@ -266,9 +352,9 @@ impl StorageService {
             self.charge(nbytes);
             (value, nbytes)
         };
-        let shrunk = self.shrink_to_budget();
+        let shrunk = self.shrink_to_budget(ws);
         let mut shard = self.shard(key).lock().unwrap();
-        if let Some(entry) = shard.get_mut(&key) {
+        if let Some(entry) = shard.entries.get_mut(&key) {
             entry.pins -= 1;
             if shrunk.is_err() && entry.value.is_some() {
                 // demote in place: the caller keeps the Arc, the tier stays
@@ -282,14 +368,17 @@ impl StorageService {
 
     /// True when the key is known (resident or spilled).
     pub fn contains(&self, key: u64) -> bool {
-        self.shard(key).lock().unwrap().contains_key(&key)
+        self.shard(key).lock().unwrap().entries.contains_key(&key)
     }
 
     /// Pins a chunk: while the pin count is nonzero the chunk is never
     /// evicted. Executors pin every input of a subtask before running it.
     pub fn pin(&self, key: u64) -> StorageResult<()> {
         let mut shard = self.shard(key).lock().unwrap();
-        let entry = shard.get_mut(&key).ok_or(StorageError::Missing(key))?;
+        let entry = shard
+            .entries
+            .get_mut(&key)
+            .ok_or(StorageError::Missing(key))?;
         entry.pins += 1;
         Ok(())
     }
@@ -302,7 +391,7 @@ impl StorageService {
     /// trace layer can report it.
     pub fn unpin(&self, key: u64) {
         let mut shard = self.shard(key).lock().unwrap();
-        let balanced = match shard.get_mut(&key) {
+        let balanced = match shard.entries.get_mut(&key) {
             Some(entry) if entry.pins > 0 => {
                 entry.pins -= 1;
                 true
@@ -324,7 +413,7 @@ impl StorageService {
     /// Drops a chunk from both tiers.
     pub fn remove(&self, key: u64) {
         let mut shard = self.shard(key).lock().unwrap();
-        Self::release_in_shard(&mut shard, key, &self.resident_bytes);
+        Self::release_in_shard(&mut shard.entries, key, &self.resident_bytes);
     }
 
     /// Drops every chunk from both tiers. Cumulative metrics survive;
@@ -333,9 +422,9 @@ impl StorageService {
     pub fn clear(&self) {
         for shard in &self.shards {
             let mut shard = shard.lock().unwrap();
-            let keys: Vec<u64> = shard.keys().copied().collect();
+            let keys: Vec<u64> = shard.entries.keys().copied().collect();
             for key in keys {
-                Self::release_in_shard(&mut shard, key, &self.resident_bytes);
+                Self::release_in_shard(&mut shard.entries, key, &self.resident_bytes);
             }
         }
         self.ring.lock().unwrap().clear();
@@ -368,12 +457,15 @@ impl StorageService {
                 .map(|s| {
                     s.lock()
                         .unwrap()
+                        .entries
                         .values()
                         .filter(|e| e.file.is_some())
                         .count()
                 })
                 .sum(),
             unbalanced_unpins: self.unbalanced_unpins.load(Ordering::Relaxed),
+            encoded_raw_bytes: self.encoded_raw_bytes.load(Ordering::Relaxed),
+            encoded_wire_bytes: self.encoded_wire_bytes.load(Ordering::Relaxed),
         }
     }
 
@@ -404,7 +496,7 @@ impl StorageService {
     /// Concurrent sweeps cooperate: each pops its own candidates from the
     /// shared ring, so two threads shrink twice as fast and the clock order
     /// is still consumed exactly once.
-    fn shrink_to_budget(&self) -> StorageResult<()> {
+    fn shrink_to_budget(&self, mut ws: Option<&mut Workspaces>) -> StorageResult<()> {
         let Some(budget) = self.config.memory_budget else {
             return Ok(());
         };
@@ -422,8 +514,9 @@ impl StorageService {
             let Some(key) = key else {
                 return Err(StorageError::Oom { needed, budget });
             };
-            let mut shard = self.shard(key).lock().unwrap();
-            let Some(entry) = shard.get_mut(&key) else {
+            let mut locked = self.shard(key).lock().unwrap();
+            let shard = &mut *locked;
+            let Some(entry) = shard.entries.get_mut(&key) else {
                 continue; // stale slot of a removed chunk
             };
             if entry.value.is_none() {
@@ -438,7 +531,11 @@ impl StorageService {
                 }
                 continue;
             }
-            self.evict_entry(entry, key)?;
+            let enc = match ws.as_deref_mut() {
+                Some(w) => &mut w.enc,
+                None => &mut shard.ws.enc,
+            };
+            self.evict_entry(entry, key, enc)?;
             scanned = 0; // fresh laps for the next victim
         }
         Ok(())
@@ -447,17 +544,27 @@ impl StorageService {
     /// Writes the chunk's envelope to the disk tier (unless a valid spill
     /// file already exists from a previous eviction) and drops the resident
     /// value. The caller holds the entry's shard lock and has checked
-    /// residency.
-    fn evict_entry(&self, entry: &mut Entry, key: u64) -> StorageResult<()> {
+    /// residency; the encode reuses `enc` (the caller's workspace or the
+    /// victim shard's), so a warmed spill path allocates nothing.
+    fn evict_entry(
+        &self,
+        entry: &mut Entry,
+        key: u64,
+        enc: &mut EncodeWorkspace,
+    ) -> StorageResult<()> {
         let dir = self.spill_dir.as_ref().expect("caller checked spill_dir");
         let value = entry.value.take().expect("caller checked residency");
         if entry.file.is_none() {
             let path = Self::spill_path(dir, key);
-            let bytes = encode_chunk(&value);
-            std::fs::write(&path, &bytes)
+            let bytes = enc.encode(&value, self.config.encoding);
+            std::fs::write(&path, bytes)
                 .map_err(|e| StorageError::Io(format!("write {}: {e}", path.display())))?;
             entry.file = Some(path);
             self.spilled_bytes
+                .fetch_add(bytes.len() as u64, Ordering::Relaxed);
+            self.encoded_raw_bytes
+                .fetch_add(encoded_size(&value) as u64, Ordering::Relaxed);
+            self.encoded_wire_bytes
                 .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         }
         self.evictions.fetch_add(1, Ordering::Relaxed);
@@ -470,7 +577,7 @@ impl StorageService {
 impl Drop for StorageService {
     fn drop(&mut self) {
         for shard in &mut self.shards {
-            for entry in shard.get_mut().unwrap().values() {
+            for entry in shard.get_mut().unwrap().entries.values() {
                 if let Some(path) = &entry.file {
                     let _ = std::fs::remove_file(path);
                 }
@@ -513,6 +620,7 @@ mod tests {
         StorageService::new(StorageConfig {
             memory_budget: Some(budget),
             spill: SpillConfig::TempDir,
+            ..Default::default()
         })
         .unwrap()
     }
@@ -532,6 +640,7 @@ mod tests {
         let s = StorageService::new(StorageConfig {
             memory_budget: Some(64),
             spill: SpillConfig::Disabled,
+            ..Default::default()
         })
         .unwrap();
         let err = s.put(1, df_chunk(1, 1000)).unwrap_err();
@@ -723,6 +832,7 @@ mod tests {
             .map(|sh| {
                 sh.lock()
                     .unwrap()
+                    .entries
                     .values()
                     .filter(|e| e.value.is_some())
                     .map(|e| e.nbytes)

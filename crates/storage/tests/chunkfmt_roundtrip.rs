@@ -6,7 +6,10 @@ use xorbits_array::prng::Xoshiro256;
 use xorbits_array::NdArray;
 use xorbits_dataframe::hash::hash_bytes;
 use xorbits_dataframe::{Column, DataFrame};
-use xorbits_storage::{decode_chunk, encode_chunk, encoded_size, ChunkValue, StorageError};
+use xorbits_storage::{
+    decode_chunk, encode_chunk, encode_chunk_with_mode, encoded_size, ChunkValue, EncodingMode,
+    StorageError,
+};
 
 // ---- generators -------------------------------------------------------------
 
@@ -250,7 +253,7 @@ fn bad_magic_version_and_kind_are_rejected() {
     assert!(matches!(decode_chunk(bad), Err(StorageError::Corrupt(_))));
 
     let mut bad = enc.clone();
-    bad[8..10].copy_from_slice(&2u16.to_le_bytes());
+    bad[8..10].copy_from_slice(&3u16.to_le_bytes());
     fix_checksum(&mut bad);
     let err = decode_chunk(bad).unwrap_err();
     assert!(err.to_string().contains("version"), "{err}");
@@ -313,6 +316,333 @@ fn invalid_utf8_in_string_region_is_rejected() {
     fix_checksum(&mut bad);
     let err = decode_chunk(bad).unwrap_err();
     assert!(matches!(err, StorageError::Corrupt(_)), "{err}");
+}
+
+// ---- version-2 roundtrips ---------------------------------------------------
+
+/// A dataframe whose columns exercise both v2 encodings *and* the plain
+/// fallback: a low-cardinality string column (DictUtf8 territory), a sorted
+/// i64 key (DeltaVarintI64 territory), plus one random column of every
+/// dtype/null pattern.
+fn random_df_v2(rng: &mut Xoshiro256, rows: usize) -> DataFrame {
+    let mut pairs: Vec<(String, Column)> = (0u8..5)
+        .map(|dtype| {
+            let mode = rng.next_bounded(3) as u8;
+            (format!("col{dtype}"), random_column(rng, rows, dtype, mode))
+        })
+        .collect();
+    let labels = ["A", "N", "R", "returned", ""];
+    pairs.push((
+        "cat".into(),
+        Column::from_str((0..rows).map(|_| labels[rng.next_bounded(5) as usize])),
+    ));
+    let mut key = rng.next_bounded(1 << 40) as i64;
+    pairs.push((
+        "key".into(),
+        Column::from_i64(
+            (0..rows)
+                .map(|_| {
+                    key += rng.next_bounded(64) as i64;
+                    key
+                })
+                .collect(),
+        ),
+    ));
+    DataFrame::new(pairs.iter().map(|(n, c)| (n.as_str(), c.clone())).collect()).unwrap()
+}
+
+fn decode_df(bytes: Vec<u8>) -> DataFrame {
+    match decode_chunk(bytes).expect("decode") {
+        ChunkValue::Df(out) => out,
+        ChunkValue::Arr(_) => panic!("kind flipped"),
+    }
+}
+
+#[test]
+fn cross_version_roundtrip_property() {
+    // every dtype × null pattern × view shape survives both encodings, and
+    // decode ∘ encode in one version re-encodes losslessly in the other
+    for seed in 0..8u64 {
+        let mut rng = Xoshiro256::seed_from_u64(0xD1C7 ^ seed);
+        for &rows in &[0usize, 1, 7, 64, 65, 300] {
+            let parent = random_df_v2(&mut rng, rows);
+            let off = if rows > 1 {
+                rng.next_bounded(rows as u64 / 2) as usize
+            } else {
+                0
+            };
+            for df in [parent.clone(), parent.slice(off, rows - off)] {
+                let v = ChunkValue::Df(df.clone());
+                let from_plain = decode_df(encode_chunk(&v));
+                let from_auto = decode_df(encode_chunk_with_mode(&v, EncodingMode::Auto));
+                assert_eq!(from_plain, df, "plain seed {seed} rows {rows}");
+                assert_eq!(from_auto, df, "auto seed {seed} rows {rows}");
+                // cross the versions: v1 decode → v2 envelope and back
+                let crossed = decode_df(encode_chunk_with_mode(
+                    &ChunkValue::Df(from_plain),
+                    EncodingMode::Auto,
+                ));
+                assert_eq!(crossed, df, "v1→v2 seed {seed} rows {rows}");
+                let crossed = decode_df(encode_chunk(&ChunkValue::Df(from_auto)));
+                assert_eq!(crossed, df, "v2→v1 seed {seed} rows {rows}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dict_encoding_preserves_null_pattern() {
+    let labels = [Some("urgent"), Some("low"), None, Some("urgent"), None];
+    let vals: Vec<Option<&str>> = (0..200).map(|i| labels[i % labels.len()]).collect();
+    let df = DataFrame::new(vec![("p", Column::from_opt_str(vals))]).unwrap();
+    let enc = encode_chunk_with_mode(&ChunkValue::Df(df.clone()), EncodingMode::Auto);
+    assert_eq!(enc[8], 2, "repetitive strings should dict-compress");
+    assert_eq!(decode_df(enc), df);
+}
+
+/// An envelope that actually carries both compressed encodings.
+fn sample_v2_envelope() -> Vec<u8> {
+    let df = DataFrame::new(vec![
+        (
+            "cat",
+            Column::from_str((0..64).map(|i| ["A", "N", "R"][i % 3])),
+        ),
+        ("key", Column::from_i64((0..64i64).map(|i| i * 7).collect())),
+    ])
+    .unwrap();
+    let enc = encode_chunk_with_mode(&ChunkValue::Df(df), EncodingMode::Auto);
+    assert_eq!(enc[8], 2, "sample must compress");
+    enc
+}
+
+#[test]
+fn v2_truncation_at_every_length_is_rejected() {
+    let enc = sample_v2_envelope();
+    for len in 0..enc.len() {
+        let r = decode_chunk(enc[..len].to_vec());
+        assert!(
+            r.is_err(),
+            "v2 prefix of {len}/{} bytes accepted",
+            enc.len()
+        );
+    }
+}
+
+#[test]
+fn v2_every_single_bit_flip_is_rejected() {
+    let enc = sample_v2_envelope();
+    for pos in 0..enc.len() {
+        for bit in 0..8 {
+            let mut bad = enc.clone();
+            bad[pos] ^= 1u8 << bit;
+            assert!(
+                decode_chunk(bad).is_err(),
+                "v2 flip at byte {pos} bit {bit} accepted"
+            );
+        }
+    }
+}
+
+// ---- crafted corrupt v2 regions ---------------------------------------------
+
+/// Builds a version-2 dataframe envelope from raw column parts
+/// `(name, dtype id, flags, validity ++ value-region bytes)` with a valid
+/// checksum, so structurally-corrupt compressed regions are tested on
+/// their own merits.
+fn craft_v2(nrows: u64, cols: &[(&str, u8, u8, Vec<u8>)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"XBCHNK01");
+    out.extend_from_slice(&2u16.to_le_bytes());
+    out.push(0); // kind = dataframe
+    out.push(0); // reserved
+    out.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+    out.extend_from_slice(&nrows.to_le_bytes());
+    for (name, dtype, flags, body) in cols {
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.push(*dtype);
+        out.push(*flags);
+        out.extend_from_slice(body);
+    }
+    let sum = hash_bytes(&out, 0, out.len());
+    out.extend_from_slice(&sum.to_le_bytes());
+    out
+}
+
+const FLAGS_DICT: u8 = 1 << 1; // enc = 1 (DictUtf8), no validity
+const FLAGS_DELTA: u8 = 2 << 1; // enc = 2 (DeltaVarintI64), no validity
+
+/// `u64`-length-prefixed DeltaVarintI64 value region.
+fn delta_body(region: &[u8]) -> Vec<u8> {
+    let mut b = (region.len() as u64).to_le_bytes().to_vec();
+    b.extend_from_slice(region);
+    b
+}
+
+/// DictUtf8 value region from explicit parts.
+fn dict_body(offsets: &[u32], dict: &[u8], width: u8, codes: &[u8]) -> Vec<u8> {
+    let mut b = ((offsets.len() - 1) as u32).to_le_bytes().to_vec();
+    for &o in offsets {
+        b.extend_from_slice(&o.to_le_bytes());
+    }
+    b.extend_from_slice(&(dict.len() as u64).to_le_bytes());
+    b.extend_from_slice(dict);
+    b.push(width);
+    b.extend_from_slice(codes);
+    b
+}
+
+fn expect_corrupt(bytes: Vec<u8>, what: &str) -> String {
+    match decode_chunk(bytes) {
+        Err(StorageError::Corrupt(msg)) => msg,
+        Err(e) => panic!("{what}: wrong error kind: {e}"),
+        Ok(_) => panic!("{what}: corrupt envelope accepted"),
+    }
+}
+
+#[test]
+fn crafted_delta_regions_decode_or_reject_strictly() {
+    let delta_col =
+        |nrows: u64, region: &[u8]| craft_v2(nrows, &[("k", 0, FLAGS_DELTA, delta_body(region))]);
+
+    // sanity: first = 1, deltas zigzag(+1) = 0x02 twice → [1, 2, 3]
+    let mut good = 1i64.to_le_bytes().to_vec();
+    good.extend_from_slice(&[0x02, 0x02]);
+    let df = decode_df(delta_col(3, &good));
+    assert_eq!(df.column("k").unwrap(), &Column::from_i64(vec![1, 2, 3]));
+
+    // 10-byte varint whose final byte exceeds the 64-bit range
+    let mut bad = 0i64.to_le_bytes().to_vec();
+    bad.extend_from_slice(&[0xFF; 9]);
+    bad.push(0x03);
+    let msg = expect_corrupt(delta_col(2, &bad), "varint overflow");
+    assert!(msg.contains("overflow"), "{msg}");
+
+    // 11-byte varint: continuation past the 10th byte
+    let mut bad = 0i64.to_le_bytes().to_vec();
+    bad.extend_from_slice(&[0x80; 10]);
+    bad.push(0x01);
+    let msg = expect_corrupt(delta_col(2, &bad), "varint too long");
+    assert!(msg.contains("overflow"), "{msg}");
+
+    // non-minimal LEB128: 0x82 0x00 encodes 2 in two bytes
+    let mut bad = 0i64.to_le_bytes().to_vec();
+    bad.extend_from_slice(&[0x82, 0x00]);
+    let msg = expect_corrupt(delta_col(2, &bad), "non-minimal varint");
+    assert!(msg.contains("non-minimal"), "{msg}");
+
+    // region truncated mid-varint (continuation bit set at region end)
+    let mut bad = 0i64.to_le_bytes().to_vec();
+    bad.push(0x82);
+    let msg = expect_corrupt(delta_col(2, &bad), "truncated varint");
+    assert!(msg.contains("truncated"), "{msg}");
+
+    // region shorter than the raw first value
+    let msg = expect_corrupt(delta_col(1, &[0u8; 4]), "short first value");
+    assert!(msg.contains("first value"), "{msg}");
+
+    // trailing bytes after the last delta
+    let mut bad = 0i64.to_le_bytes().to_vec();
+    bad.extend_from_slice(&[0x02, 0x00]);
+    let msg = expect_corrupt(delta_col(2, &bad), "trailing region bytes");
+    assert!(msg.contains("trailing"), "{msg}");
+
+    // an empty column must carry an empty region
+    let msg = expect_corrupt(delta_col(0, &[0x00]), "nonempty empty-column region");
+    assert!(msg.contains("empty"), "{msg}");
+}
+
+#[test]
+fn crafted_dict_regions_decode_or_reject_strictly() {
+    let dict_col = |nrows: u64, body: Vec<u8>| craft_v2(nrows, &[("s", 3, FLAGS_DICT, body)]);
+
+    // sanity: dict ["a", "b"], codes [0, 1, 0]
+    let df = decode_df(dict_col(3, dict_body(&[0, 1, 2], b"ab", 1, &[0, 1, 0])));
+    assert_eq!(df.column("s").unwrap(), &Column::from_str(["a", "b", "a"]));
+
+    // out-of-range code
+    let msg = expect_corrupt(
+        dict_col(2, dict_body(&[0, 1, 2], b"ab", 1, &[0, 2])),
+        "out-of-range code",
+    );
+    assert!(msg.contains("out of range"), "{msg}");
+
+    // non-monotone dictionary offsets
+    let msg = expect_corrupt(
+        dict_col(2, dict_body(&[0, 2, 1, 3], b"abc", 1, &[0, 1])),
+        "non-monotone offsets",
+    );
+    assert!(msg.contains("monotone"), "{msg}");
+
+    // offsets that do not span the dictionary region
+    let msg = expect_corrupt(
+        dict_col(2, dict_body(&[0, 1, 1], b"ab", 1, &[0, 1])),
+        "span mismatch",
+    );
+    assert!(msg.contains("span"), "{msg}");
+
+    // invalid code width
+    let msg = expect_corrupt(
+        dict_col(2, dict_body(&[0, 1, 2], b"ab", 3, &[0, 0, 1, 0])),
+        "bad code width",
+    );
+    assert!(msg.contains("width"), "{msg}");
+
+    // dictionary bytes that are not UTF-8
+    let msg = expect_corrupt(
+        dict_col(1, dict_body(&[0, 1], &[0xFF], 1, &[0])),
+        "invalid UTF-8 dict",
+    );
+    assert!(msg.contains("UTF-8"), "{msg}");
+
+    // offset splitting a multi-byte character ("é" is 2 bytes)
+    let msg = expect_corrupt(
+        dict_col(2, dict_body(&[0, 1, 2], "é".as_bytes(), 1, &[0, 1])),
+        "split UTF-8 char",
+    );
+    assert!(msg.contains("character"), "{msg}");
+}
+
+#[test]
+fn encoding_dtype_mismatches_are_rejected() {
+    // DictUtf8 flagged on an i64 column
+    let msg = expect_corrupt(
+        craft_v2(
+            1,
+            &[("k", 0, FLAGS_DICT, dict_body(&[0, 1], b"a", 1, &[0]))],
+        ),
+        "dict on i64",
+    );
+    assert!(msg.contains("invalid for dtype"), "{msg}");
+
+    // DeltaVarintI64 flagged on a string column
+    let msg = expect_corrupt(
+        craft_v2(1, &[("s", 3, FLAGS_DELTA, delta_body(&0i64.to_le_bytes()))]),
+        "delta on utf8",
+    );
+    assert!(msg.contains("invalid for dtype"), "{msg}");
+
+    // encoding id 3 is unassigned
+    let msg = expect_corrupt(
+        craft_v2(1, &[("k", 0, 3 << 1, delta_body(&0i64.to_le_bytes()))]),
+        "unassigned encoding",
+    );
+    assert!(msg.contains("encoding"), "{msg}");
+}
+
+#[test]
+fn v1_envelopes_with_encoding_flags_are_rejected() {
+    // version 1 predates the encoding bits, so a v1 column carrying them is
+    // corrupt even though the same flags are fine under version 2
+    let enc = sample_envelope();
+    // first column "n": flags byte after header(12) + ncols(4) + nrows(8) +
+    // name len(2) + name "n"(1) + dtype(1)
+    let flags_at = 12 + 4 + 8 + 2 + 1 + 1;
+    let mut bad = enc.clone();
+    bad[flags_at] |= FLAGS_DELTA;
+    fix_checksum(&mut bad);
+    let msg = expect_corrupt(bad, "v1 with encoding bits");
+    assert!(msg.contains("flags"), "{msg}");
 }
 
 #[test]

@@ -49,6 +49,7 @@ fn service(dir: &Path) -> StorageService {
     StorageService::new(StorageConfig {
         memory_budget: Some(1000),
         spill: SpillConfig::Dir(dir.to_path_buf()),
+        ..Default::default()
     })
     .unwrap()
 }

@@ -1,0 +1,105 @@
+//! Pins the tentpole property of the encode workspace: once warmed, the
+//! steady-state encode path touches the heap **zero** times. A counting
+//! global allocator plays the allocation ledger — tracking is gated by a
+//! thread-local flag so the test harness's own threads don't pollute the
+//! count.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use xorbits_dataframe::{Column, DataFrame};
+use xorbits_storage::{ChunkValue, EncodeWorkspace, EncodingMode};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+thread_local! {
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+}
+
+struct Ledger;
+
+// SAFETY: defers all allocation to `System`; only adds a counter.
+unsafe impl GlobalAlloc for Ledger {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if TRACK.with(|t| t.get()) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if TRACK.with(|t| t.get()) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static LEDGER: Ledger = Ledger;
+
+/// Counts heap allocations performed by `f` on this thread.
+fn allocations_in(f: impl FnOnce()) -> u64 {
+    TRACK.with(|t| t.set(true));
+    let before = ALLOCS.load(Ordering::Relaxed);
+    f();
+    let after = ALLOCS.load(Ordering::Relaxed);
+    TRACK.with(|t| t.set(false));
+    after - before
+}
+
+#[test]
+fn steady_state_encode_allocates_nothing() {
+    // shuffle-shaped chunk: a dict-compressible string column, a sorted i64
+    // key (delta territory), a null-carrying float column and a bool column
+    let rows = 4096usize;
+    let df = DataFrame::new(vec![
+        (
+            "flag",
+            Column::from_str((0..rows).map(|i| ["A", "N", "R"][i % 3])),
+        ),
+        ("key", Column::from_i64((0..rows as i64).collect())),
+        (
+            "f",
+            Column::from_opt_f64(
+                (0..rows)
+                    .map(|i| if i % 7 == 0 { None } else { Some(i as f64) })
+                    .collect(),
+            ),
+        ),
+        (
+            "b",
+            Column::from_bool((0..rows).map(|i| i % 2 == 0).collect()),
+        ),
+    ])
+    .unwrap();
+    let value = ChunkValue::Df(df);
+
+    let mut ws = EncodeWorkspace::new();
+    for mode in [EncodingMode::Auto, EncodingMode::Plain] {
+        // warm the workspace: buffers, dict table and staging grow here
+        let warm = ws.encode(&value, mode).to_vec();
+
+        let mut total = 0usize;
+        let n = allocations_in(|| {
+            for _ in 0..16 {
+                total += ws.encode(&value, mode).len();
+            }
+        });
+        assert_eq!(n, 0, "{mode:?}: warmed encode touched the heap {n} times");
+        assert_eq!(total, warm.len() * 16, "{mode:?}: output drifted");
+
+        // measure() shares the planning path and must be allocation-free too
+        let n = allocations_in(|| {
+            for _ in 0..16 {
+                std::hint::black_box(ws.measure(&value, mode));
+            }
+        });
+        assert_eq!(n, 0, "{mode:?}: warmed measure touched the heap {n} times");
+    }
+}

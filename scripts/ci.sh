@@ -26,17 +26,33 @@ cargo test -q --workspace
 
 # Storage-service gates, run explicitly even though the workspace pass
 # covers them: the chunk-format property suite (bit-exact roundtrip for
-# every dtype, corruption rejection) and the spill smoke test (a TPC-H
-# pipeline that OOMs memory-only must complete under the same budget
-# with the disk tier, matching the unbounded result).
-echo "==> chunk-format roundtrip property suite"
+# every dtype and both chunkfmt versions, v1<->v2 cross-version property,
+# adversarial corruption rejection for the dict/delta encodings) and the
+# spill smoke test (a TPC-H pipeline that OOMs memory-only must complete
+# under the same budget with the disk tier, matching the unbounded result).
+echo "==> chunk-format roundtrip + encoding property suite"
 cargo test -q --release -p xorbits-storage --test chunkfmt_roundtrip
+
+# Transport gate (hard): steady-state encode/measure through a warmed
+# EncodeWorkspace must perform ZERO heap allocations, in both plain and
+# auto modes — asserted by a counting global allocator. Release only:
+# debug Vec growth paths allocate differently and the gate is about the
+# shipped code.
+echo "==> zero-allocation steady-state encode (counting global allocator)"
+cargo test -q --release -p xorbits-storage --test zero_alloc
 
 echo "==> spill smoke test (tight budget, disk tier, result equality)"
 cargo test -q --release -p xorbits-workloads --test spill_acceptance
 
 echo "==> spill-file retention regression (release/clear delete disk-tier files)"
 cargo test -q --release -p xorbits-storage --test spill_files
+
+# Encoding A/B (hard): the same spill gates must hold with the v2
+# encodings forced OFF — the plain path is the compatibility fallback and
+# must never rot behind the default-auto knob.
+echo "==> spill gates under XORBITS_ENCODING=plain (v1 fallback A/B)"
+XORBITS_ENCODING=plain cargo test -q --release -p xorbits-workloads --test spill_acceptance
+XORBITS_ENCODING=plain cargo test -q --release -p xorbits-storage --test spill_files
 
 # Fault-recovery gates (hard): the differential matrix runs all 22 TPC-H
 # queries under three pinned-seed fault schedules (worker kill, transient
