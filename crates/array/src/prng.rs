@@ -97,6 +97,56 @@ impl Xoshiro256 {
     }
 }
 
+/// Seeded Zipf (zeta) sampler over ranks `0..n` with exponent `s`:
+/// rank `k` is drawn with probability `(k+1)^-s / H(n, s)`.
+///
+/// Built once per workload stream (the serving benchmark's skewed query
+/// mix), it precomputes the cumulative distribution and samples by binary
+/// search over one uniform draw, so a stream is exactly reproducible from
+/// the generator's seed alone.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    /// Cumulative probabilities; `cdf[k]` = P(rank <= k). The last entry
+    /// is exactly 1.0 so a draw of `next_f64()` can never fall off the end.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s > 0`
+    /// (`s = 1.1` is the serving benchmark's default skew).
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Zipf {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cdf = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 0..n {
+            total += 1.0 / ((k + 1) as f64).powf(s);
+            cdf.push(total);
+        }
+        for c in &mut cdf {
+            *c /= total;
+        }
+        // guard against rounding leaving the tail short of 1.0
+        if let Some(last) = cdf.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `[0, n)` using a single uniform from `rng`.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.next_f64();
+        // first index whose cumulative probability covers u
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -135,6 +185,54 @@ mod tests {
             seen[v as usize] = true;
         }
         assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn zipf_deterministic() {
+        let z = Zipf::new(22, 1.1);
+        let mut a = Xoshiro256::seed_from_u64(42);
+        let mut b = Xoshiro256::seed_from_u64(42);
+        let sa: Vec<usize> = (0..256).map(|_| z.sample(&mut a)).collect();
+        let sb: Vec<usize> = (0..256).map(|_| z.sample(&mut b)).collect();
+        assert_eq!(sa, sb);
+        let mut c = Xoshiro256::seed_from_u64(43);
+        let sc: Vec<usize> = (0..256).map(|_| z.sample(&mut c)).collect();
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn zipf_shape() {
+        // Empirical frequencies should be monotone-ish decreasing in rank
+        // and match the theoretical head probability. For s=1.1, n=10:
+        // P(0) = 1 / H where H = sum_{k=1..10} k^-1.1.
+        let n = 10;
+        let s = 1.1;
+        let z = Zipf::new(n, s);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let draws = 200_000;
+        let mut counts = vec![0usize; n];
+        for _ in 0..draws {
+            let k = z.sample(&mut rng);
+            assert!(k < n);
+            counts[k] += 1;
+        }
+        let h: f64 = (1..=n).map(|k| 1.0 / (k as f64).powf(s)).sum();
+        let p0 = 1.0 / h;
+        let f0 = counts[0] as f64 / draws as f64;
+        assert!(
+            (f0 - p0).abs() < 0.01,
+            "head frequency {f0} vs expected {p0}"
+        );
+        // The head must dominate and the tail must still be reachable.
+        assert!(counts[0] > counts[n - 1] * 5);
+        assert!(counts[n - 1] > 0);
+        // Successive ranks should not be wildly out of order (allow noise).
+        for k in 1..n {
+            assert!(
+                counts[k] as f64 <= counts[k - 1] as f64 * 1.2 + 50.0,
+                "rank {k} frequency out of order: {counts:?}"
+            );
+        }
     }
 
     #[test]

@@ -501,6 +501,19 @@ impl KeyGen {
         KeyGen { next: 1 }
     }
 
+    /// Allocator starting at `base.max(1)` — lets concurrent sessions that
+    /// share one executor (the serving runtime) carve disjoint key ranges
+    /// so chunks from different tenants never collide.
+    pub fn starting_at(base: ChunkKey) -> KeyGen {
+        KeyGen { next: base.max(1) }
+    }
+
+    /// The next key that would be allocated (exclusive upper bound of the
+    /// keys handed out so far).
+    pub fn peek(&self) -> ChunkKey {
+        self.next
+    }
+
     /// Allocates the next key.
     pub fn next_key(&mut self) -> ChunkKey {
         let k = self.next;

@@ -139,6 +139,26 @@ impl XorbitsConfig {
     }
 }
 
+/// Tenant count from the `XORBITS_TENANTS` env knob, else `default`.
+/// Serving benchmarks and examples call this so a fleet-size sweep needs
+/// no rebuild (mirrors the `XORBITS_THREADS` pattern).
+pub fn tenants_from_env(default: usize) -> usize {
+    std::env::var("XORBITS_TENANTS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
+}
+
+/// Result-cache budget in bytes from the `XORBITS_CACHE_BYTES` env knob,
+/// else `default`. `0` disables the cache entirely.
+pub fn cache_bytes_from_env(default: usize) -> usize {
+    std::env::var("XORBITS_CACHE_BYTES")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(default)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

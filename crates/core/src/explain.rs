@@ -158,6 +158,127 @@ pub fn explain_transport(stats: &ExecStats) -> String {
     )
 }
 
+/// Per-tenant slice of a serving run (filled by the serving runtime).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TenantServingStats {
+    /// Tenant id.
+    pub tenant: u32,
+    /// Fair-share weight the scheduler gave this tenant.
+    pub weight: u32,
+    /// Queries the tenant completed.
+    pub queries: usize,
+    /// Queries answered from the result cache.
+    pub cache_hits: usize,
+    /// Mean virtual-time latency (submission → last chunk finished).
+    pub mean_latency: f64,
+    /// Median virtual-time latency.
+    pub p50_latency: f64,
+    /// 99th-percentile virtual-time latency.
+    pub p99_latency: f64,
+    /// Total virtual seconds the tenant's queries spent queued in
+    /// admission control before execution began.
+    pub admission_wait: f64,
+    /// Contended mean latency over the tenant's solo-run mean latency
+    /// (0 when no solo baseline was measured).
+    pub slowdown: f64,
+}
+
+/// Aggregate statistics of one serving run — what
+/// [`explain_serving`] renders and `BENCH_serving.json` reports.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServingStats {
+    /// Per-tenant breakdown, sorted by tenant id.
+    pub tenants: Vec<TenantServingStats>,
+    /// Result-cache hits across all tenants.
+    pub cache_hits: usize,
+    /// Result-cache misses (entries computed and offered for caching).
+    pub cache_misses: usize,
+    /// Entries dropped by cache-budget eviction.
+    pub cache_evictions: usize,
+    /// Entries dropped by lineage invalidation.
+    pub cache_invalidations: usize,
+    /// Queries that had to wait in the admission queue.
+    pub admission_queued: usize,
+    /// Total virtual seconds spent waiting in the admission queue.
+    pub admission_wait: f64,
+    /// Virtual makespan of the whole serving run.
+    pub makespan: f64,
+}
+
+impl ServingStats {
+    /// Cache hit rate over all lookups (0 when the cache saw no traffic).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Max/min tenant slowdown ratio — the fairness number the serving
+    /// benchmark gates on (1.0 = perfectly even; 0 when unknown).
+    pub fn slowdown_spread(&self) -> f64 {
+        let mut lo = f64::INFINITY;
+        let mut hi: f64 = 0.0;
+        for t in &self.tenants {
+            if t.slowdown > 0.0 {
+                lo = lo.min(t.slowdown);
+                hi = hi.max(t.slowdown);
+            }
+        }
+        if lo.is_finite() && lo > 0.0 {
+            hi / lo
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders a serving run: cache behaviour, admission pressure and the
+/// per-tenant latency/fairness table.
+pub fn explain_serving(stats: &ServingStats) -> String {
+    let mut out = String::from("Serving\n");
+    out.push_str(&format!(
+        "  cache: {} hits / {} misses ({:.0}% hit rate), {} evicted, {} invalidated\n",
+        stats.cache_hits,
+        stats.cache_misses,
+        stats.hit_rate() * 100.0,
+        stats.cache_evictions,
+        stats.cache_invalidations,
+    ));
+    out.push_str(&format!(
+        "  admission: {} queries queued, {:.3}s total virtual wait\n",
+        stats.admission_queued, stats.admission_wait,
+    ));
+    out.push_str(&format!("  makespan: {:.3}s virtual\n", stats.makespan));
+    for t in &stats.tenants {
+        out.push_str(&format!(
+            "  tenant {} (weight {}): {} queries, {} cache hits, \
+             latency mean {:.3}s p50 {:.3}s p99 {:.3}s, wait {:.3}s",
+            t.tenant,
+            t.weight,
+            t.queries,
+            t.cache_hits,
+            t.mean_latency,
+            t.p50_latency,
+            t.p99_latency,
+            t.admission_wait,
+        ));
+        if t.slowdown > 0.0 {
+            out.push_str(&format!(", slowdown {:.2}x", t.slowdown));
+        }
+        out.push('\n');
+    }
+    let spread = stats.slowdown_spread();
+    if spread > 0.0 {
+        out.push_str(&format!(
+            "  fairness: max/min tenant slowdown {spread:.2}x\n"
+        ));
+    }
+    out
+}
+
 /// Renders the per-stage time breakdown from a metrics-registry snapshot
 /// (see [`crate::session::RunReport::metrics`]): host-clock driver stages
 /// (`stage.*`) with their share of the total, virtual-clock simulator

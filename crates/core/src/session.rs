@@ -85,6 +85,25 @@ pub struct RunReport {
     /// enabled (`None` otherwise). Feeds the per-stage breakdown in
     /// [`crate::explain::explain_stage_breakdown`].
     pub metrics: Option<crate::trace::MetricsSnapshot>,
+    /// True when the fetch was answered from the session's result cache
+    /// without executing anything (stats are then all zero).
+    pub cache_hit: bool,
+}
+
+/// A pluggable result cache consulted by the fetch path. Keys are canonical
+/// structural hashes of the fetched sub-DAG
+/// ([`crate::tileable::canonical_hash`]); `sources` are the lineage
+/// fingerprints ([`crate::tileable::lineage_sources`]) the entry depends on,
+/// so an implementation can invalidate every dependent entry when an
+/// upstream source changes or is lost. The cache assumes all sessions that
+/// share it run one fixed [`XorbitsConfig`]: the key hashes the logical
+/// plan, not the tiling configuration.
+pub trait ResultCache: Send {
+    /// Returns the cached payloads for `key`, or `None` on miss (including
+    /// entries whose residency was evicted or lineage invalidated).
+    fn lookup(&mut self, key: u64) -> Option<Vec<Arc<Payload>>>;
+    /// Offers a freshly computed result for caching.
+    fn insert(&mut self, key: u64, sources: &[u64], payloads: &[Arc<Payload>]);
 }
 
 /// A runtime capable of executing subtask graphs — implemented by the
@@ -111,6 +130,7 @@ struct SessInner<E: Executor> {
     keygen: KeyGen,
     last_report: Option<RunReport>,
     cumulative: ExecStats,
+    cache: Option<Arc<Mutex<dyn ResultCache>>>,
 }
 
 /// A Xorbits session: owns the tileable graph, the configuration and the
@@ -130,16 +150,29 @@ impl<E: Executor> Clone for Session<E> {
 impl<E: Executor> Session<E> {
     /// Creates a session — the `xorbits.init()` of Listing 2.
     pub fn new(cfg: XorbitsConfig, executor: E) -> Session<E> {
+        Session::with_key_base(cfg, executor, 1)
+    }
+
+    /// Creates a session whose chunk keys start at `key_base`. Concurrent
+    /// sessions sharing one executor (the serving runtime) use disjoint
+    /// bases so their chunks never collide in the executor's namespace.
+    pub fn with_key_base(cfg: XorbitsConfig, executor: E, key_base: ChunkKey) -> Session<E> {
         Session {
             inner: Arc::new(Mutex::new(SessInner {
                 graph: TileableGraph::new(),
                 cfg,
                 executor,
-                keygen: KeyGen::new(),
+                keygen: KeyGen::starting_at(key_base),
                 last_report: None,
                 cumulative: ExecStats::default(),
+                cache: None,
             })),
         }
+    }
+
+    /// Attaches a result cache consulted (and filled) by every fetch.
+    pub fn set_result_cache(&self, cache: Arc<Mutex<dyn ResultCache>>) {
+        self.inner.lock().unwrap().cache = Some(cache);
     }
 
     fn push(&self, op: TileableOp) -> XbResult<TileableId> {
@@ -223,6 +256,26 @@ impl<E: Executor> Session<E> {
         let mut inner = self.inner.lock().unwrap();
         let inner = &mut *inner;
         let cfg = inner.cfg.clone();
+
+        // result cache: key the fetch by the canonical structural hash of
+        // the (unpruned) sub-DAG — pruning is a deterministic rewrite, so
+        // hashing the logical plan keys the same result
+        let cache_key = inner
+            .cache
+            .as_ref()
+            .map(|_| crate::tileable::canonical_hash(&inner.graph, id, slot));
+        if let (Some(key), Some(cache)) = (cache_key, inner.cache.clone()) {
+            if let Some(payloads) = cache.lock().unwrap().lookup(key) {
+                if trace::is_enabled() {
+                    trace::instant(trace::Stage::Gather, "result_cache_hit", &[]);
+                }
+                inner.last_report = Some(RunReport {
+                    cache_hit: true,
+                    ..Default::default()
+                });
+                return Ok(payloads);
+            }
+        }
 
         // column pruning rewrites the logical plan (§V-A)
         let (pgraph, target) = if cfg.column_pruning {
@@ -309,7 +362,12 @@ impl<E: Executor> Session<E> {
             stats,
             tiling: tiler.stats.clone(),
             metrics: trace::metrics_snapshot(),
+            cache_hit: false,
         });
+        if let (Some(key), Some(cache)) = (cache_key, inner.cache.clone()) {
+            let sources = crate::tileable::lineage_sources(&inner.graph, id);
+            cache.lock().unwrap().insert(key, &sources, &payloads);
+        }
         inner.executor.clear();
         Ok(payloads)
     }

@@ -395,6 +395,330 @@ impl TileableGraph {
     }
 }
 
+// ---- canonical structural hashing (serving result cache) -------------------
+//
+// The serving layer caches fetched results keyed by a *canonical* hash of the
+// tileable sub-DAG below the fetch target. The hash is a Merkle hash: each
+// node's digest combines its operator tag, its parameters (never its raw
+// tileable ids) and the digests of its inputs in positional order. Two
+// structurally identical sub-DAGs therefore hash equal no matter how their
+// ids were numbered or which session built them, while any change to an op
+// parameter, a constant, a source's content or an input's position changes
+// the digest. Structural sharing (a diamond over one source vs. two
+// identical source nodes) intentionally collapses: execution is
+// deterministic, so identical subtrees produce identical results.
+
+/// Streams node components into an FxHash-style digest.
+struct Digest {
+    h: u64,
+}
+
+impl Digest {
+    fn new(tag: &str) -> Digest {
+        let mut d = Digest { h: 0x9e37_79b9 };
+        d.bytes(tag.as_bytes());
+        d
+    }
+
+    fn word(&mut self, v: u64) {
+        self.h = xorbits_dataframe::hash::combine(self.h, v);
+    }
+
+    fn bytes(&mut self, b: &[u8]) {
+        self.word(xorbits_dataframe::hash::hash_bytes(b, 0, b.len()));
+        self.word(b.len() as u64);
+    }
+
+    /// Debug formatting of a parameter value. Safe for every parameter type
+    /// used by [`TileableOp`] (expressions, scalars, agg specs, join types,
+    /// array steps): their Debug output is deterministic and contains no
+    /// graph ids or addresses.
+    fn param<T: std::fmt::Debug>(&mut self, v: &T) {
+        self.bytes(format!("{v:?}").as_bytes());
+    }
+
+    fn finish(self) -> u64 {
+        // final avalanche so single-word differences diffuse everywhere
+        xorbits_array::prng::mix(self.h)
+    }
+}
+
+/// Content fingerprint of a materialized dataframe: schema plus every value.
+pub fn df_fingerprint(df: &DataFrame) -> u64 {
+    let mut d = Digest::new("df");
+    d.word(df.num_rows() as u64);
+    for (name, col) in df
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| f.name.as_str())
+        .zip(df.columns())
+    {
+        d.bytes(name.as_bytes());
+        d.bytes(format!("{:?}", col.data_type()).as_bytes());
+        for i in 0..col.len() {
+            match col.get(i) {
+                Scalar::Null => d.word(1),
+                Scalar::Int(v) => {
+                    d.word(2);
+                    d.word(v as u64);
+                }
+                Scalar::Float(v) => {
+                    d.word(3);
+                    d.word(v.to_bits());
+                }
+                Scalar::Bool(v) => {
+                    d.word(4);
+                    d.word(v as u64);
+                }
+                Scalar::Str(s) => {
+                    d.word(5);
+                    d.bytes(s.as_bytes());
+                }
+                Scalar::Date(v) => {
+                    d.word(6);
+                    d.word(v as u64);
+                }
+            }
+        }
+    }
+    d.finish()
+}
+
+/// Content fingerprint of a client-provided tensor.
+pub fn arr_fingerprint(arr: &NdArray) -> u64 {
+    let mut d = Digest::new("arr");
+    for &s in arr.shape() {
+        d.word(s as u64);
+    }
+    d.word(arr.shape().len() as u64);
+    for &v in arr.data() {
+        d.word(v.to_bits());
+    }
+    d.finish()
+}
+
+/// Fingerprint of a source node — the identity used for lineage-based cache
+/// invalidation. Materialized data hashes its content; generator sources
+/// hash their declared identity (label, size); random tensors hash their
+/// seed and shape.
+fn source_fingerprint(op: &TileableOp) -> Option<u64> {
+    match op {
+        TileableOp::DfSource(DfSource::Materialized(df)) => Some(df_fingerprint(df)),
+        TileableOp::DfSource(DfSource::Generator {
+            rows,
+            bytes_per_row,
+            label,
+            ..
+        }) => {
+            let mut d = Digest::new("dfgen");
+            d.bytes(label.as_bytes());
+            d.word(*rows as u64);
+            d.word(*bytes_per_row as u64);
+            Some(d.finish())
+        }
+        TileableOp::TensorRandom {
+            shape,
+            seed,
+            normal,
+        } => {
+            let mut d = Digest::new("rand");
+            for &s in shape {
+                d.word(s as u64);
+            }
+            d.word(shape.len() as u64);
+            d.word(*seed);
+            d.word(*normal as u64);
+            Some(d.finish())
+        }
+        TileableOp::TensorFromArr(arr) => Some(arr_fingerprint(arr)),
+        _ => None,
+    }
+}
+
+/// Hashes one node's tag and parameters (inputs are mixed in separately via
+/// their canonical digests, never via raw ids).
+fn op_param_hash(op: &TileableOp) -> u64 {
+    match op {
+        // Sources reduce to their fingerprint so content changes propagate.
+        TileableOp::DfSource(_)
+        | TileableOp::TensorRandom { .. }
+        | TileableOp::TensorFromArr(_) => {
+            let mut d = Digest::new("source");
+            d.word(source_fingerprint(op).unwrap_or(0));
+            d.finish()
+        }
+        TileableOp::Filter { predicate, .. } => {
+            let mut d = Digest::new("filter");
+            d.param(predicate);
+            d.finish()
+        }
+        TileableOp::Project { columns, .. } => {
+            let mut d = Digest::new("project");
+            d.param(columns);
+            d.finish()
+        }
+        TileableOp::PruneColumns { columns, .. } => {
+            let mut d = Digest::new("prune");
+            d.param(columns);
+            d.finish()
+        }
+        TileableOp::Assign { exprs, .. } => {
+            let mut d = Digest::new("assign");
+            d.param(exprs);
+            d.finish()
+        }
+        TileableOp::Fillna { column, value, .. } => {
+            let mut d = Digest::new("fillna");
+            d.param(column);
+            d.param(value);
+            d.finish()
+        }
+        TileableOp::Dropna { subset, .. } => {
+            let mut d = Digest::new("dropna");
+            d.param(subset);
+            d.finish()
+        }
+        TileableOp::Rename { pairs, .. } => {
+            let mut d = Digest::new("rename");
+            d.param(pairs);
+            d.finish()
+        }
+        TileableOp::GroupbyAgg { keys, specs, .. } => {
+            let mut d = Digest::new("groupby");
+            d.param(keys);
+            d.param(specs);
+            d.finish()
+        }
+        TileableOp::Merge {
+            left_on,
+            right_on,
+            how,
+            suffixes,
+            ..
+        } => {
+            let mut d = Digest::new("merge");
+            d.param(left_on);
+            d.param(right_on);
+            d.param(how);
+            d.param(suffixes);
+            d.finish()
+        }
+        TileableOp::SortValues { keys, .. } => {
+            let mut d = Digest::new("sort");
+            d.param(keys);
+            d.finish()
+        }
+        TileableOp::Head { n, .. } => {
+            let mut d = Digest::new("head");
+            d.word(*n as u64);
+            d.finish()
+        }
+        TileableOp::ILocRow { row, .. } => {
+            let mut d = Digest::new("iloc");
+            d.word(*row as u64);
+            d.finish()
+        }
+        TileableOp::DropDuplicates { subset, .. } => {
+            let mut d = Digest::new("dropdup");
+            d.param(subset);
+            d.finish()
+        }
+        TileableOp::ConcatDf { .. } => Digest::new("concat").finish(),
+        TileableOp::PivotTable {
+            index,
+            columns,
+            values,
+            agg,
+            ..
+        } => {
+            let mut d = Digest::new("pivot");
+            d.param(index);
+            d.param(columns);
+            d.param(values);
+            d.param(agg);
+            d.finish()
+        }
+        TileableOp::TensorMapChain { steps, .. } => {
+            let mut d = Digest::new("mapchain");
+            d.param(steps);
+            d.finish()
+        }
+        TileableOp::TensorBinary { op, .. } => {
+            let mut d = Digest::new("binary");
+            d.param(op);
+            d.finish()
+        }
+        TileableOp::TensorMatMul { .. } => Digest::new("matmul").finish(),
+        TileableOp::TensorQr { .. } => Digest::new("qr").finish(),
+        TileableOp::TensorReduce { kind, .. } => {
+            let mut d = Digest::new("reduce");
+            d.param(kind);
+            d.finish()
+        }
+        TileableOp::TensorLstsq { .. } => Digest::new("lstsq").finish(),
+    }
+}
+
+/// Canonical structural hash of the sub-DAG that produces `target`'s output
+/// slot `slot`. Invariant under tileable-id renaming and session replay;
+/// sensitive to every op parameter, constant, source content and input
+/// order.
+pub fn canonical_hash(graph: &TileableGraph, target: TileableId, slot: usize) -> u64 {
+    // Node inputs always have smaller ids, so a single ascending pass over
+    // the reachable set computes every digest bottom-up.
+    let mut reach = vec![false; graph.len()];
+    reach[target] = true;
+    for id in (0..=target).rev() {
+        if reach[id] {
+            for i in graph.op(id).inputs() {
+                reach[i] = true;
+            }
+        }
+    }
+    let mut digests = vec![0u64; graph.len()];
+    for id in 0..=target {
+        if !reach[id] {
+            continue;
+        }
+        let op = graph.op(id);
+        let mut d = Digest::new("node");
+        d.word(op_param_hash(op));
+        let inputs = op.inputs();
+        for i in &inputs {
+            d.word(digests[*i]);
+        }
+        d.word(inputs.len() as u64);
+        digests[id] = d.finish();
+    }
+    let mut d = Digest::new("fetch");
+    d.word(digests[target]);
+    d.word(slot as u64);
+    d.finish()
+}
+
+/// Fingerprints of every source node feeding `target`, sorted and deduped —
+/// the lineage key set a cached result depends on. Losing or changing any
+/// of these sources must invalidate the cache entry.
+pub fn lineage_sources(graph: &TileableGraph, target: TileableId) -> Vec<u64> {
+    let mut reach = vec![false; graph.len()];
+    reach[target] = true;
+    for id in (0..=target).rev() {
+        if reach[id] {
+            for i in graph.op(id).inputs() {
+                reach[i] = true;
+            }
+        }
+    }
+    let mut fps: Vec<u64> = (0..=target)
+        .filter(|&id| reach[id])
+        .filter_map(|id| source_fingerprint(graph.op(id)))
+        .collect();
+    fps.sort_unstable();
+    fps.dedup();
+    fps
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +767,71 @@ mod tests {
             specs: vec![],
         };
         assert!(!g.is_static_shape());
+    }
+
+    fn demo_graph(pred_lit: i64, pad: usize) -> (TileableGraph, TileableId) {
+        // `pad` leading dummy nodes shift every id, exercising rename
+        // invariance of the canonical hash.
+        let mut g = TileableGraph::new();
+        for _ in 0..pad {
+            let df = DataFrame::new(vec![("pad", Column::from_i64(vec![0]))]).unwrap();
+            g.push(TileableOp::DfSource(DfSource::materialized(df)))
+                .unwrap();
+        }
+        let df = DataFrame::new(vec![("a", Column::from_i64(vec![1, 2, 3]))]).unwrap();
+        let src = g
+            .push(TileableOp::DfSource(DfSource::materialized(df)))
+            .unwrap();
+        let filt = g
+            .push(TileableOp::Filter {
+                input: src,
+                predicate: col("a").gt(lit(pred_lit)),
+            })
+            .unwrap();
+        let head = g.push(TileableOp::Head { input: filt, n: 2 }).unwrap();
+        (g, head)
+    }
+
+    #[test]
+    fn canonical_hash_rename_invariant() {
+        let (g0, t0) = demo_graph(0, 0);
+        let (g5, t5) = demo_graph(0, 5);
+        assert_eq!(canonical_hash(&g0, t0, 0), canonical_hash(&g5, t5, 0));
+    }
+
+    #[test]
+    fn canonical_hash_param_sensitive() {
+        let (g0, t0) = demo_graph(0, 0);
+        let (g1, t1) = demo_graph(1, 0);
+        assert_ne!(canonical_hash(&g0, t0, 0), canonical_hash(&g1, t1, 0));
+        // slot participates
+        assert_ne!(canonical_hash(&g0, t0, 0), canonical_hash(&g0, t0, 1));
+    }
+
+    #[test]
+    fn canonical_hash_source_content_sensitive() {
+        let mk = |vals: Vec<i64>| {
+            let mut g = TileableGraph::new();
+            let df = DataFrame::new(vec![("a", Column::from_i64(vals))]).unwrap();
+            let src = g
+                .push(TileableOp::DfSource(DfSource::materialized(df)))
+                .unwrap();
+            let h = g.push(TileableOp::Head { input: src, n: 1 }).unwrap();
+            canonical_hash(&g, h, 0)
+        };
+        assert_eq!(mk(vec![1, 2]), mk(vec![1, 2]));
+        assert_ne!(mk(vec![1, 2]), mk(vec![1, 3]));
+    }
+
+    #[test]
+    fn lineage_sources_cover_reachable_sources_only() {
+        let (g, t) = demo_graph(0, 3);
+        // pad sources are unreachable from the target; only the real source
+        // (plus none of the pads) should appear.
+        let fps = lineage_sources(&g, t);
+        assert_eq!(fps.len(), 1);
+        let df = DataFrame::new(vec![("a", Column::from_i64(vec![1, 2, 3]))]).unwrap();
+        assert_eq!(fps[0], df_fingerprint(&df));
     }
 
     #[test]

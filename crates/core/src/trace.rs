@@ -131,6 +131,12 @@ impl Track {
             tid: b as u32,
         }
     }
+
+    /// The serving-layer track for tenant `t`: Chrome renders one lane per
+    /// tenant alongside the per-band lanes.
+    pub fn tenant(t: u32) -> Track {
+        Track { pid: 2, tid: t }
+    }
 }
 
 /// What kind of event this is. Chrome phases: `X` (complete span), `i`
@@ -765,10 +771,10 @@ impl TraceLog {
         pids.sort_unstable();
         pids.dedup();
         for pid in pids {
-            let pname = if pid == 0 {
-                "driver (host clock)"
-            } else {
-                "virtual cluster"
+            let pname = match pid {
+                0 => "driver (host clock)",
+                2 => "tenants",
+                _ => "virtual cluster",
             };
             emit(
                 &mut out,

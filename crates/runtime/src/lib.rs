@@ -18,7 +18,7 @@ pub mod sim;
 
 pub use cluster::ClusterSpec;
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultTrigger, RetryPolicy};
-pub use sim::SimExecutor;
+pub use sim::{GraphRun, SimExecutor};
 
 /// A session running on the simulator (the common type in benches/tests).
 pub type SimSession = xorbits_core::session::Session<SimExecutor>;

@@ -129,6 +129,92 @@ pub struct SimExecutor {
     /// fault loss from the session's legitimate between-graph releases —
     /// only fault-lost retained keys are recovered at end of graph.
     lost: HashSet<ChunkKey>,
+    /// When set, every dispatched subtask also appears on the tenant's
+    /// trace lane ([`Track::tenant`]) — the serving coordinator points this
+    /// at whichever tenant owns the subtask it is about to dispatch.
+    tenant_track: Option<u32>,
+}
+
+/// Snapshot of the executor's monotone counters, used to attribute the
+/// traffic of a single dispatch to the graph run that caused it (under
+/// multi-tenant interleaving, end-minus-begin deltas would charge one run
+/// for every tenant's traffic).
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterSnap {
+    net: usize,
+    spill: usize,
+    read_back: usize,
+    retries: usize,
+    recomputed: usize,
+    recovered: usize,
+    enc_raw: usize,
+    enc_wire: usize,
+}
+
+/// An in-flight subtask graph: the resumable state of one [`Executor::
+/// execute`] call. `execute` itself is begin → step-to-completion → end;
+/// the serving coordinator instead holds one `GraphRun` per tenant and
+/// interleaves [`SimExecutor::step_graph`] calls across them in fair-share
+/// order, so tenants share the virtual bands at subtask granularity.
+pub struct GraphRun {
+    graph: SubtaskGraph,
+    /// Next subtask index to dispatch.
+    next: usize,
+    /// Virtual submission time.
+    t0: f64,
+    real_cpu: f64,
+    subtasks: usize,
+    /// Per-run counter deltas accumulated around each dispatch.
+    net_bytes: usize,
+    spilled_bytes: usize,
+    read_back_bytes: usize,
+    retries: usize,
+    recomputed: usize,
+    recovered_spill: usize,
+    enc_raw: usize,
+    enc_wire: usize,
+    /// Latest virtual finish time over this run's dispatched subtasks.
+    last_finish: f64,
+    faults_on: bool,
+    events: Vec<FaultEvent>,
+    transient_p: f64,
+    retry: crate::fault::RetryPolicy,
+    /// Last consuming subtask per key within this graph.
+    last_consumer: HashMap<ChunkKey, usize>,
+}
+
+impl GraphRun {
+    /// Subtasks not yet dispatched.
+    pub fn remaining(&self) -> usize {
+        self.graph.subtasks.len() - self.next
+    }
+
+    /// True once every subtask has been dispatched.
+    pub fn is_done(&self) -> bool {
+        self.next >= self.graph.subtasks.len()
+    }
+
+    /// Latest virtual finish time over this run's dispatched subtasks
+    /// (equals the submission time until something runs).
+    pub fn last_finish(&self) -> f64 {
+        self.last_finish
+    }
+
+    /// Virtual time the run was submitted.
+    pub fn submitted_at(&self) -> f64 {
+        self.t0
+    }
+
+    fn absorb(&mut self, before: CounterSnap, after: CounterSnap) {
+        self.net_bytes += after.net - before.net;
+        self.spilled_bytes += after.spill - before.spill;
+        self.read_back_bytes += after.read_back - before.read_back;
+        self.retries += after.retries - before.retries;
+        self.recomputed += after.recomputed - before.recomputed;
+        self.recovered_spill += after.recovered - before.recovered;
+        self.enc_raw += after.enc_raw - before.enc_raw;
+        self.enc_wire += after.enc_wire - before.enc_wire;
+    }
 }
 
 impl SimExecutor {
@@ -167,9 +253,16 @@ impl SimExecutor {
             total_recovered_spill: 0,
             recovery_log: Vec::new(),
             lost: HashSet::new(),
+            tenant_track: None,
         };
         ex.arm_faults();
         ex
+    }
+
+    /// Points subsequent dispatches at a tenant's trace lane (`None` turns
+    /// the extra lane off). Purely observational — scheduling is unchanged.
+    pub fn set_tenant_track(&mut self, tenant: Option<u32>) {
+        self.tenant_track = tenant;
     }
 
     /// Re-arms the fault schedule for a fresh fetch: resets the dispatch
@@ -853,33 +946,25 @@ impl SimExecutor {
 
     /// Subtasks after `si` that have not run, with the inputs they are
     /// still missing — attached to [`XbError::Hang`] for debuggability.
-    fn pending_after(&self, graph: &SubtaskGraph, si: usize) -> Vec<PendingSubtask> {
-        graph
-            .subtasks
-            .iter()
-            .enumerate()
-            .skip(si + 1)
-            .map(|(i, st)| PendingSubtask {
-                subtask: i,
-                missing_inputs: st
-                    .external_inputs
-                    .iter()
-                    .copied()
-                    .filter(|k| !self.storage.contains_key(k))
-                    .collect(),
-            })
-            .collect()
+    fn snap(&self) -> CounterSnap {
+        CounterSnap {
+            net: self.total_net_bytes,
+            spill: self.total_spilled_bytes,
+            read_back: self.total_read_back_bytes,
+            retries: self.total_retries,
+            recomputed: self.total_recomputed,
+            recovered: self.total_recovered_spill,
+            enc_raw: self.total_encoded_raw,
+            enc_wire: self.total_encoded_wire,
+        }
     }
-}
 
-impl MetaView for SimExecutor {
-    fn meta(&self, key: ChunkKey) -> Option<ChunkMeta> {
-        self.metas.get(&key).copied()
-    }
-}
-
-impl Executor for SimExecutor {
-    fn execute(&mut self, graph: &SubtaskGraph) -> XbResult<ExecStats> {
+    /// Admits a subtask graph for stepwise execution. The returned
+    /// [`GraphRun`] owns the graph; drive it with [`Self::step_graph`] and
+    /// settle it with [`Self::end_graph`]. Multiple runs may be in flight
+    /// at once (the serving coordinator interleaves them); a lone run
+    /// stepped to completion behaves exactly like [`Executor::execute`].
+    pub fn begin_graph(&mut self, graph: SubtaskGraph) -> GraphRun {
         let t0 = self.virtual_now();
         if trace::is_enabled() {
             // one Chrome thread per band under the virtual-cluster process
@@ -890,19 +975,12 @@ impl Executor for SimExecutor {
                     format!("worker {w} band {}", b - w * self.spec.bands_per_worker),
                 );
             }
+            if let Some(t) = self.tenant_track {
+                trace::name_track(Track::tenant(t), format!("tenant {t}"));
+            }
         }
         // the dispatcher starts working through this graph at submission
         self.sched_clock = self.sched_clock.max(t0);
-        let net_before = self.total_net_bytes;
-        let spill_before = self.total_spilled_bytes;
-        let read_back_before = self.total_read_back_bytes;
-        let retries_before = self.total_retries;
-        let recomputed_before = self.total_recomputed;
-        let recovered_before = self.total_recovered_spill;
-        let enc_raw_before = self.total_encoded_raw;
-        let enc_wire_before = self.total_encoded_wire;
-        let mut real_cpu = 0.0;
-        let mut subtasks = 0usize;
 
         // fault schedule for this graph (armed per fetch, shared across
         // the fetch's partial executions)
@@ -911,7 +989,6 @@ impl Executor for SimExecutor {
             (Some(plan), true) => (plan.events.clone(), plan.transient_failure_p),
             _ => (Vec::new(), 0.0),
         };
-        let retry = self.spec.retry;
         if faults_on {
             // record lineage for every node so lost chunks can be
             // recomputed; `seq` is monotone in execution order across all
@@ -940,322 +1017,380 @@ impl Executor for SimExecutor {
             }
         }
 
-        for (si, st) in graph.subtasks.iter().enumerate() {
-            subtasks += 1;
-            if faults_on {
-                self.fire_due_faults(&events);
-                if self.band_dead.iter().all(|d| *d) {
-                    return Err(XbError::Plan(format!(
-                        "fault plan killed every band; subtask {si} has no survivor to run on"
-                    )));
-                }
-                // lineage recovery: rematerialise lost inputs before
-                // placement so locality sees the recovered chunks
-                self.ensure_inputs(&st.external_inputs, &mut real_cpu)?;
-            }
-            self.dispatch_step += 1;
-            let band = self.pick_band(&st.external_inputs);
-            let worker = self.spec.worker_of(band);
+        GraphRun {
+            graph,
+            next: 0,
+            t0,
+            real_cpu: 0.0,
+            subtasks: 0,
+            net_bytes: 0,
+            spilled_bytes: 0,
+            read_back_bytes: 0,
+            retries: 0,
+            recomputed: 0,
+            recovered_spill: 0,
+            enc_raw: 0,
+            enc_wire: 0,
+            last_finish: t0,
+            faults_on,
+            events,
+            transient_p,
+            retry: self.spec.retry,
+            last_consumer,
+        }
+    }
 
-            // arrival of inputs: producers must have finished, and the
-            // receiving worker's NIC serialises all cross-worker bytes
-            // (flows into one consumer do not overlap for free); spilled
-            // inputs additionally pay the disk tier
-            let mut arrival: f64 = 0.0;
-            let mut recv_bytes = 0usize;
-            let mut disk_io: f64 = 0.0;
-            for k in &st.external_inputs {
-                let Some(&cs) = self.states.get(k) else {
-                    return Err(XbError::Plan(format!(
-                        "input chunk {k} has no simulation state"
-                    )));
-                };
-                arrival = arrival.max(cs.finish);
-                if self.spec.worker_of(cs.band) != worker && self.arrived.insert((*k, worker)) {
-                    // the wire carries the encoded envelope, not the view
-                    recv_bytes += cs.enc_bytes;
-                    self.total_net_bytes += cs.enc_bytes;
+    /// Dispatches the run's next subtask; returns `Ok(true)` while more
+    /// remain. One call = one dispatch on the virtual cluster, so a
+    /// coordinator interleaving several runs shares the bands at subtask
+    /// granularity.
+    pub fn step_graph(&mut self, run: &mut GraphRun) -> XbResult<bool> {
+        if run.is_done() {
+            return Ok(false);
+        }
+        let before = self.snap();
+        let si = run.next;
+        run.subtasks += 1;
+        if run.faults_on {
+            self.fire_due_faults(&run.events);
+            if self.band_dead.iter().all(|d| *d) {
+                return Err(XbError::Plan(format!(
+                    "fault plan killed every band; subtask {si} has no survivor to run on"
+                )));
+            }
+            // lineage recovery: rematerialise lost inputs before
+            // placement so locality sees the recovered chunks
+            let needed = run.graph.subtasks[si].external_inputs.clone();
+            self.ensure_inputs(&needed, &mut run.real_cpu)?;
+        }
+        let st = &run.graph.subtasks[si];
+        self.dispatch_step += 1;
+        let band = self.pick_band(&st.external_inputs);
+        let worker = self.spec.worker_of(band);
+
+        // arrival of inputs: producers must have finished, and the
+        // receiving worker's NIC serialises all cross-worker bytes
+        // (flows into one consumer do not overlap for free); spilled
+        // inputs additionally pay the disk tier
+        let mut arrival: f64 = 0.0;
+        let mut recv_bytes = 0usize;
+        let mut disk_io: f64 = 0.0;
+        for k in &st.external_inputs {
+            let Some(&cs) = self.states.get(k) else {
+                return Err(XbError::Plan(format!(
+                    "input chunk {k} has no simulation state"
+                )));
+            };
+            arrival = arrival.max(cs.finish);
+            if self.spec.worker_of(cs.band) != worker && self.arrived.insert((*k, worker)) {
+                // the wire carries the encoded envelope, not the view
+                recv_bytes += cs.enc_bytes;
+                self.total_net_bytes += cs.enc_bytes;
+            }
+            if cs.spilled {
+                // read-back pays the encoded envelope off the disk tier
+                disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
+                self.total_read_back_bytes += cs.enc_bytes;
+                if trace::is_enabled() {
+                    trace::instant_at(
+                        Stage::ReadBack,
+                        "read_back",
+                        Track::band(cs.band),
+                        cs.finish,
+                        &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
+                    );
+                    trace::counter_add("sim.read_back_bytes", cs.enc_bytes as u64);
                 }
-                if cs.spilled {
-                    // read-back pays the encoded envelope off the disk tier
-                    disk_io += cs.enc_bytes as f64 / self.spec.disk_bandwidth;
-                    self.total_read_back_bytes += cs.enc_bytes;
+                if cs.disk_orphan {
+                    // the disk copy outlived its crashed worker: this
+                    // read-back recovers the chunk without recompute
+                    self.total_recovered_spill += cs.enc_bytes;
+                    self.states.get_mut(k).expect("checked").disk_orphan = false;
                     if trace::is_enabled() {
                         trace::instant_at(
-                            Stage::ReadBack,
-                            "read_back",
+                            Stage::Recovery,
+                            "recovered_from_spill",
                             Track::band(cs.band),
                             cs.finish,
                             &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
                         );
-                        trace::counter_add("sim.read_back_bytes", cs.enc_bytes as u64);
-                    }
-                    if cs.disk_orphan {
-                        // the disk copy outlived its crashed worker: this
-                        // read-back recovers the chunk without recompute
-                        self.total_recovered_spill += cs.enc_bytes;
-                        self.states.get_mut(k).expect("checked").disk_orphan = false;
-                        if trace::is_enabled() {
-                            trace::instant_at(
-                                Stage::Recovery,
-                                "recovered_from_spill",
-                                Track::band(cs.band),
-                                cs.finish,
-                                &[("chunk", *k), ("bytes", cs.enc_bytes as u64)],
-                            );
-                            trace::counter_add(
-                                "sim.recovered_from_spill_bytes",
-                                cs.enc_bytes as u64,
-                            );
-                        }
+                        trace::counter_add("sim.recovered_from_spill_bytes", cs.enc_bytes as u64);
                     }
                 }
             }
-            let net_io = recv_bytes as f64 / self.spec.net_bandwidth;
-            // storage-service traffic: reading external inputs from the
-            // shared tier (publishing is charged when outputs are stored)
-            let ext_read_bytes: usize = st
-                .external_inputs
-                .iter()
-                .filter_map(|k| self.states.get(k).map(|s| s.nbytes))
-                .sum();
-            let mut storage_io = ext_read_bytes as f64 / self.spec.storage_bandwidth;
+        }
+        let net_io = recv_bytes as f64 / self.spec.net_bandwidth;
+        // storage-service traffic: reading external inputs from the
+        // shared tier (publishing is charged when outputs are stored)
+        let ext_read_bytes: usize = st
+            .external_inputs
+            .iter()
+            .filter_map(|k| self.states.get(k).map(|s| s.nbytes))
+            .sum();
+        let mut storage_io = ext_read_bytes as f64 / self.spec.storage_bandwidth;
 
-            // last node (within this subtask) consuming each internal key,
-            // so the transient working set shrinks as fusion progresses
-            let mut internal_last: HashMap<ChunkKey, usize> = HashMap::new();
-            for &ni in &st.nodes {
-                for k in &graph.chunks.nodes[ni].inputs {
-                    if st.internal_keys.contains(k) {
-                        internal_last.insert(*k, ni);
-                    }
-                }
-            }
-
-            // real execution, measured; tracks the transient working set
-            let timer = Instant::now();
-            let mut scratch: HashMap<ChunkKey, Arc<Payload>> = HashMap::new();
-            let mut produced: Vec<(ChunkKey, Arc<Payload>)> = Vec::new();
-            let mut extra_bytes = 0usize; // internal live + published so far
-            let mut peak_extra = 0usize;
-            for &ni in &st.nodes {
-                let node = &graph.chunks.nodes[ni];
-                let inputs: Vec<Arc<Payload>> = node
-                    .inputs
-                    .iter()
-                    .map(|k| {
-                        scratch
-                            .get(k)
-                            .cloned()
-                            .or_else(|| self.storage.get(k).cloned())
-                            .ok_or_else(|| XbError::Plan(format!("input chunk {k} not found")))
-                    })
-                    .collect::<XbResult<Vec<_>>>()?;
-                let outputs = xorbits_core::exec::execute_chunk(&node.op, &inputs)?;
-                for (key, mut payload) in node.outputs.iter().zip(outputs) {
-                    if st.published_outputs.contains(key) {
-                        // a view about to outlive its producer must not pin
-                        // a parent buffer far larger than what it shows
-                        payload.compact(self.spec.compact_slack);
-                    }
-                    let payload = Arc::new(payload);
-                    extra_bytes += payload.nbytes();
-                    scratch.insert(*key, Arc::clone(&payload));
-                    if st.published_outputs.contains(key) {
-                        produced.push((*key, payload));
-                    }
-                }
-                peak_extra = peak_extra.max(extra_bytes);
-                // drop internal intermediates whose last use has passed
-                for (k, &last) in &internal_last {
-                    if last == ni {
-                        if let Some(p) = scratch.remove(k) {
-                            extra_bytes = extra_bytes.saturating_sub(p.nbytes());
-                        }
-                    }
-                }
-            }
-            let measured = timer.elapsed().as_secs_f64();
-            real_cpu += measured;
-
-            // transient fault injection: each attempt fails independently
-            // with probability p (one seeded draw per attempt); every
-            // failed attempt burns the measured kernel time plus an
-            // exponential backoff in virtual time, and exhausting the
-            // retry budget fails the run
-            let mut attempt_overhead = 0.0;
-            let mut transient_failures = 0usize;
-            if transient_p > 0.0 {
-                let mut backoff = retry.backoff_base;
-                while self
-                    .fault_rng
-                    .as_mut()
-                    .expect("rng armed when p > 0")
-                    .gen_bool(transient_p)
-                {
-                    transient_failures += 1;
-                    if transient_failures > retry.max_retries {
-                        return Err(XbError::Fault {
-                            subtask: si,
-                            attempts: transient_failures,
-                        });
-                    }
-                    attempt_overhead += measured + backoff;
-                    backoff *= retry.backoff_factor;
-                }
-                self.total_retries += transient_failures;
-            }
-
-            // virtual bookkeeping
-            // publishing outputs pays the storage tier too
-            let published_bytes: usize = produced.iter().map(|(_, p)| p.nbytes()).sum();
-            storage_io += published_bytes as f64 / self.spec.storage_bandwidth;
-
-            let start = if self.spec.central_scheduler {
-                // one supervisor/driver thread works through the graph's
-                // dispatches back-to-back from submission: task k cannot
-                // start before its dispatch slot (k × overhead into the
-                // graph) nor before its inputs — large graphs queue on the
-                // dispatcher, chains do not
-                self.sched_clock += self.spec.sched_overhead;
-                self.band_free[band].max(arrival).max(self.sched_clock)
-            } else {
-                self.band_free[band].max(arrival) + self.spec.sched_overhead
-            };
-            let finish = start + net_io + storage_io + measured + disk_io + attempt_overhead;
-            self.band_free[band] = finish;
-            if trace::is_enabled() {
-                let name: String = st
-                    .nodes
-                    .iter()
-                    .map(|&ni| graph.chunks.nodes[ni].op.name())
-                    .collect::<Vec<_>>()
-                    .join("+");
-                trace::span_at(
-                    Stage::Execute,
-                    name,
-                    Track::band(band),
-                    start,
-                    finish - start,
-                    &[
-                        ("subtask", si as u64),
-                        ("worker", worker as u64),
-                        ("step", self.dispatch_step),
-                    ],
-                );
-                trace::observe_seconds("sim.kernel.seconds", measured);
-                if transient_failures > 0 {
-                    trace::instant_at(
-                        Stage::Retry,
-                        "transient_retries",
-                        Track::band(band),
-                        start,
-                        &[
-                            ("subtask", si as u64),
-                            ("attempts", transient_failures as u64),
-                        ],
-                    );
-                    trace::counter_add("sim.retries", transient_failures as u64);
-                }
-            }
-
-            // transient working-set charge (fusion saves storage traffic,
-            // not the memory the computation itself needs)
-            if std::env::var("XORBITS_SIM_DEBUG").is_ok()
-                && peak_extra > self.spec.worker_memory_bytes
-            {
-                eprintln!(
-                    "DEBUG transient {}MB > budget in subtask {:?} (ext inputs {})",
-                    peak_extra >> 20,
-                    st.nodes
-                        .iter()
-                        .map(|&n| graph.chunks.nodes[n].op.name())
-                        .collect::<Vec<_>>(),
-                    st.external_inputs.len()
-                );
-            }
-            self.charge(worker, peak_extra)?;
-            self.worker_live[worker] = self.worker_live[worker].saturating_sub(peak_extra);
-
-            for (key, payload) in produced {
-                let nbytes = payload.nbytes();
-                let enc_bytes = self.measure_payload(&payload);
-                self.metas.insert(
-                    key,
-                    ChunkMeta {
-                        nbytes,
-                        rows: payload.rows(),
-                        index: (0, 0), // authoritative (r,c) lives in the plan layout
-                    },
-                );
-                self.states.insert(
-                    key,
-                    ChunkState {
-                        band,
-                        finish,
-                        nbytes,
-                        enc_bytes,
-                        resident: true,
-                        spilled: false,
-                        disk_orphan: false,
-                    },
-                );
-                self.charge_chunk(worker, key, &payload)?;
-                if trace::is_enabled() {
-                    trace::observe_bytes("sim.chunk.bytes", nbytes as u64);
-                }
-                self.storage.insert(key, payload);
-            }
-            if trace::is_enabled() {
-                trace::counter_at(
-                    format!("worker {worker} live_bytes"),
-                    Track::band(band),
-                    finish,
-                    self.worker_live[worker] as f64,
-                );
-            }
-
-            // refcount release: anything whose last consumer just ran and
-            // which the plan does not retain is reclaimed
-            let released: Vec<ChunkKey> = last_consumer
-                .iter()
-                .filter(|(k, &last)| last == si && !graph.retained.contains(*k))
-                .map(|(k, _)| *k)
-                .collect();
-            for k in released {
-                self.free_chunk(k);
-            }
-
-            // a run past its deadline fails *at* the straggling subtask,
-            // carrying the not-yet-dispatched work and its missing inputs
-            if let Some(deadline) = self.spec.deadline_seconds {
-                let now = self.virtual_now();
-                if now > deadline {
-                    return Err(XbError::Hang {
-                        makespan: now,
-                        deadline,
-                        pending: self.pending_after(graph, si),
-                    });
+        // last node (within this subtask) consuming each internal key,
+        // so the transient working set shrinks as fusion progresses
+        let mut internal_last: HashMap<ChunkKey, usize> = HashMap::new();
+        for &ni in &st.nodes {
+            for k in &run.graph.chunks.nodes[ni].inputs {
+                if st.internal_keys.contains(k) {
+                    internal_last.insert(*k, ni);
                 }
             }
         }
 
+        // real execution, measured; tracks the transient working set
+        let timer = Instant::now();
+        let mut scratch: HashMap<ChunkKey, Arc<Payload>> = HashMap::new();
+        let mut produced: Vec<(ChunkKey, Arc<Payload>)> = Vec::new();
+        let mut extra_bytes = 0usize; // internal live + published so far
+        let mut peak_extra = 0usize;
+        for &ni in &st.nodes {
+            let node = &run.graph.chunks.nodes[ni];
+            let inputs: Vec<Arc<Payload>> = node
+                .inputs
+                .iter()
+                .map(|k| {
+                    scratch
+                        .get(k)
+                        .cloned()
+                        .or_else(|| self.storage.get(k).cloned())
+                        .ok_or_else(|| XbError::Plan(format!("input chunk {k} not found")))
+                })
+                .collect::<XbResult<Vec<_>>>()?;
+            let outputs = xorbits_core::exec::execute_chunk(&node.op, &inputs)?;
+            for (key, mut payload) in node.outputs.iter().zip(outputs) {
+                if st.published_outputs.contains(key) {
+                    // a view about to outlive its producer must not pin
+                    // a parent buffer far larger than what it shows
+                    payload.compact(self.spec.compact_slack);
+                }
+                let payload = Arc::new(payload);
+                extra_bytes += payload.nbytes();
+                scratch.insert(*key, Arc::clone(&payload));
+                if st.published_outputs.contains(key) {
+                    produced.push((*key, payload));
+                }
+            }
+            peak_extra = peak_extra.max(extra_bytes);
+            // drop internal intermediates whose last use has passed
+            for (k, &last) in &internal_last {
+                if last == ni {
+                    if let Some(p) = scratch.remove(k) {
+                        extra_bytes = extra_bytes.saturating_sub(p.nbytes());
+                    }
+                }
+            }
+        }
+        let measured = timer.elapsed().as_secs_f64();
+        run.real_cpu += measured;
+
+        // transient fault injection: each attempt fails independently
+        // with probability p (one seeded draw per attempt); every
+        // failed attempt burns the measured kernel time plus an
+        // exponential backoff in virtual time, and exhausting the
+        // retry budget fails the run
+        let mut attempt_overhead = 0.0;
+        let mut transient_failures = 0usize;
+        if run.transient_p > 0.0 {
+            let mut backoff = run.retry.backoff_base;
+            while self
+                .fault_rng
+                .as_mut()
+                .expect("rng armed when p > 0")
+                .gen_bool(run.transient_p)
+            {
+                transient_failures += 1;
+                if transient_failures > run.retry.max_retries {
+                    return Err(XbError::Fault {
+                        subtask: si,
+                        attempts: transient_failures,
+                    });
+                }
+                attempt_overhead += measured + backoff;
+                backoff *= run.retry.backoff_factor;
+            }
+            self.total_retries += transient_failures;
+        }
+
+        // virtual bookkeeping
+        // publishing outputs pays the storage tier too
+        let published_bytes: usize = produced.iter().map(|(_, p)| p.nbytes()).sum();
+        storage_io += published_bytes as f64 / self.spec.storage_bandwidth;
+
+        let start = if self.spec.central_scheduler {
+            // one supervisor/driver thread works through the graph's
+            // dispatches back-to-back from submission: task k cannot
+            // start before its dispatch slot (k × overhead into the
+            // graph) nor before its inputs — large graphs queue on the
+            // dispatcher, chains do not
+            self.sched_clock += self.spec.sched_overhead;
+            self.band_free[band].max(arrival).max(self.sched_clock)
+        } else {
+            self.band_free[band].max(arrival) + self.spec.sched_overhead
+        };
+        let finish = start + net_io + storage_io + measured + disk_io + attempt_overhead;
+        self.band_free[band] = finish;
+        run.last_finish = run.last_finish.max(finish);
+        if trace::is_enabled() {
+            let name: String = st
+                .nodes
+                .iter()
+                .map(|&ni| run.graph.chunks.nodes[ni].op.name())
+                .collect::<Vec<_>>()
+                .join("+");
+            if let Some(t) = self.tenant_track {
+                // mirror the dispatch on the tenant's lane so Chrome
+                // renders per-tenant occupancy alongside the band lanes
+                trace::span_at(
+                    Stage::Execute,
+                    name.clone(),
+                    Track::tenant(t),
+                    start,
+                    finish - start,
+                    &[("subtask", si as u64), ("band", band as u64)],
+                );
+            }
+            trace::span_at(
+                Stage::Execute,
+                name,
+                Track::band(band),
+                start,
+                finish - start,
+                &[
+                    ("subtask", si as u64),
+                    ("worker", worker as u64),
+                    ("step", self.dispatch_step),
+                ],
+            );
+            trace::observe_seconds("sim.kernel.seconds", measured);
+            if transient_failures > 0 {
+                trace::instant_at(
+                    Stage::Retry,
+                    "transient_retries",
+                    Track::band(band),
+                    start,
+                    &[
+                        ("subtask", si as u64),
+                        ("attempts", transient_failures as u64),
+                    ],
+                );
+                trace::counter_add("sim.retries", transient_failures as u64);
+            }
+        }
+
+        // transient working-set charge (fusion saves storage traffic,
+        // not the memory the computation itself needs)
+        if std::env::var("XORBITS_SIM_DEBUG").is_ok() && peak_extra > self.spec.worker_memory_bytes
+        {
+            eprintln!(
+                "DEBUG transient {}MB > budget in subtask {:?} (ext inputs {})",
+                peak_extra >> 20,
+                st.nodes
+                    .iter()
+                    .map(|&n| run.graph.chunks.nodes[n].op.name())
+                    .collect::<Vec<_>>(),
+                st.external_inputs.len()
+            );
+        }
+        self.charge(worker, peak_extra)?;
+        self.worker_live[worker] = self.worker_live[worker].saturating_sub(peak_extra);
+
+        for (key, payload) in produced {
+            let nbytes = payload.nbytes();
+            let enc_bytes = self.measure_payload(&payload);
+            self.metas.insert(
+                key,
+                ChunkMeta {
+                    nbytes,
+                    rows: payload.rows(),
+                    index: (0, 0), // authoritative (r,c) lives in the plan layout
+                },
+            );
+            self.states.insert(
+                key,
+                ChunkState {
+                    band,
+                    finish,
+                    nbytes,
+                    enc_bytes,
+                    resident: true,
+                    spilled: false,
+                    disk_orphan: false,
+                },
+            );
+            self.charge_chunk(worker, key, &payload)?;
+            if trace::is_enabled() {
+                trace::observe_bytes("sim.chunk.bytes", nbytes as u64);
+            }
+            self.storage.insert(key, payload);
+        }
+        if trace::is_enabled() {
+            trace::counter_at(
+                format!("worker {worker} live_bytes"),
+                Track::band(band),
+                finish,
+                self.worker_live[worker] as f64,
+            );
+        }
+
+        // refcount release: anything whose last consumer just ran and
+        // which the plan does not retain is reclaimed
+        let released: Vec<ChunkKey> = run
+            .last_consumer
+            .iter()
+            .filter(|(k, &last)| last == si && !run.graph.retained.contains(*k))
+            .map(|(k, _)| *k)
+            .collect();
+        for k in released {
+            self.free_chunk(k);
+        }
+
+        run.next += 1;
+        run.absorb(before, self.snap());
+
+        // a run past its deadline fails *at* the straggling subtask,
+        // carrying the not-yet-dispatched work and its missing inputs
+        if let Some(deadline) = self.spec.deadline_seconds {
+            let now = self.virtual_now();
+            if now > deadline {
+                return Err(XbError::Hang {
+                    makespan: now,
+                    deadline,
+                    pending: self.pending_after(&run.graph, si),
+                });
+            }
+        }
+        Ok(!run.is_done())
+    }
+
+    /// Settles a fully-stepped run: frees orphaned outputs, recovers
+    /// fault-lost retained chunks, enforces the deadline and returns the
+    /// run's statistics (bit-identical to what the one-shot
+    /// [`Executor::execute`] path reports).
+    pub fn end_graph(&mut self, mut run: GraphRun) -> XbResult<ExecStats> {
+        debug_assert!(run.is_done(), "end_graph on a run with subtasks pending");
+        let before = self.snap();
+
         // published-but-never-consumed, unretained chunks die with the graph
-        let orphans: Vec<ChunkKey> = graph
+        let orphans: Vec<ChunkKey> = run
+            .graph
             .subtasks
             .iter()
             .flat_map(|st| st.published_outputs.iter().copied())
-            .filter(|k| !last_consumer.contains_key(k) && !graph.retained.contains(k))
+            .filter(|k| !run.last_consumer.contains_key(k) && !run.graph.retained.contains(k))
             .collect();
         for k in orphans {
             self.free_chunk(k);
         }
 
-        if faults_on {
+        if run.faults_on {
             // retained keys must outlive this graph (future tiling or the
             // final gather reads them): rematerialise any that a fault
             // destroyed after their producing subtask ran
-            let mut lost_retained: Vec<ChunkKey> = graph
+            let mut lost_retained: Vec<ChunkKey> = run
+                .graph
                 .retained
                 .iter()
                 .copied()
@@ -1263,12 +1398,13 @@ impl Executor for SimExecutor {
                 .collect();
             if !lost_retained.is_empty() {
                 lost_retained.sort_unstable();
-                self.recover(&lost_retained, &mut real_cpu)?;
+                self.recover(&lost_retained, &mut run.real_cpu)?;
             }
             // retained chunks whose memory copy died with a crashed worker
             // but whose spilled copy survived: the gather reads them off
             // the disk tier — pay the read-back now, on a surviving band
-            let mut orphan_retained: Vec<ChunkKey> = graph
+            let mut orphan_retained: Vec<ChunkKey> = run
+                .graph
                 .retained
                 .iter()
                 .copied()
@@ -1312,30 +1448,75 @@ impl Executor for SimExecutor {
                 });
             }
         }
+        run.absorb(before, self.snap());
         if trace::is_enabled() {
-            trace::counter_add(
-                "sim.encoded_raw_bytes",
-                (self.total_encoded_raw - enc_raw_before) as u64,
-            );
-            trace::counter_add(
-                "sim.encoded_wire_bytes",
-                (self.total_encoded_wire - enc_wire_before) as u64,
-            );
+            trace::counter_add("sim.encoded_raw_bytes", run.enc_raw as u64);
+            trace::counter_add("sim.encoded_wire_bytes", run.enc_wire as u64);
         }
         Ok(ExecStats {
-            makespan: makespan_total - t0,
-            subtasks,
-            net_bytes: self.total_net_bytes - net_before,
-            spilled_bytes: self.total_spilled_bytes - spill_before,
-            read_back_bytes: self.total_read_back_bytes - read_back_before,
+            makespan: makespan_total - run.t0,
+            subtasks: run.subtasks,
+            net_bytes: run.net_bytes,
+            spilled_bytes: run.spilled_bytes,
+            read_back_bytes: run.read_back_bytes,
             peak_worker_bytes: self.worker_peak.iter().copied().max().unwrap_or(0),
-            real_cpu_seconds: real_cpu,
-            retries: self.total_retries - retries_before,
-            recomputed_subtasks: self.total_recomputed - recomputed_before,
-            recovered_from_spill_bytes: self.total_recovered_spill - recovered_before,
-            encoded_raw_bytes: self.total_encoded_raw - enc_raw_before,
-            encoded_wire_bytes: self.total_encoded_wire - enc_wire_before,
+            real_cpu_seconds: run.real_cpu,
+            retries: run.retries,
+            recomputed_subtasks: run.recomputed,
+            recovered_from_spill_bytes: run.recovered_spill,
+            encoded_raw_bytes: run.enc_raw,
+            encoded_wire_bytes: run.enc_wire,
         })
+    }
+
+    /// Erases all record of `keys`: frees their memory, then drops their
+    /// states, metas and arrival cache entries. Unlike [`Executor::
+    /// release`] (which keeps states so late readers still see arrival
+    /// times), this makes the keys reusable — the serving runtime calls it
+    /// when a tenant's fetch retires so recycled key ranges never alias
+    /// stale placement data.
+    pub fn forget_chunks(&mut self, keys: &[ChunkKey]) {
+        let dropped: HashSet<ChunkKey> = keys.iter().copied().collect();
+        for k in keys {
+            self.free_chunk(*k);
+            self.states.remove(k);
+            self.metas.remove(k);
+            self.lost.remove(k);
+            self.chunk_allocs.remove(k);
+        }
+        self.arrived.retain(|(k, _)| !dropped.contains(k));
+    }
+
+    fn pending_after(&self, graph: &SubtaskGraph, si: usize) -> Vec<PendingSubtask> {
+        graph
+            .subtasks
+            .iter()
+            .enumerate()
+            .skip(si + 1)
+            .map(|(i, st)| PendingSubtask {
+                subtask: i,
+                missing_inputs: st
+                    .external_inputs
+                    .iter()
+                    .copied()
+                    .filter(|k| !self.storage.contains_key(k))
+                    .collect(),
+            })
+            .collect()
+    }
+}
+
+impl MetaView for SimExecutor {
+    fn meta(&self, key: ChunkKey) -> Option<ChunkMeta> {
+        self.metas.get(&key).copied()
+    }
+}
+
+impl Executor for SimExecutor {
+    fn execute(&mut self, graph: &SubtaskGraph) -> XbResult<ExecStats> {
+        let mut run = self.begin_graph(graph.clone());
+        while self.step_graph(&mut run)? {}
+        self.end_graph(run)
     }
 
     fn payload(&self, key: ChunkKey) -> Option<Arc<Payload>> {

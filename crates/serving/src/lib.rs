@@ -1,0 +1,31 @@
+//! # xorbits-serving
+//!
+//! Multi-tenant serving on top of the tiling engine and the virtual
+//! cluster: N concurrent tenant sessions submit streams of tileable-graph
+//! queries into one shared [`SimExecutor`](xorbits_runtime::SimExecutor),
+//! with
+//!
+//! * **admission control** — a fetch whose tiling-derived working-set
+//!   estimate does not fit the cluster memory budget queues until earlier
+//!   fetches finish,
+//! * **weighted fair scheduling** — deficit round-robin over ready
+//!   subtasks shares the virtual bands across tenants in proportion to
+//!   their weights, and
+//! * **a lineage-keyed result cache** — fetches are keyed by the canonical
+//!   structural hash of their tileable sub-DAG and invalidated through
+//!   source lineage fingerprints, with residency charged to a storage
+//!   ledger.
+//!
+//! Everything is barrier-deterministic: thread scheduling cannot change
+//! results, virtual latencies, or cache hit counts (see [`runtime`]).
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod runtime;
+
+pub use cache::{CacheStats, LineageCache};
+pub use runtime::{
+    percentile, tenant_key_base, Query, ServingOutcome, ServingRuntime, TenantExecutor,
+    TenantStream,
+};

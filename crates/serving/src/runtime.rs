@@ -1,0 +1,893 @@
+//! The multi-tenant serving runtime.
+//!
+//! N tenant *drivers* run on OS threads, each submitting a stream of
+//! queries against its own [`Session`]. Every session's executor is a
+//! [`TenantExecutor`] stub that forwards executor calls over a channel to
+//! one *coordinator*, which owns the single shared [`SimExecutor`] (the
+//! virtual cluster) and the result cache.
+//!
+//! # Barrier determinism
+//!
+//! Thread scheduling must not leak into results or statistics, so the
+//! coordinator only makes scheduling decisions at *quiesce points*: moments
+//! when every unfinished driver is blocked waiting on it (inside
+//! `execute`, a cache lookup, or the admission queue). Between quiesce
+//! points the virtual cluster's state is frozen — metadata queries are
+//! answered read-only, and mutating fire-and-forget calls (chunk releases,
+//! buffered cache inserts) either touch only the sending tenant's disjoint
+//! key space or are deferred to the next quiesce and applied in tenant-id
+//! order. Each service cycle therefore advances every tenant to its next
+//! blocking point in lockstep: same seed + same tenant streams ⇒
+//! bit-identical results, identical cache hit counts, identical virtual
+//! clocks — regardless of how the OS schedules the driver threads.
+//!
+//! # Fair sharing
+//!
+//! Admitted graphs execute one subtask at a time via
+//! [`SimExecutor::step_graph`], interleaved across tenants by deficit
+//! round-robin: each pass gives tenant `t` a quantum of `weight(t)`
+//! subtask credits, so over time the virtual bands divide in proportion
+//! to the weights while any single tenant's burst cannot starve the rest.
+//!
+//! # Admission control
+//!
+//! The first subtask graph of a fetch carries the tiler's source chunking,
+//! so its source-chunk count × `chunk_limit_bytes` estimates the fetch's
+//! working set. A fetch whose estimate does not fit in the cluster's free
+//! budget (workers × worker memory, minus active reservations) waits in a
+//! FIFO queue until earlier fetches complete; when nothing is reserved the
+//! head is always admitted, so an oversized query degrades to running
+//! alone (and spilling) instead of deadlocking the queue.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+
+use crate::cache::{CacheStats, LineageCache};
+use xorbits_core::chunk::{ChunkKey, ChunkMeta, Payload};
+use xorbits_core::config::XorbitsConfig;
+use xorbits_core::error::{XbError, XbResult};
+use xorbits_core::explain::{ServingStats, TenantServingStats};
+use xorbits_core::session::{ExecStats, Executor, ResultCache, Session};
+use xorbits_core::subtask::SubtaskGraph;
+use xorbits_core::tiling::MetaView;
+use xorbits_dataframe::DataFrame;
+use xorbits_runtime::{ClusterSpec, GraphRun, SimExecutor};
+
+/// One tenant query: runs against the tenant's session and returns the
+/// result frame. Queries fetch internally (possibly more than once — each
+/// fetch is admitted and cached independently).
+pub type Query = Box<dyn FnOnce(&Session<TenantExecutor>) -> XbResult<DataFrame> + Send>;
+
+/// One tenant's workload: a fair-share weight and an ordered query stream.
+pub struct TenantStream {
+    /// Fair-share weight (≥ 1; the DRR quantum in subtasks per pass).
+    pub weight: u32,
+    /// Queries, submitted in order.
+    pub queries: Vec<Query>,
+}
+
+impl TenantStream {
+    /// An empty stream with the given weight.
+    pub fn new(weight: u32) -> TenantStream {
+        TenantStream {
+            weight,
+            queries: Vec::new(),
+        }
+    }
+
+    /// Appends a query.
+    pub fn push(
+        &mut self,
+        q: impl FnOnce(&Session<TenantExecutor>) -> XbResult<DataFrame> + Send + 'static,
+    ) {
+        self.queries.push(Box::new(q));
+    }
+}
+
+/// Chunk-key namespace of one tenant's query: the high bits encode the
+/// tenant and query index so concurrent sessions sharing the simulator
+/// never collide (20 bits ≈ 1M chunk keys per query).
+pub fn tenant_key_base(tenant: u32, query: u32) -> ChunkKey {
+    ((tenant as ChunkKey + 1) << 40) | ((query as ChunkKey) << 20)
+}
+
+// ---------------------------------------------------------------------------
+// driver ↔ coordinator protocol
+
+enum Msg {
+    Execute {
+        tenant: u32,
+        query: u32,
+        graph: SubtaskGraph,
+        reply: Sender<XbResult<ExecStats>>,
+    },
+    /// End of a fetch (`Executor::clear`): the tenant's chunks of this
+    /// query can be dropped from the simulator.
+    FetchDone {
+        tenant: u32,
+        query: u32,
+        keys: Vec<ChunkKey>,
+    },
+    Release {
+        keys: Vec<ChunkKey>,
+    },
+    Meta {
+        key: ChunkKey,
+        reply: Sender<Option<ChunkMeta>>,
+    },
+    Payload {
+        key: ChunkKey,
+        reply: Sender<Option<Arc<Payload>>>,
+    },
+    CacheLookup {
+        tenant: u32,
+        key: u64,
+        reply: Sender<Option<Vec<Arc<Payload>>>>,
+    },
+    CacheInsert {
+        tenant: u32,
+        key: u64,
+        sources: Vec<u64>,
+        payloads: Vec<Arc<Payload>>,
+    },
+    TenantDone {
+        tenant: u32,
+    },
+}
+
+/// The per-tenant [`Executor`] stub: forwards every executor call to the
+/// coordinator. `execute` blocks until the coordinator has fair-share
+/// scheduled the whole graph; metadata/payload reads are answered
+/// immediately (the cluster state is frozen while any driver runs).
+pub struct TenantExecutor {
+    tenant: u32,
+    query: u32,
+    tx: Sender<Msg>,
+    /// Every key this query published to the simulator, reported back on
+    /// `clear` so the coordinator can drop exactly this query's chunks.
+    published: Vec<ChunkKey>,
+}
+
+impl MetaView for TenantExecutor {
+    fn meta(&self, key: ChunkKey) -> Option<ChunkMeta> {
+        let (rtx, rrx) = channel();
+        self.tx.send(Msg::Meta { key, reply: rtx }).ok()?;
+        rrx.recv().ok()?
+    }
+}
+
+impl Executor for TenantExecutor {
+    fn execute(&mut self, graph: &SubtaskGraph) -> XbResult<ExecStats> {
+        for st in &graph.subtasks {
+            self.published.extend(st.published_outputs.iter().copied());
+        }
+        let (rtx, rrx) = channel();
+        self.tx
+            .send(Msg::Execute {
+                tenant: self.tenant,
+                query: self.query,
+                graph: graph.clone(),
+                reply: rtx,
+            })
+            .map_err(|_| XbError::Plan("serving coordinator is gone".into()))?;
+        rrx.recv()
+            .map_err(|_| XbError::Plan("serving coordinator dropped the query".into()))?
+    }
+
+    fn payload(&self, key: ChunkKey) -> Option<Arc<Payload>> {
+        let (rtx, rrx) = channel();
+        self.tx.send(Msg::Payload { key, reply: rtx }).ok()?;
+        rrx.recv().ok()?
+    }
+
+    fn clear(&mut self) {
+        self.tx
+            .send(Msg::FetchDone {
+                tenant: self.tenant,
+                query: self.query,
+                keys: std::mem::take(&mut self.published),
+            })
+            .ok();
+    }
+
+    fn release(&mut self, keys: &[ChunkKey]) {
+        if !keys.is_empty() {
+            self.tx
+                .send(Msg::Release {
+                    keys: keys.to_vec(),
+                })
+                .ok();
+        }
+    }
+}
+
+/// The [`ResultCache`] stub sessions get: lookups block until the
+/// coordinator's next quiesce point (so cross-tenant cache races cannot
+/// make hit counts timing-dependent); inserts are fire-and-forget and
+/// applied at the next quiesce in tenant-id order.
+struct CoordCache {
+    tenant: u32,
+    tx: Sender<Msg>,
+}
+
+impl ResultCache for CoordCache {
+    fn lookup(&mut self, key: u64) -> Option<Vec<Arc<Payload>>> {
+        let (rtx, rrx) = channel();
+        self.tx
+            .send(Msg::CacheLookup {
+                tenant: self.tenant,
+                key,
+                reply: rtx,
+            })
+            .ok()?;
+        rrx.recv().ok()?
+    }
+
+    fn insert(&mut self, key: u64, sources: &[u64], payloads: &[Arc<Payload>]) {
+        self.tx
+            .send(Msg::CacheInsert {
+                tenant: self.tenant,
+                key,
+                sources: sources.to_vec(),
+                payloads: payloads.to_vec(),
+            })
+            .ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// coordinator
+
+/// What a driver is blocked on (its next pending coordinator action).
+enum TState {
+    /// Doing host-side work (tiling, gather, building the next query).
+    Running,
+    /// Blocked in a cache lookup; answered at the next quiesce.
+    WaitLookup {
+        key: u64,
+        reply: Sender<Option<Vec<Arc<Payload>>>>,
+    },
+    /// Blocked in `execute`. `graph` is `Some` until the fetch is admitted
+    /// and a [`GraphRun`] begun; `reply` unblocks the driver when the run
+    /// completes.
+    WaitExec {
+        query: u32,
+        graph: Option<SubtaskGraph>,
+        reply: Sender<XbResult<ExecStats>>,
+        arrived: f64,
+    },
+    /// Stream finished.
+    Done,
+}
+
+/// Accumulated per-query serving record (admission wait + virtual latency
+/// over the query's executed fetches; cache-hit queries never appear).
+#[derive(Debug, Clone, Copy, Default)]
+struct QueryRecord {
+    wait: f64,
+    latency: f64,
+    queued: bool,
+}
+
+struct Tenant {
+    weight: u32,
+    state: TState,
+    run: Option<GraphRun>,
+    /// DRR subtask credit.
+    deficit: f64,
+    /// A fetch of this tenant has been admitted and not yet cleared.
+    in_fetch: bool,
+    /// Query index of the admitted fetch.
+    fetch_query: u32,
+    /// Virtual time the fetch's first graph arrived.
+    fetch_arrival: f64,
+    /// Admission-queue wait accumulated by the fetch.
+    fetch_wait: f64,
+    /// Latest virtual finish over the fetch's dispatched subtasks.
+    fetch_last_finish: f64,
+    /// Bytes reserved against the cluster budget while the fetch runs.
+    reservation: usize,
+    /// Waiting in the admission queue.
+    queued: bool,
+    records: HashMap<u32, QueryRecord>,
+}
+
+impl Tenant {
+    fn new(weight: u32) -> Tenant {
+        Tenant {
+            weight: weight.max(1),
+            state: TState::Running,
+            run: None,
+            deficit: 0.0,
+            in_fetch: false,
+            fetch_query: 0,
+            fetch_arrival: 0.0,
+            fetch_wait: 0.0,
+            fetch_last_finish: 0.0,
+            reservation: 0,
+            queued: false,
+            records: HashMap::new(),
+        }
+    }
+}
+
+/// A buffered fire-and-forget cache insert awaiting the next quiesce.
+struct PendingInsert {
+    tenant: u32,
+    key: u64,
+    sources: Vec<u64>,
+    payloads: Vec<Arc<Payload>>,
+}
+
+struct Coordinator {
+    sim: SimExecutor,
+    tenants: Vec<Tenant>,
+    cache: Option<LineageCache>,
+    /// Buffered fire-and-forget cache inserts, applied at quiesce in
+    /// tenant-id order (stable sort keeps per-tenant arrival order).
+    pending_inserts: Vec<PendingInsert>,
+    /// FIFO of tenants waiting for admission.
+    admission_queue: Vec<u32>,
+    /// Cluster memory budget admission reserves against.
+    budget: usize,
+    /// Per-source-chunk byte estimate (the config's chunk size cap).
+    est_unit: usize,
+    queued_total: usize,
+    wait_total: f64,
+    /// Monotone DRR pass counter; rotates which tenant a pass starts at so
+    /// low tenant ids hold no standing claim on the earliest virtual band.
+    pass: u64,
+}
+
+impl Coordinator {
+    fn reserved(&self) -> usize {
+        self.tenants.iter().map(|t| t.reservation).sum()
+    }
+
+    fn all_done(&self) -> bool {
+        self.tenants.iter().all(|t| matches!(t.state, TState::Done))
+    }
+
+    /// Every unfinished driver is blocked waiting on the coordinator.
+    fn quiesced(&self) -> bool {
+        self.tenants
+            .iter()
+            .all(|t| !matches!(t.state, TState::Running))
+    }
+
+    fn handle(&mut self, msg: Msg) {
+        match msg {
+            Msg::Execute {
+                tenant,
+                query,
+                graph,
+                reply,
+            } => {
+                let arrived = self.sim.virtual_now();
+                self.tenants[tenant as usize].state = TState::WaitExec {
+                    query,
+                    graph: Some(graph),
+                    reply,
+                    arrived,
+                };
+            }
+            Msg::FetchDone {
+                tenant,
+                query,
+                keys,
+            } => {
+                self.sim.forget_chunks(&keys);
+                let t = &mut self.tenants[tenant as usize];
+                if t.in_fetch && t.fetch_query == query {
+                    let rec = t.records.entry(query).or_default();
+                    rec.latency += t.fetch_last_finish.max(t.fetch_arrival) - t.fetch_arrival;
+                    rec.wait += t.fetch_wait;
+                    self.wait_total += t.fetch_wait;
+                    t.in_fetch = false;
+                    t.reservation = 0;
+                    t.fetch_wait = 0.0;
+                }
+            }
+            Msg::Release { keys } => self.sim.release(&keys),
+            Msg::Meta { key, reply } => {
+                reply.send(self.sim.meta(key)).ok();
+            }
+            Msg::Payload { key, reply } => {
+                reply.send(self.sim.payload(key)).ok();
+            }
+            Msg::CacheLookup { tenant, key, reply } => {
+                self.tenants[tenant as usize].state = TState::WaitLookup { key, reply };
+            }
+            Msg::CacheInsert {
+                tenant,
+                key,
+                sources,
+                payloads,
+            } => self.pending_inserts.push(PendingInsert {
+                tenant,
+                key,
+                sources,
+                payloads,
+            }),
+            Msg::TenantDone { tenant } => {
+                self.tenants[tenant as usize].state = TState::Done;
+            }
+        }
+    }
+
+    /// One quiesce-point service cycle. Returns whether anything advanced
+    /// (nothing advancing while fully quiesced would be a deadlock).
+    fn service_cycle(&mut self) -> XbResult<bool> {
+        let mut progressed = false;
+
+        // 1. apply buffered cache inserts in tenant-id order
+        if !self.pending_inserts.is_empty() {
+            let mut inserts = std::mem::take(&mut self.pending_inserts);
+            inserts.sort_by_key(|ins| ins.tenant);
+            if let Some(cache) = &mut self.cache {
+                for ins in inserts {
+                    cache.insert(ins.key, &ins.sources, &ins.payloads);
+                }
+            }
+            progressed = true;
+        }
+
+        // 2. answer cache lookups in tenant-id order
+        for i in 0..self.tenants.len() {
+            if matches!(self.tenants[i].state, TState::WaitLookup { .. }) {
+                let TState::WaitLookup { key, reply } =
+                    std::mem::replace(&mut self.tenants[i].state, TState::Running)
+                else {
+                    unreachable!()
+                };
+                let hit = self.cache.as_mut().and_then(|c| c.lookup(key));
+                reply.send(hit).ok();
+                progressed = true;
+            }
+        }
+
+        // 3. admission + run creation
+        progressed |= self.admit();
+
+        // 4. fair-share dispatch of all admitted runs
+        progressed |= self.dispatch_round()?;
+
+        Ok(progressed)
+    }
+
+    /// Source-chunk working-set estimate of a fetch's first graph.
+    fn estimate(&self, graph: &SubtaskGraph) -> usize {
+        let sources = graph
+            .chunks
+            .nodes
+            .iter()
+            .filter(|n| n.op.is_source())
+            .count();
+        sources.max(1) * self.est_unit
+    }
+
+    /// Admits queued and newly arrived fetches (queue first, FIFO), then
+    /// begins runs for every admitted blocked graph.
+    fn admit(&mut self) -> bool {
+        let mut progressed = false;
+
+        // drain the FIFO head while it fits (or the cluster is idle)
+        while let Some(&t) = self.admission_queue.first() {
+            let ti = t as usize;
+            let est = match &self.tenants[ti].state {
+                TState::WaitExec { graph: Some(g), .. } => self.estimate(g),
+                // driver died/errored while queued: drop from the queue
+                _ => {
+                    self.admission_queue.remove(0);
+                    self.tenants[ti].queued = false;
+                    continue;
+                }
+            };
+            let reserved = self.reserved();
+            if reserved > 0 && reserved + est > self.budget {
+                break;
+            }
+            self.admission_queue.remove(0);
+            let now = self.sim.virtual_now();
+            let ten = &mut self.tenants[ti];
+            ten.queued = false;
+            ten.fetch_wait = now - ten.fetch_arrival;
+            self.start_fetch(ti, est);
+            progressed = true;
+        }
+
+        // new arrivals in tenant-id order
+        for i in 0..self.tenants.len() {
+            let ten = &self.tenants[i];
+            if ten.run.is_some() || ten.queued {
+                continue;
+            }
+            let TState::WaitExec {
+                query,
+                graph: Some(g),
+                ..
+            } = &ten.state
+            else {
+                continue;
+            };
+            if ten.in_fetch && ten.fetch_query == *query {
+                // later graph of an already admitted fetch
+                self.begin_run(i);
+                progressed = true;
+                continue;
+            }
+            let est = self.estimate(g);
+            let reserved = self.reserved();
+            let (query, arrived) = match &self.tenants[i].state {
+                TState::WaitExec { query, arrived, .. } => (*query, *arrived),
+                _ => unreachable!(),
+            };
+            let ten = &mut self.tenants[i];
+            ten.in_fetch = false;
+            ten.fetch_query = query;
+            ten.fetch_arrival = arrived;
+            ten.fetch_wait = 0.0;
+            if reserved > 0 && reserved + est > self.budget {
+                ten.queued = true;
+                ten.records.entry(query).or_default().queued = true;
+                self.queued_total += 1;
+                self.admission_queue.push(i as u32);
+            } else {
+                self.start_fetch(i, est);
+                progressed = true;
+            }
+        }
+        progressed
+    }
+
+    /// Marks tenant `i`'s pending fetch admitted and begins its first run.
+    fn start_fetch(&mut self, i: usize, reservation: usize) {
+        let ten = &mut self.tenants[i];
+        ten.in_fetch = true;
+        ten.reservation = reservation;
+        ten.fetch_last_finish = self.sim.virtual_now();
+        self.begin_run(i);
+    }
+
+    /// Moves the blocked graph of tenant `i` into a live [`GraphRun`].
+    fn begin_run(&mut self, i: usize) {
+        let TState::WaitExec { graph, .. } = &mut self.tenants[i].state else {
+            unreachable!("begin_run on a non-blocked tenant")
+        };
+        let graph = graph.take().expect("begin_run needs a pending graph");
+        self.sim.set_tenant_track(Some(i as u32));
+        let run = self.sim.begin_graph(graph);
+        self.sim.set_tenant_track(None);
+        self.tenants[i].run = Some(run);
+    }
+
+    /// Deficit round-robin over all live runs, one subtask per credit,
+    /// until every run begun in this cycle has completed. Completions
+    /// unblock their drivers immediately; newly submitted graphs wait for
+    /// the next quiesce.
+    fn dispatch_round(&mut self) -> XbResult<bool> {
+        let mut progressed = false;
+        let n = self.tenants.len();
+        loop {
+            // rotate the pass's start tenant (deterministically — the pass
+            // counter only advances at quiesce points): with ties in
+            // deficit, whoever steps first claims the earliest band, and a
+            // fixed id order would hand that edge to tenant 0 every pass
+            let start = (self.pass % n as u64) as usize;
+            self.pass += 1;
+            let active: Vec<usize> = (0..n)
+                .map(|k| (start + k) % n)
+                .filter(|&i| self.tenants[i].run.is_some())
+                .collect();
+            if active.is_empty() {
+                break;
+            }
+            for i in active {
+                let quantum = self.tenants[i].weight as f64;
+                self.tenants[i].deficit += quantum;
+                while self.tenants[i].deficit >= 1.0 && self.tenants[i].run.is_some() {
+                    self.tenants[i].deficit -= 1.0;
+                    progressed = true;
+                    self.sim.set_tenant_track(Some(i as u32));
+                    let stepped = self
+                        .sim
+                        .step_graph(self.tenants[i].run.as_mut().expect("run checked"));
+                    self.sim.set_tenant_track(None);
+                    match stepped {
+                        Ok(true) => {}
+                        Ok(false) => self.finish_run(i, None),
+                        Err(e) => self.finish_run(i, Some(e)),
+                    }
+                }
+                if self.tenants[i].run.is_none() {
+                    // empty credit carries no meaning without a backlog
+                    self.tenants[i].deficit = 0.0;
+                }
+            }
+        }
+        Ok(progressed)
+    }
+
+    /// Ends tenant `i`'s run (or aborts it with `err`) and unblocks the
+    /// driver.
+    fn finish_run(&mut self, i: usize, err: Option<XbError>) {
+        let run = self.tenants[i].run.take().expect("finish_run needs a run");
+        let result = match err {
+            Some(e) => {
+                drop(run);
+                Err(e)
+            }
+            None => {
+                let last_finish = run.last_finish();
+                let ten = &mut self.tenants[i];
+                ten.fetch_last_finish = ten.fetch_last_finish.max(last_finish);
+                self.sim.end_graph(run)
+            }
+        };
+        let TState::WaitExec { reply, .. } =
+            std::mem::replace(&mut self.tenants[i].state, TState::Running)
+        else {
+            unreachable!("finish_run on a non-blocked tenant")
+        };
+        reply.send(result).ok();
+    }
+
+    fn serve(&mut self, rx: Receiver<Msg>) -> XbResult<()> {
+        let result = self.serve_inner(&rx);
+        if result.is_err() {
+            // drop every held reply sender so blocked drivers unwind
+            // instead of waiting forever
+            for t in &mut self.tenants {
+                t.state = TState::Done;
+                t.run = None;
+            }
+        }
+        result
+    }
+
+    fn serve_inner(&mut self, rx: &Receiver<Msg>) -> XbResult<()> {
+        while !self.all_done() {
+            let msg = rx
+                .recv()
+                .map_err(|_| XbError::Plan("all tenant drivers disconnected".into()))?;
+            self.handle(msg);
+            while let Ok(m) = rx.try_recv() {
+                self.handle(m);
+            }
+            while self.quiesced() && !self.all_done() {
+                if !self.service_cycle()? {
+                    return Err(XbError::Plan(
+                        "serving deadlock: all tenants blocked with nothing to do".into(),
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// public runtime
+
+/// Per-tenant, per-query outputs of one serving run plus the aggregate
+/// statistics.
+pub struct ServingOutcome {
+    /// Result frames, `results[tenant][query]`.
+    pub results: Vec<Vec<DataFrame>>,
+    /// Whether each query was answered entirely from the result cache
+    /// (every fetch hit; no subtask executed).
+    pub cache_hits: Vec<Vec<bool>>,
+    /// Virtual end-to-end latency of each query (admission wait included;
+    /// 0 for fully cached queries).
+    pub latencies: Vec<Vec<f64>>,
+    /// Virtual admission-queue wait of each query.
+    pub waits: Vec<Vec<f64>>,
+    /// Aggregate serving statistics ([`ServingStats::tenants`] slowdowns
+    /// are 0 — only a solo-baseline caller can compute them).
+    pub stats: ServingStats,
+    /// Result-cache counters (zeros when the cache was off).
+    pub cache: CacheStats,
+    /// The execution ledger drained on shutdown: every tenant chunk freed,
+    /// per-worker live bytes zero, and allocation refcounts balanced.
+    pub ledger_drained: bool,
+}
+
+/// The serving runtime: builds the shared virtual cluster, spawns one
+/// driver thread per tenant and coordinates them deterministically.
+pub struct ServingRuntime {
+    spec: ClusterSpec,
+    cfg: XorbitsConfig,
+    cache_bytes: usize,
+}
+
+impl ServingRuntime {
+    /// A runtime over the given cluster and tiling configuration, result
+    /// cache off.
+    pub fn new(spec: ClusterSpec, cfg: XorbitsConfig) -> ServingRuntime {
+        ServingRuntime {
+            spec,
+            cfg,
+            cache_bytes: 0,
+        }
+    }
+
+    /// Enables the lineage-keyed result cache with this byte budget
+    /// (0 keeps it off; see [`xorbits_core::config::cache_bytes_from_env`]).
+    pub fn with_cache_bytes(mut self, bytes: usize) -> ServingRuntime {
+        self.cache_bytes = bytes;
+        self
+    }
+
+    /// Runs every tenant's query stream to completion and returns results
+    /// plus statistics. Deterministic: same spec/config/streams ⇒
+    /// bit-identical results and identical statistics.
+    pub fn run(&self, streams: Vec<TenantStream>) -> XbResult<ServingOutcome> {
+        if streams.is_empty() {
+            return Err(XbError::Plan("serving needs at least one tenant".into()));
+        }
+        let weights: Vec<u32> = streams.iter().map(|s| s.weight.max(1)).collect();
+        let mut coord = Coordinator {
+            sim: SimExecutor::new(self.spec.clone()),
+            tenants: weights.iter().map(|&w| Tenant::new(w)).collect(),
+            cache: (self.cache_bytes > 0).then(|| LineageCache::new(self.cache_bytes)),
+            pending_inserts: Vec::new(),
+            admission_queue: Vec::new(),
+            budget: self.spec.workers * self.spec.worker_memory_bytes,
+            est_unit: self.cfg.chunk_limit_bytes,
+            queued_total: 0,
+            wait_total: 0.0,
+            pass: 0,
+        };
+        let (tx, rx) = channel();
+        let cache_on = self.cache_bytes > 0;
+        let (served, logs) = std::thread::scope(|scope| {
+            let handles: Vec<_> = streams
+                .into_iter()
+                .enumerate()
+                .map(|(t, stream)| {
+                    let tx = tx.clone();
+                    let cfg = self.cfg.clone();
+                    scope.spawn(move || drive_tenant(t as u32, stream, cfg, tx, cache_on))
+                })
+                .collect();
+            drop(tx);
+            let served = coord.serve(rx);
+            let logs: Vec<DriverLog> = handles
+                .into_iter()
+                .map(|h| h.join().expect("tenant driver panicked"))
+                .collect();
+            (served, logs)
+        });
+        served?;
+        for log in &logs {
+            if let Some(e) = &log.error {
+                return Err(XbError::Plan(format!("tenant query failed: {e}")));
+            }
+        }
+        Ok(self.outcome(coord, logs))
+    }
+
+    fn outcome(&self, coord: Coordinator, logs: Vec<DriverLog>) -> ServingOutcome {
+        let cache = coord.cache.as_ref().map(|c| c.stats()).unwrap_or_default();
+        let mut results = Vec::with_capacity(logs.len());
+        let mut hits = Vec::with_capacity(logs.len());
+        let mut latencies = Vec::with_capacity(logs.len());
+        let mut waits = Vec::with_capacity(logs.len());
+        let mut tenants = Vec::with_capacity(logs.len());
+        for (t, log) in logs.into_iter().enumerate() {
+            let ten = &coord.tenants[t];
+            let nq = log.results.len();
+            let mut lat = Vec::with_capacity(nq);
+            let mut wat = Vec::with_capacity(nq);
+            for q in 0..nq {
+                let rec = ten.records.get(&(q as u32)).copied().unwrap_or_default();
+                lat.push(rec.wait + rec.latency);
+                wat.push(rec.wait);
+            }
+            let cache_hits = log.hits.iter().filter(|&&h| h).count();
+            tenants.push(TenantServingStats {
+                tenant: t as u32,
+                weight: ten.weight,
+                queries: nq,
+                cache_hits,
+                mean_latency: mean(&lat),
+                p50_latency: percentile(&lat, 50.0),
+                p99_latency: percentile(&lat, 99.0),
+                admission_wait: wat.iter().sum(),
+                slowdown: 0.0,
+            });
+            results.push(log.results);
+            hits.push(log.hits);
+            latencies.push(lat);
+            waits.push(wat);
+        }
+        let ledger_drained = coord.sim.ledger_balanced()
+            && coord.sim.live_worker_bytes().iter().all(|&b| b == 0)
+            && coord.sim.chunk_placements().is_empty();
+        let stats = ServingStats {
+            tenants,
+            cache_hits: cache.hits,
+            cache_misses: cache.misses,
+            cache_evictions: cache.evictions,
+            cache_invalidations: cache.invalidations,
+            admission_queued: coord.queued_total,
+            admission_wait: coord.wait_total,
+            makespan: coord.sim.virtual_now(),
+        };
+        ServingOutcome {
+            results,
+            cache_hits: hits,
+            latencies,
+            waits,
+            stats,
+            cache,
+            ledger_drained,
+        }
+    }
+}
+
+#[derive(Default)]
+struct DriverLog {
+    results: Vec<DataFrame>,
+    hits: Vec<bool>,
+    error: Option<XbError>,
+}
+
+fn drive_tenant(
+    tenant: u32,
+    stream: TenantStream,
+    cfg: XorbitsConfig,
+    tx: Sender<Msg>,
+    cache_on: bool,
+) -> DriverLog {
+    let mut log = DriverLog::default();
+    for (qi, query) in stream.queries.into_iter().enumerate() {
+        let executor = TenantExecutor {
+            tenant,
+            query: qi as u32,
+            tx: tx.clone(),
+            published: Vec::new(),
+        };
+        let session =
+            Session::with_key_base(cfg.clone(), executor, tenant_key_base(tenant, qi as u32));
+        if cache_on {
+            session.set_result_cache(Arc::new(Mutex::new(CoordCache {
+                tenant,
+                tx: tx.clone(),
+            })));
+        }
+        match query(&session) {
+            Ok(df) => {
+                // fully cached ⇔ the whole query executed zero subtasks
+                log.hits.push(session.total_stats().subtasks == 0);
+                log.results.push(df);
+            }
+            Err(e) => {
+                log.error = Some(e);
+                break;
+            }
+        }
+    }
+    tx.send(Msg::TenantDone { tenant }).ok();
+    log
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Nearest-rank percentile over a copy of `xs` (0 when empty).
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let rank = ((p / 100.0) * (sorted.len() as f64 - 1.0)).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}

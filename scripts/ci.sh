@@ -82,6 +82,15 @@ XORBITS_THREADS=4 cargo test -q --release --test parallel_equivalence
 echo "==> trace determinism + Chrome-export validity"
 cargo test -q --release -p xorbits-workloads --test trace_determinism
 
+# Multi-tenant serving gate (hard): four tenants submit pinned-seed
+# Zipf(1.1) TPC-H streams through the shared coordinator and result cache;
+# the run repeats and must reproduce bit-identical per-tenant results,
+# identical cache hit counts, and a drained execution ledger regardless of
+# OS thread scheduling. The suite also covers admission queueing under a
+# tight budget, weighted-DRR ordering, and lineage invalidation.
+echo "==> multi-tenant serving determinism gate (Zipf streams, run-twice)"
+cargo test -q --release -p xorbits-serving
+
 # Opt-in kernel bench smoke: 1e4-row run of the shuffle/join/groupby kernel
 # suite, failing if any kernel is >2x slower than the checked-in reference
 # (scripts/bench_reference.json). Off by default — wall-clock gates are only
@@ -101,6 +110,12 @@ if [[ "${XORBITS_CI_BENCH:-0}" == "1" ]]; then
   XORBITS_PARALLEL_MIN_SPEEDUP="${XORBITS_PARALLEL_MIN_SPEEDUP:-1.5}" \
   XORBITS_BENCH_OUT=target/BENCH_parallel_smoke.json \
     cargo run --release -p xorbits-bench --example bench_parallel
+
+  # Serving smoke: the multi-tenant bench's own asserts gate a >= 2x mean
+  # virtual-latency win from the result cache and a <= 2x max/min tenant
+  # slowdown spread on a 4-tenant Zipf(1.1) TPC-H stream.
+  echo "==> serving cache/fairness smoke (4 tenants, Zipf TPC-H streams)"
+  cargo run --release -p xorbits-bench --example bench_serving
 fi
 
 echo "CI green."
