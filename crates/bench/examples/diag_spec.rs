@@ -1,0 +1,82 @@
+//! Diagnostic: find transient-storm seeds where the speculated clone wins.
+
+use xorbits_core::config::XorbitsConfig;
+use xorbits_core::session::Session;
+use xorbits_runtime::{ClusterSpec, FaultPlan, RetryPolicy, SimExecutor};
+use xorbits_workloads::skew::{run_groupby_nunique, run_lopsided_join, skew_data};
+
+fn main() {
+    let cfg = XorbitsConfig {
+        chunk_limit_bytes: 256 << 10,
+        cluster_parallelism: 6,
+        broadcast_threshold_bytes: 0,
+        ..Default::default()
+    };
+    let d = skew_data(120_000, 400, 1.5, 0x5E3D).unwrap();
+
+    // no faults: does the straggler trigger at all?
+    for (name, which) in [("nunique", 0), ("join", 1)] {
+        let spec = ClusterSpec::new(3, 256 << 20).with_speculation();
+        let s = Session::new(cfg.clone(), SimExecutor::new(spec));
+        let out = if which == 0 {
+            run_groupby_nunique(&s, &d)
+        } else {
+            run_lopsided_join(&s, &d)
+        }
+        .unwrap();
+        let st = s.total_stats();
+        println!(
+            "{name} fault-free: rows={} launched={} won={} retries={}",
+            out.num_rows(),
+            st.speculative_launched,
+            st.speculative_won,
+            st.retries
+        );
+    }
+
+    // crash after the speculative launch, with and without retile
+    for (name, mode) in [
+        ("off", xorbits_core::retile::RetileMode::Off),
+        ("auto", xorbits_core::retile::RetileMode::Auto),
+    ] {
+        for step in [14u64, 18, 20, 22] {
+            let spec = ClusterSpec::new(3, 256 << 20)
+                .with_speculation()
+                .with_retile(mode)
+                .with_fault_plan(FaultPlan::worker_crash_at_step(0xFA05, 0, step));
+            let s = Session::new(cfg.clone(), SimExecutor::new(spec));
+            let out = run_groupby_nunique(&s, &d).unwrap();
+            let st = s.total_stats();
+            println!(
+                "crash retile={name} step={step}: rows={} launched={} won={} recomputed={} retiled={}",
+                out.num_rows(),
+                st.speculative_launched,
+                st.speculative_won,
+                st.recomputed_subtasks,
+                st.retiled_partitions
+            );
+        }
+    }
+
+    // storm seeds: look for clone wins
+    for seed in 0..24u64 {
+        let spec = ClusterSpec::new(3, 256 << 20)
+            .with_speculation()
+            .with_fault_plan(FaultPlan::transient_storm(0xB00 + seed, 0.25))
+            .with_retry(RetryPolicy {
+                max_retries: 8,
+                ..Default::default()
+            });
+        let s = Session::new(cfg.clone(), SimExecutor::new(spec));
+        let out = run_groupby_nunique(&s, &d).unwrap();
+        let st = s.total_stats();
+        println!(
+            "storm seed {:#x}: rows={} launched={} won={} retries={}",
+            0xB00 + seed,
+            out.num_rows(),
+            st.speculative_launched,
+            st.speculative_won,
+            st.retries
+        );
+    }
+}

@@ -158,6 +158,21 @@ pub fn explain_transport(stats: &ExecStats) -> String {
     )
 }
 
+/// Summarises what mid-run skew-aware re-tiling and straggler speculation
+/// did: shuffle partitions split/coalesced after harvesting lopsided
+/// histograms (`XORBITS_RETILE=auto`, threshold = max/mean partition
+/// bytes), and speculative clones launched/won on idle bands.
+pub fn explain_retile(stats: &ExecStats) -> String {
+    if stats.retiled_partitions == 0 && stats.speculative_launched == 0 {
+        return "Retile: none (balanced shuffles or static tiling)\n".to_string();
+    }
+    format!(
+        "Retile: {} shuffle partitions rebalanced mid-run; \
+         {} speculative clones launched, {} won the race\n",
+        stats.retiled_partitions, stats.speculative_launched, stats.speculative_won
+    )
+}
+
 /// Per-tenant slice of a serving run (filled by the serving runtime).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct TenantServingStats {
@@ -410,6 +425,22 @@ mod tests {
         assert!(text.contains("4000 raw bytes"), "{text}");
         assert!(text.contains("1000 wire bytes"), "{text}");
         assert!(text.contains("4.00x"), "{text}");
+    }
+
+    #[test]
+    fn retile_render() {
+        let idle = ExecStats::default();
+        assert!(explain_retile(&idle).contains("none"));
+        let stats = ExecStats {
+            retiled_partitions: 5,
+            speculative_launched: 2,
+            speculative_won: 1,
+            ..ExecStats::default()
+        };
+        let text = explain_retile(&stats);
+        assert!(text.contains("5 shuffle partitions"), "{text}");
+        assert!(text.contains("2 speculative clones"), "{text}");
+        assert!(text.contains("1 won"), "{text}");
     }
 
     #[test]

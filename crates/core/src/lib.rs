@@ -21,6 +21,7 @@ pub mod local;
 pub mod optimizer;
 pub mod parallel;
 pub mod rechunk;
+pub mod retile;
 pub mod session;
 pub mod subtask;
 pub mod tileable;
@@ -31,6 +32,7 @@ pub use chunk::{ChunkGraph, ChunkKey, ChunkMeta, ChunkNode, ChunkOp, KeyGen, Pay
 pub use config::XorbitsConfig;
 pub use error::{FailureKind, XbError, XbResult};
 pub use parallel::{threads_from_env, ParallelExecutor};
+pub use retile::{retile_from_env, RetileMode, RetileParams};
 pub use session::{DfHandle, ExecStats, Executor, RunReport, Session, TensorHandle};
 pub use subtask::{Subtask, SubtaskGraph};
 pub use tileable::{DfSource, TileableGraph, TileableId, TileableOp};

@@ -219,6 +219,9 @@ impl Executor for LocalExecutor {
             recovered_from_spill_bytes: 0,
             encoded_raw_bytes: (after.encoded_raw_bytes - before.encoded_raw_bytes) as usize,
             encoded_wire_bytes: (after.encoded_wire_bytes - before.encoded_wire_bytes) as usize,
+            retiled_partitions: 0,
+            speculative_launched: 0,
+            speculative_won: 0,
         })
     }
 

@@ -40,10 +40,12 @@
 
 use crate::chunk::{payload_to_value, value_to_payload, ChunkKey, ChunkMeta, Payload};
 use crate::error::{XbError, XbResult};
+use crate::retile::{self, RetileMode, RetileParams, SynthKeys};
 use crate::session::{ExecStats, Executor};
 use crate::subtask::SubtaskGraph;
 use crate::tiling::MetaView;
 use crate::trace;
+use std::collections::HashSet;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -77,6 +79,8 @@ pub struct ParallelExecutor {
     /// `execute` calls so steady-state spill and read-back run through
     /// warm chunkfmt-v2 buffers instead of allocating per chunk.
     worker_ws: Vec<Mutex<Workspaces>>,
+    /// Mid-run skew-aware re-tiling; `None` defers to `XORBITS_RETILE`.
+    retile: Option<RetileMode>,
 }
 
 impl Default for ParallelExecutor {
@@ -146,7 +150,14 @@ impl ParallelExecutor {
             worker_ws: (0..threads)
                 .map(|_| Mutex::new(Workspaces::default()))
                 .collect(),
+            retile: None,
         }
+    }
+
+    /// Forces the re-tiling mode instead of reading `XORBITS_RETILE`.
+    pub fn with_retile(mut self, mode: RetileMode) -> ParallelExecutor {
+        self.retile = Some(mode);
+        self
     }
 
     /// The worker count this executor runs with.
@@ -244,22 +255,28 @@ impl ParallelExecutor {
         Ok(())
     }
 
-    /// Dispatches the whole graph over the worker pool. Returns the summed
+    /// Dispatches subtasks `lo..hi` over the worker pool (producers below
+    /// `lo` have already published to storage). Returns the summed
     /// per-subtask busy nanoseconds.
-    fn execute_pool(&self, graph: &SubtaskGraph) -> XbResult<u64> {
-        let n = graph.subtasks.len();
-        // producer subtask of every published chunk key
+    fn execute_pool(&self, graph: &SubtaskGraph, lo: usize, hi: usize) -> XbResult<u64> {
+        let n = hi - lo;
+        // producer subtask of every chunk key published inside the range
         let mut producer_of: HashMap<ChunkKey, usize> = HashMap::new();
-        for (i, st) in graph.subtasks.iter().enumerate() {
+        for (i, st) in graph.subtasks[lo..hi].iter().enumerate() {
             for &k in &st.published_outputs {
-                producer_of.insert(k, i);
+                producer_of.insert(k, lo + i);
             }
         }
-        // indegree = distinct in-graph producers; successor adjacency
-        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-        let mut indeg: Vec<AtomicUsize> = Vec::with_capacity(n);
+        // indegree = distinct in-range producers; successor adjacency
+        // (indexed by absolute subtask id)
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); graph.subtasks.len()];
+        let mut indeg: Vec<AtomicUsize> = (0..graph.subtasks.len())
+            .map(|_| AtomicUsize::new(0))
+            .collect();
         let mut initially_ready: Vec<usize> = Vec::new();
-        for (i, st) in graph.subtasks.iter().enumerate() {
+        #[allow(clippy::needless_range_loop)] // `indeg`/`succs` are full-graph, the range is not
+        for i in lo..hi {
+            let st = &graph.subtasks[i];
             let mut deps: Vec<usize> = st
                 .external_inputs
                 .iter()
@@ -271,7 +288,7 @@ impl ParallelExecutor {
             for &p in &deps {
                 succs[p].push(i);
             }
-            indeg.push(AtomicUsize::new(deps.len()));
+            indeg[i] = AtomicUsize::new(deps.len());
             if deps.is_empty() {
                 initially_ready.push(i);
             }
@@ -308,11 +325,77 @@ impl ParallelExecutor {
         }
     }
 
+    /// Runs subtasks `lo..hi`, through the pool when it pays off.
+    fn execute_range(&self, graph: &SubtaskGraph, lo: usize, hi: usize) -> XbResult<f64> {
+        if hi <= lo {
+            return Ok(0.0);
+        }
+        if self.threads <= 1 || hi - lo <= 1 {
+            // sequential fast path: the LocalExecutor loop, no pool at all
+            let start = Instant::now();
+            let mut ws = self.worker_ws[0].lock().unwrap();
+            for sti in lo..hi {
+                self.run_subtask(graph, sti, &mut ws)?;
+            }
+            Ok(start.elapsed().as_secs_f64())
+        } else {
+            Ok(self.execute_pool(graph, lo, hi)? as f64 * 1e-9)
+        }
+    }
+
+    /// Staged execution with mid-run re-tiling: run up to each shuffle
+    /// wave head (a quiesce point — every partition's size is harvested in
+    /// `self.metas`), splice the pending tail if the histogram is skewed,
+    /// continue. Returns (busy seconds, subtasks run, partitions retiled).
+    fn execute_retiled(&self, graph: &SubtaskGraph) -> XbResult<(f64, usize, usize)> {
+        let mut g = graph.clone();
+        let params = RetileParams::default();
+        let mut synth = SynthKeys::for_graph(&g.chunks);
+        let mut done: HashSet<Vec<usize>> = HashSet::new();
+        let mut busy = 0.0f64;
+        let mut retiled = 0usize;
+        let mut start = 0usize;
+        while start < g.subtasks.len() {
+            let cut = retile::next_wave_head(&g, start, &done).unwrap_or(g.subtasks.len());
+            busy += self.execute_range(&g, start, cut)?;
+            start = cut;
+            if start >= g.subtasks.len() {
+                break;
+            }
+            let info = |k: ChunkKey| {
+                self.metas
+                    .lock()
+                    .unwrap()
+                    .get(&k)
+                    .map(|m| (m.nbytes as u64, m.rows as u64))
+            };
+            let peek = |k: ChunkKey| self.payload(k);
+            if let Some(out) =
+                retile::maybe_retile(&mut g, start, &params, &mut synth, &mut done, &info, &peek)
+            {
+                retiled += out.retiled_partitions;
+                if trace::is_enabled() {
+                    trace::instant(
+                        trace::Stage::Retile,
+                        "retile",
+                        &[
+                            ("partitions", out.partitions as u64),
+                            ("splits", out.splits as u64),
+                            ("coalesces", out.coalesces as u64),
+                        ],
+                    );
+                }
+            }
+        }
+        Ok((busy, g.subtasks.len(), retiled))
+    }
+
     fn exec_stats(
         &self,
         elapsed: f64,
         busy_seconds: f64,
         subtasks: usize,
+        retiled: usize,
         before: &StorageMetrics,
     ) -> ExecStats {
         let after = self.service.metrics();
@@ -357,6 +440,9 @@ impl ParallelExecutor {
             recovered_from_spill_bytes: 0,
             encoded_raw_bytes: (after.encoded_raw_bytes - before.encoded_raw_bytes) as usize,
             encoded_wire_bytes: (after.encoded_wire_bytes - before.encoded_wire_bytes) as usize,
+            retiled_partitions: retiled,
+            speculative_launched: 0,
+            speculative_won: 0,
         }
     }
 }
@@ -479,20 +565,15 @@ impl Executor for ParallelExecutor {
         xorbits_dataframe::par::set_kernel_threads(self.threads);
         let start = Instant::now();
         let before = self.service.metrics();
-        let subtasks = graph.subtasks.len();
-        let busy_seconds = if self.threads <= 1 || subtasks <= 1 {
-            // sequential fast path: the LocalExecutor loop, no pool at all
-            let mut ws = self.worker_ws[0].lock().unwrap();
-            for sti in 0..subtasks {
-                self.run_subtask(graph, sti, &mut ws)?;
-            }
-            drop(ws);
-            start.elapsed().as_secs_f64()
+        let mode = self.retile.unwrap_or_else(crate::retile::retile_from_env);
+        let (busy_seconds, subtasks, retiled) = if mode == RetileMode::Auto {
+            self.execute_retiled(graph)?
         } else {
-            self.execute_pool(graph)? as f64 * 1e-9
+            let n = graph.subtasks.len();
+            (self.execute_range(graph, 0, n)?, n, 0)
         };
         let elapsed = start.elapsed().as_secs_f64();
-        Ok(self.exec_stats(elapsed, busy_seconds, subtasks, &before))
+        Ok(self.exec_stats(elapsed, busy_seconds, subtasks, retiled, &before))
     }
 
     fn payload(&self, key: ChunkKey) -> Option<Arc<Payload>> {

@@ -1,10 +1,17 @@
-//! Auto rechunk — a faithful port of the paper's Algorithm 1 (§V-D).
+//! Auto rechunk — the *static* application of the paper's Algorithm 1
+//! (§V-D), run once at plan time over estimated sizes.
 //!
 //! Given the raw `shape`, per-dimension constraints (`dim_to_size`: the
 //! chunk extent an operator requires on specific dimensions, e.g.
 //! `{1: 10000}` to force tall-and-skinny chunks for QR), the element size
 //! and the configured chunk byte limit, the algorithm chooses chunk extents
 //! for every remaining dimension so each chunk stays under the limit.
+//!
+//! Since PR 9 the same algorithm is also re-applied *continuously* at run
+//! time: [`crate::retile`] harvests real shuffle-partition histograms at
+//! quiesce points and re-tiles skewed waves mid-run (`XORBITS_RETILE`).
+//! This module remains the estimate-driven first cut those refinements
+//! start from.
 
 use std::collections::BTreeMap;
 

@@ -54,6 +54,13 @@ pub struct ExecStats {
     /// (chunkfmt v2). `encoded_raw_bytes / encoded_wire_bytes` is the
     /// compression ratio [`crate::explain::explain_transport`] reports.
     pub encoded_wire_bytes: usize,
+    /// Shuffle partitions split or coalesced by mid-run skew-aware
+    /// re-tiling (`XORBITS_RETILE=auto`; always 0 when off).
+    pub retiled_partitions: usize,
+    /// Speculative straggler clones launched (simulator only).
+    pub speculative_launched: usize,
+    /// Speculative clones that finished first and cancelled the original.
+    pub speculative_won: usize,
 }
 
 impl ExecStats {
@@ -71,6 +78,9 @@ impl ExecStats {
         self.recovered_from_spill_bytes += other.recovered_from_spill_bytes;
         self.encoded_raw_bytes += other.encoded_raw_bytes;
         self.encoded_wire_bytes += other.encoded_wire_bytes;
+        self.retiled_partitions += other.retiled_partitions;
+        self.speculative_launched += other.speculative_launched;
+        self.speculative_won += other.speculative_won;
     }
 }
 

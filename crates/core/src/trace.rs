@@ -81,6 +81,10 @@ pub enum Stage {
     Gather,
     /// Storage-service bookkeeping (pin/unpin anomalies, tier moves).
     Storage,
+    /// Mid-run skew-aware re-tiling of a shuffle wave.
+    Retile,
+    /// Speculative re-execution of a straggler subtask.
+    Speculate,
 }
 
 impl Stage {
@@ -101,6 +105,8 @@ impl Stage {
             Stage::Fault => "fault",
             Stage::Gather => "gather",
             Stage::Storage => "storage",
+            Stage::Retile => "retile",
+            Stage::Speculate => "speculate",
         }
     }
 }

@@ -1,0 +1,213 @@
+//! Property tests for the pure re-tile planner (PR 9, satellite 2).
+//!
+//! [`plan_retile`] is the decision kernel of dynamic tiling v2: it sees a
+//! harvested partition histogram and nothing else. These tests drive it
+//! with seeded random histograms and check the invariants the runtime
+//! splice relies on:
+//!
+//! * applying a plan conserves total bytes and rows exactly;
+//! * after a split, no sub-partition exceeds the resolved cap unless the
+//!   fan-out was clamped at [`MAX_SPLIT_WAYS`];
+//! * balanced histograms produce no-op plans;
+//! * the planner is a pure function of the histogram (same input twice →
+//!   the same plan, and the plan's actions are well-formed).
+
+use xorbits_core::retile::{
+    apply_plan, plan_retile, PartStat, RetileAction, RetileParams, MAX_SPLIT_WAYS,
+};
+
+/// SplitMix64 — the classic seeded stream, good enough for test shapes.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded random histogram: `n` partitions, bytes in `[0, spread)`,
+/// occasionally zero, with rows loosely tracking bytes.
+fn random_hist(seed: u64, n: usize, spread: u64) -> Vec<PartStat> {
+    (0..n)
+        .map(|i| {
+            let r = mix(seed ^ (i as u64).wrapping_mul(0x9E37));
+            let bytes = if r.is_multiple_of(13) { 0 } else { r % spread };
+            PartStat {
+                bytes,
+                rows: bytes / 32 + (r >> 32) % 7,
+            }
+        })
+        .collect()
+}
+
+fn totals(hist: &[PartStat]) -> (u64, u64) {
+    (
+        hist.iter().map(|p| p.bytes).sum(),
+        hist.iter().map(|p| p.rows).sum(),
+    )
+}
+
+#[test]
+fn plans_conserve_bytes_and_rows() {
+    let params = RetileParams::default();
+    for seed in 0..200u64 {
+        let n = 2 + (mix(seed) % 40) as usize;
+        let spread = 1 + mix(seed ^ 1) % (16 << 20);
+        let hist = random_hist(seed, n, spread);
+        let plan = plan_retile(&hist, &params);
+        let out = apply_plan(&hist, &plan);
+        assert_eq!(
+            totals(&hist),
+            totals(&out),
+            "seed {seed}: retile must conserve totals"
+        );
+    }
+}
+
+#[test]
+fn split_partitions_respect_the_cap() {
+    for seed in 0..200u64 {
+        let n = 2 + (mix(seed ^ 0xCAFE) % 32) as usize;
+        let hist = random_hist(seed ^ 0xCAFE, n, 1 + mix(seed) % (64 << 20));
+        for params in [
+            RetileParams::default(),
+            RetileParams {
+                threshold: 1.5,
+                cap_bytes: 128 << 10,
+            },
+        ] {
+            let plan = plan_retile(&hist, &params);
+            for a in &plan.actions {
+                let RetileAction::Split { part, ways } = a else {
+                    continue;
+                };
+                assert!(
+                    (2..=MAX_SPLIT_WAYS).contains(ways),
+                    "seed {seed}: ways {ways}"
+                );
+                if *ways == MAX_SPLIT_WAYS {
+                    continue; // clamped fan-out may legitimately overshoot
+                }
+                // the near-equal split puts at most ceil(bytes/ways) in a
+                // sub-partition, and ways = ceil(bytes/cap) keeps that ≤ cap
+                let worst = hist[*part].bytes.div_ceil(*ways as u64);
+                assert!(
+                    worst <= plan.cap_bytes,
+                    "seed {seed}: part {part} splits into {worst} B > cap {} B",
+                    plan.cap_bytes
+                );
+            }
+            // and the applied histogram agrees with the arithmetic
+            let out = apply_plan(&hist, &plan);
+            let split_parts: Vec<usize> = plan
+                .actions
+                .iter()
+                .filter_map(|a| match a {
+                    RetileAction::Split { part, ways } if *ways < MAX_SPLIT_WAYS => Some(*part),
+                    _ => None,
+                })
+                .collect();
+            if !split_parts.is_empty() {
+                let clamped_max = hist
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !split_parts.contains(i))
+                    .map(|(_, p)| p.bytes)
+                    .max()
+                    .unwrap_or(0);
+                for p in &out {
+                    assert!(
+                        p.bytes <= plan.cap_bytes.max(clamped_max),
+                        "seed {seed}: post-split partition {} B above cap {} B",
+                        p.bytes,
+                        plan.cap_bytes
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn balanced_histograms_are_noops() {
+    let params = RetileParams::default();
+    for seed in 0..100u64 {
+        let n = 2 + (mix(seed ^ 0xBA1A) % 24) as usize;
+        let base = 1 + mix(seed ^ 0xBA1A ^ 1) % (8 << 20);
+        // jitter within ±10% of the base: max/mean can't reach 2.0 and no
+        // partition is tiny relative to the mean
+        let hist: Vec<PartStat> = (0..n)
+            .map(|i| {
+                let j = mix(seed ^ (i as u64) << 7) % (base / 5 + 1);
+                PartStat {
+                    bytes: base - base / 10 + j,
+                    rows: base / 64,
+                }
+            })
+            .collect();
+        let plan = plan_retile(&hist, &params);
+        assert!(
+            plan.is_noop(),
+            "seed {seed}: balanced histogram produced {:?}",
+            plan.actions
+        );
+        assert_eq!(apply_plan(&hist, &plan), hist, "seed {seed}");
+    }
+}
+
+#[test]
+fn planner_is_a_pure_function_of_the_histogram() {
+    for seed in 0..200u64 {
+        let n = 2 + (mix(seed ^ 0xF00D) % 48) as usize;
+        let hist = random_hist(seed ^ 0xF00D, n, 1 + mix(seed) % (32 << 20));
+        for params in [
+            RetileParams::default(),
+            RetileParams {
+                threshold: 3.0,
+                cap_bytes: 1 << 20,
+            },
+        ] {
+            let a = plan_retile(&hist, &params);
+            let b = plan_retile(&hist, &params);
+            assert_eq!(a, b, "seed {seed}: planner must be deterministic");
+
+            // well-formedness: each partition appears in at most one action,
+            // coalesce runs are ascending consecutive with ≥ 2 members
+            let mut seen = std::collections::HashSet::new();
+            for act in &a.actions {
+                match act {
+                    RetileAction::Split { part, ways } => {
+                        assert!(seen.insert(*part), "seed {seed}: part {part} reused");
+                        assert!(*ways >= 2);
+                    }
+                    RetileAction::Coalesce { parts } => {
+                        assert!(parts.len() >= 2, "seed {seed}: degenerate coalesce");
+                        for w in parts.windows(2) {
+                            assert_eq!(w[1], w[0] + 1, "seed {seed}: non-consecutive run");
+                        }
+                        for p in parts {
+                            assert!(seen.insert(*p), "seed {seed}: part {p} reused");
+                            assert!(*p < hist.len());
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn degenerate_histograms_are_noops() {
+    let params = RetileParams::default();
+    for hist in [
+        vec![],
+        vec![PartStat {
+            bytes: 5 << 20,
+            rows: 100,
+        }],
+        vec![PartStat::default(); 8],
+    ] {
+        let plan = plan_retile(&hist, &params);
+        assert!(plan.is_noop(), "degenerate histogram must be a no-op");
+        assert_eq!(apply_plan(&hist, &plan), hist);
+    }
+}

@@ -7,6 +7,7 @@
 //! why this substitution preserves the paper's claims.
 
 use crate::fault::{FaultPlan, RetryPolicy};
+use xorbits_core::retile::RetileMode;
 use xorbits_storage::EncodingMode;
 
 /// Specification of the simulated cluster.
@@ -70,6 +71,23 @@ pub struct ClusterSpec {
     /// [`EncodingMode::Plain`]). Defaults to the `XORBITS_ENCODING` env
     /// knob so v1-vs-v2 A/B runs need no rebuild.
     pub encoding: EncodingMode,
+    /// Mid-run skew-aware re-tiling of shuffle waves (dynamic tiling v2).
+    /// `None` defers to the `XORBITS_RETILE` env knob at graph start.
+    pub retile: Option<RetileMode>,
+    /// Re-tile trigger: max/mean harvested partition bytes.
+    pub retile_threshold: f64,
+    /// Target bytes per partition after a re-tile; 0 ⇒ histogram mean.
+    pub retile_cap_bytes: u64,
+    /// Speculative re-execution of straggler subtasks on idle bands.
+    pub speculate: bool,
+    /// Speculate when a subtask's external input bytes exceed this factor
+    /// times the median over completed subtasks (a deterministic,
+    /// byte-driven straggler signal — virtual runtimes scale with input
+    /// bytes but embed measured host time, which must never steer
+    /// decisions).
+    pub speculate_factor: f64,
+    /// Completed-subtask samples required before speculation may fire.
+    pub speculate_min_samples: usize,
 }
 
 impl ClusterSpec {
@@ -100,6 +118,12 @@ impl ClusterSpec {
             fault_plan: None,
             retry: RetryPolicy::default(),
             encoding: xorbits_storage::encoding_from_env(),
+            retile: None,
+            retile_threshold: 2.0,
+            retile_cap_bytes: 0,
+            speculate: false,
+            speculate_factor: 4.0,
+            speculate_min_samples: 3,
         }
     }
 
@@ -152,6 +176,18 @@ impl ClusterSpec {
     /// Pins the chunk-transport encoding (overriding `XORBITS_ENCODING`).
     pub fn with_encoding(mut self, encoding: EncodingMode) -> ClusterSpec {
         self.encoding = encoding;
+        self
+    }
+
+    /// Pins the mid-run re-tiling mode (overriding `XORBITS_RETILE`).
+    pub fn with_retile(mut self, mode: RetileMode) -> ClusterSpec {
+        self.retile = Some(mode);
+        self
+    }
+
+    /// Enables speculative re-execution of stragglers on idle bands.
+    pub fn with_speculation(mut self) -> ClusterSpec {
+        self.speculate = true;
         self
     }
 }

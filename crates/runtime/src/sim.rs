@@ -35,6 +35,7 @@ use std::time::Instant;
 use xorbits_array::prng::Xoshiro256;
 use xorbits_core::chunk::{payload_to_value, ChunkKey, ChunkMeta, ChunkOp, Payload};
 use xorbits_core::error::{PendingSubtask, XbError, XbResult};
+use xorbits_core::retile::{self, RetileMode, RetileParams, SynthKeys};
 use xorbits_core::session::{ExecStats, Executor};
 use xorbits_core::subtask::SubtaskGraph;
 use xorbits_core::tiling::MetaView;
@@ -107,6 +108,10 @@ pub struct SimExecutor {
     sched_clock: f64,
     /// Bands killed by fault events this fetch (never scheduled again).
     band_dead: Vec<bool>,
+    /// Dispatches placed on each band since `clear()` — the deterministic
+    /// load signal speculation uses to pick a clone band (virtual times
+    /// embed measured host CPU and must never steer decisions).
+    band_dispatches: Vec<u64>,
     /// Subtasks dispatched since the last `clear()` — the deterministic
     /// logical clock [`FaultTrigger::Step`] fires on.
     dispatch_step: u64,
@@ -181,6 +186,22 @@ pub struct GraphRun {
     retry: crate::fault::RetryPolicy,
     /// Last consuming subtask per key within this graph.
     last_consumer: HashMap<ChunkKey, usize>,
+    /// Mid-run re-tiling mode, resolved at submission (spec override or
+    /// the `XORBITS_RETILE` env knob).
+    retile: RetileMode,
+    retile_params: RetileParams,
+    /// Collision-free key allocator for spliced subgraph nodes.
+    synth: SynthKeys,
+    /// Shuffle waves already considered (by wave id): each wave is
+    /// harvested and re-tiled at most once.
+    done_waves: HashSet<Vec<usize>>,
+    /// Shuffle partitions rebalanced (split or coalesced) this run.
+    retiled_partitions: usize,
+    /// External-input bytes of completed dispatches — the median baseline
+    /// the speculation trigger compares against.
+    ext_bytes_seen: Vec<u64>,
+    speculative_launched: usize,
+    speculative_won: usize,
 }
 
 impl GraphRun {
@@ -243,6 +264,7 @@ impl SimExecutor {
             arrived: std::collections::HashSet::new(),
             sched_clock: 0.0,
             band_dead: vec![false; bands],
+            band_dispatches: vec![0; bands],
             dispatch_step: 0,
             fault_rng: None,
             events_fired: Vec::new(),
@@ -1017,6 +1039,13 @@ impl SimExecutor {
             }
         }
 
+        let retile = self.spec.retile.unwrap_or_else(retile::retile_from_env);
+        let retile_params = RetileParams {
+            threshold: self.spec.retile_threshold,
+            cap_bytes: self.spec.retile_cap_bytes,
+        };
+        let synth = SynthKeys::for_graph(&graph.chunks);
+
         GraphRun {
             graph,
             next: 0,
@@ -1037,7 +1066,104 @@ impl SimExecutor {
             transient_p,
             retry: self.spec.retry,
             last_consumer,
+            retile,
+            retile_params,
+            synth,
+            done_waves: HashSet::new(),
+            retiled_partitions: 0,
+            ext_bytes_seen: Vec::new(),
+            speculative_launched: 0,
+            speculative_won: 0,
         }
+    }
+
+    /// Attempts a skew-aware re-tile splice at the run's dispatch head
+    /// (dynamic tiling v2): when the head is a shuffle wave whose harvested
+    /// partition histogram is imbalanced past the spec's threshold,
+    /// Algorithm 1 is re-applied to the wave and the pending tail of the
+    /// graph is rewritten in place. All index-derived bookkeeping
+    /// (lineage, last-consumer refcounts) is refreshed after a splice.
+    fn maybe_retile_run(&mut self, run: &mut GraphRun) {
+        let states = &self.states;
+        let metas = &self.metas;
+        let storage = &self.storage;
+        let info = |k: ChunkKey| -> Option<(u64, u64)> {
+            let st = states.get(&k)?;
+            let rows = metas.get(&k).map(|m| m.rows as u64).unwrap_or(0);
+            Some((st.nbytes as u64, rows))
+        };
+        let peek = |k: ChunkKey| -> Option<Arc<Payload>> { storage.get(&k).cloned() };
+        let Some(out) = retile::maybe_retile(
+            &mut run.graph,
+            run.next,
+            &run.retile_params,
+            &mut run.synth,
+            &mut run.done_waves,
+            &info,
+            &peek,
+        ) else {
+            return;
+        };
+        run.retiled_partitions += out.retiled_partitions;
+
+        // the splice rewrote the pending tail: refresh everything derived
+        // from node or subtask indices. Lineage records for the whole
+        // graph are re-registered with fresh (still topological) seqs so
+        // recovery replays the spliced shape, not the pre-splice one.
+        if run.faults_on {
+            for node in &run.graph.chunks.nodes {
+                let rec = Arc::new(LineageNode {
+                    seq: self.lineage_seq,
+                    op: node.op.clone(),
+                    inputs: node.inputs.clone(),
+                    outputs: node.outputs.clone(),
+                });
+                self.lineage_seq += 1;
+                for k in &node.outputs {
+                    self.lineage.insert(*k, Arc::clone(&rec));
+                }
+            }
+        }
+        run.last_consumer.clear();
+        for (si, st) in run.graph.subtasks.iter().enumerate() {
+            for &ni in &st.nodes {
+                for k in &run.graph.chunks.nodes[ni].inputs {
+                    run.last_consumer.insert(*k, si);
+                }
+            }
+        }
+        if trace::is_enabled() {
+            trace::instant_at(
+                Stage::Retile,
+                "retile",
+                Track::band(0),
+                self.virtual_now(),
+                &[
+                    ("partitions", out.partitions as u64),
+                    ("rebalanced", out.retiled_partitions as u64),
+                    ("splits", out.splits as u64),
+                    ("coalesces", out.coalesces as u64),
+                ],
+            );
+            trace::counter_add("sim.retiled_partitions", out.retiled_partitions as u64);
+        }
+    }
+
+    /// Clone placement for a speculated dispatch: the surviving band with
+    /// the fewest dispatches so far (primary band excluded, ties to the
+    /// lowest index) — a deterministic idleness proxy.
+    fn clone_band_for(&self, primary: usize) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for b in 0..self.spec.n_bands() {
+            if b == primary || self.band_dead[b] {
+                continue;
+            }
+            let d = self.band_dispatches[b];
+            if best.is_none_or(|(bd, _)| d < bd) {
+                best = Some((d, b));
+            }
+        }
+        best.map(|(_, b)| b)
     }
 
     /// Dispatches the run's next subtask; returns `Ok(true)` while more
@@ -1050,6 +1176,12 @@ impl SimExecutor {
         }
         let before = self.snap();
         let si = run.next;
+        // skew-aware re-tiling happens at the quiesce point right before a
+        // shuffle wave's first reduce-side dispatch: every map-side partial
+        // has been produced, so the wave's partition histogram is complete
+        if run.retile == RetileMode::Auto {
+            self.maybe_retile_run(run);
+        }
         run.subtasks += 1;
         if run.faults_on {
             self.fire_due_faults(&run.events);
@@ -1067,6 +1199,7 @@ impl SimExecutor {
         self.dispatch_step += 1;
         let band = self.pick_band(&st.external_inputs);
         let worker = self.spec.worker_of(band);
+        self.band_dispatches[band] += 1;
 
         // arrival of inputs: producers must have finished, and the
         // receiving worker's NIC serialises all cross-worker bytes
@@ -1186,33 +1319,67 @@ impl SimExecutor {
         let measured = timer.elapsed().as_secs_f64();
         run.real_cpu += measured;
 
-        // transient fault injection: each attempt fails independently
-        // with probability p (one seeded draw per attempt); every
-        // failed attempt burns the measured kernel time plus an
-        // exponential backoff in virtual time, and exhausting the
-        // retry budget fails the run
-        let mut attempt_overhead = 0.0;
-        let mut transient_failures = 0usize;
+        // speculation trigger: a dispatch whose external input bytes dwarf
+        // the median over this run's completed dispatches is a predicted
+        // straggler — clone it onto the least-dispatched surviving band.
+        // The signal is bytes, never virtual time (which embeds measured
+        // host CPU and would make the decision nondeterministic).
+        let clone_band = if self.spec.speculate
+            && run.ext_bytes_seen.len() >= self.spec.speculate_min_samples
+        {
+            let mut sorted = run.ext_bytes_seen.clone();
+            sorted.sort_unstable();
+            let median = sorted[sorted.len() / 2];
+            if median > 0 && ext_read_bytes as f64 > self.spec.speculate_factor * median as f64 {
+                self.clone_band_for(band)
+            } else {
+                None
+            }
+        } else {
+            None
+        };
+
+        // transient fault injection: each attempt fails independently with
+        // probability p (one seeded draw per attempt); every failed attempt
+        // burns the measured kernel time plus an exponential backoff in
+        // virtual time. The kernel itself ran once above — a speculated
+        // clone is an independent *attempt stream*, drawn off the plan RNG
+        // right after the primary's (a fixed order), and the race winner is
+        // the copy with fewer failed attempts: ties favour the primary, an
+        // exhausted copy loses to a surviving one, and both exhausting the
+        // retry budget fails the run exactly like the unspeculated path.
+        let mut primary = (0usize, 0.0f64, false);
+        let mut clone_draw = None;
         if run.transient_p > 0.0 {
-            let mut backoff = run.retry.backoff_base;
-            while self
-                .fault_rng
-                .as_mut()
-                .expect("rng armed when p > 0")
-                .gen_bool(run.transient_p)
-            {
-                transient_failures += 1;
-                if transient_failures > run.retry.max_retries {
+            let rng = self.fault_rng.as_mut().expect("rng armed when p > 0");
+            primary = draw_attempts(rng, run.transient_p, run.retry, measured);
+            if clone_band.is_some() {
+                clone_draw = Some(draw_attempts(rng, run.transient_p, run.retry, measured));
+            }
+        } else if clone_band.is_some() {
+            clone_draw = Some((0usize, 0.0f64, false));
+        }
+        let (transient_failures, attempt_overhead, primary_exhausted) = primary;
+        let clone_wins = match clone_draw {
+            Some((cf, _, cex)) => {
+                if primary_exhausted && cex {
                     return Err(XbError::Fault {
                         subtask: si,
                         attempts: transient_failures,
                     });
                 }
-                attempt_overhead += measured + backoff;
-                backoff *= run.retry.backoff_factor;
+                primary_exhausted || (!cex && cf < transient_failures)
             }
-            self.total_retries += transient_failures;
-        }
+            None => {
+                if primary_exhausted {
+                    return Err(XbError::Fault {
+                        subtask: si,
+                        attempts: transient_failures,
+                    });
+                }
+                false
+            }
+        };
 
         // virtual bookkeeping
         // publishing outputs pays the storage tier too
@@ -1230,7 +1397,77 @@ impl SimExecutor {
         } else {
             self.band_free[band].max(arrival) + self.spec.sched_overhead
         };
-        let finish = start + net_io + storage_io + measured + disk_io + attempt_overhead;
+        let primary_finish = start + net_io + storage_io + measured + disk_io + attempt_overhead;
+
+        // race the clone in virtual time: both copies occupy their bands
+        // until the (counter-predetermined) winner lands, at which point
+        // the loser is cancelled and its band reclaimed
+        let (band, worker, start, finish, winner_failures) =
+            if let (Some(cb), Some((cf, coh, _))) = (clone_band, clone_draw) {
+                run.speculative_launched += 1;
+                self.band_dispatches[cb] += 1;
+                let cw = self.spec.worker_of(cb);
+                // the clone's worker fetches remote inputs it has not cached
+                let mut clone_recv = 0usize;
+                for k in &st.external_inputs {
+                    if let Some(cs) = self.states.get(k).copied() {
+                        if self.spec.worker_of(cs.band) != cw && self.arrived.insert((*k, cw)) {
+                            clone_recv += cs.enc_bytes;
+                            self.total_net_bytes += cs.enc_bytes;
+                        }
+                    }
+                }
+                let clone_start = if self.spec.central_scheduler {
+                    self.sched_clock += self.spec.sched_overhead;
+                    self.band_free[cb].max(arrival).max(self.sched_clock)
+                } else {
+                    self.band_free[cb].max(arrival) + self.spec.sched_overhead
+                };
+                let clone_finish = clone_start
+                    + clone_recv as f64 / self.spec.net_bandwidth
+                    + storage_io
+                    + measured
+                    + coh;
+                if trace::is_enabled() {
+                    trace::instant_at(
+                        Stage::Speculate,
+                        "speculate",
+                        Track::band(cb),
+                        clone_start,
+                        &[
+                            ("subtask", si as u64),
+                            ("primary_band", band as u64),
+                            ("clone_won", clone_wins as u64),
+                        ],
+                    );
+                    trace::counter_add("sim.speculative_launched", 1);
+                    if clone_wins {
+                        trace::counter_add("sim.speculative_won", 1);
+                    }
+                }
+                let (wb, ws, wf, wfail, lb, lf) = if clone_wins {
+                    run.speculative_won += 1;
+                    (cb, clone_start, clone_finish, cf, band, primary_finish)
+                } else {
+                    (
+                        band,
+                        start,
+                        primary_finish,
+                        transient_failures,
+                        cb,
+                        clone_finish,
+                    )
+                };
+                // the loser's band frees when the winner lands (never rewound
+                // below what the band had already committed to)
+                self.band_free[lb] = self.band_free[lb].max(lf.min(wf));
+                (wb, self.spec.worker_of(wb), ws, wf, wfail)
+            } else {
+                (band, worker, start, primary_finish, transient_failures)
+            };
+        if run.transient_p > 0.0 {
+            self.total_retries += winner_failures;
+        }
         self.band_free[band] = finish;
         run.last_finish = run.last_finish.max(finish);
         if trace::is_enabled() {
@@ -1265,18 +1502,15 @@ impl SimExecutor {
                 ],
             );
             trace::observe_seconds("sim.kernel.seconds", measured);
-            if transient_failures > 0 {
+            if winner_failures > 0 {
                 trace::instant_at(
                     Stage::Retry,
                     "transient_retries",
                     Track::band(band),
                     start,
-                    &[
-                        ("subtask", si as u64),
-                        ("attempts", transient_failures as u64),
-                    ],
+                    &[("subtask", si as u64), ("attempts", winner_failures as u64)],
                 );
-                trace::counter_add("sim.retries", transient_failures as u64);
+                trace::counter_add("sim.retries", winner_failures as u64);
             }
         }
 
@@ -1347,6 +1581,7 @@ impl SimExecutor {
             self.free_chunk(k);
         }
 
+        run.ext_bytes_seen.push(ext_read_bytes as u64);
         run.next += 1;
         run.absorb(before, self.snap());
 
@@ -1466,6 +1701,9 @@ impl SimExecutor {
             recovered_from_spill_bytes: run.recovered_spill,
             encoded_raw_bytes: run.enc_raw,
             encoded_wire_bytes: run.enc_wire,
+            retiled_partitions: run.retiled_partitions,
+            speculative_launched: run.speculative_launched,
+            speculative_won: run.speculative_won,
         })
     }
 
@@ -1506,6 +1744,31 @@ impl SimExecutor {
     }
 }
 
+/// Draws one copy's transient-failure attempts off the plan RNG: returns
+/// `(failures, virtual_overhead, exhausted)`. Stops at the first
+/// successful attempt or at the draw that exceeds the retry budget —
+/// exactly the stream the unspeculated path consumed before speculation
+/// existed, so fault plans replay bit-identically with speculation off.
+fn draw_attempts(
+    rng: &mut Xoshiro256,
+    p: f64,
+    retry: crate::fault::RetryPolicy,
+    measured: f64,
+) -> (usize, f64, bool) {
+    let mut failures = 0usize;
+    let mut overhead = 0.0f64;
+    let mut backoff = retry.backoff_base;
+    while rng.gen_bool(p) {
+        failures += 1;
+        if failures > retry.max_retries {
+            return (failures, overhead, true);
+        }
+        overhead += measured + backoff;
+        backoff *= retry.backoff_factor;
+    }
+    (failures, overhead, false)
+}
+
 impl MetaView for SimExecutor {
     fn meta(&self, key: ChunkKey) -> Option<ChunkMeta> {
         self.metas.get(&key).copied()
@@ -1535,6 +1798,7 @@ impl Executor for SimExecutor {
         self.any_rr = 0;
         self.arrived.clear();
         self.sched_clock = 0.0;
+        self.band_dispatches.iter_mut().for_each(|d| *d = 0);
         self.arm_faults();
     }
 

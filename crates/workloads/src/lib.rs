@@ -14,5 +14,6 @@ pub mod api_coverage;
 pub mod arrays;
 pub mod harness;
 pub mod pipelines;
+pub mod skew;
 pub mod tpch;
 pub mod tpcxai;

@@ -67,6 +67,18 @@ cargo test -q --release --test fault_recovery
 echo "==> recovery property suite (random DAGs, minimal recompute closure)"
 cargo test -q --release -p xorbits-runtime --test recovery_props
 
+# Dynamic tiling v2 gates (hard): the Zipf skew family must be bit-identical
+# between static tiling, mid-run adaptive re-tiling and the LocalExecutor
+# oracle, replay its retile/speculation counters exactly, and beat the static
+# virtual makespan on the Zipf(1.5) skewed shuffles; all 22 TPC-H queries are
+# re-run auto-vs-off. The property suite drives the pure planner with seeded
+# random histograms (conservation, cap compliance, no-op on balance, purity).
+echo "==> skew-adversarial re-tiling gate (bit-identity, counters, makespan win)"
+cargo test -q --release --test skew_scenarios
+
+echo "==> retile planner property suite (random histograms)"
+cargo test -q --release -p xorbits-core --test retile_props
+
 # Parallel-executor gate (hard): all 22 TPC-H queries on the work-stealing
 # ParallelExecutor at 1/2/4/8 worker threads must be bit-identical to the
 # LocalExecutor oracle, and a randomized DAG re-runs 10x at 8 threads
@@ -116,6 +128,12 @@ if [[ "${XORBITS_CI_BENCH:-0}" == "1" ]]; then
   # slowdown spread on a 4-tenant Zipf(1.1) TPC-H stream.
   echo "==> serving cache/fairness smoke (4 tenants, Zipf TPC-H streams)"
   cargo run --release -p xorbits-bench --example bench_serving
+
+  # Skew smoke: the bench's own asserts gate bit-identical results in every
+  # mode and an adaptive-beats-static makespan on the Zipf(1.5) skewed
+  # shuffles (emits BENCH_skew.json: skew 1.1/1.5/2.0, speculation on/off).
+  echo "==> skew re-tiling smoke (static vs adaptive, speculation on/off)"
+  cargo run --release -p xorbits-bench --example bench_skew
 fi
 
 echo "CI green."

@@ -159,6 +159,160 @@ fn fault_matrix_q16_to_q22() {
     run_matrix(16..=22);
 }
 
+/// Speculative re-execution (PR 9) × fault injection. The skew family's
+/// nunique groupby has one straggler reduce partition that reliably trips
+/// the speculation heuristic, so these schedules pin the three interesting
+/// outcomes: the original wins, the speculated clone wins, and the
+/// winner's worker crashes right after the race. Determinism is judged on
+/// result bits and counters only — never on virtual times, which embed
+/// measured host CPU.
+mod speculation {
+    use super::*;
+    use xorbits::core::retile::RetileMode;
+    use xorbits::workloads::skew::{run_groupby_nunique, skew_data, SkewData};
+
+    /// Same planner shape as `tests/skew_scenarios.rs`: a real multi-
+    /// partition shuffle with a hot partition.
+    fn skew_cfg() -> XorbitsConfig {
+        XorbitsConfig {
+            chunk_limit_bytes: 256 << 10,
+            cluster_parallelism: WORKERS * 2,
+            broadcast_threshold_bytes: 0,
+            ..Default::default()
+        }
+    }
+
+    fn sdata() -> SkewData {
+        skew_data(120_000, 400, 1.5, 0x5E3D).expect("skew data")
+    }
+
+    fn spec_oracle(d: &SkewData) -> DataFrame {
+        let s = Session::new(skew_cfg(), LocalExecutor::new());
+        run_groupby_nunique(&s, d).expect("local oracle")
+    }
+
+    fn run_spec(spec: ClusterSpec, d: &SkewData) -> (DataFrame, ExecStats) {
+        let s = Session::new(skew_cfg(), SimExecutor::new(spec));
+        let out = run_groupby_nunique(&s, d).expect("speculative run");
+        (out, s.total_stats())
+    }
+
+    /// Replay-identical fields, speculation counters included.
+    fn sdet(stats: &ExecStats) -> (usize, usize, usize, usize, usize, usize) {
+        (
+            stats.subtasks,
+            stats.net_bytes,
+            stats.retries,
+            stats.recomputed_subtasks,
+            stats.speculative_launched,
+            stats.speculative_won,
+        )
+    }
+
+    /// Asserts `spec` reproduces the fault-free oracle bit-for-bit and
+    /// replays its counters exactly, then hands the stats back.
+    fn check(spec: ClusterSpec, d: &SkewData, expect: &DataFrame, label: &str) -> ExecStats {
+        let (out, stats) = run_spec(spec.clone(), d);
+        assert_eq!(&out, expect, "{label}: differs from the fault-free oracle");
+        let (out2, stats2) = run_spec(spec, d);
+        assert_eq!(out, out2, "{label}: nondeterministic result on rerun");
+        assert_eq!(
+            sdet(&stats),
+            sdet(&stats2),
+            "{label}: nondeterministic speculation counters on rerun"
+        );
+        stats
+    }
+
+    /// No faults: the straggler launches a clone, but with zero transient
+    /// failures the tie goes to the original — the clone must never win
+    /// and must never perturb the result.
+    #[test]
+    fn original_wins_without_faults() {
+        let d = sdata();
+        let expect = spec_oracle(&d);
+        let stats = check(cluster().with_speculation(), &d, &expect, "original-wins");
+        assert!(
+            stats.speculative_launched > 0,
+            "straggler must trip the heuristic, stats: {stats:?}"
+        );
+        assert_eq!(stats.speculative_won, 0, "ties go to the original");
+        assert_eq!(stats.retries, 0);
+    }
+
+    /// A pinned transient storm in which the clone's seeded retry draw
+    /// beats the original's: the speculated copy wins the race and its
+    /// output is the one the downstream graph consumes.
+    #[test]
+    fn speculated_copy_wins_under_transient_storm() {
+        let d = sdata();
+        let expect = spec_oracle(&d);
+        let spec = cluster()
+            .with_speculation()
+            .with_fault_plan(FaultPlan::transient_storm(0xB02, 0.25))
+            .with_retry(RetryPolicy {
+                max_retries: 8,
+                ..Default::default()
+            });
+        let stats = check(spec, &d, &expect, "clone-wins");
+        assert!(
+            stats.speculative_won >= 1,
+            "seed 0xB02 must hand the clone at least one win, stats: {stats:?}"
+        );
+        assert!(stats.retries > 0, "the storm must cost the loser retries");
+    }
+
+    /// The winner's worker crashes right after the speculation race (and
+    /// mid-retile, with `RetileMode::Auto` composed in): lineage recovery
+    /// must replay the spliced, post-race graph back to the oracle bits.
+    #[test]
+    fn winner_band_crash_after_speculation_recovers() {
+        let d = sdata();
+        let expect = spec_oracle(&d);
+        for (label, mode, step) in [
+            ("crash-static", RetileMode::Off, 20),
+            ("crash-retiled", RetileMode::Auto, 20),
+        ] {
+            let spec = cluster()
+                .with_speculation()
+                .with_retile(mode)
+                .with_fault_plan(FaultPlan::worker_crash_at_step(0xFA05, 0, step));
+            let stats = check(spec, &d, &expect, label);
+            assert!(
+                stats.speculative_launched > 0,
+                "{label}: the race must have happened, stats: {stats:?}"
+            );
+            assert!(
+                stats.recomputed_subtasks > 0,
+                "{label}: the crash must force lineage recomputation, stats: {stats:?}"
+            );
+            if mode == RetileMode::Auto {
+                assert!(
+                    stats.retiled_partitions > 0,
+                    "{label}: the hot partition must have been re-tiled, stats: {stats:?}"
+                );
+            }
+        }
+    }
+
+    /// Speculation disabled is the pre-PR baseline: zero launches and the
+    /// counters stay zero through a fault schedule.
+    #[test]
+    fn speculation_off_is_inert() {
+        let d = sdata();
+        let expect = spec_oracle(&d);
+        let spec = cluster()
+            .with_fault_plan(FaultPlan::transient_storm(0xB02, 0.25))
+            .with_retry(RetryPolicy {
+                max_retries: 8,
+                ..Default::default()
+            });
+        let stats = check(spec, &d, &expect, "speculation-off");
+        assert_eq!(stats.speculative_launched, 0);
+        assert_eq!(stats.speculative_won, 0);
+    }
+}
+
 /// An armed-but-empty fault plan must change nothing: same results, same
 /// deterministic stats as a run with no plan at all (pre-PR behaviour).
 #[test]

@@ -1,0 +1,192 @@
+//! The skew-adversarial gate for mid-run re-tiling (dynamic tiling v2).
+//!
+//! Every workload in the skew family runs on the virtual cluster twice —
+//! once with static tiling (`RetileMode::Off`) and once with skew-aware
+//! re-tiling (`RetileMode::Auto`) — and the adaptive run must be
+//! **bit-identical** to the static one and to the single-process
+//! [`LocalExecutor`] oracle. Re-tiling is also a pure function of the
+//! harvested histograms, so re-running the adaptive configuration must
+//! reproduce the retile/speculation counters exactly. Determinism is
+//! always judged on result bits and counters — never on virtual times,
+//! which embed measured host CPU.
+
+use xorbits::baselines::EngineKind;
+use xorbits::core::config::XorbitsConfig;
+use xorbits::core::local::LocalExecutor;
+use xorbits::core::retile::RetileMode;
+use xorbits::core::session::{ExecStats, Session};
+use xorbits::dataframe::DataFrame;
+use xorbits::runtime::{ClusterSpec, SimExecutor};
+use xorbits::workloads::skew::{
+    run_groupby_nunique, run_groupby_sum, run_lopsided_join, skew_data, SkewData,
+};
+use xorbits::workloads::tpch::{run_query_on, TpchData};
+
+const WORKERS: usize = 3;
+const ROWS: usize = 120_000;
+
+/// Planner configuration for the skew family: chunks small enough for a
+/// multi-partition shuffle, broadcast disabled so the lopsided join cannot
+/// sidestep its skew, and parallelism matching the virtual cluster.
+fn skew_cfg() -> XorbitsConfig {
+    XorbitsConfig {
+        chunk_limit_bytes: 256 << 10,
+        cluster_parallelism: WORKERS * 2,
+        broadcast_threshold_bytes: 0,
+        ..Default::default()
+    }
+}
+
+/// A shuffle-bound virtual cluster: a modest network and a cheap scheduler
+/// so the makespan is dominated by moving partition bytes — the regime
+/// where key skew hurts and re-tiling pays. (Cost-model knobs never affect
+/// result bits, only virtual times.)
+fn cluster() -> ClusterSpec {
+    let mut spec = ClusterSpec::new(WORKERS, 256 << 20);
+    spec.net_bandwidth = 64.0 * 1024.0 * 1024.0;
+    spec.sched_overhead = 1.0e-4;
+    spec
+}
+
+fn data(skew: f64) -> SkewData {
+    skew_data(ROWS, 400, skew, 0x5E3D).expect("skew data")
+}
+
+type Runner = fn(&Session<SimExecutor>, &SkewData) -> xorbits::core::error::XbResult<DataFrame>;
+
+const WORKLOADS: [(&str, Runner); 3] = [
+    ("groupby-nunique", run_groupby_nunique::<SimExecutor>),
+    ("groupby-sum", run_groupby_sum::<SimExecutor>),
+    ("lopsided-join", run_lopsided_join::<SimExecutor>),
+];
+
+fn run_sim(mode: RetileMode, d: &SkewData, run: Runner) -> (DataFrame, ExecStats) {
+    let s = Session::new(skew_cfg(), SimExecutor::new(cluster().with_retile(mode)));
+    let out = run(&s, d).expect("simulated skew run");
+    (out, s.total_stats())
+}
+
+/// Stats that must replay identically for the same configuration (virtual
+/// makespan and measured CPU excluded by construction).
+fn det(stats: &ExecStats) -> (usize, usize, usize, usize, usize) {
+    (
+        stats.subtasks,
+        stats.net_bytes,
+        stats.retries,
+        stats.retiled_partitions,
+        stats.speculative_launched,
+    )
+}
+
+#[test]
+fn skew_family_bit_identical_and_deterministic() {
+    let d = data(1.5);
+    for (name, run) in WORKLOADS {
+        // oracle: the single-process executor with the same planner config
+        let oracle = {
+            let s = Session::new(skew_cfg(), LocalExecutor::new());
+            match name {
+                "groupby-nunique" => run_groupby_nunique(&s, &d),
+                "groupby-sum" => run_groupby_sum(&s, &d),
+                "lopsided-join" => run_lopsided_join(&s, &d),
+                _ => unreachable!(),
+            }
+            .expect("local oracle")
+        };
+
+        let (off, off_stats) = run_sim(RetileMode::Off, &d, run);
+        let (auto, auto_stats) = run_sim(RetileMode::Auto, &d, run);
+        assert_eq!(off, oracle, "{name}: static sim differs from the oracle");
+        assert_eq!(
+            auto, oracle,
+            "{name}: re-tiled run must be bit-identical to the static oracle"
+        );
+        assert_eq!(
+            off_stats.retiled_partitions, 0,
+            "{name}: RetileMode::Off must never re-tile"
+        );
+        match name {
+            // the skewed shuffles must actually trigger
+            "groupby-nunique" | "lopsided-join" => assert!(
+                auto_stats.retiled_partitions > 0,
+                "{name}: Zipf(1.5) shuffle must trigger a re-tile, stats: {auto_stats:?}"
+            ),
+            // map-side pre-aggregation absorbs row skew: balanced wave
+            "groupby-sum" => assert_eq!(
+                auto_stats.retiled_partitions, 0,
+                "{name}: decomposable aggregation is skew-immune, stats: {auto_stats:?}"
+            ),
+            _ => unreachable!(),
+        }
+
+        // pure function of the harvested histograms: exact replay
+        let (auto2, auto2_stats) = run_sim(RetileMode::Auto, &d, run);
+        assert_eq!(auto, auto2, "{name}: nondeterministic re-tiled result");
+        assert_eq!(
+            det(&auto_stats),
+            det(&auto2_stats),
+            "{name}: nondeterministic retile counters on rerun"
+        );
+    }
+}
+
+#[test]
+fn skew_makespan_improves_on_zipf_15() {
+    let d = data(1.5);
+    for (name, run) in [
+        ("groupby-nunique", WORKLOADS[0].1),
+        ("lopsided-join", WORKLOADS[2].1),
+    ] {
+        let (_, off) = run_sim(RetileMode::Off, &d, run);
+        let (_, auto) = run_sim(RetileMode::Auto, &d, run);
+        assert!(auto.retiled_partitions > 0, "{name}: no re-tile happened");
+        assert!(
+            auto.makespan < off.makespan,
+            "{name}: adaptive re-tiling must beat static tiling on Zipf(1.5): \
+             adaptive {:.4}s vs static {:.4}s",
+            auto.makespan,
+            off.makespan
+        );
+    }
+}
+
+/// Balanced inputs: TPC-H must be bit-identical between `XORBITS_RETILE`
+/// auto and off, and the adaptive configuration must replay its counters
+/// exactly. (Whether any query triggers is the planner's business — the
+/// contract is that results never change and decisions are deterministic.)
+fn tpch_auto_vs_off(queries: std::ops::RangeInclusive<u32>) {
+    let cfg = XorbitsConfig {
+        chunk_limit_bytes: 8 << 10,
+        cluster_parallelism: WORKERS * 2,
+        ..Default::default()
+    };
+    let data = TpchData::new(1.0).expect("tpch data");
+    for q in queries {
+        let run = |mode: RetileMode| {
+            let s = Session::new(cfg.clone(), SimExecutor::new(cluster().with_retile(mode)));
+            let out = run_query_on(&s, &EngineKind::Xorbits.profile().caps, "xorbits", &data, q)
+                .unwrap_or_else(|e| panic!("Q{q} failed: {e}"));
+            (out, s.total_stats())
+        };
+        let (off, _) = run(RetileMode::Off);
+        let (auto, auto_stats) = run(RetileMode::Auto);
+        assert_eq!(off, auto, "Q{q}: XORBITS_RETILE=auto changed the result");
+        let (auto2, auto2_stats) = run(RetileMode::Auto);
+        assert_eq!(auto, auto2, "Q{q}: nondeterministic re-tiled result");
+        assert_eq!(
+            det(&auto_stats),
+            det(&auto2_stats),
+            "Q{q}: nondeterministic retile counters on rerun"
+        );
+    }
+}
+
+#[test]
+fn tpch_q01_to_q11_bit_identical_auto_vs_off() {
+    tpch_auto_vs_off(1..=11);
+}
+
+#[test]
+fn tpch_q12_to_q22_bit_identical_auto_vs_off() {
+    tpch_auto_vs_off(12..=22);
+}
