@@ -23,6 +23,7 @@ pub mod parallel;
 pub mod rechunk;
 pub mod retile;
 pub mod session;
+pub mod sql;
 pub mod subtask;
 pub mod tileable;
 pub mod tiling;
@@ -34,6 +35,7 @@ pub use error::{FailureKind, XbError, XbResult};
 pub use parallel::{threads_from_env, ParallelExecutor};
 pub use retile::{retile_from_env, RetileMode, RetileParams};
 pub use session::{DfHandle, ExecStats, Executor, RunReport, Session, TensorHandle};
+pub use sql::{run_sql, Catalog, PlanCacheStats, SqlError, SqlFrontend};
 pub use subtask::{Subtask, SubtaskGraph};
 pub use tileable::{DfSource, TileableGraph, TileableId, TileableOp};
 pub use tiling::{MetaView, TileStep, Tiler, TilingStats};

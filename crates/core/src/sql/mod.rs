@@ -1,0 +1,273 @@
+//! SQL frontend over the tileable graph.
+//!
+//! A hand-written recursive-descent parser for an analytic SQL subset
+//! (SELECT lists with expressions and aliases, FROM with INNER/LEFT/SEMI/
+//! ANTI equi-joins, WHERE, GROUP BY with SUM/AVG/MIN/MAX/COUNT and
+//! COUNT(DISTINCT), HAVING, ORDER BY, LIMIT, WITH common table
+//! expressions, and scalar subqueries) plus a typed binder that lowers
+//! statements onto the *existing* tileable-graph builders. Because the
+//! lowering reuses the same Filter/Assign/Merge/GroupbyAgg operators and
+//! [`Expr`](xorbits_dataframe::expr::Expr) trees a hand-written program
+//! would build, fused vectorized evaluation, `required_columns` pruning,
+//! tiling, and every executor apply unchanged — and results are
+//! bit-identical to the equivalent hand-built plan.
+//!
+//! [`SqlFrontend`] adds a two-level plan cache: normalized token text
+//! (whitespace/case-insensitive) short-circuits parse + plan, and a
+//! canonicalized-AST key (alias-insensitive) shares plans across alias
+//! renamings. See `DESIGN.md` §17.
+
+pub mod ast;
+mod cache;
+pub(crate) mod lexer;
+pub(crate) mod parser;
+mod plan;
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use xorbits_dataframe::DataFrame;
+
+pub use cache::PlanCacheStats;
+
+use crate::error::{XbError, XbResult};
+use crate::session::{DfHandle, Executor, Session};
+use crate::tileable::DfSource;
+
+/// Internal positioned error carrying only a byte offset; converted to a
+/// [`SqlError`] (line/column) at the public boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct RawError {
+    /// Byte offset into the source text.
+    pub at: usize,
+    /// Human-readable message.
+    pub msg: String,
+}
+
+impl RawError {
+    pub fn new(at: usize, msg: impl Into<String>) -> Self {
+        RawError {
+            at,
+            msg: msg.into(),
+        }
+    }
+}
+
+/// Translates a byte offset into 1-based (line, column).
+pub fn line_col(text: &str, offset: usize) -> (usize, usize) {
+    let mut line = 1;
+    let mut col = 1;
+    for (i, ch) in text.char_indices() {
+        if i >= offset {
+            break;
+        }
+        if ch == '\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// Formats a positioned message the way every SQL-layer error reads.
+pub(crate) fn fmt_at(text: &str, at: usize, msg: &str) -> String {
+    let (line, column) = line_col(text, at);
+    format!("SQL error at line {line}, column {column}: {msg}")
+}
+
+/// A positioned SQL parse/bind error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// 1-based line of the offending token.
+    pub line: usize,
+    /// 1-based column of the offending token.
+    pub column: usize,
+    /// Byte offset into the submitted text.
+    pub offset: usize,
+    /// What went wrong.
+    pub msg: String,
+}
+
+impl SqlError {
+    pub(crate) fn from_raw(raw: RawError, text: &str) -> Self {
+        let (line, column) = line_col(text, raw.at);
+        SqlError {
+            line,
+            column,
+            offset: raw.at,
+            msg: raw.msg,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "SQL error at line {}, column {}: {}",
+            self.line, self.column, self.msg
+        )
+    }
+}
+
+impl From<SqlError> for XbError {
+    fn from(e: SqlError) -> Self {
+        XbError::Plan(e.to_string())
+    }
+}
+
+/// Parses `text` into a [`Statement`](ast::Statement) without planning it.
+pub fn parse(text: &str) -> Result<ast::Statement, SqlError> {
+    parser::parse(text).map_err(|r| SqlError::from_raw(r, text))
+}
+
+/// Returns the whitespace/case-normalized token rendering of `text` — the
+/// level-1 plan-cache key.
+pub fn normalize(text: &str) -> Result<String, SqlError> {
+    let toks = lexer::lex(text).map_err(|r| SqlError::from_raw(r, text))?;
+    Ok(lexer::normalized_text(&toks))
+}
+
+/// A table registered in a [`Catalog`]: its source plus sniffed columns.
+pub struct Table {
+    /// Where the rows come from (shared with every query that scans it).
+    pub source: DfSource,
+    /// Column names in frame order.
+    pub columns: Vec<String>,
+}
+
+/// Maps table names to data sources for the binder.
+#[derive(Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers `source` under `name` (case-insensitive), sniffing its
+    /// column names: materialized frames expose their schema directly;
+    /// generators are probed with a zero-or-one-row partition.
+    pub fn add(&mut self, name: impl Into<String>, source: DfSource) -> XbResult<()> {
+        let columns = match &source {
+            DfSource::Materialized(df) => df
+                .schema()
+                .fields()
+                .iter()
+                .map(|f| f.name.clone())
+                .collect(),
+            DfSource::Generator { rows, gen, .. } => {
+                let probe = gen(0, (*rows).min(1))?;
+                probe
+                    .schema()
+                    .fields()
+                    .iter()
+                    .map(|f| f.name.clone())
+                    .collect()
+            }
+        };
+        self.tables
+            .insert(name.into().to_ascii_lowercase(), Table { source, columns });
+        Ok(())
+    }
+
+    /// Looks up a table by (lowercase) name.
+    pub fn get(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+}
+
+/// One-shot execution: parse, plan, and fetch `text` without caching.
+pub fn run_sql<E: Executor>(
+    session: &Session<E>,
+    catalog: &Catalog,
+    text: &str,
+) -> XbResult<DataFrame> {
+    plan_sql(session, catalog, text)?.fetch()
+}
+
+/// Parses and plans `text`, returning the lazy handle (no execution).
+pub fn plan_sql<E: Executor>(
+    session: &Session<E>,
+    catalog: &Catalog,
+    text: &str,
+) -> XbResult<DfHandle<E>> {
+    let stmt = parse(text)?;
+    plan::plan_statement(session, catalog, text, &stmt)
+}
+
+/// A session-scoped SQL entry point with a two-level plan cache.
+///
+/// `plan` (and `query`) first probe the normalized-text key — a hit skips
+/// parsing entirely. On a text miss the statement is parsed, its aliases
+/// canonicalized, and the printed canonical form hashed into the level-2
+/// key — a hit there reuses the plan across alias renamings. Only a full
+/// miss lowers onto the tileable graph. Cached plans are lazy handles into
+/// this frontend's [`Session`], so re-fetching them flows through the
+/// session's result cache (serving-layer lineage cache) when one is set.
+pub struct SqlFrontend<E: Executor> {
+    session: Session<E>,
+    catalog: Catalog,
+    state: Mutex<cache::CacheState<E>>,
+}
+
+impl<E: Executor> SqlFrontend<E> {
+    /// Wraps a session and catalog.
+    pub fn new(session: Session<E>, catalog: Catalog) -> Self {
+        SqlFrontend {
+            session,
+            catalog,
+            state: Mutex::new(cache::CacheState::default()),
+        }
+    }
+
+    /// The underlying session.
+    pub fn session(&self) -> &Session<E> {
+        &self.session
+    }
+
+    /// The catalog queries resolve against.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Parses/plans `text` through the cache, returning the lazy handle.
+    pub fn plan(&self, text: &str) -> XbResult<DfHandle<E>> {
+        let toks = lexer::lex(text).map_err(|r| XbError::from(SqlError::from_raw(r, text)))?;
+        let norm = lexer::normalized_text(&toks);
+        {
+            let mut st = self.state.lock().expect("plan cache poisoned");
+            if let Some(h) = st.lookup_text(&norm) {
+                return Ok(h);
+            }
+        }
+        let stmt = parse(text)?;
+        let key = cache::ast_key(&ast::canonicalize(&stmt).to_string());
+        {
+            let mut st = self.state.lock().expect("plan cache poisoned");
+            if let Some(h) = st.lookup_ast(&norm, key) {
+                return Ok(h);
+            }
+        }
+        let handle = plan::plan_statement(&self.session, &self.catalog, text, &stmt)?;
+        let mut st = self.state.lock().expect("plan cache poisoned");
+        st.insert(&norm, key, handle.clone());
+        Ok(handle)
+    }
+
+    /// Plans and executes `text`, returning the result frame.
+    pub fn query(&self, text: &str) -> XbResult<DataFrame> {
+        self.plan(text)?.fetch()
+    }
+
+    /// Current plan-cache counters.
+    pub fn cache_stats(&self) -> PlanCacheStats {
+        self.state.lock().expect("plan cache poisoned").stats
+    }
+}

@@ -51,12 +51,6 @@ pub fn eval_mask(df: &DataFrame, expr: &Expr) -> DfResult<Bitmap> {
 }
 
 fn eval_binary(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
-    if l.len() != r.len() {
-        return Err(DfError::LengthMismatch {
-            expected: l.len(),
-            found: r.len(),
-        });
-    }
     match op {
         BinOp::And | BinOp::Or => eval_logical(op, l, r),
         BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => eval_arith(op, l, r),
@@ -64,7 +58,20 @@ fn eval_binary(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
     }
 }
 
+/// Rejects mismatched operand lengths up front so the zip-based kernels
+/// below can never silently truncate to the shorter side.
+fn check_len(l: &Column, r: &Column) -> DfResult<()> {
+    if l.len() != r.len() {
+        return Err(DfError::LengthMismatch {
+            expected: l.len(),
+            found: r.len(),
+        });
+    }
+    Ok(())
+}
+
 fn eval_logical(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
+    check_len(l, r)?;
     let a = l.as_bool()?;
     let b = r.as_bool()?;
     // Null-as-false semantics: collapse to masks first.
@@ -72,47 +79,58 @@ fn eval_logical(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
     let out = match op {
         BinOp::And => am.and(&bm),
         BinOp::Or => am.or(&bm),
-        _ => unreachable!(),
+        other => {
+            return Err(DfError::Unsupported(format!(
+                "{other:?} is not a logical operator"
+            )))
+        }
     };
     Ok(Column::Bool(BoolArr::new(out)))
 }
 
 /// Integer fast path when both sides are Int64 and the op is not Div.
 fn eval_arith(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
-    if let (Column::Int64(a), Column::Int64(b)) = (l, r) {
-        if op != BinOp::Div {
-            let values: Vec<i64> = a
-                .values
-                .iter()
-                .zip(&b.values)
-                .map(|(&x, &y)| match op {
-                    BinOp::Add => x.wrapping_add(y),
-                    BinOp::Sub => x.wrapping_sub(y),
-                    BinOp::Mul => x.wrapping_mul(y),
-                    _ => unreachable!(),
-                })
-                .collect();
-            let validity = merge_validity(&a.validity, &b.validity);
-            return Ok(Column::Int64(PrimArr {
-                values: values.into(),
-                validity,
-            }));
+    check_len(l, r)?;
+    // Resolve the op to a kernel once, outside the row loops; a
+    // non-arithmetic op is a typed error rather than a per-row panic.
+    let int_op: Option<fn(i64, i64) -> i64> = match op {
+        BinOp::Add => Some(i64::wrapping_add),
+        BinOp::Sub => Some(i64::wrapping_sub),
+        BinOp::Mul => Some(i64::wrapping_mul),
+        BinOp::Div => None, // division always promotes to f64
+        other => {
+            return Err(DfError::Unsupported(format!(
+                "{other:?} is not an arithmetic operator"
+            )))
         }
+    };
+    if let (Column::Int64(a), Column::Int64(b), Some(f)) = (l, r, int_op) {
+        let values: Vec<i64> = a
+            .values
+            .iter()
+            .zip(&b.values)
+            .map(|(&x, &y)| f(x, y))
+            .collect();
+        let validity = merge_validity(&a.validity, &b.validity);
+        return Ok(Column::Int64(PrimArr {
+            values: values.into(),
+            validity,
+        }));
     }
     // General numeric path via f64.
+    let float_op: fn(f64, f64) -> f64 = match op {
+        BinOp::Add => |x, y| x + y,
+        BinOp::Sub => |x, y| x - y,
+        BinOp::Mul => |x, y| x * y,
+        _ => |x, y| x / y, // only Div remains after the match above
+    };
     let a = to_f64(l)?;
     let b = to_f64(r)?;
     let values: Vec<f64> = a
         .values
         .iter()
         .zip(&b.values)
-        .map(|(&x, &y)| match op {
-            BinOp::Add => x + y,
-            BinOp::Sub => x - y,
-            BinOp::Mul => x * y,
-            BinOp::Div => x / y,
-            _ => unreachable!(),
-        })
+        .map(|(&x, &y)| float_op(x, y))
         .collect();
     let validity = merge_validity(&a.validity, &b.validity);
     Ok(Column::Float64(PrimArr {
@@ -122,6 +140,12 @@ fn eval_arith(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
 }
 
 fn eval_compare(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
+    check_len(l, r)?;
+    if !op.is_comparison() {
+        return Err(DfError::Unsupported(format!(
+            "{op:?} is not a comparison operator"
+        )));
+    }
     let n = l.len();
     let mut values = Bitmap::new_set(n, false);
     let mut validity = Bitmap::new_set(n, true);
@@ -172,6 +196,8 @@ fn eval_compare(op: BinOp, l: &Column, r: &Column) -> DfResult<Column> {
     }))
 }
 
+/// Maps a comparison op to its ordering predicate. Non-comparison ops were
+/// rejected by `eval_compare` before any row is visited.
 fn cmp_holds(op: BinOp, ord: std::cmp::Ordering) -> bool {
     use std::cmp::Ordering::*;
     match op {
@@ -180,8 +206,7 @@ fn cmp_holds(op: BinOp, ord: std::cmp::Ordering) -> bool {
         BinOp::Lt => ord == Less,
         BinOp::Le => ord != Greater,
         BinOp::Gt => ord == Greater,
-        BinOp::Ge => ord != Less,
-        _ => unreachable!(),
+        _ => ord != Less, // BinOp::Ge
     }
 }
 
@@ -334,19 +359,20 @@ fn eval_isin(c: &Column, values: &[Scalar]) -> DfResult<Column> {
                     .collect(),
             ))
         }
-        Column::Int64(a) => {
-            let set: FxHashSet<i64> = values.iter().filter_map(|v| v.as_i64()).collect();
+        // All numeric columns (Int64, Float64, Date) probe one f64 bit-pattern
+        // set built via `Scalar::as_f64`, so cross-type probe literals (int
+        // literal vs float column and vice versa) coerce exactly like
+        // `eval_compare`'s `to_f64` path: membership ⟺ total_cmp == Equal.
+        Column::Int64(_) | Column::Float64(_) | Column::Date(_) => {
+            let set: FxHashSet<u64> = values
+                .iter()
+                .filter_map(|v| v.as_f64())
+                .map(f64::to_bits)
+                .collect();
+            let a = to_f64(c)?;
             Ok(Column::from_bool(
                 (0..n)
-                    .map(|i| a.get(i).is_some_and(|v| set.contains(&v)))
-                    .collect(),
-            ))
-        }
-        Column::Date(a) => {
-            let set: FxHashSet<i64> = values.iter().filter_map(|v| v.as_i64()).collect();
-            Ok(Column::from_bool(
-                (0..n)
-                    .map(|i| a.get(i).is_some_and(|v| set.contains(&(v as i64))))
+                    .map(|i| a.get(i).is_some_and(|v| set.contains(&v.to_bits())))
                     .collect(),
             ))
         }
@@ -534,5 +560,81 @@ mod tests {
     fn string_equality() {
         let m = eval_mask(&df(), &col("s").eq(lit("ECO"))).unwrap();
         assert_eq!(m.count_set(), 1);
+    }
+
+    #[test]
+    fn length_mismatch_is_typed_error() {
+        let long = Column::from_i64(vec![1, 2, 3]);
+        let short = Column::from_i64(vec![1]);
+        for res in [
+            eval_arith(BinOp::Add, &long, &short),
+            eval_compare(BinOp::Lt, &long, &short),
+            eval_logical(
+                BinOp::And,
+                &Column::from_bool(vec![true, false]),
+                &Column::from_bool(vec![true]),
+            ),
+        ] {
+            assert!(matches!(
+                res,
+                Err(DfError::LengthMismatch {
+                    expected: _,
+                    found: _
+                })
+            ));
+        }
+    }
+
+    #[test]
+    fn wrong_op_kind_is_typed_error_not_panic() {
+        let c = Column::from_i64(vec![1, 2]);
+        assert!(matches!(
+            eval_arith(BinOp::Eq, &c, &c),
+            Err(DfError::Unsupported(_))
+        ));
+        assert!(matches!(
+            eval_compare(BinOp::Add, &c, &c),
+            Err(DfError::Unsupported(_))
+        ));
+        let b = Column::from_bool(vec![true, false]);
+        assert!(matches!(
+            eval_logical(BinOp::Mul, &b, &b),
+            Err(DfError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn isin_float_column() {
+        // Float64 columns are supported, and int probe literals coerce.
+        let m = eval_mask(&df(), &col("b").is_in([Scalar::Float(1.5), Scalar::Int(3)])).unwrap();
+        assert_eq!(m, Bitmap::from_iter([false, true, false, false]));
+        // Float literal with integral value matches an Int64 column.
+        let m = eval_mask(&df(), &col("a").is_in([Scalar::Float(2.0)])).unwrap();
+        assert_eq!(m, Bitmap::from_iter([false, true, false, false]));
+        // Non-integral float literal simply never matches an Int64 column.
+        let m = eval_mask(&df(), &col("a").is_in([Scalar::Float(2.5)])).unwrap();
+        assert_eq!(m.count_set(), 0);
+    }
+
+    #[test]
+    fn isin_coerces_like_compare() {
+        // Membership agrees with eval_compare's Eq for every (cell, probe)
+        // pairing across Int64/Float64/Date columns and mixed literals.
+        let frame = df();
+        let probes = [
+            Scalar::Int(2),
+            Scalar::Float(2.5),
+            Scalar::Date(dates::to_days(1994, 1, 1)),
+        ];
+        for name in ["a", "b", "d"] {
+            let via_isin = eval(&frame, &col(name).is_in(probes.clone())).unwrap();
+            for i in 0..frame.num_rows() {
+                let any_eq = probes.iter().any(|p| {
+                    eval(&frame, &col(name).eq(lit(p.clone()))).unwrap().get(i)
+                        == Scalar::Bool(true)
+                });
+                assert_eq!(via_isin.get(i), Scalar::Bool(any_eq), "{name} row {i}");
+            }
+        }
     }
 }

@@ -624,7 +624,19 @@ impl<'a> Accumulator<'a> {
 
 /// Single-pass group-by aggregate (pandas `df.groupby(keys).agg(...)` with
 /// `as_index=False`). Groups appear in first-occurrence order.
+///
+/// A *whole-frame* aggregate (empty `keys`) always yields exactly one row,
+/// like SQL aggregates and pandas reductions: over an empty input, sums and
+/// counts are zero and min/max/mean/first are null.
 pub fn groupby_agg(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult<DataFrame> {
+    let out = groupby_agg_raw(df, keys, specs)?;
+    pad_whole_frame_agg(out, keys, specs)
+}
+
+/// The raw aggregation: a whole-frame aggregate over an empty input yields
+/// zero rows. The map/combine stages use this so empty chunks contribute
+/// *no* partial state (a padded zero-row would perturb float sum order).
+fn groupby_agg_raw(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult<DataFrame> {
     // Dictionary-encode each Utf8 column that grouping or nunique needs,
     // once — key normalization and accumulators share the encode pass.
     let mut dicts: DictCache = FxHashMap::default();
@@ -672,6 +684,33 @@ pub fn groupby_agg(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult
     }
     for (spec, acc) in specs.iter().zip(accs) {
         pairs.push((spec.output.clone(), acc.finish()));
+    }
+    DataFrame::new(pairs)
+}
+
+/// Enforces whole-frame aggregate semantics on a *final* aggregate output:
+/// with no group keys the result is exactly one row, so an empty result is
+/// padded with the fold-over-zero-rows defaults (sum 0, count 0, otherwise
+/// null), keeping each output column's dtype.
+fn pad_whole_frame_agg(agged: DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult<DataFrame> {
+    if !keys.is_empty() || agged.num_rows() > 0 {
+        return Ok(agged);
+    }
+    let mut pairs: Vec<(String, Column)> = Vec::with_capacity(specs.len());
+    for s in specs {
+        let dtype = agged.column(&s.output)?.data_type();
+        let scalar = match s.func {
+            AggFunc::Sum => match dtype {
+                DataType::Float64 => crate::scalar::Scalar::Float(0.0),
+                DataType::Date => crate::scalar::Scalar::Date(0),
+                _ => crate::scalar::Scalar::Int(0),
+            },
+            AggFunc::Count | AggFunc::Nunique => crate::scalar::Scalar::Int(0),
+            AggFunc::Mean | AggFunc::Min | AggFunc::Max | AggFunc::First => {
+                crate::scalar::Scalar::Null
+            }
+        };
+        pairs.push((s.output.clone(), Column::full(1, &scalar, dtype)));
     }
     DataFrame::new(pairs)
 }
@@ -746,7 +785,7 @@ pub fn groupby_map(df: &DataFrame, keys: &[&str], specs: &[AggSpec]) -> DfResult
             }
         }
     }
-    groupby_agg(df, keys, &map_specs)
+    groupby_agg_raw(df, keys, &map_specs)
 }
 
 /// Combine stage: merges concatenated partial states into one partial state.
@@ -785,7 +824,7 @@ pub fn groupby_combine(
             AggFunc::Nunique => return Err(DfError::Unsupported("nunique in combine".into())),
         }
     }
-    groupby_agg(partials, keys, &combine_specs)
+    groupby_agg_raw(partials, keys, &combine_specs)
 }
 
 /// Reduce stage: turns combined partial state into the final result.
@@ -830,7 +869,7 @@ pub fn groupby_finalize(
         };
         pairs.push((s.output.clone(), out));
     }
-    DataFrame::new(pairs)
+    pad_whole_frame_agg(DataFrame::new(pairs)?, keys, specs)
 }
 
 /// `value_counts` over one column: result has the column plus `"count"`,

@@ -7,8 +7,10 @@
 pub mod gen;
 mod q01_11;
 mod q12_22;
+pub mod sql;
 
 pub use gen::{TpchData, TpchScale};
+pub use sql::{run_query_sql, sql_text, tpch_catalog};
 
 use xorbits_baselines::{Capabilities, Engine};
 use xorbits_core::error::{XbError, XbResult};

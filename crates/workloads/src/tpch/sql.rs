@@ -1,0 +1,273 @@
+//! TPC-H as SQL text: the same 22 queries the pandas-style port runs,
+//! written for the SQL frontend in `xorbits_core::sql`.
+//!
+//! Each text is written so the binder lowers it to the *same* operator
+//! sequence as the hand-built program in `q01_11.rs`/`q12_22.rs` — leaf
+//! filters as derived tables, joins in the same order, aggregate
+//! arithmetic moved engine-side — which makes results bit-identical to
+//! the hand-built plans on every executor (asserted in
+//! `tests/sql_tpch.rs`).
+
+use xorbits_core::error::{XbError, XbResult};
+use xorbits_core::session::{Executor, Session};
+use xorbits_core::sql::{run_sql, Catalog};
+use xorbits_dataframe::DataFrame;
+
+use super::TpchData;
+
+/// The SQL text for TPC-H query `q` (1–22).
+pub fn sql_text(q: u32) -> Option<&'static str> {
+    Some(match q {
+        1 => Q1,
+        2 => Q2,
+        3 => Q3,
+        4 => Q4,
+        5 => Q5,
+        6 => Q6,
+        7 => Q7,
+        8 => Q8,
+        9 => Q9,
+        10 => Q10,
+        11 => Q11,
+        12 => Q12,
+        13 => Q13,
+        14 => Q14,
+        15 => Q15,
+        16 => Q16,
+        17 => Q17,
+        18 => Q18,
+        19 => Q19,
+        20 => Q20,
+        21 => Q21,
+        22 => Q22,
+        _ => return None,
+    })
+}
+
+/// Builds a catalog exposing the eight TPC-H tables from `data`.
+pub fn tpch_catalog(data: &TpchData) -> XbResult<Catalog> {
+    let mut c = Catalog::new();
+    c.add("lineitem", data.lineitem.clone())?;
+    c.add("orders", data.orders.clone())?;
+    c.add("customer", data.customer.clone())?;
+    c.add("part", data.part.clone())?;
+    c.add("partsupp", data.partsupp.clone())?;
+    c.add("supplier", data.supplier.clone())?;
+    c.add("nation", data.nation.clone())?;
+    c.add("region", data.region.clone())?;
+    Ok(c)
+}
+
+/// Runs TPC-H query `q` from SQL text through `session`.
+pub fn run_query_sql<E: Executor>(
+    session: &Session<E>,
+    data: &TpchData,
+    q: u32,
+) -> XbResult<DataFrame> {
+    let text = sql_text(q).ok_or_else(|| XbError::Plan(format!("no such TPC-H query: {q}")))?;
+    let catalog = tpch_catalog(data)?;
+    run_sql(session, &catalog, text)
+}
+
+const Q1: &str = "SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty, \
+SUM(l_extendedprice) AS sum_base_price, \
+SUM(l_extendedprice * (1.0 - l_discount)) AS sum_disc_price, \
+SUM(l_extendedprice * (1.0 - l_discount) * (1.0 + l_tax)) AS sum_charge, \
+AVG(l_quantity) AS avg_qty, AVG(l_extendedprice) AS avg_price, \
+AVG(l_discount) AS avg_disc, COUNT(l_quantity) AS count_order \
+FROM lineitem WHERE l_shipdate <= DATE '1998-09-02' \
+GROUP BY l_returnflag, l_linestatus ORDER BY l_returnflag, l_linestatus";
+
+const Q2: &str = "WITH w AS (SELECT * FROM partsupp \
+JOIN (SELECT * FROM part WHERE p_size = 15 AND p_type LIKE '%BRASS') p ON ps_partkey = p_partkey \
+JOIN supplier ON ps_suppkey = s_suppkey \
+JOIN nation ON s_nationkey = n_nationkey \
+JOIN (SELECT * FROM region WHERE r_name = 'EUROPE') r ON n_regionkey = r_regionkey) \
+SELECT s_acctbal, s_name, n_name, ps_partkey, p_mfgr FROM w \
+JOIN (SELECT ps_partkey, MIN(ps_supplycost) AS min_cost FROM w GROUP BY ps_partkey) m \
+ON w.ps_partkey = m.ps_partkey \
+WHERE ps_supplycost = min_cost \
+ORDER BY s_acctbal DESC, n_name, s_name, ps_partkey LIMIT 100";
+
+const Q3: &str = "SELECT o_orderkey, o_orderdate, o_shippriority, \
+SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM (SELECT * FROM customer WHERE c_mktsegment = 'BUILDING') c \
+JOIN (SELECT * FROM orders WHERE o_orderdate < DATE '1995-03-15') o ON c_custkey = o_custkey \
+JOIN (SELECT * FROM lineitem WHERE l_shipdate > DATE '1995-03-15') l ON o_orderkey = l_orderkey \
+GROUP BY o_orderkey, o_orderdate, o_shippriority \
+ORDER BY revenue DESC, o_orderdate LIMIT 10";
+
+const Q4: &str = "SELECT o_orderpriority, COUNT(o_orderkey) AS order_count \
+FROM (SELECT * FROM orders WHERE o_orderdate >= DATE '1993-07-01' AND o_orderdate < DATE '1993-10-01') o \
+SEMI JOIN (SELECT * FROM lineitem WHERE l_commitdate < l_receiptdate) l ON o_orderkey = l_orderkey \
+GROUP BY o_orderpriority ORDER BY o_orderpriority";
+
+const Q5: &str = "SELECT n_name, SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM customer \
+JOIN (SELECT * FROM orders WHERE o_orderdate >= DATE '1994-01-01' AND o_orderdate < DATE '1995-01-01') o \
+ON c_custkey = o_custkey \
+JOIN lineitem ON o_orderkey = l_orderkey \
+JOIN supplier ON l_suppkey = s_suppkey \
+JOIN nation ON s_nationkey = n_nationkey \
+JOIN (SELECT * FROM region WHERE r_name = 'ASIA') r ON n_regionkey = r_regionkey \
+WHERE c_nationkey = s_nationkey \
+GROUP BY n_name ORDER BY revenue DESC";
+
+const Q6: &str = "SELECT SUM(l_extendedprice * l_discount) AS revenue FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+AND l_discount >= 0.05 AND l_discount <= 0.07 AND l_quantity < 24.0";
+
+const Q7: &str = "WITH n1 AS (SELECT n_nationkey, n_name AS supp_nation, n_regionkey \
+FROM nation WHERE n_name IN ('FRANCE', 'GERMANY')), \
+n2 AS (SELECT n_nationkey AS n2_nationkey, n_name AS cust_nation, n_regionkey \
+FROM nation WHERE n_name IN ('FRANCE', 'GERMANY')) \
+SELECT supp_nation, cust_nation, EXTRACT(YEAR FROM l_shipdate) AS l_year, \
+SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM (SELECT * FROM lineitem WHERE l_shipdate >= DATE '1995-01-01' AND l_shipdate <= DATE '1996-12-31') l \
+JOIN supplier ON l_suppkey = s_suppkey \
+JOIN n1 ON s_nationkey = n_nationkey \
+JOIN orders ON l_orderkey = o_orderkey \
+JOIN customer ON o_custkey = c_custkey \
+JOIN n2 ON c_nationkey = n2_nationkey \
+WHERE (supp_nation = 'FRANCE' AND cust_nation = 'GERMANY') \
+OR (supp_nation = 'GERMANY' AND cust_nation = 'FRANCE') \
+GROUP BY supp_nation, cust_nation, l_year \
+ORDER BY supp_nation, cust_nation, l_year";
+
+const Q8: &str = "SELECT EXTRACT(YEAR FROM o_orderdate) AS o_year, \
+SUM(l_extendedprice * (1.0 - l_discount) * (supp_nation = 'BRAZIL')) / \
+SUM(l_extendedprice * (1.0 - l_discount)) AS mkt_share \
+FROM lineitem \
+JOIN (SELECT * FROM part WHERE p_type = 'ECONOMY ANODIZED STEEL') p ON l_partkey = p_partkey \
+JOIN supplier ON l_suppkey = s_suppkey \
+JOIN (SELECT * FROM orders WHERE o_orderdate >= DATE '1995-01-01' AND o_orderdate <= DATE '1996-12-31') o \
+ON l_orderkey = o_orderkey \
+JOIN customer ON o_custkey = c_custkey \
+JOIN nation ON c_nationkey = n_nationkey \
+JOIN (SELECT * FROM region WHERE r_name = 'AMERICA') r ON n_regionkey = r_regionkey \
+JOIN (SELECT n_nationkey AS n2_nationkey, n_name AS supp_nation, n_regionkey AS n2_regionkey FROM nation) n2 \
+ON s_nationkey = n2_nationkey \
+GROUP BY o_year ORDER BY o_year";
+
+const Q9: &str = "SELECT n_name, EXTRACT(YEAR FROM o_orderdate) AS o_year, \
+SUM(l_extendedprice * (1.0 - l_discount) - ps_supplycost * l_quantity) AS sum_profit \
+FROM lineitem \
+JOIN (SELECT * FROM part WHERE p_name LIKE '%green%') p ON l_partkey = p_partkey \
+JOIN supplier ON l_suppkey = s_suppkey \
+JOIN partsupp ON l_partkey = ps_partkey AND l_suppkey = ps_suppkey \
+JOIN orders ON l_orderkey = o_orderkey \
+JOIN nation ON s_nationkey = n_nationkey \
+GROUP BY n_name, o_year ORDER BY n_name, o_year DESC";
+
+const Q10: &str = "SELECT c_custkey, c_name, c_acctbal, c_phone, n_name, \
+SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM customer \
+JOIN (SELECT * FROM orders WHERE o_orderdate >= DATE '1993-10-01' AND o_orderdate < DATE '1994-01-01') o \
+ON c_custkey = o_custkey \
+JOIN (SELECT * FROM lineitem WHERE l_returnflag = 'R') l ON o_orderkey = l_orderkey \
+JOIN nation ON c_nationkey = n_nationkey \
+GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name \
+ORDER BY revenue DESC LIMIT 20";
+
+const Q11: &str = "WITH valued AS (SELECT *, ps_supplycost * ps_availqty AS value FROM partsupp \
+JOIN (supplier JOIN (SELECT * FROM nation WHERE n_name = 'GERMANY') n ON s_nationkey = n_nationkey) \
+ON ps_suppkey = s_suppkey) \
+SELECT ps_partkey, SUM(value) AS value FROM valued GROUP BY ps_partkey \
+HAVING value > (SELECT SUM(value) * 0.0001 AS threshold FROM valued) \
+ORDER BY value DESC";
+
+const Q12: &str = "SELECT l_shipmode, \
+SUM((o_orderpriority IN ('1-URGENT', '2-HIGH')) * 1) AS high_line_count, \
+SUM((NOT (o_orderpriority IN ('1-URGENT', '2-HIGH'))) * 1) AS low_line_count \
+FROM (SELECT * FROM lineitem WHERE l_shipmode IN ('MAIL', 'SHIP') \
+AND l_commitdate < l_receiptdate AND l_shipdate < l_commitdate \
+AND l_receiptdate >= DATE '1994-01-01' AND l_receiptdate < DATE '1995-01-01') l \
+JOIN orders ON l_orderkey = o_orderkey \
+GROUP BY l_shipmode ORDER BY l_shipmode";
+
+const Q13: &str = "SELECT c_count, COUNT(c_custkey) AS custdist \
+FROM (SELECT c_custkey, COUNT(o_orderkey) AS c_count FROM customer \
+LEFT JOIN (SELECT * FROM orders WHERE NOT (o_comment LIKE '%special%')) o ON c_custkey = o_custkey \
+GROUP BY c_custkey) t \
+GROUP BY c_count ORDER BY custdist DESC, c_count DESC";
+
+const Q14: &str = "SELECT 100.0 * SUM(l_extendedprice * (1.0 - l_discount) * (p_type LIKE 'PROMO%')) / \
+SUM(l_extendedprice * (1.0 - l_discount)) AS promo_revenue \
+FROM (SELECT * FROM lineitem WHERE l_shipdate >= DATE '1995-09-01' AND l_shipdate < DATE '1995-10-01') l \
+JOIN part ON l_partkey = p_partkey";
+
+const Q15: &str =
+    "WITH rev AS (SELECT l_suppkey, SUM(l_extendedprice * (1.0 - l_discount)) AS total_revenue \
+FROM lineitem WHERE l_shipdate >= DATE '1996-01-01' AND l_shipdate < DATE '1996-04-01' \
+GROUP BY l_suppkey) \
+SELECT s_suppkey, s_name, total_revenue FROM supplier JOIN rev ON s_suppkey = l_suppkey \
+WHERE total_revenue >= (SELECT MAX(total_revenue) AS max_rev FROM rev) - 0.000001 \
+ORDER BY s_suppkey";
+
+const Q16: &str = "SELECT p_brand, p_type, p_size, COUNT(DISTINCT ps_suppkey) AS supplier_cnt \
+FROM partsupp \
+JOIN (SELECT * FROM part WHERE NOT (p_brand = 'Brand#45') \
+AND NOT (p_type LIKE 'MEDIUM POLISHED%') \
+AND p_size IN (49, 14, 23, 45, 19, 3, 36, 9)) p ON ps_partkey = p_partkey \
+ANTI JOIN (SELECT * FROM supplier WHERE s_comment LIKE '%Customer%' AND s_comment LIKE '%Complaints%') s \
+ON ps_suppkey = s_suppkey \
+GROUP BY p_brand, p_type, p_size \
+ORDER BY supplier_cnt DESC, p_brand, p_type, p_size";
+
+const Q17: &str = "WITH lp AS (SELECT * FROM lineitem \
+JOIN (SELECT * FROM part WHERE p_brand = 'Brand#23' AND p_container = 'MED BOX') p \
+ON l_partkey = p_partkey) \
+SELECT SUM(l_extendedprice) / 7.0 AS avg_yearly FROM lp \
+JOIN (SELECT l_partkey, AVG(l_quantity) AS avg_qty FROM lp GROUP BY l_partkey) a \
+ON lp.l_partkey = a.l_partkey \
+WHERE l_quantity < 0.2 * avg_qty";
+
+const Q18: &str = "SELECT c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum_qty \
+FROM orders \
+JOIN (SELECT l_orderkey, SUM(l_quantity) AS sum_qty FROM lineitem GROUP BY l_orderkey \
+HAVING sum_qty > 170.0) big ON o_orderkey = l_orderkey \
+JOIN customer ON o_custkey = c_custkey \
+ORDER BY o_totalprice DESC, o_orderdate LIMIT 100";
+
+const Q19: &str = "SELECT SUM(l_extendedprice * (1.0 - l_discount)) AS revenue \
+FROM lineitem JOIN part ON l_partkey = p_partkey \
+WHERE l_shipmode IN ('AIR', 'REG AIR') AND l_shipinstruct = 'DELIVER IN PERSON' \
+AND ((p_brand = 'Brand#12' AND p_container IN ('SM CASE', 'SM BOX', 'SM PACK', 'SM PKG') \
+AND l_quantity >= 1.0 AND l_quantity <= 11.0 AND p_size >= 1 AND p_size <= 5) \
+OR (p_brand = 'Brand#23' AND p_container IN ('MED BAG', 'MED BOX', 'MED PKG', 'MED PACK') \
+AND l_quantity >= 10.0 AND l_quantity <= 20.0 AND p_size >= 1 AND p_size <= 10) \
+OR (p_brand = 'Brand#34' AND p_container IN ('LG CASE', 'LG BOX', 'LG PACK', 'LG PKG') \
+AND l_quantity >= 20.0 AND l_quantity <= 30.0 AND p_size >= 1 AND p_size <= 15))";
+
+const Q20: &str = "SELECT s_name, s_suppkey FROM supplier \
+SEMI JOIN (SELECT * FROM partsupp \
+SEMI JOIN (SELECT * FROM part WHERE p_name LIKE 'forest%') p ON ps_partkey = p_partkey \
+JOIN (SELECT l_partkey, l_suppkey, SUM(l_quantity) AS sum_qty FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01' \
+GROUP BY l_partkey, l_suppkey) sh ON ps_partkey = l_partkey AND ps_suppkey = l_suppkey \
+WHERE ps_availqty > 0.5 * sum_qty) excess ON s_suppkey = ps_suppkey \
+JOIN (SELECT * FROM nation WHERE n_name = 'CANADA') n ON s_nationkey = n_nationkey \
+ORDER BY s_name";
+
+const Q21: &str = "WITH late AS (SELECT * FROM lineitem WHERE l_receiptdate > l_commitdate) \
+SELECT s_name, COUNT(l_orderkey) AS numwait FROM late \
+JOIN (SELECT * FROM orders WHERE o_orderstatus = 'F') f ON l_orderkey = o_orderkey \
+SEMI JOIN (SELECT l_orderkey AS mo_orderkey, n_supp FROM \
+(SELECT l_orderkey, COUNT(DISTINCT l_suppkey) AS n_supp FROM lineitem GROUP BY l_orderkey) t \
+WHERE n_supp > 1) multi ON l_orderkey = mo_orderkey \
+SEMI JOIN (SELECT l_orderkey AS so_orderkey, n_late FROM \
+(SELECT l_orderkey, COUNT(DISTINCT l_suppkey) AS n_late FROM late GROUP BY l_orderkey) t \
+WHERE n_late = 1) single ON l_orderkey = so_orderkey \
+JOIN (SELECT * FROM supplier \
+JOIN (SELECT * FROM nation WHERE n_name = 'SAUDI ARABIA') n ON s_nationkey = n_nationkey) s \
+ON l_suppkey = s_suppkey \
+GROUP BY s_name ORDER BY numwait DESC, s_name LIMIT 100";
+
+const Q22: &str = "WITH c AS (SELECT * FROM \
+(SELECT *, SUBSTR(c_phone, 1, 2) AS cntrycode FROM customer) t \
+WHERE cntrycode IN ('13', '31', '23', '29', '30', '18', '17')) \
+SELECT cntrycode, COUNT(c_custkey) AS numcust, SUM(c_acctbal) AS totacctbal \
+FROM (SELECT * FROM c WHERE c_acctbal > \
+(SELECT AVG(c_acctbal) AS avg_bal FROM c WHERE c_acctbal > 0.0)) cc \
+ANTI JOIN orders ON c_custkey = o_custkey \
+GROUP BY cntrycode ORDER BY cntrycode";

@@ -103,6 +103,23 @@ cargo test -q --release -p xorbits-workloads --test trace_determinism
 echo "==> multi-tenant serving determinism gate (Zipf streams, run-twice)"
 cargo test -q --release -p xorbits-serving
 
+# SQL-frontend gates (hard): all 22 TPC-H queries run a second time from
+# SQL text and must be bit-identical to the hand-built tileable-graph
+# programs on the LocalExecutor, the 4-thread ParallelExecutor and the
+# SimExecutor, with plan-cache hit counters pinned across case /
+# whitespace / alias / literal variants. The property suite pins the
+# grammar itself: printing is a fixed point, canonicalization is
+# alias-insensitive and idempotent, malformed input is rejected with
+# consistent line/column positions, truncation never panics, and the
+# level-1 normalization key folds case but preserves string literals.
+# (The plan-cache x lineage-cache composition test rides the
+# xorbits-serving package gate above.)
+echo "==> SQL-frontend equivalence matrix (22 TPC-H from SQL text, 3 executors)"
+cargo test -q --release --test sql_tpch
+
+echo "==> SQL parser/binder property suite"
+cargo test -q --release --test sql_props
+
 # Opt-in kernel bench smoke: 1e4-row run of the shuffle/join/groupby kernel
 # suite, failing if any kernel is >2x slower than the checked-in reference
 # (scripts/bench_reference.json). Off by default — wall-clock gates are only
